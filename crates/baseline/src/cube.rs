@@ -1,0 +1,255 @@
+//! The three-dimensional "cube" model of the earliest historical databases.
+//!
+//! Paper §1: "The database was seen as a three-dimensional cube, wherein at
+//! any time t a tuple with EXISTS? = True was considered to be meaningful,
+//! otherwise it was to be ignored" ([Klopprogge 81], [Clifford 83]). We
+//! materialize the cube as one classical snapshot per chronon of a bounded
+//! universe — the brute-force end of the timestamping-granularity spectrum:
+//! instant snapshots, but storage proportional to `|T| × |instance|`.
+
+use hrdm_core::{Attribute, HrdmError, Result, Value, ValueKind};
+use hrdm_time::{Chronon, Interval};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A row of the cube: one `Option<Value>` per attribute (`None` encodes an
+/// attribute bearing no value at that time even though the tuple EXISTS —
+/// the cube ancestors padded these with nulls).
+pub type CubeRow = Vec<Option<Value>>;
+
+/// A cube relation: a full snapshot per chronon of its universe.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CubeRelation {
+    attrs: Vec<(Attribute, ValueKind)>,
+    key: Vec<Attribute>,
+    universe: Interval,
+    /// `snapshots[t]` = rows existing at `t`. Chronons of the universe with
+    /// no entry have an empty snapshot.
+    snapshots: BTreeMap<Chronon, Vec<CubeRow>>,
+}
+
+impl CubeRelation {
+    /// An empty cube over `universe`.
+    pub fn new(
+        attrs: Vec<(Attribute, ValueKind)>,
+        key: Vec<Attribute>,
+        universe: Interval,
+    ) -> Result<CubeRelation> {
+        if attrs.is_empty() {
+            return Err(HrdmError::EmptyScheme);
+        }
+        for k in &key {
+            if !attrs.iter().any(|(a, _)| a == k) {
+                return Err(HrdmError::KeyNotInScheme(k.clone()));
+            }
+        }
+        Ok(CubeRelation {
+            attrs,
+            key,
+            universe,
+            snapshots: BTreeMap::new(),
+        })
+    }
+
+    /// The attributes.
+    pub fn attrs(&self) -> &[(Attribute, ValueKind)] {
+        &self.attrs
+    }
+
+    /// The bounded time universe of the cube.
+    pub fn universe(&self) -> Interval {
+        self.universe
+    }
+
+    /// Index of an attribute.
+    pub fn index_of(&self, name: &Attribute) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|(a, _)| a == name)
+            .ok_or_else(|| HrdmError::UnknownAttribute(name.clone()))
+    }
+
+    /// Records that `row` EXISTS at time `t`.
+    pub fn assert_row(&mut self, t: Chronon, row: CubeRow) -> Result<()> {
+        if !self.universe.contains(t) {
+            return Err(HrdmError::ValueOutsideLifespan {
+                attribute: Attribute::new("<time>"),
+            });
+        }
+        if row.len() != self.attrs.len() {
+            return Err(HrdmError::EmptyScheme);
+        }
+        for ((attr, kind), v) in self.attrs.iter().zip(&row) {
+            if let Some(v) = v {
+                if v.kind() != *kind {
+                    return Err(HrdmError::DomainMismatch {
+                        attribute: attr.clone(),
+                        expected: *kind,
+                        found: v.kind(),
+                    });
+                }
+            }
+        }
+        self.snapshots.entry(t).or_default().push(row);
+        Ok(())
+    }
+
+    /// The snapshot at `t` (rows with EXISTS? = true).
+    pub fn timeslice(&self, t: Chronon) -> &[CubeRow] {
+        self.snapshots.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does a row with the given key values exist at `t`?
+    pub fn exists(&self, key: &[Value], t: Chronon) -> Result<bool> {
+        let idxs: Vec<usize> = self
+            .key
+            .iter()
+            .map(|k| self.index_of(k))
+            .collect::<Result<_>>()?;
+        Ok(self.timeslice(t).iter().any(|row| {
+            idxs.iter()
+                .zip(key)
+                .all(|(&i, kv)| row[i].as_ref() == Some(kv))
+        }))
+    }
+
+    /// The object-history query: scans **every** snapshot for the key — the
+    /// cube's weak spot.
+    pub fn object_history(&self, key: &[Value]) -> Result<Vec<(Chronon, &CubeRow)>> {
+        let idxs: Vec<usize> = self
+            .key
+            .iter()
+            .map(|k| self.index_of(k))
+            .collect::<Result<_>>()?;
+        let mut out = Vec::new();
+        for (t, rows) in &self.snapshots {
+            for row in rows {
+                if idxs
+                    .iter()
+                    .zip(key)
+                    .all(|(&i, kv)| row[i].as_ref() == Some(kv))
+                {
+                    out.push((*t, row));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total stored cells — `Σ_t rows(t) × arity`, the E1/E8 storage metric.
+    /// Grows with `|T|` even when nothing changes.
+    pub fn cells(&self) -> usize {
+        self.snapshots
+            .values()
+            .map(|rows| rows.len() * self.attrs.len())
+            .sum()
+    }
+
+    /// Number of chronons with at least one existing row.
+    pub fn populated_instants(&self) -> usize {
+        self.snapshots.values().filter(|r| !r.is_empty()).count()
+    }
+}
+
+impl fmt::Display for CubeRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.attrs.iter().map(|(a, _)| a.name()).collect();
+        writeln!(f, "cube over {} ({})", self.universe, names.join(", "))?;
+        for (t, rows) in &self.snapshots {
+            for row in rows {
+                let vals: Vec<String> = row
+                    .iter()
+                    .map(|v| match v {
+                        Some(v) => v.to_string(),
+                        None => "⊥".to_string(),
+                    })
+                    .collect();
+                writeln!(f, "  t={t}: ({})", vals.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> CubeRelation {
+        let mut c = CubeRelation::new(
+            vec![
+                (Attribute::new("NAME"), ValueKind::Str),
+                (Attribute::new("SALARY"), ValueKind::Int),
+            ],
+            vec![Attribute::new("NAME")],
+            Interval::of(0, 9),
+        )
+        .unwrap();
+        for t in 0..=4 {
+            c.assert_row(
+                Chronon::new(t),
+                vec![Some(Value::str("John")), Some(Value::Int(25))],
+            )
+            .unwrap();
+        }
+        for t in 5..=9 {
+            c.assert_row(
+                Chronon::new(t),
+                vec![Some(Value::str("John")), Some(Value::Int(30))],
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn timeslice_is_direct_lookup() {
+        let c = cube();
+        assert_eq!(c.timeslice(Chronon::new(3)).len(), 1);
+        assert_eq!(
+            c.timeslice(Chronon::new(7))[0][1],
+            Some(Value::Int(30))
+        );
+        assert!(c.timeslice(Chronon::new(99)).is_empty());
+    }
+
+    #[test]
+    fn exists_flag_semantics() {
+        let c = cube();
+        assert!(c.exists(&[Value::str("John")], Chronon::new(0)).unwrap());
+        assert!(!c.exists(&[Value::str("Mary")], Chronon::new(0)).unwrap());
+    }
+
+    #[test]
+    fn object_history_scans_all_snapshots() {
+        let c = cube();
+        let hist = c.object_history(&[Value::str("John")]).unwrap();
+        assert_eq!(hist.len(), 10); // one entry per chronon — the cube's cost
+    }
+
+    #[test]
+    fn cells_grow_with_time_even_without_change() {
+        let c = cube();
+        // 10 instants × 1 row × 2 attrs, although the value changed only once.
+        assert_eq!(c.cells(), 20);
+        assert_eq!(c.populated_instants(), 10);
+    }
+
+    #[test]
+    fn universe_and_kind_validation() {
+        let mut c = cube();
+        assert!(c
+            .assert_row(Chronon::new(50), vec![Some(Value::str("X")), None])
+            .is_err());
+        assert!(c
+            .assert_row(
+                Chronon::new(1),
+                vec![Some(Value::Int(1)), Some(Value::Int(1))]
+            )
+            .is_err());
+        // Nulls are fine — the EXISTS? models padded with them.
+        assert!(c
+            .assert_row(Chronon::new(1), vec![Some(Value::str("M")), None])
+            .is_ok());
+    }
+}

@@ -1,0 +1,31 @@
+//! # hrdm-baseline — the models HRDM positions itself against
+//!
+//! The paper's §1 surveys the lineage of historical data models and argues
+//! for attribute-level timestamping. To reproduce its qualitative
+//! comparisons ("who wins, by what shape") this crate implements the
+//! comparator models from first principles:
+//!
+//! * [`snapshot`] — the classical (static) relational model and algebra.
+//!   Also the target of the §5 *consistent extension* claim: every HRDM
+//!   operator must degenerate to its classical counterpart when `T = {now}`.
+//! * [`tuple_ts`] — tuple-level timestamping in first normal form, the
+//!   [Ben-Zvi 82] / TQuel [Snodgrass 84] / homogeneous [Gadia 85] line: each
+//!   tuple version carries one interval; querying requires *coalescing*.
+//! * [`cube`] — the three-dimensional "cube" view of the earliest proposals
+//!   ([Klopprogge 81], [Clifford 83]): a full snapshot per time point with an
+//!   implicit `EXISTS?` flag.
+//! * [`convert`] — faithful conversions from HRDM relations into each
+//!   baseline (information-preserving, so the models answer the same
+//!   queries and only their *costs* differ).
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod cube;
+pub mod snapshot;
+pub mod tuple_ts;
+
+pub use convert::{hrdm_to_cube, hrdm_to_ts, snapshot_of_hrdm, ts_to_hrdm};
+pub use cube::CubeRelation;
+pub use snapshot::{Row, SnapshotRelation, SnapshotScheme};
+pub use tuple_ts::{TsRelation, TsScheme, TsTuple};

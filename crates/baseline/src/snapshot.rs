@@ -1,0 +1,448 @@
+//! The classical (static) relational model and algebra.
+//!
+//! This is the model HRDM must be a *consistent extension* of (paper §5):
+//! with `T = {now}`, every HRDM operator must compute exactly what these
+//! operators compute. The workspace integration tests machine-check that
+//! equivalence, which is why this implementation is independent — it shares
+//! no algebra code with `hrdm-core`.
+
+use hrdm_core::algebra::Comparator;
+use hrdm_core::{Attribute, HrdmError, Result, Value, ValueKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A classical relation scheme: named, kinded attributes and a key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotScheme {
+    attrs: Vec<(Attribute, ValueKind)>,
+    key: Vec<Attribute>,
+}
+
+/// A classical tuple: one atomic value per attribute, positionally.
+pub type Row = Vec<Value>;
+
+impl SnapshotScheme {
+    /// Creates a scheme; key attributes must be among the attributes.
+    pub fn new(attrs: Vec<(Attribute, ValueKind)>, key: Vec<Attribute>) -> Result<SnapshotScheme> {
+        if attrs.is_empty() {
+            return Err(HrdmError::EmptyScheme);
+        }
+        let mut seen = BTreeSet::new();
+        for (a, _) in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(HrdmError::DuplicateAttribute(a.clone()));
+            }
+        }
+        for k in &key {
+            if !attrs.iter().any(|(a, _)| a == k) {
+                return Err(HrdmError::KeyNotInScheme(k.clone()));
+            }
+        }
+        Ok(SnapshotScheme { attrs, key })
+    }
+
+    /// The attributes in declaration order.
+    pub fn attrs(&self) -> &[(Attribute, ValueKind)] {
+        &self.attrs
+    }
+
+    /// The key attributes.
+    pub fn key(&self) -> &[Attribute] {
+        &self.key
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of an attribute.
+    pub fn index_of(&self, name: &Attribute) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|(a, _)| a == name)
+            .ok_or_else(|| HrdmError::UnknownAttribute(name.clone()))
+    }
+}
+
+/// A classical relation: a set of rows on a scheme.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotRelation {
+    scheme: SnapshotScheme,
+    rows: BTreeSet<Row>,
+}
+
+impl SnapshotRelation {
+    /// An empty relation.
+    pub fn new(scheme: SnapshotScheme) -> SnapshotRelation {
+        SnapshotRelation {
+            scheme,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a relation from rows, validating arity and kinds.
+    pub fn with_rows(scheme: SnapshotScheme, rows: Vec<Row>) -> Result<SnapshotRelation> {
+        let mut r = SnapshotRelation::new(scheme);
+        for row in rows {
+            r.insert(row)?;
+        }
+        Ok(r)
+    }
+
+    /// Inserts a row (set semantics: duplicates are no-ops).
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.scheme.arity() {
+            return Err(HrdmError::EmptyScheme);
+        }
+        for ((attr, kind), v) in self.scheme.attrs.iter().zip(&row) {
+            if v.kind() != *kind {
+                return Err(HrdmError::DomainMismatch {
+                    attribute: attr.clone(),
+                    expected: *kind,
+                    found: v.kind(),
+                });
+            }
+        }
+        self.rows.insert(row);
+        Ok(())
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> &SnapshotScheme {
+        &self.scheme
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &BTreeSet<Row> {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Classical σ with an `A θ const` criterion.
+    pub fn select_value(
+        &self,
+        attr: &Attribute,
+        op: Comparator,
+        value: &Value,
+    ) -> Result<SnapshotRelation> {
+        let idx = self.scheme.index_of(attr)?;
+        let mut out = BTreeSet::new();
+        for row in &self.rows {
+            if op.test(row[idx].try_cmp(value)?) {
+                out.insert(row.clone());
+            }
+        }
+        Ok(SnapshotRelation {
+            scheme: self.scheme.clone(),
+            rows: out,
+        })
+    }
+
+    /// Classical σ with an `A θ B` criterion.
+    pub fn select_attrs(
+        &self,
+        left: &Attribute,
+        op: Comparator,
+        right: &Attribute,
+    ) -> Result<SnapshotRelation> {
+        let li = self.scheme.index_of(left)?;
+        let ri = self.scheme.index_of(right)?;
+        let mut out = BTreeSet::new();
+        for row in &self.rows {
+            if op.test(row[li].try_cmp(&row[ri])?) {
+                out.insert(row.clone());
+            }
+        }
+        Ok(SnapshotRelation {
+            scheme: self.scheme.clone(),
+            rows: out,
+        })
+    }
+
+    /// Classical π.
+    pub fn project(&self, x: &[Attribute]) -> Result<SnapshotRelation> {
+        let idxs: Vec<usize> = x
+            .iter()
+            .map(|a| self.scheme.index_of(a))
+            .collect::<Result<_>>()?;
+        let attrs = idxs.iter().map(|&i| self.scheme.attrs[i].clone()).collect();
+        let key = if self.scheme.key.iter().all(|k| x.contains(k)) {
+            self.scheme.key.clone()
+        } else {
+            Vec::new()
+        };
+        let scheme = SnapshotScheme::new(attrs, key)?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| idxs.iter().map(|&i| row[i].clone()).collect())
+            .collect();
+        Ok(SnapshotRelation { scheme, rows })
+    }
+
+    fn require_union_compatible(&self, other: &SnapshotRelation) -> Result<()> {
+        if self.scheme.attrs == other.scheme.attrs {
+            Ok(())
+        } else {
+            Err(HrdmError::NotUnionCompatible)
+        }
+    }
+
+    /// Classical ∪.
+    pub fn union(&self, other: &SnapshotRelation) -> Result<SnapshotRelation> {
+        self.require_union_compatible(other)?;
+        Ok(SnapshotRelation {
+            scheme: self.scheme.clone(),
+            rows: self.rows.union(&other.rows).cloned().collect(),
+        })
+    }
+
+    /// Classical ∩.
+    pub fn intersection(&self, other: &SnapshotRelation) -> Result<SnapshotRelation> {
+        self.require_union_compatible(other)?;
+        Ok(SnapshotRelation {
+            scheme: self.scheme.clone(),
+            rows: self.rows.intersection(&other.rows).cloned().collect(),
+        })
+    }
+
+    /// Classical −.
+    pub fn difference(&self, other: &SnapshotRelation) -> Result<SnapshotRelation> {
+        self.require_union_compatible(other)?;
+        Ok(SnapshotRelation {
+            scheme: self.scheme.clone(),
+            rows: self.rows.difference(&other.rows).cloned().collect(),
+        })
+    }
+
+    /// Classical ×; attribute sets must be disjoint.
+    pub fn product(&self, other: &SnapshotRelation) -> Result<SnapshotRelation> {
+        for (a, _) in &other.scheme.attrs {
+            if self.scheme.index_of(a).is_ok() {
+                return Err(HrdmError::AttributesNotDisjoint(a.clone()));
+            }
+        }
+        let mut attrs = self.scheme.attrs.clone();
+        attrs.extend(other.scheme.attrs.iter().cloned());
+        let mut key = self.scheme.key.clone();
+        key.extend(other.scheme.key.iter().cloned());
+        let scheme = SnapshotScheme::new(attrs, key)?;
+        let mut rows = BTreeSet::new();
+        for a in &self.rows {
+            for b in &other.rows {
+                let mut row = a.clone();
+                row.extend(b.iter().cloned());
+                rows.insert(row);
+            }
+        }
+        Ok(SnapshotRelation { scheme, rows })
+    }
+
+    /// Classical θ-join = σ over ×.
+    pub fn theta_join(
+        &self,
+        other: &SnapshotRelation,
+        a: &Attribute,
+        op: Comparator,
+        b: &Attribute,
+    ) -> Result<SnapshotRelation> {
+        self.product(other)?.select_attrs(a, op, b)
+    }
+
+    /// Classical natural join on all common attributes.
+    pub fn natural_join(&self, other: &SnapshotRelation) -> Result<SnapshotRelation> {
+        let common: Vec<Attribute> = self
+            .scheme
+            .attrs
+            .iter()
+            .filter(|(a, _)| other.scheme.index_of(a).is_ok())
+            .map(|(a, _)| a.clone())
+            .collect();
+        let my_idx: Vec<usize> = common
+            .iter()
+            .map(|a| self.scheme.index_of(a))
+            .collect::<Result<_>>()?;
+        let their_idx: Vec<usize> = common
+            .iter()
+            .map(|a| other.scheme.index_of(a))
+            .collect::<Result<_>>()?;
+        // Result scheme: my attrs, then their non-common attrs.
+        let mut attrs = self.scheme.attrs.clone();
+        let their_extra: Vec<usize> = (0..other.scheme.arity())
+            .filter(|i| !their_idx.contains(i))
+            .collect();
+        for &i in &their_extra {
+            attrs.push(other.scheme.attrs[i].clone());
+        }
+        let mut key = self.scheme.key.clone();
+        for k in &other.scheme.key {
+            if !key.contains(k) {
+                key.push(k.clone());
+            }
+        }
+        key.retain(|k| attrs.iter().any(|(a, _)| a == k));
+        let scheme = SnapshotScheme::new(attrs, key)?;
+        let mut rows = BTreeSet::new();
+        for mine in &self.rows {
+            for theirs in &other.rows {
+                if my_idx
+                    .iter()
+                    .zip(&their_idx)
+                    .all(|(&mi, &ti)| mine[mi] == theirs[ti])
+                {
+                    let mut row = mine.clone();
+                    for &i in &their_extra {
+                        row.push(theirs[i].clone());
+                    }
+                    rows.insert(row);
+                }
+            }
+        }
+        Ok(SnapshotRelation { scheme, rows })
+    }
+}
+
+impl fmt::Display for SnapshotRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.scheme.attrs.iter().map(|(a, _)| a.name()).collect();
+        writeln!(f, "({})", names.join(", "))?;
+        for row in &self.rows {
+            let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  ({})", vals.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp() -> SnapshotRelation {
+        let scheme = SnapshotScheme::new(
+            vec![
+                (Attribute::new("NAME"), ValueKind::Str),
+                (Attribute::new("SALARY"), ValueKind::Int),
+            ],
+            vec![Attribute::new("NAME")],
+        )
+        .unwrap();
+        SnapshotRelation::with_rows(
+            scheme,
+            vec![
+                vec![Value::str("John"), Value::Int(25)],
+                vec![Value::str("Mary"), Value::Int(30)],
+                vec![Value::str("Igor"), Value::Int(25)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_project_basics() {
+        let r = emp();
+        let cheap = r
+            .select_value(&"SALARY".into(), Comparator::Eq, &Value::Int(25))
+            .unwrap();
+        assert_eq!(cheap.len(), 2);
+        let names = cheap.project(&["NAME".into()]).unwrap();
+        assert_eq!(names.len(), 2);
+        assert!(names.rows().contains(&vec![Value::str("John")]));
+    }
+
+    #[test]
+    fn insert_validates_kinds_and_dedupes() {
+        let mut r = emp();
+        assert!(r.insert(vec![Value::Int(1), Value::Int(2)]).is_err());
+        let before = r.len();
+        r.insert(vec![Value::str("John"), Value::Int(25)]).unwrap();
+        assert_eq!(r.len(), before); // set semantics
+    }
+
+    #[test]
+    fn set_ops() {
+        let r = emp();
+        let cheap = r
+            .select_value(&"SALARY".into(), Comparator::Eq, &Value::Int(25))
+            .unwrap();
+        let rich = r.difference(&cheap).unwrap();
+        assert_eq!(rich.len(), 1);
+        assert_eq!(r.union(&cheap).unwrap().len(), 3);
+        assert_eq!(r.intersection(&cheap).unwrap(), cheap);
+    }
+
+    #[test]
+    fn product_and_joins() {
+        let dept_scheme = SnapshotScheme::new(
+            vec![
+                (Attribute::new("DNAME"), ValueKind::Str),
+                (Attribute::new("BUDGET"), ValueKind::Int),
+            ],
+            vec![Attribute::new("DNAME")],
+        )
+        .unwrap();
+        let depts = SnapshotRelation::with_rows(
+            dept_scheme,
+            vec![
+                vec![Value::str("Toys"), Value::Int(26)],
+                vec![Value::str("Shoes"), Value::Int(40)],
+            ],
+        )
+        .unwrap();
+        let r = emp();
+        let p = r.product(&depts).unwrap();
+        assert_eq!(p.len(), 6);
+        let j = r
+            .theta_join(&depts, &"SALARY".into(), Comparator::Lt, &"BUDGET".into())
+            .unwrap();
+        assert_eq!(j.len(), 5); // everyone < 40; only the 25s < 26
+    }
+
+    #[test]
+    fn natural_join_on_common_attr() {
+        // emp(NAME, SALARY) ⋈ grade(SALARY, GRADE)
+        let grade_scheme = SnapshotScheme::new(
+            vec![
+                (Attribute::new("SALARY"), ValueKind::Int),
+                (Attribute::new("GRADE"), ValueKind::Str),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let grades = SnapshotRelation::with_rows(
+            grade_scheme,
+            vec![
+                vec![Value::Int(25), Value::str("junior")],
+                vec![Value::Int(30), Value::str("senior")],
+            ],
+        )
+        .unwrap();
+        let j = emp().natural_join(&grades).unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.scheme().arity(), 3);
+        assert!(j
+            .rows()
+            .contains(&vec![Value::str("Mary"), Value::Int(30), Value::str("senior")]));
+    }
+
+    #[test]
+    fn incompatible_unions_rejected() {
+        let other = SnapshotScheme::new(
+            vec![(Attribute::new("X"), ValueKind::Int)],
+            vec![],
+        )
+        .unwrap();
+        let o = SnapshotRelation::new(other);
+        assert!(emp().union(&o).is_err());
+    }
+}

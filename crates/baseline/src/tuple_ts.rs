@@ -1,0 +1,413 @@
+//! Tuple-level timestamping in first normal form.
+//!
+//! The lineage the paper positions itself against (§1): [Ben-Zvi 82], TQuel
+//! [Snodgrass 84], and the homogeneous model of [Gadia 85] attach the
+//! temporal dimension to whole **tuples**: an object whose attributes change
+//! `k` times is stored as `k + 1` versions, each a flat row stamped with one
+//! interval. The price is paid at query time: value-equivalent adjacent
+//! versions must be **coalesced**, and an object's history is scattered
+//! across versions.
+
+use hrdm_core::algebra::Comparator;
+use hrdm_core::{Attribute, HrdmError, Result, Value, ValueKind};
+use hrdm_time::{Chronon, Interval};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scheme of a tuple-timestamped relation: flat attributes plus the implicit
+/// timestamp interval.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TsScheme {
+    attrs: Vec<(Attribute, ValueKind)>,
+    key: Vec<Attribute>,
+}
+
+impl TsScheme {
+    /// Creates a scheme.
+    pub fn new(attrs: Vec<(Attribute, ValueKind)>, key: Vec<Attribute>) -> Result<TsScheme> {
+        if attrs.is_empty() {
+            return Err(HrdmError::EmptyScheme);
+        }
+        for k in &key {
+            if !attrs.iter().any(|(a, _)| a == k) {
+                return Err(HrdmError::KeyNotInScheme(k.clone()));
+            }
+        }
+        Ok(TsScheme { attrs, key })
+    }
+
+    /// Attributes in declaration order.
+    pub fn attrs(&self) -> &[(Attribute, ValueKind)] {
+        &self.attrs
+    }
+
+    /// Key attributes.
+    pub fn key(&self) -> &[Attribute] {
+        &self.key
+    }
+
+    /// Number of attributes (excluding the timestamp).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of an attribute.
+    pub fn index_of(&self, name: &Attribute) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|(a, _)| a == name)
+            .ok_or_else(|| HrdmError::UnknownAttribute(name.clone()))
+    }
+}
+
+/// One tuple *version*: a flat row valid over one closed interval.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TsTuple {
+    /// The row values, positional per the scheme.
+    pub values: Vec<Value>,
+    /// The version's validity interval.
+    pub span: Interval,
+}
+
+/// A tuple-timestamped relation: a bag of versions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TsRelation {
+    scheme: Option<TsScheme>,
+    tuples: Vec<TsTuple>,
+}
+
+impl TsRelation {
+    /// An empty relation on `scheme`.
+    pub fn new(scheme: TsScheme) -> TsRelation {
+        TsRelation {
+            scheme: Some(scheme),
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from versions.
+    pub fn with_tuples(scheme: TsScheme, tuples: Vec<TsTuple>) -> Result<TsRelation> {
+        let mut r = TsRelation::new(scheme);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> &TsScheme {
+        self.scheme.as_ref().expect("constructed with a scheme")
+    }
+
+    /// The stored versions.
+    pub fn tuples(&self) -> &[TsTuple] {
+        &self.tuples
+    }
+
+    /// Number of stored versions — the storage-cost driver of this model.
+    pub fn version_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Total stored cells (versions × arity), the E8 storage metric.
+    pub fn cells(&self) -> usize {
+        self.tuples.len() * self.scheme().arity()
+    }
+
+    /// Inserts a version, validating arity and kinds.
+    pub fn insert(&mut self, t: TsTuple) -> Result<()> {
+        let scheme = self.scheme();
+        if t.values.len() != scheme.arity() {
+            return Err(HrdmError::EmptyScheme);
+        }
+        for ((attr, kind), v) in scheme.attrs.iter().zip(&t.values) {
+            if v.kind() != *kind {
+                return Err(HrdmError::DomainMismatch {
+                    attribute: attr.clone(),
+                    expected: *kind,
+                    found: v.kind(),
+                });
+            }
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// The classical snapshot at `s`: all versions whose span covers `s`.
+    pub fn timeslice(&self, s: Chronon) -> Vec<&TsTuple> {
+        self.tuples.iter().filter(|t| t.span.contains(s)).collect()
+    }
+
+    /// Selection `A θ const`, version-wise.
+    pub fn select_value(
+        &self,
+        attr: &Attribute,
+        op: Comparator,
+        value: &Value,
+    ) -> Result<TsRelation> {
+        let idx = self.scheme().index_of(attr)?;
+        let mut out = TsRelation::new(self.scheme().clone());
+        for t in &self.tuples {
+            if op.test(t.values[idx].try_cmp(value)?) {
+                out.tuples.push(t.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projection onto `x`, followed by [`TsRelation::coalesce`] — in
+    /// tuple-timestamped models projection *requires* coalescing: dropping
+    /// the attribute that distinguished two adjacent versions leaves
+    /// value-equivalent versions with abutting spans.
+    pub fn project(&self, x: &[Attribute]) -> Result<TsRelation> {
+        let idxs: Vec<usize> = x
+            .iter()
+            .map(|a| self.scheme().index_of(a))
+            .collect::<Result<_>>()?;
+        let attrs = idxs
+            .iter()
+            .map(|&i| self.scheme().attrs[i].clone())
+            .collect();
+        let key = self
+            .scheme()
+            .key
+            .iter()
+            .filter(|k| x.contains(k))
+            .cloned()
+            .collect();
+        let scheme = TsScheme::new(attrs, key)?;
+        let mut out = TsRelation::new(scheme);
+        for t in &self.tuples {
+            out.tuples.push(TsTuple {
+                values: idxs.iter().map(|&i| t.values[i].clone()).collect(),
+                span: t.span,
+            });
+        }
+        Ok(out.coalesce())
+    }
+
+    /// Coalescing: merges value-equivalent versions whose spans overlap or
+    /// abut — the hallmark (and hidden cost) of tuple timestamping. The
+    /// result is canonical: per distinct row, disjoint maximal spans.
+    pub fn coalesce(&self) -> TsRelation {
+        let mut by_row: BTreeMap<Vec<Value>, Vec<Interval>> = BTreeMap::new();
+        for t in &self.tuples {
+            by_row.entry(t.values.clone()).or_default().push(t.span);
+        }
+        let mut out = TsRelation::new(self.scheme().clone());
+        for (values, mut spans) in by_row {
+            spans.sort_by_key(|iv| (iv.lo(), iv.hi()));
+            let mut merged: Vec<Interval> = Vec::with_capacity(spans.len());
+            for iv in spans {
+                match merged.last_mut() {
+                    Some(last) if last.mergeable(&iv) => {
+                        *last = last.merge(&iv).expect("mergeable merge");
+                    }
+                    _ => merged.push(iv),
+                }
+            }
+            for span in merged {
+                out.tuples.push(TsTuple {
+                    values: values.clone(),
+                    span,
+                });
+            }
+        }
+        out
+    }
+
+    /// All versions of the object with the given key value — the
+    /// "object history" query, which this model must reassemble from
+    /// scattered versions.
+    pub fn object_history(&self, key: &[Value]) -> Result<Vec<&TsTuple>> {
+        let idxs: Vec<usize> = self
+            .scheme()
+            .key
+            .iter()
+            .map(|k| self.scheme().index_of(k))
+            .collect::<Result<_>>()?;
+        Ok(self
+            .tuples
+            .iter()
+            .filter(|t| idxs.iter().zip(key).all(|(&i, kv)| &t.values[i] == kv))
+            .collect())
+    }
+
+    /// Temporal equijoin: versions join when the join values match **and**
+    /// their spans intersect; the result span is the intersection (the
+    /// standard interval-join of tuple-timestamped models).
+    pub fn equijoin(&self, other: &TsRelation, a: &Attribute, b: &Attribute) -> Result<TsRelation> {
+        let ai = self.scheme().index_of(a)?;
+        let bi = other.scheme().index_of(b)?;
+        let mut attrs = self.scheme().attrs.clone();
+        for (name, kind) in &other.scheme().attrs {
+            if self.scheme().index_of(name).is_ok() {
+                return Err(HrdmError::AttributesNotDisjoint(name.clone()));
+            }
+            attrs.push((name.clone(), *kind));
+        }
+        let mut key = self.scheme().key.clone();
+        key.extend(other.scheme().key.iter().cloned());
+        let scheme = TsScheme::new(attrs, key)?;
+        let mut out = TsRelation::new(scheme);
+        for t1 in &self.tuples {
+            for t2 in &other.tuples {
+                if t1.values[ai] == t2.values[bi] {
+                    if let Some(span) = t1.span.intersect(&t2.span) {
+                        let mut values = t1.values.clone();
+                        values.extend(t2.values.iter().cloned());
+                        out.tuples.push(TsTuple { values, span });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for TsRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.scheme().attrs.iter().map(|(a, _)| a.name()).collect();
+        writeln!(f, "({}) | span", names.join(", "))?;
+        for t in &self.tuples {
+            let vals: Vec<String> = t.values.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  ({}) | {}", vals.join(", "), t.span)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> TsScheme {
+        TsScheme::new(
+            vec![
+                (Attribute::new("NAME"), ValueKind::Str),
+                (Attribute::new("SALARY"), ValueKind::Int),
+                (Attribute::new("DEPT"), ValueKind::Str),
+            ],
+            vec![Attribute::new("NAME")],
+        )
+        .unwrap()
+    }
+
+    fn version(name: &str, salary: i64, dept: &str, lo: i64, hi: i64) -> TsTuple {
+        TsTuple {
+            values: vec![Value::str(name), Value::Int(salary), Value::str(dept)],
+            span: Interval::of(lo, hi),
+        }
+    }
+
+    fn john_history() -> TsRelation {
+        // John's salary changes at 10, dept at 20: three versions.
+        TsRelation::with_tuples(
+            scheme(),
+            vec![
+                version("John", 25, "Toys", 0, 9),
+                version("John", 30, "Toys", 10, 19),
+                version("John", 30, "Shoes", 20, 29),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn timeslice_filters_by_span() {
+        let r = john_history();
+        assert_eq!(r.timeslice(Chronon::new(5)).len(), 1);
+        assert_eq!(
+            r.timeslice(Chronon::new(15))[0].values[1],
+            Value::Int(30)
+        );
+        assert!(r.timeslice(Chronon::new(99)).is_empty());
+    }
+
+    #[test]
+    fn projection_requires_coalescing() {
+        let r = john_history();
+        // Project away DEPT: the two salary-30 versions become adjacent and
+        // value-equivalent — coalescing must merge them.
+        let p = r.project(&["NAME".into(), "SALARY".into()]).unwrap();
+        assert_eq!(p.version_count(), 2);
+        let spans: Vec<Interval> = p.tuples().iter().map(|t| t.span).collect();
+        assert!(spans.contains(&Interval::of(10, 29)));
+    }
+
+    #[test]
+    fn coalesce_merges_overlapping_equal_rows() {
+        let r = TsRelation::with_tuples(
+            scheme(),
+            vec![
+                version("A", 1, "X", 0, 5),
+                version("A", 1, "X", 3, 9),
+                version("A", 1, "X", 11, 12), // gap at 10: stays separate
+            ],
+        )
+        .unwrap();
+        let c = r.coalesce();
+        assert_eq!(c.version_count(), 2);
+    }
+
+    #[test]
+    fn object_history_gathers_versions() {
+        let mut r = john_history();
+        r.insert(version("Mary", 40, "Toys", 0, 29)).unwrap();
+        let hist = r.object_history(&[Value::str("John")]).unwrap();
+        assert_eq!(hist.len(), 3);
+    }
+
+    #[test]
+    fn select_is_versionwise() {
+        let r = john_history();
+        let s = r
+            .select_value(&"SALARY".into(), Comparator::Eq, &Value::Int(30))
+            .unwrap();
+        assert_eq!(s.version_count(), 2);
+    }
+
+    #[test]
+    fn equijoin_intersects_spans() {
+        let dept_scheme = TsScheme::new(
+            vec![
+                (Attribute::new("DNAME"), ValueKind::Str),
+                (Attribute::new("BUDGET"), ValueKind::Int),
+            ],
+            vec![Attribute::new("DNAME")],
+        )
+        .unwrap();
+        let depts = TsRelation::with_tuples(
+            dept_scheme,
+            vec![TsTuple {
+                values: vec![Value::str("Toys"), Value::Int(100)],
+                span: Interval::of(5, 14),
+            }],
+        )
+        .unwrap();
+        let j = john_history()
+            .equijoin(&depts, &"DEPT".into(), &"DNAME".into())
+            .unwrap();
+        // John-in-Toys versions: [0,9] ∩ [5,14] = [5,9]; [10,19] ∩ [5,14] = [10,14].
+        assert_eq!(j.version_count(), 2);
+        let spans: Vec<Interval> = j.tuples().iter().map(|t| t.span).collect();
+        assert!(spans.contains(&Interval::of(5, 9)));
+        assert!(spans.contains(&Interval::of(10, 14)));
+    }
+
+    #[test]
+    fn cells_metric() {
+        assert_eq!(john_history().cells(), 9); // 3 versions × 3 attrs
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut r = TsRelation::new(scheme());
+        assert!(r
+            .insert(TsTuple {
+                values: vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+                span: Interval::of(0, 1),
+            })
+            .is_err());
+    }
+}

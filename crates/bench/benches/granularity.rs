@@ -1,0 +1,78 @@
+//! E1 — the §2 lifespan-granularity trade-off, quantified.
+//!
+//! "The overhead for the database or relation approach is quite small, and
+//! is proportional to the size of the schema. The cost of the tuple lifespan
+//! approach is proportional to the size of the database instance." We count
+//! distinct lifespan objects under each policy while sweeping instance size,
+//! and time the maintenance op each policy implies on insert.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::{gen_relation, WorkloadSpec};
+use hrdm_time::Lifespan;
+use std::hint::black_box;
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("granularity");
+    for &tuples in &[10usize, 100, 1000] {
+        let spec = WorkloadSpec {
+            tuples,
+            changes: 4,
+            fragments: 2,
+            ..Default::default()
+        };
+        let r = gen_relation(&spec);
+
+        // Static accounting, printed for EXPERIMENTS.md:
+        //   relation-level policy: 1 lifespan; schema-level: arity lifespans;
+        //   tuple-level: |instance| lifespans; value-level: one per cell.
+        let schema_level = r.scheme().arity();
+        let tuple_level = r.len();
+        let value_level = r.segment_cells();
+        println!(
+            "[granularity/objects] tuples={tuples}: relation=1 schema={schema_level} \
+             tuple={tuple_level} value={value_level}"
+        );
+
+        // Maintenance cost on insert under each policy:
+        // relation/schema-level: update one shared lifespan (union).
+        group.bench_with_input(
+            BenchmarkId::new("maintain_relation_level", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut shared = Lifespan::empty();
+                    for t in r.iter() {
+                        shared = shared.union(t.lifespan());
+                    }
+                    black_box(shared)
+                })
+            },
+        );
+        // tuple-level: each tuple keeps its own lifespan (clone/normalize).
+        group.bench_with_input(
+            BenchmarkId::new("maintain_tuple_level", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let spans: Vec<Lifespan> =
+                        r.iter().map(|t| t.lifespan().clone()).collect();
+                    black_box(spans)
+                })
+            },
+        );
+        // Deriving LS(r) from tuple lifespans (the paper's LS definition).
+        group.bench_with_input(BenchmarkId::new("derive_LS", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(black_box(&r).lifespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_granularity
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E9 — interpolation strategies across sample density (paper Fig. 9).
+//!
+//! Step/nearest materialize segment-wise (cost ∝ samples); linear is
+//! inherently per-chronon between samples (cost ∝ target width) — the sweep
+//! exposes exactly that asymmetry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_core::Value;
+use hrdm_interp::{Interpolation, Represented};
+use hrdm_time::Lifespan;
+use std::hint::black_box;
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    let era = 10_000i64;
+    let target = Lifespan::interval(0, era);
+    for &samples in &[4usize, 32, 256, 2048] {
+        let step = era / samples as i64;
+        let repr: Vec<(i64, Value)> = (0..samples)
+            .map(|i| (i as i64 * step, Value::Int(i as i64)))
+            .collect();
+        for strat in [
+            Interpolation::Discrete,
+            Interpolation::Step,
+            Interpolation::Nearest,
+        ] {
+            let r = Represented::of(&repr, strat);
+            group.bench_with_input(
+                BenchmarkId::new(strat.to_string(), samples),
+                &samples,
+                |b, _| b.iter(|| black_box(r.materialize(black_box(&target)).unwrap())),
+            );
+        }
+        // Linear over a narrower window (it is per-chronon by nature).
+        let window = Lifespan::interval(0, 2_000);
+        let r = Represented::of(&repr, Interpolation::Linear);
+        group.bench_with_input(
+            BenchmarkId::new("linear_2k_window", samples),
+            &samples,
+            |b, _| b.iter(|| black_box(r.materialize(black_box(&window)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_interp
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E4 — the JOIN family across relation sizes.
+//!
+//! All four joins are nested-loop with segment-wise lifespan computation;
+//! the sweep confirms the O(n·m) shape and the relative constant factors
+//! (θ < equi ≈ natural < time-join, which must also build images).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::{gen_relation, gen_second_relation, gen_tt_relation, WorkloadSpec};
+use hrdm_core::algebra::{equijoin, natural_join, theta_join, time_join, Comparator};
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    for &n in &[16usize, 64, 256] {
+        let spec = WorkloadSpec {
+            tuples: n,
+            changes: 8,
+            ..Default::default()
+        };
+        let r = gen_relation(&spec);
+        let s = gen_second_relation(&spec, 0.8);
+        let tt = gen_tt_relation(&spec);
+
+        group.bench_with_input(BenchmarkId::new("theta_lt", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    theta_join(
+                        black_box(&r),
+                        black_box(&s),
+                        &"V".into(),
+                        Comparator::Lt,
+                        &"X".into(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("equijoin", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    equijoin(black_box(&r), black_box(&s), &"V".into(), &"X".into()).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("natural_join", n), &n, |b, _| {
+            // No common attributes: degenerates to product-over-intersection,
+            // the paper's base case.
+            b.iter(|| black_box(natural_join(black_box(&r), black_box(&s)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("time_join", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(time_join(black_box(&tt), black_box(&s), &"AT".into()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_join
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E11 — lifespan set-algebra microcosts across interval counts.
+//!
+//! The paper's §2 trade-off discussion assumes lifespan bookkeeping is
+//! cheap; this bench quantifies the primitive costs: union / intersection /
+//! difference of lifespans with 1 … 1000 maximal intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_time::Lifespan;
+use std::hint::black_box;
+
+fn fragmented(n: usize, offset: i64) -> Lifespan {
+    Lifespan::of(
+        &(0..n)
+            .map(|i| {
+                let lo = offset + (i as i64) * 10;
+                (lo, lo + 4)
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn bench_lifespan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifespan_setops");
+    for &n in &[1usize, 10, 100, 1000] {
+        let a = fragmented(n, 0);
+        let b = fragmented(n, 5); // interleaved: worst-case overlap pattern
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).union(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).intersect(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).difference(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("contains", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).contains(hrdm_time::Chronon::new(n as i64 * 5))))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation for DESIGN.md choice #1: canonical interval runs vs a naive
+/// `BTreeSet<i64>` chronon-set representation ("lifespans are just sets").
+/// Same semantics — the property tests prove it — wildly different cost.
+fn bench_ablation(c: &mut Criterion) {
+    use std::collections::BTreeSet;
+    let mut group = c.benchmark_group("lifespan_ablation");
+    for &n in &[10usize, 100] {
+        let a = fragmented(n, 0);
+        let b = fragmented(n, 5);
+        let sa: BTreeSet<i64> = a.iter().map(|c| c.tick()).collect();
+        let sb: BTreeSet<i64> = b.iter().map(|c| c.tick()).collect();
+        println!(
+            "[lifespan_ablation] runs={n}: interval_repr={} runs, set_repr={} chronons",
+            a.interval_count(),
+            sa.len()
+        );
+        group.bench_with_input(BenchmarkId::new("interval_union", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).union(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("btreeset_union", n), &n, |bench, _| {
+            bench.iter(|| {
+                let u: BTreeSet<i64> = black_box(&sa).union(black_box(&sb)).copied().collect();
+                black_box(u)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("interval_intersect", n),
+            &n,
+            |bench, _| bench.iter(|| black_box(black_box(&a).intersect(black_box(&b)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("btreeset_intersect", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let u: BTreeSet<i64> =
+                        black_box(&sa).intersection(black_box(&sb)).copied().collect();
+                    black_box(u)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_lifespan, bench_ablation
+}
+criterion_main!(benches);

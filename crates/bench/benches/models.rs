@@ -1,0 +1,86 @@
+//! E8 — the paper's §1 comparison: attribute-level (HRDM) vs
+//! tuple-timestamped vs cube, on the same information.
+//!
+//! Three workload queries per model, swept over per-object change count:
+//!
+//! * `snapshot`  — the full relation at one instant (cube's home turf),
+//! * `history`   — one object's full history (HRDM's home turf),
+//! * storage     — printed once per configuration (cells per model).
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): HRDM storage is flat in the
+//! era and linear in changes; tuple-TS multiplies versions by changes; the
+//! cube multiplies by era regardless of change rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_baseline::{hrdm_to_cube, hrdm_to_ts};
+use hrdm_bench::{gen_relation, WorkloadSpec};
+use hrdm_core::Value;
+use hrdm_time::Chronon;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("models");
+    for &changes in &[1usize, 8, 32] {
+        let spec = WorkloadSpec {
+            tuples: 50,
+            era: 2_000,
+            changes,
+            ..Default::default()
+        };
+        let hrdm = gen_relation(&spec);
+        let ts = hrdm_to_ts(&hrdm).unwrap();
+        let cube = hrdm_to_cube(&hrdm, None).unwrap();
+        let at = Chronon::new(spec.era / 2);
+        let key = [Value::Int(spec.tuples as i64 / 2)];
+
+        // Storage cells per model, printed once for EXPERIMENTS.md.
+        println!(
+            "[models/storage] changes={changes}: hrdm_cells={} ts_cells={} cube_cells={}",
+            hrdm.segment_cells(),
+            ts.cells(),
+            cube.cells()
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_hrdm", changes),
+            &changes,
+            |b, _| b.iter(|| black_box(black_box(&hrdm).snapshot_at(at))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_ts", changes),
+            &changes,
+            |b, _| b.iter(|| black_box(black_box(&ts).timeslice(at))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_cube", changes),
+            &changes,
+            |b, _| b.iter(|| black_box(black_box(&cube).timeslice(at))),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("history_hrdm", changes),
+            &changes,
+            |b, _| b.iter(|| black_box(black_box(&hrdm).find_by_key(&key))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("history_ts", changes),
+            &changes,
+            |b, _| b.iter(|| black_box(black_box(&ts).object_history(&key).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("history_cube", changes),
+            &changes,
+            |b, _| b.iter(|| black_box(black_box(&cube).object_history(&key).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_models
+}
+criterion_main!(benches);

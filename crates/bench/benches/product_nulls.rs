@@ -1,0 +1,92 @@
+//! E7 — the §5 null-vs-lifespan trade-off, swept over lifespan overlap.
+//!
+//! The product pairs tuples over the **union** of lifespans (nulls inside);
+//! the equijoin pairs over the **intersection** (null-free). As operand
+//! overlap shrinks, the product's null volume grows while the join simply
+//! returns less — the two ends of the paper's stated trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::{gen_relation, gen_second_relation, WorkloadSpec};
+use hrdm_core::algebra::{cartesian_product, null_volume, theta_join, theta_join_union, Comparator};
+use std::hint::black_box;
+
+fn bench_product_nulls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product_nulls");
+    let spec = WorkloadSpec {
+        tuples: 64,
+        changes: 4,
+        ..Default::default()
+    };
+    let r = gen_relation(&spec);
+    for &overlap in &[0.0f64, 0.5, 1.0] {
+        let s = gen_second_relation(&spec, overlap);
+        let label = format!("{overlap:.1}");
+
+        // Null volume per operator, printed for EXPERIMENTS.md.
+        let product = cartesian_product(&r, &s).unwrap();
+        let join = theta_join(&r, &s, &"V".into(), Comparator::Le, &"X".into()).unwrap();
+        let union_join =
+            theta_join_union(&r, &s, &"V".into(), Comparator::Le, &"X".into()).unwrap();
+        println!(
+            "[product_nulls] overlap={label}: product_nulls={} join_nulls={} \
+             union_join_nulls={} join_tuples={} product_tuples={}",
+            null_volume(&product),
+            null_volume(&join),
+            null_volume(&union_join),
+            join.len(),
+            product.len()
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("cartesian_product", &label),
+            &overlap,
+            |b, _| b.iter(|| black_box(cartesian_product(black_box(&r), black_box(&s)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theta_join_intersection", &label),
+            &overlap,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        theta_join(
+                            black_box(&r),
+                            black_box(&s),
+                            &"V".into(),
+                            Comparator::Le,
+                            &"X".into(),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theta_join_union", &label),
+            &overlap,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        theta_join_union(
+                            black_box(&r),
+                            black_box(&s),
+                            &"V".into(),
+                            Comparator::Le,
+                            &"X".into(),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_product_nulls
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E6 — the cost of generality: HRDM operators on `T = {now}` snapshots vs
+//! the purpose-built classical implementation on the same data.
+//!
+//! The §5 consistency claim says the *answers* coincide (machine-checked in
+//! `tests/consistency.rs`); this bench measures the overhead the historical
+//! machinery pays to compute them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_baseline::snapshot::{SnapshotRelation, SnapshotScheme};
+use hrdm_core::consistency::lift_snapshot;
+use hrdm_core::prelude::*;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const NOW: Chronon = Chronon::new(0);
+
+fn snap_scheme() -> Scheme {
+    let now = Lifespan::point(NOW);
+    Scheme::builder()
+        .key_attr("K", ValueKind::Int, now.clone())
+        .attr("V", HistoricalDomain::int(), now)
+        .build()
+        .unwrap()
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    for &n in &[100usize, 1000] {
+        // The same rows, in both worlds.
+        let rows: Vec<BTreeMap<Attribute, Value>> = (0..n)
+            .map(|k| {
+                BTreeMap::from([
+                    (Attribute::new("K"), Value::Int(k as i64)),
+                    (Attribute::new("V"), Value::Int((k % 97) as i64)),
+                ])
+            })
+            .collect();
+        let hist = lift_snapshot(&snap_scheme(), &rows, NOW).unwrap();
+        let classic = SnapshotRelation::with_rows(
+            SnapshotScheme::new(
+                vec![
+                    (Attribute::new("K"), ValueKind::Int),
+                    (Attribute::new("V"), ValueKind::Int),
+                ],
+                vec![Attribute::new("K")],
+            )
+            .unwrap(),
+            (0..n)
+                .map(|k| vec![Value::Int(k as i64), Value::Int((k % 97) as i64)])
+                .collect(),
+        )
+        .unwrap();
+
+        let pred = Predicate::attr_op_value("V", Comparator::Lt, 50i64);
+        group.bench_with_input(BenchmarkId::new("select_hrdm", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    select_if(black_box(&hist), &pred, Quantifier::Exists, None).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("select_classical", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    classic
+                        .select_value(&"V".into(), Comparator::Lt, &Value::Int(50))
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("project_hrdm", n), &n, |b, _| {
+            b.iter(|| black_box(project(black_box(&hist), &["V".into()]).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("project_classical", n), &n, |b, _| {
+            b.iter(|| black_box(classic.project(&["V".into()]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_reduction
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E2 — the two flavors of SELECT across history length.
+//!
+//! SELECT-IF returns whole tuples (quantifier test only); SELECT-WHEN also
+//! rebuilds each selected tuple restricted to its truth span. Both are
+//! segment-wise, so cost scales with changes-per-attribute, not with
+//! chronon counts — the sweep verifies that shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::{gen_relation, WorkloadSpec};
+use hrdm_core::algebra::{select_if, select_when, Comparator, Predicate, Quantifier};
+use hrdm_time::Lifespan;
+use std::hint::black_box;
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select");
+    for &changes in &[2usize, 8, 32, 128] {
+        let r = gen_relation(&WorkloadSpec {
+            tuples: 200,
+            changes,
+            era: 10_000,
+            ..Default::default()
+        });
+        let pred = Predicate::attr_op_value("V", Comparator::Lt, 500i64);
+        let window = Lifespan::interval(2_000, 4_000);
+
+        group.bench_with_input(
+            BenchmarkId::new("select_if_exists", changes),
+            &changes,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        select_if(black_box(&r), &pred, Quantifier::Exists, None).unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select_if_forall", changes),
+            &changes,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        select_if(black_box(&r), &pred, Quantifier::Forall, None).unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select_if_bounded", changes),
+            &changes,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        select_if(black_box(&r), &pred, Quantifier::Exists, Some(&window))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select_when", changes),
+            &changes,
+            |b, _| {
+                b.iter(|| black_box(select_when(black_box(&r), &pred).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E13 (extension) — time-varying aggregation scales with segment counts,
+/// not chronons, like the selects above.
+fn bench_aggregate(c: &mut Criterion) {
+    use hrdm_core::algebra::{aggregate_over_time, AggregateOp};
+    let mut group = c.benchmark_group("aggregate");
+    for &changes in &[2usize, 8, 32] {
+        let r = gen_relation(&WorkloadSpec {
+            tuples: 100,
+            changes,
+            era: 10_000,
+            ..Default::default()
+        });
+        for op in [AggregateOp::Count, AggregateOp::Sum, AggregateOp::Avg] {
+            group.bench_with_input(
+                BenchmarkId::new(op.to_string(), changes),
+                &changes,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            aggregate_over_time(black_box(&r), &"V".into(), op).unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_select, bench_aggregate
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E5 — plain vs object-based set operators across lifespan fragmentation.
+//!
+//! The object-based operators (paper §4.1) do strictly more work — key
+//! matching plus merging — and this bench shows the factor, swept over the
+//! fragmentation of tuple lifespans (reincarnation makes merging costlier).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::{gen_relation, WorkloadSpec};
+use hrdm_core::algebra::{difference, difference_o, intersection, intersection_o, union, union_o};
+use std::hint::black_box;
+
+fn bench_setops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setops");
+    for &fragments in &[1usize, 4, 16] {
+        let spec1 = WorkloadSpec {
+            tuples: 200,
+            fragments,
+            seed: 1,
+            ..Default::default()
+        };
+        let spec2 = WorkloadSpec {
+            tuples: 200,
+            fragments,
+            seed: 2,
+            ..Default::default()
+        };
+        let r1 = gen_relation(&spec1);
+        let r2 = gen_relation(&spec2);
+
+        group.bench_with_input(BenchmarkId::new("union", fragments), &fragments, |b, _| {
+            b.iter(|| black_box(union(black_box(&r1), black_box(&r2)).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("union_o", fragments),
+            &fragments,
+            |b, _| b.iter(|| black_box(union_o(black_box(&r1), black_box(&r2)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("intersection", fragments),
+            &fragments,
+            |b, _| b.iter(|| black_box(intersection(black_box(&r1), black_box(&r2)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("intersection_o", fragments),
+            &fragments,
+            |b, _| {
+                b.iter(|| black_box(intersection_o(black_box(&r1), black_box(&r2)).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("difference", fragments),
+            &fragments,
+            |b, _| b.iter(|| black_box(difference(black_box(&r1), black_box(&r2)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("difference_o", fragments),
+            &fragments,
+            |b, _| {
+                b.iter(|| black_box(difference_o(black_box(&r1), black_box(&r2)).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_setops
+}
+criterion_main!(benches);

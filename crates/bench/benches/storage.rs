@@ -1,0 +1,63 @@
+//! E12 — physical-level throughput: codec and heap-file round trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hrdm_bench::{gen_relation, WorkloadSpec};
+use hrdm_storage::{Decoder, Encoder, HeapFile};
+use std::hint::black_box;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    for &tuples in &[10usize, 100, 1000] {
+        let r = gen_relation(&WorkloadSpec {
+            tuples,
+            changes: 8,
+            ..Default::default()
+        });
+        let mut enc = Encoder::new();
+        enc.put_relation(&r);
+        let bytes = enc.finish();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("encode", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                let mut e = Encoder::new();
+                e.put_relation(black_box(&r));
+                black_box(e.finish())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decode", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(Decoder::new(black_box(&bytes)).get_relation().unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("heap_write_sync", tuples),
+            &tuples,
+            |b, _| {
+                let path = std::env::temp_dir().join(format!(
+                    "hrdm-bench-heap-{}-{tuples}",
+                    std::process::id()
+                ));
+                b.iter(|| {
+                    let mut heap = HeapFile::create(&path).unwrap();
+                    for t in r.iter() {
+                        let mut e = Encoder::new();
+                        e.put_tuple(t);
+                        heap.insert(&e.finish()).unwrap();
+                    }
+                    heap.sync().unwrap();
+                    black_box(heap.page_count())
+                });
+                std::fs::remove_file(&path).ok();
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_storage
+}
+criterion_main!(benches);

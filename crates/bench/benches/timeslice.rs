@@ -1,0 +1,53 @@
+//! E3 — static vs dynamic TIME-SLICE.
+//!
+//! Static `τ_L` restricts every tuple to a shared window (cost grows with
+//! window width and segment counts); dynamic `τ@A` reads each tuple's own
+//! time-valued attribute image first (paper §4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_bench::{gen_relation, gen_tt_relation, WorkloadSpec};
+use hrdm_core::algebra::{timeslice, timeslice_dynamic};
+use hrdm_time::Lifespan;
+use std::hint::black_box;
+
+fn bench_timeslice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeslice");
+    let spec = WorkloadSpec {
+        tuples: 500,
+        changes: 16,
+        era: 10_000,
+        ..Default::default()
+    };
+    let r = gen_relation(&spec);
+
+    // Static slices of increasing width.
+    for &width in &[10i64, 100, 1_000, 10_000] {
+        let window = Lifespan::interval(1_000, (1_000 + width).min(10_000));
+        group.bench_with_input(BenchmarkId::new("static", width), &width, |b, _| {
+            b.iter(|| black_box(timeslice(black_box(&r), black_box(&window))))
+        });
+    }
+
+    // Fragmented slice window (reincarnation-shaped queries).
+    let fragmented = Lifespan::of(&[(100, 400), (2_000, 2_300), (7_000, 7_300)]);
+    group.bench_function("static_fragmented", |b| {
+        b.iter(|| black_box(timeslice(black_box(&r), black_box(&fragmented))))
+    });
+
+    // Dynamic slice at a TT attribute.
+    let tt = gen_tt_relation(&spec);
+    group.bench_function("dynamic_at_tt_attr", |b| {
+        b.iter(|| black_box(timeslice_dynamic(black_box(&tt), &"AT".into()).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_timeslice
+}
+criterion_main!(benches);

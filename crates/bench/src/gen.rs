@@ -1,0 +1,274 @@
+//! Seeded workload generators.
+
+use hrdm_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated historical relation.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of tuples (objects).
+    pub tuples: usize,
+    /// Time universe `[0, era]`.
+    pub era: i64,
+    /// Number of value changes per attribute over a tuple's lifespan
+    /// (the paper's driver of tuple-timestamping blow-up).
+    pub changes: usize,
+    /// Number of disjoint pieces in each tuple lifespan (1 = no
+    /// reincarnation; higher = fragmented histories).
+    pub fragments: usize,
+    /// RNG seed (generators are deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            tuples: 100,
+            era: 1_000,
+            changes: 8,
+            fragments: 1,
+            seed: 0x0C11_FF0D,
+        }
+    }
+}
+
+/// The benchmark scheme: `emp(K*: int, V: int, W: int)` over `[0, era]`.
+pub fn emp_scheme(era: i64) -> Scheme {
+    let span = Lifespan::interval(0, era);
+    Scheme::builder()
+        .key_attr("K", ValueKind::Int, span.clone())
+        .attr("V", HistoricalDomain::int(), span.clone())
+        .attr("W", HistoricalDomain::int(), span)
+        .build()
+        .expect("bench scheme is well-formed")
+}
+
+/// A second, attribute-disjoint scheme for joins:
+/// `grp(G*: int, X: int)`.
+pub fn second_scheme(era: i64) -> Scheme {
+    let span = Lifespan::interval(0, era);
+    Scheme::builder()
+        .key_attr("G", ValueKind::Int, span.clone())
+        .attr("X", HistoricalDomain::int(), span)
+        .build()
+        .expect("bench scheme is well-formed")
+}
+
+/// A scheme with a time-valued attribute for dynamic TIME-SLICE / TIME-JOIN:
+/// `evt(E*: int, AT: time)`.
+pub fn tt_scheme(era: i64) -> Scheme {
+    let span = Lifespan::interval(0, era);
+    Scheme::builder()
+        .key_attr("E", ValueKind::Int, span.clone())
+        .attr("AT", HistoricalDomain::time(), span)
+        .build()
+        .expect("bench scheme is well-formed")
+}
+
+/// A fragmented lifespan with `fragments` pieces inside `[0, era]`.
+fn gen_lifespan(rng: &mut StdRng, era: i64, fragments: usize) -> Lifespan {
+    let fragments = fragments.max(1);
+    // Partition the era into `fragments` live pieces separated by gaps.
+    let piece = era / (2 * fragments as i64).max(1);
+    let mut spans = Vec::with_capacity(fragments);
+    for i in 0..fragments as i64 {
+        let base = i * 2 * piece;
+        let jitter = if piece > 2 { rng.random_range(0..piece / 2) } else { 0 };
+        let lo = (base + jitter).min(era);
+        let hi = (lo + piece.max(1) - 1).min(era);
+        if lo <= hi {
+            spans.push((lo, hi));
+        }
+    }
+    Lifespan::of(&spans)
+}
+
+/// A piecewise-constant int history over `life` with ~`changes` changes.
+fn gen_history(rng: &mut StdRng, life: &Lifespan, changes: usize) -> TemporalValue {
+    let card = life.cardinality();
+    if card == 0 {
+        return TemporalValue::empty();
+    }
+    let changes = (changes.max(1) as u64).min(card) as usize;
+    // Choose change points inside the lifespan by walking its chronon count.
+    let step = (card / changes as u64).max(1);
+    let mut segments = Vec::with_capacity(changes + 1);
+    let chronons: Vec<Chronon> = life.iter().collect();
+    let mut start_idx = 0usize;
+    let mut value = rng.random_range(0..1_000i64);
+    let mut idx = step as usize;
+    while start_idx < chronons.len() {
+        let end_idx = idx.min(chronons.len());
+        // One value per [start, end) run of the lifespan's chronons; the
+        // canonical form will merge across adjacent runs automatically.
+        let lo = chronons[start_idx];
+        let hi = chronons[end_idx - 1];
+        for run in life.clamp(Interval::new(lo, hi).expect("ordered")).intervals() {
+            segments.push((*run, Value::Int(value)));
+        }
+        value = rng.random_range(0..1_000i64);
+        start_idx = end_idx;
+        idx += step as usize;
+    }
+    TemporalValue::from_segments(segments).expect("disjoint by construction")
+}
+
+/// Generates a relation on [`emp_scheme`] per the spec.
+pub fn gen_relation(spec: &WorkloadSpec) -> Relation {
+    let scheme = emp_scheme(spec.era);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut tuples = Vec::with_capacity(spec.tuples);
+    for k in 0..spec.tuples {
+        let life = gen_lifespan(&mut rng, spec.era, spec.fragments);
+        if life.is_empty() {
+            continue;
+        }
+        let v = gen_history(&mut rng, &life, spec.changes);
+        let w = gen_history(&mut rng, &life, spec.changes);
+        let t = Tuple::builder(life)
+            .constant("K", k as i64)
+            .value("V", v)
+            .value("W", w)
+            .finish(&scheme)
+            .expect("generated tuple is valid");
+        tuples.push(t);
+    }
+    Relation::with_tuples(scheme, tuples).expect("keys distinct by construction")
+}
+
+/// Generates a relation on [`second_scheme`]; `overlap` in `[0, 1]` controls
+/// how much of each tuple's lifespan overlaps the first relation's era
+/// prefix (drives the E7 null-volume sweep).
+pub fn gen_second_relation(spec: &WorkloadSpec, overlap: f64) -> Relation {
+    let scheme = second_scheme(spec.era);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x05EC_017D);
+    let mut tuples = Vec::with_capacity(spec.tuples);
+    let shift = ((1.0 - overlap.clamp(0.0, 1.0)) * (spec.era as f64 / 2.0)) as i64;
+    for g in 0..spec.tuples {
+        let lo = shift + rng.random_range(0..=(spec.era / 4).max(1));
+        let hi = (lo + spec.era / 2).min(spec.era);
+        if lo > hi {
+            continue;
+        }
+        let life = Lifespan::interval(lo, hi);
+        let x = gen_history(&mut rng, &life, spec.changes);
+        let t = Tuple::builder(life)
+            .constant("G", g as i64)
+            .value("X", x)
+            .finish(&scheme)
+            .expect("generated tuple is valid");
+        tuples.push(t);
+    }
+    Relation::with_tuples(scheme, tuples).expect("keys distinct by construction")
+}
+
+/// Generates a relation on [`tt_scheme`] whose `AT` values point at random
+/// chronons within the era (for dynamic TIME-SLICE / TIME-JOIN).
+pub fn gen_tt_relation(spec: &WorkloadSpec) -> Relation {
+    let scheme = tt_scheme(spec.era);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0077_AE11);
+    let mut tuples = Vec::with_capacity(spec.tuples);
+    for e in 0..spec.tuples {
+        let life = gen_lifespan(&mut rng, spec.era, spec.fragments);
+        if life.is_empty() {
+            continue;
+        }
+        // AT: per lifespan run, point at a random chronon of the era.
+        let segments: Vec<(Interval, Value)> = life
+            .intervals()
+            .iter()
+            .map(|run| {
+                (
+                    *run,
+                    Value::time(rng.random_range(0..=spec.era)),
+                )
+            })
+            .collect();
+        let at = TemporalValue::from_segments(segments).expect("runs are disjoint");
+        let t = Tuple::builder(life)
+            .constant("E", e as i64)
+            .value("AT", at)
+            .finish(&scheme)
+            .expect("generated tuple is valid");
+        tuples.push(t);
+    }
+    Relation::with_tuples(scheme, tuples).expect("keys distinct by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(gen_relation(&spec), gen_relation(&spec));
+        assert_eq!(
+            gen_second_relation(&spec, 0.5),
+            gen_second_relation(&spec, 0.5)
+        );
+        assert_eq!(gen_tt_relation(&spec), gen_tt_relation(&spec));
+    }
+
+    #[test]
+    fn spec_controls_size() {
+        let small = gen_relation(&WorkloadSpec {
+            tuples: 10,
+            ..Default::default()
+        });
+        let big = gen_relation(&WorkloadSpec {
+            tuples: 100,
+            ..Default::default()
+        });
+        assert_eq!(small.len(), 10);
+        assert_eq!(big.len(), 100);
+    }
+
+    #[test]
+    fn changes_drive_segment_counts() {
+        let calm = gen_relation(&WorkloadSpec {
+            changes: 1,
+            ..Default::default()
+        });
+        let busy = gen_relation(&WorkloadSpec {
+            changes: 64,
+            ..Default::default()
+        });
+        assert!(busy.segment_cells() > calm.segment_cells());
+    }
+
+    #[test]
+    fn fragments_create_gaps() {
+        let frag = gen_relation(&WorkloadSpec {
+            fragments: 4,
+            ..Default::default()
+        });
+        assert!(frag
+            .iter()
+            .any(|t| t.lifespan().interval_count() > 1));
+    }
+
+    #[test]
+    fn generated_relations_validate() {
+        let r = gen_relation(&WorkloadSpec::default());
+        assert!(r.check_key_constraint().is_ok());
+        for t in r.iter() {
+            assert!(t.validate(r.scheme()).is_ok());
+        }
+        let tt = gen_tt_relation(&WorkloadSpec::default());
+        for t in tt.iter() {
+            assert!(t.validate(tt.scheme()).is_ok());
+        }
+    }
+
+    #[test]
+    fn overlap_parameter_shifts_lifespans() {
+        let spec = WorkloadSpec::default();
+        let near = gen_second_relation(&spec, 1.0);
+        let far = gen_second_relation(&spec, 0.0);
+        let near_start = near.lifespan().first().unwrap().tick();
+        let far_start = far.lifespan().first().unwrap().tick();
+        assert!(far_start > near_start);
+    }
+}

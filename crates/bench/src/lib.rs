@@ -1,0 +1,15 @@
+//! # hrdm-bench — workload generation for the HRDM experiments
+//!
+//! Deterministic, parameterized generators for the experiment matrix in
+//! `DESIGN.md` (E1–E12): historical relations with controllable size,
+//! change rate, lifespan fragmentation, and overlap. Every generator is
+//! seeded, so benches and EXPERIMENTS.md numbers are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+
+pub use gen::{
+    emp_scheme, gen_relation, gen_second_relation, gen_tt_relation, second_scheme, tt_scheme,
+    WorkloadSpec,
+};

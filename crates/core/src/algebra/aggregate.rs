@@ -1,0 +1,339 @@
+//! Time-varying aggregation — an *extension* beyond the 1987 paper.
+//!
+//! The paper's algebra has no aggregates; every successor of HRDM (HSQL,
+//! TSQL2) added them, and they fall out naturally here: since attribute
+//! values are functions of time, an aggregate over a relation is itself a
+//! **function of time** — `COUNT(emp)` is the time-varying head-count,
+//! `AVG(SALARY)` the time-varying average salary. The result is a
+//! [`TemporalValue`], so aggregates compose with the rest of the model.
+//!
+//! Everything is computed segment-wise over the *elementary intervals*
+//! induced by the operand's segment boundaries — never per chronon.
+
+use crate::attribute::Attribute;
+use crate::errors::{HrdmError, Result};
+use crate::relation::Relation;
+use crate::temporal::TemporalValue;
+use crate::value::Value;
+use hrdm_time::{Chronon, Interval};
+use std::fmt;
+
+/// An aggregate operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggregateOp {
+    /// Number of tuples bearing a value for the attribute (defined on the
+    /// whole relation lifespan; zero where nobody bears a value).
+    Count,
+    /// Sum of the defined values (numeric domains only).
+    Sum,
+    /// Minimum of the defined values.
+    Min,
+    /// Maximum of the defined values.
+    Max,
+    /// Arithmetic mean of the defined values (always a float).
+    Avg,
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggregateOp::Count => "COUNT",
+            AggregateOp::Sum => "SUM",
+            AggregateOp::Min => "MIN",
+            AggregateOp::Max => "MAX",
+            AggregateOp::Avg => "AVG",
+        })
+    }
+}
+
+/// Computes the time-varying aggregate of `attr` over `r`.
+///
+/// The result is defined:
+/// * for `Count` — on all of `LS(r)` (zero where no tuple bears a value),
+/// * otherwise — exactly where at least one tuple bears a value.
+pub fn aggregate_over_time(
+    r: &Relation,
+    attr: &Attribute,
+    op: AggregateOp,
+) -> Result<TemporalValue> {
+    let dom = r.scheme().dom(attr)?;
+    if matches!(op, AggregateOp::Sum | AggregateOp::Avg)
+        && !matches!(
+            dom.kind(),
+            crate::domain::ValueKind::Int | crate::domain::ValueKind::Float
+        )
+    {
+        return Err(HrdmError::IncomparableValues {
+            left: crate::domain::ValueKind::Float,
+            right: dom.kind(),
+        });
+    }
+
+    // Elementary intervals: between consecutive boundaries nothing changes.
+    // Boundaries: every segment start, and every position just after a
+    // segment end; plus the relation-lifespan run edges for Count.
+    let mut bounds: Vec<Chronon> = Vec::new();
+    for t in r.iter() {
+        if let Some(tv) = t.value(attr) {
+            for (iv, _) in tv.segments() {
+                bounds.push(iv.lo());
+                if let Some(after) = iv.hi().succ() {
+                    bounds.push(after);
+                }
+            }
+        }
+        if matches!(op, AggregateOp::Count) {
+            for run in t.lifespan().intervals() {
+                bounds.push(run.lo());
+                if let Some(after) = run.hi().succ() {
+                    bounds.push(after);
+                }
+            }
+        }
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let ls = r.lifespan();
+    let mut segments: Vec<(Interval, Value)> = Vec::new();
+    for (i, &lo) in bounds.iter().enumerate() {
+        let hi = match bounds.get(i + 1) {
+            Some(next) => next.saturating_pred(),
+            None => break, // last boundary starts nothing
+        };
+        let Some(cell) = Interval::new(lo, hi) else {
+            continue;
+        };
+        // Everything is constant on `cell`; evaluate at its start.
+        let values: Vec<&Value> = r.iter().filter_map(|t| t.at(attr, lo)).collect();
+        let out = match op {
+            AggregateOp::Count => Some(Value::Int(values.len() as i64)),
+            _ if values.is_empty() => None,
+            AggregateOp::Sum => Some(numeric_sum(&values)?),
+            AggregateOp::Avg => {
+                let sum = to_f64(&numeric_sum(&values)?);
+                Some(Value::float(sum / values.len() as f64)?)
+            }
+            AggregateOp::Min => {
+                let mut best = values[0];
+                for v in &values[1..] {
+                    if v.try_cmp(best)? == std::cmp::Ordering::Less {
+                        best = v;
+                    }
+                }
+                Some(best.clone())
+            }
+            AggregateOp::Max => {
+                let mut best = values[0];
+                for v in &values[1..] {
+                    if v.try_cmp(best)? == std::cmp::Ordering::Greater {
+                        best = v;
+                    }
+                }
+                Some(best.clone())
+            }
+        };
+        if let Some(v) = out {
+            // Count is clipped to LS(r); the others follow definedness.
+            if matches!(op, AggregateOp::Count) {
+                for run in ls.clamp(cell).intervals() {
+                    segments.push((*run, v.clone()));
+                }
+            } else {
+                segments.push((cell, v));
+            }
+        }
+    }
+    TemporalValue::from_segments(segments)
+}
+
+fn numeric_sum(values: &[&Value]) -> Result<Value> {
+    let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+    if all_int {
+        let mut acc = 0i64;
+        for v in values {
+            if let Value::Int(i) = v {
+                acc = acc.saturating_add(*i);
+            }
+        }
+        Ok(Value::Int(acc))
+    } else {
+        let mut acc = 0f64;
+        for v in values {
+            acc += to_f64(v);
+        }
+        Value::float(acc)
+    }
+}
+
+fn to_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => f.get(),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::scheme::Scheme;
+    use crate::tuple::Tuple;
+    use hrdm_time::Lifespan;
+
+    fn scheme() -> Scheme {
+        let era = Lifespan::interval(0, 100);
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, era.clone())
+            .attr("SALARY", HistoricalDomain::int(), era)
+            .build()
+            .unwrap()
+    }
+
+    fn emp(name: &str, history: &[(i64, i64, i64)]) -> Tuple {
+        let life = Lifespan::from_intervals(
+            history.iter().map(|&(lo, hi, _)| Interval::of(lo, hi)),
+        );
+        Tuple::builder(life)
+            .constant("NAME", name)
+            .value(
+                "SALARY",
+                TemporalValue::of(
+                    &history
+                        .iter()
+                        .map(|&(lo, hi, v)| (lo, hi, Value::Int(v)))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    fn rel() -> Relation {
+        Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("John", &[(0, 9, 10), (10, 19, 20)]),
+                emp("Mary", &[(5, 24, 30)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_is_the_time_varying_headcount() {
+        let count = aggregate_over_time(&rel(), &"SALARY".into(), AggregateOp::Count).unwrap();
+        assert_eq!(count.at(Chronon::new(2)), Some(&Value::Int(1)));
+        assert_eq!(count.at(Chronon::new(7)), Some(&Value::Int(2)));
+        assert_eq!(count.at(Chronon::new(22)), Some(&Value::Int(1)));
+        assert_eq!(count.at(Chronon::new(50)), None); // outside LS(r)
+        // Count is defined on all of LS(r).
+        assert_eq!(count.domain(), rel().lifespan());
+    }
+
+    #[test]
+    fn count_reports_zero_inside_ls_gaps_of_definedness() {
+        // A tuple alive but with an undefined salary stretch: count drops
+        // to 0 there, not undefined, because the tuple keeps LS(r) alive.
+        let scheme = scheme();
+        let t = Tuple::builder(Lifespan::interval(0, 20))
+            .constant("NAME", "Gap")
+            .value(
+                "SALARY",
+                TemporalValue::of(&[(0, 5, Value::Int(1)), (15, 20, Value::Int(2))]),
+            )
+            .finish(&scheme)
+            .unwrap();
+        let r = Relation::with_tuples(scheme, vec![t]).unwrap();
+        let count = aggregate_over_time(&r, &"SALARY".into(), AggregateOp::Count).unwrap();
+        assert_eq!(count.at(Chronon::new(10)), Some(&Value::Int(0)));
+        assert_eq!(count.at(Chronon::new(3)), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn sum_tracks_changes_of_both_operands() {
+        let sum = aggregate_over_time(&rel(), &"SALARY".into(), AggregateOp::Sum).unwrap();
+        assert_eq!(sum.at(Chronon::new(2)), Some(&Value::Int(10)));
+        assert_eq!(sum.at(Chronon::new(7)), Some(&Value::Int(40)));
+        assert_eq!(sum.at(Chronon::new(12)), Some(&Value::Int(50)));
+        assert_eq!(sum.at(Chronon::new(22)), Some(&Value::Int(30)));
+        // Sum is only defined where someone bears a value.
+        assert_eq!(sum.domain(), Lifespan::interval(0, 24));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let r = rel();
+        let min = aggregate_over_time(&r, &"SALARY".into(), AggregateOp::Min).unwrap();
+        let max = aggregate_over_time(&r, &"SALARY".into(), AggregateOp::Max).unwrap();
+        let avg = aggregate_over_time(&r, &"SALARY".into(), AggregateOp::Avg).unwrap();
+        assert_eq!(min.at(Chronon::new(7)), Some(&Value::Int(10)));
+        assert_eq!(max.at(Chronon::new(7)), Some(&Value::Int(30)));
+        assert_eq!(avg.at(Chronon::new(7)), Some(&Value::float(20.0).unwrap()));
+        assert_eq!(avg.at(Chronon::new(12)), Some(&Value::float(25.0).unwrap()));
+    }
+
+    #[test]
+    fn aggregate_matches_pointwise_model() {
+        // Cross-check every op against brute-force per-chronon evaluation.
+        let r = rel();
+        for op in [
+            AggregateOp::Count,
+            AggregateOp::Sum,
+            AggregateOp::Min,
+            AggregateOp::Max,
+        ] {
+            let agg = aggregate_over_time(&r, &"SALARY".into(), op).unwrap();
+            for s in 0..=30i64 {
+                let s = Chronon::new(s);
+                let alive: Vec<i64> = r
+                    .iter()
+                    .filter_map(|t| t.at(&"SALARY".into(), s))
+                    .map(|v| match v {
+                        Value::Int(i) => *i,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let want = match op {
+                    AggregateOp::Count => {
+                        if r.lifespan().contains(s) {
+                            Some(Value::Int(alive.len() as i64))
+                        } else {
+                            None
+                        }
+                    }
+                    _ if alive.is_empty() => None,
+                    AggregateOp::Sum => Some(Value::Int(alive.iter().sum())),
+                    AggregateOp::Min => alive.iter().min().map(|&v| Value::Int(v)),
+                    AggregateOp::Max => alive.iter().max().map(|&v| Value::Int(v)),
+                    AggregateOp::Avg => unreachable!(),
+                };
+                assert_eq!(agg.at(s).cloned(), want, "{op} at {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_rejects_non_numeric() {
+        let err = aggregate_over_time(&rel(), &"NAME".into(), AggregateOp::Sum).unwrap_err();
+        assert!(matches!(err, HrdmError::IncomparableValues { .. }));
+        // Min/Max on strings are fine (ordered domain).
+        assert!(aggregate_over_time(&rel(), &"NAME".into(), AggregateOp::Min).is_ok());
+    }
+
+    #[test]
+    fn empty_relation_aggregates_to_empty() {
+        let r = Relation::new(scheme());
+        for op in [AggregateOp::Count, AggregateOp::Sum, AggregateOp::Avg] {
+            assert!(aggregate_over_time(&r, &"SALARY".into(), op)
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        assert!(aggregate_over_time(&rel(), &"NOPE".into(), AggregateOp::Count).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! The object-based set operators `∪ₒ`, `∩ₒ`, `−ₒ` (paper §4.1).
+//!
+//! Fig. 11 of the paper shows that the plain tuple-set union of two
+//! historical relations is "counter-intuitive": the same real-world object
+//! can appear as two separate tuples, one per operand. The object-based
+//! operators instead *merge* the tuples of corresponding objects:
+//! merge-compatible schemes (same attributes, domains, **and key**), tuples
+//! *mergable* when they share a key value and nowhere contradict each other.
+
+use crate::errors::{HrdmError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+fn require_merge_compatible(r1: &Relation, r2: &Relation) -> Result<()> {
+    if r1.scheme().merge_compatible(r2.scheme()) {
+        Ok(())
+    } else {
+        Err(HrdmError::NotMergeCompatible)
+    }
+}
+
+/// Key-indexed view of a relation's tuples; tuples without a key value (or
+/// in keyless schemes) are unindexable and treated as matching nothing.
+fn key_index(r: &Relation) -> HashMap<Vec<Value>, &Tuple> {
+    let mut idx = HashMap::with_capacity(r.len());
+    for t in r.iter() {
+        if let Ok(k) = t.key_values(r.scheme()) {
+            idx.insert(k, t);
+        }
+    }
+    idx
+}
+
+/// `r1 ∪ₒ r2` — the object-based union (paper §4.1, the Fig. 11 `r1 + r2`):
+///
+/// * tuples of `r1` not matched in `r2` pass through,
+/// * tuples of `r2` not matched in `r1` pass through,
+/// * every mergable pair contributes its merge `t1 + t2`.
+///
+/// (The paper's text reads "t ∈ r2 and t is not matched in r2"; matching a
+/// relation against itself is vacuous, so we read it as the evident typo for
+/// `r1`.)
+pub fn union_o(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    require_merge_compatible(r1, r2)?;
+    let scheme = r1.scheme().combine_als(r2.scheme(), |a, b| a.union(b));
+    let idx2 = key_index(r2);
+    let idx1 = key_index(r1);
+    let mut out: Vec<Tuple> = Vec::with_capacity(r1.len() + r2.len());
+    for t1 in r1.iter() {
+        if let Some(t2) = find_mergable(t1, r2, &idx2) {
+            out.push(t1.merge(t2)?);
+        } else {
+            out.push(t1.clone());
+        }
+    }
+    for t2 in r2.iter() {
+        if find_mergable(t2, r1, &idx1).is_none() {
+            out.push(t2.clone());
+        }
+    }
+    Ok(Relation::from_parts_unchecked(scheme, out))
+}
+
+/// `r1 ∩ₒ r2` — the object-based intersection: for each mergable pair, a
+/// tuple over `t1.l ∩ t2.l` carrying the values the two agree on.
+///
+/// The paper's set-builder demands `t1.v(A)(s) = t2.v(A)(s) = t.v(A)(s)` for
+/// all `s ∈ t.l`; where attribute lifespans make one side undefined at some
+/// `s`, we take the function intersection (defined where **both** sides are
+/// defined and equal), which coincides with the paper's condition whenever
+/// values are total on the lifespan intersection. Pairs whose lifespan
+/// intersection is empty contribute nothing (an information-free tuple).
+pub fn intersection_o(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    require_merge_compatible(r1, r2)?;
+    let scheme = r1.scheme().combine_als(r2.scheme(), |a, b| a.intersect(b));
+    let idx2 = key_index(r2);
+    let mut out = Vec::new();
+    for t1 in r1.iter() {
+        let Some(t2) = find_mergable(t1, r2, &idx2) else {
+            continue;
+        };
+        let l = t1.lifespan().intersect(t2.lifespan());
+        if l.is_empty() {
+            continue;
+        }
+        // Mergable tuples agree wherever both are defined, so restricting
+        // the merge to the lifespan intersection is exactly the common part.
+        let merged = t1.merge(t2)?;
+        out.push(merged.restrict(&l));
+    }
+    Ok(Relation::from_parts_unchecked(scheme, out))
+}
+
+/// `r1 −ₒ r2` — the object-based difference:
+///
+/// * tuples of `r1` not matched in `r2` pass through,
+/// * for each mergable pair, `t1` survives on `t1.l − t2.l` with its values
+///   restricted (`t.v(A) = t1.v(A)|_{t.l}`).
+pub fn difference_o(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    require_merge_compatible(r1, r2)?;
+    let idx2 = key_index(r2);
+    let mut out = Vec::new();
+    for t1 in r1.iter() {
+        match find_mergable(t1, r2, &idx2) {
+            None => out.push(t1.clone()),
+            Some(t2) => {
+                let l = t1.lifespan().difference(t2.lifespan());
+                if !l.is_empty() {
+                    out.push(t1.restrict(&l));
+                }
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(r1.scheme().clone(), out))
+}
+
+/// Finds the tuple of `r` this tuple is mergable with, if any.
+///
+/// In a key-respecting relation at most one tuple can share the key, so the
+/// key index resolves the candidate in O(1); the full mergability test
+/// (value compatibility) then runs on that single candidate. Relations with
+/// empty keys fall back to a linear scan, matching the paper's definition
+/// ("there is *some* tuple t' in S").
+fn find_mergable<'a>(
+    t: &Tuple,
+    r: &'a Relation,
+    idx: &HashMap<Vec<Value>, &'a Tuple>,
+) -> Option<&'a Tuple> {
+    if r.scheme().key().is_empty() {
+        return r.iter().find(|cand| t.mergable(cand, r.scheme()));
+    }
+    let key = t.key_values(r.scheme()).ok()?;
+    let cand = idx.get(&key)?;
+    if t.mergable(cand, r.scheme()) {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::setops::union;
+    use crate::domain::ValueKind;
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use crate::HistoricalDomain;
+    use hrdm_time::{Chronon, Lifespan};
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("K", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("V", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn tup(k: &str, spans: &[(i64, i64)], v: i64) -> Tuple {
+        let s = scheme();
+        let life = Lifespan::of(spans);
+        Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(v)))
+            .finish(&s)
+            .unwrap()
+    }
+
+    fn rel(tuples: Vec<Tuple>) -> Relation {
+        Relation::with_tuples(scheme(), tuples).unwrap()
+    }
+
+    #[test]
+    fn figure_11_union_vs_object_union() {
+        // r1 knows object "a" on [0,5]; r2 knows "a" on [10,15].
+        let r1 = rel(vec![tup("a", &[(0, 5)], 1)]);
+        let r2 = rel(vec![tup("a", &[(10, 15)], 2)]);
+
+        // Plain union: two tuples for one object — counter-intuitive.
+        let plain = union(&r1, &r2).unwrap();
+        assert_eq!(plain.len(), 2);
+        assert!(plain.check_key_constraint().is_err());
+
+        // Object union: one merged tuple with the full history.
+        let merged = union_o(&r1, &r2).unwrap();
+        assert_eq!(merged.len(), 1);
+        assert!(merged.check_key_constraint().is_ok());
+        let t = &merged.tuples()[0];
+        assert_eq!(t.lifespan(), &Lifespan::of(&[(0, 5), (10, 15)]));
+        assert_eq!(t.at(&"V".into(), Chronon::new(3)), Some(&Value::Int(1)));
+        assert_eq!(t.at(&"V".into(), Chronon::new(12)), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn union_o_passes_unmatched_through() {
+        let r1 = rel(vec![tup("a", &[(0, 5)], 1), tup("b", &[(0, 5)], 9)]);
+        let r2 = rel(vec![tup("a", &[(10, 15)], 2), tup("c", &[(0, 5)], 7)]);
+        let u = union_o(&r1, &r2).unwrap();
+        assert_eq!(u.len(), 3); // a merged, b and c passed through
+        assert!(u.find_by_key(&[Value::str("b")]).is_some());
+        assert!(u.find_by_key(&[Value::str("c")]).is_some());
+    }
+
+    #[test]
+    fn union_o_keeps_contradicting_tuples_separate() {
+        // Same key, overlapping lifespans, different values: not mergable,
+        // so both pass through (and the result violates the key constraint,
+        // faithfully to the definition).
+        let r1 = rel(vec![tup("a", &[(0, 5)], 1)]);
+        let r2 = rel(vec![tup("a", &[(3, 8)], 2)]);
+        let u = union_o(&r1, &r2).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.check_key_constraint().is_err());
+    }
+
+    #[test]
+    fn intersection_o_keeps_agreed_overlap() {
+        let r1 = rel(vec![tup("a", &[(0, 10)], 1)]);
+        let r2 = rel(vec![tup("a", &[(5, 20)], 1)]);
+        let i = intersection_o(&r1, &r2).unwrap();
+        assert_eq!(i.len(), 1);
+        let t = &i.tuples()[0];
+        assert_eq!(t.lifespan(), &Lifespan::interval(5, 10));
+        assert_eq!(t.at(&"V".into(), Chronon::new(7)), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn intersection_o_drops_disjoint_and_unmatched() {
+        let r1 = rel(vec![tup("a", &[(0, 5)], 1), tup("b", &[(0, 5)], 2)]);
+        let r2 = rel(vec![tup("a", &[(10, 15)], 1)]); // disjoint lifespans
+        let i = intersection_o(&r1, &r2).unwrap();
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn difference_o_subtracts_lifespans() {
+        let r1 = rel(vec![tup("a", &[(0, 10)], 1)]);
+        let r2 = rel(vec![tup("a", &[(4, 6)], 1)]);
+        let d = difference_o(&r1, &r2).unwrap();
+        assert_eq!(d.len(), 1);
+        let t = &d.tuples()[0];
+        assert_eq!(t.lifespan(), &Lifespan::of(&[(0, 3), (7, 10)]));
+        // Values restricted to the surviving lifespan.
+        assert_eq!(t.at(&"V".into(), Chronon::new(5)), None);
+        assert_eq!(t.at(&"V".into(), Chronon::new(8)), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn difference_o_passes_unmatched_and_drops_consumed() {
+        let r1 = rel(vec![tup("a", &[(0, 10)], 1), tup("b", &[(0, 10)], 2)]);
+        let r2 = rel(vec![tup("a", &[(0, 10)], 1)]);
+        let d = difference_o(&r1, &r2).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.find_by_key(&[Value::str("b")]).is_some());
+    }
+
+    #[test]
+    fn merge_compatibility_required() {
+        let other = Scheme::builder()
+            .key_attr("K", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr(
+                "V",
+                HistoricalDomain::constant(ValueKind::Int),
+                Lifespan::interval(0, 100),
+            )
+            .build()
+            .unwrap();
+        let r1 = rel(vec![]);
+        let r2 = Relation::new(other);
+        assert_eq!(
+            union_o(&r1, &r2).unwrap_err(),
+            HrdmError::NotMergeCompatible
+        );
+        assert!(intersection_o(&r1, &r2).is_err());
+        assert!(difference_o(&r1, &r2).is_err());
+    }
+
+    #[test]
+    fn object_ops_reduce_to_plain_ops_on_disjoint_keys() {
+        // With no shared objects, ∪ₒ behaves like ∪ on tuple sets.
+        let r1 = rel(vec![tup("a", &[(0, 5)], 1)]);
+        let r2 = rel(vec![tup("b", &[(3, 8)], 2)]);
+        let uo = union_o(&r1, &r2).unwrap();
+        let u = union(&r1, &r2).unwrap();
+        assert_eq!(uo, u);
+        assert!(intersection_o(&r1, &r2).unwrap().is_empty());
+        assert_eq!(difference_o(&r1, &r2).unwrap(), r1);
+    }
+}

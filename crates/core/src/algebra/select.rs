@@ -1,0 +1,249 @@
+//! SELECT — the two "flavors" of historical selection (paper §4.3).
+//!
+//! Because tuples have lifespans, selection has a choice the classical
+//! operator never faced: select **whole objects** whose history satisfies
+//! the criterion somewhere/everywhere (SELECT-IF), or cut each object down
+//! to **exactly the times** the criterion holds (SELECT-WHEN).
+
+use crate::algebra::predicate::Predicate;
+use crate::errors::Result;
+use crate::relation::Relation;
+use hrdm_time::Lifespan;
+
+/// The bounded quantifier `Q` of SELECT-IF: `∃` or `∀` over `L ∩ t.l`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Quantifier {
+    /// `∃ s ∈ (L ∩ t.l)` — the criterion holds at some relevant time.
+    Exists,
+    /// `∀ s ∈ (L ∩ t.l)` — the criterion holds at every relevant time.
+    Forall,
+}
+
+impl std::fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Quantifier::Exists => "exists",
+            Quantifier::Forall => "forall",
+        })
+    }
+}
+
+/// `σ-IF(θ, Q, L)(r)` (paper §4.3):
+///
+/// ```text
+/// σ-IF(A θ a, Q, L)(r) = { t ∈ r | Q (s ∈ (L ∩ t.l)) [ t(A)(s) θ a ] }
+/// ```
+///
+/// Selected tuples are returned **whole** — "a complete object either is or
+/// is not selected", with its lifespan unchanged. Pass `None` for `L` to
+/// quantify over the entire lifespan (`L = T`, so `L ∩ t.l = t.l`).
+///
+/// Semantics at undefined points: the criterion *holds* at `s` only when all
+/// referenced attributes are defined at `s` and the comparison is true. Under
+/// `Forall` the quantification domain `L ∩ t.l` may be empty, in which case
+/// the condition is vacuously true — standard bounded-quantifier reading.
+pub fn select_if(
+    r: &Relation,
+    pred: &Predicate,
+    q: Quantifier,
+    l: Option<&Lifespan>,
+) -> Result<Relation> {
+    pred.typecheck(r.scheme())?;
+    let mut out = Vec::new();
+    for t in r.iter() {
+        let domain = match l {
+            Some(l) => l.intersect(t.lifespan()),
+            None => t.lifespan().clone(),
+        };
+        let truth = pred.when_true(t)?;
+        let selected = match q {
+            Quantifier::Exists => domain.intersects(&truth),
+            Quantifier::Forall => truth.contains_lifespan(&domain),
+        };
+        if selected {
+            out.push(t.clone());
+        }
+    }
+    Ok(Relation::from_parts_unchecked(r.scheme().clone(), out))
+}
+
+/// `σ-WHEN(θ)(r)` (paper §4.3): "if the selection criterion is met by a
+/// tuple t at some time in its lifespan, what is returned is a new tuple t'
+/// whose lifespan is exactly those points in time WHEN the criterion is met,
+/// and whose value is the same as t for those points."
+///
+/// A hybrid operator: it reduces the relation in both the value and the
+/// temporal dimension. Tuples whose criterion never holds vanish.
+pub fn select_when(r: &Relation, pred: &Predicate) -> Result<Relation> {
+    pred.typecheck(r.scheme())?;
+    let mut out = Vec::new();
+    for t in r.iter() {
+        let truth = pred.when_true(t)?;
+        if !truth.is_empty() {
+            out.push(t.restrict(&truth));
+        }
+    }
+    Ok(Relation::from_parts_unchecked(r.scheme().clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::predicate::{Comparator, Predicate};
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+    use hrdm_time::{Chronon, Lifespan};
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn emp(name: &str, history: &[(i64, i64, i64)]) -> Tuple {
+        let life = Lifespan::from_intervals(
+            history
+                .iter()
+                .map(|&(lo, hi, _)| hrdm_time::Interval::of(lo, hi)),
+        );
+        Tuple::builder(life)
+            .constant("NAME", name)
+            .value(
+                "SALARY",
+                TemporalValue::of(
+                    &history
+                        .iter()
+                        .map(|&(lo, hi, v)| (lo, hi, Value::Int(v)))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    fn emps() -> Relation {
+        Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("John", &[(0, 9, 25_000), (10, 19, 30_000)]),
+                emp("Mary", &[(0, 19, 30_000)]),
+                emp("Igor", &[(5, 14, 20_000)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_if_exists_keeps_whole_tuples() {
+        let r = emps();
+        let p = Predicate::eq_value("SALARY", 30_000i64);
+        let out = select_if(&r, &p, Quantifier::Exists, None).unwrap();
+        assert_eq!(out.len(), 2); // John (eventually) and Mary
+        // John's tuple is intact, lifespan unchanged.
+        let john = out.find_by_key(&[Value::str("John")]).unwrap();
+        assert_eq!(john.lifespan(), &Lifespan::interval(0, 19));
+        assert_eq!(
+            john.at(&"SALARY".into(), Chronon::new(3)),
+            Some(&Value::Int(25_000))
+        );
+    }
+
+    #[test]
+    fn select_if_forall_requires_whole_history() {
+        let r = emps();
+        let p = Predicate::eq_value("SALARY", 30_000i64);
+        let out = select_if(&r, &p, Quantifier::Forall, None).unwrap();
+        assert_eq!(out.len(), 1); // only Mary earned 30K throughout
+        assert!(out.find_by_key(&[Value::str("Mary")]).is_some());
+    }
+
+    #[test]
+    fn select_if_bounded_by_lifespan_parameter() {
+        let r = emps();
+        let p = Predicate::eq_value("SALARY", 30_000i64);
+        // Within [10,19] John also always earned 30K.
+        let window = Lifespan::interval(10, 19);
+        let out = select_if(&r, &p, Quantifier::Forall, Some(&window)).unwrap();
+        assert_eq!(out.len(), 2);
+        // Igor's lifespan ∩ window = [10,14], where he earned 20K → excluded.
+        assert!(out.find_by_key(&[Value::str("Igor")]).is_none());
+    }
+
+    #[test]
+    fn select_if_forall_vacuous_on_empty_domain() {
+        let r = emps();
+        let p = Predicate::eq_value("SALARY", 1i64);
+        // Window disjoint from everyone's lifespan: ∀ over ∅ is true.
+        let window = Lifespan::interval(50, 60);
+        let out = select_if(&r, &p, Quantifier::Forall, Some(&window)).unwrap();
+        assert_eq!(out.len(), 3);
+        // …while ∃ over ∅ is false.
+        let out = select_if(&r, &p, Quantifier::Exists, Some(&window)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_when_restricts_lifespans() {
+        // The paper's example: σ-WHEN(Name=John ∧ Salary=30K)(emp) yields one
+        // tuple whose new lifespan is just the times John earned 30K.
+        let r = emps();
+        let p = Predicate::eq_value("NAME", "John")
+            .and(Predicate::eq_value("SALARY", 30_000i64));
+        let out = select_when(&r, &p).unwrap();
+        assert_eq!(out.len(), 1);
+        let t = &out.tuples()[0];
+        assert_eq!(t.lifespan(), &Lifespan::interval(10, 19));
+        // Values restricted too.
+        assert_eq!(t.at(&"SALARY".into(), Chronon::new(5)), None);
+        assert_eq!(
+            t.at(&"SALARY".into(), Chronon::new(12)),
+            Some(&Value::Int(30_000))
+        );
+    }
+
+    #[test]
+    fn select_when_drops_never_satisfied() {
+        let r = emps();
+        let p = Predicate::eq_value("SALARY", 99i64);
+        assert!(select_when(&r, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_when_fragments_lifespans() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![emp(
+                "Yoyo",
+                &[(0, 4, 10), (5, 9, 20), (10, 14, 10)],
+            )],
+        )
+        .unwrap();
+        let p = Predicate::eq_value("SALARY", 10i64);
+        let out = select_when(&r, &p).unwrap();
+        assert_eq!(
+            out.tuples()[0].lifespan(),
+            &Lifespan::of(&[(0, 4), (10, 14)])
+        );
+    }
+
+    #[test]
+    fn select_typechecks() {
+        let r = emps();
+        let bad = Predicate::eq_value("SALARY", "text");
+        assert!(select_if(&r, &bad, Quantifier::Exists, None).is_err());
+        assert!(select_when(&r, &bad).is_err());
+    }
+
+    #[test]
+    fn select_if_gt_comparator() {
+        let r = emps();
+        let p = Predicate::attr_op_value("SALARY", Comparator::Gt, 24_000i64);
+        let out = select_if(&r, &p, Quantifier::Forall, None).unwrap();
+        assert_eq!(out.len(), 2); // John (25K then 30K) and Mary; not Igor
+    }
+}

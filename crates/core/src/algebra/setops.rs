@@ -1,0 +1,211 @@
+//! The standard set-theoretic operators `∪`, `∩`, `−` over historical
+//! relations (paper §4.1).
+//!
+//! "Historical relations, like regular relations, are sets of tuples;
+//! therefore the standard set-theoretic operations … can be defined over
+//! them." The paper then immediately shows (Fig. 11) that these operators
+//! produce counter-intuitive results for historical relations — a union can
+//! contain two tuples describing the same object — which motivates the
+//! object-based variants in [`crate::algebra::object_setops`]. Both families
+//! are provided; the plain ones below are the faithful baseline.
+
+use crate::errors::{HrdmError, Result};
+use crate::relation::Relation;
+use std::collections::HashSet;
+
+fn require_union_compatible(r1: &Relation, r2: &Relation) -> Result<()> {
+    if r1.scheme().union_compatible(r2.scheme()) {
+        Ok(())
+    } else {
+        Err(HrdmError::NotUnionCompatible)
+    }
+}
+
+/// `r1 ∪ r2` — tuple-set union of union-compatible relations. The result
+/// scheme is `<A1, K1, ALS1 ∪ ALS2, DOM1>` (paper §4.1, def. 1).
+///
+/// Note the result may violate the key constraint: the same object can
+/// contribute distinct tuples from each operand (paper Fig. 11's
+/// "counter-intuitive" union).
+pub fn union(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    require_union_compatible(r1, r2)?;
+    let scheme = r1
+        .scheme()
+        .combine_als(r2.scheme(), |a, b| a.union(b));
+    Ok(Relation::from_parts_unchecked(
+        scheme,
+        r1.iter().chain(r2.iter()).cloned(),
+    ))
+}
+
+/// `r1 ∩ r2` — tuples present (identically) in both operands. The result
+/// scheme is `<A1, K1, ALS1 ∩ ALS2, DOM1>` (paper §4.1, def. 2).
+pub fn intersection(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    require_union_compatible(r1, r2)?;
+    let scheme = r1
+        .scheme()
+        .combine_als(r2.scheme(), |a, b| a.intersect(b));
+    let theirs: HashSet<_> = r2.iter().collect();
+    Ok(Relation::from_parts_unchecked(
+        scheme,
+        r1.iter().filter(|t| theirs.contains(t)).cloned(),
+    ))
+}
+
+/// `r1 − r2` — tuples of `r1` not present (identically) in `r2`. The result
+/// keeps scheme `R1` (paper §4.1, def. 3).
+pub fn difference(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    require_union_compatible(r1, r2)?;
+    let theirs: HashSet<_> = r2.iter().collect();
+    Ok(Relation::from_parts_unchecked(
+        r1.scheme().clone(),
+        r1.iter().filter(|t| !theirs.contains(t)).cloned(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ValueKind;
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+    use crate::HistoricalDomain;
+    use hrdm_time::Lifespan;
+
+    fn scheme(als: (i64, i64)) -> Scheme {
+        Scheme::builder()
+            .key_attr("K", ValueKind::Str, Lifespan::interval(als.0, als.1))
+            .attr(
+                "V",
+                HistoricalDomain::int(),
+                Lifespan::interval(als.0, als.1),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn tup(s: &Scheme, k: &str, spans: &[(i64, i64)], v: i64) -> Tuple {
+        let life = Lifespan::of(spans);
+        Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(v)))
+            .finish(s)
+            .unwrap()
+    }
+
+    #[test]
+    fn union_merges_tuple_sets_and_als() {
+        let s1 = scheme((0, 10));
+        let s2 = scheme((20, 30));
+        let r1 = Relation::with_tuples(s1.clone(), vec![tup(&s1, "a", &[(0, 5)], 1)]).unwrap();
+        let r2 = Relation::with_tuples(s2.clone(), vec![tup(&s2, "b", &[(20, 25)], 2)]).unwrap();
+        let u = union(&r1, &r2).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(
+            u.scheme().als(&"K".into()).unwrap(),
+            &Lifespan::of(&[(0, 10), (20, 30)])
+        );
+    }
+
+    #[test]
+    fn union_dedupes_identical_tuples() {
+        let s = scheme((0, 10));
+        let t = tup(&s, "a", &[(0, 5)], 1);
+        let r1 = Relation::with_tuples(s.clone(), vec![t.clone()]).unwrap();
+        let r2 = Relation::with_tuples(s.clone(), vec![t]).unwrap();
+        assert_eq!(union(&r1, &r2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_can_violate_key_constraint_like_fig_11() {
+        // Same object "a" with different histories in the two operands: the
+        // plain union keeps both tuples — the paper's Fig. 11 situation.
+        let s = scheme((0, 30));
+        let r1 = Relation::with_tuples(s.clone(), vec![tup(&s, "a", &[(0, 5)], 1)]).unwrap();
+        let r2 = Relation::with_tuples(s.clone(), vec![tup(&s, "a", &[(10, 15)], 2)]).unwrap();
+        let u = union(&r1, &r2).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.check_key_constraint().is_err());
+    }
+
+    #[test]
+    fn intersection_requires_identical_tuples() {
+        let s = scheme((0, 30));
+        let shared = tup(&s, "a", &[(0, 5)], 1);
+        let r1 =
+            Relation::with_tuples(s.clone(), vec![shared.clone(), tup(&s, "b", &[(6, 9)], 2)])
+                .unwrap();
+        let r2 =
+            Relation::with_tuples(s.clone(), vec![shared.clone(), tup(&s, "c", &[(6, 9)], 3)])
+                .unwrap();
+        let i = intersection(&r1, &r2).unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains_tuple(&shared));
+    }
+
+    #[test]
+    fn intersection_intersects_als() {
+        let s1 = scheme((0, 20));
+        let s2 = scheme((10, 30));
+        let r1 = Relation::new(s1);
+        let r2 = Relation::new(s2);
+        let i = intersection(&r1, &r2).unwrap();
+        assert_eq!(
+            i.scheme().als(&"V".into()).unwrap(),
+            &Lifespan::interval(10, 20)
+        );
+    }
+
+    #[test]
+    fn difference_keeps_r1_scheme() {
+        let s = scheme((0, 30));
+        let shared = tup(&s, "a", &[(0, 5)], 1);
+        let only_mine = tup(&s, "b", &[(6, 9)], 2);
+        let r1 = Relation::with_tuples(s.clone(), vec![shared.clone(), only_mine.clone()])
+            .unwrap();
+        let r2 = Relation::with_tuples(s.clone(), vec![shared]).unwrap();
+        let d = difference(&r1, &r2).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains_tuple(&only_mine));
+        assert_eq!(d.scheme(), r1.scheme());
+    }
+
+    #[test]
+    fn incompatible_schemes_rejected() {
+        let a = scheme((0, 10));
+        let b = Scheme::builder()
+            .key_attr("K", ValueKind::Str, Lifespan::interval(0, 10))
+            .attr("W", HistoricalDomain::int(), Lifespan::interval(0, 10))
+            .build()
+            .unwrap();
+        let err = union(&Relation::new(a.clone()), &Relation::new(b.clone())).unwrap_err();
+        assert_eq!(err, HrdmError::NotUnionCompatible);
+        assert!(intersection(&Relation::new(a.clone()), &Relation::new(b.clone())).is_err());
+        assert!(difference(&Relation::new(a), &Relation::new(b)).is_err());
+    }
+
+    #[test]
+    fn set_identities() {
+        let s = scheme((0, 30));
+        let r = Relation::with_tuples(
+            s.clone(),
+            vec![tup(&s, "a", &[(0, 5)], 1), tup(&s, "b", &[(6, 9)], 2)],
+        )
+        .unwrap();
+        let empty = Relation::new(s.clone());
+        // r ∪ ∅ = r (tuple sets; scheme ALS unchanged since both equal here)
+        assert_eq!(union(&r, &empty).unwrap().tuples().len(), 2);
+        // r − r = ∅
+        assert!(difference(&r, &r).unwrap().is_empty());
+        // r ∩ r = r
+        assert_eq!(intersection(&r, &r).unwrap(), r);
+        // union commutes on tuple sets
+        let ab = union(&r, &empty).unwrap();
+        let ba = union(&empty, &r).unwrap();
+        let a_set: std::collections::HashSet<_> = ab.iter().collect();
+        let b_set: std::collections::HashSet<_> = ba.iter().collect();
+        assert_eq!(a_set, b_set);
+    }
+}

@@ -1,0 +1,185 @@
+//! TIME-SLICE — reduction along the temporal dimension (paper §4.4).
+//!
+//! The third unary operator, the one the classical algebra has no analog
+//! for: SELECT reduces along values, PROJECT along attributes, TIME-SLICE
+//! along time. It comes in a *static* form (the target lifespan is a
+//! parameter) and a *dynamic* form (the target lifespan is read, per tuple,
+//! from the image of a time-valued attribute).
+
+use crate::attribute::Attribute;
+use crate::errors::{HrdmError, Result};
+use crate::relation::Relation;
+use hrdm_time::Lifespan;
+
+/// Static TIME-SLICE `τ_L(r)` (paper §4.4): every tuple is restricted to
+/// `L ∩ t.l`, values included. Tuples left with an empty lifespan bear no
+/// information and are dropped.
+pub fn timeslice(r: &Relation, l: &Lifespan) -> Relation {
+    Relation::from_parts_unchecked(
+        r.scheme().clone(),
+        r.iter()
+            .map(|t| t.restrict(l))
+            .filter(|t| t.bears_information()),
+    )
+}
+
+/// Dynamic TIME-SLICE `τ@A(r)` (paper §4.4): `A` must be time-valued
+/// (`DOM(A) ⊆ TT`); each tuple is restricted to the **image** of its own
+/// `t(A)` — "the subset of the lifespan that is selected for each tuple is
+/// determined by the image of the value of a specified attribute for that
+/// tuple".
+///
+/// The paper's formula reads `t.l = L` for `L` the image; since it also
+/// requires `t = t'|_L` (whose lifespan is `t'.l ∩ L`), we take the
+/// restriction reading: the result lifespan is `t'.l ∩ image(t'(A))`.
+pub fn timeslice_dynamic(r: &Relation, attr: &Attribute) -> Result<Relation> {
+    let dom = r.scheme().dom(attr)?;
+    if !dom.is_time_valued() {
+        return Err(HrdmError::NotTimeValued(attr.clone()));
+    }
+    let mut out = Vec::new();
+    for t in r.iter() {
+        let image = match t.value(attr) {
+            Some(tv) => tv.image_lifespan()?,
+            None => Lifespan::empty(),
+        };
+        let sliced = t.restrict(&image);
+        if sliced.bears_information() {
+            out.push(sliced);
+        }
+    }
+    Ok(Relation::from_parts_unchecked(r.scheme().clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+    use hrdm_time::{Chronon, Lifespan};
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            // REVIEWED: at each time s, the time point at which the record
+            // was last reviewed — a time-valued attribute (DOM ⊆ TT).
+            .attr("REVIEWED", HistoricalDomain::time(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn emp(name: &str, span: (i64, i64), salary: i64, reviewed: &[(i64, i64, i64)]) -> Tuple {
+        let life = Lifespan::interval(span.0, span.1);
+        Tuple::builder(life.clone())
+            .constant("NAME", name)
+            .value("SALARY", TemporalValue::constant(&life, Value::Int(salary)))
+            .value(
+                "REVIEWED",
+                TemporalValue::of(
+                    &reviewed
+                        .iter()
+                        .map(|&(lo, hi, at)| (lo, hi, Value::time(at)))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    fn rel() -> Relation {
+        Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("John", (0, 20), 25_000, &[(0, 10, 5), (11, 20, 15)]),
+                emp("Mary", (10, 30), 30_000, &[(10, 30, 12)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn static_timeslice_restricts_everything() {
+        let r = rel();
+        let sliced = timeslice(&r, &Lifespan::interval(5, 12));
+        assert_eq!(sliced.len(), 2);
+        let john = sliced.find_by_key(&[Value::str("John")]).unwrap();
+        assert_eq!(john.lifespan(), &Lifespan::interval(5, 12));
+        assert_eq!(john.at(&"SALARY".into(), Chronon::new(3)), None);
+        assert_eq!(
+            john.at(&"SALARY".into(), Chronon::new(8)),
+            Some(&Value::Int(25_000))
+        );
+        let mary = sliced.find_by_key(&[Value::str("Mary")]).unwrap();
+        assert_eq!(mary.lifespan(), &Lifespan::interval(10, 12));
+    }
+
+    #[test]
+    fn static_timeslice_drops_dead_tuples() {
+        let r = rel();
+        let sliced = timeslice(&r, &Lifespan::interval(25, 30));
+        assert_eq!(sliced.len(), 1); // only Mary lives past 20
+    }
+
+    #[test]
+    fn static_timeslice_with_fragmented_lifespan() {
+        let r = rel();
+        let window = Lifespan::of(&[(0, 2), (18, 22)]);
+        let sliced = timeslice(&r, &window);
+        let john = sliced.find_by_key(&[Value::str("John")]).unwrap();
+        assert_eq!(john.lifespan(), &Lifespan::of(&[(0, 2), (18, 20)]));
+    }
+
+    #[test]
+    fn static_timeslice_empty_window_empties_relation() {
+        let r = rel();
+        assert!(timeslice(&r, &Lifespan::empty()).is_empty());
+    }
+
+    #[test]
+    fn dynamic_timeslice_uses_per_tuple_image() {
+        let r = rel();
+        let sliced = timeslice_dynamic(&r, &"REVIEWED".into()).unwrap();
+        // John's REVIEWED image = {5, 15}; t.l ∩ image = {5, 15}.
+        let john = sliced.find_by_key(&[Value::str("John")]).unwrap();
+        assert_eq!(john.lifespan(), &Lifespan::of(&[(5, 5), (15, 15)]));
+        // Mary's image = {12}, within her lifespan.
+        let mary = sliced.find_by_key(&[Value::str("Mary")]).unwrap();
+        assert_eq!(mary.lifespan(), &Lifespan::of(&[(12, 12)]));
+    }
+
+    #[test]
+    fn dynamic_timeslice_drops_tuples_with_image_outside_lifespan() {
+        // An employee whose review happened before their own lifespan:
+        // image ∩ t.l = ∅, so the tuple vanishes.
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![emp("Zoe", (50, 60), 10_000, &[(50, 60, 3)])],
+        )
+        .unwrap();
+        let sliced = timeslice_dynamic(&r, &"REVIEWED".into()).unwrap();
+        assert!(sliced.is_empty());
+    }
+
+    #[test]
+    fn dynamic_timeslice_requires_tt_domain() {
+        let r = rel();
+        let err = timeslice_dynamic(&r, &"SALARY".into()).unwrap_err();
+        assert_eq!(err, HrdmError::NotTimeValued(Attribute::new("SALARY")));
+        assert!(timeslice_dynamic(&r, &"NOPE".into()).is_err());
+    }
+
+    #[test]
+    fn timeslice_composes_with_itself() {
+        // τ_L1 ∘ τ_L2 = τ_{L1 ∩ L2}.
+        let r = rel();
+        let l1 = Lifespan::interval(5, 15);
+        let l2 = Lifespan::interval(10, 25);
+        let nested = timeslice(&timeslice(&r, &l1), &l2);
+        let direct = timeslice(&r, &l1.intersect(&l2));
+        assert_eq!(nested, direct);
+    }
+}

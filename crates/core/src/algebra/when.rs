@@ -1,0 +1,106 @@
+//! WHEN (Ω) — the operator into the lifespan sort (paper §4.5).
+//!
+//! The algebra is multi-sorted: every other operator maps relations to
+//! relations, but `Ω` maps a relation to a **lifespan**, "the set of times
+//! over which the relation is defined". Composed with SELECT it answers
+//! *when* a condition held; its result can feed TIME-SLICE, whose parameter
+//! is a lifespan.
+
+use crate::relation::Relation;
+use hrdm_time::Lifespan;
+
+/// `Ω(r) = LS(r)` — the lifespan of the relation (paper §4.5).
+pub fn when(r: &Relation) -> Lifespan {
+    r.lifespan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::select::select_when;
+    use crate::algebra::timeslice::timeslice;
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::predicate::Predicate;
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+    use hrdm_time::Lifespan;
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn emp(name: &str, history: &[(i64, i64, i64)]) -> Tuple {
+        let life = Lifespan::from_intervals(
+            history
+                .iter()
+                .map(|&(lo, hi, _)| hrdm_time::Interval::of(lo, hi)),
+        );
+        Tuple::builder(life)
+            .constant("NAME", name)
+            .value(
+                "SALARY",
+                TemporalValue::of(
+                    &history
+                        .iter()
+                        .map(|&(lo, hi, v)| (lo, hi, Value::Int(v)))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn when_is_relation_lifespan() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("John", &[(0, 9, 25_000)]),
+                emp("Mary", &[(20, 29, 30_000)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(when(&r), Lifespan::of(&[(0, 9), (20, 29)]));
+        assert_eq!(when(&Relation::new(scheme())), Lifespan::empty());
+    }
+
+    #[test]
+    fn when_of_select_when_answers_temporal_queries() {
+        // "When did anyone earn 30K?" = Ω(σ-WHEN(SALARY=30K)(emp)).
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("John", &[(0, 9, 25_000), (10, 19, 30_000)]),
+                emp("Mary", &[(5, 24, 30_000)]),
+            ],
+        )
+        .unwrap();
+        let q = Predicate::eq_value("SALARY", 30_000i64);
+        let answer = when(&select_when(&r, &q).unwrap());
+        assert_eq!(answer, Lifespan::interval(5, 24));
+    }
+
+    #[test]
+    fn when_feeds_timeslice() {
+        // The paper notes Ω's result "can serve as the parameter" of τ_L.
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("John", &[(0, 9, 25_000), (10, 19, 30_000)]),
+                emp("Mary", &[(5, 24, 30_000)]),
+            ],
+        )
+        .unwrap();
+        let q = Predicate::eq_value("SALARY", 30_000i64);
+        let span = when(&select_when(&r, &q).unwrap());
+        let sliced = timeslice(&r, &span);
+        // Everyone clipped to the era when someone earned 30K.
+        assert_eq!(sliced.lifespan(), Lifespan::interval(5, 24));
+    }
+}

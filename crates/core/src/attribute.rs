@@ -1,0 +1,98 @@
+//! Attribute names — elements of the universal set `U` of attributes.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute name, an element of the paper's universal attribute set `U`.
+///
+/// Backed by `Arc<str>` so the heavy cloning in algebra operators (every
+/// result scheme and tuple carries attribute names) costs a refcount bump,
+/// not an allocation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attribute(Arc<str>);
+
+impl Attribute {
+    /// Creates an attribute name.
+    pub fn new(name: impl AsRef<str>) -> Attribute {
+        Attribute(Arc::from(name.as_ref()))
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns a copy renamed with a prefix (`"emp.NAME"`), used to
+    /// disambiguate when operators require disjoint attribute sets.
+    pub fn prefixed(&self, prefix: &str) -> Attribute {
+        Attribute(Arc::from(format!("{prefix}.{}", self.0).as_str()))
+    }
+}
+
+impl fmt::Debug for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(s: &str) -> Attribute {
+        Attribute::new(s)
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(s: String) -> Attribute {
+        Attribute::new(s)
+    }
+}
+
+impl AsRef<str> for Attribute {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(Attribute::new("NAME"), Attribute::from("NAME"));
+        assert_ne!(Attribute::new("NAME"), Attribute::new("name"));
+    }
+
+    #[test]
+    fn cheap_clone_shares_storage() {
+        let a = Attribute::new("SALARY");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn prefixed_rename() {
+        let a = Attribute::new("NAME");
+        assert_eq!(a.prefixed("emp").name(), "emp.NAME");
+    }
+
+    #[test]
+    fn usable_in_hash_sets() {
+        let set: HashSet<Attribute> = ["A", "B", "A"].iter().map(Attribute::new).collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Attribute::new("B"), Attribute::new("A")];
+        v.sort();
+        assert_eq!(v[0].name(), "A");
+    }
+}

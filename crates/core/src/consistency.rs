@@ -1,0 +1,163 @@
+//! The "consistent extension" machinery of paper §5.
+//!
+//! "HRDM is a consistent extension of the traditional relational data model
+//! … each component C of the relational model has a corresponding component
+//! Cᴴ in the historical relational model with the property that the
+//! definitions of C and Cᴴ become equivalent in the absence of a temporal
+//! dimension." The paper sketches the reduction: "consider the set of times
+//! T as the singleton set {now}, the lifespan of each tuple as T and the
+//! values of all tuples as constant functions."
+//!
+//! This module provides the embedding ([`lift_snapshot`]) and the projection
+//! back ([`lower_snapshot`]); the equivalence itself — every HRDM operator
+//! degenerating to its classical counterpart — is machine-checked in the
+//! workspace integration tests against the classical implementation in
+//! `hrdm-baseline`.
+
+use crate::attribute::Attribute;
+use crate::errors::Result;
+use crate::relation::Relation;
+use crate::scheme::Scheme;
+use crate::temporal::TemporalValue;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use hrdm_time::{Chronon, Lifespan};
+use std::collections::BTreeMap;
+
+/// Embeds classical rows into HRDM with `T = {now}`: every tuple gets the
+/// singleton lifespan `{now}` and constant values at `now`.
+///
+/// Rows must provide a value for every scheme attribute (classical relations
+/// have no partiality); the scheme's ALS must contain `now`.
+pub fn lift_snapshot(
+    scheme: &Scheme,
+    rows: &[BTreeMap<Attribute, Value>],
+    now: Chronon,
+) -> Result<Relation> {
+    let life = Lifespan::point(now);
+    let mut tuples = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut b = Tuple::builder(life.clone());
+        for (attr, v) in row {
+            b = b.value(
+                attr.clone(),
+                TemporalValue::at_point(now, v.clone()),
+            );
+        }
+        tuples.push(b.finish(scheme)?);
+    }
+    Relation::with_tuples(scheme.clone(), tuples)
+}
+
+/// Projects an HRDM relation back to classical rows at `now` — the inverse
+/// of [`lift_snapshot`] on its image.
+pub fn lower_snapshot(r: &Relation, now: Chronon) -> Vec<BTreeMap<Attribute, Value>> {
+    r.snapshot_at(now)
+}
+
+/// Is the relation a pure snapshot at `now` — every tuple's lifespan exactly
+/// `{now}`? Relations in the image of [`lift_snapshot`] satisfy this, and
+/// every HRDM operator applied to such relations preserves it (the §5
+/// claim).
+pub fn is_snapshot_relation(r: &Relation, now: Chronon) -> bool {
+    let point = Lifespan::point(now);
+    r.iter().all(|t| t.lifespan() == &point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{
+        predicate::Predicate, select_if, select_when, timeslice, when, Quantifier,
+    };
+    use crate::domain::{HistoricalDomain, ValueKind};
+
+    const NOW: Chronon = Chronon::new(0);
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, Lifespan::point(NOW))
+            .attr("V", HistoricalDomain::int(), Lifespan::point(NOW))
+            .build()
+            .unwrap()
+    }
+
+    fn rows() -> Vec<BTreeMap<Attribute, Value>> {
+        vec![
+            BTreeMap::from([
+                (Attribute::new("K"), Value::Int(1)),
+                (Attribute::new("V"), Value::Int(10)),
+            ]),
+            BTreeMap::from([
+                (Attribute::new("K"), Value::Int(2)),
+                (Attribute::new("V"), Value::Int(20)),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn lift_lower_roundtrip() {
+        let r = lift_snapshot(&scheme(), &rows(), NOW).unwrap();
+        assert!(is_snapshot_relation(&r, NOW));
+        let mut lowered = lower_snapshot(&r, NOW);
+        let mut original = rows();
+        lowered.sort_by_key(|m| m.get(&Attribute::new("K")).cloned().map(|v| format!("{v}")));
+        original.sort_by_key(|m| m.get(&Attribute::new("K")).cloned().map(|v| format!("{v}")));
+        assert_eq!(lowered, original);
+    }
+
+    #[test]
+    fn select_if_and_select_when_coincide_on_snapshots() {
+        // Paper §5: "both SELECT-IF and SELECT-WHEN reduce to one another and
+        // to the traditional SELECT on a static relation r, when T = {now}".
+        let r = lift_snapshot(&scheme(), &rows(), NOW).unwrap();
+        let p = Predicate::eq_value("V", 10i64);
+        let via_if = select_if(&r, &p, Quantifier::Exists, None).unwrap();
+        let via_if_forall = select_if(&r, &p, Quantifier::Forall, None).unwrap();
+        let via_when = select_when(&r, &p).unwrap();
+        assert_eq!(via_if.len(), 1);
+        assert_eq!(via_if, via_if_forall);
+        assert_eq!(via_if, via_when);
+    }
+
+    #[test]
+    fn timeslice_at_now_is_identity_on_snapshots() {
+        // Paper §5: "TIME-SLICE can be viewed as the identity function
+        // defined only for time now".
+        let r = lift_snapshot(&scheme(), &rows(), NOW).unwrap();
+        assert_eq!(timeslice(&r, &Lifespan::point(NOW)), r);
+        assert!(timeslice(&r, &Lifespan::interval(5, 9)).is_empty());
+    }
+
+    #[test]
+    fn when_maps_to_now_or_empty() {
+        // Paper §5: "WHEN maps a relation either to now or to the empty set,
+        // corresponding to either 'always' or 'never'".
+        let r = lift_snapshot(&scheme(), &rows(), NOW).unwrap();
+        assert_eq!(when(&r), Lifespan::point(NOW));
+        assert_eq!(when(&Relation::new(scheme())), Lifespan::empty());
+    }
+
+    #[test]
+    fn operators_preserve_snapshot_shape() {
+        let r = lift_snapshot(&scheme(), &rows(), NOW).unwrap();
+        let p = Predicate::attr_op_value(
+            "V",
+            crate::algebra::predicate::Comparator::Gt,
+            5i64,
+        );
+        let s = select_when(&r, &p).unwrap();
+        assert!(is_snapshot_relation(&s, NOW));
+        let pr = crate::algebra::project(&r, &["K".into()]).unwrap();
+        assert!(is_snapshot_relation(&pr, NOW));
+    }
+
+    #[test]
+    fn lift_rejects_rows_that_violate_scheme() {
+        let bad_rows = vec![BTreeMap::from([
+            (Attribute::new("K"), Value::Int(1)),
+            (Attribute::new("V"), Value::str("oops")),
+        ])];
+        assert!(lift_snapshot(&scheme(), &bad_rows, NOW).is_err());
+    }
+}

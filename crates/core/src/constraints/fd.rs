@@ -1,0 +1,379 @@
+//! Temporal functional dependencies (paper §5).
+//!
+//! "The temporal dimension of historical relations can be used to extend the
+//! traditional notion of functional dependency … we can define dependencies
+//! that hold not only at each single point in time, but also that hold over
+//! all points in time. We can also define constraints over the way that
+//! values change over time (as in the familiar 'salary must never decrease'
+//! example)."
+//!
+//! Three checkers:
+//!
+//! * [`holds_pointwise`] — `X →ₚ Y`: at every single time `s`, the classical
+//!   FD holds in the snapshot at `s`.
+//! * [`holds_always`] — `X →ᵍ Y`: the *intensional* FD of [Clifford 83] /
+//!   the "dynamic" constraints of [Casanova 79]: whenever two tuples agree
+//!   on `X` at any pair of times, they agree on `Y` at those times.
+//! * [`never_decreases`] / [`never_increases`] — value-evolution constraints
+//!   per tuple.
+
+use crate::attribute::Attribute;
+use crate::errors::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use hrdm_time::Chronon;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A witness that a temporal FD fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdViolation {
+    /// Time (for the first tuple) at which the violation is witnessed.
+    pub at_left: Chronon,
+    /// Time (for the second tuple) at which the violation is witnessed.
+    pub at_right: Chronon,
+    /// The shared `X` value, rendered.
+    pub x_value: String,
+    /// The two conflicting `Y` values, rendered.
+    pub y_values: (String, String),
+}
+
+impl fmt::Display for FdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "X={} maps to {} (at {:?}) and {} (at {:?})",
+            self.x_value, self.y_values.0, self.at_left, self.y_values.1, self.at_right
+        )
+    }
+}
+
+fn values_at(t: &Tuple, attrs: &[Attribute], s: Chronon) -> Option<Vec<Value>> {
+    attrs
+        .iter()
+        .map(|a| t.at(a, s).cloned())
+        .collect::<Option<Vec<_>>>()
+}
+
+fn render(vs: &[Value]) -> String {
+    format!(
+        "({})",
+        vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+    )
+}
+
+/// Checks the pointwise temporal FD `X →ₚ Y`: for every time `s`, no two
+/// tuples that agree on `X` at `s` disagree on `Y` at `s`. This captures the
+/// "meaning of the traditional FD" carried to each snapshot (paper §5).
+///
+/// Returns the first violation found, or `None` if the FD holds.
+pub fn holds_pointwise(
+    r: &Relation,
+    x: &[Attribute],
+    y: &[Attribute],
+) -> Result<Option<FdViolation>> {
+    // Candidate times: segment boundaries suffice, since all values are
+    // piecewise constant — between boundaries nothing changes.
+    let mut times: Vec<Chronon> = Vec::new();
+    for t in r.iter() {
+        for attr in x.iter().chain(y.iter()) {
+            if let Some(tv) = t.value(attr) {
+                for (iv, _) in tv.segments() {
+                    times.push(iv.lo());
+                    times.push(iv.hi());
+                }
+            }
+        }
+    }
+    times.sort_unstable();
+    times.dedup();
+
+    for &s in &times {
+        let mut seen: HashMap<Vec<Value>, (Chronon, Vec<Value>)> = HashMap::new();
+        for t in r.iter() {
+            let (Some(xv), Some(yv)) = (values_at(t, x, s), values_at(t, y, s)) else {
+                continue;
+            };
+            match seen.get(&xv) {
+                Some((prev_s, prev_y)) if *prev_y != yv => {
+                    return Ok(Some(FdViolation {
+                        at_left: *prev_s,
+                        at_right: s,
+                        x_value: render(&xv),
+                        y_values: (render(prev_y), render(&yv)),
+                    }));
+                }
+                _ => {
+                    seen.insert(xv, (s, yv));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Checks the intensional FD `X →ᵍ Y` over *all* points in time: whenever
+/// `t1(X)(s1) = t2(X)(s2)` — at possibly different times, possibly within a
+/// single tuple — then `t1(Y)(s1) = t2(Y)(s2)` (paper §5's "dependencies …
+/// that hold over all points in time").
+///
+/// Candidate times are segment boundaries (values are piecewise constant).
+pub fn holds_always(
+    r: &Relation,
+    x: &[Attribute],
+    y: &[Attribute],
+) -> Result<Option<FdViolation>> {
+    let mut seen: HashMap<Vec<Value>, (Chronon, Vec<Value>)> = HashMap::new();
+    for t in r.iter() {
+        let mut times: Vec<Chronon> = Vec::new();
+        for attr in x.iter().chain(y.iter()) {
+            if let Some(tv) = t.value(attr) {
+                for (iv, _) in tv.segments() {
+                    times.push(iv.lo());
+                    times.push(iv.hi());
+                }
+            }
+        }
+        times.sort_unstable();
+        times.dedup();
+        for &s in &times {
+            let (Some(xv), Some(yv)) = (values_at(t, x, s), values_at(t, y, s)) else {
+                continue;
+            };
+            match seen.get(&xv) {
+                Some((prev_s, prev_y)) if *prev_y != yv => {
+                    return Ok(Some(FdViolation {
+                        at_left: *prev_s,
+                        at_right: s,
+                        x_value: render(&xv),
+                        y_values: (render(prev_y), render(&yv)),
+                    }));
+                }
+                _ => {
+                    seen.insert(xv, (s, yv));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The paper's "salary must never decrease" dynamic constraint: within each
+/// tuple, the value of `attr` never decreases as time advances (gaps are
+/// allowed; the constraint compares consecutive *defined* values).
+///
+/// Returns the key (rendered) of the first offending tuple.
+pub fn never_decreases(r: &Relation, attr: &Attribute) -> Result<Option<String>> {
+    monotone(r, attr, |prev, next| {
+        prev.try_cmp(next).map(|o| o != std::cmp::Ordering::Greater)
+    })
+}
+
+/// Dual of [`never_decreases`].
+pub fn never_increases(r: &Relation, attr: &Attribute) -> Result<Option<String>> {
+    monotone(r, attr, |prev, next| {
+        prev.try_cmp(next).map(|o| o != std::cmp::Ordering::Less)
+    })
+}
+
+fn monotone<F>(r: &Relation, attr: &Attribute, mut ok: F) -> Result<Option<String>>
+where
+    F: FnMut(&Value, &Value) -> Result<bool>,
+{
+    for t in r.iter() {
+        let Some(tv) = t.value(attr) else { continue };
+        for w in tv.segments().windows(2) {
+            if !ok(&w[0].1, &w[1].1)? {
+                let key = t
+                    .key_values(r.scheme())
+                    .map(|k| render(&k))
+                    .unwrap_or_else(|_| "(keyless)".to_string());
+                return Ok(Some(key));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use hrdm_time::Lifespan;
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("DEPT", HistoricalDomain::string(), Lifespan::interval(0, 100))
+            .attr("FLOOR", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn emp(
+        name: &str,
+        span: (i64, i64),
+        dept: &[(i64, i64, &str)],
+        floor: &[(i64, i64, i64)],
+        salary: &[(i64, i64, i64)],
+    ) -> Tuple {
+        Tuple::builder(Lifespan::interval(span.0, span.1))
+            .constant("NAME", name)
+            .value(
+                "DEPT",
+                TemporalValue::of(
+                    &dept.iter().map(|&(a, b, d)| (a, b, Value::str(d))).collect::<Vec<_>>(),
+                ),
+            )
+            .value(
+                "FLOOR",
+                TemporalValue::of(
+                    &floor.iter().map(|&(a, b, v)| (a, b, Value::Int(v))).collect::<Vec<_>>(),
+                ),
+            )
+            .value(
+                "SALARY",
+                TemporalValue::of(
+                    &salary.iter().map(|&(a, b, v)| (a, b, Value::Int(v))).collect::<Vec<_>>(),
+                ),
+            )
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn pointwise_fd_holds_when_snapshots_consistent() {
+        // DEPT -> FLOOR at every instant, even though the mapping changes
+        // over time (Toys moves from floor 1 to floor 2 for everyone).
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("A", (0, 20), &[(0, 20, "Toys")], &[(0, 9, 1), (10, 20, 2)], &[(0, 20, 5)]),
+                emp("B", (0, 20), &[(0, 20, "Toys")], &[(0, 9, 1), (10, 20, 2)], &[(0, 20, 6)]),
+            ],
+        )
+        .unwrap();
+        assert!(holds_pointwise(&r, &["DEPT".into()], &["FLOOR".into()])
+            .unwrap()
+            .is_none());
+        // …but the FD over all time fails: Toys maps to 1 and to 2.
+        assert!(holds_always(&r, &["DEPT".into()], &["FLOOR".into()])
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn pointwise_fd_detects_snapshot_conflict() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("A", (0, 10), &[(0, 10, "Toys")], &[(0, 10, 1)], &[(0, 10, 5)]),
+                emp("B", (0, 10), &[(0, 10, "Toys")], &[(0, 10, 2)], &[(0, 10, 6)]),
+            ],
+        )
+        .unwrap();
+        let v = holds_pointwise(&r, &["DEPT".into()], &["FLOOR".into()])
+            .unwrap()
+            .unwrap();
+        assert_eq!(v.x_value, "(Toys)");
+        assert_ne!(v.y_values.0, v.y_values.1);
+    }
+
+    #[test]
+    fn always_fd_holds_for_time_invariant_mapping() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("A", (0, 20), &[(0, 20, "Toys")], &[(0, 20, 1)], &[(0, 20, 5)]),
+                emp("B", (5, 25), &[(5, 25, "Toys")], &[(5, 25, 1)], &[(5, 25, 9)]),
+            ],
+        )
+        .unwrap();
+        assert!(holds_always(&r, &["DEPT".into()], &["FLOOR".into()])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn always_fd_catches_within_tuple_drift() {
+        // A single tuple whose DEPT stays "Toys" while FLOOR changes violates
+        // the over-all-time FD — with witnesses at two different times of the
+        // *same* tuple.
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![emp(
+                "A",
+                (0, 20),
+                &[(0, 20, "Toys")],
+                &[(0, 9, 1), (10, 20, 2)],
+                &[(0, 20, 5)],
+            )],
+        )
+        .unwrap();
+        assert!(holds_always(&r, &["DEPT".into()], &["FLOOR".into()])
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn never_decreases_accepts_monotone_salary() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![emp(
+                "A",
+                (0, 30),
+                &[(0, 30, "Toys")],
+                &[(0, 30, 1)],
+                &[(0, 9, 10), (10, 19, 15), (20, 30, 15)],
+            )],
+        )
+        .unwrap();
+        assert!(never_decreases(&r, &"SALARY".into()).unwrap().is_none());
+        // The same history violates never-increases.
+        assert_eq!(
+            never_increases(&r, &"SALARY".into()).unwrap(),
+            Some("(A)".to_string())
+        );
+    }
+
+    #[test]
+    fn never_decreases_names_the_offender() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![
+                emp("A", (0, 20), &[(0, 20, "T")], &[(0, 20, 1)], &[(0, 9, 10), (10, 20, 8)]),
+                emp("B", (0, 20), &[(0, 20, "T")], &[(0, 20, 1)], &[(0, 20, 10)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            never_decreases(&r, &"SALARY".into()).unwrap(),
+            Some("(A)".to_string())
+        );
+    }
+
+    #[test]
+    fn monotonicity_across_reincarnation_gap_still_applies() {
+        // Fired at 9, rehired at 20 with a lower salary: consecutive defined
+        // segments compare across the gap — the constraint catches it.
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![{
+                Tuple::builder(Lifespan::of(&[(0, 9), (20, 30)]))
+                    .constant("NAME", "A")
+                    .value(
+                        "SALARY",
+                        TemporalValue::of(&[(0, 9, Value::Int(10)), (20, 30, Value::Int(7))]),
+                    )
+                    .finish(&scheme())
+                    .unwrap()
+            }],
+        )
+        .unwrap();
+        assert!(never_decreases(&r, &"SALARY".into()).unwrap().is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! The key constraint of paper §3, as a standalone audit.
+
+use crate::errors::Result;
+use crate::relation::Relation;
+
+/// Checks the relation-definition constraint of paper §3: no two tuples may
+/// ever share a key value (`∀s ∈ t1.l, ∀s' ∈ t2.l : t1.v(K)(s) ≠
+/// t2.v(K)(s')`).
+///
+/// [`Relation::insert`] enforces this incrementally; this audit exists for
+/// relations assembled by the *plain* set operators, which — per the paper's
+/// own Fig. 11 — can emit key-violating results.
+pub fn check_key(r: &Relation) -> Result<()> {
+    r.check_key_constraint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ValueKind;
+    use crate::errors::HrdmError;
+    use crate::scheme::Scheme;
+    use crate::tuple::Tuple;
+    use crate::Relation;
+    use hrdm_time::Lifespan;
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, Lifespan::interval(0, 50))
+            .build()
+            .unwrap()
+    }
+
+    fn tup(k: i64, lo: i64, hi: i64) -> Tuple {
+        Tuple::builder(Lifespan::interval(lo, hi))
+            .constant("K", k)
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn detects_duplicate_keys_even_with_disjoint_lifespans() {
+        let r = Relation::from_parts_unchecked(scheme(), vec![tup(1, 0, 5), tup(1, 10, 15)]);
+        assert!(matches!(
+            check_key(&r).unwrap_err(),
+            HrdmError::KeyViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn passes_distinct_keys() {
+        let r = Relation::from_parts_unchecked(scheme(), vec![tup(1, 0, 5), tup(2, 0, 5)]);
+        assert!(check_key(&r).is_ok());
+    }
+}

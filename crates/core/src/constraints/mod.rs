@@ -1,0 +1,20 @@
+//! Temporal integrity constraints.
+//!
+//! The paper's §1 motivates temporal referential integrity ("a student can
+//! only take a course at time t if both the student and the course exist in
+//! the database at time t") and §5 sketches temporal extensions of
+//! functional dependencies — pointwise FDs, FDs over all of time, and
+//! dynamic constraints such as "salary must never decrease". This module
+//! implements all of them as checkers over historical relations.
+
+pub mod fd;
+pub mod key;
+pub mod normalize;
+pub mod referential;
+
+pub use fd::{holds_always, holds_pointwise, never_decreases, never_increases, FdViolation};
+pub use key::check_key;
+pub use normalize::{
+    bcnf_violations, candidate_keys, closure, decompose_bcnf, is_bcnf, is_superkey, Fd,
+};
+pub use referential::{check_referential, RiViolation, TemporalForeignKey};

@@ -1,0 +1,297 @@
+//! Temporal referential integrity (paper §1).
+//!
+//! "The historical model must … enforce referential integrity constraints
+//! with respect to the temporal dimension. For example, a student can only
+//! take a course at time t if both the student and the course exist in the
+//! database at time t."
+
+use crate::attribute::Attribute;
+use crate::errors::Result;
+use crate::relation::Relation;
+use crate::value::Value;
+use hrdm_time::Lifespan;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A temporal foreign key: `referencing` attributes of the child relation
+/// must, at every time they bear a value, name a parent tuple whose key
+/// equals that value **and whose lifespan covers that time**.
+#[derive(Clone, Debug)]
+pub struct TemporalForeignKey {
+    /// Attributes of the child relation, in parent-key order.
+    pub referencing: Vec<Attribute>,
+}
+
+impl TemporalForeignKey {
+    /// A foreign key over the given child attributes.
+    pub fn new<I, A>(referencing: I) -> TemporalForeignKey
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attribute>,
+    {
+        TemporalForeignKey {
+            referencing: referencing.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// One violation: at the reported times, the child tuple references a parent
+/// key that does not exist (at those times).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RiViolation {
+    /// The referencing (child) key value, rendered.
+    pub child_key: String,
+    /// The dangling referenced value, rendered.
+    pub referenced: String,
+    /// The times at which the reference dangles.
+    pub at: Lifespan,
+}
+
+impl fmt::Display for RiViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuple {} references {} which does not exist at {}",
+            self.child_key, self.referenced, self.at
+        )
+    }
+}
+
+/// Checks a temporal foreign key from `child` into `parent`.
+///
+/// For every child tuple and every time `s` at which all referencing
+/// attributes bear values, the referenced parent tuple (by key equality)
+/// must exist **at `s`** — existing at some other time is not enough, which
+/// is precisely what distinguishes temporal from classical referential
+/// integrity.
+///
+/// Returns all violations (empty = constraint satisfied).
+pub fn check_referential(
+    child: &Relation,
+    fk: &TemporalForeignKey,
+    parent: &Relation,
+) -> Result<Vec<RiViolation>> {
+    // Parent lookup: key value -> lifespan over which that object exists.
+    let mut parent_spans: HashMap<Vec<Value>, Lifespan> = HashMap::with_capacity(parent.len());
+    for t in parent.iter() {
+        let key = t.key_values(parent.scheme())?;
+        let entry = parent_spans.entry(key).or_insert_with(Lifespan::empty);
+        *entry = entry.union(t.lifespan());
+    }
+
+    let mut violations = Vec::new();
+    for t in child.iter() {
+        // The times at which the child actually references something: the
+        // intersection of the domains of all referencing attributes, piecewise
+        // per referenced value vector. We walk segment products lazily: for
+        // each chronon run where every referencing attribute is constant, we
+        // get one (value-vector, span) pair.
+        let mut spans: Vec<(Vec<Value>, Lifespan)> = vec![(Vec::new(), t.lifespan().clone())];
+        for attr in &fk.referencing {
+            let tv = match t.value(attr) {
+                Some(tv) => tv.clone(),
+                None => crate::temporal::TemporalValue::empty(),
+            };
+            let mut next = Vec::new();
+            for (prefix, span) in &spans {
+                for (iv, v) in tv.segments() {
+                    let piece = span.clamp(*iv);
+                    if !piece.is_empty() {
+                        let mut key = prefix.clone();
+                        key.push(v.clone());
+                        next.push((key, piece));
+                    }
+                }
+            }
+            spans = next;
+        }
+
+        let child_key = match t.key_values(child.scheme()) {
+            Ok(k) => format!(
+                "({})",
+                k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            Err(_) => "(keyless)".to_string(),
+        };
+        for (referenced, span) in spans {
+            let covered = parent_spans
+                .get(&referenced)
+                .cloned()
+                .unwrap_or_else(Lifespan::empty);
+            let dangling = span.difference(&covered);
+            if !dangling.is_empty() {
+                violations.push(RiViolation {
+                    child_key: child_key.clone(),
+                    referenced: format!(
+                        "({})",
+                        referenced
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    at: dangling,
+                });
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::scheme::Scheme;
+    use crate::temporal::TemporalValue;
+    use crate::tuple::Tuple;
+
+    fn course_scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("CODE", ValueKind::Str, Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn enrollment_scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("STUDENT", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("COURSE", HistoricalDomain::string(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn course(code: &str, lo: i64, hi: i64) -> Tuple {
+        Tuple::builder(Lifespan::interval(lo, hi))
+            .constant("CODE", code)
+            .finish(&course_scheme())
+            .unwrap()
+    }
+
+    fn enrollment(student: &str, takes: &[(i64, i64, &str)]) -> Tuple {
+        let life = Lifespan::from_intervals(
+            takes
+                .iter()
+                .map(|&(lo, hi, _)| hrdm_time::Interval::of(lo, hi)),
+        );
+        Tuple::builder(life)
+            .constant("STUDENT", student)
+            .value(
+                "COURSE",
+                TemporalValue::of(
+                    &takes
+                        .iter()
+                        .map(|&(lo, hi, c)| (lo, hi, Value::str(c)))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+            .finish(&enrollment_scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn satisfied_when_parent_covers_child() {
+        let courses = Relation::with_tuples(
+            course_scheme(),
+            vec![course("DB", 0, 50), course("AI", 0, 50)],
+        )
+        .unwrap();
+        let enrollments = Relation::with_tuples(
+            enrollment_scheme(),
+            vec![enrollment("Ann", &[(5, 10, "DB"), (11, 20, "AI")])],
+        )
+        .unwrap();
+        let fk = TemporalForeignKey::new(["COURSE"]);
+        assert!(check_referential(&enrollments, &fk, &courses)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn detects_reference_outside_parent_lifespan() {
+        // The paper's scenario: the student takes a course at a time the
+        // course does not exist.
+        let courses =
+            Relation::with_tuples(course_scheme(), vec![course("DB", 0, 8)]).unwrap();
+        let enrollments = Relation::with_tuples(
+            enrollment_scheme(),
+            vec![enrollment("Ann", &[(5, 12, "DB")])],
+        )
+        .unwrap();
+        let fk = TemporalForeignKey::new(["COURSE"]);
+        let violations = check_referential(&enrollments, &fk, &courses).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].at, Lifespan::interval(9, 12));
+        assert!(violations[0].to_string().contains("DB"));
+    }
+
+    #[test]
+    fn detects_wholly_dangling_reference() {
+        let courses = Relation::new(course_scheme());
+        let enrollments = Relation::with_tuples(
+            enrollment_scheme(),
+            vec![enrollment("Ann", &[(5, 12, "GHOST")])],
+        )
+        .unwrap();
+        let fk = TemporalForeignKey::new(["COURSE"]);
+        let violations = check_referential(&enrollments, &fk, &courses).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].at, Lifespan::interval(5, 12));
+    }
+
+    #[test]
+    fn reincarnated_parent_covers_matching_child_gaps() {
+        // Course taught on [0,10] and again on [20,30]; enrollment in both
+        // incarnations is fine, in the gap is not.
+        let courses = Relation::with_tuples(
+            course_scheme(),
+            vec![{
+                let life = Lifespan::of(&[(0, 10), (20, 30)]);
+                Tuple::builder(life)
+                    .constant("CODE", "DB")
+                    .finish(&course_scheme())
+                    .unwrap()
+            }],
+        )
+        .unwrap();
+        let ok = Relation::with_tuples(
+            enrollment_scheme(),
+            vec![enrollment("Ann", &[(5, 8, "DB"), (22, 25, "DB")])],
+        )
+        .unwrap();
+        let fk = TemporalForeignKey::new(["COURSE"]);
+        assert!(check_referential(&ok, &fk, &courses).unwrap().is_empty());
+
+        let bad = Relation::with_tuples(
+            enrollment_scheme(),
+            vec![enrollment("Bob", &[(12, 18, "DB")])],
+        )
+        .unwrap();
+        let violations = check_referential(&bad, &fk, &courses).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].at, Lifespan::interval(12, 18));
+    }
+
+    #[test]
+    fn child_with_undefined_reference_times_is_fine() {
+        // Child alive [0,20] but only references a course on [5,8]; the
+        // uncovered lifespan imposes no constraint.
+        let courses =
+            Relation::with_tuples(course_scheme(), vec![course("DB", 5, 8)]).unwrap();
+        let enrollments = Relation::with_tuples(
+            enrollment_scheme(),
+            vec![{
+                Tuple::builder(Lifespan::interval(0, 20))
+                    .constant("STUDENT", "Ann")
+                    .value("COURSE", TemporalValue::of(&[(5, 8, Value::str("DB"))]))
+                    .finish(&enrollment_scheme())
+                    .unwrap()
+            }],
+        )
+        .unwrap();
+        let fk = TemporalForeignKey::new(["COURSE"]);
+        assert!(check_referential(&enrollments, &fk, &courses)
+            .unwrap()
+            .is_empty());
+    }
+}

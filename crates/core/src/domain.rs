@@ -1,0 +1,205 @@
+//! Historical domains: the paper's `HD = TD ∪ TT` and the constant subdomain
+//! `CD`.
+
+use crate::value::Value;
+use std::fmt;
+
+/// The family of a value domain `D_i` (or `T` itself, for time-valued data).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ValueKind {
+    /// Integers.
+    Int,
+    /// Non-NaN floats.
+    Float,
+    /// Strings.
+    Str,
+    /// Booleans.
+    Bool,
+    /// Time points — this is the paper's `TT`: partial functions from `T`
+    /// into `T` itself.
+    Time,
+}
+
+impl ValueKind {
+    /// Can values of kind `other` be compared with values of this kind by a
+    /// θ predicate? (Same kind, plus Int/Float interoperate.)
+    pub fn comparable_with(self, other: ValueKind) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (ValueKind::Int, ValueKind::Float) | (ValueKind::Float, ValueKind::Int)
+            )
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "string",
+            ValueKind::Bool => "bool",
+            ValueKind::Time => "time",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A historical domain: one element of `HD = TD ∪ TT` (paper §3), i.e. the
+/// set of partial functions from `T` into one value domain, optionally
+/// restricted to the constant-valued subdomain `CD`.
+///
+/// * `kind` selects the underlying value domain `D_i` (the paper's
+///   *value-domain* `VD(A)`), with [`ValueKind::Time`] selecting `TT`.
+/// * `constant` restricts to `CD`, "those functions having a constant image"
+///   — mandatory for key attributes (scheme restriction (a)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HistoricalDomain {
+    kind: ValueKind,
+    constant: bool,
+}
+
+impl HistoricalDomain {
+    /// The domain of partial functions `T → D_kind` (an element of `TD`, or
+    /// `TT` when `kind` is [`ValueKind::Time`]).
+    pub const fn new(kind: ValueKind) -> HistoricalDomain {
+        HistoricalDomain {
+            kind,
+            constant: false,
+        }
+    }
+
+    /// The constant-valued restriction (an element of `CD`).
+    pub const fn constant(kind: ValueKind) -> HistoricalDomain {
+        HistoricalDomain {
+            kind,
+            constant: true,
+        }
+    }
+
+    /// Shorthand: time-varying integers.
+    pub const fn int() -> HistoricalDomain {
+        HistoricalDomain::new(ValueKind::Int)
+    }
+
+    /// Shorthand: time-varying floats.
+    pub const fn float() -> HistoricalDomain {
+        HistoricalDomain::new(ValueKind::Float)
+    }
+
+    /// Shorthand: time-varying strings.
+    pub const fn string() -> HistoricalDomain {
+        HistoricalDomain::new(ValueKind::Str)
+    }
+
+    /// Shorthand: time-varying booleans.
+    pub const fn boolean() -> HistoricalDomain {
+        HistoricalDomain::new(ValueKind::Bool)
+    }
+
+    /// Shorthand: time-valued attributes (`DOM(A) ⊆ TT`).
+    pub const fn time() -> HistoricalDomain {
+        HistoricalDomain::new(ValueKind::Time)
+    }
+
+    /// The underlying value-domain family (`VD(A)`).
+    pub const fn kind(&self) -> ValueKind {
+        self.kind
+    }
+
+    /// Is this domain restricted to constant functions (`CD`)?
+    pub const fn is_constant(&self) -> bool {
+        self.constant
+    }
+
+    /// Is this a `TT` domain (functions from `T` into `T`)?
+    pub const fn is_time_valued(&self) -> bool {
+        matches!(self.kind, ValueKind::Time)
+    }
+
+    /// Returns the same domain with the `CD` restriction applied.
+    pub const fn as_constant(&self) -> HistoricalDomain {
+        HistoricalDomain {
+            kind: self.kind,
+            constant: true,
+        }
+    }
+
+    /// Does `v` inhabit the underlying value domain?
+    pub fn admits(&self, v: &Value) -> bool {
+        v.kind() == self.kind
+    }
+
+    /// Union-compatibility in the paper compares `DOM` functions for
+    /// equality; two historical domains agree when both kind and constancy
+    /// match. Exposed for readability at call sites.
+    pub fn same_as(&self, other: &HistoricalDomain) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for HistoricalDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constant {
+            write!(f, "CD<{}>", self.kind)
+        } else if self.is_time_valued() {
+            write!(f, "TT")
+        } else {
+            write!(f, "TD<{}>", self.kind)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_restriction() {
+        let d = HistoricalDomain::int();
+        assert!(!d.is_constant());
+        assert!(d.as_constant().is_constant());
+        assert_eq!(d.as_constant().kind(), ValueKind::Int);
+        assert_eq!(HistoricalDomain::constant(ValueKind::Str).kind(), ValueKind::Str);
+    }
+
+    #[test]
+    fn time_valued_detection() {
+        assert!(HistoricalDomain::time().is_time_valued());
+        assert!(!HistoricalDomain::int().is_time_valued());
+    }
+
+    #[test]
+    fn admits_checks_kind() {
+        let d = HistoricalDomain::string();
+        assert!(d.admits(&Value::str("x")));
+        assert!(!d.admits(&Value::Int(1)));
+        assert!(HistoricalDomain::time().admits(&Value::time(4)));
+    }
+
+    #[test]
+    fn comparability() {
+        assert!(ValueKind::Int.comparable_with(ValueKind::Float));
+        assert!(ValueKind::Float.comparable_with(ValueKind::Int));
+        assert!(ValueKind::Str.comparable_with(ValueKind::Str));
+        assert!(!ValueKind::Str.comparable_with(ValueKind::Int));
+        assert!(!ValueKind::Time.comparable_with(ValueKind::Int));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HistoricalDomain::int().to_string(), "TD<int>");
+        assert_eq!(HistoricalDomain::time().to_string(), "TT");
+        assert_eq!(
+            HistoricalDomain::constant(ValueKind::Str).to_string(),
+            "CD<string>"
+        );
+    }
+
+    #[test]
+    fn domain_equality_is_union_compatibility_test() {
+        assert!(HistoricalDomain::int().same_as(&HistoricalDomain::int()));
+        assert!(!HistoricalDomain::int().same_as(&HistoricalDomain::int().as_constant()));
+        assert!(!HistoricalDomain::int().same_as(&HistoricalDomain::float()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Error types for the HRDM model and algebra.
+
+use crate::attribute::Attribute;
+use std::fmt;
+
+/// Everything that can go wrong constructing or operating on historical
+/// relations.
+///
+/// The library never panics on malformed user input; every fallible public
+/// entry point returns `Result<_, HrdmError>`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HrdmError {
+    /// A scheme was declared with no attributes.
+    EmptyScheme,
+    /// The same attribute name appears twice in one scheme.
+    DuplicateAttribute(Attribute),
+    /// A declared key attribute is not part of the scheme.
+    KeyNotInScheme(Attribute),
+    /// A scheme declared no key attributes.
+    EmptyKey,
+    /// A key attribute's lifespan differs from the scheme lifespan (the §2
+    /// covenant "the lifespan of the key attributes must be the same as the
+    /// lifespan of the entire relation schema").
+    KeyLifespanCovenant(Attribute),
+    /// Key attributes must draw from the constant subdomain `CD` (paper §3,
+    /// scheme restriction (a)).
+    KeyNotConstant(Attribute),
+    /// An operation referenced an attribute the scheme does not contain.
+    UnknownAttribute(Attribute),
+    /// A value's kind does not match the attribute's declared value domain.
+    DomainMismatch {
+        /// Attribute whose domain was violated.
+        attribute: Attribute,
+        /// Domain the scheme declares.
+        expected: crate::domain::ValueKind,
+        /// Kind of the offending value.
+        found: crate::domain::ValueKind,
+    },
+    /// A temporal value strayed outside `vls(t, A, R) = t.l ∩ ALS(A, R)`.
+    ValueOutsideLifespan {
+        /// Attribute whose value was out of bounds.
+        attribute: Attribute,
+    },
+    /// A constant-domain attribute was given a non-constant function.
+    NotConstant(Attribute),
+    /// Two values of incomparable kinds were compared by a θ predicate.
+    IncomparableValues {
+        /// Kind of the left operand.
+        left: crate::domain::ValueKind,
+        /// Kind of the right operand.
+        right: crate::domain::ValueKind,
+    },
+    /// Two tuples with the same key value were inserted into one relation
+    /// (violates the relation definition of paper §3).
+    KeyViolation {
+        /// Rendering of the duplicated key value.
+        key: String,
+    },
+    /// A tuple presented for insertion has no defined key value anywhere in
+    /// its lifespan.
+    MissingKeyValue(Attribute),
+    /// Operand schemes are not union-compatible (`A1 = A2 ∧ DOM1 = DOM2`).
+    NotUnionCompatible,
+    /// Operand schemes are not merge-compatible (union-compatible + same key).
+    NotMergeCompatible,
+    /// Operands of a product/θ-join must have disjoint attribute sets.
+    AttributesNotDisjoint(Attribute),
+    /// A dynamic TIME-SLICE or TIME-JOIN was applied at an attribute whose
+    /// domain is not time-valued (`DOM(A) ⊄ TT`, paper §4.4).
+    NotTimeValued(Attribute),
+    /// Common attributes of a natural join disagree on their domains.
+    CommonAttributeDomainMismatch(Attribute),
+    /// A float value was constructed from a NaN.
+    NanFloat,
+    /// Two temporal functions being merged contradict each other at a time
+    /// both are defined (mergability condition 3, paper §4.1).
+    ContradictoryValues {
+        /// Attribute where the contradiction occurred.
+        attribute: Attribute,
+    },
+    /// Two segments of one temporal function overlap with different values —
+    /// the pairs would not describe a (partial) *function* `T → D`.
+    ConflictingSegments,
+    /// A tuple is missing a value entry for a scheme attribute.
+    ///
+    /// An *empty* function is legal (the attribute is simply never defined for
+    /// that object); an absent entry usually indicates builder misuse, so it
+    /// is reported distinctly.
+    MissingAttributeValue(Attribute),
+}
+
+impl fmt::Display for HrdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HrdmError::EmptyScheme => write!(f, "relation scheme has no attributes"),
+            HrdmError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute `{a}` in scheme")
+            }
+            HrdmError::KeyNotInScheme(a) => {
+                write!(f, "key attribute `{a}` is not in the scheme")
+            }
+            HrdmError::EmptyKey => write!(f, "relation scheme declares no key"),
+            HrdmError::KeyLifespanCovenant(a) => write!(
+                f,
+                "key attribute `{a}` must span the whole scheme lifespan"
+            ),
+            HrdmError::KeyNotConstant(a) => write!(
+                f,
+                "key attribute `{a}` must be constant-valued (DOM(K) ⊆ CD)"
+            ),
+            HrdmError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            HrdmError::DomainMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "attribute `{attribute}` expects {expected} values, found {found}"
+            ),
+            HrdmError::ValueOutsideLifespan { attribute } => write!(
+                f,
+                "value of `{attribute}` is defined outside t.l ∩ ALS({attribute})"
+            ),
+            HrdmError::NotConstant(a) => write!(
+                f,
+                "attribute `{a}` requires a constant-valued function"
+            ),
+            HrdmError::IncomparableValues { left, right } => {
+                write!(f, "cannot compare {left} with {right}")
+            }
+            HrdmError::KeyViolation { key } => {
+                write!(f, "key violation: key value {key} already present")
+            }
+            HrdmError::MissingKeyValue(a) => write!(
+                f,
+                "tuple has no defined value for key attribute `{a}`"
+            ),
+            HrdmError::NotUnionCompatible => {
+                write!(f, "operand schemes are not union-compatible")
+            }
+            HrdmError::NotMergeCompatible => {
+                write!(f, "operand schemes are not merge-compatible")
+            }
+            HrdmError::AttributesNotDisjoint(a) => write!(
+                f,
+                "operand schemes share attribute `{a}`; product/θ-join requires disjoint attributes"
+            ),
+            HrdmError::NotTimeValued(a) => write!(
+                f,
+                "attribute `{a}` is not time-valued (DOM(A) ⊄ TT)"
+            ),
+            HrdmError::CommonAttributeDomainMismatch(a) => write!(
+                f,
+                "common attribute `{a}` has different domains in the two schemes"
+            ),
+            HrdmError::NanFloat => write!(f, "NaN is not a valid HRDM float value"),
+            HrdmError::ContradictoryValues { attribute } => write!(
+                f,
+                "tuples contradict each other on `{attribute}` at a shared time"
+            ),
+            HrdmError::ConflictingSegments => write!(
+                f,
+                "overlapping segments with different values do not form a function"
+            ),
+            HrdmError::MissingAttributeValue(a) => {
+                write!(f, "tuple has no value entry for attribute `{a}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HrdmError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HrdmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::domain::ValueKind;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HrdmError::DomainMismatch {
+            attribute: Attribute::new("SALARY"),
+            expected: ValueKind::Int,
+            found: ValueKind::Str,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("SALARY"));
+        assert!(msg.contains("int"));
+        assert!(msg.contains("string"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(HrdmError::EmptyKey);
+        assert_eq!(e.to_string(), "relation scheme declares no key");
+    }
+}

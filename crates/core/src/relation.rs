@@ -1,0 +1,392 @@
+//! Historical relations: finite sets of tuples on a scheme, with the key
+//! constraint of paper §3.
+
+use crate::attribute::Attribute;
+use crate::errors::{HrdmError, Result};
+use crate::scheme::Scheme;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use hrdm_time::{Chronon, Lifespan};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A historical relation `r` on a scheme `R`: a finite set of tuples such
+/// that no two tuples ever share a key value — the paper's condition
+/// `∀ s ∈ t1.l, ∀ s' ∈ t2.l : t1.v(K)(s) ≠ t2.v(K)(s')` (§3). Because key
+/// attributes are constant-valued, the condition reduces to distinct constant
+/// key vectors.
+///
+/// [`Relation::insert`] enforces the key constraint (and scheme validity).
+/// Algebra operators use [`Relation::from_parts_unchecked`] because the paper
+/// itself produces key-violating relations from the *uncorrected* set
+/// operators — that is exactly the "counter-intuitive" union of Fig. 11 that
+/// motivates the object-based `∪ₒ`.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    scheme: Scheme,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation on `scheme`.
+    pub fn new(scheme: Scheme) -> Relation {
+        Relation {
+            scheme,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from tuples, validating each against the scheme and
+    /// enforcing the key constraint.
+    pub fn with_tuples<I>(scheme: Scheme, tuples: I) -> Result<Relation>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut r = Relation::new(scheme);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Assembles a relation from parts without key or scheme validation,
+    /// deduplicating exact duplicate tuples (relations are sets).
+    ///
+    /// This is the constructor algebra operators use; their outputs are
+    /// well-formed by construction except that — per the paper — results of
+    /// the plain set operators may violate the key constraint.
+    pub fn from_parts_unchecked<I>(scheme: Scheme, tuples: I) -> Relation
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut seen: HashSet<Tuple> = HashSet::new();
+        let mut out = Vec::new();
+        for t in tuples {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+        Relation {
+            scheme,
+            tuples: out,
+        }
+    }
+
+    /// The relation's scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterates the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple, validating it against the scheme and enforcing the
+    /// key constraint against the existing tuples.
+    ///
+    /// Relations with an empty (derived) key enforce only set semantics:
+    /// inserting an exact duplicate is a silent no-op.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        tuple.validate(&self.scheme)?;
+        if self.scheme.key().is_empty() {
+            if !self.tuples.contains(&tuple) {
+                self.tuples.push(tuple);
+            }
+            return Ok(());
+        }
+        let key = tuple.key_values(&self.scheme)?;
+        for existing in &self.tuples {
+            let existing_key = existing
+                .key_values(&self.scheme)
+                .expect("stored tuples have key values");
+            if existing_key == key {
+                return Err(HrdmError::KeyViolation {
+                    key: format!(
+                        "({})",
+                        key.iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// `LS(r)` — the lifespan of the relation: "just
+    /// `t1.l ∪ t2.l ∪ … ∪ tn.l`" (paper §3). This is also the result of the
+    /// WHEN operator Ω.
+    pub fn lifespan(&self) -> Lifespan {
+        self.tuples
+            .iter()
+            .fold(Lifespan::empty(), |acc, t| acc.union(t.lifespan()))
+    }
+
+    /// Finds the tuple with the given (constant) key value, if any.
+    pub fn find_by_key(&self, key: &[Value]) -> Option<&Tuple> {
+        self.tuples
+            .iter()
+            .find(|t| matches!(t.key_values(&self.scheme), Ok(k) if k == key))
+    }
+
+    /// Does the relation contain an identical tuple?
+    pub fn contains_tuple(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// The classical snapshot of the relation at time `s`: one row per tuple
+    /// alive at `s`, mapping each attribute defined at `s` to its value.
+    ///
+    /// This is the `T = {now}` reading of §5's consistency claim, usable at
+    /// any `s`.
+    pub fn snapshot_at(&self, s: Chronon) -> Vec<BTreeMap<Attribute, Value>> {
+        self.tuples
+            .iter()
+            .filter(|t| t.lifespan().contains(s))
+            .map(|t| {
+                t.values()
+                    .iter()
+                    .filter_map(|(a, tv)| tv.at(s).map(|v| (a.clone(), v.clone())))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Checks the key constraint over the whole relation, reporting the
+    /// first duplicated key value. Useful for auditing relations produced by
+    /// the unchecked set operators.
+    pub fn check_key_constraint(&self) -> Result<()> {
+        if self.scheme.key().is_empty() {
+            return Ok(());
+        }
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let key = t.key_values(&self.scheme)?;
+            if !seen.insert(key.clone()) {
+                return Err(HrdmError::KeyViolation {
+                    key: format!(
+                        "({})",
+                        key.iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of value segments across all tuples — the storage-cost
+    /// measure used by the granularity experiments (DESIGN.md E1/E8).
+    pub fn segment_cells(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| {
+                t.values()
+                    .values()
+                    .map(|tv| tv.segment_count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+impl PartialEq for Relation {
+    /// Set equality: same scheme, same set of tuples, order-insensitive.
+    fn eq(&self, other: &Relation) -> bool {
+        if self.scheme != other.scheme || self.tuples.len() != other.tuples.len() {
+            return false;
+        }
+        let mine: HashSet<&Tuple> = self.tuples.iter().collect();
+        other.tuples.iter().all(|t| mine.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scheme {}", self.scheme)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{HistoricalDomain, ValueKind};
+    use crate::temporal::TemporalValue;
+
+    fn ls(lo: i64, hi: i64) -> Lifespan {
+        Lifespan::interval(lo, hi)
+    }
+
+    fn emp_scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, ls(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), ls(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn emp(name: &str, spans: &[(i64, i64)], salary: i64) -> Tuple {
+        let life = Lifespan::of(spans);
+        Tuple::builder(life.clone())
+            .constant("NAME", name)
+            .value("SALARY", TemporalValue::constant(&life, Value::Int(salary)))
+            .finish(&emp_scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        r.insert(emp("Mary", &[(5, 20)], 30_000)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(r.find_by_key(&[Value::str("John")]).is_some());
+        assert!(r.find_by_key(&[Value::str("Nobody")]).is_none());
+    }
+
+    #[test]
+    fn key_constraint_rejects_duplicates() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        // Even with a disjoint lifespan: the paper's constraint quantifies
+        // over all pairs of times in the two lifespans.
+        let err = r.insert(emp("John", &[(20, 30)], 40_000)).unwrap_err();
+        assert!(matches!(err, HrdmError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn lifespan_is_union_of_tuple_lifespans() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        r.insert(emp("Mary", &[(20, 30)], 30_000)).unwrap();
+        assert_eq!(r.lifespan(), Lifespan::of(&[(1, 10), (20, 30)]));
+        assert_eq!(Relation::new(emp_scheme()).lifespan(), Lifespan::empty());
+    }
+
+    #[test]
+    fn snapshot_extracts_classical_rows() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        r.insert(emp("Mary", &[(5, 20)], 30_000)).unwrap();
+
+        let snap = r.snapshot_at(Chronon::new(7));
+        assert_eq!(snap.len(), 2);
+        let snap = r.snapshot_at(Chronon::new(15));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap[0].get(&Attribute::new("NAME")),
+            Some(&Value::str("Mary"))
+        );
+        assert!(r.snapshot_at(Chronon::new(50)).is_empty());
+    }
+
+    #[test]
+    fn from_parts_dedupes() {
+        let t = emp("John", &[(1, 10)], 25_000);
+        let r = Relation::from_parts_unchecked(emp_scheme(), vec![t.clone(), t.clone()]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn from_parts_allows_key_violations_but_audit_reports_them() {
+        let r = Relation::from_parts_unchecked(
+            emp_scheme(),
+            vec![
+                emp("John", &[(1, 10)], 25_000),
+                emp("John", &[(20, 30)], 40_000),
+            ],
+        );
+        assert_eq!(r.len(), 2);
+        assert!(matches!(
+            r.check_key_constraint().unwrap_err(),
+            HrdmError::KeyViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn keyless_relation_enforces_set_semantics() {
+        let scheme = emp_scheme()
+            .project(&[Attribute::new("SALARY")])
+            .unwrap();
+        let mut r = Relation::new(scheme.clone());
+        let t = Tuple::builder(ls(1, 5))
+            .value("SALARY", TemporalValue::of(&[(1, 5, Value::Int(1))]))
+            .finish(&scheme)
+            .unwrap();
+        r.insert(t.clone()).unwrap();
+        r.insert(t.clone()).unwrap(); // duplicate: silent no-op
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn set_equality_is_order_insensitive() {
+        let a = Relation::with_tuples(
+            emp_scheme(),
+            vec![emp("A", &[(1, 2)], 1), emp("B", &[(3, 4)], 2)],
+        )
+        .unwrap();
+        let b = Relation::with_tuples(
+            emp_scheme(),
+            vec![emp("B", &[(3, 4)], 2), emp("A", &[(1, 2)], 1)],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        let c = Relation::with_tuples(emp_scheme(), vec![emp("A", &[(1, 2)], 1)]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn segment_cells_counts_storage() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        // NAME constant (1 segment) + SALARY constant (1 segment).
+        assert_eq!(r.segment_cells(), 2);
+    }
+
+    #[test]
+    fn insert_validates_scheme() {
+        let mut r = Relation::new(emp_scheme());
+        let alien_scheme = Scheme::builder()
+            .key_attr("ID", ValueKind::Int, ls(0, 10))
+            .build()
+            .unwrap();
+        let t = Tuple::builder(ls(0, 5)).constant("ID", 7i64).finish(&alien_scheme).unwrap();
+        assert!(r.insert(t).is_err());
+    }
+
+    #[test]
+    fn display_renders_scheme_and_tuples() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("scheme"));
+        assert!(text.contains("John"));
+    }
+}

@@ -1,0 +1,611 @@
+//! Tuples: the paper's pairs `t = <v, l>` of a value mapping and a lifespan.
+
+use crate::attribute::Attribute;
+use crate::errors::{HrdmError, Result};
+use crate::scheme::Scheme;
+use crate::temporal::TemporalValue;
+use crate::value::Value;
+use hrdm_time::{Chronon, Lifespan};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A tuple on a scheme `R`: an ordered pair `t = <v, l>` where `t.l` is the
+/// tuple's lifespan and `t.v` maps each attribute `A ∈ R` to a partial
+/// function in `t.l ∩ ALS(A, R) → DOM(A)` (paper §3).
+///
+/// The tuple lifespan and the attribute lifespans are *orthogonal* (paper
+/// Fig. 7): "there is no value for an attribute in a tuple for any moment in
+/// time not in the intersection of the lifespans of the tuple and the
+/// attribute". That intersection is [`Tuple::vls`].
+///
+/// A `Tuple` does not carry its scheme; [`Tuple::validate`] (and the
+/// insertion paths of [`crate::relation::Relation`]) check a tuple against
+/// one.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tuple {
+    lifespan: Lifespan,
+    values: BTreeMap<Attribute, TemporalValue>,
+}
+
+impl Tuple {
+    /// Starts building a tuple with lifespan `l`.
+    pub fn builder(lifespan: Lifespan) -> TupleBuilder {
+        TupleBuilder {
+            lifespan,
+            values: Vec::new(),
+        }
+    }
+
+    /// Assembles a tuple from raw parts without scheme validation.
+    ///
+    /// Intended for algebra internals and tests; user-facing construction
+    /// goes through [`Tuple::builder`] + [`TupleBuilder::finish`].
+    pub fn from_parts(
+        lifespan: Lifespan,
+        values: BTreeMap<Attribute, TemporalValue>,
+    ) -> Tuple {
+        Tuple { lifespan, values }
+    }
+
+    /// `t.l` — the tuple's lifespan.
+    pub fn lifespan(&self) -> &Lifespan {
+        &self.lifespan
+    }
+
+    /// `t.v(A)` — the temporal value of attribute `A`, if the tuple carries
+    /// an entry for it. Validated tuples carry an entry (possibly the empty
+    /// function) for every scheme attribute.
+    pub fn value(&self, attr: &Attribute) -> Option<&TemporalValue> {
+        self.values.get(attr)
+    }
+
+    /// `t(A)(s)` — the value of attribute `A` at time `s`, or `None` where
+    /// undefined ("the attribute is not relevant at such times", §3).
+    pub fn at(&self, attr: &Attribute, s: Chronon) -> Option<&Value> {
+        self.values.get(attr).and_then(|tv| tv.at(s))
+    }
+
+    /// `vls(t, A, R) = t.l ∩ ALS(A, R)` — "the set of times over which the
+    /// value is defined" (paper §3).
+    pub fn vls(&self, scheme: &Scheme, attr: &Attribute) -> Result<Lifespan> {
+        Ok(self.lifespan.intersect(scheme.als(attr)?))
+    }
+
+    /// `vls(t, X, R)` for a set of attributes: the intersection of the
+    /// individual value lifespans (paper §3's extension of `vls` to sets).
+    pub fn vls_set(&self, scheme: &Scheme, attrs: &[Attribute]) -> Result<Lifespan> {
+        let mut acc = self.lifespan.clone();
+        for a in attrs {
+            acc = acc.intersect(scheme.als(a)?);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// The attributes for which this tuple carries entries.
+    pub fn attributes(&self) -> impl Iterator<Item = &Attribute> + '_ {
+        self.values.keys()
+    }
+
+    /// The underlying value map.
+    pub fn values(&self) -> &BTreeMap<Attribute, TemporalValue> {
+        &self.values
+    }
+
+    /// Validates the tuple against a scheme, enforcing the paper's
+    /// restrictions:
+    ///
+    /// * every entry names a scheme attribute,
+    /// * every value inhabits its attribute's value domain,
+    /// * every value's domain of definition lies within
+    ///   `vls(t, A, R) = t.l ∩ ALS(A, R)` (restriction (b)),
+    /// * constant-domain (`CD`) attributes carry constant functions.
+    pub fn validate(&self, scheme: &Scheme) -> Result<()> {
+        for (attr, tv) in &self.values {
+            let def = scheme
+                .attr(attr)
+                .ok_or_else(|| HrdmError::UnknownAttribute(attr.clone()))?;
+            for (_, v) in tv.segments() {
+                if !def.domain().admits(v) {
+                    return Err(HrdmError::DomainMismatch {
+                        attribute: attr.clone(),
+                        expected: def.domain().kind(),
+                        found: v.kind(),
+                    });
+                }
+            }
+            let vls = self.lifespan.intersect(def.lifespan());
+            if !vls.contains_lifespan(&tv.domain()) {
+                return Err(HrdmError::ValueOutsideLifespan {
+                    attribute: attr.clone(),
+                });
+            }
+            if def.domain().is_constant() && !tv.is_constant() {
+                return Err(HrdmError::NotConstant(attr.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The tuple's (constant) key value under `scheme`, as one atomic value
+    /// per key attribute in key order.
+    ///
+    /// Key attributes draw from `CD`, so the value is time-invariant; a key
+    /// attribute with an empty function has no key value, which is an error
+    /// for tuples entering a keyed relation.
+    pub fn key_values(&self, scheme: &Scheme) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(scheme.key().len());
+        for k in scheme.key() {
+            let tv = self
+                .values
+                .get(k)
+                .ok_or_else(|| HrdmError::MissingAttributeValue(k.clone()))?;
+            match tv.constant_value() {
+                Some(v) => out.push(v.clone()),
+                None if tv.is_empty() => {
+                    return Err(HrdmError::MissingKeyValue(k.clone()))
+                }
+                None => return Err(HrdmError::NotConstant(k.clone())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The restriction `t|_L`: lifespan clipped to `t.l ∩ L` and every value
+    /// restricted accordingly. This is the tuple-level engine of TIME-SLICE
+    /// and SELECT-WHEN.
+    pub fn restrict(&self, span: &Lifespan) -> Tuple {
+        let lifespan = self.lifespan.intersect(span);
+        let values = self
+            .values
+            .iter()
+            .map(|(a, tv)| (a.clone(), tv.restrict(&lifespan)))
+            .collect();
+        Tuple { lifespan, values }
+    }
+
+    /// Clips every value to its `vls(t, A, R)` under `scheme` — the
+    /// conforming view of a tuple after **schema evolution** shrank an
+    /// attribute lifespan: values outside the new ALS become invisible
+    /// rather than invalid (paper §2's reading of attribute lifespans).
+    pub fn clipped_to_scheme(&self, scheme: &Scheme) -> Tuple {
+        let values = self
+            .values
+            .iter()
+            .map(|(a, tv)| {
+                let clipped = match scheme.als(a) {
+                    Ok(als) => tv.restrict(&self.lifespan.intersect(als)),
+                    Err(_) => tv.clone(),
+                };
+                (a.clone(), clipped)
+            })
+            .collect();
+        Tuple {
+            lifespan: self.lifespan.clone(),
+            values,
+        }
+    }
+
+    /// Keeps only the entries for `attrs` (the tuple-level engine of
+    /// PROJECT). The tuple lifespan is unchanged — the paper's PROJECT "does
+    /// not change the values of any of the remaining attributes" (§4.2), and
+    /// the tuple still describes the same object over the same span.
+    pub fn project(&self, attrs: &[Attribute]) -> Tuple {
+        let values = attrs
+            .iter()
+            .filter_map(|a| self.values.get(a).map(|tv| (a.clone(), tv.clone())))
+            .collect();
+        Tuple {
+            lifespan: self.lifespan.clone(),
+            values,
+        }
+    }
+
+    /// Concatenates two tuples over disjoint attribute sets, with the given
+    /// result lifespan; each side's values are restricted to it. Engine of
+    /// product and the joins, which differ only in how `l` is computed.
+    pub(crate) fn concat_restricted(&self, other: &Tuple, lifespan: Lifespan) -> Tuple {
+        let mut values: BTreeMap<Attribute, TemporalValue> = BTreeMap::new();
+        for (a, tv) in self.values.iter().chain(other.values.iter()) {
+            values.insert(a.clone(), tv.restrict(&lifespan));
+        }
+        Tuple { lifespan, values }
+    }
+
+    /// Concatenates two tuples over disjoint attribute sets *without*
+    /// restricting values: the paper's Cartesian product keeps each value on
+    /// its own lifespan, leaving "null" (undefined) stretches inside the
+    /// union lifespan (§5 discussion).
+    pub(crate) fn concat_unrestricted(&self, other: &Tuple, lifespan: Lifespan) -> Tuple {
+        let mut values: BTreeMap<Attribute, TemporalValue> = BTreeMap::new();
+        for (a, tv) in self.values.iter().chain(other.values.iter()) {
+            values.insert(a.clone(), tv.clone());
+        }
+        Tuple { lifespan, values }
+    }
+
+    /// Mergability of two tuples on merge-compatible schemes (paper §4.1):
+    ///
+    /// 1. the schemes are merge-compatible (checked by the caller at the
+    ///    relation level),
+    /// 2. the tuples have the same key value,
+    /// 3. "they do not contradict one another at any point in time": wherever
+    ///    both tuples define a value for an attribute, the values agree (this
+    ///    is precisely the condition making `t1.v(A) ∪ t2.v(A)` a function).
+    pub fn mergable(&self, other: &Tuple, scheme: &Scheme) -> bool {
+        match (self.key_values(scheme), other.key_values(scheme)) {
+            (Ok(a), Ok(b)) if a == b => {}
+            _ => return false,
+        }
+        self.values.iter().all(|(attr, tv)| match other.values.get(attr) {
+            Some(otv) => tv.compatible_with(otv),
+            None => true,
+        })
+    }
+
+    /// The merge `t1 + t2` (paper §4.1): `(t1+t2).l = t1.l ∪ t2.l` and
+    /// `(t1+t2).v(A) = t1.v(A) ∪ t2.v(A)`.
+    pub fn merge(&self, other: &Tuple) -> Result<Tuple> {
+        let lifespan = self.lifespan.union(&other.lifespan);
+        let mut values: BTreeMap<Attribute, TemporalValue> = self.values.clone();
+        for (attr, tv) in &other.values {
+            match values.get_mut(attr) {
+                Some(mine) => {
+                    *mine = mine.try_union(tv).map_err(|_| {
+                        HrdmError::ContradictoryValues {
+                            attribute: attr.clone(),
+                        }
+                    })?;
+                }
+                None => {
+                    values.insert(attr.clone(), tv.clone());
+                }
+            }
+        }
+        Ok(Tuple { lifespan, values })
+    }
+
+    /// "Given a tuple t and a set of tuples S, t is *matched* in S if there
+    /// is some tuple t' in S such that t is mergable with t'" (paper §4.1).
+    pub fn matched_in<'a, I>(&self, tuples: I, scheme: &Scheme) -> bool
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        tuples.into_iter().any(|t| self.mergable(t, scheme))
+    }
+
+    /// Does the tuple carry any information at all (non-empty lifespan)?
+    pub fn bears_information(&self) -> bool {
+        !self.lifespan.is_empty()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<l={}", self.lifespan)?;
+        for (a, tv) in &self.values {
+            write!(f, ", {a}={tv}")?;
+        }
+        f.write_str(">")
+    }
+}
+
+/// Builder for validated tuples.
+pub struct TupleBuilder {
+    lifespan: Lifespan,
+    values: Vec<(Attribute, Pending)>,
+}
+
+enum Pending {
+    /// An explicit temporal function.
+    Explicit(TemporalValue),
+    /// A constant over the attribute's whole `vls(t, A, R)`, resolved when
+    /// the scheme is known.
+    ConstantOverVls(Value),
+}
+
+impl TupleBuilder {
+    /// Sets an explicit temporal function for `attr`.
+    pub fn value(mut self, attr: impl Into<Attribute>, tv: TemporalValue) -> TupleBuilder {
+        self.values.push((attr.into(), Pending::Explicit(tv)));
+        self
+    }
+
+    /// Sets `attr` to a constant over its entire value lifespan
+    /// `t.l ∩ ALS(A, R)` — the natural way to populate key attributes.
+    pub fn constant(mut self, attr: impl Into<Attribute>, v: impl Into<Value>) -> TupleBuilder {
+        self.values
+            .push((attr.into(), Pending::ConstantOverVls(v.into())));
+        self
+    }
+
+    /// Resolves pending values against `scheme`, fills missing attributes
+    /// with the empty function, and validates the result.
+    pub fn finish(self, scheme: &Scheme) -> Result<Tuple> {
+        let mut values: BTreeMap<Attribute, TemporalValue> = BTreeMap::new();
+        for (attr, pending) in self.values {
+            if values.contains_key(&attr) {
+                return Err(HrdmError::DuplicateAttribute(attr));
+            }
+            let tv = match pending {
+                Pending::Explicit(tv) => tv,
+                Pending::ConstantOverVls(v) => {
+                    let als = scheme.als(&attr)?;
+                    TemporalValue::constant(&self.lifespan.intersect(als), v)
+                }
+            };
+            values.insert(attr, tv);
+        }
+        for def in scheme.attrs() {
+            values
+                .entry(def.name().clone())
+                .or_insert_with(TemporalValue::empty);
+        }
+        let tuple = Tuple {
+            lifespan: self.lifespan,
+            values,
+        };
+        tuple.validate(scheme)?;
+        Ok(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{HistoricalDomain, ValueKind};
+
+    fn ls(lo: i64, hi: i64) -> Lifespan {
+        Lifespan::interval(lo, hi)
+    }
+
+    fn emp_scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, ls(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), ls(0, 100))
+            .attr("DEPT", HistoricalDomain::string(), Lifespan::of(&[(0, 49), (60, 100)]))
+            .build()
+            .unwrap()
+    }
+
+    fn john() -> Tuple {
+        Tuple::builder(Lifespan::of(&[(10, 30), (40, 70)]))
+            .constant("NAME", "John")
+            .value(
+                "SALARY",
+                TemporalValue::of(&[
+                    (10, 20, Value::Int(25_000)),
+                    (21, 30, Value::Int(30_000)),
+                    (40, 70, Value::Int(30_000)),
+                ]),
+            )
+            .value(
+                "DEPT",
+                TemporalValue::of(&[(10, 30, Value::str("Toys")), (40, 49, Value::str("Shoes"))]),
+            )
+            .finish(&emp_scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_fills_constant_over_vls() {
+        let t = john();
+        let name = t.value(&Attribute::new("NAME")).unwrap();
+        assert!(name.is_constant());
+        // NAME's vls = t.l ∩ ALS(NAME) = t.l
+        assert_eq!(name.domain(), Lifespan::of(&[(10, 30), (40, 70)]));
+    }
+
+    #[test]
+    fn vls_is_intersection_of_tuple_and_attribute_lifespans() {
+        // Paper Fig. 7: the value only exists on X ∩ Y.
+        let t = john();
+        let s = emp_scheme();
+        assert_eq!(
+            t.vls(&s, &Attribute::new("DEPT")).unwrap(),
+            Lifespan::of(&[(10, 30), (40, 49), (60, 70)])
+        );
+        assert_eq!(
+            t.vls(&s, &Attribute::new("SALARY")).unwrap(),
+            Lifespan::of(&[(10, 30), (40, 70)])
+        );
+    }
+
+    #[test]
+    fn vls_set_intersects_across_attributes() {
+        let t = john();
+        let s = emp_scheme();
+        let x = [Attribute::new("SALARY"), Attribute::new("DEPT")];
+        assert_eq!(
+            t.vls_set(&s, &x).unwrap(),
+            Lifespan::of(&[(10, 30), (40, 49), (60, 70)])
+        );
+    }
+
+    #[test]
+    fn at_reads_point_values() {
+        let t = john();
+        assert_eq!(
+            t.at(&Attribute::new("SALARY"), Chronon::new(15)),
+            Some(&Value::Int(25_000))
+        );
+        assert_eq!(
+            t.at(&Attribute::new("SALARY"), Chronon::new(35)),
+            None // gap between incarnations
+        );
+        assert_eq!(t.at(&Attribute::new("DEPT"), Chronon::new(55)), None);
+    }
+
+    #[test]
+    fn validate_rejects_value_outside_vls() {
+        let s = emp_scheme();
+        let err = Tuple::builder(ls(10, 20))
+            .constant("NAME", "X")
+            .value("SALARY", TemporalValue::of(&[(15, 25, Value::Int(1))]))
+            .finish(&s)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HrdmError::ValueOutsideLifespan {
+                attribute: Attribute::new("SALARY")
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_domain_mismatch() {
+        let s = emp_scheme();
+        let err = Tuple::builder(ls(10, 20))
+            .constant("NAME", "X")
+            .value("SALARY", TemporalValue::of(&[(10, 12, Value::str("oops"))]))
+            .finish(&s)
+            .unwrap_err();
+        assert!(matches!(err, HrdmError::DomainMismatch { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_nonconstant_key() {
+        let s = emp_scheme();
+        let err = Tuple::builder(ls(10, 20))
+            .value(
+                "NAME",
+                TemporalValue::of(&[
+                    (10, 15, Value::str("A")),
+                    (16, 20, Value::str("B")),
+                ]),
+            )
+            .finish(&s)
+            .unwrap_err();
+        assert_eq!(err, HrdmError::NotConstant(Attribute::new("NAME")));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_attribute() {
+        let s = emp_scheme();
+        let err = Tuple::builder(ls(10, 20))
+            .constant("BONUS", 5i64)
+            .finish(&s)
+            .unwrap_err();
+        assert_eq!(err, HrdmError::UnknownAttribute(Attribute::new("BONUS")));
+    }
+
+    #[test]
+    fn key_values_extraction() {
+        let t = john();
+        assert_eq!(
+            t.key_values(&emp_scheme()).unwrap(),
+            vec![Value::str("John")]
+        );
+    }
+
+    #[test]
+    fn key_values_error_when_empty() {
+        let s = emp_scheme();
+        let t = Tuple::builder(ls(10, 20)).finish(&s).unwrap();
+        assert_eq!(
+            t.key_values(&s).unwrap_err(),
+            HrdmError::MissingKeyValue(Attribute::new("NAME"))
+        );
+    }
+
+    #[test]
+    fn restrict_clips_tuple_and_values() {
+        let t = john().restrict(&ls(25, 45));
+        assert_eq!(t.lifespan(), &Lifespan::of(&[(25, 30), (40, 45)]));
+        let salary = t.value(&Attribute::new("SALARY")).unwrap();
+        assert_eq!(salary.domain(), Lifespan::of(&[(25, 30), (40, 45)]));
+        assert_eq!(salary.at(Chronon::new(26)), Some(&Value::Int(30_000)));
+    }
+
+    #[test]
+    fn project_keeps_lifespan() {
+        let t = john().project(&[Attribute::new("NAME")]);
+        assert_eq!(t.lifespan(), john().lifespan());
+        assert!(t.value(&Attribute::new("SALARY")).is_none());
+        assert!(t.value(&Attribute::new("NAME")).is_some());
+    }
+
+    #[test]
+    fn mergable_requires_same_key_and_no_contradiction() {
+        let s = emp_scheme();
+        let early = Tuple::builder(ls(0, 9))
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::of(&[(0, 9, Value::Int(10))]))
+            .finish(&s)
+            .unwrap();
+        let late = Tuple::builder(ls(20, 29))
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::of(&[(20, 29, Value::Int(12))]))
+            .finish(&s)
+            .unwrap();
+        let other_person = Tuple::builder(ls(0, 9))
+            .constant("NAME", "Bob")
+            .finish(&s)
+            .unwrap();
+
+        assert!(early.mergable(&late, &s));
+        assert!(!early.mergable(&other_person, &s));
+
+        // Contradiction: overlapping lifespans with different salaries.
+        let contradicting = Tuple::builder(ls(5, 9))
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::of(&[(5, 9, Value::Int(99))]))
+            .finish(&s)
+            .unwrap();
+        assert!(!early.mergable(&contradicting, &s));
+
+        // Agreement on the overlap is fine.
+        let agreeing = Tuple::builder(ls(5, 12))
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::of(&[(5, 9, Value::Int(10)), (10, 12, Value::Int(11))]))
+            .finish(&s)
+            .unwrap();
+        assert!(early.mergable(&agreeing, &s));
+    }
+
+    #[test]
+    fn merge_unions_lifespans_and_values() {
+        let s = emp_scheme();
+        let early = Tuple::builder(ls(0, 9))
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::of(&[(0, 9, Value::Int(10))]))
+            .finish(&s)
+            .unwrap();
+        let late = Tuple::builder(ls(20, 29))
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::of(&[(20, 29, Value::Int(12))]))
+            .finish(&s)
+            .unwrap();
+        let merged = early.merge(&late).unwrap();
+        assert_eq!(merged.lifespan(), &Lifespan::of(&[(0, 9), (20, 29)]));
+        let sal = merged.value(&Attribute::new("SALARY")).unwrap();
+        assert_eq!(sal.at(Chronon::new(5)), Some(&Value::Int(10)));
+        assert_eq!(sal.at(Chronon::new(25)), Some(&Value::Int(12)));
+        assert_eq!(sal.at(Chronon::new(15)), None);
+        // The merged NAME is the union of two constants over the two spans.
+        let name = merged.value(&Attribute::new("NAME")).unwrap();
+        assert!(name.is_constant());
+        assert_eq!(name.domain(), Lifespan::of(&[(0, 9), (20, 29)]));
+    }
+
+    #[test]
+    fn matched_in_scans_a_set() {
+        let s = emp_scheme();
+        let a = Tuple::builder(ls(0, 9)).constant("NAME", "Ann").finish(&s).unwrap();
+        let b = Tuple::builder(ls(10, 19)).constant("NAME", "Ann").finish(&s).unwrap();
+        let c = Tuple::builder(ls(0, 9)).constant("NAME", "Cy").finish(&s).unwrap();
+        let set = [b.clone(), c.clone()];
+        assert!(a.matched_in(set.iter(), &s));
+        let set2 = [c];
+        assert!(!a.matched_in(set2.iter(), &s));
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = john().to_string();
+        assert!(text.contains("NAME"));
+        assert!(text.contains("John"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Atomic values — the elements of the paper's value domains `D_i` and of
+//! the time domain `T` when used as data.
+
+use crate::errors::{HrdmError, Result};
+use hrdm_time::Chronon;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A totally-ordered, hashable `f64` wrapper. NaN is rejected at
+/// construction, which is what lets [`Value`] keep full `Eq + Ord + Hash`
+/// (relations are *sets* of tuples; set semantics need total equality).
+#[derive(Clone, Copy, Debug)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a float, rejecting NaN.
+    pub fn new(v: f64) -> Result<OrderedF64> {
+        if v.is_nan() {
+            Err(HrdmError::NanFloat)
+        } else {
+            Ok(OrderedF64(v))
+        }
+    }
+
+    /// The wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        // Normalize ±0.0 so Eq agrees with Hash.
+        (self.0 + 0.0).to_bits() == (other.0 + 0.0).to_bits()
+    }
+}
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN excluded at construction")
+    }
+}
+
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0 + 0.0).to_bits().hash(state);
+    }
+}
+
+/// An atomic (non-decomposable) value, per the paper's definition of a value
+/// domain: "a set of atomic (non-decomposable) values" (§3).
+///
+/// `Time` values are the inhabitants of the paper's `TT` domains — attribute
+/// values that denote *times* — kept as a distinct variant precisely because
+/// the model "make\[s\] explicit the distinction … between those values
+/// representing times, and those that do not" (§3). Dynamic TIME-SLICE and
+/// TIME-JOIN are only defined at time-valued attributes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// An integer from an integer value domain.
+    Int(i64),
+    /// A non-NaN float from a numeric value domain.
+    Float(OrderedF64),
+    /// A string. `Arc<str>` keeps the pervasive cloning in algebra operators
+    /// cheap.
+    Str(Arc<str>),
+    /// A boolean.
+    Bool(bool),
+    /// A time point — an element of `T` used as data (domain `TT`).
+    Time(Chronon),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for floats; errors on NaN.
+    pub fn float(v: f64) -> Result<Value> {
+        OrderedF64::new(v).map(Value::Float)
+    }
+
+    /// Convenience constructor for time values.
+    pub fn time(t: impl Into<Chronon>) -> Value {
+        Value::Time(t.into())
+    }
+
+    /// The kind (value domain family) of this value.
+    pub fn kind(&self) -> crate::domain::ValueKind {
+        use crate::domain::ValueKind;
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Time(_) => ValueKind::Time,
+        }
+    }
+
+    /// Is this a time value (an inhabitant of a `TT` domain)?
+    pub fn is_time(&self) -> bool {
+        matches!(self, Value::Time(_))
+    }
+
+    /// Extracts the chronon from a time value.
+    pub fn as_time(&self) -> Option<Chronon> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Compares two values of the *same kind*; numeric kinds (`Int`, `Float`)
+    /// compare with each other. Errors on incomparable kinds — θ predicates
+    /// over mismatched domains are type errors, not `false` (paper predicates
+    /// are typed by the scheme).
+    pub fn try_cmp(&self, other: &Value) -> Result<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Ok(a.cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Ok(OrderedF64::new(*a as f64)
+                .expect("i64 to f64 is never NaN")
+                .cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Ok(a.cmp(
+                &OrderedF64::new(*b as f64).expect("i64 to f64 is never NaN"),
+            )),
+            (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            (Value::Time(a), Value::Time(b)) => Ok(a.cmp(b)),
+            _ => Err(HrdmError::IncomparableValues {
+                left: self.kind(),
+                right: other.kind(),
+            }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<Chronon> for Value {
+    fn from(v: Chronon) -> Value {
+        Value::Time(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{}", v.get()),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Time(v) => write!(f, "t{}", v.tick()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_is_rejected() {
+        assert_eq!(Value::float(f64::NAN).unwrap_err(), HrdmError::NanFloat);
+        assert!(Value::float(1.5).is_ok());
+    }
+
+    #[test]
+    fn negative_zero_equals_positive_zero() {
+        let a = Value::float(0.0).unwrap();
+        let b = Value::float(-0.0).unwrap();
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn same_kind_comparisons() {
+        assert_eq!(
+            Value::Int(1).try_cmp(&Value::Int(2)).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::str("b").try_cmp(&Value::str("a")).unwrap(),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Bool(true).try_cmp(&Value::Bool(true)).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::time(3).try_cmp(&Value::time(9)).unwrap(),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn numeric_cross_kind_comparisons() {
+        assert_eq!(
+            Value::Int(2).try_cmp(&Value::float(2.0).unwrap()).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::float(1.5).unwrap().try_cmp(&Value::Int(2)).unwrap(),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn incomparable_kinds_error() {
+        let err = Value::Int(1).try_cmp(&Value::str("x")).unwrap_err();
+        assert!(matches!(err, HrdmError::IncomparableValues { .. }));
+        assert!(Value::Bool(true).try_cmp(&Value::time(1)).is_err());
+    }
+
+    #[test]
+    fn kind_classification() {
+        use crate::domain::ValueKind;
+        assert_eq!(Value::Int(1).kind(), ValueKind::Int);
+        assert_eq!(Value::str("x").kind(), ValueKind::Str);
+        assert_eq!(Value::time(5).kind(), ValueKind::Time);
+        assert!(Value::time(5).is_time());
+        assert_eq!(Value::time(5).as_time(), Some(Chronon::new(5)));
+        assert_eq!(Value::Int(5).as_time(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("Codd").to_string(), "Codd");
+        assert_eq!(Value::time(7).to_string(), "t7");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(Chronon::new(2)), Value::time(2));
+    }
+}

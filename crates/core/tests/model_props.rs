@@ -1,0 +1,228 @@
+//! Property tests for the model level: temporal values and tuples are
+//! cross-checked against naive per-chronon models on a bounded universe.
+
+use hrdm_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const LO: i64 = 0;
+const HI: i64 = 30;
+
+/// Naive model of a partial function: chronon → value.
+fn to_map(tv: &TemporalValue) -> BTreeMap<i64, Value> {
+    tv.iter_points().map(|(t, v)| (t.tick(), v.clone())).collect()
+}
+
+/// Arbitrary temporal value over a small universe; segments kept disjoint by
+/// construction.
+fn temporal_strategy() -> impl Strategy<Value = TemporalValue> {
+    prop::collection::vec((LO..=HI, 0i64..6, 0i64..4), 0..6).prop_map(|raw| {
+        let mut segs = Vec::new();
+        let mut cursor = LO;
+        let mut sorted = raw;
+        sorted.sort_by_key(|&(lo, _, _)| lo);
+        for (lo, len, v) in sorted {
+            let lo = lo.max(cursor);
+            let hi = (lo + len).min(HI);
+            if lo > HI || lo > hi {
+                continue;
+            }
+            segs.push((Interval::of(lo, hi), Value::Int(v)));
+            cursor = hi + 2;
+        }
+        TemporalValue::from_segments(segs).expect("disjoint by construction")
+    })
+}
+
+fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
+    prop::collection::vec((LO..=HI, 0i64..8), 0..4).prop_map(|pairs| {
+        Lifespan::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(lo, len)| Interval::of(lo, (lo + len).min(HI))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn at_matches_point_model(tv in temporal_strategy(), t in LO..=HI) {
+        let model = to_map(&tv);
+        prop_assert_eq!(tv.at(Chronon::new(t)), model.get(&t));
+    }
+
+    #[test]
+    fn restrict_matches_point_model(tv in temporal_strategy(), ls in lifespan_strategy()) {
+        let restricted = tv.restrict(&ls);
+        let model: BTreeMap<i64, Value> = to_map(&tv)
+            .into_iter()
+            .filter(|(t, _)| ls.contains(Chronon::new(*t)))
+            .collect();
+        prop_assert_eq!(to_map(&restricted), model);
+        // And the restriction is canonical: restricting again is identity.
+        prop_assert_eq!(restricted.restrict(&ls), restricted);
+    }
+
+    #[test]
+    fn domain_matches_point_model(tv in temporal_strategy()) {
+        let model: Lifespan = to_map(&tv).keys().map(|&t| Chronon::new(t)).collect();
+        prop_assert_eq!(tv.domain(), model);
+    }
+
+    #[test]
+    fn try_union_agrees_with_map_union_when_compatible(
+        a in temporal_strategy(),
+        b in temporal_strategy(),
+    ) {
+        let (ma, mb) = (to_map(&a), to_map(&b));
+        let compatible = ma
+            .iter()
+            .all(|(t, v)| mb.get(t).is_none_or(|w| w == v));
+        prop_assert_eq!(a.compatible_with(&b), compatible);
+        match a.try_union(&b) {
+            Ok(u) => {
+                prop_assert!(compatible);
+                let mut merged = ma;
+                merged.extend(mb);
+                prop_assert_eq!(to_map(&u), merged);
+            }
+            Err(_) => prop_assert!(!compatible),
+        }
+    }
+
+    #[test]
+    fn when_matches_point_model(tv in temporal_strategy(), c in 0i64..4) {
+        let want: Lifespan = to_map(&tv)
+            .iter()
+            .filter(|(_, v)| **v == Value::Int(c))
+            .map(|(&t, _)| Chronon::new(t))
+            .collect();
+        prop_assert_eq!(tv.when(|v| *v == Value::Int(c)), want);
+    }
+
+    #[test]
+    fn when_compare_matches_point_model(
+        a in temporal_strategy(),
+        b in temporal_strategy(),
+    ) {
+        let (ma, mb) = (to_map(&a), to_map(&b));
+        let want: Lifespan = ma
+            .iter()
+            .filter_map(|(t, v)| {
+                mb.get(t).and_then(|w| {
+                    (v.try_cmp(w).unwrap() == std::cmp::Ordering::Less)
+                        .then_some(Chronon::new(*t))
+                })
+            })
+            .collect();
+        let got = a
+            .when_compare(&b, |ord| ord == std::cmp::Ordering::Less)
+            .unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn segments_are_canonical(tv in temporal_strategy(), ls in lifespan_strategy()) {
+        for f in [tv.clone(), tv.restrict(&ls)] {
+            let segs = f.segments();
+            for w in segs.windows(2) {
+                let ((a, va), (b, vb)) = (&w[0], &w[1]);
+                prop_assert!(a.hi() < b.lo(), "unsorted/overlap: {:?}", segs);
+                // Maximality: adjacent segments must differ in value.
+                if a.hi().succ() == Some(b.lo()) {
+                    prop_assert_ne!(va, vb, "non-maximal: {:?}", segs);
+                }
+            }
+        }
+    }
+}
+
+// ---- tuple-level properties -------------------------------------------
+
+fn scheme() -> Scheme {
+    let era = Lifespan::interval(LO, HI);
+    Scheme::builder()
+        .key_attr("K", ValueKind::Int, era.clone())
+        .attr("V", HistoricalDomain::int(), era)
+        .build()
+        .unwrap()
+}
+
+fn tuple_strategy(key: i64) -> impl Strategy<Value = Tuple> {
+    (lifespan_strategy(), temporal_strategy()).prop_map(move |(life, v)| {
+        let s = scheme();
+        let vls = life.intersect(s.als(&"V".into()).unwrap());
+        Tuple::builder(life)
+            .constant("K", key)
+            .value("V", v.restrict(&vls))
+            .finish(&s)
+            .unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn tuple_restrict_matches_pointwise(t in tuple_strategy(1), ls in lifespan_strategy()) {
+        let r = t.restrict(&ls);
+        prop_assert_eq!(r.lifespan(), &t.lifespan().intersect(&ls));
+        for s in LO..=HI {
+            let s = Chronon::new(s);
+            let want = if ls.contains(s) { t.at(&"V".into(), s) } else { None };
+            prop_assert_eq!(r.at(&"V".into(), s), want);
+        }
+        // Restriction preserves validity.
+        prop_assert!(r.validate(&scheme()).is_ok());
+    }
+
+    #[test]
+    fn merge_roundtrips_restriction(t in tuple_strategy(1), ls in lifespan_strategy()) {
+        // Splitting a tuple by a lifespan and merging the halves restores it.
+        let inside = t.restrict(&ls);
+        let outside = t.restrict(&t.lifespan().difference(&ls));
+        prop_assert!(inside.mergable(&outside, &scheme()) ||
+            inside.key_values(&scheme()).is_err() ||
+            outside.key_values(&scheme()).is_err());
+        if inside.key_values(&scheme()).is_ok() && outside.key_values(&scheme()).is_ok() {
+            let back = inside.merge(&outside).unwrap();
+            prop_assert_eq!(back.lifespan(), t.lifespan());
+            for s in LO..=HI {
+                let s = Chronon::new(s);
+                prop_assert_eq!(back.at(&"V".into(), s), t.at(&"V".into(), s));
+            }
+        }
+    }
+
+    #[test]
+    fn mergable_tuples_merge_without_error(a in tuple_strategy(1), b in tuple_strategy(1)) {
+        let s = scheme();
+        if a.mergable(&b, &s) {
+            let m = a.merge(&b).unwrap();
+            prop_assert_eq!(m.lifespan(), &a.lifespan().union(b.lifespan()));
+            // The merge extends both contributors.
+            for src in [&a, &b] {
+                for s in LO..=HI {
+                    let s = Chronon::new(s);
+                    if let Some(v) = src.at(&"V".into(), s) {
+                        prop_assert_eq!(m.at(&"V".into(), s), Some(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clipping_to_scheme_is_idempotent_and_validating(t in tuple_strategy(1)) {
+        let s = scheme();
+        let clipped = t.clipped_to_scheme(&s);
+        prop_assert_eq!(&clipped.clipped_to_scheme(&s), &clipped);
+        prop_assert!(clipped.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn vls_bounds_every_value(t in tuple_strategy(1)) {
+        let s = scheme();
+        let vls = t.vls(&s, &"V".into()).unwrap();
+        let dom = t.value(&"V".into()).unwrap().domain();
+        prop_assert!(vls.contains_lifespan(&dom));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the normalization extension: BCNF decomposition is
+//! attribute-preserving and always reaches BCNF fragments.
+
+use hrdm_core::constraints::{candidate_keys, closure, decompose_bcnf, is_bcnf, is_superkey, Fd};
+use hrdm_core::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const NAMES: [&str; 4] = ["A", "B", "C", "D"];
+
+fn scheme() -> Scheme {
+    let era = Lifespan::interval(0, 10);
+    Scheme::builder()
+        .key_attr("A", ValueKind::Int, era.clone())
+        .attr("B", HistoricalDomain::int(), era.clone())
+        .attr("C", HistoricalDomain::int(), era.clone())
+        .attr("D", HistoricalDomain::int(), era)
+        .build()
+        .unwrap()
+}
+
+fn subset(mask: u8) -> BTreeSet<Attribute> {
+    (0..4)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| Attribute::new(NAMES[i]))
+        .collect()
+}
+
+fn fds_strategy() -> impl Strategy<Value = Vec<Fd>> {
+    prop::collection::vec((1u8..16, 1u8..16), 0..5).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(l, r)| Fd {
+                lhs: subset(l),
+                rhs: subset(r),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn closure_is_monotone_and_idempotent(fds in fds_strategy(), x in 0u8..16) {
+        let x = subset(x);
+        let c = closure(&x, &fds);
+        prop_assert!(x.is_subset(&c));
+        prop_assert_eq!(closure(&c, &fds), c);
+    }
+
+    #[test]
+    fn decomposition_reaches_bcnf_and_preserves_attributes(fds in fds_strategy()) {
+        let s = scheme();
+        let fragments = decompose_bcnf(&s, &fds).unwrap();
+        prop_assert!(!fragments.is_empty());
+        // Every fragment is in BCNF (closure characterization).
+        for frag in &fragments {
+            prop_assert!(is_bcnf(frag, &fds), "fragment {frag} not BCNF");
+        }
+        // Attribute preservation: the fragments cover the original scheme,
+        // with ALS intact.
+        let mut covered: BTreeSet<Attribute> = BTreeSet::new();
+        for frag in &fragments {
+            for def in frag.attrs() {
+                covered.insert(def.name().clone());
+                prop_assert_eq!(
+                    def.lifespan(),
+                    s.als(def.name()).unwrap(),
+                    "ALS changed for {}", def.name()
+                );
+            }
+        }
+        let all: BTreeSet<Attribute> = s.attr_names().cloned().collect();
+        prop_assert_eq!(covered, all);
+    }
+
+    #[test]
+    fn candidate_keys_are_minimal_superkeys(fds in fds_strategy()) {
+        let s = scheme();
+        let keys = candidate_keys(&s, &fds);
+        prop_assert!(!keys.is_empty(), "every scheme has at least one key (all attrs)");
+        for key in &keys {
+            prop_assert!(is_superkey(&s, key, &fds));
+            // Minimality: no proper subset is a superkey.
+            for drop in key.iter() {
+                let mut smaller = key.clone();
+                smaller.remove(drop);
+                if !smaller.is_empty() {
+                    prop_assert!(!is_superkey(&s, &smaller, &fds));
+                } else {
+                    // The empty set is a superkey only if the closure of ∅
+                    // covers everything; then no single attribute would be
+                    // a candidate key, contradiction.
+                    prop_assert!(!is_superkey(&s, &smaller, &fds));
+                }
+            }
+        }
+        // Keys are pairwise incomparable.
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                prop_assert!(!a.is_subset(b) && !b.is_subset(a));
+            }
+        }
+    }
+}

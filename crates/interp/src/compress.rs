@@ -1,0 +1,92 @@
+//! Model-level → representation-level compression: change points.
+//!
+//! A piecewise-constant model-level value is fully determined by (a) its
+//! domain lifespan and (b) the value at the *start* of each constant
+//! segment. [`change_points`] extracts those samples; [`from_change_points`]
+//! rebuilds the original function by step interpolation over the domain —
+//! an exact round trip, which the tests (and property tests) verify.
+
+use crate::{Interpolation, Represented};
+use hrdm_core::{Result, TemporalValue, Value};
+use hrdm_time::{Chronon, Lifespan};
+
+/// The change points of a model-level value: one `(time, value)` sample at
+/// the start of each canonical segment.
+pub fn change_points(tv: &TemporalValue) -> Vec<(Chronon, Value)> {
+    tv.segments()
+        .iter()
+        .map(|(iv, v)| (iv.lo(), v.clone()))
+        .collect()
+}
+
+/// Rebuilds a model-level value from change points and its domain lifespan
+/// (step interpolation — exact inverse of [`change_points`]).
+pub fn from_change_points(
+    samples: &[(Chronon, Value)],
+    domain: &Lifespan,
+) -> Result<TemporalValue> {
+    Represented::new(samples.iter().cloned(), Interpolation::Step).materialize(domain)
+}
+
+/// Model-level chronon count divided by representation-level sample count —
+/// how much the representation level saves (≥ 1.0 for piecewise-constant
+/// data; higher when values change rarely).
+pub fn compression_ratio(tv: &TemporalValue) -> f64 {
+    let cells = tv.domain().cardinality();
+    let samples = tv.segment_count();
+    if samples == 0 {
+        1.0
+    } else {
+        cells as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let tv = TemporalValue::of(&[
+            (0, 9, Value::Int(25_000)),
+            (10, 19, Value::Int(30_000)),
+        ]);
+        let pts = change_points(&tv);
+        assert_eq!(pts.len(), 2);
+        let back = from_change_points(&pts, &tv.domain()).unwrap();
+        assert_eq!(back, tv);
+    }
+
+    #[test]
+    fn round_trip_with_gaps_and_recurrence() {
+        // Value changes, disappears (fired), and comes back at its old level:
+        // the domain lifespan carries the gap, so the round trip is exact.
+        let tv = TemporalValue::of(&[
+            (0, 4, Value::Int(1)),
+            (5, 9, Value::Int(2)),
+            (20, 29, Value::Int(1)),
+        ]);
+        let back = from_change_points(&change_points(&tv), &tv.domain()).unwrap();
+        assert_eq!(back, tv);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let tv = TemporalValue::empty();
+        let back = from_change_points(&change_points(&tv), &tv.domain()).unwrap();
+        assert_eq!(back, tv);
+    }
+
+    #[test]
+    fn compression_ratio_reflects_stability() {
+        let stable = TemporalValue::of(&[(0, 99, Value::Int(1))]);
+        assert_eq!(compression_ratio(&stable), 100.0);
+        let mut volatile_segments = Vec::new();
+        for t in 0..100 {
+            volatile_segments.push((t, t, Value::Int(t)));
+        }
+        let volatile = TemporalValue::of(&volatile_segments);
+        assert_eq!(compression_ratio(&volatile), 1.0);
+        assert_eq!(compression_ratio(&TemporalValue::empty()), 1.0);
+    }
+}

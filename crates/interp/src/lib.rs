@@ -1,0 +1,33 @@
+//! # hrdm-interp — the representation level of HRDM
+//!
+//! The paper's three-level architecture (Fig. 9) separates:
+//!
+//! * the **model level**, where every attribute value is a *total* function
+//!   from `vls(t, A, R)` into a value domain;
+//! * the **representation level**, where "these functions may be represented
+//!   more succinctly using intervals and allowing for value interpolation";
+//! * the physical level (see `hrdm-storage`).
+//!
+//! The bridge is the paper's **interpolation function**
+//! `I : (S' → D) → (S → D)`: a value stored only at some sample times
+//! `S' ⊆ S` is completed to a total function on `S`. This crate implements
+//! that bridge:
+//!
+//! * [`Interpolation`] — the interpolation strategies (discrete, stepwise,
+//!   nearest-neighbor, linear);
+//! * [`Represented`] — a sparsely-sampled value plus its strategy, with
+//!   [`Represented::materialize`] mapping it to a model-level
+//!   [`hrdm_core::TemporalValue`];
+//! * [`change_points`] / [`from_change_points`] — the inverse direction:
+//!   extracting the succinct change-point representation from a model-level
+//!   function and rebuilding it.
+
+#![warn(missing_docs)]
+
+mod compress;
+mod represented;
+mod strategy;
+
+pub use compress::{change_points, compression_ratio, from_change_points};
+pub use represented::Represented;
+pub use strategy::Interpolation;

@@ -1,0 +1,131 @@
+//! The representation-level value: sparse samples plus a strategy.
+
+use crate::Interpolation;
+use hrdm_core::{Result, TemporalValue, Value};
+use hrdm_time::{Chronon, Lifespan};
+use std::fmt;
+
+/// A representation-level value: the paper's "partially-represented
+/// function" — a function from some `S' ⊆ S` to the value domain — together
+/// with the interpolation function that completes it over `S`
+/// (paper §3 / Fig. 9).
+///
+/// `Represented` is what the physical level stores; the model level sees the
+/// [`TemporalValue`] produced by [`Represented::materialize`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Represented {
+    samples: Vec<(Chronon, Value)>,
+    strategy: Interpolation,
+}
+
+impl Represented {
+    /// A represented value from samples and a strategy.
+    pub fn new<I>(samples: I, strategy: Interpolation) -> Represented
+    where
+        I: IntoIterator<Item = (Chronon, Value)>,
+    {
+        let mut samples: Vec<(Chronon, Value)> = samples.into_iter().collect();
+        samples.sort_by_key(|(t, _)| *t);
+        Represented { samples, strategy }
+    }
+
+    /// Convenience constructor from `(tick, value)` pairs.
+    pub fn of(raw: &[(i64, Value)], strategy: Interpolation) -> Represented {
+        Represented::new(
+            raw.iter().map(|(t, v)| (Chronon::new(*t), v.clone())),
+            strategy,
+        )
+    }
+
+    /// The stored samples, sorted by time.
+    pub fn samples(&self) -> &[(Chronon, Value)] {
+        &self.samples
+    }
+
+    /// The interpolation strategy.
+    pub fn strategy(&self) -> Interpolation {
+        self.strategy
+    }
+
+    /// Number of stored samples (the representation-level cost measure).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Is the representation empty?
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The paper's interpolation map `I`: completes this partially-
+    /// represented function to a model-level value over `target` (which in
+    /// HRDM is `vls(t, A, R)`).
+    pub fn materialize(&self, target: &Lifespan) -> Result<TemporalValue> {
+        self.strategy.interpolate(&self.samples, target)
+    }
+
+    /// Records a new sample, keeping samples sorted.
+    pub fn record(&mut self, t: Chronon, v: Value) {
+        let idx = self.samples.partition_point(|(s, _)| *s < t);
+        self.samples.insert(idx, (t, v));
+    }
+}
+
+impl fmt::Display for Represented {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} samples via {}", self.samples.len(), self.strategy)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materializes_via_strategy() {
+        let r = Represented::of(
+            &[(0, Value::Int(25_000)), (10, Value::Int(30_000))],
+            Interpolation::Step,
+        );
+        let f = r.materialize(&Lifespan::interval(0, 19)).unwrap();
+        assert_eq!(f.at(Chronon::new(5)), Some(&Value::Int(25_000)));
+        assert_eq!(f.at(Chronon::new(15)), Some(&Value::Int(30_000)));
+        // Two samples expand to a 20-chronon model-level function held in
+        // two segments: the representation is the succinct one.
+        assert_eq!(r.len(), 2);
+        assert_eq!(f.domain().cardinality(), 20);
+    }
+
+    #[test]
+    fn record_keeps_order() {
+        let mut r = Represented::of(&[(10, Value::Int(2))], Interpolation::Step);
+        r.record(Chronon::new(5), Value::Int(1));
+        r.record(Chronon::new(15), Value::Int(3));
+        let times: Vec<i64> = r.samples().iter().map(|(t, _)| t.tick()).collect();
+        assert_eq!(times, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn empty_representation() {
+        let r = Represented::new([], Interpolation::Nearest);
+        assert!(r.is_empty());
+        assert!(r.materialize(&Lifespan::interval(0, 9)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn paper_example_constant_pair() {
+        // The paper's `<[ti,tj], Codd>` example: a constant represented by a
+        // single sample + step interpolation over the value lifespan.
+        let r = Represented::of(&[(3, Value::str("Codd"))], Interpolation::Step);
+        let f = r.materialize(&Lifespan::interval(3, 9)).unwrap();
+        assert!(f.is_constant());
+        assert_eq!(f.domain(), Lifespan::interval(3, 9));
+    }
+
+    #[test]
+    fn display_mentions_strategy() {
+        let r = Represented::of(&[(0, Value::Int(1))], Interpolation::Linear);
+        assert_eq!(r.to_string(), "1 samples via linear");
+    }
+}

@@ -1,0 +1,342 @@
+//! Interpolation strategies: the paper's `I : (S' → D) → (S → D)`.
+
+use hrdm_core::{HrdmError, Result, TemporalValue, Value};
+use hrdm_time::{Chronon, Interval, Lifespan};
+use std::fmt;
+
+/// How a sparsely-sampled value is completed to a total function over its
+/// target lifespan (the paper's interpolation function, Fig. 9 / §3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Interpolation {
+    /// No interpolation: the value exists only at the sample points
+    /// (events; "discrete" attributes in [Clifford 85]'s terminology).
+    Discrete,
+    /// Stepwise-constant: each sample persists until the next one. The
+    /// natural semantics for state-like attributes (salary, department);
+    /// undefined before the first sample.
+    #[default]
+    Step,
+    /// Each time takes the value of the nearest sample (ties to the earlier
+    /// one); total over the target whenever at least one sample exists.
+    Nearest,
+    /// Linear interpolation between consecutive numeric samples; exact at
+    /// samples, undefined outside their hull. Integer samples round to the
+    /// nearest integer; float samples stay floats. Errors on non-numeric
+    /// values.
+    Linear,
+}
+
+impl Interpolation {
+    /// Completes `samples` (sample time → value; unsorted, duplicates by
+    /// time rejected) to a function over `target`, per the strategy.
+    ///
+    /// The result is the paper's model-level value: total on as much of
+    /// `target` as the strategy defines (Discrete/Step/Linear may leave
+    /// undefined stretches; Nearest is total when any sample exists).
+    pub fn interpolate(
+        self,
+        samples: &[(Chronon, Value)],
+        target: &Lifespan,
+    ) -> Result<TemporalValue> {
+        let mut pts: Vec<(Chronon, Value)> = samples.to_vec();
+        pts.sort_by_key(|(t, _)| *t);
+        for w in pts.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                return Err(HrdmError::ConflictingSegments);
+            }
+        }
+        pts.dedup_by(|a, b| a.0 == b.0);
+        if pts.is_empty() || target.is_empty() {
+            return Ok(TemporalValue::empty());
+        }
+        match self {
+            Interpolation::Discrete => discrete(&pts, target),
+            Interpolation::Step => step(&pts, target),
+            Interpolation::Nearest => nearest(&pts, target),
+            Interpolation::Linear => linear(&pts, target),
+        }
+    }
+}
+
+impl fmt::Display for Interpolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Interpolation::Discrete => "discrete",
+            Interpolation::Step => "step",
+            Interpolation::Nearest => "nearest",
+            Interpolation::Linear => "linear",
+        })
+    }
+}
+
+fn discrete(pts: &[(Chronon, Value)], target: &Lifespan) -> Result<TemporalValue> {
+    let tv = TemporalValue::from_segments(
+        pts.iter()
+            .map(|(t, v)| (Interval::point(*t), v.clone())),
+    )?;
+    Ok(tv.restrict(target))
+}
+
+fn step(pts: &[(Chronon, Value)], target: &Lifespan) -> Result<TemporalValue> {
+    // Sample i persists on [t_i, t_{i+1} - 1]; the last one persists to the
+    // end of the target.
+    let Some(end) = target.last() else {
+        return Ok(TemporalValue::empty());
+    };
+    let mut segs = Vec::with_capacity(pts.len());
+    for (i, (t, v)) in pts.iter().enumerate() {
+        let hi = match pts.get(i + 1) {
+            Some((next, _)) => next.saturating_pred(),
+            None => end.max_of(*t),
+        };
+        if let Some(iv) = Interval::new(*t, hi) {
+            segs.push((iv, v.clone()));
+        }
+    }
+    Ok(TemporalValue::from_segments(segs)?.restrict(target))
+}
+
+fn nearest(pts: &[(Chronon, Value)], target: &Lifespan) -> Result<TemporalValue> {
+    let (Some(start), Some(end)) = (target.first(), target.last()) else {
+        return Ok(TemporalValue::empty());
+    };
+    let lo_edge = start.min_of(pts[0].0);
+    let hi_edge = end.max_of(pts[pts.len() - 1].0);
+    let mut segs = Vec::with_capacity(pts.len());
+    let mut cursor = lo_edge;
+    for (i, (t, v)) in pts.iter().enumerate() {
+        // This sample owns [cursor, boundary], where the boundary with the
+        // next sample is the midpoint (ties to the earlier sample).
+        let hi = match pts.get(i + 1) {
+            Some((next, _)) => {
+                Chronon::new((t.tick() + next.tick()).div_euclid(2))
+            }
+            None => hi_edge,
+        };
+        if let Some(iv) = Interval::new(cursor, hi) {
+            segs.push((iv, v.clone()));
+            cursor = hi.saturating_succ();
+        }
+    }
+    Ok(TemporalValue::from_segments(segs)?.restrict(target))
+}
+
+fn linear(pts: &[(Chronon, Value)], target: &Lifespan) -> Result<TemporalValue> {
+    // Validate numeric kinds up front.
+    for (_, v) in pts {
+        if !matches!(v, Value::Int(_) | Value::Float(_)) {
+            return Err(HrdmError::IncomparableValues {
+                left: hrdm_core::ValueKind::Float,
+                right: v.kind(),
+            });
+        }
+    }
+    let as_f64 = |v: &Value| -> f64 {
+        match v {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => f.get(),
+            _ => unreachable!("validated numeric"),
+        }
+    };
+    let all_int = pts.iter().all(|(_, v)| matches!(v, Value::Int(_)));
+    // Linear interpolation assigns a distinct value to (almost) every
+    // chronon, so this is inherently per-point between samples; we clamp the
+    // work to the target lifespan.
+    let hull = Lifespan::interval(pts[0].0.tick(), pts[pts.len() - 1].0.tick());
+    let window = target.intersect(&hull);
+    let mut segs: Vec<(Interval, Value)> = Vec::new();
+    let mut pair = 0usize;
+    for t in window.iter() {
+        while pair + 1 < pts.len() && pts[pair + 1].0 < t {
+            pair += 1;
+        }
+        let (t0, v0) = &pts[pair];
+        let value = if *t0 == t {
+            v0.clone()
+        } else {
+            let (t1, v1) = &pts[pair + 1];
+            if *t1 == t {
+                v1.clone()
+            } else {
+                let frac = (t.tick() - t0.tick()) as f64 / (t1.tick() - t0.tick()) as f64;
+                let y = as_f64(v0) + frac * (as_f64(v1) - as_f64(v0));
+                if all_int {
+                    Value::Int(y.round() as i64)
+                } else {
+                    Value::float(y)?
+                }
+            }
+        };
+        segs.push((Interval::point(t), value));
+    }
+    TemporalValue::from_segments(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(i64, i64)]) -> Vec<(Chronon, Value)> {
+        raw.iter()
+            .map(|&(t, v)| (Chronon::new(t), Value::Int(v)))
+            .collect()
+    }
+
+    #[test]
+    fn discrete_keeps_only_samples() {
+        let f = Interpolation::Discrete
+            .interpolate(&pts(&[(2, 10), (5, 20)]), &Lifespan::interval(0, 9))
+            .unwrap();
+        assert_eq!(f.at(Chronon::new(2)), Some(&Value::Int(10)));
+        assert_eq!(f.at(Chronon::new(3)), None);
+        assert_eq!(f.at(Chronon::new(5)), Some(&Value::Int(20)));
+        assert_eq!(f.domain().cardinality(), 2);
+    }
+
+    #[test]
+    fn step_persists_until_next_sample() {
+        let f = Interpolation::Step
+            .interpolate(&pts(&[(2, 10), (5, 20)]), &Lifespan::interval(0, 9))
+            .unwrap();
+        assert_eq!(f.at(Chronon::new(1)), None); // before first sample
+        assert_eq!(f.at(Chronon::new(2)), Some(&Value::Int(10)));
+        assert_eq!(f.at(Chronon::new(4)), Some(&Value::Int(10)));
+        assert_eq!(f.at(Chronon::new(5)), Some(&Value::Int(20)));
+        assert_eq!(f.at(Chronon::new(9)), Some(&Value::Int(20))); // persists to target end
+        assert_eq!(f.at(Chronon::new(10)), None); // clipped to target
+    }
+
+    #[test]
+    fn step_respects_fragmented_target() {
+        let target = Lifespan::of(&[(0, 3), (8, 9)]);
+        let f = Interpolation::Step
+            .interpolate(&pts(&[(2, 10), (5, 20)]), &target)
+            .unwrap();
+        assert_eq!(f.domain(), Lifespan::of(&[(2, 3), (8, 9)]));
+        assert_eq!(f.at(Chronon::new(8)), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn nearest_is_total_and_ties_to_earlier() {
+        let f = Interpolation::Nearest
+            .interpolate(&pts(&[(2, 10), (6, 20)]), &Lifespan::interval(0, 9))
+            .unwrap();
+        // Total over the target.
+        assert_eq!(f.domain(), Lifespan::interval(0, 9));
+        assert_eq!(f.at(Chronon::new(0)), Some(&Value::Int(10))); // extends left
+        assert_eq!(f.at(Chronon::new(3)), Some(&Value::Int(10)));
+        assert_eq!(f.at(Chronon::new(4)), Some(&Value::Int(10))); // midpoint ties earlier
+        assert_eq!(f.at(Chronon::new(5)), Some(&Value::Int(20)));
+        assert_eq!(f.at(Chronon::new(9)), Some(&Value::Int(20))); // extends right
+    }
+
+    #[test]
+    fn linear_interpolates_between_numeric_samples() {
+        let f = Interpolation::Linear
+            .interpolate(&pts(&[(0, 10), (10, 20)]), &Lifespan::interval(0, 10))
+            .unwrap();
+        assert_eq!(f.at(Chronon::new(0)), Some(&Value::Int(10)));
+        assert_eq!(f.at(Chronon::new(5)), Some(&Value::Int(15)));
+        assert_eq!(f.at(Chronon::new(10)), Some(&Value::Int(20)));
+        assert_eq!(f.at(Chronon::new(3)), Some(&Value::Int(13)));
+        // No extrapolation.
+        let g = Interpolation::Linear
+            .interpolate(&pts(&[(2, 10), (4, 20)]), &Lifespan::interval(0, 9))
+            .unwrap();
+        assert_eq!(g.domain(), Lifespan::interval(2, 4));
+    }
+
+    #[test]
+    fn linear_floats_stay_floats() {
+        let samples = vec![
+            (Chronon::new(0), Value::float(1.0).unwrap()),
+            (Chronon::new(2), Value::float(2.0).unwrap()),
+        ];
+        let f = Interpolation::Linear
+            .interpolate(&samples, &Lifespan::interval(0, 2))
+            .unwrap();
+        assert_eq!(f.at(Chronon::new(1)), Some(&Value::float(1.5).unwrap()));
+    }
+
+    #[test]
+    fn linear_rejects_non_numeric() {
+        let samples = vec![(Chronon::new(0), Value::str("x"))];
+        assert!(Interpolation::Linear
+            .interpolate(&samples, &Lifespan::interval(0, 2))
+            .is_err());
+    }
+
+    #[test]
+    fn conflicting_duplicate_samples_rejected_equal_ones_merged() {
+        let conflicting = vec![
+            (Chronon::new(1), Value::Int(1)),
+            (Chronon::new(1), Value::Int(2)),
+        ];
+        assert!(Interpolation::Step
+            .interpolate(&conflicting, &Lifespan::interval(0, 5))
+            .is_err());
+        let duplicated = vec![
+            (Chronon::new(1), Value::Int(1)),
+            (Chronon::new(1), Value::Int(1)),
+        ];
+        assert!(Interpolation::Step
+            .interpolate(&duplicated, &Lifespan::interval(0, 5))
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_functions() {
+        for strat in [
+            Interpolation::Discrete,
+            Interpolation::Step,
+            Interpolation::Nearest,
+            Interpolation::Linear,
+        ] {
+            assert!(strat
+                .interpolate(&[], &Lifespan::interval(0, 5))
+                .unwrap()
+                .is_empty());
+            assert!(strat
+                .interpolate(&pts(&[(1, 1)]), &Lifespan::empty())
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn single_sample_behaviour_differs_by_strategy() {
+        let samples = pts(&[(5, 42)]);
+        let target = Lifespan::interval(0, 9);
+        let d = Interpolation::Discrete.interpolate(&samples, &target).unwrap();
+        assert_eq!(d.domain().cardinality(), 1);
+        let s = Interpolation::Step.interpolate(&samples, &target).unwrap();
+        assert_eq!(s.domain(), Lifespan::interval(5, 9));
+        let n = Interpolation::Nearest.interpolate(&samples, &target).unwrap();
+        assert_eq!(n.domain(), target);
+        let l = Interpolation::Linear.interpolate(&samples, &target).unwrap();
+        assert_eq!(l.domain().cardinality(), 1);
+    }
+
+    #[test]
+    fn all_strategies_agree_at_sample_points() {
+        let samples = pts(&[(1, 10), (4, 40), (9, 90)]);
+        let target = Lifespan::interval(0, 10);
+        for strat in [
+            Interpolation::Discrete,
+            Interpolation::Step,
+            Interpolation::Nearest,
+            Interpolation::Linear,
+        ] {
+            let f = strat.interpolate(&samples, &target).unwrap();
+            for (t, v) in &samples {
+                assert_eq!(f.at(*t), Some(v), "{strat} at {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Interpolation::Step.to_string(), "step");
+        assert_eq!(Interpolation::Linear.to_string(), "linear");
+    }
+}

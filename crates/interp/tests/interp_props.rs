@@ -1,0 +1,122 @@
+//! Property tests for the representation level: the interpolation map and
+//! the change-point compression are exact inverses where the paper requires
+//! them to be.
+
+use hrdm_core::{TemporalValue, Value};
+use hrdm_interp::{change_points, from_change_points, Interpolation, Represented};
+use hrdm_time::{Chronon, Interval, Lifespan};
+use proptest::prelude::*;
+
+/// Arbitrary piecewise-constant temporal value over a small universe.
+fn temporal_value_strategy() -> impl Strategy<Value = TemporalValue> {
+    prop::collection::vec(((0i64..60), (0i64..8), (0i64..5)), 0..8).prop_map(|trip| {
+        // Build non-conflicting segments by construction: place them end to
+        // end with gaps.
+        let mut segs = Vec::new();
+        let mut cursor = 0i64;
+        for (gap, len, v) in trip {
+            let lo = cursor + (gap % 7);
+            let hi = lo + len;
+            segs.push((Interval::of(lo, hi), Value::Int(v)));
+            cursor = hi + 2; // keep a hole so segments stay disjoint & non-adjacent sometimes
+        }
+        TemporalValue::from_segments(segs).expect("disjoint segments by construction")
+    })
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<(Chronon, Value)>> {
+    prop::collection::btree_map(0i64..80, 0i64..6, 0..10).prop_map(|m| {
+        m.into_iter()
+            .map(|(t, v)| (Chronon::new(t), Value::Int(v)))
+            .collect()
+    })
+}
+
+fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
+    prop::collection::vec((0i64..80, 0i64..10), 0..5).prop_map(|pairs| {
+        Lifespan::from_intervals(pairs.into_iter().map(|(lo, len)| Interval::of(lo, lo + len)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn change_point_round_trip_is_exact(tv in temporal_value_strategy()) {
+        let back = from_change_points(&change_points(&tv), &tv.domain()).unwrap();
+        prop_assert_eq!(back, tv);
+    }
+
+    #[test]
+    fn interpolation_domain_is_within_target(
+        samples in samples_strategy(),
+        target in lifespan_strategy(),
+    ) {
+        for strat in [
+            Interpolation::Discrete,
+            Interpolation::Step,
+            Interpolation::Nearest,
+            Interpolation::Linear,
+        ] {
+            let f = strat.interpolate(&samples, &target).unwrap();
+            prop_assert!(
+                target.contains_lifespan(&f.domain()),
+                "{strat}: domain {:?} escapes target {:?}", f.domain(), target
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_samples(
+        samples in samples_strategy(),
+        target in lifespan_strategy(),
+    ) {
+        for strat in [
+            Interpolation::Discrete,
+            Interpolation::Step,
+            Interpolation::Nearest,
+            Interpolation::Linear,
+        ] {
+            let f = strat.interpolate(&samples, &target).unwrap();
+            for (t, v) in &samples {
+                if target.contains(*t) {
+                    prop_assert_eq!(f.at(*t), Some(v), "{} at {:?}", strat, t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_is_total_when_samples_exist(
+        samples in samples_strategy(),
+        target in lifespan_strategy(),
+    ) {
+        prop_assume!(!samples.is_empty());
+        let f = Interpolation::Nearest.interpolate(&samples, &target).unwrap();
+        prop_assert_eq!(f.domain(), target);
+    }
+
+    #[test]
+    fn step_subsumes_discrete(
+        samples in samples_strategy(),
+        target in lifespan_strategy(),
+    ) {
+        let d = Interpolation::Discrete.interpolate(&samples, &target).unwrap();
+        let s = Interpolation::Step.interpolate(&samples, &target).unwrap();
+        // Everywhere discrete is defined, step agrees.
+        for (t, v) in d.iter_points() {
+            prop_assert_eq!(s.at(t), Some(v));
+        }
+        prop_assert!(s.domain().contains_lifespan(&d.domain()));
+    }
+
+    #[test]
+    fn materialize_respects_strategy_choice(
+        samples in samples_strategy(),
+        target in lifespan_strategy(),
+    ) {
+        for strat in [Interpolation::Discrete, Interpolation::Step, Interpolation::Nearest] {
+            let r = Represented::new(samples.iter().cloned(), strat);
+            let direct = strat.interpolate(&samples, &target).unwrap();
+            prop_assert_eq!(r.materialize(&target).unwrap(), direct);
+        }
+    }
+}

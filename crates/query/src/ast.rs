@@ -1,0 +1,318 @@
+//! The algebra expression tree.
+//!
+//! One node per paper operator (§4), plus named relation references. The
+//! algebra is multi-sorted: [`Expr`] nodes denote relations,
+//! [`LifespanExpr`] nodes denote lifespans — and `WHEN` is exactly the
+//! bridge between the sorts, which is why a TIME-SLICE parameter can be the
+//! `WHEN` of a subquery (paper §4.5).
+
+use hrdm_core::algebra::{Comparator, Predicate, Quantifier};
+use hrdm_core::Attribute;
+use hrdm_time::Lifespan;
+use std::fmt;
+
+/// An expression denoting a historical relation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A named base relation.
+    Relation(String),
+    /// `r1 ∪ r2`.
+    Union(Box<Expr>, Box<Expr>),
+    /// `r1 ∩ r2`.
+    Intersection(Box<Expr>, Box<Expr>),
+    /// `r1 − r2`.
+    Difference(Box<Expr>, Box<Expr>),
+    /// `r1 ∪ₒ r2` (object-based).
+    UnionO(Box<Expr>, Box<Expr>),
+    /// `r1 ∩ₒ r2` (object-based).
+    IntersectionO(Box<Expr>, Box<Expr>),
+    /// `r1 −ₒ r2` (object-based).
+    DifferenceO(Box<Expr>, Box<Expr>),
+    /// `r1 × r2`.
+    Product(Box<Expr>, Box<Expr>),
+    /// `π_X`.
+    Project {
+        /// Input relation.
+        input: Box<Expr>,
+        /// Attributes to keep, in order.
+        attrs: Vec<Attribute>,
+    },
+    /// `σ-IF(θ, Q, L)`.
+    SelectIf {
+        /// Input relation.
+        input: Box<Expr>,
+        /// Selection criterion θ.
+        predicate: Predicate,
+        /// The bounded quantifier.
+        quantifier: Quantifier,
+        /// Optional lifespan bound `L` (`None` = all of `T`).
+        lifespan: Option<LifespanExpr>,
+    },
+    /// `σ-WHEN(θ)`.
+    SelectWhen {
+        /// Input relation.
+        input: Box<Expr>,
+        /// Selection criterion θ.
+        predicate: Predicate,
+    },
+    /// Static TIME-SLICE `τ_L`.
+    TimeSlice {
+        /// Input relation.
+        input: Box<Expr>,
+        /// The slicing lifespan.
+        lifespan: LifespanExpr,
+    },
+    /// Dynamic TIME-SLICE `τ@A`.
+    TimeSliceDynamic {
+        /// Input relation.
+        input: Box<Expr>,
+        /// The time-valued attribute.
+        attr: Attribute,
+    },
+    /// `JOIN [A θ B]`.
+    ThetaJoin {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Left join attribute.
+        a: Attribute,
+        /// The comparator θ.
+        op: Comparator,
+        /// Right join attribute.
+        b: Attribute,
+    },
+    /// `NATURAL-JOIN`.
+    NaturalJoin(Box<Expr>, Box<Expr>),
+    /// TIME-JOIN `[@A]`.
+    TimeJoin {
+        /// Left operand (owns the time-valued attribute).
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// The time-valued attribute of the left operand.
+        attr: Attribute,
+    },
+}
+
+/// An expression denoting a lifespan (the algebra's second sort).
+#[derive(Clone, PartialEq, Debug)]
+pub enum LifespanExpr {
+    /// A literal lifespan.
+    Literal(Lifespan),
+    /// `Ω(e)` — the WHEN of a relational subexpression.
+    When(Box<Expr>),
+    /// Union of two lifespan expressions.
+    Union(Box<LifespanExpr>, Box<LifespanExpr>),
+    /// Intersection of two lifespan expressions.
+    Intersect(Box<LifespanExpr>, Box<LifespanExpr>),
+    /// Difference of two lifespan expressions.
+    Minus(Box<LifespanExpr>, Box<LifespanExpr>),
+}
+
+/// A top-level query: one of the algebra's sorts, plus the aggregate
+/// extension (which produces a *time-varying value* — a third sort the
+/// 1987 paper does not have but its successors all added).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Query {
+    /// A query producing a relation.
+    Relation(Expr),
+    /// A query producing a lifespan.
+    Lifespan(LifespanExpr),
+    /// A time-varying aggregate over a relational subexpression.
+    Aggregate {
+        /// The aggregate operator.
+        op: hrdm_core::algebra::AggregateOp,
+        /// The aggregated attribute.
+        attr: Attribute,
+        /// The input relation expression.
+        input: Expr,
+    },
+}
+
+impl Expr {
+    /// Shorthand: a named relation.
+    pub fn rel(name: impl Into<String>) -> Expr {
+        Expr::Relation(name.into())
+    }
+
+    /// Shorthand: projection.
+    pub fn project<I, A>(self, attrs: I) -> Expr
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attribute>,
+    {
+        Expr::Project {
+            input: Box::new(self),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Shorthand: SELECT-IF.
+    pub fn select_if(self, predicate: Predicate, quantifier: Quantifier) -> Expr {
+        Expr::SelectIf {
+            input: Box::new(self),
+            predicate,
+            quantifier,
+            lifespan: None,
+        }
+    }
+
+    /// Shorthand: SELECT-WHEN.
+    pub fn select_when(self, predicate: Predicate) -> Expr {
+        Expr::SelectWhen {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Shorthand: static TIME-SLICE with a literal lifespan.
+    pub fn timeslice(self, l: Lifespan) -> Expr {
+        Expr::TimeSlice {
+            input: Box::new(self),
+            lifespan: LifespanExpr::Literal(l),
+        }
+    }
+
+    /// Number of nodes in the tree (used by optimizer fixpoint bounds and
+    /// tests).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Relation(_) => 0,
+            Expr::Union(a, b)
+            | Expr::Intersection(a, b)
+            | Expr::Difference(a, b)
+            | Expr::UnionO(a, b)
+            | Expr::IntersectionO(a, b)
+            | Expr::DifferenceO(a, b)
+            | Expr::Product(a, b)
+            | Expr::NaturalJoin(a, b) => a.size() + b.size(),
+            Expr::ThetaJoin { left, right, .. } | Expr::TimeJoin { left, right, .. } => {
+                left.size() + right.size()
+            }
+            Expr::Project { input, .. }
+            | Expr::SelectIf { input, .. }
+            | Expr::SelectWhen { input, .. }
+            | Expr::TimeSlice { input, .. }
+            | Expr::TimeSliceDynamic { input, .. } => input.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Relation(name) => write!(f, "{name}"),
+            Expr::Union(a, b) => write!(f, "({a} UNION {b})"),
+            Expr::Intersection(a, b) => write!(f, "({a} INTERSECT {b})"),
+            Expr::Difference(a, b) => write!(f, "({a} MINUS {b})"),
+            Expr::UnionO(a, b) => write!(f, "({a} UNION-O {b})"),
+            Expr::IntersectionO(a, b) => write!(f, "({a} INTERSECT-O {b})"),
+            Expr::DifferenceO(a, b) => write!(f, "({a} MINUS-O {b})"),
+            Expr::Product(a, b) => write!(f, "({a} PRODUCT {b})"),
+            Expr::Project { input, attrs } => {
+                let names: Vec<&str> = attrs.iter().map(|a| a.name()).collect();
+                write!(f, "PROJECT [{}] ({input})", names.join(", "))
+            }
+            Expr::SelectIf {
+                input,
+                predicate,
+                quantifier,
+                lifespan,
+            } => match lifespan {
+                Some(l) => write!(f, "SELECT-IF ({predicate}, {quantifier}, {l}) ({input})"),
+                None => write!(f, "SELECT-IF ({predicate}, {quantifier}) ({input})"),
+            },
+            Expr::SelectWhen { input, predicate } => {
+                write!(f, "SELECT-WHEN ({predicate}) ({input})")
+            }
+            Expr::TimeSlice { input, lifespan } => {
+                write!(f, "TIMESLICE {lifespan} ({input})")
+            }
+            Expr::TimeSliceDynamic { input, attr } => write!(f, "SLICE@{attr} ({input})"),
+            Expr::ThetaJoin {
+                left,
+                right,
+                a,
+                op,
+                b,
+            } => write!(f, "({left} JOIN {right} ON {a} {op} {b})"),
+            Expr::NaturalJoin(a, b) => write!(f, "({a} NATJOIN {b})"),
+            Expr::TimeJoin { left, right, attr } => {
+                write!(f, "({left} TIMEJOIN@{attr} {right})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for LifespanExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifespanExpr::Literal(l) => {
+                // Render `{[1,3], [5]}` as `[1..3, 5]`.
+                let parts: Vec<String> = l
+                    .intervals()
+                    .iter()
+                    .map(|iv| {
+                        if iv.lo() == iv.hi() {
+                            format!("{}", iv.lo())
+                        } else {
+                            format!("{}..{}", iv.lo(), iv.hi())
+                        }
+                    })
+                    .collect();
+                write!(f, "[{}]", parts.join(", "))
+            }
+            LifespanExpr::When(e) => write!(f, "(WHEN ({e}))"),
+            LifespanExpr::Union(a, b) => write!(f, "({a} | {b})"),
+            LifespanExpr::Intersect(a, b) => write!(f, "({a} & {b})"),
+            LifespanExpr::Minus(a, b) => write!(f, "({a} - {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Relation(e) => write!(f, "{e}"),
+            Query::Lifespan(l) => write!(f, "{l}"),
+            Query::Aggregate { op, attr, input } => write!(f, "{op} {attr} ({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::algebra::Predicate;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::rel("emp")
+            .select_when(Predicate::eq_value("SALARY", 30_000i64))
+            .project(["NAME"])
+            .timeslice(Lifespan::interval(0, 10));
+        assert_eq!(e.size(), 4);
+        let text = e.to_string();
+        assert!(text.contains("SELECT-WHEN"));
+        assert!(text.contains("PROJECT"));
+        assert!(text.contains("TIMESLICE [0..10]"));
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let e = Expr::Union(
+            Box::new(Expr::rel("a")),
+            Box::new(Expr::rel("b")),
+        );
+        assert_eq!(e.to_string(), "(a UNION b)");
+        let l = LifespanExpr::When(Box::new(Expr::rel("emp")));
+        assert_eq!(l.to_string(), "(WHEN (emp))");
+    }
+
+    #[test]
+    fn lifespan_literal_display() {
+        let l = LifespanExpr::Literal(Lifespan::of(&[(1, 3), (5, 5)]));
+        assert_eq!(l.to_string(), "[1..3, 5]");
+    }
+}

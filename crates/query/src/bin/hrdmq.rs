@@ -1,0 +1,105 @@
+//! `hrdmq` — a small interactive shell for HRDM databases.
+//!
+//! ```sh
+//! cargo run -p hrdm-query --bin hrdmq -- /path/to/db-dir
+//! ```
+//!
+//! Reads one query per line (the textual algebra of `hrdm-query`), prints
+//! relations or lifespans. Meta-commands:
+//!
+//! * `\d` — list relations and schemes,
+//! * `\log` — show the schema-evolution log,
+//! * `\explain <query>` — show the optimized plan and rewrite trace,
+//! * `\q` — quit.
+
+use hrdm_query::{evaluate, explain_optimized, optimize, parse_query, Query, QueryResult};
+use hrdm_storage::Database;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let db = match args.get(1) {
+        Some(dir) => match Database::load(std::path::Path::new(dir)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("failed to load database from {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("usage: hrdmq <database-dir>   (no dir given: starting empty)");
+            Database::new()
+        }
+    };
+
+    let names: Vec<&str> = db.relation_names().collect();
+    println!("hrdmq — {} relation(s): {}", names.len(), names.join(", "));
+    println!("type a query, \\d for schemas, \\q to quit");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("hrdm> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" {
+            break;
+        }
+        if line == "\\d" {
+            for name in db.relation_names() {
+                let r = db.relation(name).expect("listed relations exist");
+                println!("{name}: {} — {} tuple(s)", r.scheme(), r.len());
+            }
+            continue;
+        }
+        if line == "\\log" {
+            for ev in db.catalog().log() {
+                println!("{ev}");
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\explain ") {
+            match parse_query(rest) {
+                Ok(Query::Relation(e)) => {
+                    let (optimized, trace) = optimize(&e);
+                    println!("{}", explain_optimized(&e, &optimized, &trace));
+                }
+                Ok(_) => println!("(only relation-sorted queries have a relational plan)"),
+                Err(e) => println!("parse error: {e}"),
+            }
+            continue;
+        }
+
+        match parse_query(line) {
+            Err(e) => println!("parse error: {e}"),
+            Ok(q) => {
+                // Optimize relation-sorted queries before evaluation.
+                let q = match q {
+                    Query::Relation(e) => Query::Relation(optimize(&e).0),
+                    other => other,
+                };
+                match evaluate(&q, &db) {
+                    Ok(QueryResult::Relation(r)) => {
+                        print!("{r}");
+                        println!("({} tuple(s))", r.len());
+                    }
+                    Ok(QueryResult::Lifespan(l)) => println!("{l}"),
+                    Ok(QueryResult::Function(f)) => println!("{f}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! EXPLAIN: a tree rendering of algebra expressions and optimizer traces.
+
+use crate::ast::{Expr, LifespanExpr};
+use crate::optimizer::Rewrite;
+use std::fmt::Write;
+
+/// Renders an expression as an indented operator tree.
+pub fn explain(e: &Expr) -> String {
+    let mut out = String::new();
+    walk(e, 0, &mut out);
+    out
+}
+
+/// Renders an optimizer run: before/after trees plus the fired rules.
+pub fn explain_optimized(before: &Expr, after: &Expr, trace: &[Rewrite]) -> String {
+    let mut out = String::new();
+    out.push_str("== unoptimized ==\n");
+    out.push_str(&explain(before));
+    out.push_str("== rewrites ==\n");
+    if trace.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for r in trace {
+        let _ = writeln!(out, "  {}", r.rule);
+    }
+    out.push_str("== optimized ==\n");
+    out.push_str(&explain(after));
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn walk(e: &Expr, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match e {
+        Expr::Relation(name) => {
+            let _ = writeln!(out, "Relation {name}");
+        }
+        Expr::Union(a, b) => {
+            out.push_str("Union\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::Intersection(a, b) => {
+            out.push_str("Intersection\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::Difference(a, b) => {
+            out.push_str("Difference\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::UnionO(a, b) => {
+            out.push_str("Union-O\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::IntersectionO(a, b) => {
+            out.push_str("Intersection-O\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::DifferenceO(a, b) => {
+            out.push_str("Difference-O\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::Product(a, b) => {
+            out.push_str("Product\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::NaturalJoin(a, b) => {
+            out.push_str("NaturalJoin\n");
+            walk(a, depth + 1, out);
+            walk(b, depth + 1, out);
+        }
+        Expr::Project { input, attrs } => {
+            let names: Vec<&str> = attrs.iter().map(|a| a.name()).collect();
+            let _ = writeln!(out, "Project [{}]", names.join(", "));
+            walk(input, depth + 1, out);
+        }
+        Expr::SelectIf {
+            input,
+            predicate,
+            quantifier,
+            lifespan,
+        } => {
+            match lifespan {
+                Some(l) => {
+                    let _ = writeln!(out, "Select-If {predicate} ({quantifier} over {l})");
+                }
+                None => {
+                    let _ = writeln!(out, "Select-If {predicate} ({quantifier})");
+                }
+            }
+            walk(input, depth + 1, out);
+        }
+        Expr::SelectWhen { input, predicate } => {
+            let _ = writeln!(out, "Select-When {predicate}");
+            walk(input, depth + 1, out);
+        }
+        Expr::TimeSlice { input, lifespan } => {
+            match lifespan {
+                LifespanExpr::Literal(l) => {
+                    let _ = writeln!(out, "TimeSlice {l}");
+                }
+                other => {
+                    let _ = writeln!(out, "TimeSlice {other}");
+                }
+            }
+            walk(input, depth + 1, out);
+        }
+        Expr::TimeSliceDynamic { input, attr } => {
+            let _ = writeln!(out, "TimeSlice @{attr}");
+            walk(input, depth + 1, out);
+        }
+        Expr::ThetaJoin {
+            left,
+            right,
+            a,
+            op,
+            b,
+        } => {
+            let _ = writeln!(out, "ThetaJoin {a} {op} {b}");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        Expr::TimeJoin { left, right, attr } => {
+            let _ = writeln!(out, "TimeJoin @{attr}");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn renders_tree_shape() {
+        let e = parse_expr("PROJECT [NAME] (SELECT-WHEN (SALARY = 1) (emp UNION dept))")
+            .unwrap();
+        let text = explain(&e);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Project [NAME]");
+        assert!(lines[1].starts_with("  Select-When"));
+        assert!(lines[2].starts_with("    Union"));
+        assert!(lines[3].contains("Relation emp"));
+        assert!(lines[4].contains("Relation dept"));
+    }
+
+    #[test]
+    fn explain_optimized_shows_rules() {
+        let e = parse_expr("TIMESLICE [0..10] (TIMESLICE [5..20] (emp))").unwrap();
+        let (after, trace) = optimize(&e);
+        let text = explain_optimized(&e, &after, &trace);
+        assert!(text.contains("== rewrites =="));
+        assert!(text.contains("FuseTimeslice"));
+        assert!(text.contains("== optimized =="));
+    }
+
+    #[test]
+    fn explain_with_no_rewrites() {
+        let e = parse_expr("emp").unwrap();
+        let (after, trace) = optimize(&e);
+        let text = explain_optimized(&e, &after, &trace);
+        assert!(text.contains("(none)"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Tokenizer for the HRDM algebra language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `-` (lifespan minus; also allowed inside hyphenated keywords like
+    /// `SELECT-IF`, which the lexer folds into the identifier)
+    Minus,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::DotDot => write!(f, ".."),
+            Token::At => write!(f, "@"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// A lexing error with a byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '@' => {
+                out.push(Token::At);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Pipe);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        message: "stray '.'".into(),
+                    });
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        at: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '-' => {
+                // A '-' directly following an identifier continues a
+                // hyphenated keyword (SELECT-IF, UNION-O, …); otherwise it is
+                // a minus (negative number or lifespan difference).
+                let continues_keyword = matches!(out.last(), Some(Token::Ident(_)))
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_alphabetic());
+                if continues_keyword {
+                    if let Some(Token::Ident(prev)) = out.last_mut() {
+                        prev.push('-');
+                        i += 1;
+                        // Consume the following identifier chunk directly.
+                        while i < bytes.len()
+                            && ((bytes[i] as char).is_ascii_alphanumeric()
+                                || bytes[i] == b'_')
+                        {
+                            prev.push(bytes[i] as char);
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    unreachable!("guarded by matches! above");
+                } else if bytes
+                    .get(i + 1)
+                    .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    // Negative number literal.
+                    let (tok, next) = lex_number(input, i)?;
+                    out.push(tok);
+                    i = next;
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    // Allow dots inside identifiers (prefixed attributes like
+                    // e.NAME) but not a trailing `..` range.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    // A single '.' followed by a digit makes it a float; '..' is a range.
+    if i < bytes.len()
+        && bytes[i] == b'.'
+        && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+    {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| (Token::Float(v), i))
+            .map_err(|e| LexError {
+                at: start,
+                message: format!("bad float literal: {e}"),
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|e| LexError {
+                at: start,
+                message: format!("bad integer literal: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("PROJECT [NAME, SALARY] (emp)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("PROJECT".into()),
+                Token::LBracket,
+                Token::Ident("NAME".into()),
+                Token::Comma,
+                Token::Ident("SALARY".into()),
+                Token::RBracket,
+                Token::LParen,
+                Token::Ident("emp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_keywords_fold() {
+        let toks = lex("SELECT-IF SELECT-WHEN UNION-O").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT-IF".into()),
+                Token::Ident("SELECT-WHEN".into()),
+                Token::Ident("UNION-O".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_ranges_and_negatives() {
+        let toks = lex("[0..10, -5..-1, 3.5]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LBracket,
+                Token::Int(0),
+                Token::DotDot,
+                Token::Int(10),
+                Token::Comma,
+                Token::Int(-5),
+                Token::DotDot,
+                Token::Int(-1),
+                Token::Comma,
+                Token::Float(3.5),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a = b != c < d <= e > f >= g").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge
+                )
+            })
+            .collect();
+        assert_eq!(ops.len(), 6);
+    }
+
+    #[test]
+    fn strings_and_errors() {
+        assert_eq!(
+            lex("\"John Smith\"").unwrap(),
+            vec![Token::Str("John Smith".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let toks = lex("e.NAME").unwrap();
+        assert_eq!(toks, vec![Token::Ident("e.NAME".into())]);
+    }
+
+    #[test]
+    fn minus_in_lifespan_context() {
+        // After ']' a '-' is a set minus, not a keyword continuation.
+        let toks = lex("[1..2] - [3..4]").unwrap();
+        assert!(toks.contains(&Token::Minus));
+    }
+}

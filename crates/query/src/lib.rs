@@ -1,0 +1,54 @@
+//! # hrdm-query — an algebra language, evaluator, and optimizer for HRDM
+//!
+//! The paper defines its algebra mathematically; this crate makes it
+//! *runnable as text*:
+//!
+//! ```
+//! use hrdm_query::{parse_query, evaluate, QueryResult};
+//! use hrdm_core::prelude::*;
+//! use std::collections::BTreeMap;
+//!
+//! // emp(NAME*, SALARY) with John earning 25K then 30K.
+//! let era = Lifespan::interval(0, 19);
+//! let scheme = Scheme::builder()
+//!     .key_attr("NAME", ValueKind::Str, era.clone())
+//!     .attr("SALARY", HistoricalDomain::int(), era.clone())
+//!     .build().unwrap();
+//! let john = Tuple::builder(era.clone())
+//!     .constant("NAME", "John")
+//!     .value("SALARY", TemporalValue::of(&[
+//!         (0, 9, Value::Int(25_000)), (10, 19, Value::Int(30_000)),
+//!     ]))
+//!     .finish(&scheme).unwrap();
+//! let mut db = BTreeMap::new();
+//! db.insert("emp".to_string(), Relation::with_tuples(scheme, vec![john]).unwrap());
+//!
+//! // The paper's §4.3 example, as text. WHEN extracts the lifespan sort.
+//! let q = parse_query(
+//!     "WHEN (SELECT-WHEN (NAME = \"John\" AND SALARY = 30000) (emp))",
+//! ).unwrap();
+//! match evaluate(&q, &db).unwrap() {
+//!     QueryResult::Lifespan(l) => assert_eq!(l, Lifespan::interval(10, 19)),
+//!     _ => unreachable!(),
+//! }
+//! ```
+//!
+//! The [`optimizer`] applies the algebraic identities the paper lists in §5
+//! (select/TIME-SLICE commutation, distribution over set operators, …) as
+//! rewrite rules, and [`explain()`] renders plans and rewrite traces.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod explain;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+
+pub use ast::{Expr, LifespanExpr, Query};
+pub use eval::{eval_expr, eval_lifespan, evaluate, QueryResult, RelationSource};
+pub use explain::{explain, explain_optimized};
+pub use lexer::{lex, LexError, Token};
+pub use optimizer::{optimize, Rewrite};
+pub use parser::{parse_expr, parse_query, ParseError};

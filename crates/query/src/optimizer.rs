@@ -1,0 +1,465 @@
+//! Rewrite-rule optimizer built on the algebraic identities of paper §5.
+//!
+//! "Many of the properties of the relational algebra carry over to the
+//! historical relational algebra … the commutativity of select, the
+//! distribution of select over the binary set-theoretic operators … the
+//! distribution of TIMESLICE over the binary set-theoretic operators,
+//! commutativity of TIMESLICE with both flavors of SELECT" (§5).
+//!
+//! Each rule below is such an identity, used left-to-right as a cost
+//! improvement. Every rule is *semantics-preserving* and machine-checked:
+//! the workspace integration tests evaluate random expressions optimized and
+//! unoptimized and assert equal results.
+//!
+//! | Rule | Identity | Why it pays |
+//! |---|---|---|
+//! | `FuseTimeslice` | `τ_L1(τ_L2(e)) = τ_{L1∩L2}(e)` | one pass instead of two |
+//! | `FuseSelectWhen` | `σW_p(σW_q(e)) = σW_{p∧q}(e)` | one pass instead of two |
+//! | `FuseProject` | `π_Y(π_X(e)) = π_Y(e)` | drops the inner copy |
+//! | `TimesliceThroughUnion` | `τ_L(e1 ∪ e2) = τ_L(e1) ∪ τ_L(e2)` | slice before the (deduplicating) union |
+//! | `TimesliceThroughProject` | `τ_L(π_X(e)) = π_X(τ_L(e))` | slice before projection copies |
+//! | `TimesliceThroughSelectWhen` | `τ_L(σW_p(e)) = σW_p(τ_L(e))` | slice first: predicates scan fewer segments |
+//! | `SelectThroughProject` | `σ(π_X(e)) = π_X(σ(e))` when `attrs(σ) ⊆ X` | select first: project copies fewer tuples |
+
+use crate::ast::{Expr, LifespanExpr};
+
+/// A single applied rewrite, for EXPLAIN output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rewrite {
+    /// The rule that fired.
+    pub rule: &'static str,
+}
+
+/// Optimizes an expression by applying the §5 identities to fixpoint
+/// (bounded by tree size). Returns the rewritten tree and the trace of
+/// applied rules.
+pub fn optimize(expr: &Expr) -> (Expr, Vec<Rewrite>) {
+    let mut current = expr.clone();
+    let mut trace = Vec::new();
+    // Each pass either fires at least one rule (strictly reducing or
+    // reordering into a normal form) or reaches fixpoint; bound iterations
+    // to size² as a belt-and-braces guarantee of termination.
+    let bound = current.size() * current.size() + 8;
+    for _ in 0..bound {
+        let (next, fired) = pass(&current, &mut trace);
+        if !fired {
+            return (next, trace);
+        }
+        current = next;
+    }
+    (current, trace)
+}
+
+/// One bottom-up rewrite pass; returns whether any rule fired.
+fn pass(e: &Expr, trace: &mut Vec<Rewrite>) -> (Expr, bool) {
+    // First rewrite children, then the node itself.
+    let (node, child_fired) = map_children(e, trace);
+    let (rewritten, self_fired) = apply_rules(node, trace);
+    (rewritten, child_fired || self_fired)
+}
+
+fn map_children(e: &Expr, trace: &mut Vec<Rewrite>) -> (Expr, bool) {
+    macro_rules! bin {
+        ($ctor:ident, $a:expr, $b:expr) => {{
+            let (a, fa) = pass($a, trace);
+            let (b, fb) = pass($b, trace);
+            (Expr::$ctor(Box::new(a), Box::new(b)), fa || fb)
+        }};
+    }
+    match e {
+        Expr::Relation(_) => (e.clone(), false),
+        Expr::Union(a, b) => bin!(Union, a, b),
+        Expr::Intersection(a, b) => bin!(Intersection, a, b),
+        Expr::Difference(a, b) => bin!(Difference, a, b),
+        Expr::UnionO(a, b) => bin!(UnionO, a, b),
+        Expr::IntersectionO(a, b) => bin!(IntersectionO, a, b),
+        Expr::DifferenceO(a, b) => bin!(DifferenceO, a, b),
+        Expr::Product(a, b) => bin!(Product, a, b),
+        Expr::NaturalJoin(a, b) => bin!(NaturalJoin, a, b),
+        Expr::Project { input, attrs } => {
+            let (i, f) = pass(input, trace);
+            (
+                Expr::Project {
+                    input: Box::new(i),
+                    attrs: attrs.clone(),
+                },
+                f,
+            )
+        }
+        Expr::SelectIf {
+            input,
+            predicate,
+            quantifier,
+            lifespan,
+        } => {
+            let (i, f) = pass(input, trace);
+            (
+                Expr::SelectIf {
+                    input: Box::new(i),
+                    predicate: predicate.clone(),
+                    quantifier: *quantifier,
+                    lifespan: lifespan.clone(),
+                },
+                f,
+            )
+        }
+        Expr::SelectWhen { input, predicate } => {
+            let (i, f) = pass(input, trace);
+            (
+                Expr::SelectWhen {
+                    input: Box::new(i),
+                    predicate: predicate.clone(),
+                },
+                f,
+            )
+        }
+        Expr::TimeSlice { input, lifespan } => {
+            let (i, f) = pass(input, trace);
+            (
+                Expr::TimeSlice {
+                    input: Box::new(i),
+                    lifespan: lifespan.clone(),
+                },
+                f,
+            )
+        }
+        Expr::TimeSliceDynamic { input, attr } => {
+            let (i, f) = pass(input, trace);
+            (
+                Expr::TimeSliceDynamic {
+                    input: Box::new(i),
+                    attr: attr.clone(),
+                },
+                f,
+            )
+        }
+        Expr::ThetaJoin {
+            left,
+            right,
+            a,
+            op,
+            b,
+        } => {
+            let (l, fl) = pass(left, trace);
+            let (r, fr) = pass(right, trace);
+            (
+                Expr::ThetaJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    a: a.clone(),
+                    op: *op,
+                    b: b.clone(),
+                },
+                fl || fr,
+            )
+        }
+        Expr::TimeJoin { left, right, attr } => {
+            let (l, fl) = pass(left, trace);
+            let (r, fr) = pass(right, trace);
+            (
+                Expr::TimeJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    attr: attr.clone(),
+                },
+                fl || fr,
+            )
+        }
+    }
+}
+
+fn apply_rules(e: Expr, trace: &mut Vec<Rewrite>) -> (Expr, bool) {
+    match e {
+        // τ_L1(τ_L2(e)) → τ_{L1 ∩ L2}(e) for literal lifespans.
+        Expr::TimeSlice {
+            input,
+            lifespan: LifespanExpr::Literal(outer),
+        } => match *input {
+            Expr::TimeSlice {
+                input: inner_input,
+                lifespan: LifespanExpr::Literal(inner),
+            } => {
+                trace.push(Rewrite {
+                    rule: "FuseTimeslice",
+                });
+                (
+                    Expr::TimeSlice {
+                        input: inner_input,
+                        lifespan: LifespanExpr::Literal(outer.intersect(&inner)),
+                    },
+                    true,
+                )
+            }
+            // τ_L(e1 ∪ e2) → τ_L(e1) ∪ τ_L(e2)  (§5: TIMESLICE distributes
+            // over the set operators; safe for ∪ under set semantics).
+            Expr::Union(a, b) => {
+                trace.push(Rewrite {
+                    rule: "TimesliceThroughUnion",
+                });
+                (
+                    Expr::Union(
+                        Box::new(Expr::TimeSlice {
+                            input: a,
+                            lifespan: LifespanExpr::Literal(outer.clone()),
+                        }),
+                        Box::new(Expr::TimeSlice {
+                            input: b,
+                            lifespan: LifespanExpr::Literal(outer),
+                        }),
+                    ),
+                    true,
+                )
+            }
+            // τ_L(π_X(e)) → π_X(τ_L(e)): restriction and attribute dropping
+            // commute per tuple, and both operators deduplicate, so the sets
+            // agree; slicing first shrinks what projection copies.
+            Expr::Project {
+                input: pi_input,
+                attrs,
+            } => {
+                trace.push(Rewrite {
+                    rule: "TimesliceThroughProject",
+                });
+                (
+                    Expr::Project {
+                        input: Box::new(Expr::TimeSlice {
+                            input: pi_input,
+                            lifespan: LifespanExpr::Literal(outer),
+                        }),
+                        attrs,
+                    },
+                    true,
+                )
+            }
+            // τ_L(σW_p(e)) → σW_p(τ_L(e))  (§5: TIMESLICE commutes with
+            // SELECT); slicing first shrinks every segment the predicate
+            // will scan.
+            Expr::SelectWhen {
+                input: sel_input,
+                predicate,
+            } => {
+                trace.push(Rewrite {
+                    rule: "TimesliceThroughSelectWhen",
+                });
+                (
+                    Expr::SelectWhen {
+                        input: Box::new(Expr::TimeSlice {
+                            input: sel_input,
+                            lifespan: LifespanExpr::Literal(outer),
+                        }),
+                        predicate,
+                    },
+                    true,
+                )
+            }
+            other => (
+                Expr::TimeSlice {
+                    input: Box::new(other),
+                    lifespan: LifespanExpr::Literal(outer),
+                },
+                false,
+            ),
+        },
+
+        // σW_p(σW_q(e)) → σW_{q ∧ p}(e).
+        Expr::SelectWhen { input, predicate } => match *input {
+            Expr::SelectWhen {
+                input: inner_input,
+                predicate: inner_pred,
+            } => {
+                trace.push(Rewrite {
+                    rule: "FuseSelectWhen",
+                });
+                (
+                    Expr::SelectWhen {
+                        input: inner_input,
+                        predicate: inner_pred.and(predicate),
+                    },
+                    true,
+                )
+            }
+            // σW_p(π_X(e)) → π_X(σW_p(e)) when attrs(p) ⊆ X.
+            Expr::Project { input: pi_input, attrs }
+                if predicate.attributes().iter().all(|a| attrs.contains(a)) =>
+            {
+                trace.push(Rewrite {
+                    rule: "SelectThroughProject",
+                });
+                (
+                    Expr::Project {
+                        input: Box::new(Expr::SelectWhen {
+                            input: pi_input,
+                            predicate,
+                        }),
+                        attrs,
+                    },
+                    true,
+                )
+            }
+            other => (
+                Expr::SelectWhen {
+                    input: Box::new(other),
+                    predicate,
+                },
+                false,
+            ),
+        },
+
+        // σIF(π_X(e)) → π_X(σIF(e)) when attrs(p) ⊆ X.
+        Expr::SelectIf {
+            input,
+            predicate,
+            quantifier,
+            lifespan,
+        } => match *input {
+            Expr::Project { input: pi_input, attrs }
+                if predicate.attributes().iter().all(|a| attrs.contains(a)) =>
+            {
+                trace.push(Rewrite {
+                    rule: "SelectThroughProject",
+                });
+                (
+                    Expr::Project {
+                        input: Box::new(Expr::SelectIf {
+                            input: pi_input,
+                            predicate,
+                            quantifier,
+                            lifespan,
+                        }),
+                        attrs,
+                    },
+                    true,
+                )
+            }
+            other => (
+                Expr::SelectIf {
+                    input: Box::new(other),
+                    predicate,
+                    quantifier,
+                    lifespan,
+                },
+                false,
+            ),
+        },
+
+        // π_Y(π_X(e)) → π_Y(e)   (Y ⊆ X is guaranteed by validity).
+        Expr::Project { input, attrs } => match *input {
+            Expr::Project {
+                input: inner_input, ..
+            } => {
+                trace.push(Rewrite {
+                    rule: "FuseProject",
+                });
+                (
+                    Expr::Project {
+                        input: inner_input,
+                        attrs,
+                    },
+                    true,
+                )
+            }
+            other => (
+                Expr::Project {
+                    input: Box::new(other),
+                    attrs,
+                },
+                false,
+            ),
+        },
+
+        other => (other, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn opt(src: &str) -> (Expr, Vec<&'static str>) {
+        let e = parse_expr(src).unwrap();
+        let (out, trace) = optimize(&e);
+        (out, trace.into_iter().map(|r| r.rule).collect())
+    }
+
+    #[test]
+    fn fuses_nested_timeslices() {
+        let (out, rules) = opt("TIMESLICE [0..10] (TIMESLICE [5..20] (emp))");
+        assert!(rules.contains(&"FuseTimeslice"));
+        assert_eq!(out.to_string(), "TIMESLICE [5..10] (emp)");
+    }
+
+    #[test]
+    fn fuses_select_whens_into_conjunction() {
+        let (out, rules) =
+            opt("SELECT-WHEN (A = 1) (SELECT-WHEN (B = 2) (emp))");
+        assert!(rules.contains(&"FuseSelectWhen"));
+        assert!(matches!(out, Expr::SelectWhen { .. }));
+        assert_eq!(out.size(), 2);
+    }
+
+    #[test]
+    fn fuses_projections() {
+        let (out, rules) = opt("PROJECT [A] (PROJECT [A, B] (emp))");
+        assert!(rules.contains(&"FuseProject"));
+        assert_eq!(out.to_string(), "PROJECT [A] (emp)");
+    }
+
+    #[test]
+    fn distributes_timeslice_over_union() {
+        let (out, rules) = opt("TIMESLICE [0..5] (a UNION b)");
+        assert!(rules.contains(&"TimesliceThroughUnion"));
+        assert_eq!(
+            out.to_string(),
+            "(TIMESLICE [0..5] (a) UNION TIMESLICE [0..5] (b))"
+        );
+    }
+
+    #[test]
+    fn pushes_timeslice_through_select_when() {
+        let (out, rules) = opt("TIMESLICE [0..5] (SELECT-WHEN (A = 1) (emp))");
+        assert!(rules.contains(&"TimesliceThroughSelectWhen"));
+        assert_eq!(
+            out.to_string(),
+            "SELECT-WHEN (A = 1) (TIMESLICE [0..5] (emp))"
+        );
+    }
+
+    #[test]
+    fn pushes_select_through_project() {
+        let (out, rules) = opt("SELECT-WHEN (A = 1) (PROJECT [A, B] (emp))");
+        assert!(rules.contains(&"SelectThroughProject"));
+        assert_eq!(
+            out.to_string(),
+            "PROJECT [A, B] (SELECT-WHEN (A = 1) (emp))"
+        );
+
+        // Not when the predicate needs a projected-away attribute.
+        let (out, rules) = opt("SELECT-WHEN (C = 1) (PROJECT [A, B] (emp))");
+        assert!(!rules.contains(&"SelectThroughProject"));
+        assert!(matches!(out, Expr::SelectWhen { .. }));
+    }
+
+    #[test]
+    fn cascades_fire_to_fixpoint() {
+        // Slice over slice over select-when over project: several rules
+        // compose.
+        let (out, rules) = opt(
+            "TIMESLICE [0..10] (TIMESLICE [5..30] (SELECT-WHEN (A = 1) (PROJECT [A] (emp))))",
+        );
+        assert!(rules.contains(&"FuseTimeslice"));
+        assert!(rules.contains(&"TimesliceThroughSelectWhen"));
+        assert!(rules.contains(&"SelectThroughProject"));
+        assert_eq!(
+            out.to_string(),
+            "PROJECT [A] (SELECT-WHEN (A = 1) (TIMESLICE [5..10] (emp)))"
+        );
+    }
+
+    #[test]
+    fn leaves_irreducible_trees_alone() {
+        let (out, rules) = opt("emp JOIN dept ON A = B");
+        assert!(rules.is_empty());
+        assert_eq!(out, parse_expr("emp JOIN dept ON A = B").unwrap());
+    }
+}

@@ -1,0 +1,765 @@
+//! Recursive-descent parser for the HRDM algebra language.
+//!
+//! ```text
+//! query      := expr                          -- relation-sorted
+//!             | lifespanExpr                  -- lifespan-sorted (starts with WHEN or '[')
+//! expr       := term (binop term)*
+//! binop      := UNION | UNION-O | INTERSECT | INTERSECT-O | MINUS | MINUS-O
+//!             | PRODUCT | NATJOIN
+//!             | JOIN term ON attr cmp attr
+//!             | TIMEJOIN '@' attr
+//! term       := PROJECT '[' attr, … ']' '(' expr ')'
+//!             | SELECT-IF '(' pred ',' quant [',' lifespanExpr] ')' '(' expr ')'
+//!             | SELECT-WHEN '(' pred ')' '(' expr ')'
+//!             | TIMESLICE lifespanExpr '(' expr ')'
+//!             | SLICE '@' attr '(' expr ')'
+//!             | '(' expr ')'
+//!             | relationName
+//! lifespanExpr := lsAtom (('&' | '|' | '-') lsAtom)*
+//! lsAtom     := '[' [range (',' range)*] ']' | WHEN '(' expr ')' | '(' lifespanExpr ')'
+//! range      := int ['..' int]
+//! pred       := orPred; orPred := andPred (OR andPred)*;
+//! andPred    := notPred (AND notPred)*
+//! notPred    := NOT notPred | TRUE | '(' pred ')' | operand cmp operand
+//! operand    := attrName | int | float | string | '@' int (a time value)
+//! ```
+//!
+//! Keywords are case-insensitive; everything produces plain [`Query`] /
+//! [`Expr`] values.
+
+use crate::ast::{Expr, LifespanExpr, Query};
+use crate::lexer::{lex, LexError, Token};
+use hrdm_core::algebra::{Comparator, Operand, Predicate, Quantifier};
+use hrdm_core::Value;
+use hrdm_time::Lifespan;
+use std::fmt;
+
+/// A parse error with a token position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Index of the offending token (or one past the end).
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            at: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a top-level query of either sort.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    // Aggregate queries are prefix-marked: COUNT/SUM/MIN/MAX/AVG attr (expr).
+    if let Some(Token::Ident(kw)) = toks.first() {
+        let op = match kw.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(hrdm_core::algebra::AggregateOp::Count),
+            "SUM" => Some(hrdm_core::algebra::AggregateOp::Sum),
+            "MIN" => Some(hrdm_core::algebra::AggregateOp::Min),
+            "MAX" => Some(hrdm_core::algebra::AggregateOp::Max),
+            "AVG" => Some(hrdm_core::algebra::AggregateOp::Avg),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let mut p = Parser { toks, pos: 1 };
+            let attr = p.ident("aggregated attribute")?;
+            let input = p.parenthesized_expr()?;
+            p.expect_end()?;
+            return Ok(Query::Aggregate {
+                op,
+                attr: attr.into(),
+                input,
+            });
+        }
+    }
+    // Both remaining sorts can start with '(' — try the relation sort first,
+    // then backtrack into the lifespan sort; report whichever error got
+    // further.
+    let mut p = Parser {
+        toks: toks.clone(),
+        pos: 0,
+    };
+    let expr_err = match p.expr().and_then(|e| {
+        p.expect_end()?;
+        Ok(e)
+    }) {
+        Ok(e) => return Ok(Query::Relation(e)),
+        Err(e) => e,
+    };
+    let mut p = Parser { toks, pos: 0 };
+    match p.lifespan_expr().and_then(|l| {
+        p.expect_end()?;
+        Ok(l)
+    }) {
+        Ok(l) => Ok(Query::Lifespan(l)),
+        Err(ls_err) => {
+            if ls_err.at >= expr_err.at {
+                Err(ls_err)
+            } else {
+                Err(expr_err)
+            }
+        }
+    }
+}
+
+/// Parses a relation-sorted expression.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+const RESERVED: &[&str] = &[
+    "PROJECT",
+    "SELECT-IF",
+    "SELECT-WHEN",
+    "TIMESLICE",
+    "SLICE",
+    "WHEN",
+    "UNION",
+    "UNION-O",
+    "INTERSECT",
+    "INTERSECT-O",
+    "MINUS",
+    "MINUS-O",
+    "PRODUCT",
+    "JOIN",
+    "NATJOIN",
+    "TIMEJOIN",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "TRUE",
+    "FALSE",
+    "EXISTS",
+    "FORALL",
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_keyword(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.error(format!("expected {want}, found {t}"))
+            }
+            None => self.error(format!("expected {want}, found end of input")),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            self.error("trailing input after query")
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self
+            .peek_keyword()
+            .is_some_and(|s| s.eq_ignore_ascii_case(kw))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected keyword {kw}"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => self.error(format!(
+                "expected {what}, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.term()?;
+        while let Some(kw) = self.peek_keyword().map(str::to_ascii_uppercase) {
+            match kw.as_str() {
+                "UNION" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::Union(Box::new(left), Box::new(right));
+                }
+                "UNION-O" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::UnionO(Box::new(left), Box::new(right));
+                }
+                "INTERSECT" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::Intersection(Box::new(left), Box::new(right));
+                }
+                "INTERSECT-O" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::IntersectionO(Box::new(left), Box::new(right));
+                }
+                "MINUS" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::Difference(Box::new(left), Box::new(right));
+                }
+                "MINUS-O" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::DifferenceO(Box::new(left), Box::new(right));
+                }
+                "PRODUCT" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::Product(Box::new(left), Box::new(right));
+                }
+                "NATJOIN" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = Expr::NaturalJoin(Box::new(left), Box::new(right));
+                }
+                "JOIN" => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    self.expect_keyword("ON")?;
+                    let a = self.ident("join attribute")?;
+                    let op = self.comparator()?;
+                    let b = self.ident("join attribute")?;
+                    left = Expr::ThetaJoin {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        a: a.into(),
+                        op,
+                        b: b.into(),
+                    };
+                }
+                "TIMEJOIN" => {
+                    self.pos += 1;
+                    self.expect(&Token::At)?;
+                    let attr = self.ident("time-valued attribute")?;
+                    let right = self.term()?;
+                    left = Expr::TimeJoin {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        attr: attr.into(),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let Some(kw) = self.peek_keyword().map(str::to_ascii_uppercase) else {
+            return match self.peek() {
+                Some(Token::LParen) => {
+                    self.pos += 1;
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(e)
+                }
+                _ => self.error("expected an expression"),
+            };
+        };
+        match kw.as_str() {
+            "PROJECT" => {
+                self.pos += 1;
+                self.expect(&Token::LBracket)?;
+                let mut attrs = vec![self.ident("attribute")?];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                    attrs.push(self.ident("attribute")?);
+                }
+                self.expect(&Token::RBracket)?;
+                let input = self.parenthesized_expr()?;
+                Ok(Expr::Project {
+                    input: Box::new(input),
+                    attrs: attrs.into_iter().map(Into::into).collect(),
+                })
+            }
+            "SELECT-IF" => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let predicate = self.predicate()?;
+                self.expect(&Token::Comma)?;
+                let quantifier = if self.eat_keyword("EXISTS") {
+                    Quantifier::Exists
+                } else if self.eat_keyword("FORALL") {
+                    Quantifier::Forall
+                } else {
+                    return self.error("expected EXISTS or FORALL");
+                };
+                let lifespan = if matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                    Some(self.lifespan_expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Token::RParen)?;
+                let input = self.parenthesized_expr()?;
+                Ok(Expr::SelectIf {
+                    input: Box::new(input),
+                    predicate,
+                    quantifier,
+                    lifespan,
+                })
+            }
+            "SELECT-WHEN" => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let predicate = self.predicate()?;
+                self.expect(&Token::RParen)?;
+                let input = self.parenthesized_expr()?;
+                Ok(Expr::SelectWhen {
+                    input: Box::new(input),
+                    predicate,
+                })
+            }
+            "TIMESLICE" => {
+                self.pos += 1;
+                let lifespan = self.lifespan_expr()?;
+                let input = self.parenthesized_expr()?;
+                Ok(Expr::TimeSlice {
+                    input: Box::new(input),
+                    lifespan,
+                })
+            }
+            "SLICE" => {
+                self.pos += 1;
+                self.expect(&Token::At)?;
+                let attr = self.ident("time-valued attribute")?;
+                let input = self.parenthesized_expr()?;
+                Ok(Expr::TimeSliceDynamic {
+                    input: Box::new(input),
+                    attr: attr.into(),
+                })
+            }
+            other if RESERVED.contains(&other) => {
+                self.error(format!("keyword {other} cannot start an expression"))
+            }
+            _ => {
+                let name = self.ident("relation name")?;
+                Ok(Expr::Relation(name))
+            }
+        }
+    }
+
+    fn parenthesized_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect(&Token::LParen)?;
+        let e = self.expr()?;
+        self.expect(&Token::RParen)?;
+        Ok(e)
+    }
+
+    // ---- lifespans ----
+
+    fn lifespan_expr(&mut self) -> Result<LifespanExpr, ParseError> {
+        let mut left = self.lifespan_atom()?;
+        loop {
+            match self.peek() {
+                Some(Token::Amp) => {
+                    self.pos += 1;
+                    let right = self.lifespan_atom()?;
+                    left = LifespanExpr::Intersect(Box::new(left), Box::new(right));
+                }
+                Some(Token::Pipe) => {
+                    self.pos += 1;
+                    let right = self.lifespan_atom()?;
+                    left = LifespanExpr::Union(Box::new(left), Box::new(right));
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    let right = self.lifespan_atom()?;
+                    left = LifespanExpr::Minus(Box::new(left), Box::new(right));
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn lifespan_atom(&mut self) -> Result<LifespanExpr, ParseError> {
+        match self.peek() {
+            Some(Token::LBracket) => {
+                self.pos += 1;
+                let mut pairs: Vec<(i64, i64)> = Vec::new();
+                if !matches!(self.peek(), Some(Token::RBracket)) {
+                    loop {
+                        let lo = self.int("lifespan bound")?;
+                        let hi = if matches!(self.peek(), Some(Token::DotDot)) {
+                            self.pos += 1;
+                            self.int("lifespan bound")?
+                        } else {
+                            lo
+                        };
+                        if lo > hi {
+                            return self.error(format!("empty range {lo}..{hi}"));
+                        }
+                        pairs.push((lo, hi));
+                        if matches!(self.peek(), Some(Token::Comma)) {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(LifespanExpr::Literal(Lifespan::of(&pairs)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let l = self.lifespan_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(l)
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("WHEN") => {
+                self.pos += 1;
+                let e = self.parenthesized_expr()?;
+                Ok(LifespanExpr::When(Box::new(e)))
+            }
+            _ => self.error("expected a lifespan ([..], WHEN (..), or parentheses)"),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(v),
+            other => self.error(format!(
+                "expected {what}, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )),
+        }
+    }
+
+    // ---- predicates ----
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.and_pred()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_pred()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.not_pred()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_pred()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_pred(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_keyword("NOT") {
+            return Ok(self.not_pred()?.negate());
+        }
+        if self
+            .peek_keyword()
+            .is_some_and(|s| s.eq_ignore_ascii_case("TRUE"))
+        {
+            // `TRUE` as a whole predicate — but only when not the left
+            // operand of a comparison (TRUE = x is a comparison on bools).
+            if !matches!(
+                self.toks.get(self.pos + 1),
+                Some(Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge)
+            ) {
+                self.pos += 1;
+                return Ok(Predicate::True);
+            }
+        }
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let p = self.predicate()?;
+            self.expect(&Token::RParen)?;
+            return Ok(p);
+        }
+        let left = self.operand()?;
+        let op = self.comparator()?;
+        let right = self.operand()?;
+        Ok(Predicate::cmp(left, op, right))
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => {
+                Ok(Operand::val(true))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => {
+                Ok(Operand::val(false))
+            }
+            Some(Token::Ident(s)) => Ok(Operand::attr(s)),
+            Some(Token::Int(v)) => Ok(Operand::val(v)),
+            Some(Token::Float(v)) => match Value::float(v) {
+                Ok(v) => Ok(Operand::Const(v)),
+                Err(_) => self.error("NaN float literal"),
+            },
+            Some(Token::Str(s)) => Ok(Operand::val(s.as_str())),
+            Some(Token::At) => {
+                let t = self.int("time literal")?;
+                Ok(Operand::Const(Value::time(t)))
+            }
+            other => self.error(format!(
+                "expected an operand, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )),
+        }
+    }
+
+    fn comparator(&mut self) -> Result<Comparator, ParseError> {
+        match self.bump() {
+            Some(Token::Eq) => Ok(Comparator::Eq),
+            Some(Token::Ne) => Ok(Comparator::Ne),
+            Some(Token::Lt) => Ok(Comparator::Lt),
+            Some(Token::Le) => Ok(Comparator::Le),
+            Some(Token::Gt) => Ok(Comparator::Gt),
+            Some(Token::Ge) => Ok(Comparator::Ge),
+            other => self.error(format!(
+                "expected a comparator, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_relation_name() {
+        assert_eq!(parse_expr("emp").unwrap(), Expr::rel("emp"));
+    }
+
+    #[test]
+    fn parses_project() {
+        let e = parse_expr("PROJECT [NAME, SALARY] (emp)").unwrap();
+        assert_eq!(e, Expr::rel("emp").project(["NAME", "SALARY"]));
+    }
+
+    #[test]
+    fn parses_select_if_with_and_without_lifespan() {
+        let e = parse_expr("SELECT-IF (SALARY > 30000, EXISTS) (emp)").unwrap();
+        match e {
+            Expr::SelectIf {
+                quantifier: Quantifier::Exists,
+                lifespan: None,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = parse_expr("select-if (SALARY = 1, forall, [0..10, 20]) (emp)").unwrap();
+        match e {
+            Expr::SelectIf {
+                quantifier: Quantifier::Forall,
+                lifespan: Some(LifespanExpr::Literal(l)),
+                ..
+            } => assert_eq!(l, Lifespan::of(&[(0, 10), (20, 20)])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_when_with_compound_predicate() {
+        let e =
+            parse_expr("SELECT-WHEN (NAME = \"John\" AND SALARY = 30000) (emp)").unwrap();
+        match e {
+            Expr::SelectWhen { predicate, .. } => {
+                assert!(matches!(predicate, Predicate::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_timeslice_with_when_parameter() {
+        // The paper's multi-sorted composition: Ω's result feeding τ_L.
+        let e = parse_expr(
+            "TIMESLICE (WHEN (SELECT-WHEN (SALARY = 30000) (emp))) (emp)",
+        )
+        .unwrap();
+        match e {
+            Expr::TimeSlice {
+                lifespan: LifespanExpr::When(inner),
+                ..
+            } => assert!(matches!(*inner, Expr::SelectWhen { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dynamic_slice_and_timejoin() {
+        let e = parse_expr("SLICE@HIRED (emp)").unwrap();
+        assert!(matches!(e, Expr::TimeSliceDynamic { .. }));
+        let e = parse_expr("emp TIMEJOIN@HIRED dept").unwrap();
+        assert!(matches!(e, Expr::TimeJoin { .. }));
+    }
+
+    #[test]
+    fn parses_binary_operators_left_associative() {
+        let e = parse_expr("a UNION b MINUS c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Difference(
+                Box::new(Expr::Union(
+                    Box::new(Expr::rel("a")),
+                    Box::new(Expr::rel("b"))
+                )),
+                Box::new(Expr::rel("c"))
+            )
+        );
+        assert!(parse_expr("a UNION-O b").is_ok());
+        assert!(parse_expr("a INTERSECT-O b").is_ok());
+        assert!(parse_expr("a MINUS-O b").is_ok());
+        assert!(parse_expr("a PRODUCT b").is_ok());
+        assert!(parse_expr("a NATJOIN b").is_ok());
+    }
+
+    #[test]
+    fn parses_theta_join() {
+        let e = parse_expr("emp JOIN dept ON DEPT = DNAME").unwrap();
+        match e {
+            Expr::ThetaJoin { a, op, b, .. } => {
+                assert_eq!(a.name(), "DEPT");
+                assert_eq!(op, Comparator::Eq);
+                assert_eq!(b.name(), "DNAME");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_expr("emp JOIN dept ON SALARY <= BUDGET").is_ok());
+    }
+
+    #[test]
+    fn parses_top_level_when_query() {
+        let q = parse_query("WHEN (SELECT-WHEN (SALARY = 30000) (emp))").unwrap();
+        assert!(matches!(q, Query::Lifespan(LifespanExpr::When(_))));
+        let q = parse_query("[0..5] | [10..12]").unwrap();
+        assert!(matches!(q, Query::Lifespan(LifespanExpr::Union(_, _))));
+        let q = parse_query("emp").unwrap();
+        assert!(matches!(q, Query::Relation(_)));
+    }
+
+    #[test]
+    fn parses_lifespan_algebra() {
+        let q = parse_query("([0..10] & [5..20]) - [7]").unwrap();
+        assert!(matches!(q, Query::Lifespan(LifespanExpr::Minus(_, _))));
+    }
+
+    #[test]
+    fn parses_time_literals_and_negations() {
+        let e = parse_expr("SELECT-WHEN (HIRED = @42) (emp)").unwrap();
+        match e {
+            Expr::SelectWhen { predicate, .. } => match predicate {
+                Predicate::Cmp { right, .. } => {
+                    assert_eq!(right, Operand::Const(Value::time(42)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_expr("SELECT-IF (NOT SALARY = 1, EXISTS) (emp)").is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("PROJECT [] (emp)").is_err());
+        assert!(parse_expr("emp UNION").is_err());
+        assert!(parse_expr("SELECT-IF (X = 1) (emp)").is_err()); // missing quantifier
+        assert!(parse_expr("emp extra").is_err());
+        assert!(parse_expr("TIMESLICE [5..1] (emp)").is_err()); // inverted range
+        assert!(parse_expr("JOIN (a) (b)").is_err()); // JOIN cannot start an expr
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_expr("project [A] (r)").is_ok());
+        assert!(parse_expr("Timeslice [1..2] (r)").is_ok());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let sources = [
+            "PROJECT [NAME] (emp)",
+            "SELECT-WHEN (SALARY = 30000) (emp)",
+            "(emp UNION dept)",
+            "TIMESLICE [0..10] (emp)",
+            "SLICE@HIRED (emp)",
+            "(emp JOIN dept ON A < B)",
+            "(emp TIMEJOIN@H dept)",
+            "(emp NATJOIN dept)",
+        ];
+        for src in sources {
+            let e = parse_expr(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+            assert_eq!(e, reparsed, "round trip of {src}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end test of the `hrdmq` shell binary: build a database on disk,
+//! drive the REPL through stdin, check stdout.
+
+use hrdm_core::prelude::*;
+use hrdm_storage::Database;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn build_db(dir: &std::path::Path) {
+    let era = Lifespan::interval(0, 50);
+    let scheme = Scheme::builder()
+        .key_attr("NAME", ValueKind::Str, era.clone())
+        .attr("SALARY", HistoricalDomain::int(), era)
+        .build()
+        .unwrap();
+    let john = Tuple::builder(Lifespan::interval(0, 30))
+        .constant("NAME", "John")
+        .value(
+            "SALARY",
+            TemporalValue::of(&[
+                (0, 9, Value::Int(25_000)),
+                (10, 30, Value::Int(30_000)),
+            ]),
+        )
+        .finish(&scheme)
+        .unwrap();
+    let mut db = Database::new();
+    db.create_relation("emp", scheme).unwrap();
+    db.insert("emp", john).unwrap();
+    db.save(dir).unwrap();
+}
+
+fn run_repl(dir: &std::path::Path, input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hrdmq"))
+        .arg(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("hrdmq spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write to repl");
+    let out = child.wait_with_output().expect("repl exits");
+    assert!(out.status.success(), "hrdmq exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn repl_answers_queries() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-test-{}", std::process::id()));
+    build_db(&dir);
+
+    let out = run_repl(
+        &dir,
+        "\\d\nWHEN (SELECT-WHEN (SALARY = 30000) (emp))\nSELECT-WHEN (SALARY = 30000) (emp)\n\\q\n",
+    );
+    // \d lists the relation.
+    assert!(out.contains("emp:"), "missing schema listing in {out}");
+    // The WHEN query prints the lifespan.
+    assert!(out.contains("{[10,30]}"), "missing lifespan answer in {out}");
+    // The relation query prints a tuple and a count.
+    assert!(out.contains("(1 tuple(s))"), "missing tuple count in {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_reports_errors_and_survives() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-err-{}", std::process::id()));
+    build_db(&dir);
+
+    let out = run_repl(&dir, "NOT A QUERY ((\nghost\nWHEN (emp)\n\\q\n");
+    assert!(out.contains("parse error"), "missing parse error in {out}");
+    assert!(out.contains("error:"), "missing eval error in {out}");
+    // Still answers the valid query afterwards.
+    assert!(out.contains("{[0,30]}"), "missing recovery answer in {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_explains_plans() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-explain-{}", std::process::id()));
+    build_db(&dir);
+
+    let out = run_repl(
+        &dir,
+        "\\explain TIMESLICE [0..10] (SELECT-WHEN (SALARY = 30000) (emp))\n\\q\n",
+    );
+    assert!(out.contains("== rewrites =="), "missing trace in {out}");
+    assert!(
+        out.contains("TimesliceThroughSelectWhen"),
+        "missing rule in {out}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,422 @@
+//! The system catalog, with first-class schema evolution.
+//!
+//! The paper's central schema-evolution example (Fig. 6): the stock-market
+//! database records DAILY-TRADING-VOLUME over `[t1, t2]`, drops it ("too
+//! expensive to collect"), and re-adds it at `t3` when a cheap source
+//! appears. In HRDM that whole story lives in the **attribute lifespan**
+//! `ALS(A, R)`; evolving the schema = editing attribute lifespans. The
+//! catalog exposes exactly those edits and keeps an audit log of them.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use hrdm_core::{Attribute, AttributeDef, HistoricalDomain, HrdmError, Result, Scheme};
+use hrdm_time::{Chronon, Lifespan};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One schema-evolution event, for the audit log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvolutionEvent {
+    /// Relation created with its initial scheme.
+    Created {
+        /// Relation name.
+        relation: String,
+    },
+    /// A new attribute added, defined from `from` through `to`.
+    AttributeAdded {
+        /// Relation name.
+        relation: String,
+        /// Attribute added.
+        attribute: Attribute,
+        /// First chronon of the attribute's lifespan.
+        from: Chronon,
+        /// Last chronon of the attribute's lifespan.
+        to: Chronon,
+    },
+    /// An attribute dropped as of `at`: its lifespan is clipped to end at
+    /// `at - 1` (history before the drop is retained — this is HRDM).
+    AttributeDropped {
+        /// Relation name.
+        relation: String,
+        /// Attribute dropped.
+        attribute: Attribute,
+        /// First chronon at which the attribute is no longer defined.
+        at: Chronon,
+    },
+    /// A dropped attribute re-added over `[from, to]` — the paper's Fig. 6
+    /// "cheap outside source discovered" move; the lifespan becomes the
+    /// union of old and new periods.
+    AttributeReAdded {
+        /// Relation name.
+        relation: String,
+        /// Attribute re-added.
+        attribute: Attribute,
+        /// First chronon of the new period.
+        from: Chronon,
+        /// Last chronon of the new period.
+        to: Chronon,
+    },
+}
+
+impl fmt::Display for EvolutionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvolutionEvent::Created { relation } => write!(f, "create {relation}"),
+            EvolutionEvent::AttributeAdded {
+                relation,
+                attribute,
+                from,
+                to,
+            } => write!(f, "add {relation}.{attribute} over [{from},{to}]"),
+            EvolutionEvent::AttributeDropped {
+                relation,
+                attribute,
+                at,
+            } => write!(f, "drop {relation}.{attribute} at {at}"),
+            EvolutionEvent::AttributeReAdded {
+                relation,
+                attribute,
+                from,
+                to,
+            } => write!(f, "re-add {relation}.{attribute} over [{from},{to}]"),
+        }
+    }
+}
+
+/// The catalog: relation name → current scheme, plus the evolution log.
+#[derive(Default, Debug)]
+pub struct Catalog {
+    schemes: BTreeMap<String, Scheme>,
+    log: Vec<EvolutionEvent>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a relation scheme.
+    pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<()> {
+        if self.schemes.contains_key(name) {
+            return Err(HrdmError::DuplicateAttribute(Attribute::new(name)));
+        }
+        self.schemes.insert(name.to_string(), scheme);
+        self.log.push(EvolutionEvent::Created {
+            relation: name.to_string(),
+        });
+        Ok(())
+    }
+
+    /// The current scheme of `name`.
+    pub fn scheme(&self, name: &str) -> Option<&Scheme> {
+        self.schemes.get(name)
+    }
+
+    /// The registered relation names.
+    pub fn relations(&self) -> impl Iterator<Item = &str> + '_ {
+        self.schemes.keys().map(String::as_str)
+    }
+
+    /// The evolution audit log, oldest first.
+    pub fn log(&self) -> &[EvolutionEvent] {
+        &self.log
+    }
+
+    /// Adds a fresh attribute defined over `[from, to]`.
+    pub fn add_attribute(
+        &mut self,
+        relation: &str,
+        attribute: Attribute,
+        domain: HistoricalDomain,
+        from: Chronon,
+        to: Chronon,
+    ) -> Result<()> {
+        let scheme = self
+            .schemes
+            .get(relation)
+            .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(relation)))?;
+        if scheme.contains(&attribute) {
+            return Err(HrdmError::DuplicateAttribute(attribute));
+        }
+        let span = Lifespan::try_interval(from, to)
+            .ok_or(HrdmError::EmptyScheme)?;
+        let mut attrs = scheme.attrs().to_vec();
+        attrs.push(AttributeDef::new(attribute.clone(), domain, span));
+        let new = Scheme::new(attrs, scheme.key().to_vec())?;
+        self.schemes.insert(relation.to_string(), new);
+        self.log.push(EvolutionEvent::AttributeAdded {
+            relation: relation.to_string(),
+            attribute,
+            from,
+            to,
+        });
+        Ok(())
+    }
+
+    /// Drops an attribute as of `at`: its lifespan is clipped so the
+    /// attribute is undefined from `at` on. Pre-drop history remains — that
+    /// is the whole point of attribute lifespans (paper §2).
+    pub fn drop_attribute(&mut self, relation: &str, attribute: &Attribute, at: Chronon) -> Result<()> {
+        self.edit_als(relation, attribute, |als| {
+            match at.pred() {
+                Some(end) => als.clamp(hrdm_time::Interval::new(Chronon::MIN, end).expect("MIN <= end")),
+                None => Lifespan::empty(),
+            }
+        })?;
+        self.log.push(EvolutionEvent::AttributeDropped {
+            relation: relation.to_string(),
+            attribute: attribute.clone(),
+            at,
+        });
+        Ok(())
+    }
+
+    /// Re-adds a (typically dropped) attribute over `[from, to]`: the new
+    /// period is unioned into the existing lifespan — Fig. 6's re-expansion.
+    pub fn re_add_attribute(
+        &mut self,
+        relation: &str,
+        attribute: &Attribute,
+        from: Chronon,
+        to: Chronon,
+    ) -> Result<()> {
+        let span = Lifespan::try_interval(from, to).ok_or(HrdmError::EmptyScheme)?;
+        self.edit_als(relation, attribute, |als| als.union(&span))?;
+        self.log.push(EvolutionEvent::AttributeReAdded {
+            relation: relation.to_string(),
+            attribute: attribute.clone(),
+            from,
+            to,
+        });
+        Ok(())
+    }
+
+    fn edit_als<F>(&mut self, relation: &str, attribute: &Attribute, f: F) -> Result<()>
+    where
+        F: FnOnce(&Lifespan) -> Lifespan,
+    {
+        let scheme = self
+            .schemes
+            .get(relation)
+            .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(relation)))?;
+        let def = scheme
+            .attr(attribute)
+            .ok_or_else(|| HrdmError::UnknownAttribute(attribute.clone()))?;
+        let new_als = f(def.lifespan());
+        let attrs = scheme
+            .attrs()
+            .iter()
+            .map(|d| {
+                if d.name() == attribute {
+                    AttributeDef::new(d.name().clone(), *d.domain(), new_als.clone())
+                } else {
+                    d.clone()
+                }
+            })
+            .collect();
+        let new = Scheme::new(attrs, scheme.key().to_vec())?;
+        self.schemes.insert(relation.to_string(), new);
+        Ok(())
+    }
+
+    /// Serializes the catalog (schemes only; the log is derivable metadata
+    /// and persisted too for auditability).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.schemes.len() as u64);
+        for (name, scheme) in &self.schemes {
+            e.put_str(name);
+            e.put_scheme(scheme);
+        }
+        e.put_u64(self.log.len() as u64);
+        for ev in &self.log {
+            match ev {
+                EvolutionEvent::Created { relation } => {
+                    e.put_u8(0);
+                    e.put_str(relation);
+                }
+                EvolutionEvent::AttributeAdded {
+                    relation,
+                    attribute,
+                    from,
+                    to,
+                } => {
+                    e.put_u8(1);
+                    e.put_str(relation);
+                    e.put_str(attribute.name());
+                    e.put_chronon(*from);
+                    e.put_chronon(*to);
+                }
+                EvolutionEvent::AttributeDropped {
+                    relation,
+                    attribute,
+                    at,
+                } => {
+                    e.put_u8(2);
+                    e.put_str(relation);
+                    e.put_str(attribute.name());
+                    e.put_chronon(*at);
+                }
+                EvolutionEvent::AttributeReAdded {
+                    relation,
+                    attribute,
+                    from,
+                    to,
+                } => {
+                    e.put_u8(3);
+                    e.put_str(relation);
+                    e.put_str(attribute.name());
+                    e.put_chronon(*from);
+                    e.put_chronon(*to);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a catalog.
+    pub fn decode(d: &mut Decoder<'_>) -> std::result::Result<Catalog, CodecError> {
+        let n = d.get_u64()? as usize;
+        let mut schemes = BTreeMap::new();
+        for _ in 0..n {
+            let name = d.get_str()?.to_string();
+            let scheme = d.get_scheme()?;
+            schemes.insert(name, scheme);
+        }
+        let m = d.get_u64()? as usize;
+        let mut log = Vec::with_capacity(m.min(4096));
+        for _ in 0..m {
+            let ev = match d.get_u8()? {
+                0 => EvolutionEvent::Created {
+                    relation: d.get_str()?.to_string(),
+                },
+                1 => EvolutionEvent::AttributeAdded {
+                    relation: d.get_str()?.to_string(),
+                    attribute: Attribute::new(d.get_str()?),
+                    from: d.get_chronon()?,
+                    to: d.get_chronon()?,
+                },
+                2 => EvolutionEvent::AttributeDropped {
+                    relation: d.get_str()?.to_string(),
+                    attribute: Attribute::new(d.get_str()?),
+                    at: d.get_chronon()?,
+                },
+                3 => EvolutionEvent::AttributeReAdded {
+                    relation: d.get_str()?.to_string(),
+                    attribute: Attribute::new(d.get_str()?),
+                    from: d.get_chronon()?,
+                    to: d.get_chronon()?,
+                },
+                tag => return Err(CodecError::BadTag("EvolutionEvent", tag)),
+            };
+            log.push(ev);
+        }
+        Ok(Catalog { schemes, log })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::ValueKind;
+
+    fn stock_scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("TICKER", ValueKind::Str, Lifespan::interval(0, 1000))
+            .attr(
+                "PRICE",
+                HistoricalDomain::float(),
+                Lifespan::interval(0, 1000),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_6_evolution_story() {
+        // The paper's Fig. 6: DAILY-TRADING-VOLUME recorded over [t1,t2] =
+        // [0,199], dropped at 200, re-added at [500, 1000] (through "NOW").
+        let mut cat = Catalog::new();
+        cat.create_relation("stocks", stock_scheme()).unwrap();
+        let vol = Attribute::new("DAILY_TRADING_VOLUME");
+        cat.add_attribute(
+            "stocks",
+            vol.clone(),
+            HistoricalDomain::int(),
+            Chronon::new(0),
+            Chronon::new(1000),
+        )
+        .unwrap();
+        cat.drop_attribute("stocks", &vol, Chronon::new(200)).unwrap();
+        cat.re_add_attribute("stocks", &vol, Chronon::new(500), Chronon::new(1000))
+            .unwrap();
+
+        let als = cat
+            .scheme("stocks")
+            .unwrap()
+            .als(&vol)
+            .unwrap()
+            .clone();
+        assert_eq!(als, Lifespan::of(&[(0, 199), (500, 1000)]));
+        assert_eq!(cat.log().len(), 4);
+        // The attribute has a gap — exactly the Fig. 6 picture.
+        assert!(!als.contains(Chronon::new(300)));
+        assert!(als.contains(Chronon::new(100)));
+        assert!(als.contains(Chronon::new(750)));
+    }
+
+    #[test]
+    fn duplicate_relation_and_attribute_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_relation("stocks", stock_scheme()).unwrap();
+        assert!(cat.create_relation("stocks", stock_scheme()).is_err());
+        assert!(cat
+            .add_attribute(
+                "stocks",
+                Attribute::new("PRICE"),
+                HistoricalDomain::float(),
+                Chronon::new(0),
+                Chronon::new(10),
+            )
+            .is_err());
+        assert!(cat
+            .drop_attribute("nope", &Attribute::new("PRICE"), Chronon::new(0))
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_codec_round_trip() {
+        let mut cat = Catalog::new();
+        cat.create_relation("stocks", stock_scheme()).unwrap();
+        let vol = Attribute::new("VOL");
+        cat.add_attribute(
+            "stocks",
+            vol.clone(),
+            HistoricalDomain::int(),
+            Chronon::new(0),
+            Chronon::new(100),
+        )
+        .unwrap();
+        cat.drop_attribute("stocks", &vol, Chronon::new(50)).unwrap();
+
+        let mut e = Encoder::new();
+        cat.encode(&mut e);
+        let bytes = e.finish();
+        let back = Catalog::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back.scheme("stocks"), cat.scheme("stocks"));
+        assert_eq!(back.log(), cat.log());
+    }
+
+    #[test]
+    fn drop_keeps_history_before_the_drop() {
+        let mut cat = Catalog::new();
+        cat.create_relation("stocks", stock_scheme()).unwrap();
+        cat.drop_attribute("stocks", &Attribute::new("PRICE"), Chronon::new(500))
+            .unwrap();
+        let als = cat
+            .scheme("stocks")
+            .unwrap()
+            .als(&Attribute::new("PRICE"))
+            .unwrap()
+            .clone();
+        assert_eq!(als, Lifespan::interval(0, 499));
+    }
+}

@@ -1,0 +1,314 @@
+//! A persistent database of historical relations.
+//!
+//! Layout on disk: one directory per database, containing `catalog.hrdm`
+//! (magic + version + catalog + CRC) and one `<relation>.heap` heap file per
+//! relation, each record an encoded tuple.
+
+use crate::catalog::Catalog;
+use crate::codec::{CodecError, Decoder, Encoder};
+use crate::heap::HeapFile;
+use crate::page::crc32;
+use hrdm_core::{HrdmError, Relation, Result, Scheme, Tuple};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"HRDM";
+const VERSION: u32 = 1;
+
+/// Errors from database persistence.
+#[derive(Debug)]
+pub enum DbError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Encoding/decoding error.
+    Codec(CodecError),
+    /// Model-level error.
+    Model(HrdmError),
+    /// Bad file header or checksum.
+    BadFile(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::Codec(e) => write!(f, "codec error: {e}"),
+            DbError::Model(e) => write!(f, "model error: {e}"),
+            DbError::BadFile(what) => write!(f, "bad database file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+impl From<CodecError> for DbError {
+    fn from(e: CodecError) -> Self {
+        DbError::Codec(e)
+    }
+}
+impl From<HrdmError> for DbError {
+    fn from(e: HrdmError) -> Self {
+        DbError::Model(e)
+    }
+}
+
+/// An in-memory database of historical relations with directory-based
+/// persistence — the physical level a downstream user actually touches.
+#[derive(Default)]
+pub struct Database {
+    catalog: Catalog,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The catalog (schemes + evolution log).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access for schema-evolution operations.
+    ///
+    /// Note: evolving a scheme does not retroactively invalidate stored
+    /// tuples; values outside a *shrunk* ALS become invisible to `vls`, per
+    /// the paper's semantics.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Creates a relation.
+    pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<()> {
+        self.catalog.create_relation(name, scheme.clone())?;
+        self.relations.insert(name.to_string(), Relation::new(scheme));
+        Ok(())
+    }
+
+    /// The relation named `name`.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Replaces the contents of `name` (e.g. with a query result).
+    ///
+    /// The relation must have been registered via
+    /// [`Database::create_relation`] first — persistence is driven by the
+    /// catalog, so an unregistered relation would silently not survive a
+    /// save/load round trip.
+    pub fn put_relation(&mut self, name: &str, relation: Relation) -> Result<()> {
+        if self.catalog.scheme(name).is_none() {
+            return Err(HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)));
+        }
+        self.relations.insert(name.to_string(), relation);
+        Ok(())
+    }
+
+    /// Inserts a tuple into `name`.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<()> {
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)))?;
+        rel.insert(tuple)
+    }
+
+    /// The registered relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Persists the database into `dir` (created if needed).
+    pub fn save(&self, dir: &Path) -> std::result::Result<(), DbError> {
+        std::fs::create_dir_all(dir)?;
+        // Catalog file: MAGIC | VERSION | payload-len | payload | crc.
+        let mut enc = Encoder::new();
+        self.catalog.encode(&mut enc);
+        let payload = enc.finish();
+        let mut file = Vec::with_capacity(payload.len() + 16);
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&crc32(&payload).to_le_bytes());
+        std::fs::write(dir.join("catalog.hrdm"), &file)?;
+
+        for (name, rel) in &self.relations {
+            let mut heap = HeapFile::create(&heap_path(dir, name))?;
+            for tuple in rel.iter() {
+                let mut e = Encoder::new();
+                e.put_tuple(tuple);
+                heap.insert(&e.finish())?;
+            }
+            heap.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Loads a database from `dir`, verifying checksums and re-validating
+    /// every tuple against its (possibly evolved) scheme.
+    pub fn load(dir: &Path) -> std::result::Result<Database, DbError> {
+        let bytes = std::fs::read(dir.join("catalog.hrdm"))?;
+        if bytes.len() < 16 || &bytes[0..4] != MAGIC {
+            return Err(DbError::BadFile("missing HRDM magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(DbError::BadFile(format!("unsupported version {version}")));
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        if bytes.len() < 16 + len + 4 {
+            return Err(DbError::BadFile("truncated catalog".into()));
+        }
+        let payload = &bytes[16..16 + len];
+        let stored_crc =
+            u32::from_le_bytes(bytes[16 + len..16 + len + 4].try_into().expect("4 bytes"));
+        if crc32(payload) != stored_crc {
+            return Err(DbError::BadFile("catalog checksum mismatch".into()));
+        }
+        let catalog = Catalog::decode(&mut Decoder::new(payload))?;
+
+        let mut relations = BTreeMap::new();
+        let names: Vec<String> = catalog.relations().map(str::to_string).collect();
+        for name in names {
+            let scheme = catalog
+                .scheme(&name)
+                .expect("catalog lists its own relations")
+                .clone();
+            let path = heap_path(dir, &name);
+            let mut tuples = Vec::new();
+            if path.exists() {
+                let heap = HeapFile::open(&path)?;
+                for (_, rec) in heap.scan() {
+                    // Clip to the (possibly evolved) scheme: values outside a
+                    // shrunk ALS become invisible, not invalid.
+                    let tuple = Decoder::new(rec).get_tuple()?.clipped_to_scheme(&scheme);
+                    tuple.validate(&scheme).map_err(DbError::Model)?;
+                    tuples.push(tuple);
+                }
+            }
+            relations.insert(name, Relation::from_parts_unchecked(scheme, tuples));
+        }
+        Ok(Database { catalog, relations })
+    }
+}
+
+fn heap_path(dir: &Path, relation: &str) -> PathBuf {
+    // Relation names are caller-controlled; keep the file name tame.
+    let safe: String = relation
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    dir.join(format!("{safe}.heap"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::{HistoricalDomain, TemporalValue, Value, ValueKind};
+    use hrdm_time::Lifespan;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hrdm-db-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn emp_scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn emp(name: &str, lo: i64, hi: i64, salary: i64) -> Tuple {
+        let life = Lifespan::interval(lo, hi);
+        Tuple::builder(life.clone())
+            .constant("NAME", name)
+            .value("SALARY", TemporalValue::constant(&life, Value::Int(salary)))
+            .finish(&emp_scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp("roundtrip");
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        db.insert("emp", emp("Mary", 5, 30, 30_000)).unwrap();
+        db.save(&dir).unwrap();
+
+        let back = Database::load(&dir).unwrap();
+        assert_eq!(back.relation("emp").unwrap(), db.relation("emp").unwrap());
+        assert_eq!(back.catalog().log().len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn key_constraint_enforced_through_db() {
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        assert!(db.insert("emp", emp("John", 30, 40, 9)).is_err());
+        assert!(db.insert("nope", emp("X", 0, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn corrupted_catalog_detected() {
+        let dir = tmp("corrupt");
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.save(&dir).unwrap();
+        let path = dir.join("catalog.hrdm");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 6;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Database::load(&dir),
+            Err(DbError::BadFile(_)) | Err(DbError::Codec(_))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn schema_evolution_persists() {
+        let dir = tmp("evolve");
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.catalog_mut()
+            .drop_attribute("emp", &"SALARY".into(), hrdm_time::Chronon::new(50))
+            .unwrap();
+        db.save(&dir).unwrap();
+        let back = Database::load(&dir).unwrap();
+        let als = back
+            .catalog()
+            .scheme("emp")
+            .unwrap()
+            .als(&"SALARY".into())
+            .unwrap()
+            .clone();
+        assert_eq!(als, Lifespan::interval(0, 49));
+        assert_eq!(back.catalog().log().len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_magic_rejected() {
+        let dir = tmp("magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("catalog.hrdm"), b"not a database").unwrap();
+        assert!(matches!(Database::load(&dir), Err(DbError::BadFile(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

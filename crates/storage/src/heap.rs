@@ -1,0 +1,221 @@
+//! Heap files: an unordered collection of encoded records over slotted
+//! pages, persisted to a single file.
+
+use crate::page::{Page, SlotId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A record's address: page number + slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct RecordId {
+    /// Page index within the file.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+/// A heap file of variable-length records.
+///
+/// Pages are cached in memory and flushed (sealed with checksums) on
+/// [`HeapFile::sync`]. Inserts go to the last page with room, else a new
+/// page — the usual append-mostly heap.
+pub struct HeapFile {
+    file: File,
+    pages: Vec<Page>,
+}
+
+impl HeapFile {
+    /// Creates (truncating) a heap file at `path`.
+    pub fn create(path: &Path) -> io::Result<HeapFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(HeapFile {
+            file,
+            pages: Vec::new(),
+        })
+    }
+
+    /// Opens an existing heap file, verifying page checksums.
+    pub fn open(path: &Path) -> io::Result<HeapFile> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if !len.is_multiple_of(PAGE_SIZE) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "heap file length is not a multiple of the page size",
+            ));
+        }
+        let mut pages = Vec::with_capacity(len / PAGE_SIZE);
+        let mut buf = [0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(0))?;
+        for i in 0..len / PAGE_SIZE {
+            file.read_exact(&mut buf)?;
+            let page = Page::from_bytes(buf);
+            if !page.verify() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checksum mismatch on page {i}"),
+                ));
+            }
+            pages.push(page);
+        }
+        Ok(HeapFile { file, pages })
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Inserts a record, returning its id.
+    pub fn insert(&mut self, record: &[u8]) -> io::Result<RecordId> {
+        if record.len() > PAGE_SIZE - 16 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "record larger than a page",
+            ));
+        }
+        if let Some(last) = self.pages.last_mut() {
+            if let Some(slot) = last.insert(record) {
+                return Ok(RecordId {
+                    page: (self.pages.len() - 1) as u32,
+                    slot,
+                });
+            }
+        }
+        let mut page = Page::new();
+        let slot = page
+            .insert(record)
+            .expect("fresh page must accept a fitting record");
+        self.pages.push(page);
+        Ok(RecordId {
+            page: (self.pages.len() - 1) as u32,
+            slot,
+        })
+    }
+
+    /// Reads the record at `id`.
+    pub fn get(&self, id: RecordId) -> Option<&[u8]> {
+        self.pages.get(id.page as usize)?.get(id.slot)
+    }
+
+    /// Tombstones the record at `id`.
+    pub fn delete(&mut self, id: RecordId) -> bool {
+        match self.pages.get_mut(id.page as usize) {
+            Some(p) => p.delete(id.slot),
+            None => false,
+        }
+    }
+
+    /// Iterates all live records.
+    pub fn scan(&self) -> impl Iterator<Item = (RecordId, &[u8])> + '_ {
+        self.pages.iter().enumerate().flat_map(|(pno, page)| {
+            page.iter().map(move |(slot, rec)| {
+                (
+                    RecordId {
+                        page: pno as u32,
+                        slot,
+                    },
+                    rec,
+                )
+            })
+        })
+    }
+
+    /// Seals every page and writes the file out.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(0))?;
+        for page in &mut self.pages {
+            page.seal();
+            self.file.write_all(&page.bytes()[..])?;
+        }
+        self.file
+            .set_len((self.pages.len() * PAGE_SIZE) as u64)?;
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hrdm-heap-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn insert_scan_round_trip() {
+        let path = tmp("basic");
+        let mut h = HeapFile::create(&path).unwrap();
+        let ids: Vec<RecordId> = (0..100)
+            .map(|i| h.insert(format!("record-{i}").as_bytes()).unwrap())
+            .collect();
+        assert_eq!(h.get(ids[42]), Some(&b"record-42"[..]));
+        assert_eq!(h.scan().count(), 100);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmp("reopen");
+        {
+            let mut h = HeapFile::create(&path).unwrap();
+            for i in 0..2000 {
+                h.insert(format!("row {i} with some padding").as_bytes())
+                    .unwrap();
+            }
+            h.sync().unwrap();
+            assert!(h.page_count() > 1);
+        }
+        let h = HeapFile::open(&path).unwrap();
+        assert_eq!(h.scan().count(), 2000);
+        let first = h.scan().next().unwrap().1;
+        assert_eq!(first, b"row 0 with some padding");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let path = tmp("corrupt");
+        {
+            let mut h = HeapFile::create(&path).unwrap();
+            h.insert(b"precious").unwrap();
+            h.sync().unwrap();
+        }
+        // Flip a byte in the middle of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let middle = bytes.len() / 2;
+        bytes[middle] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(HeapFile::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn delete_skips_in_scan() {
+        let path = tmp("delete");
+        let mut h = HeapFile::create(&path).unwrap();
+        let a = h.insert(b"a").unwrap();
+        let _b = h.insert(b"b").unwrap();
+        assert!(h.delete(a));
+        assert_eq!(h.scan().count(), 1);
+        assert_eq!(h.get(a), None);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let path = tmp("big");
+        let mut h = HeapFile::create(&path).unwrap();
+        let big = vec![0u8; PAGE_SIZE];
+        assert!(h.insert(&big).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

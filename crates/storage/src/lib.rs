@@ -1,0 +1,33 @@
+//! # hrdm-storage — the physical level of HRDM
+//!
+//! The bottom of the paper's three-level architecture (Fig. 9): "at the
+//! physical level are the file structures and access methods". This crate
+//! provides a small but real physical layer:
+//!
+//! * [`codec`] — a compact binary encoding (varint/zigzag) for every model
+//!   object: values, lifespans, temporal functions, schemes, tuples,
+//!   relations;
+//! * [`page`] — fixed-size slotted pages with checksums;
+//! * [`heap`] — heap files of encoded tuples over slotted pages;
+//! * [`catalog`] — the system catalog, including **schema evolution**: the
+//!   attribute-lifespan edits of the paper's Fig. 6 (drop an attribute at
+//!   `t2`, re-add it at `t3`) are first-class catalog operations with an
+//!   audit log;
+//! * [`database`] — a named collection of historical relations with
+//!   save/load persistence built on all of the above.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod codec;
+pub mod database;
+pub mod heap;
+pub mod page;
+pub mod wal;
+
+pub use catalog::{Catalog, EvolutionEvent};
+pub use codec::{CodecError, Decoder, Encoder};
+pub use database::Database;
+pub use heap::HeapFile;
+pub use page::{Page, SlotId, PAGE_SIZE};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,283 @@
+//! Fixed-size slotted pages.
+//!
+//! The classical layout: a header and slot directory grow from the front,
+//! record cells grow from the back. Deleting a record tombstones its slot;
+//! the page never moves live records (no compaction — callers rewrite pages
+//! wholesale, which suits the append-mostly heap files above).
+
+use std::fmt;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 8; // slot_count: u16, free_ptr: u16, checksum: u32
+const SLOT: usize = 4; // offset: u16, len: u16
+
+/// Index of a record within a page.
+pub type SlotId = u16;
+
+/// A fixed-size slotted page.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Page {
+        let mut p = Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("sized"),
+        };
+        p.set_free_ptr(PAGE_SIZE as u16);
+        p
+    }
+
+    fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    fn set_slot_count(&mut self, v: u16) {
+        self.data[0..2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn free_ptr(&self) -> u16 {
+        u16::from_le_bytes([self.data[2], self.data[3]])
+    }
+
+    fn set_free_ptr(&mut self, v: u16) {
+        self.data[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot(&self, id: SlotId) -> (u16, u16) {
+        let base = HEADER + id as usize * SLOT;
+        (
+            u16::from_le_bytes([self.data[base], self.data[base + 1]]),
+            u16::from_le_bytes([self.data[base + 2], self.data[base + 3]]),
+        )
+    }
+
+    fn set_slot(&mut self, id: SlotId, offset: u16, len: u16) {
+        let base = HEADER + id as usize * SLOT;
+        self.data[base..base + 2].copy_from_slice(&offset.to_le_bytes());
+        self.data[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Free bytes available for one more record (including its slot).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT;
+        (self.free_ptr() as usize).saturating_sub(dir_end + SLOT)
+    }
+
+    /// Number of slots (live and tombstoned).
+    pub fn len(&self) -> usize {
+        self.slot_count() as usize
+    }
+
+    /// Are there no slots at all?
+    pub fn is_empty(&self) -> bool {
+        self.slot_count() == 0
+    }
+
+    /// Inserts a record; returns its slot, or `None` when it does not fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<SlotId> {
+        if record.is_empty() || record.len() > u16::MAX as usize {
+            return None;
+        }
+        if self.free_space() < record.len() {
+            return None;
+        }
+        let id = self.slot_count();
+        let offset = self.free_ptr() as usize - record.len();
+        self.data[offset..offset + record.len()].copy_from_slice(record);
+        self.set_slot(id, offset as u16, record.len() as u16);
+        self.set_slot_count(id + 1);
+        self.set_free_ptr(offset as u16);
+        Some(id)
+    }
+
+    /// The record in `slot`, or `None` for out-of-range or tombstoned slots.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (offset, len) = self.slot(slot);
+        if len == 0 {
+            return None; // tombstone
+        }
+        Some(&self.data[offset as usize..offset as usize + len as usize])
+    }
+
+    /// Tombstones a slot. Returns whether the slot was live.
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (offset, len) = self.slot(slot);
+        if len == 0 {
+            return false;
+        }
+        self.set_slot(slot, offset, 0);
+        true
+    }
+
+    /// Iterates live records as `(slot, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |id| self.get(id).map(|r| (id, r)))
+    }
+
+    /// Stamps the header checksum (CRC-32 of everything but the checksum
+    /// field). Call before writing the page out.
+    pub fn seal(&mut self) {
+        self.data[4..8].copy_from_slice(&[0; 4]);
+        let crc = crc32(&self.data[..]);
+        self.data[4..8].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Verifies the header checksum set by [`Page::seal`].
+    pub fn verify(&self) -> bool {
+        let stored = u32::from_le_bytes([self.data[4], self.data[5], self.data[6], self.data[7]]);
+        let mut copy = self.data.clone();
+        copy[4..8].copy_from_slice(&[0; 4]);
+        crc32(&copy[..]) == stored
+    }
+
+    /// The raw page bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Reconstructs a page from raw bytes.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Page {
+        Page {
+            data: Box::new(bytes),
+        }
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Page {{ slots: {}, free: {} }}",
+            self.slot_count(),
+            self.free_space()
+        )
+    }
+}
+
+/// Plain table-driven CRC-32 (IEEE).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        let mut p = Page::new();
+        assert!(p.insert(b"").is_none());
+        let big = vec![0u8; PAGE_SIZE];
+        assert!(p.insert(&big).is_none());
+    }
+
+    #[test]
+    fn fills_up_and_reports_no_space() {
+        let mut p = Page::new();
+        let rec = [7u8; 1000];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8 records × (1000 + 4 slot bytes) + header ≈ 8040 < 8192.
+        assert_eq!(n, 8);
+        assert!(p.free_space() < 1000);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut p = Page::new();
+        let a = p.insert(b"one").unwrap();
+        let b = p.insert(b"two").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a)); // already dead
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"two"[..]));
+        let live: Vec<SlotId> = p.iter().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn out_of_range_slots() {
+        let p = Page::new();
+        assert_eq!(p.get(0), None);
+        assert_eq!(p.get(99), None);
+    }
+
+    #[test]
+    fn seal_and_verify() {
+        let mut p = Page::new();
+        p.insert(b"persistent data").unwrap();
+        p.seal();
+        assert!(p.verify());
+        // Corrupt one byte: verification fails.
+        let mut bytes = *p.bytes();
+        bytes[PAGE_SIZE - 1] ^= 0xff;
+        assert!(!Page::from_bytes(bytes).verify());
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"alpha").unwrap();
+        p.insert(b"beta").unwrap();
+        p.seal();
+        let q = Page::from_bytes(*p.bytes());
+        assert!(q.verify());
+        assert_eq!(q.get(0), Some(&b"alpha"[..]));
+        assert_eq!(q.get(1), Some(&b"beta"[..]));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (IEEE reference value).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

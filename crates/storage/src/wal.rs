@@ -1,0 +1,337 @@
+//! A write-ahead log for incremental durability.
+//!
+//! [`crate::Database::save`] rewrites whole heap files; the WAL is its
+//! incremental companion: every mutation is appended as a checksummed record
+//! before being applied in memory, and [`Wal::replay`] restores the sequence
+//! after a crash. Torn tails (a partially-written final record) are detected
+//! by the per-record CRC and truncated away — the classical recovery
+//! contract.
+//!
+//! Record layout: `len: u32 | payload | crc32(payload): u32`.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use crate::page::crc32;
+use hrdm_core::{Attribute, HistoricalDomain, Scheme, Tuple};
+use hrdm_time::Chronon;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// One logged mutation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WalRecord {
+    /// A relation was created with the given scheme.
+    CreateRelation {
+        /// Relation name.
+        name: String,
+        /// Its scheme.
+        scheme: Scheme,
+    },
+    /// A tuple was inserted.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// An attribute was added (schema evolution).
+    AddAttribute {
+        /// Target relation.
+        relation: String,
+        /// New attribute.
+        attribute: Attribute,
+        /// Its domain.
+        domain: HistoricalDomain,
+        /// Lifespan start.
+        from: Chronon,
+        /// Lifespan end.
+        to: Chronon,
+    },
+    /// An attribute was dropped as of a chronon (schema evolution).
+    DropAttribute {
+        /// Target relation.
+        relation: String,
+        /// Dropped attribute.
+        attribute: Attribute,
+        /// Drop time.
+        at: Chronon,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            WalRecord::CreateRelation { name, scheme } => {
+                e.put_u8(0);
+                e.put_str(name);
+                e.put_scheme(scheme);
+            }
+            WalRecord::Insert { relation, tuple } => {
+                e.put_u8(1);
+                e.put_str(relation);
+                e.put_tuple(tuple);
+            }
+            WalRecord::AddAttribute {
+                relation,
+                attribute,
+                domain,
+                from,
+                to,
+            } => {
+                e.put_u8(2);
+                e.put_str(relation);
+                e.put_str(attribute.name());
+                e.put_domain(domain);
+                e.put_chronon(*from);
+                e.put_chronon(*to);
+            }
+            WalRecord::DropAttribute {
+                relation,
+                attribute,
+                at,
+            } => {
+                e.put_u8(3);
+                e.put_str(relation);
+                e.put_str(attribute.name());
+                e.put_chronon(*at);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<WalRecord, CodecError> {
+        match d.get_u8()? {
+            0 => Ok(WalRecord::CreateRelation {
+                name: d.get_str()?.to_string(),
+                scheme: d.get_scheme()?,
+            }),
+            1 => Ok(WalRecord::Insert {
+                relation: d.get_str()?.to_string(),
+                tuple: d.get_tuple()?,
+            }),
+            2 => Ok(WalRecord::AddAttribute {
+                relation: d.get_str()?.to_string(),
+                attribute: Attribute::new(d.get_str()?),
+                domain: d.get_domain()?,
+                from: d.get_chronon()?,
+                to: d.get_chronon()?,
+            }),
+            3 => Ok(WalRecord::DropAttribute {
+                relation: d.get_str()?.to_string(),
+                attribute: Attribute::new(d.get_str()?),
+                at: d.get_chronon()?,
+            }),
+            tag => Err(CodecError::BadTag("WalRecord", tag)),
+        }
+    }
+}
+
+/// An append-only log file.
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, positioned for appending.
+    pub fn open(path: &Path) -> io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal { file })
+    }
+
+    /// Appends a record and fsyncs.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let mut e = Encoder::new();
+        record.encode(&mut e);
+        let payload = e.finish();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_data()
+    }
+
+    /// Replays every intact record from the start of the log. A torn or
+    /// corrupted tail ends the replay (and is reported via the returned
+    /// `truncated_at` offset so the caller can truncate the file).
+    pub fn replay(path: &Path) -> io::Result<(Vec<WalRecord>, Option<u64>)> {
+        let mut file = File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"))
+                as usize;
+            let start = pos + 4;
+            let end = start + len;
+            if end + 4 > bytes.len() {
+                return Ok((records, Some(pos as u64))); // torn tail
+            }
+            let payload = &bytes[start..end];
+            let stored =
+                u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
+            if crc32(payload) != stored {
+                return Ok((records, Some(pos as u64))); // corrupted record
+            }
+            match WalRecord::decode(&mut Decoder::new(payload)) {
+                Ok(r) => records.push(r),
+                Err(_) => return Ok((records, Some(pos as u64))),
+            }
+            pos = end + 4;
+        }
+        let truncated = if pos == bytes.len() {
+            None
+        } else {
+            Some(pos as u64)
+        };
+        Ok((records, truncated))
+    }
+
+    /// Truncates the log at `offset` (recovery after a torn tail).
+    pub fn truncate(path: &Path, offset: u64) -> io::Result<()> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(offset)?;
+        file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::{TemporalValue, Value, ValueKind};
+    use hrdm_time::Lifespan;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hrdm-wal-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn scheme() -> Scheme {
+        let era = Lifespan::interval(0, 50);
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, era.clone())
+            .attr("V", HistoricalDomain::int(), era)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let s = scheme();
+        let life = Lifespan::interval(0, 10);
+        let t = Tuple::builder(life.clone())
+            .constant("K", 1i64)
+            .value("V", TemporalValue::constant(&life, Value::Int(9)))
+            .finish(&s)
+            .unwrap();
+        vec![
+            WalRecord::CreateRelation {
+                name: "r".into(),
+                scheme: s,
+            },
+            WalRecord::Insert {
+                relation: "r".into(),
+                tuple: t,
+            },
+            WalRecord::AddAttribute {
+                relation: "r".into(),
+                attribute: Attribute::new("W"),
+                domain: HistoricalDomain::int(),
+                from: Chronon::new(0),
+                to: Chronon::new(50),
+            },
+            WalRecord::DropAttribute {
+                relation: "r".into(),
+                attribute: Attribute::new("V"),
+                at: Chronon::new(25),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let records = sample_records();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let (replayed, truncated) = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(truncated, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_recoverable() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        let records = sample_records();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        // Tear the last record in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let torn_at = full - 5;
+        {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(torn_at).unwrap();
+        }
+        let (replayed, truncated) = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), records.len() - 1);
+        let offset = truncated.expect("torn tail reported");
+        // Truncate and append again: the log is healthy.
+        Wal::truncate(&path, offset).unwrap();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&records[records.len() - 1]).unwrap();
+        }
+        let (replayed, truncated) = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, records);
+        assert_eq!(truncated, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_record_stops_replay() {
+        let path = tmp("corrupt");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in &sample_records() {
+                wal.append(r).unwrap();
+            }
+        }
+        // Flip a byte inside the second record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (replayed, truncated) = Wal::replay(&path).unwrap();
+        assert!(replayed.len() < sample_records().len());
+        assert!(truncated.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let path = tmp("empty");
+        std::fs::remove_file(&path).ok();
+        let _ = Wal::open(&path).unwrap();
+        let (replayed, truncated) = Wal::replay(&path).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(truncated, None);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: the binary codec round-trips every model object exactly,
+//! and never panics on corrupted input.
+
+use hrdm_core::prelude::*;
+use hrdm_storage::{Decoder, Encoder};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(|f| Value::float(f).expect("finite")),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::time),
+    ]
+}
+
+fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
+    prop::collection::vec((-500i64..500, 0i64..40), 0..6).prop_map(|pairs| {
+        Lifespan::from_intervals(pairs.into_iter().map(|(lo, len)| Interval::of(lo, lo + len)))
+    })
+}
+
+fn temporal_strategy() -> impl Strategy<Value = TemporalValue> {
+    prop::collection::vec(((0i64..200), 0i64..10, value_strategy()), 0..6).prop_map(|raw| {
+        let mut segs = Vec::new();
+        let mut cursor = 0i64;
+        let mut sorted = raw;
+        sorted.sort_by_key(|(lo, _, _)| *lo);
+        for (lo, len, v) in sorted {
+            let lo = lo.max(cursor);
+            let hi = lo + len;
+            segs.push((Interval::of(lo, hi), v));
+            cursor = hi + 2;
+        }
+        TemporalValue::from_segments(segs).expect("disjoint by construction")
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_round_trip(v in value_strategy()) {
+        let mut e = Encoder::new();
+        e.put_value(&v);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        prop_assert_eq!(d.get_value().unwrap(), v);
+        prop_assert!(d.is_done());
+    }
+
+    #[test]
+    fn lifespan_round_trip(ls in lifespan_strategy()) {
+        let mut e = Encoder::new();
+        e.put_lifespan(&ls);
+        let bytes = e.finish();
+        prop_assert_eq!(Decoder::new(&bytes).get_lifespan().unwrap(), ls);
+    }
+
+    #[test]
+    fn temporal_value_round_trip(tv in temporal_strategy()) {
+        let mut e = Encoder::new();
+        e.put_temporal_value(&tv);
+        let bytes = e.finish();
+        prop_assert_eq!(Decoder::new(&bytes).get_temporal_value().unwrap(), tv);
+    }
+
+    #[test]
+    fn varints_round_trip(u in any::<u64>(), i in any::<i64>()) {
+        let mut e = Encoder::new();
+        e.put_u64(u);
+        e.put_i64(i);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        prop_assert_eq!(d.get_u64().unwrap(), u);
+        prop_assert_eq!(d.get_i64().unwrap(), i);
+    }
+
+    #[test]
+    fn truncated_input_errors_not_panics(tv in temporal_strategy(), cut_frac in 0.0f64..1.0) {
+        let mut e = Encoder::new();
+        e.put_temporal_value(&tv);
+        let bytes = e.finish();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            // Must return an error (or, for prefix-complete cuts, a value) —
+            // but never panic.
+            let _ = Decoder::new(&bytes[..cut]).get_temporal_value();
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_value();
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_lifespan();
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_temporal_value();
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_scheme();
+        let mut d = Decoder::new(&bytes);
+        let _ = d.get_tuple();
+    }
+
+    #[test]
+    fn tuple_round_trip(life in lifespan_strategy(), tv in temporal_strategy()) {
+        let mut values = std::collections::BTreeMap::new();
+        values.insert(Attribute::new("A"), tv);
+        let t = Tuple::from_parts(life, values);
+        let mut e = Encoder::new();
+        e.put_tuple(&t);
+        let bytes = e.finish();
+        prop_assert_eq!(Decoder::new(&bytes).get_tuple().unwrap(), t);
+    }
+}

@@ -1,0 +1,224 @@
+//! Allen's thirteen qualitative relations between closed intervals.
+//!
+//! The paper manipulates lifespans purely set-theoretically, but reasoning
+//! about *how* two intervals relate (does one tuple's lifespan precede,
+//! overlap, or contain another's?) recurs throughout examples, constraint
+//! checking, and tests. Allen's interval algebra is the standard vocabulary
+//! for that, and on a discrete `T` it specializes cleanly to closed intervals.
+
+use crate::Interval;
+use std::fmt;
+
+/// One of Allen's thirteen interval relations, specialized to closed
+/// intervals over a discrete time domain.
+///
+/// For intervals `a = [a0,a1]` and `b = [b0,b1]`, exactly one variant holds.
+/// Note that over discrete time `Meets` means `a1 + 1 == b0` (the intervals
+/// abut with no gap) — with closed intervals sharing an endpoint would mean
+/// overlapping, not meeting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AllenRelation {
+    /// `a` ends before `b` starts, with a gap: `a1 + 1 < b0`.
+    Before,
+    /// `a` abuts `b`: `a1 + 1 == b0`.
+    Meets,
+    /// `a` starts first, they overlap, `b` ends last.
+    Overlaps,
+    /// Same start, `a` ends first.
+    Starts,
+    /// `a` strictly inside `b`.
+    During,
+    /// Same end, `a` starts last.
+    Finishes,
+    /// Identical intervals.
+    Equal,
+    /// Inverse of `Finishes`: same end, `a` starts first.
+    FinishedBy,
+    /// Inverse of `During`: `b` strictly inside `a`.
+    Contains,
+    /// Inverse of `Starts`: same start, `a` ends last.
+    StartedBy,
+    /// Inverse of `Overlaps`.
+    OverlappedBy,
+    /// Inverse of `Meets`.
+    MetBy,
+    /// Inverse of `Before`.
+    After,
+}
+
+impl AllenRelation {
+    /// Classifies the relation of `a` to `b`.
+    pub fn classify(a: &Interval, b: &Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        let (a0, a1) = (a.lo(), a.hi());
+        let (b0, b1) = (b.lo(), b.hi());
+
+        match (a0.cmp(&b0), a1.cmp(&b1)) {
+            (Equal, Equal) => AllenRelation::Equal,
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Greater) => AllenRelation::Contains,
+            (Greater, Less) => AllenRelation::During,
+            (Less, Less) => {
+                if a1 >= b0 {
+                    AllenRelation::Overlaps
+                } else if a1.succ() == Some(b0) {
+                    AllenRelation::Meets
+                } else {
+                    AllenRelation::Before
+                }
+            }
+            (Greater, Greater) => {
+                if b1 >= a0 {
+                    AllenRelation::OverlappedBy
+                } else if b1.succ() == Some(a0) {
+                    AllenRelation::MetBy
+                } else {
+                    AllenRelation::After
+                }
+            }
+        }
+    }
+
+    /// The converse relation: `classify(a, b).inverse() == classify(b, a)`.
+    pub fn inverse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equal => Equal,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// Do the intervals share at least one chronon under this relation?
+    pub fn intersects(self) -> bool {
+        !matches!(
+            self,
+            AllenRelation::Before
+                | AllenRelation::After
+                | AllenRelation::Meets
+                | AllenRelation::MetBy
+        )
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AllenRelation::Before => "before",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Starts => "starts",
+            AllenRelation::During => "during",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::Equal => "equal",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::After => "after",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: (i64, i64), b: (i64, i64)) -> AllenRelation {
+        AllenRelation::classify(&Interval::of(a.0, a.1), &Interval::of(b.0, b.1))
+    }
+
+    #[test]
+    fn all_thirteen_relations() {
+        assert_eq!(rel((1, 2), (5, 8)), AllenRelation::Before);
+        assert_eq!(rel((1, 4), (5, 8)), AllenRelation::Meets);
+        assert_eq!(rel((1, 6), (5, 8)), AllenRelation::Overlaps);
+        assert_eq!(rel((5, 6), (5, 8)), AllenRelation::Starts);
+        assert_eq!(rel((6, 7), (5, 8)), AllenRelation::During);
+        assert_eq!(rel((7, 8), (5, 8)), AllenRelation::Finishes);
+        assert_eq!(rel((5, 8), (5, 8)), AllenRelation::Equal);
+        assert_eq!(rel((4, 8), (5, 8)), AllenRelation::FinishedBy);
+        assert_eq!(rel((4, 9), (5, 8)), AllenRelation::Contains);
+        assert_eq!(rel((5, 9), (5, 8)), AllenRelation::StartedBy);
+        assert_eq!(rel((6, 9), (5, 8)), AllenRelation::OverlappedBy);
+        assert_eq!(rel((9, 12), (5, 8)), AllenRelation::MetBy);
+        assert_eq!(rel((10, 12), (5, 8)), AllenRelation::After);
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_converse() {
+        let cases = [
+            ((1, 2), (5, 8)),
+            ((1, 4), (5, 8)),
+            ((1, 6), (5, 8)),
+            ((5, 6), (5, 8)),
+            ((6, 7), (5, 8)),
+            ((7, 8), (5, 8)),
+            ((5, 8), (5, 8)),
+        ];
+        for (a, b) in cases {
+            let ab = rel(a, b);
+            let ba = rel(b, a);
+            assert_eq!(ab.inverse(), ba, "converse failed for {a:?} vs {b:?}");
+            assert_eq!(ab.inverse().inverse(), ab);
+        }
+    }
+
+    #[test]
+    fn intersects_agrees_with_interval_overlaps() {
+        for a0 in 0..6i64 {
+            for a1 in a0..6 {
+                for b0 in 0..6i64 {
+                    for b1 in b0..6 {
+                        let a = Interval::of(a0, a1);
+                        let b = Interval::of(b0, b1);
+                        assert_eq!(
+                            AllenRelation::classify(&a, &b).intersects(),
+                            a.overlaps(&b),
+                            "{a:?} vs {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_relation_holds() {
+        // classify is a function; sanity-check its determinism over a grid.
+        for a0 in 0..5i64 {
+            for a1 in a0..5 {
+                for b0 in 0..5i64 {
+                    for b1 in b0..5 {
+                        let a = Interval::of(a0, a1);
+                        let b = Interval::of(b0, b1);
+                        let r1 = AllenRelation::classify(&a, &b);
+                        let r2 = AllenRelation::classify(&a, &b);
+                        assert_eq!(r1, r2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AllenRelation::Before.to_string(), "before");
+        assert_eq!(AllenRelation::OverlappedBy.to_string(), "overlapped-by");
+    }
+}

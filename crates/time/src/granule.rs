@@ -1,0 +1,199 @@
+//! Fixed-width granularities over the tick domain.
+//!
+//! The paper defers "more elaborate structures for the time domain" to a
+//! subsequent paper (§3). The simplest such structure — and the one every
+//! follow-on temporal model (TSQL2 in particular) adopted — is a hierarchy of
+//! *granularities*: partitions of `T` into equal-width granules (days grouped
+//! into weeks, trading ticks into sessions, …). We provide exactly that much:
+//! a [`Granularity`] is a width + anchor, a [`Granule`] is one cell of the
+//! partition, and lifespans can be expanded to or contracted from granule
+//! resolution.
+
+use crate::{Chronon, Interval, Lifespan};
+use std::fmt;
+
+/// A partition of the tick domain into consecutive granules of equal width.
+///
+/// Granule `n` covers ticks `[anchor + n*width, anchor + (n+1)*width - 1]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Granularity {
+    width: u32,
+    anchor: i64,
+}
+
+/// One cell of a [`Granularity`] partition, identified by its index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Granule {
+    /// Index of the granule within its granularity.
+    pub index: i64,
+}
+
+impl Granularity {
+    /// A granularity of `width` ticks anchored at tick `anchor`.
+    ///
+    /// Returns `None` for a zero width (not a partition).
+    pub fn new(width: u32, anchor: i64) -> Option<Granularity> {
+        if width == 0 {
+            None
+        } else {
+            Some(Granularity { width, anchor })
+        }
+    }
+
+    /// Tick-level granularity: each granule is a single chronon.
+    pub fn ticks() -> Granularity {
+        Granularity { width: 1, anchor: 0 }
+    }
+
+    /// Granule width in ticks.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The granule containing chronon `t`.
+    pub fn granule_of(&self, t: Chronon) -> Granule {
+        Granule {
+            index: (t.tick() - self.anchor).div_euclid(self.width as i64),
+        }
+    }
+
+    /// The tick interval covered by `g`.
+    pub fn extent(&self, g: Granule) -> Interval {
+        let lo = self.anchor + g.index * self.width as i64;
+        Interval::new(Chronon::new(lo), Chronon::new(lo + self.width as i64 - 1))
+            .expect("granule extent is well-formed")
+    }
+
+    /// Expands a lifespan so every partially-covered granule becomes fully
+    /// covered (outer/covering approximation — safe for "could the predicate
+    /// hold this month?" questions).
+    pub fn expand(&self, ls: &Lifespan) -> Lifespan {
+        Lifespan::from_intervals(ls.intervals().iter().map(|iv| {
+            let lo = self.extent(self.granule_of(iv.lo())).lo();
+            let hi = self.extent(self.granule_of(iv.hi())).hi();
+            Interval::new(lo, hi).expect("expanded interval is well-formed")
+        }))
+    }
+
+    /// Contracts a lifespan to the union of granules it *fully* covers
+    /// (inner approximation — safe for "did it hold throughout the month?").
+    pub fn contract(&self, ls: &Lifespan) -> Lifespan {
+        let mut out = Vec::new();
+        for iv in ls.intervals() {
+            // First granule fully inside: round lo up to a granule start.
+            let first = {
+                let g = self.granule_of(iv.lo());
+                if self.extent(g).lo() == iv.lo() {
+                    g
+                } else {
+                    Granule { index: g.index + 1 }
+                }
+            };
+            let last = {
+                let g = self.granule_of(iv.hi());
+                if self.extent(g).hi() == iv.hi() {
+                    g
+                } else {
+                    Granule { index: g.index - 1 }
+                }
+            };
+            if first.index <= last.index {
+                let lo = self.extent(first).lo();
+                let hi = self.extent(last).hi();
+                out.push(Interval::new(lo, hi).expect("contracted interval well-formed"));
+            }
+        }
+        Lifespan::from_intervals(out)
+    }
+
+    /// The granules a lifespan touches, in ascending order.
+    pub fn granules_touched(&self, ls: &Lifespan) -> Vec<Granule> {
+        let mut out = Vec::new();
+        for iv in ls.intervals() {
+            let first = self.granule_of(iv.lo()).index;
+            let last = self.granule_of(iv.hi()).index;
+            for index in first..=last {
+                if out.last() != Some(&Granule { index }) {
+                    out.push(Granule { index });
+                }
+            }
+        }
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "granularity(width={}, anchor={})", self.width, self.anchor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_width() {
+        assert!(Granularity::new(0, 0).is_none());
+    }
+
+    #[test]
+    fn granule_of_handles_negative_ticks() {
+        let g = Granularity::new(10, 0).unwrap();
+        assert_eq!(g.granule_of(Chronon::new(0)).index, 0);
+        assert_eq!(g.granule_of(Chronon::new(9)).index, 0);
+        assert_eq!(g.granule_of(Chronon::new(10)).index, 1);
+        assert_eq!(g.granule_of(Chronon::new(-1)).index, -1);
+        assert_eq!(g.granule_of(Chronon::new(-10)).index, -1);
+        assert_eq!(g.granule_of(Chronon::new(-11)).index, -2);
+    }
+
+    #[test]
+    fn extent_roundtrips() {
+        let g = Granularity::new(7, 3).unwrap();
+        for t in -30..30i64 {
+            let gran = g.granule_of(Chronon::new(t));
+            assert!(g.extent(gran).contains(Chronon::new(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn expand_covers_and_contract_is_inside() {
+        let g = Granularity::new(10, 0).unwrap();
+        let ls = Lifespan::of(&[(3, 27)]);
+        let outer = g.expand(&ls);
+        let inner = g.contract(&ls);
+        assert_eq!(outer, Lifespan::of(&[(0, 29)]));
+        assert_eq!(inner, Lifespan::of(&[(10, 19)]));
+        assert!(outer.contains_lifespan(&ls));
+        assert!(ls.contains_lifespan(&inner));
+    }
+
+    #[test]
+    fn contract_empty_when_nothing_fully_covered() {
+        let g = Granularity::new(10, 0).unwrap();
+        assert!(g.contract(&Lifespan::of(&[(3, 8)])).is_empty());
+        // Exactly one full granule.
+        assert_eq!(
+            g.contract(&Lifespan::of(&[(10, 19)])),
+            Lifespan::of(&[(10, 19)])
+        );
+    }
+
+    #[test]
+    fn granules_touched_dedups_across_runs() {
+        let g = Granularity::new(10, 0).unwrap();
+        let ls = Lifespan::of(&[(1, 2), (5, 12)]);
+        let touched: Vec<i64> = g.granules_touched(&ls).into_iter().map(|x| x.index).collect();
+        assert_eq!(touched, vec![0, 1]);
+    }
+
+    #[test]
+    fn tick_granularity_is_identity() {
+        let g = Granularity::ticks();
+        let ls = Lifespan::of(&[(1, 5), (9, 9)]);
+        assert_eq!(g.expand(&ls), ls);
+        assert_eq!(g.contract(&ls), ls);
+    }
+}

@@ -1,0 +1,293 @@
+//! Closed intervals of the time domain.
+
+use crate::Chronon;
+use std::fmt;
+
+/// A closed interval `[lo, hi] = { t ∈ T | lo <= t <= hi }`.
+///
+/// The paper (§3) notes that with `T` isomorphic to the naturals "the issue of
+/// whether to represent time as intervals or as points is simply a matter of
+/// convenience" and restricts attention to closed intervals. An `Interval` is
+/// never empty: `lo <= hi` is an invariant enforced at construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    lo: Chronon,
+    hi: Chronon,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`. Returns `None` when `lo > hi` (no such interval).
+    #[inline]
+    pub fn new(lo: Chronon, hi: Chronon) -> Option<Interval> {
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Creates `[lo, hi]` from raw ticks; panics if `lo > hi`.
+    ///
+    /// Convenience for literals in tests and examples, where the bounds are
+    /// static. Library code paths use [`Interval::new`].
+    #[inline]
+    pub fn of(lo: i64, hi: i64) -> Interval {
+        Interval::new(Chronon::new(lo), Chronon::new(hi))
+            .expect("Interval::of requires lo <= hi")
+    }
+
+    /// The degenerate interval `[t, t]`.
+    #[inline]
+    pub fn point(t: Chronon) -> Interval {
+        Interval { lo: t, hi: t }
+    }
+
+    /// Lower (earliest) endpoint.
+    #[inline]
+    pub fn lo(&self) -> Chronon {
+        self.lo
+    }
+
+    /// Upper (latest) endpoint.
+    #[inline]
+    pub fn hi(&self) -> Chronon {
+        self.hi
+    }
+
+    /// Number of chronons in the interval (`hi - lo + 1`), saturating.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        let n = self.hi.tick() as i128 - self.lo.tick() as i128 + 1;
+        if n > u64::MAX as i128 {
+            u64::MAX
+        } else {
+            n as u64
+        }
+    }
+
+    /// Closed intervals are never empty; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the interval contain chronon `t`?
+    #[inline]
+    pub fn contains(&self, t: Chronon) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// Does `self` fully contain `other`?
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Do the two intervals share at least one chronon?
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Are the intervals adjacent (abut with no gap, e.g. `[1,3]` and `[4,6]`)?
+    ///
+    /// Over a discrete `T`, adjacent intervals denote a contiguous set and are
+    /// merged by [`crate::Lifespan`]'s canonical form.
+    #[inline]
+    pub fn adjacent(&self, other: &Interval) -> bool {
+        (self.hi.succ() == Some(other.lo)) || (other.hi.succ() == Some(self.lo))
+    }
+
+    /// True when the union of the two intervals is itself an interval.
+    #[inline]
+    pub fn mergeable(&self, other: &Interval) -> bool {
+        self.overlaps(other) || self.adjacent(other)
+    }
+
+    /// Intersection `self ∩ other`, if non-empty.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max_of(other.lo);
+        let hi = self.hi.min_of(other.hi);
+        Interval::new(lo, hi)
+    }
+
+    /// Union of two [`Interval::mergeable`] intervals; `None` when the union
+    /// would be disconnected (use a [`crate::Lifespan`] for that).
+    #[inline]
+    pub fn merge(&self, other: &Interval) -> Option<Interval> {
+        if self.mergeable(other) {
+            Some(Interval {
+                lo: self.lo.min_of(other.lo),
+                hi: self.hi.max_of(other.hi),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval containing both operands (their convex hull).
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min_of(other.lo),
+            hi: self.hi.max_of(other.hi),
+        }
+    }
+
+    /// Difference `self − other` as up to two intervals (left and right
+    /// remnants).
+    pub fn difference(&self, other: &Interval) -> (Option<Interval>, Option<Interval>) {
+        match self.intersect(other) {
+            None => (Some(*self), None),
+            Some(cut) => {
+                let left = cut
+                    .lo
+                    .pred()
+                    .and_then(|end| Interval::new(self.lo, end));
+                let right = cut
+                    .hi
+                    .succ()
+                    .and_then(|start| Interval::new(start, self.hi));
+                (left, right)
+            }
+        }
+    }
+
+    /// Iterates every chronon in the interval in ascending order.
+    pub fn chronons(&self) -> impl Iterator<Item = Chronon> + '_ {
+        (self.lo.tick()..=self.hi.tick()).map(Chronon::new)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo.tick(), self.hi.tick())
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{},{}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl From<Chronon> for Interval {
+    fn from(t: Chronon) -> Self {
+        Interval::point(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_inverted_bounds() {
+        assert!(Interval::new(Chronon::new(5), Chronon::new(4)).is_none());
+        assert!(Interval::new(Chronon::new(4), Chronon::new(4)).is_some());
+    }
+
+    #[test]
+    fn point_interval() {
+        let p = Interval::point(Chronon::new(3));
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(Chronon::new(3)));
+        assert!(!p.contains(Chronon::new(4)));
+        assert_eq!(p.to_string(), "[3]");
+    }
+
+    #[test]
+    fn len_counts_chronons() {
+        assert_eq!(Interval::of(2, 5).len(), 4);
+        assert_eq!(Interval::of(-2, 2).len(), 5);
+    }
+
+    #[test]
+    fn len_saturates_over_full_domain() {
+        let all = Interval::new(Chronon::MIN, Chronon::MAX).unwrap();
+        assert_eq!(all.len(), u64::MAX); // 2^64 chronons saturate to u64::MAX
+    }
+
+    #[test]
+    fn overlaps_and_adjacency() {
+        let a = Interval::of(1, 3);
+        let b = Interval::of(3, 6);
+        let c = Interval::of(4, 6);
+        let d = Interval::of(5, 9);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.adjacent(&c));
+        assert!(!a.adjacent(&d));
+        assert!(a.mergeable(&b));
+        assert!(a.mergeable(&c));
+        assert!(!a.mergeable(&d));
+    }
+
+    #[test]
+    fn intersect_basics() {
+        let a = Interval::of(1, 5);
+        let b = Interval::of(3, 8);
+        assert_eq!(a.intersect(&b), Some(Interval::of(3, 5)));
+        assert_eq!(a.intersect(&Interval::of(6, 9)), None);
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn merge_and_hull() {
+        let a = Interval::of(1, 3);
+        let b = Interval::of(4, 6);
+        assert_eq!(a.merge(&b), Some(Interval::of(1, 6)));
+        assert_eq!(a.merge(&Interval::of(10, 12)), None);
+        assert_eq!(a.hull(&Interval::of(10, 12)), Interval::of(1, 12));
+    }
+
+    #[test]
+    fn difference_cases() {
+        let a = Interval::of(1, 10);
+        // cut from the middle -> two remnants
+        let (l, r) = a.difference(&Interval::of(4, 6));
+        assert_eq!(l, Some(Interval::of(1, 3)));
+        assert_eq!(r, Some(Interval::of(7, 10)));
+        // cut a prefix
+        let (l, r) = a.difference(&Interval::of(0, 3));
+        assert_eq!(l, None);
+        assert_eq!(r, Some(Interval::of(4, 10)));
+        // cut a suffix
+        let (l, r) = a.difference(&Interval::of(8, 12));
+        assert_eq!(l, Some(Interval::of(1, 7)));
+        assert_eq!(r, None);
+        // disjoint -> untouched
+        let (l, r) = a.difference(&Interval::of(20, 30));
+        assert_eq!(l, Some(a));
+        assert_eq!(r, None);
+        // covering cut -> nothing left
+        let (l, r) = a.difference(&Interval::of(0, 11));
+        assert_eq!(l, None);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn containment() {
+        let a = Interval::of(1, 10);
+        assert!(a.contains_interval(&Interval::of(2, 9)));
+        assert!(a.contains_interval(&a));
+        assert!(!a.contains_interval(&Interval::of(0, 5)));
+    }
+
+    #[test]
+    fn chronon_iteration() {
+        let ts: Vec<i64> = Interval::of(3, 6).chronons().map(|c| c.tick()).collect();
+        assert_eq!(ts, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Interval::of(1, 4).to_string(), "[1,4]");
+        assert_eq!(format!("{:?}", Interval::of(1, 4)), "[1,4]");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for granularities: expand/contract form a Galois-style
+//! pair of outer/inner approximations around the identity.
+
+use hrdm_time::{Granularity, Interval, Lifespan};
+use proptest::prelude::*;
+
+fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
+    prop::collection::vec((-60i64..60, 0i64..15), 0..5).prop_map(|pairs| {
+        Lifespan::from_intervals(pairs.into_iter().map(|(lo, len)| Interval::of(lo, lo + len)))
+    })
+}
+
+fn granularity_strategy() -> impl Strategy<Value = Granularity> {
+    (1u32..12, -10i64..10).prop_map(|(w, a)| Granularity::new(w, a).expect("w >= 1"))
+}
+
+proptest! {
+    #[test]
+    fn contract_inside_expand_outside(ls in lifespan_strategy(), g in granularity_strategy()) {
+        let inner = g.contract(&ls);
+        let outer = g.expand(&ls);
+        prop_assert!(ls.contains_lifespan(&inner), "contract escaped: {inner} ⊄ {ls}");
+        prop_assert!(outer.contains_lifespan(&ls), "expand lost ground: {ls} ⊄ {outer}");
+    }
+
+    #[test]
+    fn expand_and_contract_are_idempotent(ls in lifespan_strategy(), g in granularity_strategy()) {
+        let outer = g.expand(&ls);
+        prop_assert_eq!(g.expand(&outer), outer.clone());
+        let inner = g.contract(&ls);
+        prop_assert_eq!(g.contract(&inner), inner);
+    }
+
+    #[test]
+    fn granule_aligned_lifespans_are_fixed_points(
+        idx in -8i64..8,
+        len in 0i64..4,
+        g in granularity_strategy(),
+    ) {
+        // A lifespan made of whole granules is unchanged by both maps.
+        let lo = g.extent(g.granule_of(hrdm_time::Chronon::new(idx * g.width() as i64))).lo();
+        let hi_granule_start = lo.tick() + len * g.width() as i64;
+        let hi = hi_granule_start + g.width() as i64 - 1;
+        let ls = Lifespan::interval(lo.tick(), hi);
+        prop_assert_eq!(g.expand(&ls), ls.clone());
+        prop_assert_eq!(g.contract(&ls), ls);
+    }
+
+    #[test]
+    fn granules_touched_covers_the_lifespan(ls in lifespan_strategy(), g in granularity_strategy()) {
+        let touched = g.granules_touched(&ls);
+        // Every chronon of the lifespan falls into a touched granule…
+        for c in ls.iter() {
+            prop_assert!(touched.contains(&g.granule_of(c)));
+        }
+        // …and every touched granule intersects the lifespan.
+        for gran in &touched {
+            let extent = g.extent(*gran);
+            prop_assert!(ls.intersects(&Lifespan::from(extent)));
+        }
+    }
+
+    #[test]
+    fn granule_of_respects_extent(t in -200i64..200, g in granularity_strategy()) {
+        let c = hrdm_time::Chronon::new(t);
+        let gran = g.granule_of(c);
+        prop_assert!(g.extent(gran).contains(c));
+        prop_assert_eq!(g.extent(gran).len(), g.width() as u64);
+    }
+}

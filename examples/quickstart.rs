@@ -1,0 +1,91 @@
+//! Quickstart: build a historical relation and run the paper's operators.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hrdm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. A scheme R = <A, K, ALS, DOM> (paper §3) -------------------
+    // emp(NAME*, SALARY, DEPT) over the company's recorded era [0, 100].
+    let era = Lifespan::interval(0, 100);
+    let scheme = Scheme::builder()
+        .key_attr("NAME", ValueKind::Str, era.clone()) // keys are constant-valued (CD)
+        .attr("SALARY", HistoricalDomain::int(), era.clone())
+        .attr("DEPT", HistoricalDomain::string(), era.clone())
+        .build()?;
+
+    // ---- 2. Tuples t = <v, l>: values are functions from time ----------
+    let john_life = Lifespan::interval(0, 30);
+    let john = Tuple::builder(john_life.clone())
+        .constant("NAME", "John")
+        .value(
+            "SALARY",
+            TemporalValue::of(&[
+                (0, 14, Value::Int(25_000)),
+                (15, 30, Value::Int(30_000)), // raise at time 15
+            ]),
+        )
+        .value(
+            "DEPT",
+            TemporalValue::of(&[
+                (0, 9, Value::str("Toys")),
+                (10, 30, Value::str("Shoes")), // transfer at time 10
+            ]),
+        )
+        .finish(&scheme)?;
+
+    let mary_life = Lifespan::interval(5, 40);
+    let mary = Tuple::builder(mary_life.clone())
+        .constant("NAME", "Mary")
+        .value("SALARY", TemporalValue::constant(&mary_life, Value::Int(30_000)))
+        .value("DEPT", TemporalValue::constant(&mary_life, Value::str("Toys")))
+        .finish(&scheme)?;
+
+    let emp = Relation::with_tuples(scheme, vec![john, mary])?;
+    println!("emp =\n{emp}");
+
+    // ---- 3. SELECT-IF: whole objects (paper §4.3) -----------------------
+    let earned_30k = Predicate::eq_value("SALARY", 30_000i64);
+    let ever = select_if(&emp, &earned_30k, Quantifier::Exists, None)?;
+    println!("σ-IF(SALARY=30K, ∃): {} tuples (whole histories)", ever.len());
+
+    let always = select_if(&emp, &earned_30k, Quantifier::Forall, None)?;
+    println!(
+        "σ-IF(SALARY=30K, ∀): {} tuple(s) — only Mary always earned 30K",
+        always.len()
+    );
+
+    // ---- 4. SELECT-WHEN: restrict lifespans to when it held -------------
+    let whenever = select_when(&emp, &earned_30k)?;
+    for t in whenever.iter() {
+        println!(
+            "σ-WHEN(SALARY=30K): {} over {}",
+            t.at(&"NAME".into(), t.lifespan().first().unwrap()).unwrap(),
+            t.lifespan()
+        );
+    }
+
+    // ---- 5. WHEN (Ω): into the lifespan sort (paper §4.5) ---------------
+    let when_30k = when(&whenever);
+    println!("Ω(σ-WHEN(SALARY=30K)(emp)) = {when_30k}");
+
+    // ---- 6. TIME-SLICE: the third dimension (paper §4.4) ----------------
+    let snapshot_era = timeslice(&emp, &Lifespan::interval(10, 14));
+    println!("τ_[10,14](emp) has lifespan {}", snapshot_era.lifespan());
+
+    // ---- 7. PROJECT ------------------------------------------------------
+    let names = project(&emp, &["NAME".into()])?;
+    println!("π_NAME(emp): {} tuples", names.len());
+
+    // ---- 8. The classical reduction (paper §5) ---------------------------
+    // At any instant, the historical relation is an ordinary one:
+    let now = Chronon::new(20);
+    for row in emp.snapshot_at(now) {
+        let cells: Vec<String> = row.iter().map(|(a, v)| format!("{a}={v}")).collect();
+        println!("snapshot@{now}: {}", cells.join(", "));
+    }
+
+    Ok(())
+}
