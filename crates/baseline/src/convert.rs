@@ -133,9 +133,7 @@ pub fn ts_to_hrdm(ts: &TsRelation, scheme: &Scheme) -> Result<Relation> {
         for (i, name) in names.iter().enumerate() {
             let idx = ts.scheme().index_of(name)?;
             let tv = TemporalValue::from_segments(
-                versions
-                    .iter()
-                    .map(|v| (v.span, v.values[idx].clone())),
+                versions.iter().map(|v| (v.span, v.values[idx].clone())),
             )?;
             let _ = i;
             builder = builder.value(name.clone(), tv);
@@ -167,10 +165,7 @@ pub fn hrdm_to_cube(r: &Relation, universe: Option<Interval>) -> Result<CubeRela
             if !universe.contains(t) {
                 continue;
             }
-            let row = names
-                .iter()
-                .map(|n| tuple.at(n, t).cloned())
-                .collect();
+            let row = names.iter().map(|n| tuple.at(n, t).cloned()).collect();
             cube.assert_row(t, row)?;
         }
     }
@@ -185,8 +180,16 @@ mod tests {
     fn scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
-            .attr("DEPT", HistoricalDomain::string(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
+            .attr(
+                "DEPT",
+                HistoricalDomain::string(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -259,7 +262,9 @@ mod tests {
         // 40 living chronons × 3 attrs.
         assert_eq!(cube.cells(), 120);
         assert!(cube.exists(&[Value::str("John")], Chronon::new(5)).unwrap());
-        assert!(!cube.exists(&[Value::str("John")], Chronon::new(35)).unwrap());
+        assert!(!cube
+            .exists(&[Value::str("John")], Chronon::new(35))
+            .unwrap());
     }
 
     #[test]

@@ -206,10 +206,7 @@ mod tests {
     fn timeslice_is_direct_lookup() {
         let c = cube();
         assert_eq!(c.timeslice(Chronon::new(3)).len(), 1);
-        assert_eq!(
-            c.timeslice(Chronon::new(7))[0][1],
-            Some(Value::Int(30))
-        );
+        assert_eq!(c.timeslice(Chronon::new(7))[0][1], Some(Value::Int(30)));
         assert!(c.timeslice(Chronon::new(99)).is_empty());
     }
 

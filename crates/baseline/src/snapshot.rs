@@ -430,18 +430,17 @@ mod tests {
         let j = emp().natural_join(&grades).unwrap();
         assert_eq!(j.len(), 3);
         assert_eq!(j.scheme().arity(), 3);
-        assert!(j
-            .rows()
-            .contains(&vec![Value::str("Mary"), Value::Int(30), Value::str("senior")]));
+        assert!(j.rows().contains(&vec![
+            Value::str("Mary"),
+            Value::Int(30),
+            Value::str("senior")
+        ]));
     }
 
     #[test]
     fn incompatible_unions_rejected() {
-        let other = SnapshotScheme::new(
-            vec![(Attribute::new("X"), ValueKind::Int)],
-            vec![],
-        )
-        .unwrap();
+        let other =
+            SnapshotScheme::new(vec![(Attribute::new("X"), ValueKind::Int)], vec![]).unwrap();
         let o = SnapshotRelation::new(other);
         assert!(emp().union(&o).is_err());
     }

@@ -317,10 +317,7 @@ mod tests {
     fn timeslice_filters_by_span() {
         let r = john_history();
         assert_eq!(r.timeslice(Chronon::new(5)).len(), 1);
-        assert_eq!(
-            r.timeslice(Chronon::new(15))[0].values[1],
-            Value::Int(30)
-        );
+        assert_eq!(r.timeslice(Chronon::new(15))[0].values[1], Value::Int(30));
         assert!(r.timeslice(Chronon::new(99)).is_empty());
     }
 

@@ -54,8 +54,7 @@ fn bench_granularity(c: &mut Criterion) {
             &tuples,
             |b, _| {
                 b.iter(|| {
-                    let spans: Vec<Lifespan> =
-                        r.iter().map(|t| t.lifespan().clone()).collect();
+                    let spans: Vec<Lifespan> = r.iter().map(|t| t.lifespan().clone()).collect();
                     black_box(spans)
                 })
             },

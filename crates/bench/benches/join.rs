@@ -37,9 +37,7 @@ fn bench_join(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("equijoin", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    equijoin(black_box(&r), black_box(&s), &"V".into(), &"X".into()).unwrap(),
-                )
+                black_box(equijoin(black_box(&r), black_box(&s), &"V".into(), &"X".into()).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("natural_join", n), &n, |b, _| {
@@ -48,9 +46,7 @@ fn bench_join(c: &mut Criterion) {
             b.iter(|| black_box(natural_join(black_box(&r), black_box(&s)).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("time_join", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(time_join(black_box(&tt), black_box(&s), &"AT".into()).unwrap())
-            })
+            b.iter(|| black_box(time_join(black_box(&tt), black_box(&s), &"AT".into()).unwrap()))
         });
     }
     group.finish();

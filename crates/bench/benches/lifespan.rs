@@ -65,22 +65,18 @@ fn bench_ablation(c: &mut Criterion) {
                 black_box(u)
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("interval_intersect", n),
-            &n,
-            |bench, _| bench.iter(|| black_box(black_box(&a).intersect(black_box(&b)))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("btreeset_intersect", n),
-            &n,
-            |bench, _| {
-                bench.iter(|| {
-                    let u: BTreeSet<i64> =
-                        black_box(&sa).intersection(black_box(&sb)).copied().collect();
-                    black_box(u)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("interval_intersect", n), &n, |bench, _| {
+            bench.iter(|| black_box(black_box(&a).intersect(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("btreeset_intersect", n), &n, |bench, _| {
+            bench.iter(|| {
+                let u: BTreeSet<i64> = black_box(&sa)
+                    .intersection(black_box(&sb))
+                    .copied()
+                    .collect();
+                black_box(u)
+            })
+        });
     }
     group.finish();
 }

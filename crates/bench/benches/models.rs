@@ -62,11 +62,9 @@ fn bench_models(c: &mut Criterion) {
             &changes,
             |b, _| b.iter(|| black_box(black_box(&hrdm).find_by_key(&key))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("history_ts", changes),
-            &changes,
-            |b, _| b.iter(|| black_box(black_box(&ts).object_history(&key).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("history_ts", changes), &changes, |b, _| {
+            b.iter(|| black_box(black_box(&ts).object_history(&key).unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("history_cube", changes),
             &changes,

@@ -22,9 +22,7 @@ fn bench_optimizer(c: &mut Criterion) {
     src.insert("r".to_string(), r);
 
     for &(label, width) in &[("narrow", 100i64), ("medium", 2_000), ("wide", 10_000)] {
-        let text = format!(
-            "TIMESLICE [0..{width}] (SELECT-WHEN (V < 500) (PROJECT [K, V] (r)))"
-        );
+        let text = format!("TIMESLICE [0..{width}] (SELECT-WHEN (V < 500) (PROJECT [K, V] (r)))");
         let naive = parse_expr(&text).unwrap();
         let (optimized, trace) = optimize(&naive);
         assert!(!trace.is_empty());

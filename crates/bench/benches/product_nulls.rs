@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hrdm_bench::{gen_relation, gen_second_relation, WorkloadSpec};
-use hrdm_core::algebra::{cartesian_product, null_volume, theta_join, theta_join_union, Comparator};
+use hrdm_core::algebra::{
+    cartesian_product, null_volume, theta_join, theta_join_union, Comparator,
+};
 use std::hint::black_box;
 
 fn bench_product_nulls(c: &mut Criterion) {

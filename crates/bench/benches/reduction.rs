@@ -54,9 +54,7 @@ fn bench_reduction(c: &mut Criterion) {
         let pred = Predicate::attr_op_value("V", Comparator::Lt, 50i64);
         group.bench_with_input(BenchmarkId::new("select_hrdm", n), &n, |b, _| {
             b.iter(|| {
-                black_box(
-                    select_if(black_box(&hist), &pred, Quantifier::Exists, None).unwrap(),
-                )
+                black_box(select_if(black_box(&hist), &pred, Quantifier::Exists, None).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("select_classical", n), &n, |b, _| {

@@ -28,9 +28,7 @@ fn bench_select(c: &mut Criterion) {
             &changes,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        select_if(black_box(&r), &pred, Quantifier::Exists, None).unwrap(),
-                    )
+                    black_box(select_if(black_box(&r), &pred, Quantifier::Exists, None).unwrap())
                 })
             },
         );
@@ -39,9 +37,7 @@ fn bench_select(c: &mut Criterion) {
             &changes,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        select_if(black_box(&r), &pred, Quantifier::Forall, None).unwrap(),
-                    )
+                    black_box(select_if(black_box(&r), &pred, Quantifier::Forall, None).unwrap())
                 })
             },
         );
@@ -51,8 +47,7 @@ fn bench_select(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     black_box(
-                        select_if(black_box(&r), &pred, Quantifier::Exists, Some(&window))
-                            .unwrap(),
+                        select_if(black_box(&r), &pred, Quantifier::Exists, Some(&window)).unwrap(),
                     )
                 })
             },
@@ -60,9 +55,7 @@ fn bench_select(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("select_when", changes),
             &changes,
-            |b, _| {
-                b.iter(|| black_box(select_when(black_box(&r), &pred).unwrap()))
-            },
+            |b, _| b.iter(|| black_box(select_when(black_box(&r), &pred).unwrap())),
         );
     }
     group.finish();
@@ -86,9 +79,7 @@ fn bench_aggregate(c: &mut Criterion) {
                 &changes,
                 |b, _| {
                     b.iter(|| {
-                        black_box(
-                            aggregate_over_time(black_box(&r), &"V".into(), op).unwrap(),
-                        )
+                        black_box(aggregate_over_time(black_box(&r), &"V".into(), op).unwrap())
                     })
                 },
             );

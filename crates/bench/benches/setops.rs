@@ -43,9 +43,7 @@ fn bench_setops(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("intersection_o", fragments),
             &fragments,
-            |b, _| {
-                b.iter(|| black_box(intersection_o(black_box(&r1), black_box(&r2)).unwrap()))
-            },
+            |b, _| b.iter(|| black_box(intersection_o(black_box(&r1), black_box(&r2)).unwrap())),
         );
         group.bench_with_input(
             BenchmarkId::new("difference", fragments),
@@ -55,9 +53,7 @@ fn bench_setops(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("difference_o", fragments),
             &fragments,
-            |b, _| {
-                b.iter(|| black_box(difference_o(black_box(&r1), black_box(&r2)).unwrap()))
-            },
+            |b, _| b.iter(|| black_box(difference_o(black_box(&r1), black_box(&r2)).unwrap())),
         );
     }
     group.finish();

@@ -32,10 +32,8 @@ fn bench_storage(c: &mut Criterion) {
             BenchmarkId::new("heap_write_sync", tuples),
             &tuples,
             |b, _| {
-                let path = std::env::temp_dir().join(format!(
-                    "hrdm-bench-heap-{}-{tuples}",
-                    std::process::id()
-                ));
+                let path = std::env::temp_dir()
+                    .join(format!("hrdm-bench-heap-{}-{tuples}", std::process::id()));
                 b.iter(|| {
                     let mut heap = HeapFile::create(&path).unwrap();
                     for t in r.iter() {

@@ -70,11 +70,15 @@ fn main() {
     figure_9();
     figure_10();
     figure_11();
+    figure_12();
 }
 
 /// Fig. 1: the relational database instance hierarchy.
 fn figure_1() {
-    heading(1, "Relational database instance (database / relations / tuples)");
+    heading(
+        1,
+        "Relational database instance (database / relations / tuples)",
+    );
     let mut db = Database::new();
     db.create_relation("emp", emp_scheme()).unwrap();
     db.insert("emp", emp("John", &[(0, 20)], 25_000)).unwrap();
@@ -157,7 +161,10 @@ fn figure_4() {
 
 /// Fig. 5: the relational database schema hierarchy.
 fn figure_5() {
-    heading(5, "Relational database schema (schema / relation schemas / attributes)");
+    heading(
+        5,
+        "Relational database schema (schema / relation schemas / attributes)",
+    );
     let mut cat = Catalog::new();
     cat.create_relation("emp", emp_scheme()).unwrap();
     cat.create_relation(
@@ -180,7 +187,10 @@ fn figure_5() {
 
 /// Fig. 6: the lifespan of attribute DAILY-TRADING-VOLUME.
 fn figure_6() {
-    heading(6, "Lifespan of attribute DAILY-TRADING-VOLUME (schema evolution)");
+    heading(
+        6,
+        "Lifespan of attribute DAILY-TRADING-VOLUME (schema evolution)",
+    );
     let mut cat = Catalog::new();
     cat.create_relation(
         "stocks",
@@ -201,7 +211,8 @@ fn figure_6() {
         Chronon::new(ERA),
     )
     .unwrap();
-    cat.drop_attribute("stocks", &vol, Chronon::new(16)).unwrap();
+    cat.drop_attribute("stocks", &vol, Chronon::new(16))
+        .unwrap();
     cat.re_add_attribute("stocks", &vol, Chronon::new(28), Chronon::new(ERA))
         .unwrap();
     let als = cat.scheme("stocks").unwrap().als(&vol).unwrap().clone();
@@ -216,7 +227,10 @@ fn figure_6() {
 
 /// Fig. 7: tuple lifespan × attribute lifespan interaction.
 fn figure_7() {
-    heading(7, "Tuple lifespan and attribute lifespan interaction (vls = X ∩ Y)");
+    heading(
+        7,
+        "Tuple lifespan and attribute lifespan interaction (vls = X ∩ Y)",
+    );
     let x = Lifespan::interval(20, 35); // ALS(An) = X
     let scheme = Scheme::builder()
         .key_attr("NAME", ValueKind::Str, era())
@@ -319,10 +333,16 @@ fn figure_9() {
 
 /// Fig. 10: the three dimensions of the historical data model.
 fn figure_10() {
-    heading(10, "Three dimensions: attributes × tuples × TIME (the cube)");
+    heading(
+        10,
+        "Three dimensions: attributes × tuples × TIME (the cube)",
+    );
     let r = Relation::with_tuples(
         emp_scheme(),
-        vec![emp("John", &[(0, 3)], 25_000), emp("Mary", &[(2, 5)], 30_000)],
+        vec![
+            emp("John", &[(0, 3)], 25_000),
+            emp("Mary", &[(2, 5)], 30_000),
+        ],
     )
     .unwrap();
     let cube = hrdm_to_cube(&r, None).unwrap();
@@ -383,4 +403,44 @@ fn figure_11() {
             .map(|e| e.to_string())
             .unwrap_or_else(|| "ok".into())
     );
+}
+
+/// Beyond the paper: the `hrdm-index` access methods and the planner's
+/// access-path selection — Fig. 9's "file structures and access methods"
+/// box made concrete.
+fn figure_12() {
+    heading(12, "Access paths: lifespan/key IndexScan vs SeqScan");
+    let mut db = Database::new();
+    db.create_relation("emp", emp_scheme()).unwrap();
+    db.insert("emp", emp("John", &[(0, 20)], 25_000)).unwrap();
+    db.insert("emp", emp("Mary", &[(5, 30)], 30_000)).unwrap();
+    db.insert("emp", emp("Igor", &[(25, 40)], 27_000)).unwrap();
+    db.build_indexes();
+
+    let idx = db.indexes("emp").unwrap();
+    println!(
+        "  emp: {} tuples, {} lifespan-interval entries, {} distinct keys",
+        idx.tuple_count(),
+        idx.lifespan().entry_count(),
+        idx.key().map(|k| k.distinct_keys()).unwrap_or(0),
+    );
+    for (caption, query) in [
+        ("an indexable TIME-SLICE", "TIMESLICE [0..10] (emp)"),
+        (
+            "a key-equality SELECT-WHEN",
+            "SELECT-WHEN (NAME = \"Mary\") (emp)",
+        ),
+        (
+            "a non-key SELECT-WHEN (no index applies)",
+            "SELECT-WHEN (SALARY = 25000) (emp)",
+        ),
+    ] {
+        let e = hrdm_query::parse_expr(query).unwrap();
+        let (optimized, _) = hrdm_query::optimize(&e);
+        let plan = hrdm_query::plan(&optimized, &db);
+        println!("  {caption}: {query}");
+        for line in hrdm_query::explain_plan(&plan).lines() {
+            println!("    {line}");
+        }
+    }
 }

@@ -74,7 +74,11 @@ fn gen_lifespan(rng: &mut StdRng, era: i64, fragments: usize) -> Lifespan {
     let mut spans = Vec::with_capacity(fragments);
     for i in 0..fragments as i64 {
         let base = i * 2 * piece;
-        let jitter = if piece > 2 { rng.random_range(0..piece / 2) } else { 0 };
+        let jitter = if piece > 2 {
+            rng.random_range(0..piece / 2)
+        } else {
+            0
+        };
         let lo = (base + jitter).min(era);
         let hi = (lo + piece.max(1) - 1).min(era);
         if lo <= hi {
@@ -104,7 +108,10 @@ fn gen_history(rng: &mut StdRng, life: &Lifespan, changes: usize) -> TemporalVal
         // canonical form will merge across adjacent runs automatically.
         let lo = chronons[start_idx];
         let hi = chronons[end_idx - 1];
-        for run in life.clamp(Interval::new(lo, hi).expect("ordered")).intervals() {
+        for run in life
+            .clamp(Interval::new(lo, hi).expect("ordered"))
+            .intervals()
+        {
             segments.push((*run, Value::Int(value)));
         }
         value = rng.random_range(0..1_000i64);
@@ -178,12 +185,7 @@ pub fn gen_tt_relation(spec: &WorkloadSpec) -> Relation {
         let segments: Vec<(Interval, Value)> = life
             .intervals()
             .iter()
-            .map(|run| {
-                (
-                    *run,
-                    Value::time(rng.random_range(0..=spec.era)),
-                )
-            })
+            .map(|run| (*run, Value::time(rng.random_range(0..=spec.era))))
             .collect();
         let at = TemporalValue::from_segments(segments).expect("runs are disjoint");
         let t = Tuple::builder(life)
@@ -244,9 +246,7 @@ mod tests {
             fragments: 4,
             ..Default::default()
         });
-        assert!(frag
-            .iter()
-            .any(|t| t.lifespan().interval_count() > 1));
+        assert!(frag.iter().any(|t| t.lifespan().interval_count() > 1));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! A small, offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of criterion its benches use: `Criterion` with the builder
+//! setters, benchmark groups, `bench_with_input` / `bench_function`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a warm-up, each benchmark body
+//! is timed over enough iterations to fill the measurement window and the
+//! mean wall-clock time per iteration is printed as
+//! `name/param time: <t> ns/iter`. Set `HRDM_BENCH_FAST=1` to shrink
+//! warm-up and measurement windows (CI smoke mode).
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("HRDM_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmarking group `{name}`");
+        BenchmarkGroup {
+            name,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.render(), self.warm_up, self.measurement, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the input size the next benchmarks process (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        eprintln!("  throughput: {t:?}");
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&label, self.warm_up, self.measurement, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&label, self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, warm_up: Duration, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let (warm_up, measurement) = if fast_mode() {
+        (Duration::from_millis(1), Duration::from_millis(10))
+    } else {
+        (warm_up, measurement)
+    };
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{label:<48} time: {:>12} ns/iter ({} iters)",
+        format_ns(b.mean_ns),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean wall-clock nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+    /// Total iterations measured by the last `iter` call.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: first for the warm-up window, then for the
+    /// measurement window, recording the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let started = Instant::now();
+        let deadline = started + self.measurement;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = started.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A benchmark identifier (`name/parameter`).
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped benches).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Input-size declaration, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Defines a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines the benchmark binary entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; test harness args are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        let mut measured = 0.0;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1u64, |b, &x| {
+            b.iter(|| x + 1);
+            measured = b.mean_ns;
+        });
+        group.finish();
+        assert!(measured > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Collection strategies (`prop::collection::*`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+/// A size bound for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi_inclusive - self.lo + 1) as u64) as usize
+    }
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` with keys from `key`, values from `value`, and *up to* a
+/// `size`-drawn number of entries (duplicate keys collapse, as in real
+/// proptest).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_map`].
+#[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.sample(rng);
+        (0..n)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(3);
+        let s = vec(0i64..5, 1..4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_map_collapses_duplicate_keys() {
+        let mut rng = TestRng::new(4);
+        let s = btree_map(0i64..3, 0i64..100, 0..10);
+        for _ in 0..50 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() <= 3);
+        }
+    }
+}

@@ -192,9 +192,8 @@ mod tests {
     }
 
     fn emp(name: &str, history: &[(i64, i64, i64)]) -> Tuple {
-        let life = Lifespan::from_intervals(
-            history.iter().map(|&(lo, hi, _)| Interval::of(lo, hi)),
-        );
+        let life =
+            Lifespan::from_intervals(history.iter().map(|&(lo, hi, _)| Interval::of(lo, hi)));
         Tuple::builder(life)
             .constant("NAME", name)
             .value(
@@ -228,7 +227,7 @@ mod tests {
         assert_eq!(count.at(Chronon::new(7)), Some(&Value::Int(2)));
         assert_eq!(count.at(Chronon::new(22)), Some(&Value::Int(1)));
         assert_eq!(count.at(Chronon::new(50)), None); // outside LS(r)
-        // Count is defined on all of LS(r).
+                                                      // Count is defined on all of LS(r).
         assert_eq!(count.domain(), rel().lifespan());
     }
 

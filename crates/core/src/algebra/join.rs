@@ -31,7 +31,10 @@ pub fn theta_join(
     let ka = r1.scheme().dom(a)?.kind();
     let kb = r2.scheme().dom(b)?.kind();
     if !ka.comparable_with(kb) {
-        return Err(HrdmError::IncomparableValues { left: ka, right: kb });
+        return Err(HrdmError::IncomparableValues {
+            left: ka,
+            right: kb,
+        });
     }
     let scheme = r1.scheme().disjoint_concat(r2.scheme())?;
     let empty = TemporalValue::empty();
@@ -69,25 +72,44 @@ pub fn natural_join(r1: &Relation, r2: &Relation) -> Result<Relation> {
         .cloned()
         .collect();
     let scheme = r1.scheme().natural_concat(r2.scheme())?;
-    let empty = TemporalValue::empty();
     let mut out = Vec::new();
     for t1 in r1.iter() {
         for t2 in r2.iter() {
-            let mut l = t1.lifespan().intersect(t2.lifespan());
-            for attr in &common {
-                if l.is_empty() {
-                    break;
-                }
-                let f = t1.value(attr).unwrap_or(&empty);
-                let g = t2.value(attr).unwrap_or(&empty);
-                l = l.intersect(&f.when_compare(g, |ord| ord == std::cmp::Ordering::Equal)?);
-            }
-            if !l.is_empty() {
-                out.push(t1.concat_restricted(t2, l));
+            if let Some(joined) = natural_join_pair(t1, t2, &common)? {
+                out.push(joined);
             }
         }
     }
     Ok(Relation::from_parts_unchecked(scheme, out))
+}
+
+/// Joins one `(t1, t2)` pair as NATURAL-JOIN does: the result exists on the
+/// times both tuples are alive and agree on every attribute of `common`,
+/// and is `None` when that lifespan is empty.
+///
+/// This is the exact per-pair semantics of [`natural_join`], exposed so
+/// index-driven join strategies (probing a key index for candidate
+/// partners instead of scanning) can reuse it unchanged.
+pub fn natural_join_pair(
+    t1: &crate::Tuple,
+    t2: &crate::Tuple,
+    common: &[Attribute],
+) -> Result<Option<crate::Tuple>> {
+    let empty = TemporalValue::empty();
+    let mut l = t1.lifespan().intersect(t2.lifespan());
+    for attr in common {
+        if l.is_empty() {
+            break;
+        }
+        let f = t1.value(attr).unwrap_or(&empty);
+        let g = t2.value(attr).unwrap_or(&empty);
+        l = l.intersect(&f.when_compare(g, |ord| ord == std::cmp::Ordering::Equal)?);
+    }
+    if l.is_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(t1.concat_restricted(t2, l)))
+    }
 }
 
 /// `r1 [@A] r2` — TIME-JOIN at time-valued attribute `A` of `r1` (paper
@@ -114,16 +136,32 @@ pub fn time_join(r1: &Relation, r2: &Relation, a: &Attribute) -> Result<Relation
             continue;
         }
         for t2 in r2.iter() {
-            let l = t1
-                .lifespan()
-                .intersect(t2.lifespan())
-                .intersect(&image);
-            if !l.is_empty() {
-                out.push(t1.concat_restricted(t2, l));
+            if let Some(joined) = time_join_pair(t1, t2, &image) {
+                out.push(joined);
             }
         }
     }
     Ok(Relation::from_parts_unchecked(scheme, out))
+}
+
+/// Joins one `(t1, t2)` pair as TIME-JOIN does, for a precomputed image of
+/// `t1`'s time-valued join attribute: the result exists on
+/// `t1.l ∩ t2.l ∩ image` and is `None` when that lifespan is empty.
+///
+/// The exact per-pair semantics of [`time_join`], exposed so index-driven
+/// strategies (probing a lifespan index with `t1.l ∩ image` for candidate
+/// partners) can reuse it unchanged.
+pub fn time_join_pair(
+    t1: &crate::Tuple,
+    t2: &crate::Tuple,
+    image: &Lifespan,
+) -> Option<crate::Tuple> {
+    let l = t1.lifespan().intersect(t2.lifespan()).intersect(image);
+    if l.is_empty() {
+        None
+    } else {
+        Some(t1.concat_restricted(t2, l))
+    }
 }
 
 /// The union-flavored θ-join of paper §5: pairs whose values are θ-related
@@ -141,7 +179,10 @@ pub fn theta_join_union(
     let ka = r1.scheme().dom(a)?.kind();
     let kb = r2.scheme().dom(b)?.kind();
     if !ka.comparable_with(kb) {
-        return Err(HrdmError::IncomparableValues { left: ka, right: kb });
+        return Err(HrdmError::IncomparableValues {
+            left: ka,
+            right: kb,
+        });
     }
     let scheme = r1.scheme().disjoint_concat(r2.scheme())?;
     let empty = TemporalValue::empty();
@@ -173,8 +214,16 @@ mod tests {
     fn emp_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("DEPT", HistoricalDomain::string(), Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "DEPT",
+                HistoricalDomain::string(),
+                Lifespan::interval(0, 100),
+            )
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -182,7 +231,11 @@ mod tests {
     fn dept_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("DNAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("BUDGET", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "BUDGET",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -240,9 +293,7 @@ mod tests {
         assert_eq!(j.len(), 3);
         let john_toys = j
             .iter()
-            .find(|t| {
-                t.at(&"NAME".into(), Chronon::new(0)) == Some(&Value::str("John"))
-            })
+            .find(|t| t.at(&"NAME".into(), Chronon::new(0)) == Some(&Value::str("John")))
             .unwrap();
         assert_eq!(john_toys.lifespan(), &Lifespan::interval(0, 10));
         // Both join attributes are kept, equal over the lifespan.
@@ -322,7 +373,11 @@ mod tests {
         // Rename DNAME to DEPT so the schemes share an attribute.
         let dscheme = Scheme::builder()
             .key_attr("DEPT", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("BUDGET", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "BUDGET",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap();
         // DEPT as key must be constant; "Toys" department.
@@ -372,16 +427,17 @@ mod tests {
         // departments alive at the times the attribute points to.
         let scheme = Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("HIRED", HistoricalDomain::time(), Lifespan::interval(0, 100))
+            .attr(
+                "HIRED",
+                HistoricalDomain::time(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap();
         let life = Lifespan::interval(0, 30);
         let t = Tuple::builder(life.clone())
             .constant("NAME", "John")
-            .value(
-                "HIRED",
-                TemporalValue::constant(&life, Value::time(9)),
-            )
+            .value("HIRED", TemporalValue::constant(&life, Value::time(9)))
             .finish(&scheme)
             .unwrap();
         let r1 = Relation::with_tuples(scheme, vec![t]).unwrap();

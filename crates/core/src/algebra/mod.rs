@@ -34,7 +34,10 @@ pub mod timeslice;
 pub mod when;
 
 pub use aggregate::{aggregate_over_time, AggregateOp};
-pub use join::{equijoin, natural_join, theta_join, theta_join_union, time_join};
+pub use join::{
+    equijoin, natural_join, natural_join_pair, theta_join, theta_join_union, time_join,
+    time_join_pair,
+};
 pub use object_setops::{difference_o, intersection_o, union_o};
 pub use predicate::{Comparator, Operand, Predicate};
 pub use product::{cartesian_product, null_volume};

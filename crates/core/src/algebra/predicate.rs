@@ -227,7 +227,10 @@ impl Predicate {
                 if lk.comparable_with(rk) {
                     Ok(())
                 } else {
-                    Err(HrdmError::IncomparableValues { left: lk, right: rk })
+                    Err(HrdmError::IncomparableValues {
+                        left: lk,
+                        right: rk,
+                    })
                 }
             }
             Predicate::And(p, q) | Predicate::Or(p, q) => {
@@ -410,10 +413,7 @@ mod tests {
                     (25, 30, Value::Int(28_000)), // gap [20,24]: salary unknown
                 ]),
             )
-            .value(
-                "BUDGET",
-                TemporalValue::of(&[(0, 30, Value::Int(29_000))]),
-            )
+            .value("BUDGET", TemporalValue::of(&[(0, 30, Value::Int(29_000))]))
             .finish(&scheme())
             .unwrap()
     }
@@ -492,7 +492,10 @@ mod tests {
             Comparator::Lt,
             Operand::attr("SALARY"),
         );
-        assert_eq!(p.when_true(&john()).unwrap(), Lifespan::of(&[(10, 19), (25, 30)]));
+        assert_eq!(
+            p.when_true(&john()).unwrap(),
+            Lifespan::of(&[(10, 19), (25, 30)])
+        );
     }
 
     #[test]
@@ -504,7 +507,10 @@ mod tests {
         assert_eq!(band.when_true(&t).unwrap(), ls(25, 30));
 
         let either = hi.clone().or(lo);
-        assert_eq!(either.when_true(&t).unwrap(), Lifespan::of(&[(0, 19), (25, 30)]));
+        assert_eq!(
+            either.when_true(&t).unwrap(),
+            Lifespan::of(&[(0, 19), (25, 30)])
+        );
 
         let not_hi = hi.negate();
         assert_eq!(not_hi.when_true(&t).unwrap(), ls(0, 9));
@@ -538,8 +544,7 @@ mod tests {
                 Comparator::Le,
                 Operand::attr("BUDGET"),
             ),
-            Predicate::eq_value("SALARY", 30_000i64)
-                .and(Predicate::eq_value("NAME", "John")),
+            Predicate::eq_value("SALARY", 30_000i64).and(Predicate::eq_value("NAME", "John")),
             Predicate::eq_value("SALARY", 25_000i64).negate(),
         ];
         for p in &preds {
@@ -590,7 +595,11 @@ mod tests {
             Comparator::Lt,
             Operand::attr("C"),
         ));
-        let names: Vec<String> = p.attributes().iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<String> = p
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(names, vec!["A", "B", "C"]);
     }
 
@@ -598,9 +607,6 @@ mod tests {
     fn display_forms() {
         let p = Predicate::eq_value("SALARY", 30_000i64)
             .and(Predicate::eq_value("NAME", "John").negate());
-        assert_eq!(
-            p.to_string(),
-            "(SALARY = 30000 and (not NAME = \"John\"))"
-        );
+        assert_eq!(p.to_string(), "(SALARY = 30000 and (not NAME = \"John\"))");
     }
 }

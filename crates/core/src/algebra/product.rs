@@ -59,7 +59,11 @@ mod tests {
     fn emp_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -67,7 +71,11 @@ mod tests {
     fn dept_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("DNAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("BUDGET", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "BUDGET",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -144,13 +152,14 @@ mod tests {
     #[test]
     fn overlapping_lifespans_reduce_null_volume() {
         let emps = Relation::with_tuples(emp_scheme(), vec![emp("John", (0, 9), 1)]).unwrap();
-        let d_far =
-            Relation::with_tuples(dept_scheme(), vec![dept("Toys", (20, 29), 1)]).unwrap();
-        let d_near =
-            Relation::with_tuples(dept_scheme(), vec![dept("Toys", (5, 14), 1)]).unwrap();
+        let d_far = Relation::with_tuples(dept_scheme(), vec![dept("Toys", (20, 29), 1)]).unwrap();
+        let d_near = Relation::with_tuples(dept_scheme(), vec![dept("Toys", (5, 14), 1)]).unwrap();
         let far = null_volume(&cartesian_product(&emps, &d_far).unwrap());
         let near = null_volume(&cartesian_product(&emps, &d_near).unwrap());
-        assert!(near < far, "more overlap must mean fewer nulls: {near} vs {far}");
+        assert!(
+            near < far,
+            "more overlap must mean fewer nulls: {near} vs {far}"
+        );
     }
 
     #[test]

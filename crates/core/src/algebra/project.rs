@@ -50,11 +50,7 @@ mod tests {
 
     #[test]
     fn projection_drops_attributes_keeps_lifespan() {
-        let r = Relation::with_tuples(
-            scheme(),
-            vec![tup("a", &[(0, 5), (10, 12)], 1, 7)],
-        )
-        .unwrap();
+        let r = Relation::with_tuples(scheme(), vec![tup("a", &[(0, 5), (10, 12)], 1, 7)]).unwrap();
         let p = project(&r, &["K".into(), "V".into()]).unwrap();
         assert_eq!(p.scheme().arity(), 2);
         let t = &p.tuples()[0];

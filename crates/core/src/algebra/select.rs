@@ -100,7 +100,11 @@ mod tests {
     fn scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -144,7 +148,7 @@ mod tests {
         let p = Predicate::eq_value("SALARY", 30_000i64);
         let out = select_if(&r, &p, Quantifier::Exists, None).unwrap();
         assert_eq!(out.len(), 2); // John (eventually) and Mary
-        // John's tuple is intact, lifespan unchanged.
+                                  // John's tuple is intact, lifespan unchanged.
         let john = out.find_by_key(&[Value::str("John")]).unwrap();
         assert_eq!(john.lifespan(), &Lifespan::interval(0, 19));
         assert_eq!(
@@ -192,8 +196,7 @@ mod tests {
         // The paper's example: σ-WHEN(Name=John ∧ Salary=30K)(emp) yields one
         // tuple whose new lifespan is just the times John earned 30K.
         let r = emps();
-        let p = Predicate::eq_value("NAME", "John")
-            .and(Predicate::eq_value("SALARY", 30_000i64));
+        let p = Predicate::eq_value("NAME", "John").and(Predicate::eq_value("SALARY", 30_000i64));
         let out = select_when(&r, &p).unwrap();
         assert_eq!(out.len(), 1);
         let t = &out.tuples()[0];
@@ -217,10 +220,7 @@ mod tests {
     fn select_when_fragments_lifespans() {
         let r = Relation::with_tuples(
             scheme(),
-            vec![emp(
-                "Yoyo",
-                &[(0, 4, 10), (5, 9, 20), (10, 14, 10)],
-            )],
+            vec![emp("Yoyo", &[(0, 4, 10), (5, 9, 20), (10, 14, 10)])],
         )
         .unwrap();
         let p = Predicate::eq_value("SALARY", 10i64);

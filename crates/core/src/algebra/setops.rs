@@ -29,9 +29,7 @@ fn require_union_compatible(r1: &Relation, r2: &Relation) -> Result<()> {
 /// "counter-intuitive" union).
 pub fn union(r1: &Relation, r2: &Relation) -> Result<Relation> {
     require_union_compatible(r1, r2)?;
-    let scheme = r1
-        .scheme()
-        .combine_als(r2.scheme(), |a, b| a.union(b));
+    let scheme = r1.scheme().combine_als(r2.scheme(), |a, b| a.union(b));
     Ok(Relation::from_parts_unchecked(
         scheme,
         r1.iter().chain(r2.iter()).cloned(),
@@ -42,9 +40,7 @@ pub fn union(r1: &Relation, r2: &Relation) -> Result<Relation> {
 /// scheme is `<A1, K1, ALS1 ∩ ALS2, DOM1>` (paper §4.1, def. 2).
 pub fn intersection(r1: &Relation, r2: &Relation) -> Result<Relation> {
     require_union_compatible(r1, r2)?;
-    let scheme = r1
-        .scheme()
-        .combine_als(r2.scheme(), |a, b| a.intersect(b));
+    let scheme = r1.scheme().combine_als(r2.scheme(), |a, b| a.intersect(b));
     let theirs: HashSet<_> = r2.iter().collect();
     Ok(Relation::from_parts_unchecked(
         scheme,
@@ -134,12 +130,10 @@ mod tests {
     fn intersection_requires_identical_tuples() {
         let s = scheme((0, 30));
         let shared = tup(&s, "a", &[(0, 5)], 1);
-        let r1 =
-            Relation::with_tuples(s.clone(), vec![shared.clone(), tup(&s, "b", &[(6, 9)], 2)])
-                .unwrap();
-        let r2 =
-            Relation::with_tuples(s.clone(), vec![shared.clone(), tup(&s, "c", &[(6, 9)], 3)])
-                .unwrap();
+        let r1 = Relation::with_tuples(s.clone(), vec![shared.clone(), tup(&s, "b", &[(6, 9)], 2)])
+            .unwrap();
+        let r2 = Relation::with_tuples(s.clone(), vec![shared.clone(), tup(&s, "c", &[(6, 9)], 3)])
+            .unwrap();
         let i = intersection(&r1, &r2).unwrap();
         assert_eq!(i.len(), 1);
         assert!(i.contains_tuple(&shared));
@@ -163,8 +157,7 @@ mod tests {
         let s = scheme((0, 30));
         let shared = tup(&s, "a", &[(0, 5)], 1);
         let only_mine = tup(&s, "b", &[(6, 9)], 2);
-        let r1 = Relation::with_tuples(s.clone(), vec![shared.clone(), only_mine.clone()])
-            .unwrap();
+        let r1 = Relation::with_tuples(s.clone(), vec![shared.clone(), only_mine.clone()]).unwrap();
         let r2 = Relation::with_tuples(s.clone(), vec![shared]).unwrap();
         let d = difference(&r1, &r2).unwrap();
         assert_eq!(d.len(), 1);

@@ -64,10 +64,18 @@ mod tests {
     fn scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             // REVIEWED: at each time s, the time point at which the record
             // was last reviewed — a time-valued attribute (DOM ⊆ TT).
-            .attr("REVIEWED", HistoricalDomain::time(), Lifespan::interval(0, 100))
+            .attr(
+                "REVIEWED",
+                HistoricalDomain::time(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -155,11 +163,8 @@ mod tests {
     fn dynamic_timeslice_drops_tuples_with_image_outside_lifespan() {
         // An employee whose review happened before their own lifespan:
         // image ∩ t.l = ∅, so the tuple vanishes.
-        let r = Relation::with_tuples(
-            scheme(),
-            vec![emp("Zoe", (50, 60), 10_000, &[(50, 60, 3)])],
-        )
-        .unwrap();
+        let r = Relation::with_tuples(scheme(), vec![emp("Zoe", (50, 60), 10_000, &[(50, 60, 3)])])
+            .unwrap();
         let sliced = timeslice_dynamic(&r, &"REVIEWED".into()).unwrap();
         assert!(sliced.is_empty());
     }

@@ -30,7 +30,11 @@ mod tests {
     fn scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }

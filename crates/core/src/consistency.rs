@@ -39,10 +39,7 @@ pub fn lift_snapshot(
     for row in rows {
         let mut b = Tuple::builder(life.clone());
         for (attr, v) in row {
-            b = b.value(
-                attr.clone(),
-                TemporalValue::at_point(now, v.clone()),
-            );
+            b = b.value(attr.clone(), TemporalValue::at_point(now, v.clone()));
         }
         tuples.push(b.finish(scheme)?);
     }
@@ -141,11 +138,7 @@ mod tests {
     #[test]
     fn operators_preserve_snapshot_shape() {
         let r = lift_snapshot(&scheme(), &rows(), NOW).unwrap();
-        let p = Predicate::attr_op_value(
-            "V",
-            crate::algebra::predicate::Comparator::Gt,
-            5i64,
-        );
+        let p = Predicate::attr_op_value("V", crate::algebra::predicate::Comparator::Gt, 5i64);
         let s = select_when(&r, &p).unwrap();
         assert!(is_snapshot_relation(&s, NOW));
         let pr = crate::algebra::project(&r, &["K".into()]).unwrap();

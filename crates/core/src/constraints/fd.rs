@@ -59,7 +59,10 @@ fn values_at(t: &Tuple, attrs: &[Attribute], s: Chronon) -> Option<Vec<Value>> {
 fn render(vs: &[Value]) -> String {
     format!(
         "({})",
-        vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     )
 }
 
@@ -119,11 +122,7 @@ pub fn holds_pointwise(
 /// that hold over all points in time").
 ///
 /// Candidate times are segment boundaries (values are piecewise constant).
-pub fn holds_always(
-    r: &Relation,
-    x: &[Attribute],
-    y: &[Attribute],
-) -> Result<Option<FdViolation>> {
+pub fn holds_always(r: &Relation, x: &[Attribute], y: &[Attribute]) -> Result<Option<FdViolation>> {
     let mut seen: HashMap<Vec<Value>, (Chronon, Vec<Value>)> = HashMap::new();
     for t in r.iter() {
         let mut times: Vec<Chronon> = Vec::new();
@@ -207,9 +206,17 @@ mod tests {
     fn scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("DEPT", HistoricalDomain::string(), Lifespan::interval(0, 100))
+            .attr(
+                "DEPT",
+                HistoricalDomain::string(),
+                Lifespan::interval(0, 100),
+            )
             .attr("FLOOR", HistoricalDomain::int(), Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -226,19 +233,28 @@ mod tests {
             .value(
                 "DEPT",
                 TemporalValue::of(
-                    &dept.iter().map(|&(a, b, d)| (a, b, Value::str(d))).collect::<Vec<_>>(),
+                    &dept
+                        .iter()
+                        .map(|&(a, b, d)| (a, b, Value::str(d)))
+                        .collect::<Vec<_>>(),
                 ),
             )
             .value(
                 "FLOOR",
                 TemporalValue::of(
-                    &floor.iter().map(|&(a, b, v)| (a, b, Value::Int(v))).collect::<Vec<_>>(),
+                    &floor
+                        .iter()
+                        .map(|&(a, b, v)| (a, b, Value::Int(v)))
+                        .collect::<Vec<_>>(),
                 ),
             )
             .value(
                 "SALARY",
                 TemporalValue::of(
-                    &salary.iter().map(|&(a, b, v)| (a, b, Value::Int(v))).collect::<Vec<_>>(),
+                    &salary
+                        .iter()
+                        .map(|&(a, b, v)| (a, b, Value::Int(v)))
+                        .collect::<Vec<_>>(),
                 ),
             )
             .finish(&scheme())
@@ -252,8 +268,20 @@ mod tests {
         let r = Relation::with_tuples(
             scheme(),
             vec![
-                emp("A", (0, 20), &[(0, 20, "Toys")], &[(0, 9, 1), (10, 20, 2)], &[(0, 20, 5)]),
-                emp("B", (0, 20), &[(0, 20, "Toys")], &[(0, 9, 1), (10, 20, 2)], &[(0, 20, 6)]),
+                emp(
+                    "A",
+                    (0, 20),
+                    &[(0, 20, "Toys")],
+                    &[(0, 9, 1), (10, 20, 2)],
+                    &[(0, 20, 5)],
+                ),
+                emp(
+                    "B",
+                    (0, 20),
+                    &[(0, 20, "Toys")],
+                    &[(0, 9, 1), (10, 20, 2)],
+                    &[(0, 20, 6)],
+                ),
             ],
         )
         .unwrap();
@@ -271,8 +299,20 @@ mod tests {
         let r = Relation::with_tuples(
             scheme(),
             vec![
-                emp("A", (0, 10), &[(0, 10, "Toys")], &[(0, 10, 1)], &[(0, 10, 5)]),
-                emp("B", (0, 10), &[(0, 10, "Toys")], &[(0, 10, 2)], &[(0, 10, 6)]),
+                emp(
+                    "A",
+                    (0, 10),
+                    &[(0, 10, "Toys")],
+                    &[(0, 10, 1)],
+                    &[(0, 10, 5)],
+                ),
+                emp(
+                    "B",
+                    (0, 10),
+                    &[(0, 10, "Toys")],
+                    &[(0, 10, 2)],
+                    &[(0, 10, 6)],
+                ),
             ],
         )
         .unwrap();
@@ -288,8 +328,20 @@ mod tests {
         let r = Relation::with_tuples(
             scheme(),
             vec![
-                emp("A", (0, 20), &[(0, 20, "Toys")], &[(0, 20, 1)], &[(0, 20, 5)]),
-                emp("B", (5, 25), &[(5, 25, "Toys")], &[(5, 25, 1)], &[(5, 25, 9)]),
+                emp(
+                    "A",
+                    (0, 20),
+                    &[(0, 20, "Toys")],
+                    &[(0, 20, 1)],
+                    &[(0, 20, 5)],
+                ),
+                emp(
+                    "B",
+                    (5, 25),
+                    &[(5, 25, "Toys")],
+                    &[(5, 25, 1)],
+                    &[(5, 25, 9)],
+                ),
             ],
         )
         .unwrap();
@@ -345,7 +397,13 @@ mod tests {
         let r = Relation::with_tuples(
             scheme(),
             vec![
-                emp("A", (0, 20), &[(0, 20, "T")], &[(0, 20, 1)], &[(0, 9, 10), (10, 20, 8)]),
+                emp(
+                    "A",
+                    (0, 20),
+                    &[(0, 20, "T")],
+                    &[(0, 20, 1)],
+                    &[(0, 9, 10), (10, 20, 8)],
+                ),
                 emp("B", (0, 20), &[(0, 20, "T")], &[(0, 20, 1)], &[(0, 20, 10)]),
             ],
         )

@@ -62,9 +62,8 @@ impl Fd {
 
 impl fmt::Display for Fd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let side = |s: &BTreeSet<Attribute>| {
-            s.iter().map(|a| a.name()).collect::<Vec<_>>().join(",")
-        };
+        let side =
+            |s: &BTreeSet<Attribute>| s.iter().map(|a| a.name()).collect::<Vec<_>>().join(",");
         write!(f, "{} -> {}", side(&self.lhs), side(&self.rhs))
     }
 }
@@ -132,8 +131,7 @@ pub fn bcnf_violations<'a>(scheme: &Scheme, fds: &'a [Fd]) -> Vec<&'a Fd> {
             if !fd.lhs.is_subset(&here) {
                 return false;
             }
-            let rhs_here: BTreeSet<Attribute> =
-                fd.rhs.intersection(&here).cloned().collect();
+            let rhs_here: BTreeSet<Attribute> = fd.rhs.intersection(&here).cloned().collect();
             !rhs_here.is_subset(&fd.lhs) && !is_superkey(scheme, &fd.lhs, fds)
         })
         .collect()
@@ -154,10 +152,7 @@ pub fn is_bcnf(scheme: &Scheme, fds: &[Fd]) -> bool {
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| attrs[i].clone())
             .collect();
-        let reach: BTreeSet<Attribute> = closure(&x, fds)
-            .intersection(&here)
-            .cloned()
-            .collect();
+        let reach: BTreeSet<Attribute> = closure(&x, fds).intersection(&here).cloned().collect();
         if reach != x && reach != here {
             return false;
         }
@@ -192,10 +187,7 @@ fn decompose_into(scheme: Scheme, fds: &[Fd], out: &mut Vec<Scheme>) -> Result<(
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| attrs[i].clone())
             .collect();
-        let reach: BTreeSet<Attribute> = closure(&x, fds)
-            .intersection(&here)
-            .cloned()
-            .collect();
+        let reach: BTreeSet<Attribute> = closure(&x, fds).intersection(&here).cloned().collect();
         if reach == x || reach == here {
             continue;
         }
@@ -236,7 +228,11 @@ mod tests {
         let era = Lifespan::interval(0, 100);
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, era.clone())
-            .attr("DEPT", HistoricalDomain::string(), Lifespan::of(&[(0, 49), (70, 100)]))
+            .attr(
+                "DEPT",
+                HistoricalDomain::string(),
+                Lifespan::of(&[(0, 49), (70, 100)]),
+            )
             .attr("FLOOR", HistoricalDomain::int(), era.clone())
             .attr("SALARY", HistoricalDomain::int(), era)
             .build()

@@ -109,7 +109,10 @@ pub fn check_referential(
         let child_key = match t.key_values(child.scheme()) {
             Ok(k) => format!(
                 "({})",
-                k.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                k.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             Err(_) => "(keyless)".to_string(),
         };
@@ -156,7 +159,11 @@ mod tests {
     fn enrollment_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("STUDENT", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("COURSE", HistoricalDomain::string(), Lifespan::interval(0, 100))
+            .attr(
+                "COURSE",
+                HistoricalDomain::string(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -211,8 +218,7 @@ mod tests {
     fn detects_reference_outside_parent_lifespan() {
         // The paper's scenario: the student takes a course at a time the
         // course does not exist.
-        let courses =
-            Relation::with_tuples(course_scheme(), vec![course("DB", 0, 8)]).unwrap();
+        let courses = Relation::with_tuples(course_scheme(), vec![course("DB", 0, 8)]).unwrap();
         let enrollments = Relation::with_tuples(
             enrollment_scheme(),
             vec![enrollment("Ann", &[(5, 12, "DB")])],
@@ -276,8 +282,7 @@ mod tests {
     fn child_with_undefined_reference_times_is_fine() {
         // Child alive [0,20] but only references a course on [5,8]; the
         // uncovered lifespan imposes no constraint.
-        let courses =
-            Relation::with_tuples(course_scheme(), vec![course("DB", 5, 8)]).unwrap();
+        let courses = Relation::with_tuples(course_scheme(), vec![course("DB", 5, 8)]).unwrap();
         let enrollments = Relation::with_tuples(
             enrollment_scheme(),
             vec![{

@@ -160,7 +160,10 @@ mod tests {
         assert!(!d.is_constant());
         assert!(d.as_constant().is_constant());
         assert_eq!(d.as_constant().kind(), ValueKind::Int);
-        assert_eq!(HistoricalDomain::constant(ValueKind::Str).kind(), ValueKind::Str);
+        assert_eq!(
+            HistoricalDomain::constant(ValueKind::Str).kind(),
+            ValueKind::Str
+        );
     }
 
     #[test]

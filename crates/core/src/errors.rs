@@ -100,10 +100,9 @@ impl fmt::Display for HrdmError {
                 write!(f, "key attribute `{a}` is not in the scheme")
             }
             HrdmError::EmptyKey => write!(f, "relation scheme declares no key"),
-            HrdmError::KeyLifespanCovenant(a) => write!(
-                f,
-                "key attribute `{a}` must span the whole scheme lifespan"
-            ),
+            HrdmError::KeyLifespanCovenant(a) => {
+                write!(f, "key attribute `{a}` must span the whole scheme lifespan")
+            }
             HrdmError::KeyNotConstant(a) => write!(
                 f,
                 "key attribute `{a}` must be constant-valued (DOM(K) ⊆ CD)"
@@ -121,20 +120,18 @@ impl fmt::Display for HrdmError {
                 f,
                 "value of `{attribute}` is defined outside t.l ∩ ALS({attribute})"
             ),
-            HrdmError::NotConstant(a) => write!(
-                f,
-                "attribute `{a}` requires a constant-valued function"
-            ),
+            HrdmError::NotConstant(a) => {
+                write!(f, "attribute `{a}` requires a constant-valued function")
+            }
             HrdmError::IncomparableValues { left, right } => {
                 write!(f, "cannot compare {left} with {right}")
             }
             HrdmError::KeyViolation { key } => {
                 write!(f, "key violation: key value {key} already present")
             }
-            HrdmError::MissingKeyValue(a) => write!(
-                f,
-                "tuple has no defined value for key attribute `{a}`"
-            ),
+            HrdmError::MissingKeyValue(a) => {
+                write!(f, "tuple has no defined value for key attribute `{a}`")
+            }
             HrdmError::NotUnionCompatible => {
                 write!(f, "operand schemes are not union-compatible")
             }
@@ -145,10 +142,9 @@ impl fmt::Display for HrdmError {
                 f,
                 "operand schemes share attribute `{a}`; product/θ-join requires disjoint attributes"
             ),
-            HrdmError::NotTimeValued(a) => write!(
-                f,
-                "attribute `{a}` is not time-valued (DOM(A) ⊄ TT)"
-            ),
+            HrdmError::NotTimeValued(a) => {
+                write!(f, "attribute `{a}` is not time-valued (DOM(A) ⊄ TT)")
+            }
             HrdmError::CommonAttributeDomainMismatch(a) => write!(
                 f,
                 "common attribute `{a}` has different domains in the two schemes"

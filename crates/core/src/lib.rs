@@ -73,10 +73,10 @@ pub use value::{OrderedF64, Value};
 /// One-stop imports for examples and downstream code.
 pub mod prelude {
     pub use crate::algebra::{
-        aggregate_over_time, cartesian_product, difference, difference_o, equijoin,
-        intersection, intersection_o, natural_join, null_volume, project, select_if,
-        select_when, theta_join, theta_join_union, time_join, timeslice, timeslice_dynamic,
-        union, union_o, when, AggregateOp, Comparator, Operand, Predicate, Quantifier,
+        aggregate_over_time, cartesian_product, difference, difference_o, equijoin, intersection,
+        intersection_o, natural_join, null_volume, project, select_if, select_when, theta_join,
+        theta_join_union, time_join, timeslice, timeslice_dynamic, union, union_o, when,
+        AggregateOp, Comparator, Operand, Predicate, Quantifier,
     };
     pub use crate::constraints::{
         check_key, check_referential, holds_always, holds_pointwise, never_decreases,

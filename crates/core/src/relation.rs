@@ -87,6 +87,39 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// The tuple at `pos` in [`Relation::tuples`] order, if in bounds.
+    ///
+    /// Positions are what access methods (`hrdm-index`) return: an index
+    /// over a relation maps query predicates to positions, and operators
+    /// fetch the candidate tuples through this accessor.
+    pub fn tuple_at(&self, pos: usize) -> Option<&Tuple> {
+        self.tuples.get(pos)
+    }
+
+    /// A positional scan: the tuples at `positions`, in the given order.
+    /// Out-of-range positions are skipped (an index built before a mutation
+    /// may cite positions the relation no longer has).
+    pub fn scan_positions<'a>(
+        &'a self,
+        positions: &'a [usize],
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        positions.iter().filter_map(|&p| self.tuples.get(p))
+    }
+
+    /// Materializes the sub-relation holding exactly the tuples at
+    /// `positions` — the bridge from an index result back into the algebra,
+    /// whose operators consume relations.
+    ///
+    /// Callers must pass *distinct* positions (index queries return sorted,
+    /// deduplicated position lists); the stored tuples are already a set,
+    /// so the subset needs no dedup pass of its own.
+    pub fn subset_at_positions(&self, positions: &[usize]) -> Relation {
+        Relation {
+            scheme: self.scheme.clone(),
+            tuples: self.scan_positions(positions).cloned().collect(),
+        }
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
@@ -332,9 +365,7 @@ mod tests {
 
     #[test]
     fn keyless_relation_enforces_set_semantics() {
-        let scheme = emp_scheme()
-            .project(&[Attribute::new("SALARY")])
-            .unwrap();
+        let scheme = emp_scheme().project(&[Attribute::new("SALARY")]).unwrap();
         let mut r = Relation::new(scheme.clone());
         let t = Tuple::builder(ls(1, 5))
             .value("SALARY", TemporalValue::of(&[(1, 5, Value::Int(1))]))
@@ -377,8 +408,32 @@ mod tests {
             .key_attr("ID", ValueKind::Int, ls(0, 10))
             .build()
             .unwrap();
-        let t = Tuple::builder(ls(0, 5)).constant("ID", 7i64).finish(&alien_scheme).unwrap();
+        let t = Tuple::builder(ls(0, 5))
+            .constant("ID", 7i64)
+            .finish(&alien_scheme)
+            .unwrap();
         assert!(r.insert(t).is_err());
+    }
+
+    #[test]
+    fn positional_scan_api() {
+        let mut r = Relation::new(emp_scheme());
+        r.insert(emp("John", &[(1, 10)], 25_000)).unwrap();
+        r.insert(emp("Mary", &[(5, 20)], 30_000)).unwrap();
+        r.insert(emp("Igor", &[(8, 30)], 20_000)).unwrap();
+
+        assert_eq!(r.tuple_at(1), Some(&r.tuples()[1]));
+        assert_eq!(r.tuple_at(3), None);
+
+        let picked: Vec<&Tuple> = r.scan_positions(&[2, 0, 99]).collect();
+        assert_eq!(picked, vec![&r.tuples()[2], &r.tuples()[0]]);
+
+        let sub = r.subset_at_positions(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert!(sub.find_by_key(&[Value::str("John")]).is_some());
+        assert!(sub.find_by_key(&[Value::str("Igor")]).is_some());
+        assert!(sub.find_by_key(&[Value::str("Mary")]).is_none());
+        assert_eq!(sub.scheme(), r.scheme());
     }
 
     #[test]

@@ -422,7 +422,10 @@ mod tests {
 
     #[test]
     fn empty_scheme_rejected() {
-        assert_eq!(Scheme::builder().build().unwrap_err(), HrdmError::EmptyScheme);
+        assert_eq!(
+            Scheme::builder().build().unwrap_err(),
+            HrdmError::EmptyScheme
+        );
     }
 
     #[test]
@@ -438,11 +441,7 @@ mod tests {
     #[test]
     fn key_must_be_in_scheme_and_constant() {
         let err = Scheme::new(
-            vec![AttributeDef::new(
-                "A",
-                HistoricalDomain::int(),
-                ls(0, 1),
-            )],
+            vec![AttributeDef::new("A", HistoricalDomain::int(), ls(0, 1))],
             vec![Attribute::new("B")],
         )
         .unwrap_err();
@@ -450,11 +449,7 @@ mod tests {
 
         // Paper restriction (a): DOM(K) ⊆ CD.
         let err = Scheme::new(
-            vec![AttributeDef::new(
-                "A",
-                HistoricalDomain::int(),
-                ls(0, 1),
-            )],
+            vec![AttributeDef::new("A", HistoricalDomain::int(), ls(0, 1))],
             vec![Attribute::new("A")],
         )
         .unwrap_err();

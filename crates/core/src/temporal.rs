@@ -196,9 +196,7 @@ impl TemporalValue {
     /// The union `f ∪ g` of two compatible partial functions (used by tuple
     /// merge, paper §4.1: `(t1 + t2).v(A) = t1.v(A) ∪ t2.v(A)`).
     pub fn try_union(&self, other: &TemporalValue) -> Result<TemporalValue> {
-        TemporalValue::from_segments(
-            self.segs.iter().cloned().chain(other.segs.iter().cloned()),
-        )
+        TemporalValue::from_segments(self.segs.iter().cloned().chain(other.segs.iter().cloned()))
     }
 
     /// The set of distinct values in the function's image.
@@ -232,12 +230,7 @@ impl TemporalValue {
     where
         F: FnMut(&Value) -> bool,
     {
-        Lifespan::from_intervals(
-            self.segs
-                .iter()
-                .filter(|(_, v)| pred(v))
-                .map(|(iv, _)| *iv),
-        )
+        Lifespan::from_intervals(self.segs.iter().filter(|(_, v)| pred(v)).map(|(iv, _)| *iv))
     }
 
     /// The set of times at which both functions are defined and the ordering
@@ -413,7 +406,10 @@ mod tests {
         assert_eq!(a.try_union(&c).unwrap_err(), HrdmError::ConflictingSegments);
         // Disjoint domains always merge.
         let d = TemporalValue::of(&[(10, 12, Value::Int(9))]);
-        assert_eq!(a.try_union(&d).unwrap().domain(), Lifespan::of(&[(1, 5), (10, 12)]));
+        assert_eq!(
+            a.try_union(&d).unwrap().domain(),
+            Lifespan::of(&[(1, 5), (10, 12)])
+        );
     }
 
     #[test]
@@ -431,11 +427,11 @@ mod tests {
 
     #[test]
     fn image_lifespan_for_time_valued_functions() {
-        let f = TemporalValue::of(&[
-            (1, 3, Value::time(10)),
-            (4, 6, Value::time(12)),
-        ]);
-        assert_eq!(f.image_lifespan().unwrap(), Lifespan::of(&[(10, 10), (12, 12)]));
+        let f = TemporalValue::of(&[(1, 3, Value::time(10)), (4, 6, Value::time(12))]);
+        assert_eq!(
+            f.image_lifespan().unwrap(),
+            Lifespan::of(&[(10, 10), (12, 12)])
+        );
         let bad = TemporalValue::of(&[(1, 3, Value::Int(10))]);
         assert!(bad.image_lifespan().is_err());
     }

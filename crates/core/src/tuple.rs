@@ -40,10 +40,7 @@ impl Tuple {
     ///
     /// Intended for algebra internals and tests; user-facing construction
     /// goes through [`Tuple::builder`] + [`TupleBuilder::finish`].
-    pub fn from_parts(
-        lifespan: Lifespan,
-        values: BTreeMap<Attribute, TemporalValue>,
-    ) -> Tuple {
+    pub fn from_parts(lifespan: Lifespan, values: BTreeMap<Attribute, TemporalValue>) -> Tuple {
         Tuple { lifespan, values }
     }
 
@@ -144,9 +141,7 @@ impl Tuple {
                 .ok_or_else(|| HrdmError::MissingAttributeValue(k.clone()))?;
             match tv.constant_value() {
                 Some(v) => out.push(v.clone()),
-                None if tv.is_empty() => {
-                    return Err(HrdmError::MissingKeyValue(k.clone()))
-                }
+                None if tv.is_empty() => return Err(HrdmError::MissingKeyValue(k.clone())),
                 None => return Err(HrdmError::NotConstant(k.clone())),
             }
         }
@@ -239,10 +234,12 @@ impl Tuple {
             (Ok(a), Ok(b)) if a == b => {}
             _ => return false,
         }
-        self.values.iter().all(|(attr, tv)| match other.values.get(attr) {
-            Some(otv) => tv.compatible_with(otv),
-            None => true,
-        })
+        self.values
+            .iter()
+            .all(|(attr, tv)| match other.values.get(attr) {
+                Some(otv) => tv.compatible_with(otv),
+                None => true,
+            })
     }
 
     /// The merge `t1 + t2` (paper §4.1): `(t1+t2).l = t1.l ∪ t2.l` and
@@ -253,11 +250,11 @@ impl Tuple {
         for (attr, tv) in &other.values {
             match values.get_mut(attr) {
                 Some(mine) => {
-                    *mine = mine.try_union(tv).map_err(|_| {
-                        HrdmError::ContradictoryValues {
+                    *mine = mine
+                        .try_union(tv)
+                        .map_err(|_| HrdmError::ContradictoryValues {
                             attribute: attr.clone(),
-                        }
-                    })?;
+                        })?;
                 }
                 None => {
                     values.insert(attr.clone(), tv.clone());
@@ -365,7 +362,11 @@ mod tests {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, ls(0, 100))
             .attr("SALARY", HistoricalDomain::int(), ls(0, 100))
-            .attr("DEPT", HistoricalDomain::string(), Lifespan::of(&[(0, 49), (60, 100)]))
+            .attr(
+                "DEPT",
+                HistoricalDomain::string(),
+                Lifespan::of(&[(0, 49), (60, 100)]),
+            )
             .build()
             .unwrap()
     }
@@ -471,10 +472,7 @@ mod tests {
         let err = Tuple::builder(ls(10, 20))
             .value(
                 "NAME",
-                TemporalValue::of(&[
-                    (10, 15, Value::str("A")),
-                    (16, 20, Value::str("B")),
-                ]),
+                TemporalValue::of(&[(10, 15, Value::str("A")), (16, 20, Value::str("B"))]),
             )
             .finish(&s)
             .unwrap_err();
@@ -559,7 +557,10 @@ mod tests {
         // Agreement on the overlap is fine.
         let agreeing = Tuple::builder(ls(5, 12))
             .constant("NAME", "Ann")
-            .value("SALARY", TemporalValue::of(&[(5, 9, Value::Int(10)), (10, 12, Value::Int(11))]))
+            .value(
+                "SALARY",
+                TemporalValue::of(&[(5, 9, Value::Int(10)), (10, 12, Value::Int(11))]),
+            )
             .finish(&s)
             .unwrap();
         assert!(early.mergable(&agreeing, &s));
@@ -593,9 +594,18 @@ mod tests {
     #[test]
     fn matched_in_scans_a_set() {
         let s = emp_scheme();
-        let a = Tuple::builder(ls(0, 9)).constant("NAME", "Ann").finish(&s).unwrap();
-        let b = Tuple::builder(ls(10, 19)).constant("NAME", "Ann").finish(&s).unwrap();
-        let c = Tuple::builder(ls(0, 9)).constant("NAME", "Cy").finish(&s).unwrap();
+        let a = Tuple::builder(ls(0, 9))
+            .constant("NAME", "Ann")
+            .finish(&s)
+            .unwrap();
+        let b = Tuple::builder(ls(10, 19))
+            .constant("NAME", "Ann")
+            .finish(&s)
+            .unwrap();
+        let c = Tuple::builder(ls(0, 9))
+            .constant("NAME", "Cy")
+            .finish(&s)
+            .unwrap();
         let set = [b.clone(), c.clone()];
         assert!(a.matched_in(set.iter(), &s));
         let set2 = [c];

@@ -45,7 +45,9 @@ impl PartialOrd for OrderedF64 {
 }
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN excluded at construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN excluded at construction")
     }
 }
 
@@ -130,9 +132,9 @@ impl Value {
             (Value::Int(a), Value::Float(b)) => Ok(OrderedF64::new(*a as f64)
                 .expect("i64 to f64 is never NaN")
                 .cmp(b)),
-            (Value::Float(a), Value::Int(b)) => Ok(a.cmp(
-                &OrderedF64::new(*b as f64).expect("i64 to f64 is never NaN"),
-            )),
+            (Value::Float(a), Value::Int(b)) => {
+                Ok(a.cmp(&OrderedF64::new(*b as f64).expect("i64 to f64 is never NaN")))
+            }
             (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
             (Value::Time(a), Value::Time(b)) => Ok(a.cmp(b)),

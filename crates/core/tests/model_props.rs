@@ -10,7 +10,9 @@ const HI: i64 = 30;
 
 /// Naive model of a partial function: chronon → value.
 fn to_map(tv: &TemporalValue) -> BTreeMap<i64, Value> {
-    tv.iter_points().map(|(t, v)| (t.tick(), v.clone())).collect()
+    tv.iter_points()
+        .map(|(t, v)| (t.tick(), v.clone()))
+        .collect()
 }
 
 /// Arbitrary temporal value over a small universe; segments kept disjoint by

@@ -1,0 +1,261 @@
+//! A static interval index over tuple lifespans.
+
+use hrdm_time::{Chronon, Interval, Lifespan};
+
+/// A static interval index over the lifespans of a relation's tuples.
+///
+//  Representation: every maximal interval of every lifespan becomes one
+//  `(lo, hi, position)` entry; entries are sorted by `lo` and an implicit
+//  segment tree over the `hi` values stores subtree maxima.
+/// Queries follow the classic augmented-tree pruning argument:
+///
+/// * only the prefix of entries with `lo ≤ b` can overlap `[a, b]`
+///   (binary search), and
+/// * within that prefix, any subtree whose `max(hi) < a` is pruned whole,
+///
+/// which yields `O(log n + k)` per query for `k` reported entries. Because
+/// one lifespan may contribute several intervals, results are deduplicated
+/// before being returned; positions come back sorted ascending.
+#[derive(Clone, Debug, Default)]
+pub struct LifespanIndex {
+    /// Entry lower bounds, sorted ascending.
+    los: Vec<i64>,
+    /// Entry upper bounds, parallel to `los`.
+    his: Vec<i64>,
+    /// Tuple position of each entry, parallel to `los`.
+    positions: Vec<u32>,
+    /// `max_hi[node]` for an implicit binary segment tree over `his`.
+    max_hi: Vec<i64>,
+    /// Number of indexed tuples (positions are `< tuple_count`).
+    tuple_count: usize,
+}
+
+impl LifespanIndex {
+    /// Builds the index from tuple lifespans in position order.
+    pub fn build<'a, I>(lifespans: I) -> LifespanIndex
+    where
+        I: IntoIterator<Item = &'a Lifespan>,
+    {
+        let mut entries: Vec<(i64, i64, u32)> = Vec::new();
+        let mut tuple_count = 0usize;
+        for (pos, ls) in lifespans.into_iter().enumerate() {
+            let pos = u32::try_from(pos).expect("relation fits in u32 positions");
+            for iv in ls.intervals() {
+                entries.push((iv.lo().tick(), iv.hi().tick(), pos));
+            }
+            tuple_count += 1;
+        }
+        entries.sort_unstable();
+        let los: Vec<i64> = entries.iter().map(|e| e.0).collect();
+        let his: Vec<i64> = entries.iter().map(|e| e.1).collect();
+        let positions: Vec<u32> = entries.iter().map(|e| e.2).collect();
+        let max_hi = build_max_tree(&his);
+        LifespanIndex {
+            los,
+            his,
+            positions,
+            max_hi,
+            tuple_count,
+        }
+    }
+
+    /// Number of interval entries in the index.
+    pub fn entry_count(&self) -> usize {
+        self.los.len()
+    }
+
+    /// Number of indexed tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Is the index empty (no intervals at all)?
+    pub fn is_empty(&self) -> bool {
+        self.los.is_empty()
+    }
+
+    /// Chronon stabbing: positions of tuples alive at `t`, sorted ascending.
+    pub fn stab(&self, t: Chronon) -> Vec<usize> {
+        self.overlapping_interval(&Interval::point(t))
+    }
+
+    /// Interval overlap: positions of tuples whose lifespan intersects
+    /// `window`, sorted ascending.
+    pub fn overlapping_interval(&self, window: &Interval) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.report(window.lo().tick(), window.hi().tick(), &mut out);
+        finish_positions(&mut out);
+        out
+    }
+
+    /// Lifespan overlap: positions of tuples whose lifespan intersects
+    /// `window`, sorted ascending. The empty window matches nothing.
+    pub fn overlapping(&self, window: &Lifespan) -> Vec<usize> {
+        let mut out = Vec::new();
+        for iv in window.intervals() {
+            self.report(iv.lo().tick(), iv.hi().tick(), &mut out);
+        }
+        finish_positions(&mut out);
+        out
+    }
+
+    /// Pushes (possibly duplicate, unsorted) positions of entries
+    /// overlapping `[a, b]` onto `out`.
+    fn report(&self, a: i64, b: i64, out: &mut Vec<usize>) {
+        // Prefix of entries that can overlap: lo <= b.
+        let prefix = self.los.partition_point(|&lo| lo <= b);
+        if prefix == 0 {
+            return;
+        }
+        // Descend the implicit segment tree over [0, prefix), pruning
+        // subtrees whose max hi < a.
+        self.descend(1, 0, self.los.len(), prefix, a, out);
+    }
+
+    /// Visits tree node `node` covering entry range `[lo, hi)`, restricted
+    /// to `[0, prefix)`, reporting entries with `his[i] >= a`.
+    fn descend(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        prefix: usize,
+        a: i64,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= prefix || lo >= hi {
+            return;
+        }
+        if node < self.max_hi.len() && self.max_hi[node] < a {
+            return; // no entry below reaches up to `a`
+        }
+        if hi - lo == 1 {
+            if self.his[lo] >= a {
+                out.push(self.positions[lo] as usize);
+            }
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.descend(node * 2, lo, mid, prefix, a, out);
+        self.descend(node * 2 + 1, mid, hi, prefix, a, out);
+    }
+}
+
+/// Builds the implicit segment-tree maxima for `his` (1-based heap layout;
+/// node 1 covers the whole range, children split it in half).
+fn build_max_tree(his: &[i64]) -> Vec<i64> {
+    fn fill(tree: &mut [i64], his: &[i64], node: usize, lo: usize, hi: usize) -> i64 {
+        let m = if hi - lo == 1 {
+            his[lo]
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let l = fill(tree, his, node * 2, lo, mid);
+            let r = fill(tree, his, node * 2 + 1, mid, hi);
+            l.max(r)
+        };
+        tree[node] = m;
+        m
+    }
+    if his.is_empty() {
+        return Vec::new();
+    }
+    let mut tree = vec![i64::MIN; 4 * his.len()];
+    fill(&mut tree, his, 1, 0, his.len());
+    tree
+}
+
+/// Sorts and deduplicates reported positions.
+fn finish_positions(out: &mut Vec<usize>) {
+    out.sort_unstable();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(spans: &[&[(i64, i64)]]) -> LifespanIndex {
+        let lifespans: Vec<Lifespan> = spans.iter().map(|s| Lifespan::of(s)).collect();
+        LifespanIndex::build(lifespans.iter())
+    }
+
+    /// Oracle: linear scan over the same lifespans.
+    fn scan_overlap(spans: &[&[(i64, i64)]], window: &Lifespan) -> Vec<usize> {
+        spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| Lifespan::of(s).intersects(window))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let i = idx(&[]);
+        assert!(i.is_empty());
+        assert_eq!(i.stab(Chronon::new(0)), Vec::<usize>::new());
+        assert_eq!(
+            i.overlapping(&Lifespan::interval(0, 100)),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn stab_hits_exactly_live_tuples() {
+        let spans: &[&[(i64, i64)]] = &[&[(0, 9)], &[(5, 20)], &[(15, 30), (40, 50)]];
+        let i = idx(spans);
+        assert_eq!(i.stab(Chronon::new(7)), vec![0, 1]);
+        assert_eq!(i.stab(Chronon::new(17)), vec![1, 2]);
+        assert_eq!(i.stab(Chronon::new(45)), vec![2]);
+        assert_eq!(i.stab(Chronon::new(35)), Vec::<usize>::new());
+        assert_eq!(i.stab(Chronon::new(-1)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn fragmented_lifespans_report_once() {
+        let spans: &[&[(i64, i64)]] = &[&[(0, 5), (10, 15), (20, 25)]];
+        let i = idx(spans);
+        // A window covering several fragments still reports position 0 once.
+        assert_eq!(i.overlapping(&Lifespan::interval(3, 22)), vec![0]);
+    }
+
+    #[test]
+    fn overlap_matches_linear_scan_exhaustively() {
+        let spans: &[&[(i64, i64)]] = &[
+            &[(0, 9)],
+            &[(5, 20)],
+            &[(15, 30), (40, 50)],
+            &[(2, 2)],
+            &[(48, 60)],
+        ];
+        let i = idx(spans);
+        for lo in -2..62 {
+            for len in 0..20 {
+                let w = Lifespan::interval(lo, lo + len);
+                assert_eq!(
+                    i.overlapping(&w),
+                    scan_overlap(spans, &w),
+                    "window [{lo},{}]",
+                    lo + len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragmented_window_queries() {
+        let spans: &[&[(i64, i64)]] = &[&[(0, 9)], &[(20, 29)], &[(40, 49)]];
+        let i = idx(spans);
+        let w = Lifespan::of(&[(5, 7), (45, 60)]);
+        assert_eq!(i.overlapping(&w), vec![0, 2]);
+        assert_eq!(i.overlapping(&Lifespan::empty()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn counts() {
+        let spans: &[&[(i64, i64)]] = &[&[(0, 5), (10, 15)], &[(3, 4)]];
+        let i = idx(spans);
+        assert_eq!(i.entry_count(), 3);
+        assert_eq!(i.tuple_count(), 2);
+    }
+}

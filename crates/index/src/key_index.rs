@@ -1,0 +1,121 @@
+//! A hash index over constant-valued key attributes.
+
+use hrdm_core::{Attribute, Relation, Tuple, Value};
+use std::collections::HashMap;
+
+/// A hash index over a relation's (constant-valued) key attributes.
+///
+/// HRDM keys draw from constant domains ("key attributes are
+/// constant-valued, so objects keep their identity across change", paper
+/// §3), so a key value is one atomic [`Value`] per key attribute and never
+/// varies over time — exactly what a classical hash index can serve.
+///
+/// The map goes from key vectors to **tuple positions**. A well-formed
+/// relation has at most one position per key, but relations produced by the
+/// paper's *uncorrected* set operators may violate the key constraint, so
+/// each key maps to a (usually singleton) position list.
+#[derive(Clone, Debug)]
+pub struct KeyIndex {
+    attrs: Vec<Attribute>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl KeyIndex {
+    /// Builds a key index for `r`, or `None` when the scheme is keyless or
+    /// some tuple lacks a constant key value (then no equality probe can be
+    /// answered from an index safely).
+    pub fn build(r: &Relation) -> Option<KeyIndex> {
+        let attrs: Vec<Attribute> = r.scheme().key().to_vec();
+        if attrs.is_empty() {
+            return None;
+        }
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.len());
+        for (pos, t) in r.iter().enumerate() {
+            let key = t.key_values(r.scheme()).ok()?;
+            map.entry(key).or_default().push(pos);
+        }
+        Some(KeyIndex { attrs, map })
+    }
+
+    /// The indexed key attributes, in key order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Positions of tuples whose key equals `key` (one value per key
+    /// attribute, in key order). Empty when no tuple matches.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Extracts `tuple`'s constant values for the indexed attributes, when
+    /// all of them are constant — the probe key a join build side supplies.
+    pub fn probe_key_of(&self, tuple: &Tuple) -> Option<Vec<Value>> {
+        self.attrs
+            .iter()
+            .map(|a| tuple.value(a).and_then(|tv| tv.constant_value()).cloned())
+            .collect()
+    }
+
+    /// Number of distinct key values.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::prelude::*;
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, Lifespan::interval(0, 100))
+            .attr("V", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn tup(k: i64, lo: i64, hi: i64) -> Tuple {
+        let life = Lifespan::interval(lo, hi);
+        Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(k)))
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_finds_positions() {
+        let r = Relation::with_tuples(scheme(), vec![tup(10, 0, 5), tup(20, 3, 8), tup(30, 0, 9)])
+            .unwrap();
+        let idx = KeyIndex::build(&r).unwrap();
+        assert_eq!(idx.attrs().len(), 1);
+        assert_eq!(idx.lookup(&[Value::Int(20)]), &[1]);
+        assert_eq!(idx.lookup(&[Value::Int(99)]), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_from_unchecked_relations_all_reported() {
+        // The uncorrected union of Fig. 11 can produce same-key tuples.
+        let r = Relation::from_parts_unchecked(scheme(), vec![tup(7, 0, 5), tup(7, 10, 20)]);
+        let idx = KeyIndex::build(&r).unwrap();
+        assert_eq!(idx.lookup(&[Value::Int(7)]), &[0, 1]);
+    }
+
+    #[test]
+    fn keyless_scheme_builds_nothing() {
+        let keyless = scheme().project(&[Attribute::new("V")]).unwrap();
+        assert!(KeyIndex::build(&Relation::new(keyless)).is_none());
+    }
+
+    #[test]
+    fn probe_key_extraction() {
+        let r = Relation::with_tuples(scheme(), vec![tup(4, 0, 5)]).unwrap();
+        let idx = KeyIndex::build(&r).unwrap();
+        let key = idx.probe_key_of(&r.tuples()[0]).unwrap();
+        assert_eq!(key, vec![Value::Int(4)]);
+        assert_eq!(idx.lookup(&key), &[0]);
+    }
+}

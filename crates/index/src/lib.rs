@@ -1,0 +1,124 @@
+//! # hrdm-index — access methods for HRDM relations
+//!
+//! The paper's three-level architecture (Fig. 9) puts "file structures and
+//! access methods" at the physical level; this crate provides the first two
+//! real access methods for historical relations:
+//!
+//! * [`LifespanIndex`] — a static interval index over tuple lifespans.
+//!   Every maximal interval of every tuple lifespan becomes one entry; the
+//!   index answers *chronon-stabbing* ("which tuples are alive at `t`?") and
+//!   *interval/lifespan-overlap* ("which tuples are alive somewhere in
+//!   `L`?") queries in `O(log n + k)`, returning **tuple positions** into
+//!   the relation's tuple vector.
+//! * [`KeyIndex`] — a hash index over the relation's (constant-valued) key
+//!   attributes, answering equality lookups and join probes in `O(1)`.
+//!
+//! Both indexes return *candidate positions*, never answers: operators
+//! re-apply their exact semantics to the candidates, so an index can prune
+//! work but can never change a result. This is what makes index use safe
+//! for every operator of the historical algebra — a tuple whose lifespan is
+//! disjoint from a TIME-SLICE window restricts to an information-free tuple
+//! and is dropped either way; the index merely skips it up front.
+//!
+//! [`RelationIndexes`] bundles both indexes for one relation and is what
+//! `hrdm-storage::Database` maintains and `hrdm-query`'s access-path
+//! planner consumes.
+
+#![warn(missing_docs)]
+
+mod interval_index;
+mod key_index;
+
+pub use interval_index::LifespanIndex;
+pub use key_index::KeyIndex;
+
+use hrdm_core::Relation;
+
+/// All access methods built for one relation, at one point in time.
+///
+/// Indexes are *static*: they describe the relation as it was when
+/// [`RelationIndexes::build`] ran, positions referring to
+/// [`Relation::tuples`] order. Mutating the relation invalidates them;
+/// `hrdm-storage::Database` drops and rebuilds per-relation indexes on
+/// insert and rebuilds them on load.
+#[derive(Clone, Debug)]
+pub struct RelationIndexes {
+    lifespan: LifespanIndex,
+    key: Option<KeyIndex>,
+    tuple_count: usize,
+}
+
+impl RelationIndexes {
+    /// Builds the lifespan index and (for keyed schemes) the key index.
+    pub fn build(r: &Relation) -> RelationIndexes {
+        RelationIndexes {
+            lifespan: LifespanIndex::build(r.iter().map(|t| t.lifespan())),
+            key: KeyIndex::build(r),
+            tuple_count: r.len(),
+        }
+    }
+
+    /// The lifespan interval index.
+    pub fn lifespan(&self) -> &LifespanIndex {
+        &self.lifespan
+    }
+
+    /// The key index, if the scheme has a key and every tuple carries a
+    /// constant key value.
+    pub fn key(&self) -> Option<&KeyIndex> {
+        self.key.as_ref()
+    }
+
+    /// Number of tuples the indexes were built over.
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::prelude::*;
+
+    fn scheme() -> Scheme {
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, Lifespan::interval(0, 100))
+            .attr("V", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap()
+    }
+
+    fn tup(k: i64, spans: &[(i64, i64)]) -> Tuple {
+        let life = Lifespan::of(spans);
+        Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(k * 10)))
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    #[test]
+    fn build_bundles_both_indexes() {
+        let r = Relation::with_tuples(
+            scheme(),
+            vec![tup(1, &[(0, 9)]), tup(2, &[(5, 20), (30, 40)])],
+        )
+        .unwrap();
+        let idx = RelationIndexes::build(&r);
+        assert_eq!(idx.tuple_count(), 2);
+        assert_eq!(idx.lifespan().stab(Chronon::new(7)), vec![0, 1]);
+        assert_eq!(idx.lifespan().stab(Chronon::new(35)), vec![1]);
+        let key = idx.key().expect("keyed scheme builds a key index");
+        assert_eq!(key.lookup(&[Value::Int(2)]), &[1]);
+        assert!(key.lookup(&[Value::Int(9)]).is_empty());
+    }
+
+    #[test]
+    fn keyless_scheme_has_no_key_index() {
+        let keyless = scheme().project(&[Attribute::new("V")]).unwrap();
+        let r = Relation::new(keyless);
+        let idx = RelationIndexes::build(&r);
+        assert!(idx.key().is_none());
+        assert!(idx.lifespan().is_empty());
+    }
+}

@@ -47,10 +47,7 @@ mod tests {
 
     #[test]
     fn round_trip_simple() {
-        let tv = TemporalValue::of(&[
-            (0, 9, Value::Int(25_000)),
-            (10, 19, Value::Int(30_000)),
-        ]);
+        let tv = TemporalValue::of(&[(0, 9, Value::Int(25_000)), (10, 19, Value::Int(30_000))]);
         let pts = change_points(&tv);
         assert_eq!(pts.len(), 2);
         let back = from_change_points(&pts, &tv.domain()).unwrap();

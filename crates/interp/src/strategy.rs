@@ -70,10 +70,8 @@ impl fmt::Display for Interpolation {
 }
 
 fn discrete(pts: &[(Chronon, Value)], target: &Lifespan) -> Result<TemporalValue> {
-    let tv = TemporalValue::from_segments(
-        pts.iter()
-            .map(|(t, v)| (Interval::point(*t), v.clone())),
-    )?;
+    let tv =
+        TemporalValue::from_segments(pts.iter().map(|(t, v)| (Interval::point(*t), v.clone())))?;
     Ok(tv.restrict(target))
 }
 
@@ -108,9 +106,7 @@ fn nearest(pts: &[(Chronon, Value)], target: &Lifespan) -> Result<TemporalValue>
         // This sample owns [cursor, boundary], where the boundary with the
         // next sample is the midpoint (ties to the earlier sample).
         let hi = match pts.get(i + 1) {
-            Some((next, _)) => {
-                Chronon::new((t.tick() + next.tick()).div_euclid(2))
-            }
+            Some((next, _)) => Chronon::new((t.tick() + next.tick()).div_euclid(2)),
             None => hi_edge,
         };
         if let Some(iv) = Interval::new(cursor, hi) {
@@ -307,13 +303,19 @@ mod tests {
     fn single_sample_behaviour_differs_by_strategy() {
         let samples = pts(&[(5, 42)]);
         let target = Lifespan::interval(0, 9);
-        let d = Interpolation::Discrete.interpolate(&samples, &target).unwrap();
+        let d = Interpolation::Discrete
+            .interpolate(&samples, &target)
+            .unwrap();
         assert_eq!(d.domain().cardinality(), 1);
         let s = Interpolation::Step.interpolate(&samples, &target).unwrap();
         assert_eq!(s.domain(), Lifespan::interval(5, 9));
-        let n = Interpolation::Nearest.interpolate(&samples, &target).unwrap();
+        let n = Interpolation::Nearest
+            .interpolate(&samples, &target)
+            .unwrap();
         assert_eq!(n.domain(), target);
-        let l = Interpolation::Linear.interpolate(&samples, &target).unwrap();
+        let l = Interpolation::Linear
+            .interpolate(&samples, &target)
+            .unwrap();
         assert_eq!(l.domain().cardinality(), 1);
     }
 

@@ -34,7 +34,11 @@ fn samples_strategy() -> impl Strategy<Value = Vec<(Chronon, Value)>> {
 
 fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
     prop::collection::vec((0i64..80, 0i64..10), 0..5).prop_map(|pairs| {
-        Lifespan::from_intervals(pairs.into_iter().map(|(lo, len)| Interval::of(lo, lo + len)))
+        Lifespan::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(lo, len)| Interval::of(lo, lo + len)),
+        )
     })
 }
 

@@ -301,10 +301,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_structure() {
-        let e = Expr::Union(
-            Box::new(Expr::rel("a")),
-            Box::new(Expr::rel("b")),
-        );
+        let e = Expr::Union(Box::new(Expr::rel("a")), Box::new(Expr::rel("b")));
         assert_eq!(e.to_string(), "(a UNION b)");
         let l = LifespanExpr::When(Box::new(Expr::rel("emp")));
         assert_eq!(l.to_string(), "(WHEN (emp))");

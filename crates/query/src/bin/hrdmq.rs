@@ -12,7 +12,7 @@
 //! * `\explain <query>` — show the optimized plan and rewrite trace,
 //! * `\q` — quit.
 
-use hrdm_query::{evaluate, explain_optimized, optimize, parse_query, Query, QueryResult};
+use hrdm_query::{evaluate_planned, explain_with_access, parse_query, Query, QueryResult};
 use hrdm_storage::Database;
 use std::io::{self, BufRead, Write};
 
@@ -73,8 +73,7 @@ fn main() {
         if let Some(rest) = line.strip_prefix("\\explain ") {
             match parse_query(rest) {
                 Ok(Query::Relation(e)) => {
-                    let (optimized, trace) = optimize(&e);
-                    println!("{}", explain_optimized(&e, &optimized, &trace));
+                    println!("{}", explain_with_access(&e, &db));
                 }
                 Ok(_) => println!("(only relation-sorted queries have a relational plan)"),
                 Err(e) => println!("parse error: {e}"),
@@ -85,12 +84,9 @@ fn main() {
         match parse_query(line) {
             Err(e) => println!("parse error: {e}"),
             Ok(q) => {
-                // Optimize relation-sorted queries before evaluation.
-                let q = match q {
-                    Query::Relation(e) => Query::Relation(optimize(&e).0),
-                    other => other,
-                };
-                match evaluate(&q, &db) {
+                // Relation-sorted queries go through the rewrite optimizer
+                // and the index-aware access-path planner.
+                match evaluate_planned(&q, &db) {
                     Ok(QueryResult::Relation(r)) => {
                         print!("{r}");
                         println!("({} tuple(s))", r.len());

@@ -3,8 +3,8 @@
 use crate::ast::{Expr, LifespanExpr, Query};
 use hrdm_core::algebra::{
     cartesian_product, difference, difference_o, intersection, intersection_o, natural_join,
-    project, select_if, select_when, theta_join, time_join, timeslice, timeslice_dynamic,
-    union, union_o, when,
+    project, select_if, select_when, theta_join, time_join, timeslice, timeslice_dynamic, union,
+    union_o, when,
 };
 use hrdm_core::{Attribute, HrdmError, Relation, Result};
 use hrdm_time::Lifespan;
@@ -87,16 +87,12 @@ pub fn eval_expr(e: &Expr, src: &dyn RelationSource) -> Result<Relation> {
             };
             select_if(&r, predicate, *quantifier, bound.as_ref())
         }
-        Expr::SelectWhen { input, predicate } => {
-            select_when(&eval_expr(input, src)?, predicate)
-        }
+        Expr::SelectWhen { input, predicate } => select_when(&eval_expr(input, src)?, predicate),
         Expr::TimeSlice { input, lifespan } => {
             let l = eval_lifespan(lifespan, src)?;
             Ok(timeslice(&eval_expr(input, src)?, &l))
         }
-        Expr::TimeSliceDynamic { input, attr } => {
-            timeslice_dynamic(&eval_expr(input, src)?, attr)
-        }
+        Expr::TimeSliceDynamic { input, attr } => timeslice_dynamic(&eval_expr(input, src)?, attr),
         Expr::ThetaJoin {
             left,
             right,
@@ -116,15 +112,11 @@ pub fn eval_lifespan(l: &LifespanExpr, src: &dyn RelationSource) -> Result<Lifes
     match l {
         LifespanExpr::Literal(ls) => Ok(ls.clone()),
         LifespanExpr::When(e) => Ok(when(&eval_expr(e, src)?)),
-        LifespanExpr::Union(a, b) => {
-            Ok(eval_lifespan(a, src)?.union(&eval_lifespan(b, src)?))
-        }
+        LifespanExpr::Union(a, b) => Ok(eval_lifespan(a, src)?.union(&eval_lifespan(b, src)?)),
         LifespanExpr::Intersect(a, b) => {
             Ok(eval_lifespan(a, src)?.intersect(&eval_lifespan(b, src)?))
         }
-        LifespanExpr::Minus(a, b) => {
-            Ok(eval_lifespan(a, src)?.difference(&eval_lifespan(b, src)?))
-        }
+        LifespanExpr::Minus(a, b) => Ok(eval_lifespan(a, src)?.difference(&eval_lifespan(b, src)?)),
     }
 }
 
@@ -138,8 +130,16 @@ mod tests {
     fn emp_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
-            .attr("DEPT", HistoricalDomain::string(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
+            .attr(
+                "DEPT",
+                HistoricalDomain::string(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -147,21 +147,31 @@ mod tests {
     fn dept_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("DNAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("BUDGET", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "BUDGET",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
 
     fn source() -> BTreeMap<String, Relation> {
         let mut emp = Relation::new(emp_scheme());
-        let add = |r: &mut Relation, name: &str, spans: &[(i64, i64)], sal: &[(i64, i64, i64)], dept: &str| {
+        let add = |r: &mut Relation,
+                   name: &str,
+                   spans: &[(i64, i64)],
+                   sal: &[(i64, i64, i64)],
+                   dept: &str| {
             let life = Lifespan::of(spans);
             let t = Tuple::builder(life.clone())
                 .constant("NAME", name)
                 .value(
                     "SALARY",
                     TemporalValue::of(
-                        &sal.iter().map(|&(a, b, v)| (a, b, Value::Int(v))).collect::<Vec<_>>(),
+                        &sal.iter()
+                            .map(|&(a, b, v)| (a, b, Value::Int(v)))
+                            .collect::<Vec<_>>(),
                     ),
                 )
                 .value("DEPT", TemporalValue::constant(&life, Value::str(dept)))
@@ -169,7 +179,13 @@ mod tests {
                 .unwrap();
             r.insert(t).unwrap();
         };
-        add(&mut emp, "John", &[(0, 19)], &[(0, 9, 25_000), (10, 19, 30_000)], "Toys");
+        add(
+            &mut emp,
+            "John",
+            &[(0, 19)],
+            &[(0, 9, 25_000), (10, 19, 30_000)],
+            "Toys",
+        );
         add(&mut emp, "Mary", &[(5, 30)], &[(5, 30, 30_000)], "Shoes");
 
         let mut dept = Relation::new(dept_scheme());
@@ -177,7 +193,10 @@ mod tests {
         dept.insert(
             Tuple::builder(toys_life.clone())
                 .constant("DNAME", "Toys")
-                .value("BUDGET", TemporalValue::constant(&toys_life, Value::Int(100_000)))
+                .value(
+                    "BUDGET",
+                    TemporalValue::constant(&toys_life, Value::Int(100_000)),
+                )
                 .finish(&dept_scheme())
                 .unwrap(),
         )
@@ -303,8 +322,7 @@ mod tests {
 
     #[test]
     fn eval_matches_direct_algebra() {
-        let e = parse_expr("PROJECT [NAME] (SELECT-IF (SALARY >= 30000, EXISTS) (emp))")
-            .unwrap();
+        let e = parse_expr("PROJECT [NAME] (SELECT-IF (SALARY >= 30000, EXISTS) (emp))").unwrap();
         let via_lang = eval_expr(&e, &source()).unwrap();
         let direct = {
             let src = source();

@@ -147,8 +147,7 @@ mod tests {
 
     #[test]
     fn renders_tree_shape() {
-        let e = parse_expr("PROJECT [NAME] (SELECT-WHEN (SALARY = 1) (emp UNION dept))")
-            .unwrap();
+        let e = parse_expr("PROJECT [NAME] (SELECT-WHEN (SALARY = 1) (emp UNION dept))").unwrap();
         let text = explain(&e);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "Project [NAME]");

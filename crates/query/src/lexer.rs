@@ -207,8 +207,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         i += 1;
                         // Consume the following identifier chunk directly.
                         while i < bytes.len()
-                            && ((bytes[i] as char).is_ascii_alphanumeric()
-                                || bytes[i] == b'_')
+                            && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
                         {
                             prev.push(bytes[i] as char);
                             i += 1;
@@ -274,7 +273,9 @@ fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
     // A single '.' followed by a digit makes it a float; '..' is a range.
     if i < bytes.len()
         && bytes[i] == b'.'
-        && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+        && bytes
+            .get(i + 1)
+            .is_some_and(|b| (*b as char).is_ascii_digit())
     {
         is_float = true;
         i += 1;

@@ -45,6 +45,7 @@ pub mod explain;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{Expr, LifespanExpr, Query};
 pub use eval::{eval_expr, eval_lifespan, evaluate, QueryResult, RelationSource};
@@ -52,3 +53,7 @@ pub use explain::{explain, explain_optimized};
 pub use lexer::{lex, LexError, Token};
 pub use optimizer::{optimize, Rewrite};
 pub use parser::{parse_expr, parse_query, ParseError};
+pub use plan::{
+    eval_plan, evaluate_planned, explain_plan, explain_with_access, plan, AccessPath, IndexSource,
+    IndexedRelations, Plan,
+};

@@ -279,9 +279,10 @@ fn apply_rules(e: Expr, trace: &mut Vec<Rewrite>) -> (Expr, bool) {
                 )
             }
             // σW_p(π_X(e)) → π_X(σW_p(e)) when attrs(p) ⊆ X.
-            Expr::Project { input: pi_input, attrs }
-                if predicate.attributes().iter().all(|a| attrs.contains(a)) =>
-            {
+            Expr::Project {
+                input: pi_input,
+                attrs,
+            } if predicate.attributes().iter().all(|a| attrs.contains(a)) => {
                 trace.push(Rewrite {
                     rule: "SelectThroughProject",
                 });
@@ -312,9 +313,10 @@ fn apply_rules(e: Expr, trace: &mut Vec<Rewrite>) -> (Expr, bool) {
             quantifier,
             lifespan,
         } => match *input {
-            Expr::Project { input: pi_input, attrs }
-                if predicate.attributes().iter().all(|a| attrs.contains(a)) =>
-            {
+            Expr::Project {
+                input: pi_input,
+                attrs,
+            } if predicate.attributes().iter().all(|a| attrs.contains(a)) => {
                 trace.push(Rewrite {
                     rule: "SelectThroughProject",
                 });
@@ -391,8 +393,7 @@ mod tests {
 
     #[test]
     fn fuses_select_whens_into_conjunction() {
-        let (out, rules) =
-            opt("SELECT-WHEN (A = 1) (SELECT-WHEN (B = 2) (emp))");
+        let (out, rules) = opt("SELECT-WHEN (A = 1) (SELECT-WHEN (B = 2) (emp))");
         assert!(rules.contains(&"FuseSelectWhen"));
         assert!(matches!(out, Expr::SelectWhen { .. }));
         assert_eq!(out.size(), 2);
@@ -444,9 +445,8 @@ mod tests {
     fn cascades_fire_to_fixpoint() {
         // Slice over slice over select-when over project: several rules
         // compose.
-        let (out, rules) = opt(
-            "TIMESLICE [0..10] (TIMESLICE [5..30] (SELECT-WHEN (A = 1) (PROJECT [A] (emp))))",
-        );
+        let (out, rules) =
+            opt("TIMESLICE [0..10] (TIMESLICE [5..30] (SELECT-WHEN (A = 1) (PROJECT [A] (emp))))");
         assert!(rules.contains(&"FuseTimeslice"));
         assert!(rules.contains(&"TimesliceThroughSelectWhen"));
         assert!(rules.contains(&"SelectThroughProject"));

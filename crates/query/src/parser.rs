@@ -230,7 +230,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => self.error(format!(
                 "expected {what}, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )),
         }
     }
@@ -490,7 +492,9 @@ impl Parser {
             Some(Token::Int(v)) => Ok(v),
             other => self.error(format!(
                 "expected {what}, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )),
         }
     }
@@ -547,12 +551,8 @@ impl Parser {
 
     fn operand(&mut self) -> Result<Operand, ParseError> {
         match self.bump() {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => {
-                Ok(Operand::val(true))
-            }
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => {
-                Ok(Operand::val(false))
-            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => Ok(Operand::val(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => Ok(Operand::val(false)),
             Some(Token::Ident(s)) => Ok(Operand::attr(s)),
             Some(Token::Int(v)) => Ok(Operand::val(v)),
             Some(Token::Float(v)) => match Value::float(v) {
@@ -566,7 +566,9 @@ impl Parser {
             }
             other => self.error(format!(
                 "expected an operand, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )),
         }
     }
@@ -581,7 +583,9 @@ impl Parser {
             Some(Token::Ge) => Ok(Comparator::Ge),
             other => self.error(format!(
                 "expected a comparator, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )),
         }
     }
@@ -626,8 +630,7 @@ mod tests {
 
     #[test]
     fn parses_select_when_with_compound_predicate() {
-        let e =
-            parse_expr("SELECT-WHEN (NAME = \"John\" AND SALARY = 30000) (emp)").unwrap();
+        let e = parse_expr("SELECT-WHEN (NAME = \"John\" AND SALARY = 30000) (emp)").unwrap();
         match e {
             Expr::SelectWhen { predicate, .. } => {
                 assert!(matches!(predicate, Predicate::And(_, _)));
@@ -639,10 +642,7 @@ mod tests {
     #[test]
     fn parses_timeslice_with_when_parameter() {
         // The paper's multi-sorted composition: Ω's result feeding τ_L.
-        let e = parse_expr(
-            "TIMESLICE (WHEN (SELECT-WHEN (SALARY = 30000) (emp))) (emp)",
-        )
-        .unwrap();
+        let e = parse_expr("TIMESLICE (WHEN (SELECT-WHEN (SALARY = 30000) (emp))) (emp)").unwrap();
         match e {
             Expr::TimeSlice {
                 lifespan: LifespanExpr::When(inner),

@@ -1,0 +1,767 @@
+//! Access-path selection: turning an optimized expression into a physical
+//! plan that uses indexes where they help.
+//!
+//! The rewrite optimizer ([`crate::optimizer`]) normalizes an expression
+//! (fusing TIME-SLICEs, pushing them under selects, …); this module then
+//! walks the normalized tree and picks an [`AccessPath`] for every base
+//! relation scan:
+//!
+//! * `τ_L(R)` with a literal lifespan probes `R`'s **lifespan interval
+//!   index** for the tuples alive somewhere in `L`;
+//! * `σWHEN` / `σIF(…, EXISTS)` whose predicate pins the relation's full
+//!   key with equality conjuncts probes the **key index**;
+//! * `NATURAL-JOIN` / TIME-JOIN over base relations turn into index
+//!   nested-loop joins probing the right side's key / lifespan index;
+//! * everything else stays a sequential scan.
+//!
+//! Indexes only ever produce *candidate positions*; every operator
+//! re-applies its exact semantics on the candidates, so a planned query
+//! returns exactly what the unplanned evaluator returns (the workspace
+//! test-suite asserts this equivalence on random inputs). A missing or
+//! invalidated index at execution time degrades to a sequential scan, never
+//! to an error.
+
+use crate::ast::{Expr, LifespanExpr};
+use crate::eval::{eval_lifespan, RelationSource};
+use hrdm_core::algebra::{
+    cartesian_product, difference, difference_o, intersection, intersection_o, natural_join,
+    natural_join_pair, project, select_if, select_when, theta_join, time_join, time_join_pair,
+    timeslice, timeslice_dynamic, union, union_o, Comparator, Operand, Predicate, Quantifier,
+};
+use hrdm_core::{Attribute, HrdmError, Relation, Result, Tuple, Value};
+use hrdm_index::RelationIndexes;
+use hrdm_time::Lifespan;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A source of named relations that can also hand out their access methods.
+///
+/// `hrdm_storage::Database` implements this (it maintains indexes across
+/// mutations); [`IndexedRelations`] wraps any in-memory relation map.
+pub trait IndexSource: RelationSource {
+    /// The current, valid indexes for `name`, if any.
+    fn indexes(&self, name: &str) -> Option<&RelationIndexes>;
+}
+
+impl IndexSource for hrdm_storage::Database {
+    fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
+        hrdm_storage::Database::indexes(self, name)
+    }
+}
+
+/// An in-memory [`IndexSource`]: a relation map plus indexes built eagerly
+/// for every relation. Useful for tests and ad-hoc querying without a
+/// `Database`.
+pub struct IndexedRelations {
+    relations: BTreeMap<String, Relation>,
+    indexes: BTreeMap<String, RelationIndexes>,
+}
+
+impl IndexedRelations {
+    /// Builds indexes over every relation of `relations`.
+    pub fn new(relations: BTreeMap<String, Relation>) -> IndexedRelations {
+        let indexes = relations
+            .iter()
+            .map(|(name, r)| (name.clone(), RelationIndexes::build(r)))
+            .collect();
+        IndexedRelations { relations, indexes }
+    }
+}
+
+impl RelationSource for IndexedRelations {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+}
+
+impl IndexSource for IndexedRelations {
+    fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
+        self.indexes.get(name)
+    }
+}
+
+/// How a base-relation scan fetches its tuples.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AccessPath {
+    /// Read every tuple.
+    SeqScan,
+    /// Probe the lifespan interval index for tuples alive somewhere in the
+    /// window.
+    LifespanIndex {
+        /// The stabbing/overlap window.
+        window: Lifespan,
+    },
+    /// Probe the key index with an equality key.
+    KeyIndex {
+        /// Key attributes, in key order.
+        attrs: Vec<Attribute>,
+        /// The probed key value, parallel to `attrs`.
+        key: Vec<Value>,
+    },
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPath::SeqScan => f.write_str("SeqScan"),
+            AccessPath::LifespanIndex { window } => {
+                write!(f, "IndexScan(lifespan, {})", fmt_window(window))
+            }
+            AccessPath::KeyIndex { attrs, key } => {
+                let probe: Vec<String> = attrs
+                    .iter()
+                    .zip(key)
+                    .map(|(a, v)| match v {
+                        Value::Str(s) => format!("{a} = \"{s}\""),
+                        v => format!("{a} = {v}"),
+                    })
+                    .collect();
+                write!(f, "IndexScan(key, {})", probe.join(", "))
+            }
+        }
+    }
+}
+
+/// Renders a lifespan in the query language's `[lo..hi, …]` style.
+fn fmt_window(l: &Lifespan) -> String {
+    let parts: Vec<String> = l
+        .intervals()
+        .iter()
+        .map(|iv| {
+            if iv.lo() == iv.hi() {
+                format!("{}", iv.lo())
+            } else {
+                format!("{}..{}", iv.lo(), iv.hi())
+            }
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// A physical plan: the operator tree with an [`AccessPath`] on every base
+/// relation scan and join strategies resolved.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Plan {
+    /// A base-relation scan.
+    Scan {
+        /// The relation name.
+        relation: String,
+        /// How its tuples are fetched.
+        access: AccessPath,
+    },
+    /// A unary operator over a sub-plan.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Its input.
+        input: Box<Plan>,
+    },
+    /// A binary operator over two sub-plans (both sides scanned).
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// NATURAL-JOIN probing the right relation's key index per left tuple.
+    IndexedNaturalJoin {
+        /// Left (build) side.
+        left: Box<Plan>,
+        /// Right (probe) relation name.
+        right: String,
+    },
+    /// TIME-JOIN probing the right relation's lifespan index per left tuple.
+    IndexedTimeJoin {
+        /// Left side (owns the time-valued attribute).
+        left: Box<Plan>,
+        /// Right (probe) relation name.
+        right: String,
+        /// The time-valued attribute of the left side.
+        attr: Attribute,
+    },
+    /// θ-JOIN by nested loop (no index applies to the θ comparison itself,
+    /// but both children are planned).
+    ThetaJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Left join attribute.
+        a: Attribute,
+        /// The comparator θ.
+        op: Comparator,
+        /// Right join attribute.
+        b: Attribute,
+    },
+    /// TIME-JOIN by nested loop, when the right side is not an indexed
+    /// base relation (both children still planned).
+    TimeJoin {
+        /// Left input (owns the time-valued attribute).
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// The time-valued attribute of the left side.
+        attr: Attribute,
+    },
+}
+
+/// Unary operators as they appear in plans.
+#[derive(Clone, PartialEq, Debug)]
+pub enum UnaryOp {
+    /// `π_X`.
+    Project(Vec<Attribute>),
+    /// `σ-IF(θ, Q, L)`.
+    SelectIf {
+        /// Selection criterion θ.
+        predicate: Predicate,
+        /// The bounded quantifier.
+        quantifier: Quantifier,
+        /// Optional lifespan bound.
+        lifespan: Option<LifespanExpr>,
+    },
+    /// `σ-WHEN(θ)`.
+    SelectWhen(Predicate),
+    /// Static TIME-SLICE `τ_L`.
+    TimeSlice(LifespanExpr),
+    /// Dynamic TIME-SLICE `τ@A`.
+    TimeSliceDynamic(Attribute),
+}
+
+/// Binary operators as they appear in plans.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum BinaryOp {
+    /// `∪`.
+    Union,
+    /// `∩`.
+    Intersection,
+    /// `−`.
+    Difference,
+    /// `∪ₒ`.
+    UnionO,
+    /// `∩ₒ`.
+    IntersectionO,
+    /// `−ₒ`.
+    DifferenceO,
+    /// `×`.
+    Product,
+    /// NATURAL-JOIN by nested loop.
+    NaturalJoin,
+}
+
+/// Plans an optimized expression against the indexes `src` currently holds.
+pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
+    match expr {
+        Expr::Relation(name) => Plan::Scan {
+            relation: name.clone(),
+            access: AccessPath::SeqScan,
+        },
+
+        // τ_L(R): serve the window from R's lifespan interval index.
+        Expr::TimeSlice {
+            input,
+            lifespan: lifespan @ LifespanExpr::Literal(window),
+        } if base_with_indexes(input, src).is_some() => {
+            let name = base_with_indexes(input, src).expect("guard");
+            Plan::Unary {
+                op: UnaryOp::TimeSlice(lifespan.clone()),
+                input: Box::new(Plan::Scan {
+                    relation: name.to_string(),
+                    access: AccessPath::LifespanIndex {
+                        window: window.clone(),
+                    },
+                }),
+            }
+        }
+        Expr::TimeSlice { input, lifespan } => Plan::Unary {
+            op: UnaryOp::TimeSlice(lifespan.clone()),
+            input: Box::new(plan(input, src)),
+        },
+
+        // σWHEN(θ)(R) with θ pinning R's full key: probe the key index.
+        // Safe because a tuple with a different (constant) key value has an
+        // empty truth span for θ and would be dropped by σWHEN anyway.
+        Expr::SelectWhen { input, predicate } => {
+            let scan = key_probe_scan(input, predicate, src);
+            Plan::Unary {
+                op: UnaryOp::SelectWhen(predicate.clone()),
+                input: Box::new(scan.unwrap_or_else(|| plan(input, src))),
+            }
+        }
+
+        // σIF(θ, EXISTS, L)(R) likewise. FORALL is *not* index-eligible:
+        // its quantification domain can be empty, in which case the tuple
+        // is selected vacuously — even with a non-matching key.
+        Expr::SelectIf {
+            input,
+            predicate,
+            quantifier,
+            lifespan,
+        } => {
+            let scan = if *quantifier == Quantifier::Exists {
+                key_probe_scan(input, predicate, src)
+            } else {
+                None
+            };
+            Plan::Unary {
+                op: UnaryOp::SelectIf {
+                    predicate: predicate.clone(),
+                    quantifier: *quantifier,
+                    lifespan: lifespan.clone(),
+                },
+                input: Box::new(scan.unwrap_or_else(|| plan(input, src))),
+            }
+        }
+
+        // NATURAL-JOIN with a keyed base relation on the right whose key
+        // attributes are all shared: index nested-loop join.
+        Expr::NaturalJoin(left, right) => {
+            if let Some(right_name) = natural_probe_side(left, right, src) {
+                Plan::IndexedNaturalJoin {
+                    left: Box::new(plan(left, src)),
+                    right: right_name.to_string(),
+                }
+            } else {
+                Plan::Binary {
+                    op: BinaryOp::NaturalJoin,
+                    left: Box::new(plan(left, src)),
+                    right: Box::new(plan(right, src)),
+                }
+            }
+        }
+
+        // TIME-JOIN with an indexed base relation on the right: probe its
+        // lifespan index with `t1.l ∩ image(t1(A))` per left tuple.
+        Expr::TimeJoin { left, right, attr } => {
+            if let Some(right_name) = base_with_indexes(right, src) {
+                Plan::IndexedTimeJoin {
+                    left: Box::new(plan(left, src)),
+                    right: right_name.to_string(),
+                    attr: attr.clone(),
+                }
+            } else {
+                Plan::TimeJoin {
+                    left: Box::new(plan(left, src)),
+                    right: Box::new(plan(right, src)),
+                    attr: attr.clone(),
+                }
+            }
+        }
+
+        Expr::Project { input, attrs } => Plan::Unary {
+            op: UnaryOp::Project(attrs.clone()),
+            input: Box::new(plan(input, src)),
+        },
+        Expr::TimeSliceDynamic { input, attr } => Plan::Unary {
+            op: UnaryOp::TimeSliceDynamic(attr.clone()),
+            input: Box::new(plan(input, src)),
+        },
+        Expr::Union(a, b) => binary(BinaryOp::Union, a, b, src),
+        Expr::Intersection(a, b) => binary(BinaryOp::Intersection, a, b, src),
+        Expr::Difference(a, b) => binary(BinaryOp::Difference, a, b, src),
+        Expr::UnionO(a, b) => binary(BinaryOp::UnionO, a, b, src),
+        Expr::IntersectionO(a, b) => binary(BinaryOp::IntersectionO, a, b, src),
+        Expr::DifferenceO(a, b) => binary(BinaryOp::DifferenceO, a, b, src),
+        Expr::Product(a, b) => binary(BinaryOp::Product, a, b, src),
+        Expr::ThetaJoin {
+            left,
+            right,
+            a,
+            op,
+            b,
+        } => Plan::ThetaJoin {
+            left: Box::new(plan(left, src)),
+            right: Box::new(plan(right, src)),
+            a: a.clone(),
+            op: *op,
+            b: b.clone(),
+        },
+    }
+}
+
+fn binary(op: BinaryOp, a: &Expr, b: &Expr, src: &dyn IndexSource) -> Plan {
+    Plan::Binary {
+        op,
+        left: Box::new(plan(a, src)),
+        right: Box::new(plan(b, src)),
+    }
+}
+
+/// Is `e` a bare base relation that currently has indexes?
+fn base_with_indexes<'e>(e: &'e Expr, src: &dyn IndexSource) -> Option<&'e str> {
+    match e {
+        Expr::Relation(name) if src.indexes(name).is_some() => Some(name),
+        _ => None,
+    }
+}
+
+/// A key-index scan for `input` when it is an indexed base relation and
+/// `predicate` pins its full key with equality conjuncts.
+fn key_probe_scan(input: &Expr, predicate: &Predicate, src: &dyn IndexSource) -> Option<Plan> {
+    let name = base_with_indexes(input, src)?;
+    src.indexes(name)?.key()?;
+    let scheme = src.relation(name)?.scheme();
+    let key_attrs: Vec<Attribute> = scheme.key().to_vec();
+    if key_attrs.is_empty() {
+        return None;
+    }
+    let mut bindings: Vec<(Attribute, Value)> = Vec::new();
+    collect_equality_conjuncts(predicate, &mut bindings);
+    // Each binding must match the key attribute's declared kind exactly:
+    // the hash lookup uses structural Value equality, while predicate
+    // semantics compare Int and Float numerically — probing an Int key
+    // with a Float literal would silently miss matching tuples.
+    let key: Option<Vec<Value>> = key_attrs
+        .iter()
+        .map(|k| {
+            let kind = scheme.dom(k).ok()?.kind();
+            bindings
+                .iter()
+                .find(|(a, v)| a == k && v.kind() == kind)
+                .map(|(_, v)| v.clone())
+        })
+        .collect();
+    Some(Plan::Scan {
+        relation: name.to_string(),
+        access: AccessPath::KeyIndex {
+            attrs: key_attrs,
+            key: key?,
+        },
+    })
+}
+
+/// Collects `A = const` bindings from the top-level conjunction of `p`.
+/// Disjunctions and negations contribute nothing (pruning through them
+/// would be unsound).
+fn collect_equality_conjuncts(p: &Predicate, out: &mut Vec<(Attribute, Value)>) {
+    match p {
+        Predicate::And(a, b) => {
+            collect_equality_conjuncts(a, out);
+            collect_equality_conjuncts(b, out);
+        }
+        Predicate::Cmp {
+            left: Operand::Attr(a),
+            op: Comparator::Eq,
+            right: Operand::Const(v),
+        }
+        | Predicate::Cmp {
+            left: Operand::Const(v),
+            op: Comparator::Eq,
+            right: Operand::Attr(a),
+        } => out.push((a.clone(), v.clone())),
+        _ => {}
+    }
+}
+
+/// For `left NATJOIN right`: the right relation's name when both sides are
+/// base relations and the right side's key index can drive the probe (its
+/// key attributes are all common attributes).
+fn natural_probe_side<'e>(left: &Expr, right: &'e Expr, src: &dyn IndexSource) -> Option<&'e str> {
+    let left_name = match left {
+        Expr::Relation(n) => n,
+        _ => return None,
+    };
+    let right_name = base_with_indexes(right, src)?;
+    let key_idx = src.indexes(right_name)?.key()?;
+    let left_scheme = src.relation(left_name)?.scheme();
+    let right_scheme = src.relation(right_name)?.scheme();
+    // Probe keys come from left-tuple values and are matched by structural
+    // equality in the hash map, so the shared attributes must have the
+    // same declared kind on both sides (Int-vs-Float would compare equal
+    // semantically but miss in the map).
+    let all_key_attrs_common =
+        key_idx
+            .attrs()
+            .iter()
+            .all(|a| match (left_scheme.dom(a), right_scheme.dom(a)) {
+                (Ok(l), Ok(r)) => l.kind() == r.kind(),
+                _ => false,
+            });
+    if all_key_attrs_common && !key_idx.attrs().is_empty() {
+        Some(right_name)
+    } else {
+        None
+    }
+}
+
+/// Evaluates a plan. Behaviour is exactly [`crate::eval::eval_expr`] on the
+/// corresponding expression; indexes only prune candidates.
+pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
+    match p {
+        Plan::Scan { relation, access } => eval_scan(relation, access, src),
+        Plan::Unary { op, input } => {
+            let r = eval_plan(input, src)?;
+            match op {
+                UnaryOp::Project(attrs) => project(&r, attrs),
+                UnaryOp::SelectIf {
+                    predicate,
+                    quantifier,
+                    lifespan,
+                } => {
+                    let bound = match lifespan {
+                        Some(l) => Some(eval_lifespan(l, src)?),
+                        None => None,
+                    };
+                    select_if(&r, predicate, *quantifier, bound.as_ref())
+                }
+                UnaryOp::SelectWhen(predicate) => select_when(&r, predicate),
+                UnaryOp::TimeSlice(lifespan) => {
+                    let l = eval_lifespan(lifespan, src)?;
+                    Ok(timeslice(&r, &l))
+                }
+                UnaryOp::TimeSliceDynamic(attr) => timeslice_dynamic(&r, attr),
+            }
+        }
+        Plan::Binary { op, left, right } => {
+            let a = eval_plan(left, src)?;
+            let b = eval_plan(right, src)?;
+            match op {
+                BinaryOp::Union => union(&a, &b),
+                BinaryOp::Intersection => intersection(&a, &b),
+                BinaryOp::Difference => difference(&a, &b),
+                BinaryOp::UnionO => union_o(&a, &b),
+                BinaryOp::IntersectionO => intersection_o(&a, &b),
+                BinaryOp::DifferenceO => difference_o(&a, &b),
+                BinaryOp::Product => cartesian_product(&a, &b),
+                BinaryOp::NaturalJoin => natural_join(&a, &b),
+            }
+        }
+        Plan::IndexedNaturalJoin { left, right } => {
+            let a = eval_plan(left, src)?;
+            let b = src
+                .relation(right)
+                .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(right.as_str())))?;
+            match src.indexes(right).and_then(RelationIndexes::key) {
+                Some(key_idx) => indexed_natural_join(&a, b, key_idx),
+                None => natural_join(&a, b), // index dropped since planning
+            }
+        }
+        Plan::IndexedTimeJoin { left, right, attr } => {
+            let a = eval_plan(left, src)?;
+            let b = src
+                .relation(right)
+                .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(right.as_str())))?;
+            match src.indexes(right) {
+                Some(idx) => indexed_time_join(&a, b, attr, idx),
+                None => time_join(&a, b, attr),
+            }
+        }
+        Plan::ThetaJoin {
+            left,
+            right,
+            a,
+            op,
+            b,
+        } => {
+            let l = eval_plan(left, src)?;
+            let r = eval_plan(right, src)?;
+            theta_join(&l, &r, a, *op, b)
+        }
+        Plan::TimeJoin { left, right, attr } => {
+            let l = eval_plan(left, src)?;
+            let r = eval_plan(right, src)?;
+            time_join(&l, &r, attr)
+        }
+    }
+}
+
+fn eval_scan(name: &str, access: &AccessPath, src: &dyn IndexSource) -> Result<Relation> {
+    let r = src
+        .relation(name)
+        .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(name)))?;
+    match (access, src.indexes(name)) {
+        (AccessPath::SeqScan, _) | (_, None) => Ok(r.clone()),
+        (AccessPath::LifespanIndex { window }, Some(idx)) => {
+            Ok(r.subset_at_positions(&idx.lifespan().overlapping(window)))
+        }
+        (AccessPath::KeyIndex { key, .. }, Some(idx)) => match idx.key() {
+            Some(key_idx) => Ok(r.subset_at_positions(key_idx.lookup(key))),
+            None => Ok(r.clone()),
+        },
+    }
+}
+
+/// Index nested-loop NATURAL-JOIN: per left tuple, probe the right key
+/// index where possible; fall back to scanning the right side for left
+/// tuples without a constant probe key. Exact per-pair semantics come from
+/// [`natural_join_pair`].
+fn indexed_natural_join(
+    left: &Relation,
+    right: &Relation,
+    key_idx: &hrdm_index::KeyIndex,
+) -> Result<Relation> {
+    let common: Vec<Attribute> = left
+        .scheme()
+        .attr_names()
+        .filter(|a| right.scheme().contains(a))
+        .cloned()
+        .collect();
+    let scheme = left.scheme().natural_concat(right.scheme())?;
+    let mut out: Vec<Tuple> = Vec::new();
+    for t1 in left.iter() {
+        match key_idx.probe_key_of(t1) {
+            Some(key) => {
+                for &pos in key_idx.lookup(&key) {
+                    if let Some(t2) = right.tuple_at(pos) {
+                        if let Some(j) = natural_join_pair(t1, t2, &common)? {
+                            out.push(j);
+                        }
+                    }
+                }
+            }
+            // No constant probe key on the left tuple (e.g. an empty or
+            // time-varying shared attribute): check every right tuple.
+            None => {
+                for t2 in right.iter() {
+                    if let Some(j) = natural_join_pair(t1, t2, &common)? {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(scheme, out))
+}
+
+/// Index nested-loop TIME-JOIN: per left tuple, probe the right lifespan
+/// index with `t1.l ∩ image(t1(A))`. Exact per-pair semantics come from
+/// [`time_join_pair`].
+fn indexed_time_join(
+    left: &Relation,
+    right: &Relation,
+    attr: &Attribute,
+    idx: &RelationIndexes,
+) -> Result<Relation> {
+    let dom = left.scheme().dom(attr)?;
+    if !dom.is_time_valued() {
+        return Err(HrdmError::NotTimeValued(attr.clone()));
+    }
+    let scheme = left.scheme().disjoint_concat(right.scheme())?;
+    let mut out: Vec<Tuple> = Vec::new();
+    for t1 in left.iter() {
+        let image = match t1.value(attr) {
+            Some(tv) => tv.image_lifespan()?,
+            None => Lifespan::empty(),
+        };
+        if image.is_empty() {
+            continue;
+        }
+        let probe = t1.lifespan().intersect(&image);
+        for pos in idx.lifespan().overlapping(&probe) {
+            if let Some(t2) = right.tuple_at(pos) {
+                if let Some(j) = time_join_pair(t1, t2, &image) {
+                    out.push(j);
+                }
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(scheme, out))
+}
+
+/// Optimizes, plans, and evaluates a top-level query against an indexed
+/// source. Relation-sorted queries go through access-path selection;
+/// lifespan- and aggregate-sorted queries evaluate their relational
+/// subexpressions through the plain evaluator.
+pub fn evaluate_planned(
+    q: &crate::ast::Query,
+    src: &dyn IndexSource,
+) -> Result<crate::eval::QueryResult> {
+    match q {
+        crate::ast::Query::Relation(e) => {
+            let (optimized, _) = crate::optimizer::optimize(e);
+            let p = plan(&optimized, src);
+            Ok(crate::eval::QueryResult::Relation(eval_plan(&p, src)?))
+        }
+        other => crate::eval::evaluate(other, src),
+    }
+}
+
+/// The full EXPLAIN for an expression: the optimizer's before/after trees
+/// and rewrite trace, followed by the physical plan with access paths.
+pub fn explain_with_access(e: &Expr, src: &dyn IndexSource) -> String {
+    let (optimized, trace) = crate::optimizer::optimize(e);
+    let p = plan(&optimized, src);
+    let mut out = crate::explain::explain_optimized(e, &optimized, &trace);
+    out.push_str("== access paths ==\n");
+    out.push_str(&explain_plan(&p));
+    out
+}
+
+/// Renders a plan as an indented tree, one line per node, with the chosen
+/// access path on every scan.
+pub fn explain_plan(p: &Plan) -> String {
+    let mut out = String::new();
+    walk(p, 0, &mut out);
+    out
+}
+
+fn walk(p: &Plan, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match p {
+        Plan::Scan { relation, access } => {
+            let _ = writeln!(out, "Scan {relation} [{access}]");
+        }
+        Plan::Unary { op, input } => {
+            let label = match op {
+                UnaryOp::Project(attrs) => {
+                    let names: Vec<&str> = attrs.iter().map(|a| a.name()).collect();
+                    format!("Project [{}]", names.join(", "))
+                }
+                UnaryOp::SelectIf {
+                    predicate,
+                    quantifier,
+                    ..
+                } => format!("Select-If {predicate} ({quantifier})"),
+                UnaryOp::SelectWhen(predicate) => format!("Select-When {predicate}"),
+                UnaryOp::TimeSlice(l) => format!("TimeSlice {l}"),
+                UnaryOp::TimeSliceDynamic(attr) => format!("TimeSlice @{attr}"),
+            };
+            let _ = writeln!(out, "{label}");
+            walk(input, depth + 1, out);
+        }
+        Plan::Binary { op, left, right } => {
+            let _ = writeln!(out, "{op:?}");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        Plan::IndexedNaturalJoin { left, right } => {
+            let _ = writeln!(out, "NaturalJoin (index nested loop)");
+            walk(left, depth + 1, out);
+            for _ in 0..depth + 1 {
+                out.push_str("  ");
+            }
+            let _ = writeln!(out, "Probe {right} [IndexScan(key, from left tuple)]");
+        }
+        Plan::IndexedTimeJoin { left, right, attr } => {
+            let _ = writeln!(out, "TimeJoin @{attr} (index nested loop)");
+            walk(left, depth + 1, out);
+            for _ in 0..depth + 1 {
+                out.push_str("  ");
+            }
+            let _ = writeln!(
+                out,
+                "Probe {right} [IndexScan(lifespan, t.l ∩ image(t({attr})))]"
+            );
+        }
+        Plan::ThetaJoin {
+            left,
+            right,
+            a,
+            op,
+            b,
+        } => {
+            let _ = writeln!(out, "ThetaJoin {a} {op} {b}");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        Plan::TimeJoin { left, right, attr } => {
+            let _ = writeln!(out, "TimeJoin @{attr}");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+    }
+}

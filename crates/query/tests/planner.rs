@@ -1,0 +1,343 @@
+//! Access-path selection: indexable queries get an `IndexScan`, everything
+//! else a `SeqScan` — and either way the results are identical to the plain
+//! evaluator's.
+
+use hrdm_core::prelude::*;
+use hrdm_query::{
+    eval_expr, eval_plan, evaluate_planned, explain_plan, explain_with_access, optimize,
+    parse_expr, parse_query, plan, AccessPath, IndexedRelations, Plan, QueryResult,
+};
+use std::collections::BTreeMap;
+
+fn emp_scheme() -> Scheme {
+    Scheme::builder()
+        .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+        .attr(
+            "SALARY",
+            HistoricalDomain::int(),
+            Lifespan::interval(0, 100),
+        )
+        .attr(
+            "DEPT",
+            HistoricalDomain::string(),
+            Lifespan::interval(0, 100),
+        )
+        .build()
+        .unwrap()
+}
+
+fn dept_scheme() -> Scheme {
+    Scheme::builder()
+        .key_attr("DEPT", ValueKind::Str, Lifespan::interval(0, 100))
+        .attr(
+            "BUDGET",
+            HistoricalDomain::int(),
+            Lifespan::interval(0, 100),
+        )
+        .build()
+        .unwrap()
+}
+
+fn evt_scheme() -> Scheme {
+    Scheme::builder()
+        .key_attr("E", ValueKind::Int, Lifespan::interval(0, 100))
+        .attr("AT", HistoricalDomain::time(), Lifespan::interval(0, 100))
+        .build()
+        .unwrap()
+}
+
+fn relations() -> BTreeMap<String, Relation> {
+    let mut emp = Relation::new(emp_scheme());
+    let mut add = |name: &str, spans: &[(i64, i64)], sal: i64, dept: &str| {
+        let life = Lifespan::of(spans);
+        let t = Tuple::builder(life.clone())
+            .constant("NAME", name)
+            .value("SALARY", TemporalValue::constant(&life, Value::Int(sal)))
+            .value("DEPT", TemporalValue::constant(&life, Value::str(dept)))
+            .finish(&emp_scheme())
+            .unwrap();
+        emp.insert(t).unwrap();
+    };
+    add("John", &[(0, 19)], 25_000, "Toys");
+    add("Mary", &[(5, 30)], 30_000, "Shoes");
+    add("Igor", &[(40, 60), (70, 80)], 27_000, "Toys");
+
+    let mut dept = Relation::new(dept_scheme());
+    for (name, spans, budget) in [
+        ("Toys", vec![(0i64, 50i64)], 100_000i64),
+        ("Shoes", vec![(0, 90)], 50_000),
+    ] {
+        let life = Lifespan::of(&spans);
+        dept.insert(
+            Tuple::builder(life.clone())
+                .constant("DEPT", name)
+                .value("BUDGET", TemporalValue::constant(&life, Value::Int(budget)))
+                .finish(&dept_scheme())
+                .unwrap(),
+        )
+        .unwrap();
+    }
+
+    let mut evt = Relation::new(evt_scheme());
+    let life = Lifespan::interval(0, 90);
+    evt.insert(
+        Tuple::builder(life.clone())
+            .constant("E", 1i64)
+            .value("AT", TemporalValue::constant(&life, Value::time(10)))
+            .finish(&evt_scheme())
+            .unwrap(),
+    )
+    .unwrap();
+
+    let mut m = BTreeMap::new();
+    m.insert("emp".to_string(), emp);
+    m.insert("dept".to_string(), dept);
+    m.insert("evt".to_string(), evt);
+    m
+}
+
+fn indexed() -> IndexedRelations {
+    IndexedRelations::new(relations())
+}
+
+/// Plans `src_text` (after optimization) and returns the plan plus its
+/// rendering.
+fn planned(src_text: &str) -> (Plan, String) {
+    let e = parse_expr(src_text).unwrap();
+    let (optimized, _) = optimize(&e);
+    let p = plan(&optimized, &indexed());
+    let text = explain_plan(&p);
+    (p, text)
+}
+
+/// Asserts the planned evaluation returns exactly what the plain evaluator
+/// returns for `src_text`.
+fn assert_same_results(src_text: &str) {
+    let e = parse_expr(src_text).unwrap();
+    let src = indexed();
+    let via_plan = {
+        let (optimized, _) = optimize(&e);
+        eval_plan(&plan(&optimized, &src), &src).unwrap()
+    };
+    let via_scan = eval_expr(&e, &relations()).unwrap();
+    assert_eq!(via_plan, via_scan, "plan and scan disagree on {src_text}");
+}
+
+#[test]
+fn timeslice_uses_lifespan_index() {
+    let (p, text) = planned("TIMESLICE [10..20] (emp)");
+    assert!(
+        text.contains("IndexScan(lifespan, [10..20])"),
+        "missing index scan in:\n{text}"
+    );
+    match &p {
+        Plan::Unary { input, .. } => assert!(matches!(
+            **input,
+            Plan::Scan {
+                access: AccessPath::LifespanIndex { .. },
+                ..
+            }
+        )),
+        other => panic!("unexpected plan {other:?}"),
+    }
+    assert_same_results("TIMESLICE [10..20] (emp)");
+    // Fragmented windows and empty windows too.
+    assert_same_results("TIMESLICE [0..3, 75..99] (emp)");
+    assert_same_results("TIMESLICE [95..99] (emp)");
+}
+
+#[test]
+fn select_when_with_key_equality_uses_key_index() {
+    let q = "SELECT-WHEN (NAME = \"John\" AND SALARY = 25000) (emp)";
+    let (_, text) = planned(q);
+    assert!(
+        text.contains("IndexScan(key, NAME = \"John\")"),
+        "missing key index scan in:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+#[test]
+fn select_if_exists_with_key_equality_uses_key_index() {
+    let q = "SELECT-IF (NAME = \"Igor\", EXISTS) (emp)";
+    let (_, text) = planned(q);
+    assert!(
+        text.contains("IndexScan(key"),
+        "missing key scan in:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+#[test]
+fn select_if_forall_stays_seq_scan() {
+    // FORALL can select vacuously (empty quantification domain), so key
+    // pruning would be unsound; the planner must not use the index.
+    let q = "SELECT-IF (NAME = \"John\", FORALL, [90..95]) (emp)";
+    let (_, text) = planned(q);
+    assert!(text.contains("[SeqScan]"), "expected SeqScan in:\n{text}");
+    assert!(!text.contains("IndexScan"), "unsound IndexScan in:\n{text}");
+    assert_same_results(q);
+}
+
+#[test]
+fn non_key_predicates_stay_seq_scan() {
+    for q in [
+        "SELECT-WHEN (SALARY = 30000) (emp)",
+        "SELECT-WHEN (NAME = \"John\" OR SALARY = 30000) (emp)",
+        "emp",
+    ] {
+        let (_, text) = planned(q);
+        assert!(
+            !text.contains("IndexScan"),
+            "unexpected IndexScan for {q}:\n{text}"
+        );
+        assert!(
+            text.contains("[SeqScan]"),
+            "expected SeqScan for {q}:\n{text}"
+        );
+        assert_same_results(q);
+    }
+}
+
+#[test]
+fn optimizer_normal_form_composes_with_index() {
+    // τ over σWHEN: the optimizer pushes the slice under the select, so
+    // the planner can serve the slice from the lifespan index.
+    let q = "TIMESLICE [0..10] (SELECT-WHEN (SALARY = 25000) (emp))";
+    let (_, text) = planned(q);
+    assert!(
+        text.contains("IndexScan(lifespan, [0..10])"),
+        "missing pushed-down index scan in:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+#[test]
+fn natural_join_probes_key_index() {
+    let q = "emp NATJOIN dept";
+    let (_, text) = planned(q);
+    assert!(
+        text.contains("index nested loop") && text.contains("IndexScan(key"),
+        "missing index join in:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+#[test]
+fn time_join_probes_lifespan_index() {
+    let q = "evt TIMEJOIN@AT dept";
+    let (_, text) = planned(q);
+    assert!(
+        text.contains("index nested loop") && text.contains("IndexScan(lifespan"),
+        "missing index time-join in:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+#[test]
+fn theta_join_plans_children() {
+    // evt's attributes are disjoint from emp's, as θ-JOIN requires. The θ
+    // comparison itself cannot use an index, but index opportunities in
+    // the children must survive — here a literal TIMESLICE on the left.
+    let q = "(TIMESLICE [0..10] (emp)) JOIN evt ON SALARY > E";
+    let (p, text) = planned(q);
+    assert!(matches!(p, Plan::ThetaJoin { .. }));
+    assert!(
+        text.contains("IndexScan(lifespan, [0..10])"),
+        "child index scan lost inside θ-join:\n{text}"
+    );
+    assert_same_results(q);
+    assert_same_results("emp JOIN evt ON SALARY > E");
+}
+
+#[test]
+fn time_join_with_non_base_probe_side_plans_children() {
+    // The probe side is not a bare indexed relation, so no index join —
+    // but the left child's TIMESLICE still gets its lifespan index.
+    let q = "(TIMESLICE [0..20] (evt)) TIMEJOIN@AT (PROJECT [DEPT] (dept))";
+    let (p, text) = planned(q);
+    assert!(matches!(p, Plan::TimeJoin { .. }));
+    assert!(
+        text.contains("IndexScan(lifespan, [0..20])"),
+        "child index scan lost inside TIME-JOIN:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+#[test]
+fn cross_kind_key_literal_does_not_probe_the_key_index() {
+    // evt is keyed on E: Int. A Float equality literal compares equal to
+    // an Int *numerically* (predicate semantics) but not *structurally*
+    // (hash lookup), so the planner must refuse the probe.
+    let q = "SELECT-WHEN (E = 1.0) (evt)";
+    let (_, text) = planned(q);
+    assert!(
+        !text.contains("IndexScan"),
+        "unsound cross-kind key probe in:\n{text}"
+    );
+    assert_same_results(q);
+    // The matching-kind literal still probes.
+    let (_, text) = planned("SELECT-WHEN (E = 1) (evt)");
+    assert!(text.contains("IndexScan(key, E = 1)"), "{text}");
+    assert_same_results("SELECT-WHEN (E = 1) (evt)");
+}
+
+#[test]
+fn without_indexes_everything_is_seq_scan() {
+    // A source that has relations but no indexes: the planner degrades.
+    struct Bare(BTreeMap<String, Relation>);
+    impl hrdm_query::RelationSource for Bare {
+        fn relation(&self, name: &str) -> Option<&Relation> {
+            self.0.get(name)
+        }
+    }
+    impl hrdm_query::IndexSource for Bare {
+        fn indexes(&self, _: &str) -> Option<&hrdm_storage::RelationIndexes> {
+            None
+        }
+    }
+    let bare = Bare(relations());
+    let e = parse_expr("TIMESLICE [10..20] (emp)").unwrap();
+    let (optimized, _) = optimize(&e);
+    let p = plan(&optimized, &bare);
+    let text = explain_plan(&p);
+    assert!(
+        !text.contains("IndexScan"),
+        "IndexScan without an index:\n{text}"
+    );
+    assert_eq!(
+        eval_plan(&p, &bare).unwrap(),
+        eval_expr(&e, &relations()).unwrap()
+    );
+}
+
+#[test]
+fn explain_with_access_shows_rewrites_and_paths() {
+    let e = parse_expr("TIMESLICE [0..10] (TIMESLICE [5..20] (emp))").unwrap();
+    let text = explain_with_access(&e, &indexed());
+    assert!(text.contains("== rewrites =="));
+    assert!(text.contains("FuseTimeslice"));
+    assert!(text.contains("== access paths =="));
+    assert!(text.contains("IndexScan(lifespan, [5..10])"));
+}
+
+#[test]
+fn evaluate_planned_matches_evaluate() {
+    let src = indexed();
+    for q in [
+        "TIMESLICE [10..20] (emp)",
+        "SELECT-WHEN (NAME = \"Mary\") (emp)",
+        "WHEN (SELECT-WHEN (SALARY = 30000) (emp))",
+        "COUNT SALARY (emp)",
+    ] {
+        let parsed = parse_query(q).unwrap();
+        let a = evaluate_planned(&parsed, &src).unwrap();
+        let b = hrdm_query::evaluate(&parsed, &relations()).unwrap();
+        match (a, b) {
+            (QueryResult::Relation(x), QueryResult::Relation(y)) => assert_eq!(x, y, "{q}"),
+            (QueryResult::Lifespan(x), QueryResult::Lifespan(y)) => assert_eq!(x, y, "{q}"),
+            (QueryResult::Function(x), QueryResult::Function(y)) => assert_eq!(x, y, "{q}"),
+            _ => panic!("result sorts disagree for {q}"),
+        }
+    }
+}

@@ -17,10 +17,7 @@ fn build_db(dir: &std::path::Path) {
         .constant("NAME", "John")
         .value(
             "SALARY",
-            TemporalValue::of(&[
-                (0, 9, Value::Int(25_000)),
-                (10, 30, Value::Int(30_000)),
-            ]),
+            TemporalValue::of(&[(0, 9, Value::Int(25_000)), (10, 30, Value::Int(30_000))]),
         )
         .finish(&scheme)
         .unwrap();
@@ -61,7 +58,10 @@ fn repl_answers_queries() {
     // \d lists the relation.
     assert!(out.contains("emp:"), "missing schema listing in {out}");
     // The WHEN query prints the lifespan.
-    assert!(out.contains("{[10,30]}"), "missing lifespan answer in {out}");
+    assert!(
+        out.contains("{[10,30]}"),
+        "missing lifespan answer in {out}"
+    );
     // The relation query prints a tuple and a count.
     assert!(out.contains("(1 tuple(s))"), "missing tuple count in {out}");
 

@@ -138,8 +138,7 @@ impl Catalog {
         if scheme.contains(&attribute) {
             return Err(HrdmError::DuplicateAttribute(attribute));
         }
-        let span = Lifespan::try_interval(from, to)
-            .ok_or(HrdmError::EmptyScheme)?;
+        let span = Lifespan::try_interval(from, to).ok_or(HrdmError::EmptyScheme)?;
         let mut attrs = scheme.attrs().to_vec();
         attrs.push(AttributeDef::new(attribute.clone(), domain, span));
         let new = Scheme::new(attrs, scheme.key().to_vec())?;
@@ -156,12 +155,17 @@ impl Catalog {
     /// Drops an attribute as of `at`: its lifespan is clipped so the
     /// attribute is undefined from `at` on. Pre-drop history remains — that
     /// is the whole point of attribute lifespans (paper §2).
-    pub fn drop_attribute(&mut self, relation: &str, attribute: &Attribute, at: Chronon) -> Result<()> {
-        self.edit_als(relation, attribute, |als| {
-            match at.pred() {
-                Some(end) => als.clamp(hrdm_time::Interval::new(Chronon::MIN, end).expect("MIN <= end")),
-                None => Lifespan::empty(),
+    pub fn drop_attribute(
+        &mut self,
+        relation: &str,
+        attribute: &Attribute,
+        at: Chronon,
+    ) -> Result<()> {
+        self.edit_als(relation, attribute, |als| match at.pred() {
+            Some(end) => {
+                als.clamp(hrdm_time::Interval::new(Chronon::MIN, end).expect("MIN <= end"))
             }
+            None => Lifespan::empty(),
         })?;
         self.log.push(EvolutionEvent::AttributeDropped {
             relation: relation.to_string(),
@@ -345,16 +349,12 @@ mod tests {
             Chronon::new(1000),
         )
         .unwrap();
-        cat.drop_attribute("stocks", &vol, Chronon::new(200)).unwrap();
+        cat.drop_attribute("stocks", &vol, Chronon::new(200))
+            .unwrap();
         cat.re_add_attribute("stocks", &vol, Chronon::new(500), Chronon::new(1000))
             .unwrap();
 
-        let als = cat
-            .scheme("stocks")
-            .unwrap()
-            .als(&vol)
-            .unwrap()
-            .clone();
+        let als = cat.scheme("stocks").unwrap().als(&vol).unwrap().clone();
         assert_eq!(als, Lifespan::of(&[(0, 199), (500, 1000)]));
         assert_eq!(cat.log().len(), 4);
         // The attribute has a gap — exactly the Fig. 6 picture.
@@ -395,7 +395,8 @@ mod tests {
             Chronon::new(100),
         )
         .unwrap();
-        cat.drop_attribute("stocks", &vol, Chronon::new(50)).unwrap();
+        cat.drop_attribute("stocks", &vol, Chronon::new(50))
+            .unwrap();
 
         let mut e = Encoder::new();
         cat.encode(&mut e);

@@ -315,8 +315,7 @@ impl<'a> Decoder<'a> {
             1 => {
                 let raw = self.take(8)?;
                 let bits = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
-                Value::float(f64::from_bits(bits))
-                    .map_err(|_| CodecError::Invariant("NaN float"))
+                Value::float(f64::from_bits(bits)).map_err(|_| CodecError::Invariant("NaN float"))
             }
             2 => Ok(Value::str(self.get_str()?)),
             3 => Ok(Value::Bool(self.get_u8()? != 0)),

@@ -9,6 +9,7 @@ use crate::codec::{CodecError, Decoder, Encoder};
 use crate::heap::HeapFile;
 use crate::page::crc32;
 use hrdm_core::{HrdmError, Relation, Result, Scheme, Tuple};
+use hrdm_index::RelationIndexes;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -64,6 +65,12 @@ impl From<HrdmError> for DbError {
 pub struct Database {
     catalog: Catalog,
     relations: BTreeMap<String, Relation>,
+    /// Access methods per relation (`hrdm-index`). An entry exists only
+    /// while it is **valid**: mutations drop the relation's entry, and
+    /// [`Database::ensure_indexes`] / [`Database::build_indexes`] rebuild.
+    /// Indexes are derived data, so they are not persisted — [`Database::load`]
+    /// rebuilds them from the heap files.
+    indexes: BTreeMap<String, RelationIndexes>,
 }
 
 impl Database {
@@ -89,7 +96,10 @@ impl Database {
     /// Creates a relation.
     pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<()> {
         self.catalog.create_relation(name, scheme.clone())?;
-        self.relations.insert(name.to_string(), Relation::new(scheme));
+        let relation = Relation::new(scheme);
+        self.indexes
+            .insert(name.to_string(), RelationIndexes::build(&relation));
+        self.relations.insert(name.to_string(), relation);
         Ok(())
     }
 
@@ -108,17 +118,49 @@ impl Database {
         if self.catalog.scheme(name).is_none() {
             return Err(HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)));
         }
+        self.indexes.remove(name); // contents changed wholesale
         self.relations.insert(name.to_string(), relation);
         Ok(())
     }
 
-    /// Inserts a tuple into `name`.
+    /// Inserts a tuple into `name`, invalidating the relation's indexes
+    /// (they are rebuilt on the next [`Database::ensure_indexes`]).
     pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<()> {
         let rel = self
             .relations
             .get_mut(name)
             .ok_or_else(|| HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)))?;
-        rel.insert(tuple)
+        rel.insert(tuple)?;
+        self.indexes.remove(name);
+        Ok(())
+    }
+
+    /// The current, valid indexes of `name`, if built. `None` means either
+    /// an unknown relation or indexes invalidated by a mutation — callers
+    /// (the query planner) must fall back to a sequential scan.
+    pub fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
+        self.indexes.get(name)
+    }
+
+    /// Ensures `name`'s indexes exist and are current, building if needed.
+    pub fn ensure_indexes(&mut self, name: &str) -> Result<&RelationIndexes> {
+        if !self.relations.contains_key(name) {
+            return Err(HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)));
+        }
+        if !self.indexes.contains_key(name) {
+            let built = RelationIndexes::build(&self.relations[name]);
+            self.indexes.insert(name.to_string(), built);
+        }
+        Ok(&self.indexes[name])
+    }
+
+    /// (Re)builds indexes for every relation.
+    pub fn build_indexes(&mut self) {
+        let names: Vec<String> = self.relations.keys().cloned().collect();
+        for name in names {
+            let built = RelationIndexes::build(&self.relations[&name]);
+            self.indexes.insert(name, built);
+        }
     }
 
     /// The registered relation names.
@@ -197,7 +239,15 @@ impl Database {
             }
             relations.insert(name, Relation::from_parts_unchecked(scheme, tuples));
         }
-        Ok(Database { catalog, relations })
+        let mut db = Database {
+            catalog,
+            relations,
+            indexes: BTreeMap::new(),
+        };
+        // Indexes are derived data: rebuild rather than persist, so a load
+        // always starts with valid access paths for every relation.
+        db.build_indexes();
+        Ok(db)
     }
 }
 
@@ -205,7 +255,13 @@ fn heap_path(dir: &Path, relation: &str) -> PathBuf {
     // Relation names are caller-controlled; keep the file name tame.
     let safe: String = relation
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     dir.join(format!("{safe}.heap"))
 }
@@ -225,7 +281,11 @@ mod tests {
     fn emp_scheme() -> Scheme {
         Scheme::builder()
             .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
-            .attr("SALARY", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
             .build()
             .unwrap()
     }
@@ -301,6 +361,61 @@ mod tests {
         assert_eq!(als, Lifespan::interval(0, 49));
         assert_eq!(back.catalog().log().len(), 2);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn indexes_track_mutations_and_survive_load() {
+        let dir = tmp("indexes");
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        // Fresh relation: index exists (empty).
+        assert_eq!(db.indexes("emp").unwrap().tuple_count(), 0);
+
+        // Insert invalidates…
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        assert!(db.indexes("emp").is_none());
+        // …and ensure_indexes rebuilds over current contents.
+        assert_eq!(db.ensure_indexes("emp").unwrap().tuple_count(), 1);
+        let stab = db
+            .indexes("emp")
+            .unwrap()
+            .lifespan()
+            .stab(hrdm_time::Chronon::new(5));
+        assert_eq!(stab, vec![0]);
+
+        // put_relation also invalidates.
+        let rel = db.relation("emp").unwrap().clone();
+        db.put_relation("emp", rel).unwrap();
+        assert!(db.indexes("emp").is_none());
+        db.build_indexes();
+        assert!(db.indexes("emp").is_some());
+
+        // A loaded database has indexes for every relation, rebuilt from
+        // the heap files.
+        db.insert("emp", emp("Mary", 5, 30, 30_000)).unwrap();
+        db.save(&dir).unwrap();
+        let back = Database::load(&dir).unwrap();
+        let idx = back.indexes("emp").expect("load builds indexes");
+        assert_eq!(idx.tuple_count(), 2);
+        let key = idx.key().expect("keyed scheme has a key index");
+        let pos = key.lookup(&[hrdm_core::Value::str("Mary")]);
+        assert_eq!(pos.len(), 1);
+        assert_eq!(
+            back.relation("emp")
+                .unwrap()
+                .tuple_at(pos[0])
+                .unwrap()
+                .lifespan(),
+            &Lifespan::interval(5, 30)
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn ensure_indexes_unknown_relation_errors() {
+        let mut db = Database::new();
+        assert!(db.ensure_indexes("ghost").is_err());
+        assert!(db.indexes("ghost").is_none());
     }
 
     #[test]

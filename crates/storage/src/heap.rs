@@ -134,8 +134,7 @@ impl HeapFile {
             page.seal();
             self.file.write_all(&page.bytes()[..])?;
         }
-        self.file
-            .set_len((self.pages.len() * PAGE_SIZE) as u64)?;
+        self.file.set_len((self.pages.len() * PAGE_SIZE) as u64)?;
         self.file.sync_all()
     }
 }

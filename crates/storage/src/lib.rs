@@ -31,3 +31,7 @@ pub use database::Database;
 pub use heap::HeapFile;
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use wal::{Wal, WalRecord};
+
+// Re-export the access-method types `Database` hands out, so downstream
+// code does not need a direct `hrdm-index` dependency for common use.
+pub use hrdm_index::{KeyIndex, LifespanIndex, RelationIndexes};

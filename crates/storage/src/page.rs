@@ -32,7 +32,10 @@ impl Page {
     /// A fresh, empty page.
     pub fn new() -> Page {
         let mut p = Page {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("sized"),
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("sized"),
         };
         p.set_free_ptr(PAGE_SIZE as u16);
         p
@@ -180,7 +183,11 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;

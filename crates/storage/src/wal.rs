@@ -165,16 +165,14 @@ impl Wal {
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"))
-                as usize;
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let start = pos + 4;
             let end = start + len;
             if end + 4 > bytes.len() {
                 return Ok((records, Some(pos as u64))); // torn tail
             }
             let payload = &bytes[start..end];
-            let stored =
-                u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
+            let stored = u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
             if crc32(payload) != stored {
                 return Ok((records, Some(pos as u64))); // corrupted record
             }

@@ -17,7 +17,11 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 
 fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
     prop::collection::vec((-500i64..500, 0i64..40), 0..6).prop_map(|pairs| {
-        Lifespan::from_intervals(pairs.into_iter().map(|(lo, len)| Interval::of(lo, lo + len)))
+        Lifespan::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(lo, len)| Interval::of(lo, lo + len)),
+        )
     })
 }
 

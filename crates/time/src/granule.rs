@@ -42,7 +42,10 @@ impl Granularity {
 
     /// Tick-level granularity: each granule is a single chronon.
     pub fn ticks() -> Granularity {
-        Granularity { width: 1, anchor: 0 }
+        Granularity {
+            width: 1,
+            anchor: 0,
+        }
     }
 
     /// Granule width in ticks.
@@ -125,7 +128,11 @@ impl Granularity {
 
 impl fmt::Display for Granularity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "granularity(width={}, anchor={})", self.width, self.anchor)
+        write!(
+            f,
+            "granularity(width={}, anchor={})",
+            self.width, self.anchor
+        )
     }
 }
 
@@ -185,7 +192,11 @@ mod tests {
     fn granules_touched_dedups_across_runs() {
         let g = Granularity::new(10, 0).unwrap();
         let ls = Lifespan::of(&[(1, 2), (5, 12)]);
-        let touched: Vec<i64> = g.granules_touched(&ls).into_iter().map(|x| x.index).collect();
+        let touched: Vec<i64> = g
+            .granules_touched(&ls)
+            .into_iter()
+            .map(|x| x.index)
+            .collect();
         assert_eq!(touched, vec![0, 1]);
     }
 

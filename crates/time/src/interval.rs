@@ -32,8 +32,7 @@ impl Interval {
     /// static. Library code paths use [`Interval::new`].
     #[inline]
     pub fn of(lo: i64, hi: i64) -> Interval {
-        Interval::new(Chronon::new(lo), Chronon::new(hi))
-            .expect("Interval::of requires lo <= hi")
+        Interval::new(Chronon::new(lo), Chronon::new(hi)).expect("Interval::of requires lo <= hi")
     }
 
     /// The degenerate interval `[t, t]`.
@@ -141,10 +140,7 @@ impl Interval {
         match self.intersect(other) {
             None => (Some(*self), None),
             Some(cut) => {
-                let left = cut
-                    .lo
-                    .pred()
-                    .and_then(|end| Interval::new(self.lo, end));
+                let left = cut.lo.pred().and_then(|end| Interval::new(self.lo, end));
                 let right = cut
                     .hi
                     .succ()

@@ -537,10 +537,7 @@ mod tests {
     fn symmetric_difference() {
         let a = Lifespan::of(&[(1, 5)]);
         let b = Lifespan::of(&[(4, 8)]);
-        assert_eq!(
-            a.symmetric_difference(&b),
-            Lifespan::of(&[(1, 3), (6, 8)])
-        );
+        assert_eq!(a.symmetric_difference(&b), Lifespan::of(&[(1, 3), (6, 8)]));
     }
 
     #[test]
@@ -555,7 +552,10 @@ mod tests {
     #[test]
     fn clamp_is_static_timeslice() {
         let ls = Lifespan::of(&[(1, 5), (8, 12)]);
-        assert_eq!(ls.clamp(Interval::of(4, 9)), Lifespan::of(&[(4, 5), (8, 9)]));
+        assert_eq!(
+            ls.clamp(Interval::of(4, 9)),
+            Lifespan::of(&[(4, 5), (8, 9)])
+        );
     }
 
     #[test]

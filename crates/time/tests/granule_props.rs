@@ -6,7 +6,11 @@ use proptest::prelude::*;
 
 fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
     prop::collection::vec((-60i64..60, 0i64..15), 0..5).prop_map(|pairs| {
-        Lifespan::from_intervals(pairs.into_iter().map(|(lo, len)| Interval::of(lo, lo + len)))
+        Lifespan::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(lo, len)| Interval::of(lo, lo + len)),
+        )
     })
 }
 

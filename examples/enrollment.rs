@@ -98,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = hrdm::query::eval_expr(&e, &source)?;
     let b = hrdm::query::eval_expr(&optimized, &source)?;
     assert_eq!(a, b);
-    println!("optimized plan returns the identical relation ({} tuples)", b.len());
+    println!(
+        "optimized plan returns the identical relation ({} tuples)",
+        b.len()
+    );
 
     Ok(())
 }

@@ -26,9 +26,7 @@ fn scheme() -> Scheme {
 }
 
 fn emp(name: &str, history: &[(i64, i64, i64)]) -> Tuple {
-    let life = Lifespan::from_intervals(
-        history.iter().map(|&(lo, hi, _)| Interval::of(lo, hi)),
-    );
+    let life = Lifespan::from_intervals(history.iter().map(|&(lo, hi, _)| Interval::of(lo, hi)));
     Tuple::builder(life)
         .constant("NAME", name)
         .value(
@@ -72,8 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &emps,
         &Predicate::attr_op_value("SALARY", Comparator::Ge, 25_000i64),
     )?;
-    let avg_well_paid =
-        aggregate_over_time(&well_paid, &"SALARY".into(), AggregateOp::Avg)?;
+    let avg_well_paid = aggregate_over_time(&well_paid, &"SALARY".into(), AggregateOp::Avg)?;
     println!(
         "average among >=25K at t=25: {:?}",
         avg_well_paid.at(Chronon::new(25))

@@ -37,8 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .finish(&scheme)?;
     println!("John's lifespan has a gap: {}", john.lifespan());
-    println!("  salary at t=15: {:?}", john.at(&"SALARY".into(), Chronon::new(15)));
-    println!("  salary at t=30: {:?} (fired — does not exist)", john.at(&"SALARY".into(), Chronon::new(30)));
+    println!(
+        "  salary at t=15: {:?}",
+        john.at(&"SALARY".into(), Chronon::new(15))
+    );
+    println!(
+        "  salary at t=30: {:?} (fired — does not exist)",
+        john.at(&"SALARY".into(), Chronon::new(30))
+    );
 
     let emp = Relation::with_tuples(scheme.clone(), vec![john])?;
 
@@ -49,20 +55,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Fig. 11: plain union vs object union ---------------------------
     // Two archives know different eras of the same employee.
-    let early = Relation::with_tuples(scheme.clone(), vec![{
-        let l = Lifespan::interval(0, 19);
-        Tuple::builder(l.clone())
-            .constant("NAME", "Ann")
-            .value("SALARY", TemporalValue::constant(&l, Value::Int(20_000)))
-            .finish(&scheme)?
-    }])?;
-    let late = Relation::with_tuples(scheme.clone(), vec![{
-        let l = Lifespan::interval(30, 60);
-        Tuple::builder(l.clone())
-            .constant("NAME", "Ann")
-            .value("SALARY", TemporalValue::constant(&l, Value::Int(26_000)))
-            .finish(&scheme)?
-    }])?;
+    let early = Relation::with_tuples(
+        scheme.clone(),
+        vec![{
+            let l = Lifespan::interval(0, 19);
+            Tuple::builder(l.clone())
+                .constant("NAME", "Ann")
+                .value("SALARY", TemporalValue::constant(&l, Value::Int(20_000)))
+                .finish(&scheme)?
+        }],
+    )?;
+    let late = Relation::with_tuples(
+        scheme.clone(),
+        vec![{
+            let l = Lifespan::interval(30, 60);
+            Tuple::builder(l.clone())
+                .constant("NAME", "Ann")
+                .value("SALARY", TemporalValue::constant(&l, Value::Int(26_000)))
+                .finish(&scheme)?
+        }],
+    )?;
 
     let plain = union(&early, &late)?;
     println!(
@@ -85,16 +97,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Build an offender and watch the checker catch it.
-    let pay_cut = Relation::with_tuples(scheme.clone(), vec![{
-        let l = Lifespan::interval(0, 20);
-        Tuple::builder(l.clone())
-            .constant("NAME", "Zeno")
-            .value(
-                "SALARY",
-                TemporalValue::of(&[(0, 9, Value::Int(30_000)), (10, 20, Value::Int(20_000))]),
-            )
-            .finish(&scheme)?
-    }])?;
+    let pay_cut = Relation::with_tuples(
+        scheme.clone(),
+        vec![{
+            let l = Lifespan::interval(0, 20);
+            Tuple::builder(l.clone())
+                .constant("NAME", "Zeno")
+                .value(
+                    "SALARY",
+                    TemporalValue::of(&[(0, 9, Value::Int(30_000)), (10, 20, Value::Int(20_000))]),
+                )
+                .finish(&scheme)?
+        }],
+    )?;
     match never_decreases(&pay_cut, &"SALARY".into())? {
         Some(who) => println!("pay cut detected for {who}"),
         None => unreachable!("Zeno's salary decreases"),

@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mary_life = Lifespan::interval(5, 40);
     let mary = Tuple::builder(mary_life.clone())
         .constant("NAME", "Mary")
-        .value("SALARY", TemporalValue::constant(&mary_life, Value::Int(30_000)))
-        .value("DEPT", TemporalValue::constant(&mary_life, Value::str("Toys")))
+        .value(
+            "SALARY",
+            TemporalValue::constant(&mary_life, Value::Int(30_000)),
+        )
+        .value(
+            "DEPT",
+            TemporalValue::constant(&mary_life, Value::str("Toys")),
+        )
         .finish(&scheme)?;
 
     let emp = Relation::with_tuples(scheme, vec![john, mary])?;
@@ -49,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 3. SELECT-IF: whole objects (paper §4.3) -----------------------
     let earned_30k = Predicate::eq_value("SALARY", 30_000i64);
     let ever = select_if(&emp, &earned_30k, Quantifier::Exists, None)?;
-    println!("σ-IF(SALARY=30K, ∃): {} tuples (whole histories)", ever.len());
+    println!(
+        "σ-IF(SALARY=30K, ∃): {} tuples (whole histories)",
+        ever.len()
+    );
 
     let always = select_if(&emp, &earned_30k, Quantifier::Forall, None)?;
     println!(

@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Chronon::new(0),
         Chronon::new(1000),
     )?;
-    db.catalog_mut().drop_attribute("stocks", &vol, Chronon::new(200))?;
+    db.catalog_mut()
+        .drop_attribute("stocks", &vol, Chronon::new(200))?;
     db.catalog_mut()
         .re_add_attribute("stocks", &vol, Chronon::new(500), Chronon::new(1000))?;
 
@@ -67,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evolved = db.catalog().scheme("stocks").unwrap().clone();
     let acme_life = Lifespan::interval(0, 1000);
     let volume = TemporalValue::of(&[
-        (0, 199, Value::Int(1_000_000)),   // while recorded
+        (0, 199, Value::Int(1_000_000)),    // while recorded
         (500, 1000, Value::Int(2_500_000)), // after re-adding
     ]);
     let acme = Tuple::builder(acme_life.clone())

@@ -15,7 +15,8 @@
 //! | [`core`] (`hrdm-core`) | model level | values, domains, temporal functions, schemes, tuples, relations, the algebra, temporal constraints |
 //! | [`interp`] (`hrdm-interp`) | representation level | interpolation functions, sparse representations, change-point compression |
 //! | [`storage`] (`hrdm-storage`) | physical level | binary codec, slotted pages, heap files, evolving-schema catalog, database persistence |
-//! | [`query`] (`hrdm-query`) | — | a textual algebra language, evaluator, and rewrite-rule optimizer |
+//! | [`index`] (`hrdm-index`) | physical level | access methods: lifespan interval index, constant-key index |
+//! | [`query`] (`hrdm-query`) | — | a textual algebra language, evaluator, rewrite-rule optimizer, and index-aware access-path planner |
 //! | [`baseline`] (`hrdm-baseline`) | comparators | classical snapshot model, tuple-timestamped model, cube model |
 //!
 //! Start with [`prelude`], the `examples/` directory, and `DESIGN.md`.
@@ -24,6 +25,7 @@
 
 pub use hrdm_baseline as baseline;
 pub use hrdm_core as core;
+pub use hrdm_index as index;
 pub use hrdm_interp as interp;
 pub use hrdm_query as query;
 pub use hrdm_storage as storage;

@@ -45,25 +45,24 @@ pub fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
 
 /// Strategy: a piecewise-constant int function, clipped to `within` at use.
 pub fn segments_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
-    prop::collection::vec((UNIVERSE.0..=UNIVERSE.1, 0i64..=8, 0i64..4), 0..4)
-        .prop_map(|raw| {
-            // Make segments disjoint by sorting and clipping each to start
-            // after the previous one ends.
-            let mut segs: Vec<(i64, i64, i64)> = Vec::new();
-            let mut cursor = UNIVERSE.0;
-            let mut sorted = raw;
-            sorted.sort_by_key(|&(lo, _, _)| lo);
-            for (lo, len, v) in sorted {
-                let lo = lo.max(cursor);
-                let hi = (lo + len).min(UNIVERSE.1);
-                if lo > UNIVERSE.1 || lo > hi {
-                    continue;
-                }
-                segs.push((lo, hi, v));
-                cursor = hi + 2;
+    prop::collection::vec((UNIVERSE.0..=UNIVERSE.1, 0i64..=8, 0i64..4), 0..4).prop_map(|raw| {
+        // Make segments disjoint by sorting and clipping each to start
+        // after the previous one ends.
+        let mut segs: Vec<(i64, i64, i64)> = Vec::new();
+        let mut cursor = UNIVERSE.0;
+        let mut sorted = raw;
+        sorted.sort_by_key(|&(lo, _, _)| lo);
+        for (lo, len, v) in sorted {
+            let lo = lo.max(cursor);
+            let hi = (lo + len).min(UNIVERSE.1);
+            if lo > UNIVERSE.1 || lo > hi {
+                continue;
             }
-            segs
-        })
+            segs.push((lo, hi, v));
+            cursor = hi + 2;
+        }
+        segs
+    })
 }
 
 /// Builds a valid tuple on `scheme` with the given key, lifespan, and raw
@@ -98,7 +97,11 @@ pub fn build_tuple(
 /// distinct keys.
 pub fn relation_strategy() -> impl Strategy<Value = Relation> {
     prop::collection::vec(
-        (lifespan_strategy(), segments_strategy(), segments_strategy()),
+        (
+            lifespan_strategy(),
+            segments_strategy(),
+            segments_strategy(),
+        ),
         0..5,
     )
     .prop_map(|tuples| {
@@ -107,13 +110,7 @@ pub fn relation_strategy() -> impl Strategy<Value = Relation> {
             .into_iter()
             .enumerate()
             .map(|(i, (life, v, w))| {
-                build_tuple(
-                    &scheme,
-                    "K",
-                    i as i64,
-                    &life,
-                    &[("V", v), ("W", w)],
-                )
+                build_tuple(&scheme, "K", i as i64, &life, &[("V", v), ("W", w)])
             })
             .collect();
         Relation::with_tuples(scheme, built).expect("distinct keys by construction")
@@ -122,19 +119,15 @@ pub fn relation_strategy() -> impl Strategy<Value = Relation> {
 
 /// Strategy: a valid relation on [`other_scheme`].
 pub fn other_relation_strategy() -> impl Strategy<Value = Relation> {
-    prop::collection::vec((lifespan_strategy(), segments_strategy()), 0..5).prop_map(
-        |tuples| {
-            let scheme = other_scheme();
-            let built: Vec<Tuple> = tuples
-                .into_iter()
-                .enumerate()
-                .map(|(i, (life, x))| {
-                    build_tuple(&scheme, "K2", i as i64, &life, &[("X", x)])
-                })
-                .collect();
-            Relation::with_tuples(scheme, built).expect("distinct keys by construction")
-        },
-    )
+    prop::collection::vec((lifespan_strategy(), segments_strategy()), 0..5).prop_map(|tuples| {
+        let scheme = other_scheme();
+        let built: Vec<Tuple> = tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (life, x))| build_tuple(&scheme, "K2", i as i64, &life, &[("X", x)]))
+            .collect();
+        Relation::with_tuples(scheme, built).expect("distinct keys by construction")
+    })
 }
 
 /// Restricts every tuple to the region where **all** its attributes are

@@ -14,11 +14,14 @@ use std::collections::BTreeMap;
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![Just(Expr::rel("r")), Just(Expr::rel("r2"))];
     leaf.prop_recursive(4, 24, 3, |inner| {
-        let pred = (0i64..4, prop_oneof![
-            Just(Comparator::Eq),
-            Just(Comparator::Le),
-            Just(Comparator::Gt)
-        ])
+        let pred = (
+            0i64..4,
+            prop_oneof![
+                Just(Comparator::Eq),
+                Just(Comparator::Le),
+                Just(Comparator::Gt)
+            ],
+        )
             .prop_map(|(c, op)| Predicate::attr_op_value("V", op, c));
         let lifespan = common::lifespan_strategy().prop_map(LifespanExpr::Literal);
         prop_oneof![
@@ -37,16 +40,12 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 input: Box::new(e),
                 lifespan: l,
             }),
-            inner
-                .clone()
-                .prop_map(|e| e.project(["K", "V", "W"])),
+            inner.clone().prop_map(|e| e.project(["K", "V", "W"])),
             // Binary, scheme-compatible combinations.
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::Intersection(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Difference(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Difference(Box::new(a), Box::new(b))),
         ]
     })
 }

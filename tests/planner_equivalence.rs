@@ -1,0 +1,100 @@
+//! The access-path planner is semantics-preserving: random expression
+//! trees over random relations evaluate identically through the plain
+//! evaluator (sequential scans everywhere) and through
+//! optimize → plan → eval_plan (index scans where available).
+
+mod common;
+
+use common::{other_relation_strategy, relation_strategy};
+use hrdm_core::prelude::*;
+use hrdm_query::{eval_expr, eval_plan, optimize, plan, Expr, IndexedRelations, LifespanExpr};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: a random, well-typed expression over relations `r` (test
+/// scheme, key `K`) and `r2` (other scheme, key `K2`), exercising every
+/// index-eligible shape: literal TIME-SLICEs, key-equality σWHEN/σIF,
+/// NATURAL-JOIN, plus the plain operators.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::rel("r")),
+        Just(Expr::rel("r2")),
+        // NATJOIN of the two base relations: no common attributes, so it
+        // degenerates to a product over lifespan intersections — still a
+        // good planner case (no key probe possible).
+        Just(Expr::NaturalJoin(
+            Box::new(Expr::rel("r")),
+            Box::new(Expr::rel("r2")),
+        )),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        let key_pred = (0i64..6).prop_map(|k| Predicate::eq_value("K", k));
+        let value_pred = (
+            0i64..4,
+            prop_oneof![
+                Just(Comparator::Eq),
+                Just(Comparator::Le),
+                Just(Comparator::Gt)
+            ],
+        )
+            .prop_map(|(c, op)| Predicate::attr_op_value("V", op, c));
+        let mixed_pred = (key_pred.clone(), value_pred.clone()).prop_map(|(k, v)| k.and(v));
+        let pred = prop_oneof![key_pred, value_pred, mixed_pred];
+        let lifespan = common::lifespan_strategy().prop_map(LifespanExpr::Literal);
+        prop_oneof![
+            (inner.clone(), pred.clone()).prop_map(|(e, p)| Expr::SelectWhen {
+                input: Box::new(e),
+                predicate: p,
+            }),
+            (
+                inner.clone(),
+                pred.clone(),
+                prop_oneof![Just(Quantifier::Exists), Just(Quantifier::Forall)]
+            )
+                .prop_map(|(e, p, q)| Expr::SelectIf {
+                    input: Box::new(e),
+                    predicate: p,
+                    quantifier: q,
+                    lifespan: None,
+                }),
+            (inner.clone(), lifespan).prop_map(|(e, l)| Expr::TimeSlice {
+                input: Box::new(e),
+                lifespan: l,
+            }),
+            inner.clone().prop_map(|e| e.project(["K", "V", "W"])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Intersection(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Difference(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn planned_evaluation_matches_plain_evaluation(
+        e in expr_strategy(),
+        r in relation_strategy(),
+        r2 in other_relation_strategy(),
+    ) {
+        // Expressions mixing the two schemes can be ill-typed (e.g. union
+        // of incompatible schemes); both evaluators must then fail alike.
+        let mut map = BTreeMap::new();
+        map.insert("r".to_string(), r);
+        map.insert("r2".to_string(), r2);
+        let plain = eval_expr(&e, &map);
+
+        let src = IndexedRelations::new(map.clone());
+        let (optimized, _) = optimize(&e);
+        let planned = eval_plan(&plan(&optimized, &src), &src);
+
+        match (plain, planned) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(err)) => panic!("plain succeeded, planner failed on {e}: {err:?}"),
+            (Err(err), Ok(_)) => panic!("planner succeeded, plain failed on {e}: {err:?}"),
+        }
+    }
+}
