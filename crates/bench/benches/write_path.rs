@@ -1,0 +1,136 @@
+//! E14 — write-path durability: what one durable write costs.
+//!
+//! Three measurements at 1k / 10k pre-loaded tuples:
+//!
+//! * `wal_append_insert/*` — one insert through an **attached** database:
+//!   pre-validate, append one fsync'd WAL record, apply in memory with
+//!   incremental index maintenance. Cost is O(tuple), independent of the
+//!   relation size.
+//! * `rewrite_on_save/*` — the only durable write the seed supported: one
+//!   insert followed by `save`, which re-encodes and rewrites **every**
+//!   heap file plus the catalog. Cost is O(database).
+//! * `recovery_open/*` — `Database::open` on a directory whose state lives
+//!   entirely in the WAL (no checkpoint): replay throughput.
+//!
+//! Set `HRDM_BENCH_FAST=1` for the CI smoke mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrdm_core::prelude::*;
+use hrdm_storage::Database;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn fast() -> bool {
+    std::env::var_os("HRDM_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Pre-load sizes. The acceptance point is ≥10k tuples; the smoke mode
+/// keeps CI quick.
+fn sizes() -> Vec<usize> {
+    if fast() {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000]
+    }
+}
+
+fn scheme() -> Scheme {
+    let era = Lifespan::interval(0, 1_000_000);
+    Scheme::builder()
+        .key_attr("K", ValueKind::Int, era.clone())
+        .attr("V", HistoricalDomain::int(), era)
+        .build()
+        .unwrap()
+}
+
+fn tup(k: i64) -> Tuple {
+    let lo = k % 900_000;
+    let life = Lifespan::interval(lo, lo + 50);
+    Tuple::builder(life.clone())
+        .constant("K", k)
+        .value("V", TemporalValue::constant(&life, Value::Int(k)))
+        .finish(&scheme())
+        .unwrap()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("hrdm-bench-write-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// A detached database holding `n` tuples (keys `0..n`).
+fn populated(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation("r", scheme()).unwrap();
+    for k in 0..n as i64 {
+        db.insert("r", tup(k)).unwrap();
+    }
+    db
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_path");
+    for &n in &sizes() {
+        // --- WAL-append insert (attached, durable) -----------------------
+        {
+            let dir = bench_dir(&format!("wal-{n}"));
+            populated(n).save(&dir).unwrap();
+            let mut db = Database::open(&dir).unwrap();
+            let mut next_key = 1_000_000i64;
+            group.bench_with_input(BenchmarkId::new("wal_append_insert", n), &n, |b, _| {
+                b.iter(|| {
+                    next_key += 1;
+                    db.insert("r", tup(black_box(next_key))).unwrap();
+                })
+            });
+            drop(db);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        // --- Full-rewrite save per write (the pre-WAL durability) --------
+        {
+            let dir = bench_dir(&format!("save-{n}"));
+            let mut db = populated(n);
+            let mut next_key = 1_000_000i64;
+            group.bench_with_input(BenchmarkId::new("rewrite_on_save", n), &n, |b, _| {
+                b.iter(|| {
+                    next_key += 1;
+                    db.insert("r", tup(black_box(next_key))).unwrap();
+                    db.save(&dir).unwrap();
+                })
+            });
+            std::fs::remove_dir_all(&dir).ok();
+        }
+
+        // --- Recovery: open a database living entirely in its WAL --------
+        {
+            let dir = bench_dir(&format!("recover-{n}"));
+            {
+                let mut db = Database::open(&dir).unwrap();
+                db.create_relation("r", scheme()).unwrap();
+                for k in 0..n as i64 {
+                    db.insert("r", tup(k)).unwrap();
+                }
+                // Dropped without a checkpoint: recovery must replay all n.
+            }
+            group.bench_with_input(BenchmarkId::new("recovery_open", n), &n, |b, _| {
+                b.iter(|| {
+                    let db = Database::open(&dir).unwrap();
+                    black_box(db.relation("r").unwrap().len())
+                })
+            });
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_write_path
+}
+criterion_main!(benches);

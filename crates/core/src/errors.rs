@@ -27,6 +27,10 @@ pub enum HrdmError {
     KeyNotConstant(Attribute),
     /// An operation referenced an attribute the scheme does not contain.
     UnknownAttribute(Attribute),
+    /// An operation referenced a relation the database does not contain.
+    UnknownRelation(String),
+    /// A relation was created under a name the catalog already holds.
+    DuplicateRelation(String),
     /// A value's kind does not match the attribute's declared value domain.
     DomainMismatch {
         /// Attribute whose domain was violated.
@@ -108,6 +112,10 @@ impl fmt::Display for HrdmError {
                 "key attribute `{a}` must be constant-valued (DOM(K) ⊆ CD)"
             ),
             HrdmError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            HrdmError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            HrdmError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
             HrdmError::DomainMismatch {
                 attribute,
                 expected,

@@ -164,6 +164,17 @@ impl Relation {
         Ok(())
     }
 
+    /// Appends a tuple **without** re-running validation or the key check.
+    ///
+    /// For callers that have already performed both (e.g. a storage layer
+    /// that validates before write-ahead logging, then applies) — the
+    /// checked sibling of [`Relation::insert`], in the same spirit as
+    /// [`Relation::from_parts_unchecked`]. Inserting an invalid or
+    /// key-duplicate tuple through this door breaks the relation invariant.
+    pub fn push_unchecked(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
     /// `LS(r)` — the lifespan of the relation: "just
     /// `t1.l ∪ t2.l ∪ … ∪ tn.l`" (paper §3). This is also the result of the
     /// WHEN operator Ω.

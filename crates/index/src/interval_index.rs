@@ -1,8 +1,8 @@
-//! A static interval index over tuple lifespans.
+//! An interval index over tuple lifespans with incremental appends.
 
 use hrdm_time::{Chronon, Interval, Lifespan};
 
-/// A static interval index over the lifespans of a relation's tuples.
+/// An interval index over the lifespans of a relation's tuples.
 ///
 //  Representation: every maximal interval of every lifespan becomes one
 //  `(lo, hi, position)` entry; entries are sorted by `lo` and an implicit
@@ -16,6 +16,14 @@ use hrdm_time::{Chronon, Interval, Lifespan};
 /// which yields `O(log n + k)` per query for `k` reported entries. Because
 /// one lifespan may contribute several intervals, results are deduplicated
 /// before being returned; positions come back sorted ascending.
+///
+/// Appends ([`LifespanIndex::insert`]) go to a small **sorted pending run**
+/// that queries merge on the fly; once the run outgrows a threshold
+/// (√ of the main run, logarithmic-method style) it is merged into the main
+/// sorted arrays and the segment tree is rebuilt. This keeps per-insert
+/// cost amortized sub-linear while queries stay `O(log n + √n + k)` — so a
+/// database can maintain the index *incrementally* across inserts instead
+/// of invalidating and rebuilding it wholesale.
 #[derive(Clone, Debug, Default)]
 pub struct LifespanIndex {
     /// Entry lower bounds, sorted ascending.
@@ -26,6 +34,9 @@ pub struct LifespanIndex {
     positions: Vec<u32>,
     /// `max_hi[node]` for an implicit binary segment tree over `his`.
     max_hi: Vec<i64>,
+    /// Recently appended `(lo, hi, position)` entries, sorted by `lo`;
+    /// merged into the main arrays once larger than [`Self::pending_limit`].
+    pending: Vec<(i64, i64, u32)>,
     /// Number of indexed tuples (positions are `< tuple_count`).
     tuple_count: usize,
 }
@@ -55,13 +66,81 @@ impl LifespanIndex {
             his,
             positions,
             max_hi,
+            pending: Vec::new(),
             tuple_count,
         }
     }
 
-    /// Number of interval entries in the index.
+    /// Appends the lifespan of the tuple at `pos` — which must be the next
+    /// position, i.e. `pos == tuple_count()`; the index only grows in
+    /// relation order.
+    ///
+    /// The entries land in the sorted pending run; when that run exceeds
+    /// [`Self::pending_limit`] it is merged into the main arrays.
+    pub fn insert(&mut self, pos: usize, ls: &Lifespan) {
+        assert_eq!(
+            pos, self.tuple_count,
+            "LifespanIndex::insert positions are append-only"
+        );
+        let pos = u32::try_from(pos).expect("relation fits in u32 positions");
+        for iv in ls.intervals() {
+            let entry = (iv.lo().tick(), iv.hi().tick(), pos);
+            let at = self.pending.partition_point(|e| *e <= entry);
+            self.pending.insert(at, entry);
+        }
+        self.tuple_count += 1;
+        if self.pending.len() > self.pending_limit() {
+            self.merge_pending();
+        }
+    }
+
+    /// How large the pending run may grow before it is merged: the square
+    /// root of the main run (amortized `O(n √n)` total merge work over `n`
+    /// appends, `O(√n)` extra work per query), floored so tiny indexes
+    /// don't merge constantly.
+    fn pending_limit(&self) -> usize {
+        let n = self.los.len();
+        ((n as f64).sqrt() as usize).max(64)
+    }
+
+    /// Merges the pending run into the main sorted arrays and rebuilds the
+    /// segment-tree maxima. Idempotent; cheap when the run is empty.
+    pub fn merge_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let total = self.los.len() + self.pending.len();
+        let mut los = Vec::with_capacity(total);
+        let mut his = Vec::with_capacity(total);
+        let mut positions = Vec::with_capacity(total);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.los.len() || j < self.pending.len() {
+            let take_main = j >= self.pending.len()
+                || (i < self.los.len()
+                    && (self.los[i], self.his[i], self.positions[i]) <= self.pending[j]);
+            if take_main {
+                los.push(self.los[i]);
+                his.push(self.his[i]);
+                positions.push(self.positions[i]);
+                i += 1;
+            } else {
+                let (lo, hi, p) = self.pending[j];
+                los.push(lo);
+                his.push(hi);
+                positions.push(p);
+                j += 1;
+            }
+        }
+        self.max_hi = build_max_tree(&his);
+        self.los = los;
+        self.his = his;
+        self.positions = positions;
+        self.pending.clear();
+    }
+
+    /// Number of interval entries in the index (main run + pending run).
     pub fn entry_count(&self) -> usize {
-        self.los.len()
+        self.los.len() + self.pending.len()
     }
 
     /// Number of indexed tuples.
@@ -71,7 +150,7 @@ impl LifespanIndex {
 
     /// Is the index empty (no intervals at all)?
     pub fn is_empty(&self) -> bool {
-        self.los.is_empty()
+        self.los.is_empty() && self.pending.is_empty()
     }
 
     /// Chronon stabbing: positions of tuples alive at `t`, sorted ascending.
@@ -104,12 +183,19 @@ impl LifespanIndex {
     fn report(&self, a: i64, b: i64, out: &mut Vec<usize>) {
         // Prefix of entries that can overlap: lo <= b.
         let prefix = self.los.partition_point(|&lo| lo <= b);
-        if prefix == 0 {
-            return;
+        if prefix > 0 {
+            // Descend the implicit segment tree over [0, prefix), pruning
+            // subtrees whose max hi < a.
+            self.descend(1, 0, self.los.len(), prefix, a, out);
         }
-        // Descend the implicit segment tree over [0, prefix), pruning
-        // subtrees whose max hi < a.
-        self.descend(1, 0, self.los.len(), prefix, a, out);
+        // The pending run is sorted by lo too: same prefix argument, but
+        // it is short (≤ pending_limit), so a linear filter suffices.
+        let pending_prefix = self.pending.partition_point(|e| e.0 <= b);
+        for &(_, hi, pos) in &self.pending[..pending_prefix] {
+            if hi >= a {
+                out.push(pos as usize);
+            }
+        }
     }
 
     /// Visits tree node `node` covering entry range `[lo, hi)`, restricted
@@ -257,5 +343,59 @@ mod tests {
         let i = idx(spans);
         assert_eq!(i.entry_count(), 3);
         assert_eq!(i.tuple_count(), 2);
+    }
+
+    /// Incremental appends answer exactly like a from-scratch build, at
+    /// every prefix — across the pending run, merges, and fresh appends.
+    #[test]
+    fn incremental_matches_rebuild_at_every_prefix() {
+        // Enough tuples to force several merges past the 64-entry floor.
+        let spans: Vec<Vec<(i64, i64)>> = (0..300)
+            .map(|i| {
+                let base = (i * 7) % 200;
+                if i % 3 == 0 {
+                    vec![(base, base + 10), (base + 40, base + 55)]
+                } else {
+                    vec![(base, base + ((i * 13) % 30))]
+                }
+            })
+            .collect();
+        let lifespans: Vec<Lifespan> = spans.iter().map(|s| Lifespan::of(s)).collect();
+        let mut inc = LifespanIndex::build(std::iter::empty());
+        for (pos, ls) in lifespans.iter().enumerate() {
+            inc.insert(pos, ls);
+            if pos % 37 == 0 || pos == lifespans.len() - 1 {
+                let built = LifespanIndex::build(lifespans[..=pos].iter());
+                assert_eq!(inc.tuple_count(), built.tuple_count());
+                assert_eq!(inc.entry_count(), built.entry_count());
+                for t in [-1, 0, 3, 50, 120, 199, 260] {
+                    assert_eq!(
+                        inc.stab(Chronon::new(t)),
+                        built.stab(Chronon::new(t)),
+                        "stab {t} after {pos} inserts"
+                    );
+                }
+                let w = Lifespan::of(&[(10, 30), (150, 170)]);
+                assert_eq!(inc.overlapping(&w), built.overlapping(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_pending_is_idempotent_and_preserves_answers() {
+        let mut i = idx(&[&[(0, 9)], &[(5, 20)]]);
+        i.insert(2, &Lifespan::interval(15, 30));
+        let before = i.overlapping(&Lifespan::interval(0, 40));
+        i.merge_pending();
+        i.merge_pending();
+        assert_eq!(i.overlapping(&Lifespan::interval(0, 40)), before);
+        assert_eq!(i.entry_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn out_of_order_insert_panics() {
+        let mut i = idx(&[&[(0, 9)]]);
+        i.insert(5, &Lifespan::interval(0, 1));
     }
 }

@@ -37,6 +37,23 @@ impl KeyIndex {
         Some(KeyIndex { attrs, map })
     }
 
+    /// Registers the tuple at `pos` under its constant key value.
+    ///
+    /// Returns `false` when the tuple has no constant value for some key
+    /// attribute — then no equality probe can be answered from this index
+    /// safely any more and the caller must drop it (mirroring
+    /// [`KeyIndex::build`] returning `None` for such relations).
+    #[must_use]
+    pub fn insert(&mut self, pos: usize, tuple: &Tuple) -> bool {
+        match self.probe_key_of(tuple) {
+            Some(key) => {
+                self.map.entry(key).or_default().push(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The indexed key attributes, in key order.
     pub fn attrs(&self) -> &[Attribute] {
         &self.attrs

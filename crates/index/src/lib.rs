@@ -32,15 +32,16 @@ mod key_index;
 pub use interval_index::LifespanIndex;
 pub use key_index::KeyIndex;
 
-use hrdm_core::Relation;
+use hrdm_core::{Relation, Tuple};
 
-/// All access methods built for one relation, at one point in time.
+/// All access methods built for one relation.
 ///
-/// Indexes are *static*: they describe the relation as it was when
-/// [`RelationIndexes::build`] ran, positions referring to
-/// [`Relation::tuples`] order. Mutating the relation invalidates them;
-/// `hrdm-storage::Database` drops and rebuilds per-relation indexes on
-/// insert and rebuilds them on load.
+/// Positions refer to [`Relation::tuples`] order. The indexes track the
+/// relation **incrementally**: appending a tuple to the relation and
+/// calling [`RelationIndexes::insert`] with the same position keeps every
+/// access method current, so `hrdm-storage::Database` never has to drop
+/// them across inserts (wholesale replacement of a relation still rebuilds
+/// via [`RelationIndexes::build`]).
 #[derive(Clone, Debug)]
 pub struct RelationIndexes {
     lifespan: LifespanIndex,
@@ -56,6 +57,27 @@ impl RelationIndexes {
             key: KeyIndex::build(r),
             tuple_count: r.len(),
         }
+    }
+
+    /// Registers the tuple just appended to the relation at position `pos`
+    /// (which must equal [`RelationIndexes::tuple_count`] — positions are
+    /// append-only).
+    ///
+    /// The lifespan index absorbs the tuple through its pending run; the
+    /// key index is updated in place, or dropped if the tuple carries no
+    /// constant key value (then key probes are no longer answerable).
+    pub fn insert(&mut self, pos: usize, tuple: &Tuple) {
+        assert_eq!(
+            pos, self.tuple_count,
+            "RelationIndexes::insert positions are append-only"
+        );
+        self.lifespan.insert(pos, tuple.lifespan());
+        if let Some(key) = &mut self.key {
+            if !key.insert(pos, tuple) {
+                self.key = None;
+            }
+        }
+        self.tuple_count += 1;
     }
 
     /// The lifespan interval index.
@@ -111,6 +133,37 @@ mod tests {
         let key = idx.key().expect("keyed scheme builds a key index");
         assert_eq!(key.lookup(&[Value::Int(2)]), &[1]);
         assert!(key.lookup(&[Value::Int(9)]).is_empty());
+    }
+
+    /// Incremental insert equals a from-scratch build over the grown
+    /// relation — both key and lifespan answers, at every step.
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut idx = RelationIndexes::build(&Relation::new(scheme()));
+        for k in 0..120i64 {
+            let lo = (k * 3) % 70;
+            let t = tup(k, &[(lo, lo + 9)]);
+            idx.insert(tuples.len(), &t);
+            tuples.push(t);
+            if k % 17 == 0 || k == 119 {
+                let r = Relation::with_tuples(scheme(), tuples.clone()).unwrap();
+                let built = RelationIndexes::build(&r);
+                assert_eq!(idx.tuple_count(), built.tuple_count());
+                for t in [0, 5, 33, 69, 78] {
+                    assert_eq!(
+                        idx.lifespan().stab(Chronon::new(t)),
+                        built.lifespan().stab(Chronon::new(t)),
+                        "stab {t} after {k} inserts"
+                    );
+                }
+                let probe = vec![Value::Int(k / 2)];
+                assert_eq!(
+                    idx.key().unwrap().lookup(&probe),
+                    built.key().unwrap().lookup(&probe)
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,11 +5,16 @@
 //! ```
 //!
 //! Reads one query per line (the textual algebra of `hrdm-query`), prints
-//! relations or lifespans. Meta-commands:
+//! relations or lifespans. A directory argument **attaches** durably: every
+//! write is WAL-logged before it is acknowledged, and reopening the
+//! directory recovers it. Writes go through `name := <query>`, which
+//! materializes a query result as a relation. Meta-commands:
 //!
 //! * `\d` — list relations and schemes,
 //! * `\log` — show the schema-evolution log,
 //! * `\explain <query>` — show the optimized plan and rewrite trace,
+//! * `\open <dir>` — attach to a database directory (creating it if new),
+//! * `\checkpoint` — fold the WAL into fresh heap files (atomic commit),
 //! * `\q` — quit.
 
 use hrdm_query::{evaluate_planned, explain_with_access, parse_query, Query, QueryResult};
@@ -19,22 +24,30 @@ use std::io::{self, BufRead, Write};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let db = match args.get(1) {
-        Some(dir) => match Database::load(std::path::Path::new(dir)) {
+        Some(dir) => match Database::open(std::path::Path::new(dir)) {
             Ok(db) => db,
             Err(e) => {
-                eprintln!("failed to load database from {dir}: {e}");
+                eprintln!("failed to open database at {dir}: {e}");
                 std::process::exit(1);
             }
         },
         None => {
-            eprintln!("usage: hrdmq <database-dir>   (no dir given: starting empty)");
+            eprintln!("usage: hrdmq <database-dir>   (no dir given: starting detached)");
             Database::new()
         }
     };
+    let mut db = db;
 
     let names: Vec<&str> = db.relation_names().collect();
     println!("hrdmq — {} relation(s): {}", names.len(), names.join(", "));
-    println!("type a query, \\d for schemas, \\q to quit");
+    match db.attached_dir() {
+        Some(dir) => println!(
+            "attached to {} (durable; \\checkpoint to compact)",
+            dir.display()
+        ),
+        None => println!("detached (in-memory; \\open <dir> to attach durably)"),
+    }
+    println!("type a query, `name := query` to materialize, \\d for schemas, \\q to quit");
 
     let stdin = io::stdin();
     let mut out = io::stdout();
@@ -70,6 +83,27 @@ fn main() {
             }
             continue;
         }
+        if line == "\\checkpoint" {
+            match db.checkpoint() {
+                Ok(()) => println!(
+                    "checkpointed (epoch {})",
+                    db.epoch().expect("attached after checkpoint")
+                ),
+                Err(e) => println!("checkpoint error: {e}"),
+            }
+            continue;
+        }
+        if let Some(dir) = line.strip_prefix("\\open ") {
+            match Database::open(std::path::Path::new(dir.trim())) {
+                Ok(opened) => {
+                    db = opened;
+                    let n = db.relation_names().count();
+                    println!("attached to {} — {n} relation(s)", dir.trim());
+                }
+                Err(e) => println!("open error: {e}"),
+            }
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("\\explain ") {
             match parse_query(rest) {
                 Ok(Query::Relation(e)) => {
@@ -77,6 +111,32 @@ fn main() {
                 }
                 Ok(_) => println!("(only relation-sorted queries have a relational plan)"),
                 Err(e) => println!("parse error: {e}"),
+            }
+            continue;
+        }
+
+        // `name := <query>`: materialize a query result as a relation,
+        // through the durable write path when attached.
+        if let Some((name, query_text)) = split_assignment(line) {
+            match parse_query(query_text) {
+                Err(e) => println!("parse error: {e}"),
+                Ok(q) => match evaluate_planned(&q, &db) {
+                    Ok(QueryResult::Relation(r)) => {
+                        let tuples = r.len();
+                        let result = if db.relation(name).is_some() {
+                            db.put_relation(name, r)
+                        } else {
+                            db.create_relation(name, r.scheme().clone())
+                                .and_then(|()| db.put_relation(name, r))
+                        };
+                        match result {
+                            Ok(()) => println!("{name} := {tuples} tuple(s)"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Ok(_) => println!("(only relation-sorted queries can be materialized)"),
+                    Err(e) => println!("error: {e}"),
+                },
             }
             continue;
         }
@@ -97,5 +157,22 @@ fn main() {
                 }
             }
         }
+    }
+}
+
+/// Splits `name := query` into its halves; `None` when the line is not an
+/// assignment. The name must look like an identifier so queries containing
+/// `:=` in string literals are not misparsed.
+fn split_assignment(line: &str) -> Option<(&str, &str)> {
+    let (lhs, rhs) = line.split_once(":=")?;
+    let name = lhs.trim();
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Some((name, rhs.trim()))
+    } else {
+        None
     }
 }

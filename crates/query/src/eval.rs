@@ -6,7 +6,7 @@ use hrdm_core::algebra::{
     project, select_if, select_when, theta_join, time_join, timeslice, timeslice_dynamic, union,
     union_o, when,
 };
-use hrdm_core::{Attribute, HrdmError, Relation, Result};
+use hrdm_core::{HrdmError, Relation, Result};
 use hrdm_time::Lifespan;
 
 /// Anything that can resolve relation names — a database, a test map, …
@@ -65,7 +65,7 @@ pub fn eval_expr(e: &Expr, src: &dyn RelationSource) -> Result<Relation> {
         Expr::Relation(name) => src
             .relation(name)
             .cloned()
-            .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(name.as_str()))),
+            .ok_or_else(|| HrdmError::UnknownRelation(name.clone())),
         Expr::Union(a, b) => union(&eval_expr(a, src)?, &eval_expr(b, src)?),
         Expr::Intersection(a, b) => intersection(&eval_expr(a, src)?, &eval_expr(b, src)?),
         Expr::Difference(a, b) => difference(&eval_expr(a, src)?, &eval_expr(b, src)?),

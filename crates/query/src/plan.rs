@@ -531,7 +531,7 @@ pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
             let a = eval_plan(left, src)?;
             let b = src
                 .relation(right)
-                .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(right.as_str())))?;
+                .ok_or_else(|| HrdmError::UnknownRelation(right.clone()))?;
             match src.indexes(right).and_then(RelationIndexes::key) {
                 Some(key_idx) => indexed_natural_join(&a, b, key_idx),
                 None => natural_join(&a, b), // index dropped since planning
@@ -541,7 +541,7 @@ pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
             let a = eval_plan(left, src)?;
             let b = src
                 .relation(right)
-                .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(right.as_str())))?;
+                .ok_or_else(|| HrdmError::UnknownRelation(right.clone()))?;
             match src.indexes(right) {
                 Some(idx) => indexed_time_join(&a, b, attr, idx),
                 None => time_join(&a, b, attr),
@@ -569,7 +569,7 @@ pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
 fn eval_scan(name: &str, access: &AccessPath, src: &dyn IndexSource) -> Result<Relation> {
     let r = src
         .relation(name)
-        .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(name)))?;
+        .ok_or_else(|| HrdmError::UnknownRelation(name.to_string()))?;
     match (access, src.indexes(name)) {
         (AccessPath::SeqScan, _) | (_, None) => Ok(r.clone()),
         (AccessPath::LifespanIndex { window }, Some(idx)) => {

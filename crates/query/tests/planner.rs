@@ -282,6 +282,54 @@ fn cross_kind_key_literal_does_not_probe_the_key_index() {
     assert_same_results("SELECT-WHEN (E = 1) (evt)");
 }
 
+/// Interleaved inserts and queries against a real `Database`: the indexes
+/// are maintained incrementally, so EXPLAIN keeps reporting `IndexScan`
+/// after every write (no wholesale invalidation) and the planned results
+/// keep matching the plain evaluator's.
+#[test]
+fn interleaved_inserts_keep_index_scans_and_equivalence() {
+    let mut db = hrdm_storage::Database::new();
+    let scheme = Scheme::builder()
+        .key_attr("K", ValueKind::Int, Lifespan::interval(0, 1000))
+        .attr("V", HistoricalDomain::int(), Lifespan::interval(0, 1000))
+        .build()
+        .unwrap();
+    db.create_relation("r", scheme.clone()).unwrap();
+
+    let queries = [
+        "TIMESLICE [5..25] (r)",
+        "SELECT-WHEN (K = 7) (r)",
+        "SELECT-IF (K = 3 AND V <= 400, EXISTS) (r)",
+    ];
+    for k in 0..40i64 {
+        let lo = (k * 11) % 300;
+        let life = Lifespan::interval(lo, lo + 20);
+        let t = Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(k * 13)))
+            .finish(&scheme)
+            .unwrap();
+        db.insert("r", t).unwrap();
+
+        // No `ensure_indexes`, no rebuild: the write path alone must have
+        // kept the indexes live.
+        for q in &queries {
+            let e = parse_expr(q).unwrap();
+            let (optimized, _) = optimize(&e);
+            let p = plan(&optimized, &db);
+            let text = explain_plan(&p);
+            assert!(
+                text.contains("IndexScan"),
+                "after {} inserts, {q} lost its index scan:\n{text}",
+                k + 1
+            );
+            let via_plan = eval_plan(&p, &db).unwrap();
+            let via_scan = eval_expr(&e, &db).unwrap();
+            assert_eq!(via_plan, via_scan, "{q} after {} inserts", k + 1);
+        }
+    }
+}
+
 #[test]
 fn without_indexes_everything_is_seq_scan() {
     // A source that has relations but no indexes: the planner degrades.

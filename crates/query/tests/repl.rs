@@ -82,6 +82,57 @@ fn repl_reports_errors_and_survives() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `name := query` writes through the durable path: the materialized
+/// relation must survive a "crash" (the REPL process exiting without a
+/// checkpoint) purely via the WAL, and `\checkpoint` must fold it in.
+#[test]
+fn repl_materializes_durably_and_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-durable-{}", std::process::id()));
+    build_db(&dir);
+
+    let out = run_repl(
+        &dir,
+        "rich := SELECT-WHEN (SALARY = 30000) (emp)\n\\d\n\\q\n",
+    );
+    assert!(
+        out.contains("attached to"),
+        "missing attach banner in {out}"
+    );
+    assert!(
+        out.contains("rich := 1 tuple(s)"),
+        "missing materialization ack in {out}"
+    );
+
+    // A fresh REPL (post-"crash") still sees it: recovered from the WAL.
+    let out = run_repl(&dir, "\\d\nWHEN (rich)\n\\checkpoint\n\\q\n");
+    assert!(out.contains("rich:"), "materialized relation lost in {out}");
+    assert!(out.contains("{[10,30]}"), "missing lifespan in {out}");
+    assert!(
+        out.contains("checkpointed (epoch 1)"),
+        "missing checkpoint ack in {out}"
+    );
+
+    // And again after the checkpoint (now from the heap files).
+    let out = run_repl(&dir, "WHEN (rich)\n\\q\n");
+    assert!(out.contains("{[10,30]}"), "lost after checkpoint in {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An unknown relation in a query is reported as an unknown *relation*,
+/// not as an unknown attribute.
+#[test]
+fn repl_reports_unknown_relation() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-unknown-{}", std::process::id()));
+    build_db(&dir);
+    let out = run_repl(&dir, "WHEN (ghost)\n\\q\n");
+    assert!(
+        out.contains("unknown relation `ghost`"),
+        "wrong error rendering in {out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn repl_explains_plans() {
     let dir = std::env::temp_dir().join(format!("hrdmq-explain-{}", std::process::id()));

@@ -83,7 +83,7 @@ impl fmt::Display for EvolutionEvent {
 }
 
 /// The catalog: relation name → current scheme, plus the evolution log.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct Catalog {
     schemes: BTreeMap<String, Scheme>,
     log: Vec<EvolutionEvent>,
@@ -98,7 +98,7 @@ impl Catalog {
     /// Registers a relation scheme.
     pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<()> {
         if self.schemes.contains_key(name) {
-            return Err(HrdmError::DuplicateAttribute(Attribute::new(name)));
+            return Err(HrdmError::DuplicateRelation(name.to_string()));
         }
         self.schemes.insert(name.to_string(), scheme);
         self.log.push(EvolutionEvent::Created {
@@ -134,7 +134,7 @@ impl Catalog {
         let scheme = self
             .schemes
             .get(relation)
-            .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(relation)))?;
+            .ok_or_else(|| HrdmError::UnknownRelation(relation.to_string()))?;
         if scheme.contains(&attribute) {
             return Err(HrdmError::DuplicateAttribute(attribute));
         }
@@ -202,7 +202,7 @@ impl Catalog {
         let scheme = self
             .schemes
             .get(relation)
-            .ok_or_else(|| HrdmError::UnknownAttribute(Attribute::new(relation)))?;
+            .ok_or_else(|| HrdmError::UnknownRelation(relation.to_string()))?;
         let def = scheme
             .attr(attribute)
             .ok_or_else(|| HrdmError::UnknownAttribute(attribute.clone()))?;

@@ -1,21 +1,46 @@
-//! A persistent database of historical relations.
+//! A persistent database of historical relations, with a crash-safe
+//! attached mode.
 //!
-//! Layout on disk: one directory per database, containing `catalog.hrdm`
-//! (magic + version + catalog + CRC) and one `<relation>.heap` heap file per
-//! relation, each record an encoded tuple.
+//! Layout on disk: one directory per database, containing
+//!
+//! * `catalog.hrdm` — magic + version + **checkpoint epoch** + catalog +
+//!   CRC; renamed into place atomically, so it is the commit point of
+//!   every checkpoint;
+//! * `<relation>.<epoch>.heap` — one heap file per relation per
+//!   checkpoint epoch, each record an encoded tuple;
+//! * `wal.<epoch>.log` — the write-ahead log of mutations since the
+//!   checkpoint that produced `epoch`.
+//!
+//! ## Durability protocol
+//!
+//! A **detached** database ([`Database::new`]) lives in memory; [`Database::save`]
+//! exports an epoch-0 snapshot. An **attached** database ([`Database::open`])
+//! appends every acknowledged mutation to the WAL (fsync'd) *before* it is
+//! applied in memory — mutations are pre-validated so the log only ever
+//! holds applicable records. [`Database::open`] recovers by loading the
+//! checkpointed state and replaying the WAL tail, truncating torn tails.
+//!
+//! [`Database::checkpoint`] folds the WAL into fresh heap files under the
+//! *next* epoch, then commits by atomically renaming the new catalog into
+//! place (tmp file + fsync + rename). A kill at any instant leaves either
+//! the old epoch's files + intact WAL, or the new epoch's files + empty
+//! WAL — both loadable, neither losing an acknowledged write.
 
 use crate::catalog::Catalog;
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::heap::HeapFile;
 use crate::page::crc32;
-use hrdm_core::{HrdmError, Relation, Result, Scheme, Tuple};
+use crate::wal::{Wal, WalRecord};
+use hrdm_core::{Attribute, HistoricalDomain, HrdmError, Relation, Scheme, Tuple};
 use hrdm_index::RelationIndexes;
+use hrdm_time::Chronon;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"HRDM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const CATALOG_FILE: &str = "catalog.hrdm";
 
 /// Errors from database persistence.
 #[derive(Debug)]
@@ -28,6 +53,17 @@ pub enum DbError {
     Model(HrdmError),
     /// Bad file header or checksum.
     BadFile(String),
+    /// The operation does not apply in the database's current attachment
+    /// mode (e.g. `checkpoint` on a detached database, or writing through
+    /// a poisoned WAL).
+    Mode(String),
+    /// `put_relation` contents whose scheme differs from the catalog's
+    /// current scheme for that relation (persistence is catalog-driven:
+    /// such contents could not survive a checkpoint + open round trip).
+    SchemeMismatch {
+        /// The target relation.
+        relation: String,
+    },
 }
 
 impl std::fmt::Display for DbError {
@@ -37,6 +73,11 @@ impl std::fmt::Display for DbError {
             DbError::Codec(e) => write!(f, "codec error: {e}"),
             DbError::Model(e) => write!(f, "model error: {e}"),
             DbError::BadFile(what) => write!(f, "bad database file: {what}"),
+            DbError::Mode(what) => write!(f, "mode error: {what}"),
+            DbError::SchemeMismatch { relation } => write!(
+                f,
+                "new contents for `{relation}` do not carry its catalog scheme"
+            ),
         }
     }
 }
@@ -59,24 +100,63 @@ impl From<HrdmError> for DbError {
     }
 }
 
+/// The durable half of an attached database: where it lives, which
+/// checkpoint epoch its heap files carry, and the open WAL.
+struct Attachment {
+    dir: PathBuf,
+    epoch: u64,
+    wal: Wal,
+    /// Set when a WAL append failed after the in-memory state advanced:
+    /// memory is ahead of the log, so further durable writes are refused
+    /// until a [`Database::checkpoint`] resynchronizes disk with memory.
+    poisoned: bool,
+}
+
+/// How a pre-validated insert should be applied.
+enum InsertDisposition {
+    /// Append the tuple (and maintain the indexes).
+    Apply,
+    /// Keyless set semantics: the tuple is already present — silent no-op,
+    /// nothing to log.
+    DuplicateNoop,
+}
+
 /// An in-memory database of historical relations with directory-based
 /// persistence — the physical level a downstream user actually touches.
 #[derive(Default)]
 pub struct Database {
     catalog: Catalog,
     relations: BTreeMap<String, Relation>,
-    /// Access methods per relation (`hrdm-index`). An entry exists only
-    /// while it is **valid**: mutations drop the relation's entry, and
-    /// [`Database::ensure_indexes`] / [`Database::build_indexes`] rebuild.
-    /// Indexes are derived data, so they are not persisted — [`Database::load`]
-    /// rebuilds them from the heap files.
+    /// Access methods per relation (`hrdm-index`), maintained
+    /// **incrementally**: `insert` updates them in place,
+    /// `put_relation`/`create_relation`/[`Database::load`] (re)build them.
+    /// An absent entry (only possible after out-of-band mutation through
+    /// [`Database::relation`]-adjacent APIs) makes the planner fall back
+    /// to sequential scans; [`Database::ensure_indexes`] rebuilds it.
     indexes: BTreeMap<String, RelationIndexes>,
+    /// `Some` when attached to a directory (durable mode).
+    attachment: Option<Attachment>,
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty, detached database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Is this database attached to a directory (durable mode)?
+    pub fn is_attached(&self) -> bool {
+        self.attachment.is_some()
+    }
+
+    /// The attached directory, if any.
+    pub fn attached_dir(&self) -> Option<&Path> {
+        self.attachment.as_ref().map(|a| a.dir.as_path())
+    }
+
+    /// The current checkpoint epoch of an attached database.
+    pub fn epoch(&self) -> Option<u64> {
+        self.attachment.as_ref().map(|a| a.epoch)
     }
 
     /// The catalog (schemes + evolution log).
@@ -86,6 +166,11 @@ impl Database {
 
     /// Mutable catalog access for schema-evolution operations.
     ///
+    /// **Detached use only**: edits through this handle bypass the WAL, so
+    /// on an attached database they are not durable until the next
+    /// [`Database::checkpoint`]. Prefer [`Database::add_attribute`] /
+    /// [`Database::drop_attribute`] / [`Database::re_add_attribute`].
+    ///
     /// Note: evolving a scheme does not retroactively invalidate stored
     /// tuples; values outside a *shrunk* ALS become invisible to `vls`, per
     /// the paper's semantics.
@@ -93,14 +178,31 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Creates a relation.
-    pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<()> {
-        self.catalog.create_relation(name, scheme.clone())?;
+    /// Creates a relation. On an attached database the creation is
+    /// write-ahead logged (fsync'd) before it is acknowledged.
+    pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<(), DbError> {
+        self.check_writable()?;
+        if self.catalog.scheme(name).is_some() {
+            return Err(DbError::Model(HrdmError::DuplicateRelation(
+                name.to_string(),
+            )));
+        }
+        self.log(&WalRecord::CreateRelation {
+            name: name.to_string(),
+            scheme: scheme.clone(),
+        })?;
+        self.apply_create_unchecked(name, scheme);
+        Ok(())
+    }
+
+    fn apply_create_unchecked(&mut self, name: &str, scheme: Scheme) {
+        self.catalog
+            .create_relation(name, scheme.clone())
+            .expect("pre-validated: relation name is fresh");
         let relation = Relation::new(scheme);
         self.indexes
             .insert(name.to_string(), RelationIndexes::build(&relation));
         self.relations.insert(name.to_string(), relation);
-        Ok(())
     }
 
     /// The relation named `name`.
@@ -108,44 +210,224 @@ impl Database {
         self.relations.get(name)
     }
 
-    /// Replaces the contents of `name` (e.g. with a query result).
+    /// Replaces the contents of `name` (e.g. with a query result),
+    /// rebuilding its indexes. On an attached database the replacement is
+    /// write-ahead logged (fsync'd) before it is acknowledged.
     ///
     /// The relation must have been registered via
-    /// [`Database::create_relation`] first — persistence is driven by the
-    /// catalog, so an unregistered relation would silently not survive a
-    /// save/load round trip.
-    pub fn put_relation(&mut self, name: &str, relation: Relation) -> Result<()> {
-        if self.catalog.scheme(name).is_none() {
-            return Err(HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)));
+    /// [`Database::create_relation`] first, and the new contents must
+    /// carry the catalog's current scheme for `name` — persistence is
+    /// driven by the catalog, so divergent contents would be rejected
+    /// when a checkpoint's heap files are re-validated on the next open
+    /// (bricking the database), and an unregistered relation would
+    /// silently not survive a save/load round trip.
+    pub fn put_relation(&mut self, name: &str, relation: Relation) -> Result<(), DbError> {
+        self.check_writable()?;
+        let Some(scheme) = self.catalog.scheme(name) else {
+            return Err(DbError::Model(HrdmError::UnknownRelation(name.to_string())));
+        };
+        if relation.scheme() != scheme {
+            return Err(DbError::SchemeMismatch {
+                relation: name.to_string(),
+            });
         }
-        self.indexes.remove(name); // contents changed wholesale
-        self.relations.insert(name.to_string(), relation);
+        // Borrowed logging path: the record is encoded straight from the
+        // relation, so no O(n) clone just to feed the WAL.
+        if let Some(att) = &mut self.attachment {
+            if let Err(e) = att.wal.append_put_relation(name, &relation) {
+                att.poisoned = true;
+                return Err(DbError::Io(e));
+            }
+        }
+        self.apply_put_unchecked(name, relation);
         Ok(())
     }
 
-    /// Inserts a tuple into `name`, invalidating the relation's indexes
-    /// (they are rebuilt on the next [`Database::ensure_indexes`]).
-    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<()> {
+    fn apply_put_unchecked(&mut self, name: &str, relation: Relation) {
+        self.indexes
+            .insert(name.to_string(), RelationIndexes::build(&relation));
+        self.relations.insert(name.to_string(), relation);
+    }
+
+    /// Inserts a tuple into `name`, maintaining the relation's indexes
+    /// incrementally (the planner keeps its index scans between writes).
+    /// On an attached database the insert is write-ahead logged (fsync'd)
+    /// before it is acknowledged.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<(), DbError> {
+        self.check_writable()?;
+        match self.validate_insert(name, &tuple)? {
+            InsertDisposition::DuplicateNoop => Ok(()),
+            InsertDisposition::Apply => {
+                // Borrowed logging path: the record is encoded straight
+                // from the tuple, so neither a detached database (where
+                // logging is a no-op) nor an attached one pays a clone.
+                if let Some(att) = &mut self.attachment {
+                    if let Err(e) = att.wal.append_insert(name, &tuple) {
+                        att.poisoned = true;
+                        return Err(DbError::Io(e));
+                    }
+                }
+                self.apply_insert_unchecked(name, tuple);
+                Ok(())
+            }
+        }
+    }
+
+    /// The checks [`Relation::insert`] would run, performed *before* the
+    /// WAL append so the log only records applicable mutations. Uses the
+    /// maintained key index for an `O(1)` duplicate probe where possible.
+    fn validate_insert(&self, name: &str, tuple: &Tuple) -> Result<InsertDisposition, DbError> {
         let rel = self
             .relations
-            .get_mut(name)
-            .ok_or_else(|| HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)))?;
-        rel.insert(tuple)?;
-        self.indexes.remove(name);
+            .get(name)
+            .ok_or_else(|| DbError::Model(HrdmError::UnknownRelation(name.to_string())))?;
+        tuple.validate(rel.scheme()).map_err(DbError::Model)?;
+        if rel.scheme().key().is_empty() {
+            if rel.contains_tuple(tuple) {
+                return Ok(InsertDisposition::DuplicateNoop);
+            }
+            return Ok(InsertDisposition::Apply);
+        }
+        let key = tuple.key_values(rel.scheme()).map_err(DbError::Model)?;
+        let duplicate = match self.indexes.get(name).and_then(RelationIndexes::key) {
+            Some(key_idx) => !key_idx.lookup(&key).is_empty(),
+            None => rel.find_by_key(&key).is_some(),
+        };
+        if duplicate {
+            return Err(DbError::Model(HrdmError::KeyViolation {
+                key: format!(
+                    "({})",
+                    key.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            }));
+        }
+        Ok(InsertDisposition::Apply)
+    }
+
+    fn apply_insert_unchecked(&mut self, name: &str, tuple: Tuple) {
+        let rel = self.relations.get_mut(name).expect("pre-validated");
+        if let Some(idx) = self.indexes.get_mut(name) {
+            idx.insert(rel.len(), &tuple);
+        }
+        rel.push_unchecked(tuple);
+    }
+
+    /// Adds a fresh attribute to `relation`, write-ahead logged when
+    /// attached. See [`Catalog::add_attribute`].
+    pub fn add_attribute(
+        &mut self,
+        relation: &str,
+        attribute: Attribute,
+        domain: HistoricalDomain,
+        from: Chronon,
+        to: Chronon,
+    ) -> Result<(), DbError> {
+        let record = WalRecord::AddAttribute {
+            relation: relation.to_string(),
+            attribute: attribute.clone(),
+            domain,
+            from,
+            to,
+        };
+        self.evolve(relation, record, |cat| {
+            cat.add_attribute(relation, attribute, domain, from, to)
+        })
+    }
+
+    /// Drops an attribute of `relation` as of `at`, write-ahead logged when
+    /// attached. See [`Catalog::drop_attribute`].
+    pub fn drop_attribute(
+        &mut self,
+        relation: &str,
+        attribute: &Attribute,
+        at: Chronon,
+    ) -> Result<(), DbError> {
+        let record = WalRecord::DropAttribute {
+            relation: relation.to_string(),
+            attribute: attribute.clone(),
+            at,
+        };
+        self.evolve(relation, record, |cat| {
+            cat.drop_attribute(relation, attribute, at)
+        })
+    }
+
+    /// Re-adds a dropped attribute of `relation` over `[from, to]`,
+    /// write-ahead logged when attached. See [`Catalog::re_add_attribute`].
+    pub fn re_add_attribute(
+        &mut self,
+        relation: &str,
+        attribute: &Attribute,
+        from: Chronon,
+        to: Chronon,
+    ) -> Result<(), DbError> {
+        let record = WalRecord::ReAddAttribute {
+            relation: relation.to_string(),
+            attribute: attribute.clone(),
+            from,
+            to,
+        };
+        self.evolve(relation, record, |cat| {
+            cat.re_add_attribute(relation, attribute, from, to)
+        })
+    }
+
+    /// Runs a catalog evolution op durably: dry-run on a catalog clone (so
+    /// the WAL only ever records applicable ops), log, commit the clone,
+    /// and resync the live relation to the evolved scheme.
+    fn evolve<F>(&mut self, relation: &str, record: WalRecord, op: F) -> Result<(), DbError>
+    where
+        F: FnOnce(&mut Catalog) -> hrdm_core::Result<()>,
+    {
+        self.check_writable()?;
+        let mut trial = self.catalog.clone();
+        op(&mut trial).map_err(DbError::Model)?;
+        self.log(&record)?;
+        self.catalog = trial;
+        self.resync_relation_scheme(relation);
         Ok(())
     }
 
-    /// The current, valid indexes of `name`, if built. `None` means either
-    /// an unknown relation or indexes invalidated by a mutation — callers
+    /// Rebuilds the live relation of `name` under the catalog's current
+    /// scheme, clipping stored values to the (possibly shrunk) attribute
+    /// lifespans — exactly what a checkpoint + open round trip would
+    /// produce. Without this, inserts validated against a stale relation
+    /// scheme could be acknowledged yet fail WAL replay against the
+    /// evolved scheme, leaving an unopenable database.
+    fn resync_relation_scheme(&mut self, name: &str) {
+        let Some(scheme) = self.catalog.scheme(name) else {
+            return;
+        };
+        let Some(rel) = self.relations.get(name) else {
+            return;
+        };
+        if rel.scheme() == scheme {
+            return;
+        }
+        let scheme = scheme.clone();
+        let tuples: Vec<Tuple> = rel.iter().map(|t| t.clipped_to_scheme(&scheme)).collect();
+        let rebuilt = Relation::from_parts_unchecked(scheme, tuples);
+        // Positions, lifespans, and (constant) key values are untouched by
+        // clipping, but rebuild for clarity — evolution is rare.
+        self.indexes
+            .insert(name.to_string(), RelationIndexes::build(&rebuilt));
+        self.relations.insert(name.to_string(), rebuilt);
+    }
+
+    /// The current, valid indexes of `name`, if built. `None` means an
+    /// unknown relation (or an index dropped out-of-band) — callers
     /// (the query planner) must fall back to a sequential scan.
     pub fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
         self.indexes.get(name)
     }
 
     /// Ensures `name`'s indexes exist and are current, building if needed.
-    pub fn ensure_indexes(&mut self, name: &str) -> Result<&RelationIndexes> {
+    pub fn ensure_indexes(&mut self, name: &str) -> hrdm_core::Result<&RelationIndexes> {
         if !self.relations.contains_key(name) {
-            return Err(HrdmError::UnknownAttribute(hrdm_core::Attribute::new(name)));
+            return Err(HrdmError::UnknownRelation(name.to_string()));
         }
         if !self.indexes.contains_key(name) {
             let built = RelationIndexes::build(&self.relations[name]);
@@ -168,102 +450,427 @@ impl Database {
         self.relations.keys().map(String::as_str)
     }
 
-    /// Persists the database into `dir` (created if needed).
-    pub fn save(&self, dir: &Path) -> std::result::Result<(), DbError> {
-        std::fs::create_dir_all(dir)?;
-        // Catalog file: MAGIC | VERSION | payload-len | payload | crc.
-        let mut enc = Encoder::new();
-        self.catalog.encode(&mut enc);
-        let payload = enc.finish();
-        let mut file = Vec::with_capacity(payload.len() + 16);
-        file.extend_from_slice(MAGIC);
-        file.extend_from_slice(&VERSION.to_le_bytes());
-        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        file.extend_from_slice(&payload);
-        file.extend_from_slice(&crc32(&payload).to_le_bytes());
-        std::fs::write(dir.join("catalog.hrdm"), &file)?;
+    /// Refuses durable writes once the WAL is poisoned (memory ahead of
+    /// the log after an append failure) — a checkpoint resynchronizes.
+    fn check_writable(&self) -> Result<(), DbError> {
+        match &self.attachment {
+            Some(att) if att.poisoned => Err(DbError::Mode(
+                "write-ahead log poisoned by an earlier I/O error; checkpoint() to recover".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
 
+    /// Appends `record` to the WAL (fsync'd) when attached; a no-op when
+    /// detached. An append failure poisons the attachment.
+    fn log(&mut self, record: &WalRecord) -> Result<(), DbError> {
+        if let Some(att) = &mut self.attachment {
+            if let Err(e) = att.wal.append(record) {
+                att.poisoned = true;
+                return Err(DbError::Io(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches to `dir` (created if missing), recovering whatever state is
+    /// there: the last checkpoint's catalog + heap files, plus a replay of
+    /// the WAL tail. Torn WAL tails are truncated away; stray files from
+    /// aborted checkpoints are removed. The returned database is durable:
+    /// every acknowledged write survives a crash.
+    pub fn open(dir: &Path) -> Result<Database, DbError> {
+        std::fs::create_dir_all(dir)?;
+        let (mut db, epoch) = match read_checkpoint(dir)? {
+            Some((db, epoch)) => (db, epoch),
+            None => (Database::new(), 0),
+        };
+        // Build indexes over the checkpointed state *before* replay: the
+        // replayed inserts then maintain them incrementally (O(1) key
+        // probes instead of a linear scan per replayed record).
+        db.build_indexes();
+        let wal_file = wal_path(dir, epoch);
+        if wal_file.exists() {
+            let (records, torn_at) = Wal::replay(&wal_file)?;
+            if let Some(offset) = torn_at {
+                Wal::truncate(&wal_file, offset)?;
+            }
+            for record in records {
+                db.apply_record(record)?;
+            }
+        } else {
+            Wal::create_empty(&wal_file)?;
+        }
+        cleanup_stray_files(dir, epoch, &db);
+        let wal = Wal::open(&wal_file)?;
+        db.attachment = Some(Attachment {
+            dir: dir.to_path_buf(),
+            epoch,
+            wal,
+            poisoned: false,
+        });
+        Ok(db)
+    }
+
+    /// Replays one WAL record against the in-memory state. Records were
+    /// pre-validated before logging, so failures indicate a log that does
+    /// not belong to this checkpoint — reported, never panicking.
+    fn apply_record(&mut self, record: WalRecord) -> Result<(), DbError> {
+        match record {
+            WalRecord::CreateRelation { name, scheme } => {
+                if self.catalog.scheme(&name).is_some() {
+                    return Err(DbError::BadFile(format!(
+                        "WAL creates relation `{name}` that the checkpoint already has"
+                    )));
+                }
+                self.apply_create_unchecked(&name, scheme);
+                Ok(())
+            }
+            WalRecord::Insert { relation, tuple } => {
+                match self.validate_insert(&relation, &tuple)? {
+                    InsertDisposition::DuplicateNoop => {}
+                    InsertDisposition::Apply => self.apply_insert_unchecked(&relation, tuple),
+                }
+                Ok(())
+            }
+            WalRecord::PutRelation { relation, contents } => {
+                let Some(scheme) = self.catalog.scheme(&relation) else {
+                    return Err(DbError::Model(HrdmError::UnknownRelation(relation)));
+                };
+                // put_relation guarantees this at log time; a divergent
+                // record means the log doesn't belong to this catalog.
+                if contents.scheme() != scheme {
+                    return Err(DbError::SchemeMismatch { relation });
+                }
+                self.apply_put_unchecked(&relation, contents);
+                Ok(())
+            }
+            WalRecord::AddAttribute {
+                relation,
+                attribute,
+                domain,
+                from,
+                to,
+            } => {
+                self.catalog
+                    .add_attribute(&relation, attribute, domain, from, to)
+                    .map_err(DbError::Model)?;
+                self.resync_relation_scheme(&relation);
+                Ok(())
+            }
+            WalRecord::DropAttribute {
+                relation,
+                attribute,
+                at,
+            } => {
+                self.catalog
+                    .drop_attribute(&relation, &attribute, at)
+                    .map_err(DbError::Model)?;
+                self.resync_relation_scheme(&relation);
+                Ok(())
+            }
+            WalRecord::ReAddAttribute {
+                relation,
+                attribute,
+                from,
+                to,
+            } => {
+                self.catalog
+                    .re_add_attribute(&relation, &attribute, from, to)
+                    .map_err(DbError::Model)?;
+                self.resync_relation_scheme(&relation);
+                Ok(())
+            }
+        }
+    }
+
+    /// Folds the WAL into a fresh checkpoint: heap files and an empty WAL
+    /// are written under the next epoch, then the new catalog is renamed
+    /// into place — the atomic commit point. A kill at any instant leaves
+    /// a loadable database that has lost no acknowledged write. Clears a
+    /// poisoned WAL (disk is resynchronized with memory).
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        let (dir, old_epoch) = match &self.attachment {
+            Some(att) => (att.dir.clone(), att.epoch),
+            None => {
+                return Err(DbError::Mode(
+                    "checkpoint() requires an attached database; use open()".into(),
+                ))
+            }
+        };
+        let new_epoch = old_epoch + 1;
+        self.write_state(&dir, new_epoch)?;
+        // Commit happened (catalog renamed): switch the live attachment.
+        // From here on, recovery reads epoch e+1 — if the new WAL cannot
+        // be opened, appending to the *old* one would lose writes, so the
+        // attachment must be poisoned, not left silently on the old epoch.
+        let wal = match Wal::open(&wal_path(&dir, new_epoch)) {
+            Ok(wal) => wal,
+            Err(e) => {
+                if let Some(att) = &mut self.attachment {
+                    att.poisoned = true;
+                }
+                return Err(DbError::Io(e));
+            }
+        };
+        self.attachment = Some(Attachment {
+            dir: dir.clone(),
+            epoch: new_epoch,
+            wal,
+            poisoned: false,
+        });
+        cleanup_stray_files(&dir, new_epoch, self);
+        Ok(())
+    }
+
+    /// Persists the database into `dir` (created if needed) as a fresh
+    /// epoch-0 snapshot, all files written atomically (tmp + fsync +
+    /// rename for the catalog commit point).
+    ///
+    /// Detached export only: an attached database must use
+    /// [`Database::checkpoint`], which also rotates its live WAL.
+    pub fn save(&self, dir: &Path) -> Result<(), DbError> {
+        if let Some(att) = &self.attachment {
+            if same_dir(&att.dir, dir) {
+                return Err(DbError::Mode(
+                    "save() into the attached directory would bypass the WAL; use checkpoint()"
+                        .into(),
+                ));
+            }
+        }
+        std::fs::create_dir_all(dir)?;
+        self.write_state(dir, 0)?;
+        cleanup_stray_files(dir, 0, self);
+        Ok(())
+    }
+
+    /// Writes the complete current state under `epoch`: heap files, an
+    /// empty WAL, then the catalog via tmp + fsync + rename (the commit
+    /// point — files of a new epoch are invisible until it lands).
+    fn write_state(&self, dir: &Path, epoch: u64) -> Result<(), DbError> {
         for (name, rel) in &self.relations {
-            let mut heap = HeapFile::create(&heap_path(dir, name))?;
+            let final_path = heap_path(dir, name, epoch);
+            let tmp_path = tmp_sibling(&final_path);
+            let mut heap = HeapFile::create(&tmp_path)?;
             for tuple in rel.iter() {
                 let mut e = Encoder::new();
                 e.put_tuple(tuple);
                 heap.insert(&e.finish())?;
             }
             heap.sync()?;
+            std::fs::rename(&tmp_path, &final_path)?;
         }
+        Wal::create_empty(&wal_path(dir, epoch))?;
+
+        // Catalog file: MAGIC | VERSION | EPOCH | payload-len | payload | crc.
+        let mut enc = Encoder::new();
+        self.catalog.encode(&mut enc);
+        let payload = enc.finish();
+        let mut file = Vec::with_capacity(payload.len() + 24);
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        file.extend_from_slice(&epoch.to_le_bytes());
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let final_path = dir.join(CATALOG_FILE);
+        let tmp_path = tmp_sibling(&final_path);
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            io::Write::write_all(&mut f, &file)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        // Make the renames themselves durable before reporting success.
+        fsync_dir(dir);
         Ok(())
     }
 
-    /// Loads a database from `dir`, verifying checksums and re-validating
-    /// every tuple against its (possibly evolved) scheme.
-    pub fn load(dir: &Path) -> std::result::Result<Database, DbError> {
-        let bytes = std::fs::read(dir.join("catalog.hrdm"))?;
-        if bytes.len() < 16 || &bytes[0..4] != MAGIC {
-            return Err(DbError::BadFile("missing HRDM magic".into()));
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(DbError::BadFile(format!("unsupported version {version}")));
-        }
-        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        if bytes.len() < 16 + len + 4 {
-            return Err(DbError::BadFile("truncated catalog".into()));
-        }
-        let payload = &bytes[16..16 + len];
-        let stored_crc =
-            u32::from_le_bytes(bytes[16 + len..16 + len + 4].try_into().expect("4 bytes"));
-        if crc32(payload) != stored_crc {
-            return Err(DbError::BadFile("catalog checksum mismatch".into()));
-        }
-        let catalog = Catalog::decode(&mut Decoder::new(payload))?;
-
-        let mut relations = BTreeMap::new();
-        let names: Vec<String> = catalog.relations().map(str::to_string).collect();
-        for name in names {
-            let scheme = catalog
-                .scheme(&name)
-                .expect("catalog lists its own relations")
-                .clone();
-            let path = heap_path(dir, &name);
-            let mut tuples = Vec::new();
-            if path.exists() {
-                let heap = HeapFile::open(&path)?;
-                for (_, rec) in heap.scan() {
-                    // Clip to the (possibly evolved) scheme: values outside a
-                    // shrunk ALS become invisible, not invalid.
-                    let tuple = Decoder::new(rec).get_tuple()?.clipped_to_scheme(&scheme);
-                    tuple.validate(&scheme).map_err(DbError::Model)?;
-                    tuples.push(tuple);
-                }
+    /// Loads a database from `dir` read-only (no attachment): the last
+    /// checkpoint plus every intact WAL record — the same state
+    /// [`Database::open`] recovers, but without truncating torn tails on
+    /// disk or holding the WAL open.
+    pub fn load(dir: &Path) -> Result<Database, DbError> {
+        let (mut db, epoch) = match read_checkpoint(dir)? {
+            Some(found) => found,
+            // A never-checkpointed attached directory has no catalog yet —
+            // its whole state lives in `wal.0.log`, exactly like `open`.
+            None if wal_path(dir, 0).exists() => (Database::new(), 0),
+            None => {
+                return Err(DbError::Io(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "no database here: neither catalog.hrdm nor wal.0.log",
+                )))
             }
-            relations.insert(name, Relation::from_parts_unchecked(scheme, tuples));
-        }
-        let mut db = Database {
-            catalog,
-            relations,
-            indexes: BTreeMap::new(),
         };
-        // Indexes are derived data: rebuild rather than persist, so a load
-        // always starts with valid access paths for every relation.
+        // Indexes are derived data: rebuild rather than persist (before
+        // replay, so replayed inserts maintain them incrementally) — a
+        // load always starts with valid access paths for every relation.
         db.build_indexes();
+        let wal_file = wal_path(dir, epoch);
+        if wal_file.exists() {
+            let (records, _torn) = Wal::replay(&wal_file)?;
+            for record in records {
+                db.apply_record(record)?;
+            }
+        }
         Ok(db)
     }
 }
 
-fn heap_path(dir: &Path, relation: &str) -> PathBuf {
-    // Relation names are caller-controlled; keep the file name tame.
-    let safe: String = relation
-        .chars()
-        .map(|c| {
-            if c.is_alphanumeric() || c == '_' {
-                c
-            } else {
-                '_'
+/// Reads the checkpointed state (catalog + heap files) of `dir` and its
+/// epoch, or `None` when no catalog exists yet. Verifies checksums and
+/// re-validates every tuple against its (possibly evolved) scheme.
+fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
+    let bytes = match std::fs::read(dir.join(CATALOG_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(DbError::Io(e)),
+    };
+    if bytes.len() < 24 || &bytes[0..4] != MAGIC {
+        return Err(DbError::BadFile("missing HRDM magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(DbError::BadFile(format!("unsupported version {version}")));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    if bytes.len() < 24 + len + 4 {
+        return Err(DbError::BadFile("truncated catalog".into()));
+    }
+    let payload = &bytes[24..24 + len];
+    let stored_crc = u32::from_le_bytes(bytes[24 + len..24 + len + 4].try_into().expect("4 bytes"));
+    if crc32(payload) != stored_crc {
+        return Err(DbError::BadFile("catalog checksum mismatch".into()));
+    }
+    let catalog = Catalog::decode(&mut Decoder::new(payload))?;
+
+    let mut relations = BTreeMap::new();
+    let names: Vec<String> = catalog.relations().map(str::to_string).collect();
+    for name in names {
+        let scheme = catalog
+            .scheme(&name)
+            .expect("catalog lists its own relations")
+            .clone();
+        let path = heap_path(dir, &name, epoch);
+        let mut tuples = Vec::new();
+        if path.exists() {
+            let heap = HeapFile::open(&path)?;
+            for (_, rec) in heap.scan() {
+                // Clip to the (possibly evolved) scheme: values outside a
+                // shrunk ALS become invisible, not invalid.
+                let tuple = Decoder::new(rec).get_tuple()?.clipped_to_scheme(&scheme);
+                tuple.validate(&scheme).map_err(DbError::Model)?;
+                tuples.push(tuple);
             }
-        })
+        }
+        relations.insert(name, Relation::from_parts_unchecked(scheme, tuples));
+    }
+    let db = Database {
+        catalog,
+        relations,
+        indexes: BTreeMap::new(),
+        attachment: None,
+    };
+    Ok(Some((db, epoch)))
+}
+
+/// The WAL of checkpoint epoch `epoch`.
+fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal.{epoch}.log"))
+}
+
+/// A sibling temp path for atomic writes (`<file>.tmp`).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().expect("file path").to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Best-effort directory fsync, making renames durable (a no-op on
+/// platforms where directories cannot be opened).
+fn fsync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn same_dir(a: &Path, b: &Path) -> bool {
+    match (std::fs::canonicalize(a), std::fs::canonicalize(b)) {
+        (Ok(ca), Ok(cb)) => ca == cb,
+        _ => a == b,
+    }
+}
+
+/// Removes *database* files from other epochs and leftover `.tmp`
+/// siblings — debris of aborted checkpoints (before their commit point)
+/// or of superseded epochs (after it). Only names matching the database's
+/// own patterns (`wal.<epoch>.log`, `<name>.<epoch>.heap`, their `.tmp`
+/// siblings, `catalog.hrdm.tmp`) are ever touched: a user file like
+/// `build.log` sitting in the directory is not ours to delete. Best
+/// effort: failures leave garbage, never break the database.
+fn cleanup_stray_files(dir: &Path, epoch: u64, db: &Database) {
+    let current: Vec<PathBuf> = db
+        .relation_names()
+        .map(|name| heap_path(dir, name, epoch))
+        .chain([wal_path(dir, epoch), dir.join(CATALOG_FILE)])
         .collect();
-    dir.join(format!("{safe}.heap"))
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if is_database_file(name) && !current.iter().any(|c| c == &path) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Does `name` match one of the file patterns this module itself writes?
+fn is_database_file(name: &str) -> bool {
+    let base = name.strip_suffix(".tmp").unwrap_or(name);
+    if base == CATALOG_FILE {
+        // `catalog.hrdm` itself is always in the keep-list; only its
+        // `.tmp` sibling is sweepable debris.
+        return true;
+    }
+    let epoch_of = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if let Some(rest) = base
+        .strip_prefix("wal.")
+        .and_then(|r| r.strip_suffix(".log"))
+    {
+        return epoch_of(rest);
+    }
+    if let Some(rest) = base.strip_suffix(".heap") {
+        // `<escaped-name>.<epoch>` — the escaped name never contains `.`.
+        return rest.rsplit_once('.').is_some_and(|(_, e)| epoch_of(e));
+    }
+    false
+}
+
+/// The heap file of `relation` under checkpoint `epoch`.
+///
+/// Relation names are caller-controlled, so they are escaped **injectively**
+/// into a tame file name: alphanumerics pass through, `_` doubles to `__`,
+/// and any other character becomes `_<hex>_`. Distinct relation names can
+/// therefore never collide on one heap file (`"emp dept"` → `emp_20_dept`,
+/// `"emp_dept"` → `emp__dept`).
+fn heap_path(dir: &Path, relation: &str, epoch: u64) -> PathBuf {
+    let mut safe = String::with_capacity(relation.len());
+    for c in relation.chars() {
+        if c.is_ascii_alphanumeric() {
+            safe.push(c);
+        } else if c == '_' {
+            safe.push_str("__");
+        } else {
+            use std::fmt::Write;
+            let _ = write!(safe, "_{:x}_", c as u32);
+        }
+    }
+    dir.join(format!("{safe}.{epoch}.heap"))
 }
 
 #[cfg(test)]
@@ -302,6 +909,7 @@ mod tests {
     #[test]
     fn save_load_round_trip() {
         let dir = tmp("roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
         let mut db = Database::new();
         db.create_relation("emp", emp_scheme()).unwrap();
         db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
@@ -319,13 +927,20 @@ mod tests {
         let mut db = Database::new();
         db.create_relation("emp", emp_scheme()).unwrap();
         db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
-        assert!(db.insert("emp", emp("John", 30, 40, 9)).is_err());
-        assert!(db.insert("nope", emp("X", 0, 1, 1)).is_err());
+        assert!(matches!(
+            db.insert("emp", emp("John", 30, 40, 9)),
+            Err(DbError::Model(HrdmError::KeyViolation { .. }))
+        ));
+        assert!(matches!(
+            db.insert("nope", emp("X", 0, 1, 1)),
+            Err(DbError::Model(HrdmError::UnknownRelation(_)))
+        ));
     }
 
     #[test]
     fn corrupted_catalog_detected() {
         let dir = tmp("corrupt");
+        std::fs::remove_dir_all(&dir).ok();
         let mut db = Database::new();
         db.create_relation("emp", emp_scheme()).unwrap();
         db.save(&dir).unwrap();
@@ -341,13 +956,36 @@ mod tests {
         std::fs::remove_dir_all(dir).ok();
     }
 
+    /// A catalog cut short anywhere must be rejected as `BadFile`, never
+    /// silently half-loaded (the old `fs::write` save path could leave
+    /// such a file after a crash; the atomic rename makes it unreachable,
+    /// but load still defends against it).
+    #[test]
+    fn truncated_catalog_rejected_at_every_length() {
+        let dir = tmp("truncated-catalog");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.save(&dir).unwrap();
+        let path = dir.join("catalog.hrdm");
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1, 4, 8, 16, 23, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                matches!(Database::load(&dir), Err(DbError::BadFile(_))),
+                "cut at {cut} must be BadFile"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
     #[test]
     fn schema_evolution_persists() {
         let dir = tmp("evolve");
+        std::fs::remove_dir_all(&dir).ok();
         let mut db = Database::new();
         db.create_relation("emp", emp_scheme()).unwrap();
-        db.catalog_mut()
-            .drop_attribute("emp", &"SALARY".into(), hrdm_time::Chronon::new(50))
+        db.drop_attribute("emp", &"SALARY".into(), hrdm_time::Chronon::new(50))
             .unwrap();
         db.save(&dir).unwrap();
         let back = Database::load(&dir).unwrap();
@@ -366,29 +1004,23 @@ mod tests {
     #[test]
     fn indexes_track_mutations_and_survive_load() {
         let dir = tmp("indexes");
+        std::fs::remove_dir_all(&dir).ok();
         let mut db = Database::new();
         db.create_relation("emp", emp_scheme()).unwrap();
         // Fresh relation: index exists (empty).
         assert_eq!(db.indexes("emp").unwrap().tuple_count(), 0);
 
-        // Insert invalidates…
+        // Insert maintains the indexes incrementally — no invalidation.
         db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
-        assert!(db.indexes("emp").is_none());
-        // …and ensure_indexes rebuilds over current contents.
-        assert_eq!(db.ensure_indexes("emp").unwrap().tuple_count(), 1);
-        let stab = db
-            .indexes("emp")
-            .unwrap()
-            .lifespan()
-            .stab(hrdm_time::Chronon::new(5));
+        let idx = db.indexes("emp").expect("insert keeps indexes valid");
+        assert_eq!(idx.tuple_count(), 1);
+        let stab = idx.lifespan().stab(hrdm_time::Chronon::new(5));
         assert_eq!(stab, vec![0]);
 
-        // put_relation also invalidates.
+        // put_relation rebuilds eagerly.
         let rel = db.relation("emp").unwrap().clone();
         db.put_relation("emp", rel).unwrap();
-        assert!(db.indexes("emp").is_none());
-        db.build_indexes();
-        assert!(db.indexes("emp").is_some());
+        assert_eq!(db.indexes("emp").unwrap().tuple_count(), 1);
 
         // A loaded database has indexes for every relation, rebuilt from
         // the heap files.
@@ -414,7 +1046,10 @@ mod tests {
     #[test]
     fn ensure_indexes_unknown_relation_errors() {
         let mut db = Database::new();
-        assert!(db.ensure_indexes("ghost").is_err());
+        assert!(matches!(
+            db.ensure_indexes("ghost"),
+            Err(HrdmError::UnknownRelation(_))
+        ));
         assert!(db.indexes("ghost").is_none());
     }
 
@@ -424,6 +1059,273 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("catalog.hrdm"), b"not a database").unwrap();
         assert!(matches!(Database::load(&dir), Err(DbError::BadFile(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// The heap-path escaping is injective: `"emp dept"` and `"emp_dept"`
+    /// used to collide on `emp_dept.heap`, one silently overwriting the
+    /// other on save.
+    #[test]
+    fn similar_relation_names_do_not_collide_on_disk() {
+        assert_ne!(
+            heap_path(Path::new("/d"), "emp dept", 0),
+            heap_path(Path::new("/d"), "emp_dept", 0)
+        );
+        assert_ne!(
+            heap_path(Path::new("/d"), "a_b", 0),
+            heap_path(Path::new("/d"), "a__b", 0)
+        );
+
+        let dir = tmp("collide");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = Database::new();
+        db.create_relation("emp dept", emp_scheme()).unwrap();
+        db.create_relation("emp_dept", emp_scheme()).unwrap();
+        db.insert("emp dept", emp("Spaced", 0, 10, 1)).unwrap();
+        db.insert("emp_dept", emp("Scored", 0, 10, 2)).unwrap();
+        db.save(&dir).unwrap();
+        let back = Database::load(&dir).unwrap();
+        assert_eq!(back.relation("emp dept").unwrap().len(), 1);
+        assert_eq!(back.relation("emp_dept").unwrap().len(), 1);
+        assert_eq!(
+            back.relation("emp dept").unwrap().tuples()[0]
+                .key_values(&emp_scheme())
+                .unwrap(),
+            vec![Value::str("Spaced")]
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_insert_reopen_recovers_from_wal_alone() {
+        let dir = tmp("wal-recover");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_relation("emp", emp_scheme()).unwrap();
+            db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+            // No checkpoint, no save: the database is dropped ("killed").
+        }
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.relation("emp").unwrap().len(), 1);
+        assert!(back.is_attached());
+        assert_eq!(back.epoch(), Some(0));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rotates_epoch_and_truncates_wal() {
+        let dir = tmp("checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = Database::open(&dir).unwrap();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.epoch(), Some(1));
+        assert!(wal_path(&dir, 1).exists());
+        assert_eq!(std::fs::metadata(wal_path(&dir, 1)).unwrap().len(), 0);
+        assert!(!wal_path(&dir, 0).exists(), "old epoch's WAL is cleaned");
+
+        db.insert("emp", emp("Mary", 5, 30, 30_000)).unwrap();
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.relation("emp").unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// The stray-file sweep touches only the database's own file
+    /// patterns: a user's `build.log` / `notes.tmp` / `data.heap` in the
+    /// same directory must survive open, checkpoint, and save.
+    #[test]
+    fn cleanup_never_deletes_unrelated_user_files() {
+        let dir = tmp("user-files");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in ["build.log", "notes.tmp", "data.heap", "wal.bak.log"] {
+            std::fs::write(dir.join(f), b"precious").unwrap();
+        }
+        let mut db = Database::open(&dir).unwrap();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        db.checkpoint().unwrap();
+        drop(db);
+        let _ = Database::open(&dir).unwrap();
+        for f in ["build.log", "notes.tmp", "data.heap", "wal.bak.log"] {
+            assert!(dir.join(f).exists(), "{f} was deleted");
+        }
+        // While actual debris is swept (checkpoint moved us to epoch 1).
+        assert!(!dir.join("wal.0.log").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// A never-checkpointed attached directory (WAL only, no catalog) is
+    /// loadable read-only, recovering the same state `open` recovers.
+    #[test]
+    fn load_reads_wal_only_directory() {
+        let dir = tmp("load-wal-only");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_relation("emp", emp_scheme()).unwrap();
+            db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        }
+        assert!(!dir.join(CATALOG_FILE).exists());
+        let back = Database::load(&dir).unwrap();
+        assert!(!back.is_attached());
+        assert_eq!(back.relation("emp").unwrap().len(), 1);
+
+        // An empty directory is still not a database.
+        let empty = tmp("load-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(Database::load(&empty).is_err());
+        std::fs::remove_dir_all(dir).ok();
+        std::fs::remove_dir_all(empty).ok();
+    }
+
+    /// Contents whose scheme differs from the catalog's are rejected up
+    /// front: accepting them would poison the next checkpoint (heap
+    /// tuples that fail re-validation against the catalog scheme on
+    /// open — a permanently unopenable database).
+    #[test]
+    fn put_relation_with_divergent_scheme_rejected() {
+        let dir = tmp("put-mismatch");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = Database::open(&dir).unwrap();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        let wider = Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, Lifespan::interval(0, 100))
+            .attr(
+                "SALARY",
+                HistoricalDomain::int(),
+                Lifespan::interval(0, 100),
+            )
+            .attr("BONUS", HistoricalDomain::int(), Lifespan::interval(0, 100))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            db.put_relation("emp", Relation::new(wider)),
+            Err(DbError::SchemeMismatch { .. })
+        ));
+        // Matching contents go through, and the database survives the
+        // checkpoint + open round trip.
+        let life = Lifespan::interval(0, 10);
+        let t = Tuple::builder(life.clone())
+            .constant("NAME", "Ann")
+            .value("SALARY", TemporalValue::constant(&life, Value::Int(7)))
+            .finish(&emp_scheme())
+            .unwrap();
+        db.put_relation("emp", Relation::with_tuples(emp_scheme(), vec![t]).unwrap())
+            .unwrap();
+        db.checkpoint().unwrap();
+        drop(db);
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.relation("emp").unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn save_into_attached_dir_refused() {
+        let dir = tmp("save-attached");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = Database::open(&dir).unwrap();
+        assert!(matches!(db.save(&dir), Err(DbError::Mode(_))));
+        let other = tmp("save-attached-other");
+        std::fs::remove_dir_all(&other).ok();
+        db.save(&other).unwrap(); // exporting elsewhere is fine
+        std::fs::remove_dir_all(dir).ok();
+        std::fs::remove_dir_all(other).ok();
+    }
+
+    #[test]
+    fn checkpoint_requires_attachment() {
+        let mut db = Database::new();
+        assert!(matches!(db.checkpoint(), Err(DbError::Mode(_))));
+    }
+
+    /// The brick scenario: evolution must resync the live relation's
+    /// scheme, so post-evolution inserts are validated against the same
+    /// scheme recovery will use. Otherwise an insert accepted under a
+    /// stale scheme is acknowledged, fsync'd — and then fails WAL replay,
+    /// leaving the database permanently unopenable.
+    #[test]
+    fn evolution_resyncs_live_scheme_so_recovery_never_bricks() {
+        let dir = tmp("evolve-sync");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_relation("emp", emp_scheme()).unwrap();
+            db.insert("emp", emp("John", 0, 80, 25_000)).unwrap();
+            db.drop_attribute("emp", &"SALARY".into(), Chronon::new(50))
+                .unwrap();
+            // The live relation carries the evolved scheme, its stored
+            // values clipped to the shrunk ALS.
+            let rel = db.relation("emp").unwrap();
+            assert_eq!(
+                rel.scheme().als(&"SALARY".into()).unwrap(),
+                &Lifespan::interval(0, 49)
+            );
+            db.checkpoint().unwrap();
+
+            // An insert whose SALARY strays past the evolved ALS is
+            // rejected up front — not acknowledged and lost at replay.
+            assert!(matches!(
+                db.insert("emp", emp("Mary", 0, 80, 30_000)),
+                Err(DbError::Model(HrdmError::ValueOutsideLifespan { .. }))
+            ));
+            // A conforming insert (built against the evolved scheme) is
+            // accepted and fsync'd.
+            let evolved = db.catalog().scheme("emp").unwrap().clone();
+            let life = Lifespan::interval(0, 80);
+            let mary = Tuple::builder(life)
+                .constant("NAME", "Mary")
+                .value(
+                    "SALARY",
+                    TemporalValue::constant(&Lifespan::interval(0, 40), Value::Int(30_000)),
+                )
+                .finish(&evolved)
+                .unwrap();
+            db.insert("emp", mary).unwrap();
+            // Kill without checkpoint.
+        }
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.relation("emp").unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn durable_evolution_replays() {
+        let dir = tmp("evolve-wal");
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_relation("emp", emp_scheme()).unwrap();
+            db.add_attribute(
+                "emp",
+                Attribute::new("DEPT"),
+                HistoricalDomain::string(),
+                Chronon::new(0),
+                Chronon::new(100),
+            )
+            .unwrap();
+            db.drop_attribute("emp", &Attribute::new("DEPT"), Chronon::new(40))
+                .unwrap();
+            db.re_add_attribute(
+                "emp",
+                &Attribute::new("DEPT"),
+                Chronon::new(60),
+                Chronon::new(90),
+            )
+            .unwrap();
+        }
+        let back = Database::open(&dir).unwrap();
+        let als = back
+            .catalog()
+            .scheme("emp")
+            .unwrap()
+            .als(&Attribute::new("DEPT"))
+            .unwrap()
+            .clone();
+        assert_eq!(als, Lifespan::of(&[(0, 39), (60, 90)]));
+        assert_eq!(back.catalog().log().len(), 4);
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -13,8 +13,12 @@
 //!   attribute-lifespan edits of the paper's Fig. 6 (drop an attribute at
 //!   `t2`, re-add it at `t3`) are first-class catalog operations with an
 //!   audit log;
-//! * [`database`] — a named collection of historical relations with
-//!   save/load persistence built on all of the above.
+//! * [`wal`] — a checksummed write-ahead log with torn-tail recovery;
+//! * [`database`] — a named collection of historical relations built on
+//!   all of the above, with two persistence modes: detached
+//!   save/load snapshots, and a durable **attached** mode
+//!   ([`Database::open`]) that write-ahead logs every mutation and
+//!   checkpoints atomically ([`Database::checkpoint`]).
 
 #![warn(missing_docs)]
 
@@ -27,7 +31,7 @@ pub mod wal;
 
 pub use catalog::{Catalog, EvolutionEvent};
 pub use codec::{CodecError, Decoder, Encoder};
-pub use database::Database;
+pub use database::{Database, DbError};
 pub use heap::HeapFile;
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use wal::{Wal, WalRecord};

@@ -1,21 +1,28 @@
 //! A write-ahead log for incremental durability.
 //!
 //! [`crate::Database::save`] rewrites whole heap files; the WAL is its
-//! incremental companion: every mutation is appended as a checksummed record
-//! before being applied in memory, and [`Wal::replay`] restores the sequence
-//! after a crash. Torn tails (a partially-written final record) are detected
-//! by the per-record CRC and truncated away — the classical recovery
-//! contract.
+//! incremental companion: an attached [`crate::Database`] (see
+//! [`crate::Database::open`]) appends every mutation as a checksummed,
+//! fsync'd record before acknowledging it, and [`Wal::replay`] restores the
+//! sequence after a crash. Torn tails (a partially-written final record)
+//! are detected by the per-record CRC and truncated away — the classical
+//! recovery contract. A checkpoint rotates to a fresh log (see the
+//! epoch protocol in [`crate::Database::checkpoint`]).
 //!
 //! Record layout: `len: u32 | payload | crc32(payload): u32`.
 
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::page::crc32;
-use hrdm_core::{Attribute, HistoricalDomain, Scheme, Tuple};
+use hrdm_core::{Attribute, HistoricalDomain, Relation, Scheme, Tuple};
 use hrdm_time::Chronon;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+
+/// Record tags shared by the owned encoder ([`WalRecord::encode`]) and the
+/// borrowed fast paths ([`Wal::append_insert`], [`Wal::append_put_relation`]).
+const TAG_INSERT: u8 = 1;
+const TAG_PUT_RELATION: u8 = 5;
 
 /// One logged mutation.
 #[derive(Clone, PartialEq, Debug)]
@@ -56,6 +63,28 @@ pub enum WalRecord {
         /// Drop time.
         at: Chronon,
     },
+    /// A dropped attribute was re-added over a period (schema evolution).
+    ReAddAttribute {
+        /// Target relation.
+        relation: String,
+        /// Re-added attribute.
+        attribute: Attribute,
+        /// First chronon of the new period.
+        from: Chronon,
+        /// Last chronon of the new period.
+        to: Chronon,
+    },
+    /// A relation's contents were replaced wholesale (e.g. with a query
+    /// result). Carries the replacement's scheme so the record is
+    /// self-describing on replay; `Database::put_relation` guarantees it
+    /// equals the catalog scheme at log time (divergent contents could
+    /// not survive a checkpoint + open round trip).
+    PutRelation {
+        /// Target relation.
+        relation: String,
+        /// The replacement contents.
+        contents: Relation,
+    },
 }
 
 impl WalRecord {
@@ -67,7 +96,7 @@ impl WalRecord {
                 e.put_scheme(scheme);
             }
             WalRecord::Insert { relation, tuple } => {
-                e.put_u8(1);
+                e.put_u8(TAG_INSERT);
                 e.put_str(relation);
                 e.put_tuple(tuple);
             }
@@ -95,6 +124,23 @@ impl WalRecord {
                 e.put_str(attribute.name());
                 e.put_chronon(*at);
             }
+            WalRecord::ReAddAttribute {
+                relation,
+                attribute,
+                from,
+                to,
+            } => {
+                e.put_u8(4);
+                e.put_str(relation);
+                e.put_str(attribute.name());
+                e.put_chronon(*from);
+                e.put_chronon(*to);
+            }
+            WalRecord::PutRelation { relation, contents } => {
+                e.put_u8(TAG_PUT_RELATION);
+                e.put_str(relation);
+                e.put_relation(contents);
+            }
         }
     }
 
@@ -104,7 +150,7 @@ impl WalRecord {
                 name: d.get_str()?.to_string(),
                 scheme: d.get_scheme()?,
             }),
-            1 => Ok(WalRecord::Insert {
+            TAG_INSERT => Ok(WalRecord::Insert {
                 relation: d.get_str()?.to_string(),
                 tuple: d.get_tuple()?,
             }),
@@ -119,6 +165,16 @@ impl WalRecord {
                 relation: d.get_str()?.to_string(),
                 attribute: Attribute::new(d.get_str()?),
                 at: d.get_chronon()?,
+            }),
+            4 => Ok(WalRecord::ReAddAttribute {
+                relation: d.get_str()?.to_string(),
+                attribute: Attribute::new(d.get_str()?),
+                from: d.get_chronon()?,
+                to: d.get_chronon()?,
+            }),
+            TAG_PUT_RELATION => Ok(WalRecord::PutRelation {
+                relation: d.get_str()?.to_string(),
+                contents: d.get_relation()?,
             }),
             tag => Err(CodecError::BadTag("WalRecord", tag)),
         }
@@ -146,7 +202,32 @@ impl Wal {
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
         let mut e = Encoder::new();
         record.encode(&mut e);
-        let payload = e.finish();
+        self.append_payload(e.finish())
+    }
+
+    /// Appends a [`WalRecord::Insert`] encoded straight from a borrowed
+    /// tuple — same bytes as the owned record, without cloning the tuple.
+    pub fn append_insert(&mut self, relation: &str, tuple: &Tuple) -> io::Result<()> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_INSERT);
+        e.put_str(relation);
+        e.put_tuple(tuple);
+        self.append_payload(e.finish())
+    }
+
+    /// Appends a [`WalRecord::PutRelation`] encoded straight from a
+    /// borrowed relation — same bytes as the owned record, without the
+    /// caller having to clone the (possibly large) contents first.
+    pub fn append_put_relation(&mut self, relation: &str, contents: &Relation) -> io::Result<()> {
+        let mut e = Encoder::new();
+        e.put_u8(TAG_PUT_RELATION);
+        e.put_str(relation);
+        e.put_relation(contents);
+        self.append_payload(e.finish())
+    }
+
+    /// Frames (`len | payload | crc`), writes, and fsyncs one payload.
+    fn append_payload(&mut self, payload: Vec<u8>) -> io::Result<()> {
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
@@ -194,6 +275,14 @@ impl Wal {
     pub fn truncate(path: &Path, offset: u64) -> io::Result<()> {
         let file = OpenOptions::new().write(true).open(path)?;
         file.set_len(offset)?;
+        file.sync_all()
+    }
+
+    /// Creates (or truncates) an **empty**, fsync'd log at `path` — the
+    /// fresh log a checkpoint installs for the next epoch.
+    pub fn create_empty(path: &Path) -> io::Result<()> {
+        let file = File::create(path)?;
+        file.set_len(0)?;
         file.sync_all()
     }
 }
@@ -247,6 +336,25 @@ mod tests {
                 relation: "r".into(),
                 attribute: Attribute::new("V"),
                 at: Chronon::new(25),
+            },
+            WalRecord::ReAddAttribute {
+                relation: "r".into(),
+                attribute: Attribute::new("V"),
+                from: Chronon::new(30),
+                to: Chronon::new(50),
+            },
+            WalRecord::PutRelation {
+                relation: "r".into(),
+                contents: {
+                    let s = scheme();
+                    let life = Lifespan::interval(2, 8);
+                    let t = Tuple::builder(life.clone())
+                        .constant("K", 7i64)
+                        .value("V", TemporalValue::constant(&life, Value::Int(1)))
+                        .finish(&s)
+                        .unwrap();
+                    Relation::with_tuples(s, vec![t]).unwrap()
+                },
             },
         ]
     }

@@ -5,8 +5,9 @@
 //! * aggregates over a historical relation are themselves **functions of
 //!   time** (`COUNT(emp)` is the time-varying head-count) — the direction
 //!   HRDM's successors (HSQL, TSQL2) took;
-//! * the physical level gains a **WAL**: every mutation is logged before it
-//!   is applied, and replay reconstructs the database after a crash.
+//! * the physical level is **crash-safe**: an attached `Database` logs every
+//!   mutation to its WAL before applying it, and `Database::open` replays
+//!   the log to reconstruct the database after a crash.
 //!
 //! ```sh
 //! cargo run --example payroll
@@ -14,7 +15,6 @@
 
 use hrdm::core::algebra::{aggregate_over_time, AggregateOp};
 use hrdm::prelude::*;
-use hrdm::storage::{Wal, WalRecord};
 
 fn scheme() -> Scheme {
     let era = Lifespan::interval(0, 100);
@@ -76,60 +76,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         avg_well_paid.at(Chronon::new(25))
     );
 
-    // ---- Write-ahead logging ----------------------------------------------
-    let wal_path = std::env::temp_dir().join(format!("hrdm-payroll-{}.wal", std::process::id()));
-    std::fs::remove_file(&wal_path).ok();
+    // ---- Crash-safe persistence -------------------------------------------
+    // An *attached* database write-ahead logs every mutation (fsync'd)
+    // before acknowledging it; reopening the directory replays the log —
+    // the manual WAL replay this example used to hand-roll now lives
+    // inside `Database::open`.
+    let dir = std::env::temp_dir().join(format!("hrdm-payroll-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
     {
-        let mut wal = Wal::open(&wal_path)?;
-        wal.append(&WalRecord::CreateRelation {
-            name: "emp".into(),
-            scheme: scheme(),
-        })?;
+        let mut db = hrdm::storage::Database::open(&dir)?;
+        db.create_relation("emp", scheme())?;
         for t in emps.iter() {
-            wal.append(&WalRecord::Insert {
-                relation: "emp".into(),
-                tuple: t.clone(),
-            })?;
+            db.insert("emp", t.clone())?;
         }
     } // crash here — the log survives
 
-    // Recovery: replay the log into a fresh database.
-    let (records, torn) = Wal::replay(&wal_path)?;
-    assert!(torn.is_none());
-    let mut db = hrdm::storage::Database::new();
-    for rec in records {
-        match rec {
-            WalRecord::CreateRelation { name, scheme } => {
-                db.create_relation(&name, scheme)?;
-            }
-            WalRecord::Insert { relation, tuple } => {
-                db.insert(&relation, tuple)?;
-            }
-            WalRecord::AddAttribute {
-                relation,
-                attribute,
-                domain,
-                from,
-                to,
-            } => {
-                db.catalog_mut()
-                    .add_attribute(&relation, attribute, domain, from, to)?;
-            }
-            WalRecord::DropAttribute {
-                relation,
-                attribute,
-                at,
-            } => {
-                db.catalog_mut().drop_attribute(&relation, &attribute, at)?;
-            }
-        }
-    }
+    // Recovery: open the directory again; the WAL tail replays.
+    let db = hrdm::storage::Database::open(&dir)?;
     assert_eq!(db.relation("emp").unwrap(), &emps);
     println!(
         "WAL replay reconstructed the database: {} tuple(s) in `emp`",
         db.relation("emp").unwrap().len()
     );
-    std::fs::remove_file(&wal_path).ok();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
 
     Ok(())
 }
