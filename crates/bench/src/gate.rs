@@ -1,0 +1,277 @@
+//! The bench-regression gate: measure tracked benches, emit them as a JSON
+//! artifact, and compare against a committed baseline.
+//!
+//! The `bench-json` binary drives this module in CI: it runs the tracked
+//! benches, writes `BENCH_3.json`, and **fails** when any tracked bench's
+//! median regresses more than the tolerance (default 25%, override with
+//! `HRDM_BENCH_TOLERANCE`) against `bench/baseline.json`. The comparison
+//! logic lives here, in library code, so the gate itself is unit-tested —
+//! including the "a 2× slowdown must fail" property.
+//!
+//! No serde: the workspace is offline, so the (tiny, flat) JSON format is
+//! written and read by hand. Schema:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "benches": [
+//!     { "name": "timeslice_indexed_10k", "median_ns": 1234.5,
+//!       "throughput_per_sec": 810372.6 }
+//!   ]
+//! }
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// One tracked bench's measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Stable bench name (the baseline is keyed on it).
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the median.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One bench that got slower than the baseline allows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The offending bench.
+    pub name: String,
+    /// Its committed baseline median.
+    pub baseline_ns: f64,
+    /// Its measured median.
+    pub current_ns: f64,
+}
+
+impl Regression {
+    /// current / baseline — e.g. `2.0` for a 2× slowdown.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Benches slower than `baseline × (1 + tolerance)`.
+    pub regressions: Vec<Regression>,
+    /// How many benches were present in both run and baseline.
+    pub compared: usize,
+    /// Benches in the baseline that this run did not produce — a gate
+    /// that silently compares nothing must not pass green.
+    pub missing: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Does the gate pass?
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares measured results against `(name, median_ns)` baseline entries.
+/// A bench regresses when `current > baseline * (1 + tolerance)`. Benches
+/// present only in the current run (newly added) are ignored; benches
+/// present only in the baseline are reported as `missing`.
+pub fn compare(current: &[BenchResult], baseline: &[(String, f64)], tolerance: f64) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    for (name, baseline_ns) in baseline {
+        match current.iter().find(|r| &r.name == name) {
+            None => outcome.missing.push(name.clone()),
+            Some(r) => {
+                outcome.compared += 1;
+                if r.median_ns > baseline_ns * (1.0 + tolerance) {
+                    outcome.regressions.push(Regression {
+                        name: name.clone(),
+                        baseline_ns: *baseline_ns,
+                        current_ns: r.median_ns,
+                    });
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Renders results as the artifact/baseline JSON (see the module docs).
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \"throughput_per_sec\": {:.1} }}{sep}\n",
+            r.name,
+            r.median_ns,
+            r.throughput_per_sec()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses `(name, median_ns)` pairs back out of the artifact/baseline
+/// JSON. Deliberately a scanner, not a JSON parser: it accepts exactly the
+/// flat shape [`to_json`] writes (and hand-edits of it), pairing each
+/// `"name"` with the next `"median_ns"`.
+pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut entries = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\"") {
+        rest = &rest[at + "\"name\"".len()..];
+        let open = rest
+            .find('"')
+            .ok_or_else(|| "missing opening quote after \"name\":".to_string())?;
+        let rest_after_open = &rest[open + 1..];
+        let close = rest_after_open
+            .find('"')
+            .ok_or_else(|| "unterminated name string".to_string())?;
+        let name = rest_after_open[..close].to_string();
+        rest = &rest_after_open[close + 1..];
+
+        let med_at = rest
+            .find("\"median_ns\"")
+            .ok_or_else(|| format!("no median_ns after name \"{name}\""))?;
+        rest = &rest[med_at + "\"median_ns\"".len()..];
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| format!("no colon after median_ns of \"{name}\""))?;
+        rest = rest[colon + 1..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+            .unwrap_or(rest.len());
+        let median_ns: f64 = rest[..end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad median_ns for \"{name}\": {e}"))?;
+        rest = &rest[end..];
+        entries.push((name, median_ns));
+    }
+    if entries.is_empty() {
+        return Err("no benches found in baseline JSON".to_string());
+    }
+    Ok(entries)
+}
+
+/// Measures the median ns/iteration of `f`: one warm-up sample, then
+/// `samples` timed samples of at least `min_sample` wall time each; the
+/// median of the per-sample means is robust against one-off stalls.
+pub fn measure_median_ns<F: FnMut()>(samples: usize, min_sample: Duration, mut f: F) -> f64 {
+    fn one_sample<F: FnMut()>(min: Duration, f: &mut F) -> f64 {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            f();
+            iters += 1;
+            if started.elapsed() >= min {
+                break;
+            }
+        }
+        started.elapsed().as_nanos() as f64 / iters as f64
+    }
+    let _ = one_sample(min_sample, &mut f); // warm-up
+    let mut means: Vec<f64> = (0..samples.max(1))
+        .map(|_| one_sample(min_sample, &mut f))
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    means[means.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> Vec<BenchResult> {
+        vec![
+            BenchResult {
+                name: "a".into(),
+                median_ns: 100.0,
+            },
+            BenchResult {
+                name: "b".into(),
+                median_ns: 2_000.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let json = to_json(&results());
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(
+            parsed,
+            vec![("a".to_string(), 100.0), ("b".to_string(), 2000.0)]
+        );
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let baseline = vec![("a".to_string(), 90.0), ("b".to_string(), 1_900.0)];
+        // 100 vs 90 is +11%, 2000 vs 1900 is +5.3% — both under 25%.
+        let outcome = compare(&results(), &baseline, 0.25);
+        assert!(outcome.pass(), "{outcome:?}");
+        assert_eq!(outcome.compared, 2);
+    }
+
+    /// The acceptance property: an injected 2× slowdown must fail the gate.
+    #[test]
+    fn two_x_slowdown_fails() {
+        let baseline = vec![("a".to_string(), 100.0), ("b".to_string(), 2_000.0)];
+        let slowed: Vec<BenchResult> = results()
+            .into_iter()
+            .map(|mut r| {
+                r.median_ns *= 2.0;
+                r
+            })
+            .collect();
+        let outcome = compare(&slowed, &baseline, 0.25);
+        assert!(!outcome.pass());
+        assert_eq!(outcome.regressions.len(), 2);
+        assert!((outcome.regressions[0].ratio() - 2.0).abs() < 1e-9);
+    }
+
+    /// A run that no longer produces a tracked bench must not pass green.
+    #[test]
+    fn missing_bench_fails() {
+        let baseline = vec![("a".to_string(), 100.0), ("gone".to_string(), 10.0)];
+        let outcome = compare(&results(), &baseline, 0.25);
+        assert!(!outcome.pass());
+        assert_eq!(outcome.missing, vec!["gone".to_string()]);
+    }
+
+    /// New benches without a baseline entry are allowed (the baseline is
+    /// refreshed in the same PR that adds them).
+    #[test]
+    fn extra_current_bench_is_ignored() {
+        let baseline = vec![("a".to_string(), 100.0)];
+        let outcome = compare(&results(), &baseline, 0.25);
+        assert!(outcome.pass());
+        assert_eq!(outcome.compared, 1);
+    }
+
+    #[test]
+    fn measure_produces_positive_medians() {
+        let mut x = 0u64;
+        let ns = measure_median_ns(3, Duration::from_millis(1), || {
+            x = x.wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn garbage_baseline_is_an_error() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("not json at all").is_err());
+    }
+}

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod gen;
 
 pub use gen::{

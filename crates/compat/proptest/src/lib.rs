@@ -1,7 +1,7 @@
 //! A small, offline, API-compatible subset of the `proptest` crate.
 //!
 //! The build environment has no network access, so this workspace vendors
-//! the slice of proptest its tests use: the [`Strategy`] trait with
+//! the slice of proptest its tests use: the [`strategy::Strategy`] trait with
 //! `prop_map` / `boxed` / `prop_recursive`, [`strategy::Just`], `any`,
 //! integer/float-range and regex-char-class strategies, tuple and
 //! collection combinators, `prop_oneof!`, and the `proptest!` test macro

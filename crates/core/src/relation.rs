@@ -9,6 +9,7 @@ use crate::value::Value;
 use hrdm_time::{Chronon, Lifespan};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A historical relation `r` on a scheme `R`: a finite set of tuples such
 /// that no two tuples ever share a key value — the paper's condition
@@ -21,10 +22,23 @@ use std::fmt;
 /// itself produces key-violating relations from the *uncorrected* set
 /// operators — that is exactly the "counter-intuitive" union of Fig. 11 that
 /// motivates the object-based `∪ₒ`.
+///
+/// ## Sharing and copy-on-write
+///
+/// The tuple vector is held behind an [`Arc`], so [`Relation::clone`] is
+/// O(1) in the number of tuples — cloning a relation (as snapshots and the
+/// query evaluator do on every base-relation scan) shares storage instead of
+/// copying it. Mutation goes through [`Arc::make_mut`]: a relation whose
+/// storage is shared with a live snapshot copies the vector once per write
+/// burst (once per commit batch under a concurrent writer that republishes
+/// after every batch) — cheaply, since tuples themselves are `Arc`-backed,
+/// so the copy is `n` pointer bumps, not `n` deep value-map copies; an
+/// unshared relation mutates in place with no overhead. Readers holding the
+/// old `Arc` keep seeing exactly the state they snapshotted.
 #[derive(Clone, Debug)]
 pub struct Relation {
     scheme: Scheme,
-    tuples: Vec<Tuple>,
+    tuples: Arc<Vec<Tuple>>,
 }
 
 impl Relation {
@@ -32,7 +46,7 @@ impl Relation {
     pub fn new(scheme: Scheme) -> Relation {
         Relation {
             scheme,
-            tuples: Vec::new(),
+            tuples: Arc::new(Vec::new()),
         }
     }
 
@@ -68,7 +82,7 @@ impl Relation {
         }
         Relation {
             scheme,
-            tuples: out,
+            tuples: Arc::new(out),
         }
     }
 
@@ -79,7 +93,22 @@ impl Relation {
 
     /// The tuples, in insertion order.
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        self.tuples.as_slice()
+    }
+
+    /// The shared tuple storage. Cloning the returned [`Arc`] pins the
+    /// current contents: later mutations of this relation copy-on-write and
+    /// leave the pinned vector untouched (snapshot isolation's storage-level
+    /// guarantee).
+    pub fn tuples_shared(&self) -> Arc<Vec<Tuple>> {
+        Arc::clone(&self.tuples)
+    }
+
+    /// Is the tuple storage currently shared with a snapshot or clone?
+    /// (Diagnostic; a shared relation pays one O(n) pointer-copy on its next
+    /// mutation.)
+    pub fn is_storage_shared(&self) -> bool {
+        Arc::strong_count(&self.tuples) > 1
     }
 
     /// Iterates the tuples.
@@ -116,7 +145,7 @@ impl Relation {
     pub fn subset_at_positions(&self, positions: &[usize]) -> Relation {
         Relation {
             scheme: self.scheme.clone(),
-            tuples: self.scan_positions(positions).cloned().collect(),
+            tuples: Arc::new(self.scan_positions(positions).cloned().collect()),
         }
     }
 
@@ -139,12 +168,12 @@ impl Relation {
         tuple.validate(&self.scheme)?;
         if self.scheme.key().is_empty() {
             if !self.tuples.contains(&tuple) {
-                self.tuples.push(tuple);
+                Arc::make_mut(&mut self.tuples).push(tuple);
             }
             return Ok(());
         }
         let key = tuple.key_values(&self.scheme)?;
-        for existing in &self.tuples {
+        for existing in self.tuples.iter() {
             let existing_key = existing
                 .key_values(&self.scheme)
                 .expect("stored tuples have key values");
@@ -160,8 +189,19 @@ impl Relation {
                 });
             }
         }
-        self.tuples.push(tuple);
+        Arc::make_mut(&mut self.tuples).push(tuple);
         Ok(())
+    }
+
+    /// Truncates to the first `len` tuples (a no-op when the relation is
+    /// already that short). Storage-level batch undo: inserts are
+    /// append-only, so cutting back to a pre-batch length restores exactly
+    /// the pre-batch contents. Copy-on-write like every mutation — a
+    /// snapshot sharing the storage keeps the untruncated vector.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.tuples.len() {
+            Arc::make_mut(&mut self.tuples).truncate(len);
+        }
     }
 
     /// Appends a tuple **without** re-running validation or the key check.
@@ -172,7 +212,7 @@ impl Relation {
     /// [`Relation::from_parts_unchecked`]. Inserting an invalid or
     /// key-duplicate tuple through this door breaks the relation invariant.
     pub fn push_unchecked(&mut self, tuple: Tuple) {
-        self.tuples.push(tuple);
+        Arc::make_mut(&mut self.tuples).push(tuple);
     }
 
     /// `LS(r)` — the lifespan of the relation: "just
@@ -222,7 +262,7 @@ impl Relation {
             return Ok(());
         }
         let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             let key = t.key_values(&self.scheme)?;
             if !seen.insert(key.clone()) {
                 return Err(HrdmError::KeyViolation {
@@ -270,7 +310,7 @@ impl Eq for Relation {}
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "scheme {}", self.scheme)?;
-        for t in &self.tuples {
+        for t in self.tuples.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())

@@ -8,6 +8,7 @@ use crate::value::Value;
 use hrdm_time::{Chronon, Lifespan};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A tuple on a scheme `R`: an ordered pair `t = <v, l>` where `t.l` is the
 /// tuple's lifespan and `t.v` maps each attribute `A ∈ R` to a partial
@@ -21,13 +22,55 @@ use std::fmt;
 /// A `Tuple` does not carry its scheme; [`Tuple::validate`] (and the
 /// insertion paths of [`crate::relation::Relation`]) check a tuple against
 /// one.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// Tuples are **immutable once built** and internally reference-counted:
+/// [`Tuple::clone`] is an `Arc` bump, never a deep copy. This is what makes
+/// relation snapshots (and the algebra operators, which clone tuples
+/// liberally) cheap — a cloned relation of `n` tuples costs `n` pointer
+/// copies, not `n` deep value-map copies.
+#[derive(Clone, Eq)]
 pub struct Tuple {
+    repr: Arc<TupleRepr>,
+}
+
+/// The shared, immutable payload of a [`Tuple`].
+#[derive(PartialEq, Eq, Hash, Debug)]
+struct TupleRepr {
     lifespan: Lifespan,
     values: BTreeMap<Attribute, TemporalValue>,
 }
 
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        // Clones share their repr, so identity decides most comparisons
+        // (set-semantics dedup, `contains_tuple`) without a deep walk.
+        Arc::ptr_eq(&self.repr, &other.repr) || self.repr == other.repr
+    }
+}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.repr.hash(state);
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tuple")
+            .field("lifespan", &self.repr.lifespan)
+            .field("values", &self.repr.values)
+            .finish()
+    }
+}
+
 impl Tuple {
+    /// Wraps raw parts into the shared representation.
+    fn new_raw(lifespan: Lifespan, values: BTreeMap<Attribute, TemporalValue>) -> Tuple {
+        Tuple {
+            repr: Arc::new(TupleRepr { lifespan, values }),
+        }
+    }
+
     /// Starts building a tuple with lifespan `l`.
     pub fn builder(lifespan: Lifespan) -> TupleBuilder {
         TupleBuilder {
@@ -41,37 +84,37 @@ impl Tuple {
     /// Intended for algebra internals and tests; user-facing construction
     /// goes through [`Tuple::builder`] + [`TupleBuilder::finish`].
     pub fn from_parts(lifespan: Lifespan, values: BTreeMap<Attribute, TemporalValue>) -> Tuple {
-        Tuple { lifespan, values }
+        Tuple::new_raw(lifespan, values)
     }
 
     /// `t.l` — the tuple's lifespan.
     pub fn lifespan(&self) -> &Lifespan {
-        &self.lifespan
+        &self.repr.lifespan
     }
 
     /// `t.v(A)` — the temporal value of attribute `A`, if the tuple carries
     /// an entry for it. Validated tuples carry an entry (possibly the empty
     /// function) for every scheme attribute.
     pub fn value(&self, attr: &Attribute) -> Option<&TemporalValue> {
-        self.values.get(attr)
+        self.repr.values.get(attr)
     }
 
     /// `t(A)(s)` — the value of attribute `A` at time `s`, or `None` where
     /// undefined ("the attribute is not relevant at such times", §3).
     pub fn at(&self, attr: &Attribute, s: Chronon) -> Option<&Value> {
-        self.values.get(attr).and_then(|tv| tv.at(s))
+        self.repr.values.get(attr).and_then(|tv| tv.at(s))
     }
 
     /// `vls(t, A, R) = t.l ∩ ALS(A, R)` — "the set of times over which the
     /// value is defined" (paper §3).
     pub fn vls(&self, scheme: &Scheme, attr: &Attribute) -> Result<Lifespan> {
-        Ok(self.lifespan.intersect(scheme.als(attr)?))
+        Ok(self.repr.lifespan.intersect(scheme.als(attr)?))
     }
 
     /// `vls(t, X, R)` for a set of attributes: the intersection of the
     /// individual value lifespans (paper §3's extension of `vls` to sets).
     pub fn vls_set(&self, scheme: &Scheme, attrs: &[Attribute]) -> Result<Lifespan> {
-        let mut acc = self.lifespan.clone();
+        let mut acc = self.repr.lifespan.clone();
         for a in attrs {
             acc = acc.intersect(scheme.als(a)?);
             if acc.is_empty() {
@@ -83,12 +126,12 @@ impl Tuple {
 
     /// The attributes for which this tuple carries entries.
     pub fn attributes(&self) -> impl Iterator<Item = &Attribute> + '_ {
-        self.values.keys()
+        self.repr.values.keys()
     }
 
     /// The underlying value map.
     pub fn values(&self) -> &BTreeMap<Attribute, TemporalValue> {
-        &self.values
+        &self.repr.values
     }
 
     /// Validates the tuple against a scheme, enforcing the paper's
@@ -100,7 +143,7 @@ impl Tuple {
     ///   `vls(t, A, R) = t.l ∩ ALS(A, R)` (restriction (b)),
     /// * constant-domain (`CD`) attributes carry constant functions.
     pub fn validate(&self, scheme: &Scheme) -> Result<()> {
-        for (attr, tv) in &self.values {
+        for (attr, tv) in &self.repr.values {
             let def = scheme
                 .attr(attr)
                 .ok_or_else(|| HrdmError::UnknownAttribute(attr.clone()))?;
@@ -113,7 +156,7 @@ impl Tuple {
                     });
                 }
             }
-            let vls = self.lifespan.intersect(def.lifespan());
+            let vls = self.repr.lifespan.intersect(def.lifespan());
             if !vls.contains_lifespan(&tv.domain()) {
                 return Err(HrdmError::ValueOutsideLifespan {
                     attribute: attr.clone(),
@@ -136,6 +179,7 @@ impl Tuple {
         let mut out = Vec::with_capacity(scheme.key().len());
         for k in scheme.key() {
             let tv = self
+                .repr
                 .values
                 .get(k)
                 .ok_or_else(|| HrdmError::MissingAttributeValue(k.clone()))?;
@@ -152,13 +196,14 @@ impl Tuple {
     /// restricted accordingly. This is the tuple-level engine of TIME-SLICE
     /// and SELECT-WHEN.
     pub fn restrict(&self, span: &Lifespan) -> Tuple {
-        let lifespan = self.lifespan.intersect(span);
+        let lifespan = self.repr.lifespan.intersect(span);
         let values = self
+            .repr
             .values
             .iter()
             .map(|(a, tv)| (a.clone(), tv.restrict(&lifespan)))
             .collect();
-        Tuple { lifespan, values }
+        Tuple::new_raw(lifespan, values)
     }
 
     /// Clips every value to its `vls(t, A, R)` under `scheme` — the
@@ -167,20 +212,18 @@ impl Tuple {
     /// rather than invalid (paper §2's reading of attribute lifespans).
     pub fn clipped_to_scheme(&self, scheme: &Scheme) -> Tuple {
         let values = self
+            .repr
             .values
             .iter()
             .map(|(a, tv)| {
                 let clipped = match scheme.als(a) {
-                    Ok(als) => tv.restrict(&self.lifespan.intersect(als)),
+                    Ok(als) => tv.restrict(&self.repr.lifespan.intersect(als)),
                     Err(_) => tv.clone(),
                 };
                 (a.clone(), clipped)
             })
             .collect();
-        Tuple {
-            lifespan: self.lifespan.clone(),
-            values,
-        }
+        Tuple::new_raw(self.repr.lifespan.clone(), values)
     }
 
     /// Keeps only the entries for `attrs` (the tuple-level engine of
@@ -190,12 +233,9 @@ impl Tuple {
     pub fn project(&self, attrs: &[Attribute]) -> Tuple {
         let values = attrs
             .iter()
-            .filter_map(|a| self.values.get(a).map(|tv| (a.clone(), tv.clone())))
+            .filter_map(|a| self.repr.values.get(a).map(|tv| (a.clone(), tv.clone())))
             .collect();
-        Tuple {
-            lifespan: self.lifespan.clone(),
-            values,
-        }
+        Tuple::new_raw(self.repr.lifespan.clone(), values)
     }
 
     /// Concatenates two tuples over disjoint attribute sets, with the given
@@ -203,10 +243,10 @@ impl Tuple {
     /// product and the joins, which differ only in how `l` is computed.
     pub(crate) fn concat_restricted(&self, other: &Tuple, lifespan: Lifespan) -> Tuple {
         let mut values: BTreeMap<Attribute, TemporalValue> = BTreeMap::new();
-        for (a, tv) in self.values.iter().chain(other.values.iter()) {
+        for (a, tv) in self.repr.values.iter().chain(other.repr.values.iter()) {
             values.insert(a.clone(), tv.restrict(&lifespan));
         }
-        Tuple { lifespan, values }
+        Tuple::new_raw(lifespan, values)
     }
 
     /// Concatenates two tuples over disjoint attribute sets *without*
@@ -215,10 +255,10 @@ impl Tuple {
     /// union lifespan (§5 discussion).
     pub(crate) fn concat_unrestricted(&self, other: &Tuple, lifespan: Lifespan) -> Tuple {
         let mut values: BTreeMap<Attribute, TemporalValue> = BTreeMap::new();
-        for (a, tv) in self.values.iter().chain(other.values.iter()) {
+        for (a, tv) in self.repr.values.iter().chain(other.repr.values.iter()) {
             values.insert(a.clone(), tv.clone());
         }
-        Tuple { lifespan, values }
+        Tuple::new_raw(lifespan, values)
     }
 
     /// Mergability of two tuples on merge-compatible schemes (paper §4.1):
@@ -234,9 +274,10 @@ impl Tuple {
             (Ok(a), Ok(b)) if a == b => {}
             _ => return false,
         }
-        self.values
+        self.repr
+            .values
             .iter()
-            .all(|(attr, tv)| match other.values.get(attr) {
+            .all(|(attr, tv)| match other.repr.values.get(attr) {
                 Some(otv) => tv.compatible_with(otv),
                 None => true,
             })
@@ -245,9 +286,9 @@ impl Tuple {
     /// The merge `t1 + t2` (paper §4.1): `(t1+t2).l = t1.l ∪ t2.l` and
     /// `(t1+t2).v(A) = t1.v(A) ∪ t2.v(A)`.
     pub fn merge(&self, other: &Tuple) -> Result<Tuple> {
-        let lifespan = self.lifespan.union(&other.lifespan);
-        let mut values: BTreeMap<Attribute, TemporalValue> = self.values.clone();
-        for (attr, tv) in &other.values {
+        let lifespan = self.repr.lifespan.union(&other.repr.lifespan);
+        let mut values: BTreeMap<Attribute, TemporalValue> = self.repr.values.clone();
+        for (attr, tv) in &other.repr.values {
             match values.get_mut(attr) {
                 Some(mine) => {
                     *mine = mine
@@ -261,7 +302,7 @@ impl Tuple {
                 }
             }
         }
-        Ok(Tuple { lifespan, values })
+        Ok(Tuple::new_raw(lifespan, values))
     }
 
     /// "Given a tuple t and a set of tuples S, t is *matched* in S if there
@@ -275,14 +316,14 @@ impl Tuple {
 
     /// Does the tuple carry any information at all (non-empty lifespan)?
     pub fn bears_information(&self) -> bool {
-        !self.lifespan.is_empty()
+        !self.repr.lifespan.is_empty()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "<l={}", self.lifespan)?;
-        for (a, tv) in &self.values {
+        write!(f, "<l={}", self.repr.lifespan)?;
+        for (a, tv) in &self.repr.values {
             write!(f, ", {a}={tv}")?;
         }
         f.write_str(">")
@@ -340,10 +381,7 @@ impl TupleBuilder {
                 .entry(def.name().clone())
                 .or_insert_with(TemporalValue::empty);
         }
-        let tuple = Tuple {
-            lifespan: self.lifespan,
-            values,
-        };
+        let tuple = Tuple::new_raw(self.lifespan, values);
         tuple.validate(scheme)?;
         Ok(tuple)
     }

@@ -76,7 +76,7 @@ impl LifespanIndex {
     /// relation order.
     ///
     /// The entries land in the sorted pending run; when that run exceeds
-    /// [`Self::pending_limit`] it is merged into the main arrays.
+    /// the `√n` pending limit it is merged into the main arrays.
     pub fn insert(&mut self, pos: usize, ls: &Lifespan) {
         assert_eq!(
             pos, self.tuple_count,

@@ -7,24 +7,29 @@
 //! Reads one query per line (the textual algebra of `hrdm-query`), prints
 //! relations or lifespans. A directory argument **attaches** durably: every
 //! write is WAL-logged before it is acknowledged, and reopening the
-//! directory recovers it. Writes go through `name := <query>`, which
-//! materializes a query result as a relation. Meta-commands:
+//! directory recovers it. The shell runs on the concurrent engine: each
+//! query evaluates against an immutable [`hrdm_storage::DbSnapshot`], and
+//! writes go through the group-commit writer. Writes use
+//! `name := <query>`, which materializes a query result as a relation.
+//! Meta-commands:
 //!
 //! * `\d` — list relations and schemes,
 //! * `\log` — show the schema-evolution log,
 //! * `\explain <query>` — show the optimized plan and rewrite trace,
 //! * `\open <dir>` — attach to a database directory (creating it if new),
 //! * `\checkpoint` — fold the WAL into fresh heap files (atomic commit),
+//! * `\stats` — group-commit counters (batches, ops, batch sizes) and the
+//!   current snapshot version,
 //! * `\q` — quit.
 
 use hrdm_query::{evaluate_planned, explain_with_access, parse_query, Query, QueryResult};
-use hrdm_storage::Database;
+use hrdm_storage::ConcurrentDatabase;
 use std::io::{self, BufRead, Write};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let db = match args.get(1) {
-        Some(dir) => match Database::open(std::path::Path::new(dir)) {
+        Some(dir) => match ConcurrentDatabase::open(std::path::Path::new(dir)) {
             Ok(db) => db,
             Err(e) => {
                 eprintln!("failed to open database at {dir}: {e}");
@@ -33,18 +38,18 @@ fn main() {
         },
         None => {
             eprintln!("usage: hrdmq <database-dir>   (no dir given: starting detached)");
-            Database::new()
+            ConcurrentDatabase::new()
         }
     };
     let mut db = db;
 
-    let names: Vec<&str> = db.relation_names().collect();
-    println!("hrdmq — {} relation(s): {}", names.len(), names.join(", "));
-    match db.attached_dir() {
-        Some(dir) => println!(
-            "attached to {} (durable; \\checkpoint to compact)",
-            dir.display()
-        ),
+    {
+        let snap = db.snapshot();
+        let names: Vec<&str> = snap.relation_names().collect();
+        println!("hrdmq — {} relation(s): {}", names.len(), names.join(", "));
+    }
+    match db.with_database(|d| d.attached_dir().map(|p| p.display().to_string())) {
+        Some(dir) => println!("attached to {dir} (durable; \\checkpoint to compact)"),
         None => println!("detached (in-memory; \\open <dir> to attach durably)"),
     }
     println!("type a query, `name := query` to materialize, \\d for schemas, \\q to quit");
@@ -71,15 +76,34 @@ fn main() {
             break;
         }
         if line == "\\d" {
-            for name in db.relation_names() {
-                let r = db.relation(name).expect("listed relations exist");
+            let snap = db.snapshot();
+            for name in snap.relation_names() {
+                let r = snap.relation(name).expect("listed relations exist");
                 println!("{name}: {} — {} tuple(s)", r.scheme(), r.len());
             }
             continue;
         }
         if line == "\\log" {
-            for ev in db.catalog().log() {
+            let snap = db.snapshot();
+            for ev in snap.catalog().log() {
                 println!("{ev}");
+            }
+            continue;
+        }
+        if line == "\\stats" {
+            let stats = db.stats();
+            let snap = db.snapshot();
+            println!(
+                "group commit: {} batch(es), {} op(s), mean batch {:.2}, max batch {}, last batch {}",
+                stats.batches,
+                stats.ops,
+                stats.mean_batch(),
+                stats.max_batch,
+                stats.last_batch
+            );
+            match snap.epoch() {
+                Some(e) => println!("snapshot: version {}, epoch {e}", snap.version()),
+                None => println!("snapshot: version {} (detached)", snap.version()),
             }
             continue;
         }
@@ -87,27 +111,30 @@ fn main() {
             match db.checkpoint() {
                 Ok(()) => println!(
                     "checkpointed (epoch {})",
-                    db.epoch().expect("attached after checkpoint")
+                    db.snapshot().epoch().expect("attached after checkpoint")
                 ),
                 Err(e) => println!("checkpoint error: {e}"),
             }
             continue;
         }
         if let Some(dir) = line.strip_prefix("\\open ") {
-            match Database::open(std::path::Path::new(dir.trim())) {
+            let dir = dir.trim();
+            match ConcurrentDatabase::open(std::path::Path::new(dir)) {
                 Ok(opened) => {
                     db = opened;
-                    let n = db.relation_names().count();
-                    println!("attached to {} — {n} relation(s)", dir.trim());
+                    let n = db.snapshot().relation_names().count();
+                    println!("attached to {dir} — {n} relation(s)");
                 }
-                Err(e) => println!("open error: {e}"),
+                // The error itself names the offending file where it can;
+                // always lead with the directory the user asked for.
+                Err(e) => println!("open error for {dir}: {e}"),
             }
             continue;
         }
         if let Some(rest) = line.strip_prefix("\\explain ") {
             match parse_query(rest) {
                 Ok(Query::Relation(e)) => {
-                    println!("{}", explain_with_access(&e, &db));
+                    println!("{}", explain_with_access(&e, &*db.snapshot()));
                 }
                 Ok(_) => println!("(only relation-sorted queries have a relational plan)"),
                 Err(e) => println!("parse error: {e}"),
@@ -116,14 +143,15 @@ fn main() {
         }
 
         // `name := <query>`: materialize a query result as a relation,
-        // through the durable write path when attached.
+        // through the durable group-commit write path when attached.
         if let Some((name, query_text)) = split_assignment(line) {
             match parse_query(query_text) {
                 Err(e) => println!("parse error: {e}"),
-                Ok(q) => match evaluate_planned(&q, &db) {
+                Ok(q) => match evaluate_planned(&q, &*db.snapshot()) {
                     Ok(QueryResult::Relation(r)) => {
                         let tuples = r.len();
-                        let result = if db.relation(name).is_some() {
+                        let exists = db.snapshot().relation(name).is_some();
+                        let result = if exists {
                             db.put_relation(name, r)
                         } else {
                             db.create_relation(name, r.scheme().clone())
@@ -145,8 +173,9 @@ fn main() {
             Err(e) => println!("parse error: {e}"),
             Ok(q) => {
                 // Relation-sorted queries go through the rewrite optimizer
-                // and the index-aware access-path planner.
-                match evaluate_planned(&q, &db) {
+                // and the index-aware access-path planner, evaluated
+                // against one immutable snapshot.
+                match evaluate_planned(&q, &*db.snapshot()) {
                     Ok(QueryResult::Relation(r)) => {
                         print!("{r}");
                         println!("({} tuple(s))", r.len());

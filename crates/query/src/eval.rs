@@ -21,6 +21,15 @@ impl RelationSource for hrdm_storage::Database {
     }
 }
 
+/// A snapshot is the preferred query target under concurrency: the whole
+/// pipeline (optimize → plan → evaluate) runs against one immutable state,
+/// with zero locks and unaffected by concurrent writers.
+impl RelationSource for hrdm_storage::DbSnapshot {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        hrdm_storage::DbSnapshot::relation(self, name)
+    }
+}
+
 impl RelationSource for std::collections::BTreeMap<String, Relation> {
     fn relation(&self, name: &str) -> Option<&Relation> {
         self.get(name)

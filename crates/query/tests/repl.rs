@@ -133,6 +133,51 @@ fn repl_reports_unknown_relation() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `\stats` reports the group-commit counters: a materialization is one
+/// create + one put, so two ops must show up, with batch sizes ≥ 1.
+#[test]
+fn repl_reports_group_commit_stats() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-stats-{}", std::process::id()));
+    build_db(&dir);
+    let out = run_repl(
+        &dir,
+        "rich := SELECT-WHEN (SALARY = 30000) (emp)\n\\stats\n\\q\n",
+    );
+    assert!(
+        out.contains("group commit:") && out.contains("2 op(s)"),
+        "missing stats line in {out}"
+    );
+    assert!(
+        out.contains("snapshot: version"),
+        "missing version in {out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `\open` on an unreadable path names the path in the error (CI log
+/// triage must not have to guess which directory failed).
+#[test]
+fn repl_open_error_names_the_path() {
+    let dir = std::env::temp_dir().join(format!("hrdmq-openerr-{}", std::process::id()));
+    build_db(&dir);
+    // Corrupt the catalog so \open fails with BadFile.
+    let bad = std::env::temp_dir().join(format!("hrdmq-badcat-{}", std::process::id()));
+    std::fs::create_dir_all(&bad).unwrap();
+    std::fs::write(bad.join("catalog.hrdm"), b"not a database").unwrap();
+
+    let out = run_repl(&dir, &format!("\\open {}\n\\q\n", bad.display()));
+    assert!(
+        out.contains(&format!("open error for {}", bad.display())),
+        "missing path in open error: {out}"
+    );
+    assert!(
+        out.contains("catalog.hrdm") && out.contains("missing HRDM magic"),
+        "error does not name the offending file: {out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&bad).ok();
+}
+
 #[test]
 fn repl_explains_plans() {
     let dir = std::env::temp_dir().join(format!("hrdmq-explain-{}", std::process::id()));

@@ -30,6 +30,7 @@ use crate::catalog::Catalog;
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::heap::HeapFile;
 use crate::page::crc32;
+use crate::snapshot::DbSnapshot;
 use crate::wal::{Wal, WalRecord};
 use hrdm_core::{Attribute, HistoricalDomain, HrdmError, Relation, Scheme, Tuple};
 use hrdm_index::RelationIndexes;
@@ -37,6 +38,7 @@ use hrdm_time::Chronon;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"HRDM";
 const VERSION: u32 = 2;
@@ -106,10 +108,30 @@ struct Attachment {
     dir: PathBuf,
     epoch: u64,
     wal: Wal,
-    /// Set when a WAL append failed after the in-memory state advanced:
-    /// memory is ahead of the log, so further durable writes are refused
-    /// until a [`Database::checkpoint`] resynchronizes disk with memory.
+    /// Set when a WAL append failed. The in-memory state was rolled back
+    /// (memory equals the durable state), but the log's tail may be torn
+    /// by the partial write, so further appends are refused until a
+    /// [`Database::checkpoint`] rotates to a fresh log.
     poisoned: bool,
+}
+
+/// What a failed batch fsync must restore (see [`Database::undo_point`]).
+enum BatchUndo {
+    /// Insert-only batch: pre-batch tuple counts of the touched relations.
+    InsertLens {
+        /// Relation → tuple count before the batch.
+        lens: BTreeMap<String, usize>,
+        /// The mutation counter before the batch.
+        ops_applied: u64,
+    },
+    /// Batch with catalog- or wholesale-relation ops: the pinned pre-batch
+    /// state.
+    Full {
+        catalog: Arc<Catalog>,
+        relations: BTreeMap<String, Relation>,
+        indexes: BTreeMap<String, Arc<RelationIndexes>>,
+        ops_applied: u64,
+    },
 }
 
 /// How a pre-validated insert should be applied.
@@ -123,19 +145,35 @@ enum InsertDisposition {
 
 /// An in-memory database of historical relations with directory-based
 /// persistence — the physical level a downstream user actually touches.
+///
+/// All mutation funnels through [`Database::commit_batch`], which validates
+/// each operation against the current state, applies it, and write-ahead
+/// logs the whole batch as **one fsync'd frame** — the group-commit write
+/// path that [`crate::ConcurrentDatabase`] drives from many threads. The
+/// single-op methods ([`Database::insert`], …) are one-element batches.
+///
+/// Committed state is cheap to snapshot ([`Database::snapshot`]): relations
+/// are copy-on-write and indexes are `Arc`-shared, so a [`DbSnapshot`] costs
+/// O(relations), never O(tuples).
 #[derive(Default)]
 pub struct Database {
-    catalog: Catalog,
+    /// Copy-on-write: snapshots share the catalog via this `Arc`, and the
+    /// rare catalog-changing ops (create, evolution) clone it first.
+    catalog: Arc<Catalog>,
     relations: BTreeMap<String, Relation>,
     /// Access methods per relation (`hrdm-index`), maintained
-    /// **incrementally**: `insert` updates them in place,
-    /// `put_relation`/`create_relation`/[`Database::load`] (re)build them.
-    /// An absent entry (only possible after out-of-band mutation through
-    /// [`Database::relation`]-adjacent APIs) makes the planner fall back
-    /// to sequential scans; [`Database::ensure_indexes`] rebuilds it.
-    indexes: BTreeMap<String, RelationIndexes>,
+    /// **incrementally**: `insert` updates them (copy-on-write when a
+    /// snapshot shares them), `put_relation`/`create_relation`/
+    /// [`Database::load`] (re)build them. An absent entry (only possible
+    /// after out-of-band mutation through [`Database::relation`]-adjacent
+    /// APIs) makes the planner fall back to sequential scans;
+    /// [`Database::ensure_indexes`] rebuilds it.
+    indexes: BTreeMap<String, Arc<RelationIndexes>>,
     /// `Some` when attached to a directory (durable mode).
     attachment: Option<Attachment>,
+    /// Monotone count of applied mutations — the version stamped onto
+    /// snapshots, so readers can order the states they observe.
+    ops_applied: u64,
 }
 
 impl Database {
@@ -175,33 +213,27 @@ impl Database {
     /// tuples; values outside a *shrunk* ALS become invisible to `vls`, per
     /// the paper's semantics.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        Arc::make_mut(&mut self.catalog)
     }
 
     /// Creates a relation. On an attached database the creation is
     /// write-ahead logged (fsync'd) before it is acknowledged.
     pub fn create_relation(&mut self, name: &str, scheme: Scheme) -> Result<(), DbError> {
-        self.check_writable()?;
-        if self.catalog.scheme(name).is_some() {
-            return Err(DbError::Model(HrdmError::DuplicateRelation(
-                name.to_string(),
-            )));
-        }
-        self.log(&WalRecord::CreateRelation {
+        self.commit_one(WalRecord::CreateRelation {
             name: name.to_string(),
-            scheme: scheme.clone(),
-        })?;
-        self.apply_create_unchecked(name, scheme);
-        Ok(())
+            scheme,
+        })
     }
 
     fn apply_create_unchecked(&mut self, name: &str, scheme: Scheme) {
-        self.catalog
+        Arc::make_mut(&mut self.catalog)
             .create_relation(name, scheme.clone())
             .expect("pre-validated: relation name is fresh");
         let relation = Relation::new(scheme);
-        self.indexes
-            .insert(name.to_string(), RelationIndexes::build(&relation));
+        self.indexes.insert(
+            name.to_string(),
+            Arc::new(RelationIndexes::build(&relation)),
+        );
         self.relations.insert(name.to_string(), relation);
     }
 
@@ -222,30 +254,17 @@ impl Database {
     /// (bricking the database), and an unregistered relation would
     /// silently not survive a save/load round trip.
     pub fn put_relation(&mut self, name: &str, relation: Relation) -> Result<(), DbError> {
-        self.check_writable()?;
-        let Some(scheme) = self.catalog.scheme(name) else {
-            return Err(DbError::Model(HrdmError::UnknownRelation(name.to_string())));
-        };
-        if relation.scheme() != scheme {
-            return Err(DbError::SchemeMismatch {
-                relation: name.to_string(),
-            });
-        }
-        // Borrowed logging path: the record is encoded straight from the
-        // relation, so no O(n) clone just to feed the WAL.
-        if let Some(att) = &mut self.attachment {
-            if let Err(e) = att.wal.append_put_relation(name, &relation) {
-                att.poisoned = true;
-                return Err(DbError::Io(e));
-            }
-        }
-        self.apply_put_unchecked(name, relation);
-        Ok(())
+        self.commit_one(WalRecord::PutRelation {
+            relation: name.to_string(),
+            contents: relation,
+        })
     }
 
     fn apply_put_unchecked(&mut self, name: &str, relation: Relation) {
-        self.indexes
-            .insert(name.to_string(), RelationIndexes::build(&relation));
+        self.indexes.insert(
+            name.to_string(),
+            Arc::new(RelationIndexes::build(&relation)),
+        );
         self.relations.insert(name.to_string(), relation);
     }
 
@@ -254,23 +273,242 @@ impl Database {
     /// On an attached database the insert is write-ahead logged (fsync'd)
     /// before it is acknowledged.
     pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<(), DbError> {
-        self.check_writable()?;
-        match self.validate_insert(name, &tuple)? {
-            InsertDisposition::DuplicateNoop => Ok(()),
-            InsertDisposition::Apply => {
-                // Borrowed logging path: the record is encoded straight
-                // from the tuple, so neither a detached database (where
-                // logging is a no-op) nor an attached one pays a clone.
-                if let Some(att) = &mut self.attachment {
-                    if let Err(e) = att.wal.append_insert(name, &tuple) {
-                        att.poisoned = true;
-                        return Err(DbError::Io(e));
-                    }
+        self.commit_one(WalRecord::Insert {
+            relation: name.to_string(),
+            tuple,
+        })
+    }
+
+    /// Commits one operation — a one-element [`Database::commit_batch`].
+    fn commit_one(&mut self, record: WalRecord) -> Result<(), DbError> {
+        self.commit_batch(vec![record])
+            .pop()
+            .expect("commit_batch returns one result per op")
+    }
+
+    /// Validates, applies, and durably logs a **batch** of mutations with a
+    /// single fsync — the group-commit write path.
+    ///
+    /// Each operation is validated against the state left by the operations
+    /// before it (so a batch behaves exactly like the same ops committed
+    /// one at a time, in order) and applied in memory; every valid
+    /// operation's WAL record is then written as one multi-record batch
+    /// frame ([`Wal::append_batch`]) and fsync'd once. Per-op results come
+    /// back in op order: validation failures affect only their own op.
+    ///
+    /// If the batch fsync fails, the in-memory state **rolls back** to the
+    /// pre-batch state (so memory always equals the durable state), the
+    /// log is cut back (best effort) to its pre-batch length so a
+    /// crash-reopen cannot resurrect the failed records, every op in the
+    /// batch reports the I/O error, and the attachment is poisoned — the
+    /// on-disk log tail may still be torn if the cut also failed, so
+    /// further appends are refused until [`Database::checkpoint`] rotates
+    /// to a fresh log.
+    pub fn commit_batch(&mut self, ops: Vec<WalRecord>) -> Vec<Result<(), DbError>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        if self.check_writable().is_err() {
+            return ops
+                .iter()
+                .map(|_| Err(self.check_writable().expect_err("writability rechecked")))
+                .collect();
+        }
+        let undo = self.attachment.as_ref().map(|_| self.undo_point(&ops));
+        let mut results: Vec<Result<(), DbError>> = Vec::with_capacity(ops.len());
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        for op in &ops {
+            match self.stage(op) {
+                Ok(Some(payload)) => {
+                    payloads.push(payload);
+                    results.push(Ok(()));
                 }
-                self.apply_insert_unchecked(name, tuple);
-                Ok(())
+                Ok(None) => results.push(Ok(())), // set-semantics no-op
+                Err(e) => results.push(Err(e)),
             }
         }
+        if !payloads.is_empty() {
+            if let Some(att) = &mut self.attachment {
+                let pre_append_offset = att.wal.offset();
+                if let Err(e) = att.wal.append_batch(&payloads) {
+                    att.poisoned = true;
+                    // Cut any (partially or even fully) written frames of
+                    // the failed batch back off the log: none of them was
+                    // acknowledged, so none may survive a crash-reopen.
+                    // Best effort — if the cut fails too, the poison keeps
+                    // further appends out and checkpoint() rotates the log.
+                    if let Ok(offset) = pre_append_offset {
+                        let _ = att.wal.rollback_to(offset);
+                    }
+                    self.rollback(undo.expect("attached batches record an undo point"));
+                    // Nothing in the batch is durable, so nothing in it is
+                    // acknowledged — even in-batch no-ops, whose "already
+                    // present" justification may have been rolled back.
+                    return ops
+                        .iter()
+                        .map(|_| {
+                            Err(DbError::Io(io::Error::new(
+                                e.kind(),
+                                format!("group-commit fsync failed: {e}"),
+                            )))
+                        })
+                        .collect();
+                }
+            }
+        }
+        results
+    }
+
+    /// Captures what a failed batch fsync would need to restore.
+    ///
+    /// Insert-only batches (the overwhelmingly common case) record just the
+    /// pre-batch tuple counts: inserts are append-only, so undo is
+    /// truncation plus an index rebuild of the touched relations — nothing
+    /// is `Arc`-pinned, so the happy path pays no copy-on-write toll.
+    /// Batches carrying catalog or wholesale-relation ops pin the whole
+    /// pre-batch state instead (O(relations) `Arc` bumps; the touched
+    /// relations pay one pointer-copy on mutation).
+    fn undo_point(&self, ops: &[WalRecord]) -> BatchUndo {
+        let insert_only = ops.iter().all(|op| matches!(op, WalRecord::Insert { .. }));
+        if insert_only {
+            let mut lens = BTreeMap::new();
+            for op in ops {
+                if let WalRecord::Insert { relation, .. } = op {
+                    if let Some(rel) = self.relations.get(relation) {
+                        lens.entry(relation.clone()).or_insert(rel.len());
+                    }
+                }
+            }
+            BatchUndo::InsertLens {
+                lens,
+                ops_applied: self.ops_applied,
+            }
+        } else {
+            BatchUndo::Full {
+                catalog: Arc::clone(&self.catalog),
+                relations: self.relations.clone(),
+                indexes: self.indexes.clone(),
+                ops_applied: self.ops_applied,
+            }
+        }
+    }
+
+    /// Restores the state captured by [`Database::undo_point`] — memory
+    /// returns to exactly the pre-batch (durable) state, so a write that
+    /// returned `Err` never becomes visible, not even through a later
+    /// checkpoint.
+    fn rollback(&mut self, undo: BatchUndo) {
+        match undo {
+            BatchUndo::InsertLens { lens, ops_applied } => {
+                for (name, old_len) in lens {
+                    let Some(rel) = self.relations.get_mut(&name) else {
+                        continue;
+                    };
+                    if rel.len() > old_len {
+                        rel.truncate(old_len);
+                        let rebuilt = RelationIndexes::build(rel);
+                        self.indexes.insert(name, Arc::new(rebuilt));
+                    }
+                }
+                self.ops_applied = ops_applied;
+            }
+            BatchUndo::Full {
+                catalog,
+                relations,
+                indexes,
+                ops_applied,
+            } => {
+                self.catalog = catalog;
+                self.relations = relations;
+                self.indexes = indexes;
+                self.ops_applied = ops_applied;
+            }
+        }
+    }
+
+    /// Validates one operation against the current in-memory state and, if
+    /// it applies, applies it and returns its WAL payload (`None` for
+    /// acknowledged no-ops like duplicate set-semantics inserts).
+    fn stage(&mut self, op: &WalRecord) -> Result<Option<Vec<u8>>, DbError> {
+        let payload = match op {
+            WalRecord::CreateRelation { name, scheme } => {
+                if self.catalog.scheme(name).is_some() {
+                    return Err(DbError::Model(HrdmError::DuplicateRelation(name.clone())));
+                }
+                let payload = op.payload();
+                self.apply_create_unchecked(name, scheme.clone());
+                payload
+            }
+            WalRecord::Insert { relation, tuple } => {
+                match self.validate_insert(relation, tuple)? {
+                    InsertDisposition::DuplicateNoop => return Ok(None),
+                    InsertDisposition::Apply => {
+                        let payload = op.payload();
+                        self.apply_insert_unchecked(relation, tuple.clone());
+                        payload
+                    }
+                }
+            }
+            WalRecord::PutRelation { relation, contents } => {
+                let Some(scheme) = self.catalog.scheme(relation) else {
+                    return Err(DbError::Model(HrdmError::UnknownRelation(relation.clone())));
+                };
+                if contents.scheme() != scheme {
+                    return Err(DbError::SchemeMismatch {
+                        relation: relation.clone(),
+                    });
+                }
+                let payload = op.payload();
+                self.apply_put_unchecked(relation, contents.clone());
+                payload
+            }
+            WalRecord::AddAttribute {
+                relation,
+                attribute,
+                domain,
+                from,
+                to,
+            } => self.stage_evolution(relation, op, |cat| {
+                cat.add_attribute(relation, attribute.clone(), *domain, *from, *to)
+            })?,
+            WalRecord::DropAttribute {
+                relation,
+                attribute,
+                at,
+            } => self.stage_evolution(relation, op, |cat| {
+                cat.drop_attribute(relation, attribute, *at)
+            })?,
+            WalRecord::ReAddAttribute {
+                relation,
+                attribute,
+                from,
+                to,
+            } => self.stage_evolution(relation, op, |cat| {
+                cat.re_add_attribute(relation, attribute, *from, *to)
+            })?,
+        };
+        self.ops_applied += 1;
+        Ok(Some(payload))
+    }
+
+    /// Stages a catalog evolution op: dry-run on a catalog clone (so the
+    /// WAL only ever records applicable ops), commit the clone, and resync
+    /// the live relation to the evolved scheme.
+    fn stage_evolution<F>(
+        &mut self,
+        relation: &str,
+        op: &WalRecord,
+        apply: F,
+    ) -> Result<Vec<u8>, DbError>
+    where
+        F: FnOnce(&mut Catalog) -> hrdm_core::Result<()>,
+    {
+        let mut trial = (*self.catalog).clone();
+        apply(&mut trial).map_err(DbError::Model)?;
+        let payload = op.payload();
+        self.catalog = Arc::new(trial);
+        self.resync_relation_scheme(relation);
+        Ok(payload)
     }
 
     /// The checks [`Relation::insert`] would run, performed *before* the
@@ -289,7 +527,7 @@ impl Database {
             return Ok(InsertDisposition::Apply);
         }
         let key = tuple.key_values(rel.scheme()).map_err(DbError::Model)?;
-        let duplicate = match self.indexes.get(name).and_then(RelationIndexes::key) {
+        let duplicate = match self.indexes.get(name).and_then(|idx| idx.key()) {
             Some(key_idx) => !key_idx.lookup(&key).is_empty(),
             None => rel.find_by_key(&key).is_some(),
         };
@@ -310,7 +548,9 @@ impl Database {
     fn apply_insert_unchecked(&mut self, name: &str, tuple: Tuple) {
         let rel = self.relations.get_mut(name).expect("pre-validated");
         if let Some(idx) = self.indexes.get_mut(name) {
-            idx.insert(rel.len(), &tuple);
+            // Copy-on-write: shared with a snapshot → clone once, then
+            // mutate our private copy; unshared → in-place.
+            Arc::make_mut(idx).insert(rel.len(), &tuple);
         }
         rel.push_unchecked(tuple);
     }
@@ -325,15 +565,12 @@ impl Database {
         from: Chronon,
         to: Chronon,
     ) -> Result<(), DbError> {
-        let record = WalRecord::AddAttribute {
+        self.commit_one(WalRecord::AddAttribute {
             relation: relation.to_string(),
-            attribute: attribute.clone(),
+            attribute,
             domain,
             from,
             to,
-        };
-        self.evolve(relation, record, |cat| {
-            cat.add_attribute(relation, attribute, domain, from, to)
         })
     }
 
@@ -345,13 +582,10 @@ impl Database {
         attribute: &Attribute,
         at: Chronon,
     ) -> Result<(), DbError> {
-        let record = WalRecord::DropAttribute {
+        self.commit_one(WalRecord::DropAttribute {
             relation: relation.to_string(),
             attribute: attribute.clone(),
             at,
-        };
-        self.evolve(relation, record, |cat| {
-            cat.drop_attribute(relation, attribute, at)
         })
     }
 
@@ -364,31 +598,12 @@ impl Database {
         from: Chronon,
         to: Chronon,
     ) -> Result<(), DbError> {
-        let record = WalRecord::ReAddAttribute {
+        self.commit_one(WalRecord::ReAddAttribute {
             relation: relation.to_string(),
             attribute: attribute.clone(),
             from,
             to,
-        };
-        self.evolve(relation, record, |cat| {
-            cat.re_add_attribute(relation, attribute, from, to)
         })
-    }
-
-    /// Runs a catalog evolution op durably: dry-run on a catalog clone (so
-    /// the WAL only ever records applicable ops), log, commit the clone,
-    /// and resync the live relation to the evolved scheme.
-    fn evolve<F>(&mut self, relation: &str, record: WalRecord, op: F) -> Result<(), DbError>
-    where
-        F: FnOnce(&mut Catalog) -> hrdm_core::Result<()>,
-    {
-        self.check_writable()?;
-        let mut trial = self.catalog.clone();
-        op(&mut trial).map_err(DbError::Model)?;
-        self.log(&record)?;
-        self.catalog = trial;
-        self.resync_relation_scheme(relation);
-        Ok(())
     }
 
     /// Rebuilds the live relation of `name` under the catalog's current
@@ -413,7 +628,7 @@ impl Database {
         // Positions, lifespans, and (constant) key values are untouched by
         // clipping, but rebuild for clarity — evolution is rare.
         self.indexes
-            .insert(name.to_string(), RelationIndexes::build(&rebuilt));
+            .insert(name.to_string(), Arc::new(RelationIndexes::build(&rebuilt)));
         self.relations.insert(name.to_string(), rebuilt);
     }
 
@@ -421,7 +636,7 @@ impl Database {
     /// unknown relation (or an index dropped out-of-band) — callers
     /// (the query planner) must fall back to a sequential scan.
     pub fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
-        self.indexes.get(name)
+        self.indexes.get(name).map(Arc::as_ref)
     }
 
     /// Ensures `name`'s indexes exist and are current, building if needed.
@@ -431,9 +646,9 @@ impl Database {
         }
         if !self.indexes.contains_key(name) {
             let built = RelationIndexes::build(&self.relations[name]);
-            self.indexes.insert(name.to_string(), built);
+            self.indexes.insert(name.to_string(), Arc::new(built));
         }
-        Ok(&self.indexes[name])
+        Ok(self.indexes[name].as_ref())
     }
 
     /// (Re)builds indexes for every relation.
@@ -441,8 +656,31 @@ impl Database {
         let names: Vec<String> = self.relations.keys().cloned().collect();
         for name in names {
             let built = RelationIndexes::build(&self.relations[&name]);
-            self.indexes.insert(name, built);
+            self.indexes.insert(name, Arc::new(built));
         }
+    }
+
+    /// An immutable, cheaply-taken snapshot of the committed state.
+    ///
+    /// Cost is O(relations): relations share their copy-on-write tuple
+    /// storage and indexes are `Arc`-shared, so no tuple is copied. The
+    /// snapshot is wholly unaffected by later mutations, checkpoints, or
+    /// WAL rotation — readers can evaluate whole query pipelines against
+    /// it without any lock.
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot::new(
+            Arc::clone(&self.catalog),
+            self.relations.clone(),
+            self.indexes.clone(),
+            self.epoch(),
+            self.ops_applied,
+        )
+    }
+
+    /// Monotone count of mutations applied to this database instance
+    /// (stamped onto snapshots as their version).
+    pub fn version(&self) -> u64 {
+        self.ops_applied
     }
 
     /// The registered relation names.
@@ -450,8 +688,8 @@ impl Database {
         self.relations.keys().map(String::as_str)
     }
 
-    /// Refuses durable writes once the WAL is poisoned (memory ahead of
-    /// the log after an append failure) — a checkpoint resynchronizes.
+    /// Refuses durable writes once the WAL is poisoned (a failed append
+    /// may have left a torn tail) — a checkpoint rotates to a fresh log.
     fn check_writable(&self) -> Result<(), DbError> {
         match &self.attachment {
             Some(att) if att.poisoned => Err(DbError::Mode(
@@ -459,18 +697,6 @@ impl Database {
             )),
             _ => Ok(()),
         }
-    }
-
-    /// Appends `record` to the WAL (fsync'd) when attached; a no-op when
-    /// detached. An append failure poisons the attachment.
-    fn log(&mut self, record: &WalRecord) -> Result<(), DbError> {
-        if let Some(att) = &mut self.attachment {
-            if let Err(e) = att.wal.append(record) {
-                att.poisoned = true;
-                return Err(DbError::Io(e));
-            }
-        }
-        Ok(())
     }
 
     /// Attaches to `dir` (created if missing), recovering whatever state is
@@ -490,18 +716,19 @@ impl Database {
         db.build_indexes();
         let wal_file = wal_path(dir, epoch);
         if wal_file.exists() {
-            let (records, torn_at) = Wal::replay(&wal_file)?;
+            let (records, torn_at) =
+                Wal::replay(&wal_file).map_err(|e| io_with_path(&wal_file, e))?;
             if let Some(offset) = torn_at {
-                Wal::truncate(&wal_file, offset)?;
+                Wal::truncate(&wal_file, offset).map_err(|e| io_with_path(&wal_file, e))?;
             }
             for record in records {
                 db.apply_record(record)?;
             }
         } else {
-            Wal::create_empty(&wal_file)?;
+            Wal::create_empty(&wal_file).map_err(|e| io_with_path(&wal_file, e))?;
         }
         cleanup_stray_files(dir, epoch, &db);
-        let wal = Wal::open(&wal_file)?;
+        let wal = Wal::open(&wal_file).map_err(|e| io_with_path(&wal_file, e))?;
         db.attachment = Some(Attachment {
             dir: dir.to_path_buf(),
             epoch,
@@ -515,6 +742,7 @@ impl Database {
     /// pre-validated before logging, so failures indicate a log that does
     /// not belong to this checkpoint — reported, never panicking.
     fn apply_record(&mut self, record: WalRecord) -> Result<(), DbError> {
+        self.ops_applied += 1;
         match record {
             WalRecord::CreateRelation { name, scheme } => {
                 if self.catalog.scheme(&name).is_some() {
@@ -551,7 +779,7 @@ impl Database {
                 from,
                 to,
             } => {
-                self.catalog
+                Arc::make_mut(&mut self.catalog)
                     .add_attribute(&relation, attribute, domain, from, to)
                     .map_err(DbError::Model)?;
                 self.resync_relation_scheme(&relation);
@@ -562,7 +790,7 @@ impl Database {
                 attribute,
                 at,
             } => {
-                self.catalog
+                Arc::make_mut(&mut self.catalog)
                     .drop_attribute(&relation, &attribute, at)
                     .map_err(DbError::Model)?;
                 self.resync_relation_scheme(&relation);
@@ -574,7 +802,7 @@ impl Database {
                 from,
                 to,
             } => {
-                self.catalog
+                Arc::make_mut(&mut self.catalog)
                     .re_add_attribute(&relation, &attribute, from, to)
                     .map_err(DbError::Model)?;
                 self.resync_relation_scheme(&relation);
@@ -698,7 +926,10 @@ impl Database {
             None => {
                 return Err(DbError::Io(io::Error::new(
                     io::ErrorKind::NotFound,
-                    "no database here: neither catalog.hrdm nor wal.0.log",
+                    format!(
+                        "no database at {}: neither catalog.hrdm nor wal.0.log",
+                        dir.display()
+                    ),
                 )))
             }
         };
@@ -721,27 +952,42 @@ impl Database {
 /// epoch, or `None` when no catalog exists yet. Verifies checksums and
 /// re-validates every tuple against its (possibly evolved) scheme.
 fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
-    let bytes = match std::fs::read(dir.join(CATALOG_FILE)) {
+    // Every failure names the offending file: `BadFile` without a path
+    // makes CI log triage on the recovery suite needlessly painful.
+    let catalog_path = dir.join(CATALOG_FILE);
+    let bytes = match std::fs::read(&catalog_path) {
         Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(DbError::Io(e)),
+        Err(e) => return Err(io_with_path(&catalog_path, e)),
     };
     if bytes.len() < 24 || &bytes[0..4] != MAGIC {
-        return Err(DbError::BadFile("missing HRDM magic".into()));
+        return Err(DbError::BadFile(format!(
+            "{}: missing HRDM magic",
+            catalog_path.display()
+        )));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     if version != VERSION {
-        return Err(DbError::BadFile(format!("unsupported version {version}")));
+        return Err(DbError::BadFile(format!(
+            "{}: unsupported version {version}",
+            catalog_path.display()
+        )));
     }
     let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
     if bytes.len() < 24 + len + 4 {
-        return Err(DbError::BadFile("truncated catalog".into()));
+        return Err(DbError::BadFile(format!(
+            "{}: truncated catalog",
+            catalog_path.display()
+        )));
     }
     let payload = &bytes[24..24 + len];
     let stored_crc = u32::from_le_bytes(bytes[24 + len..24 + len + 4].try_into().expect("4 bytes"));
     if crc32(payload) != stored_crc {
-        return Err(DbError::BadFile("catalog checksum mismatch".into()));
+        return Err(DbError::BadFile(format!(
+            "{}: catalog checksum mismatch",
+            catalog_path.display()
+        )));
     }
     let catalog = Catalog::decode(&mut Decoder::new(payload))?;
 
@@ -755,7 +1001,7 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
         let path = heap_path(dir, &name, epoch);
         let mut tuples = Vec::new();
         if path.exists() {
-            let heap = HeapFile::open(&path)?;
+            let heap = HeapFile::open(&path).map_err(|e| io_with_path(&path, e))?;
             for (_, rec) in heap.scan() {
                 // Clip to the (possibly evolved) scheme: values outside a
                 // shrunk ALS become invisible, not invalid.
@@ -767,12 +1013,19 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
         relations.insert(name, Relation::from_parts_unchecked(scheme, tuples));
     }
     let db = Database {
-        catalog,
+        catalog: Arc::new(catalog),
         relations,
         indexes: BTreeMap::new(),
         attachment: None,
+        ops_applied: 0,
     };
     Ok(Some((db, epoch)))
+}
+
+/// Wraps an I/O error with the path it concerns, so `Database::open` /
+/// `Database::load` failures are triageable from the message alone.
+fn io_with_path(path: &Path, e: io::Error) -> DbError {
+    DbError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
 }
 
 /// The WAL of checkpoint epoch `epoch`.
@@ -1239,6 +1492,112 @@ mod tests {
     fn checkpoint_requires_attachment() {
         let mut db = Database::new();
         assert!(matches!(db.checkpoint(), Err(DbError::Mode(_))));
+    }
+
+    #[test]
+    fn empty_commit_batch_returns_no_results() {
+        let mut db = Database::new();
+        assert!(db.commit_batch(Vec::new()).is_empty());
+    }
+
+    /// The batch-undo machinery restores exactly the pre-batch state:
+    /// insert-only batches roll back by truncation (indexes rebuilt and
+    /// consistent), mixed batches by the pinned full state. This is the
+    /// path a failed batch fsync takes — a write that returned `Err` must
+    /// never become visible.
+    #[test]
+    fn rollback_restores_pre_batch_state() {
+        let mut db = Database::new();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        let version_before = db.version();
+
+        // Insert-only undo: truncation + index rebuild.
+        let batch = vec![
+            WalRecord::Insert {
+                relation: "emp".into(),
+                tuple: emp("Mary", 5, 30, 30_000),
+            },
+            WalRecord::Insert {
+                relation: "emp".into(),
+                tuple: emp("Igor", 8, 25, 27_000),
+            },
+        ];
+        let undo = db.undo_point(&batch);
+        assert!(matches!(undo, BatchUndo::InsertLens { .. }));
+        for r in db.commit_batch(batch) {
+            r.unwrap();
+        }
+        assert_eq!(db.relation("emp").unwrap().len(), 3);
+        db.rollback(undo);
+        assert_eq!(db.relation("emp").unwrap().len(), 1);
+        assert_eq!(db.version(), version_before);
+        let idx = db.indexes("emp").unwrap();
+        assert_eq!(idx.tuple_count(), 1);
+        assert!(idx.key().unwrap().lookup(&[Value::str("Mary")]).is_empty());
+        assert_eq!(idx.key().unwrap().lookup(&[Value::str("John")]).len(), 1);
+
+        // A batch touching the catalog pins the full state.
+        let batch = vec![WalRecord::DropAttribute {
+            relation: "emp".into(),
+            attribute: "SALARY".into(),
+            at: Chronon::new(50),
+        }];
+        let undo = db.undo_point(&batch);
+        assert!(matches!(undo, BatchUndo::Full { .. }));
+        for r in db.commit_batch(batch) {
+            r.unwrap();
+        }
+        assert_eq!(
+            db.catalog()
+                .scheme("emp")
+                .unwrap()
+                .als(&"SALARY".into())
+                .unwrap(),
+            &Lifespan::interval(0, 49)
+        );
+        db.rollback(undo);
+        assert_eq!(
+            db.catalog()
+                .scheme("emp")
+                .unwrap()
+                .als(&"SALARY".into())
+                .unwrap(),
+            &Lifespan::interval(0, 100)
+        );
+        assert_eq!(db.version(), version_before);
+    }
+
+    /// A failed append must not leave the failed batch's frames on disk:
+    /// `Wal::rollback_to` cuts the log back so a crash-reopen cannot
+    /// resurrect writes whose submitters got `Err`.
+    #[test]
+    fn wal_rollback_to_discards_appended_frames() {
+        let dir = tmp("wal-rollback");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = Database::open(&dir).unwrap();
+        db.create_relation("emp", emp_scheme()).unwrap();
+        db.insert("emp", emp("John", 0, 20, 25_000)).unwrap();
+        let att = db.attachment.as_mut().expect("attached");
+        let offset = att.wal.offset().unwrap();
+        // Simulate a batch whose fsync "failed" after the frames landed.
+        att.wal
+            .append_batch(&[WalRecord::Insert {
+                relation: "emp".into(),
+                tuple: emp("Mary", 5, 30, 30_000),
+            }
+            .payload()])
+            .unwrap();
+        att.wal.rollback_to(offset).unwrap();
+        drop(db);
+        let back = Database::open(&dir).unwrap();
+        assert_eq!(back.relation("emp").unwrap().len(), 1, "cut write is gone");
+        // And the log is healthy for further appends.
+        let mut back = back;
+        back.insert("emp", emp("Igor", 8, 25, 27_000)).unwrap();
+        let again = Database::load(&dir).unwrap();
+        assert_eq!(again.relation("emp").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The brick scenario: evolution must resync the live relation's

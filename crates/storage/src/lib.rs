@@ -18,22 +18,32 @@
 //!   all of the above, with two persistence modes: detached
 //!   save/load snapshots, and a durable **attached** mode
 //!   ([`Database::open`]) that write-ahead logs every mutation and
-//!   checkpoints atomically ([`Database::checkpoint`]).
+//!   checkpoints atomically ([`Database::checkpoint`]);
+//! * [`snapshot`] — immutable, O(relations)-cheap views of the committed
+//!   state ([`DbSnapshot`]) that whole query pipelines run against with
+//!   zero locks;
+//! * [`concurrent`] — [`ConcurrentDatabase`]: snapshot-isolated readers
+//!   plus a leader/follower **group-commit** writer that batches
+//!   concurrent mutations into single fsync'd WAL frames.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod codec;
+pub mod concurrent;
 pub mod database;
 pub mod heap;
 pub mod page;
+pub mod snapshot;
 pub mod wal;
 
 pub use catalog::{Catalog, EvolutionEvent};
 pub use codec::{CodecError, Decoder, Encoder};
+pub use concurrent::{CommitStats, ConcurrentDatabase};
 pub use database::{Database, DbError};
 pub use heap::HeapFile;
 pub use page::{Page, SlotId, PAGE_SIZE};
+pub use snapshot::DbSnapshot;
 pub use wal::{Wal, WalRecord};
 
 // Re-export the access-method types `Database` hands out, so downstream

@@ -1,0 +1,86 @@
+//! Immutable snapshots of a database's committed state.
+//!
+//! A [`DbSnapshot`] is the reader half of the concurrency model: taking one
+//! costs O(relations) (relations are copy-on-write, indexes `Arc`-shared —
+//! no tuple is ever copied), and once taken it is completely decoupled from
+//! the live database. Writers committing new batches, `checkpoint()`
+//! rotating epochs, even the old WAL file being deleted — none of it
+//! changes what the snapshot's holder sees. Whole query pipelines
+//! (optimizer → access-path planner → evaluator) run against a snapshot
+//! with zero locks.
+
+use crate::catalog::Catalog;
+use hrdm_core::Relation;
+use hrdm_index::RelationIndexes;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An immutable view of a database's committed state at one commit point.
+///
+/// `hrdm-query` implements its `RelationSource` / `IndexSource` traits for
+/// this type, so a snapshot drops into every query entry point that accepts
+/// a `Database`. Snapshots are [`Clone`] (O(relations)) and `Send + Sync`:
+/// hand them to as many reader threads as you like.
+#[derive(Clone, Debug)]
+pub struct DbSnapshot {
+    catalog: Arc<Catalog>,
+    relations: BTreeMap<String, Relation>,
+    indexes: BTreeMap<String, Arc<RelationIndexes>>,
+    epoch: Option<u64>,
+    version: u64,
+}
+
+impl DbSnapshot {
+    pub(crate) fn new(
+        catalog: Arc<Catalog>,
+        relations: BTreeMap<String, Relation>,
+        indexes: BTreeMap<String, Arc<RelationIndexes>>,
+        epoch: Option<u64>,
+        version: u64,
+    ) -> DbSnapshot {
+        DbSnapshot {
+            catalog,
+            relations,
+            indexes,
+            epoch,
+            version,
+        }
+    }
+
+    /// The relation named `name`, as of the snapshot's commit point.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// The access methods of `name`, frozen with the snapshot. Positions
+    /// they return are valid against [`DbSnapshot::relation`] of the same
+    /// snapshot by construction — the index and the tuple vector were
+    /// published together.
+    pub fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
+        self.indexes.get(name).map(Arc::as_ref)
+    }
+
+    /// The catalog (schemes + evolution log) as of the snapshot.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The registered relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// The checkpoint epoch the database was on when the snapshot was
+    /// taken (`None` for a detached database).
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// The snapshot's version: the count of mutations applied before it
+    /// was taken. Versions order snapshots — a reader seeing version `v`
+    /// observes exactly the first `v` mutations, never a subset of them
+    /// (prefix consistency).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
