@@ -9,6 +9,7 @@
 
 pub mod gate;
 pub mod gen;
+pub mod partition_fixture;
 
 pub use gen::{
     emp_scheme, gen_relation, gen_second_relation, gen_tt_relation, second_scheme, tt_scheme,

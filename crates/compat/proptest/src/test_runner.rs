@@ -12,11 +12,25 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
+
+    /// A config whose case count comes from the `PROPTEST_CASES`
+    /// environment variable (mirroring real proptest), falling back to
+    /// `default_cases` when unset or unparsable. Lets CI crank suites up
+    /// (e.g. `PROPTEST_CASES=256` on the differential-oracle leg) without
+    /// touching the tests.
+    pub fn from_env_or(default_cases: u32) -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_cases);
+        ProptestConfig { cases }
+    }
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable via `PROPTEST_CASES` (like real proptest).
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64 }
+        ProptestConfig::from_env_or(64)
     }
 }
 

@@ -174,8 +174,14 @@ impl Expr {
         }
     }
 
-    /// Number of nodes in the tree (used by optimizer fixpoint bounds and
-    /// tests).
+    /// Number of nodes in the tree, **lifespan subexpressions included**
+    /// (used by optimizer fixpoint bounds and tests).
+    ///
+    /// A `TIMESLICE` window or `SELECT-IF` bound is a [`LifespanExpr`]
+    /// that may nest arbitrarily large relational subtrees through
+    /// `WHEN(…)`; not counting them would let the optimizer's
+    /// size²-bounded fixpoint loop under-budget rewrites of those
+    /// subtrees.
     pub fn size(&self) -> usize {
         1 + match self {
             Expr::Relation(_) => 0,
@@ -190,11 +196,26 @@ impl Expr {
             Expr::ThetaJoin { left, right, .. } | Expr::TimeJoin { left, right, .. } => {
                 left.size() + right.size()
             }
-            Expr::Project { input, .. }
-            | Expr::SelectIf { input, .. }
-            | Expr::SelectWhen { input, .. }
-            | Expr::TimeSlice { input, .. }
-            | Expr::TimeSliceDynamic { input, .. } => input.size(),
+            Expr::Project { input, .. } | Expr::TimeSliceDynamic { input, .. } => input.size(),
+            Expr::SelectWhen { input, .. } => input.size(),
+            Expr::SelectIf {
+                input, lifespan, ..
+            } => input.size() + lifespan.as_ref().map_or(0, LifespanExpr::size),
+            Expr::TimeSlice { input, lifespan } => input.size() + lifespan.size(),
+        }
+    }
+}
+
+impl LifespanExpr {
+    /// Number of nodes in the lifespan expression, counting the relational
+    /// subtrees under `WHEN(…)` bridges at their full [`Expr::size`].
+    pub fn size(&self) -> usize {
+        match self {
+            LifespanExpr::Literal(_) => 1,
+            LifespanExpr::When(e) => 1 + e.size(),
+            LifespanExpr::Union(a, b)
+            | LifespanExpr::Intersect(a, b)
+            | LifespanExpr::Minus(a, b) => 1 + a.size() + b.size(),
         }
     }
 }
@@ -292,11 +313,45 @@ mod tests {
             .select_when(Predicate::eq_value("SALARY", 30_000i64))
             .project(["NAME"])
             .timeslice(Lifespan::interval(0, 10));
-        assert_eq!(e.size(), 4);
+        // 4 relational nodes + the literal window lifespan node.
+        assert_eq!(e.size(), 5);
         let text = e.to_string();
         assert!(text.contains("SELECT-WHEN"));
         assert!(text.contains("PROJECT"));
         assert!(text.contains("TIMESLICE [0..10]"));
+    }
+
+    /// Regression: `size()` used to ignore lifespan subexpressions
+    /// entirely, so a `WHEN(…)` window nesting a large relational subtree
+    /// counted as zero — silently loosening the optimizer's size²
+    /// fixpoint bound for exactly the trees that need it most.
+    #[test]
+    fn size_counts_nested_lifespan_expressions() {
+        let inner = Expr::rel("a").select_when(Predicate::eq_value("X", 1i64)); // size 2
+        let window = LifespanExpr::Intersect(
+            Box::new(LifespanExpr::When(Box::new(inner))), // 1 + 2
+            Box::new(LifespanExpr::Literal(Lifespan::interval(0, 5))), // 1
+        ); // 1 + 3 + 1 = 5
+        assert_eq!(window.size(), 5);
+        let sliced = Expr::TimeSlice {
+            input: Box::new(Expr::rel("emp")),
+            lifespan: window.clone(),
+        };
+        assert_eq!(sliced.size(), 1 + 1 + 5);
+        let bounded = Expr::SelectIf {
+            input: Box::new(Expr::rel("emp")),
+            predicate: Predicate::eq_value("Y", 2i64),
+            quantifier: hrdm_core::algebra::Quantifier::Exists,
+            lifespan: Some(window),
+        };
+        assert_eq!(bounded.size(), 1 + 1 + 5);
+        // And a nested lifespan tree strictly grows the size, so the
+        // optimizer's bound grows with it.
+        let deeper = Expr::TimeSlice {
+            input: Box::new(Expr::rel("emp")),
+            lifespan: LifespanExpr::When(Box::new(Expr::rel("b").timeslice(Lifespan::point(3)))),
+        };
+        assert!(deeper.size() > Expr::rel("emp").timeslice(Lifespan::point(3)).size());
     }
 
     #[test]

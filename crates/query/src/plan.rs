@@ -30,6 +30,7 @@ use hrdm_core::algebra::{
 };
 use hrdm_core::{Attribute, HrdmError, Relation, Result, Tuple, Value};
 use hrdm_index::RelationIndexes;
+use hrdm_storage::PartitionMap;
 use hrdm_time::Lifespan;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -41,11 +42,24 @@ use std::fmt;
 pub trait IndexSource: RelationSource {
     /// The current, valid indexes for `name`, if any.
     fn indexes(&self, name: &str) -> Option<&RelationIndexes>;
+
+    /// The chronon-range partition map for `name`, if the source maintains
+    /// one. Lifespan-bounded scans then plan only the partitions whose
+    /// min/max summary overlaps the bound (partition pruning); `None`
+    /// falls back to the relation-wide lifespan index.
+    fn partitions(&self, name: &str) -> Option<&PartitionMap> {
+        let _ = name;
+        None
+    }
 }
 
 impl IndexSource for hrdm_storage::Database {
     fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
         hrdm_storage::Database::indexes(self, name)
+    }
+
+    fn partitions(&self, name: &str) -> Option<&PartitionMap> {
+        hrdm_storage::Database::partitions(self, name)
     }
 }
 
@@ -56,6 +70,13 @@ impl IndexSource for hrdm_storage::Database {
 impl IndexSource for hrdm_storage::DbSnapshot {
     fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
         hrdm_storage::DbSnapshot::indexes(self, name)
+    }
+
+    /// The snapshot's frozen partition map: a repartition of the live
+    /// database after this snapshot was taken builds new maps and leaves
+    /// this one untouched.
+    fn partitions(&self, name: &str) -> Option<&PartitionMap> {
+        hrdm_storage::DbSnapshot::partitions(self, name)
     }
 }
 
@@ -90,16 +111,37 @@ impl IndexSource for IndexedRelations {
     }
 }
 
+/// Plan-time partition-pruning statistics for one lifespan-bounded scan:
+/// how many of the relation's partitions the bound actually touches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PartitionPruning {
+    /// Partitions whose min/max summary overlaps the window.
+    pub scanned: usize,
+    /// Total partitions of the relation.
+    pub total: usize,
+}
+
+impl PartitionPruning {
+    /// Partitions skipped without being touched.
+    pub fn pruned(&self) -> usize {
+        self.total - self.scanned
+    }
+}
+
 /// How a base-relation scan fetches its tuples.
 #[derive(Clone, PartialEq, Debug)]
 pub enum AccessPath {
     /// Read every tuple.
     SeqScan,
     /// Probe the lifespan interval index for tuples alive somewhere in the
-    /// window.
+    /// window — served partition-by-partition when the source maintains a
+    /// partition map (only the partitions overlapping the window are
+    /// touched).
     LifespanIndex {
         /// The stabbing/overlap window.
         window: Lifespan,
+        /// Plan-time pruning statistics, when the source is partitioned.
+        pruning: Option<PartitionPruning>,
     },
     /// Probe the key index with an equality key.
     KeyIndex {
@@ -114,8 +156,12 @@ impl fmt::Display for AccessPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccessPath::SeqScan => f.write_str("SeqScan"),
-            AccessPath::LifespanIndex { window } => {
-                write!(f, "IndexScan(lifespan, {})", fmt_window(window))
+            AccessPath::LifespanIndex { window, pruning } => {
+                write!(f, "IndexScan(lifespan, {})", fmt_window(window))?;
+                if let Some(p) = pruning {
+                    write!(f, " partitions: {}/{} pruned", p.pruned(), p.total)?;
+                }
+                Ok(())
             }
             AccessPath::KeyIndex { attrs, key } => {
                 let probe: Vec<String> = attrs
@@ -262,31 +308,66 @@ pub enum BinaryOp {
 
 /// Plans an optimized expression against the indexes `src` currently holds.
 pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
-    match expr {
-        Expr::Relation(name) => Plan::Scan {
-            relation: name.clone(),
-            access: AccessPath::SeqScan,
-        },
+    plan_bounded(expr, src, None)
+}
 
-        // τ_L(R): serve the window from R's lifespan interval index.
+/// Plans `expr` under an optional **lifespan bound**: a window `B` such
+/// that base tuples whose lifespan is disjoint from `B` cannot affect the
+/// result of the *bounded* expression (there is a literal TIME-SLICE above
+/// that drops their whole contribution).
+///
+/// The bound is introduced at `τ_L` with a literal `L` and propagated down
+/// through exactly the operators where pruning is sound — the per-tuple,
+/// lifespan-non-increasing unaries (σWHEN, σIF, π, τ, τ@A) and all six set
+/// operators, whose outputs derive from single input tuples (or key-merged
+/// groups) without ever growing a lifespan beyond its generators. It is
+/// cut at products and joins, whose output rows combine both sides.
+///
+/// A bounded base-relation scan becomes a [`AccessPath::LifespanIndex`]
+/// scan, which a partitioned source serves by **partition pruning**: only
+/// partitions whose min/max summary overlaps `B` are touched. Like every
+/// access path, this yields candidates only — the timeslice above
+/// re-applies exact semantics, so planned ≡ unplanned holds (asserted by
+/// the differential suite).
+fn plan_bounded(expr: &Expr, src: &dyn IndexSource, bound: Option<&Lifespan>) -> Plan {
+    match expr {
+        Expr::Relation(name) => {
+            let access = match (bound, base_with_indexes(expr, src)) {
+                (Some(b), Some(_)) => AccessPath::LifespanIndex {
+                    window: b.clone(),
+                    pruning: src
+                        .partitions(name)
+                        .map(|parts| parts.pruning_counts(b))
+                        .map(|(scanned, total)| PartitionPruning { scanned, total }),
+                },
+                _ => AccessPath::SeqScan,
+            };
+            Plan::Scan {
+                relation: name.clone(),
+                access,
+            }
+        }
+
+        // τ_L with a literal L introduces (or narrows) the bound.
         Expr::TimeSlice {
             input,
             lifespan: lifespan @ LifespanExpr::Literal(window),
-        } if base_with_indexes(input, src).is_some() => {
-            let name = base_with_indexes(input, src).expect("guard");
+        } => {
+            let narrowed = match bound {
+                Some(b) => window.intersect(b),
+                None => window.clone(),
+            };
             Plan::Unary {
                 op: UnaryOp::TimeSlice(lifespan.clone()),
-                input: Box::new(Plan::Scan {
-                    relation: name.to_string(),
-                    access: AccessPath::LifespanIndex {
-                        window: window.clone(),
-                    },
-                }),
+                input: Box::new(plan_bounded(input, src, Some(&narrowed))),
             }
         }
+        // A computed window (e.g. `WHEN(…)`) is unknown at plan time; the
+        // slice itself is still per-tuple non-increasing, so an outer
+        // bound keeps flowing through it.
         Expr::TimeSlice { input, lifespan } => Plan::Unary {
             op: UnaryOp::TimeSlice(lifespan.clone()),
-            input: Box::new(plan(input, src)),
+            input: Box::new(plan_bounded(input, src, bound)),
         },
 
         // σWHEN(θ)(R) with θ pinning R's full key: probe the key index.
@@ -296,13 +377,16 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
             let scan = key_probe_scan(input, predicate, src);
             Plan::Unary {
                 op: UnaryOp::SelectWhen(predicate.clone()),
-                input: Box::new(scan.unwrap_or_else(|| plan(input, src))),
+                input: Box::new(scan.unwrap_or_else(|| plan_bounded(input, src, bound))),
             }
         }
 
-        // σIF(θ, EXISTS, L)(R) likewise. FORALL is *not* index-eligible:
-        // its quantification domain can be empty, in which case the tuple
-        // is selected vacuously — even with a non-matching key.
+        // σIF(θ, EXISTS, L)(R) likewise. FORALL is *not* key-index
+        // eligible: its quantification domain can be empty, in which case
+        // the tuple is selected vacuously — even with a non-matching key.
+        // A lifespan bound is sound for both quantifiers, though: σIF
+        // passes tuples through whole, so a pruned-out tuple's selection
+        // dies at the bounding τ either way.
         Expr::SelectIf {
             input,
             predicate,
@@ -320,7 +404,7 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
                     quantifier: *quantifier,
                     lifespan: lifespan.clone(),
                 },
-                input: Box::new(scan.unwrap_or_else(|| plan(input, src))),
+                input: Box::new(scan.unwrap_or_else(|| plan_bounded(input, src, bound))),
             }
         }
 
@@ -329,31 +413,34 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
         Expr::NaturalJoin(left, right) => {
             if let Some(right_name) = natural_probe_side(left, right, src) {
                 Plan::IndexedNaturalJoin {
-                    left: Box::new(plan(left, src)),
+                    left: Box::new(plan_bounded(left, src, None)),
                     right: right_name.to_string(),
                 }
             } else {
                 Plan::Binary {
                     op: BinaryOp::NaturalJoin,
-                    left: Box::new(plan(left, src)),
-                    right: Box::new(plan(right, src)),
+                    left: Box::new(plan_bounded(left, src, None)),
+                    right: Box::new(plan_bounded(right, src, None)),
                 }
             }
         }
 
         // TIME-JOIN with an indexed base relation on the right: probe its
-        // lifespan index with `t1.l ∩ image(t1(A))` per left tuple.
+        // lifespan index with `t1.l ∩ image(t1(A))` per left tuple. On a
+        // partitioned source the probe itself prunes partitions at run
+        // time (the probe window is per-tuple, so there is no plan-time
+        // k/N to report).
         Expr::TimeJoin { left, right, attr } => {
             if let Some(right_name) = base_with_indexes(right, src) {
                 Plan::IndexedTimeJoin {
-                    left: Box::new(plan(left, src)),
+                    left: Box::new(plan_bounded(left, src, None)),
                     right: right_name.to_string(),
                     attr: attr.clone(),
                 }
             } else {
                 Plan::TimeJoin {
-                    left: Box::new(plan(left, src)),
-                    right: Box::new(plan(right, src)),
+                    left: Box::new(plan_bounded(left, src, None)),
+                    right: Box::new(plan_bounded(right, src, None)),
                     attr: attr.clone(),
                 }
             }
@@ -361,19 +448,19 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
 
         Expr::Project { input, attrs } => Plan::Unary {
             op: UnaryOp::Project(attrs.clone()),
-            input: Box::new(plan(input, src)),
+            input: Box::new(plan_bounded(input, src, bound)),
         },
         Expr::TimeSliceDynamic { input, attr } => Plan::Unary {
             op: UnaryOp::TimeSliceDynamic(attr.clone()),
-            input: Box::new(plan(input, src)),
+            input: Box::new(plan_bounded(input, src, bound)),
         },
-        Expr::Union(a, b) => binary(BinaryOp::Union, a, b, src),
-        Expr::Intersection(a, b) => binary(BinaryOp::Intersection, a, b, src),
-        Expr::Difference(a, b) => binary(BinaryOp::Difference, a, b, src),
-        Expr::UnionO(a, b) => binary(BinaryOp::UnionO, a, b, src),
-        Expr::IntersectionO(a, b) => binary(BinaryOp::IntersectionO, a, b, src),
-        Expr::DifferenceO(a, b) => binary(BinaryOp::DifferenceO, a, b, src),
-        Expr::Product(a, b) => binary(BinaryOp::Product, a, b, src),
+        Expr::Union(a, b) => binary(BinaryOp::Union, a, b, src, bound),
+        Expr::Intersection(a, b) => binary(BinaryOp::Intersection, a, b, src, bound),
+        Expr::Difference(a, b) => binary(BinaryOp::Difference, a, b, src, bound),
+        Expr::UnionO(a, b) => binary(BinaryOp::UnionO, a, b, src, bound),
+        Expr::IntersectionO(a, b) => binary(BinaryOp::IntersectionO, a, b, src, bound),
+        Expr::DifferenceO(a, b) => binary(BinaryOp::DifferenceO, a, b, src, bound),
+        Expr::Product(a, b) => binary(BinaryOp::Product, a, b, src, None),
         Expr::ThetaJoin {
             left,
             right,
@@ -381,8 +468,8 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
             op,
             b,
         } => Plan::ThetaJoin {
-            left: Box::new(plan(left, src)),
-            right: Box::new(plan(right, src)),
+            left: Box::new(plan_bounded(left, src, None)),
+            right: Box::new(plan_bounded(right, src, None)),
             a: a.clone(),
             op: *op,
             b: b.clone(),
@@ -390,11 +477,17 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
     }
 }
 
-fn binary(op: BinaryOp, a: &Expr, b: &Expr, src: &dyn IndexSource) -> Plan {
+fn binary(
+    op: BinaryOp,
+    a: &Expr,
+    b: &Expr,
+    src: &dyn IndexSource,
+    bound: Option<&Lifespan>,
+) -> Plan {
     Plan::Binary {
         op,
-        left: Box::new(plan(a, src)),
-        right: Box::new(plan(b, src)),
+        left: Box::new(plan_bounded(a, src, bound)),
+        right: Box::new(plan_bounded(b, src, bound)),
     }
 }
 
@@ -553,7 +646,7 @@ pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
                 .relation(right)
                 .ok_or_else(|| HrdmError::UnknownRelation(right.clone()))?;
             match src.indexes(right) {
-                Some(idx) => indexed_time_join(&a, b, attr, idx),
+                Some(idx) => indexed_time_join(&a, b, attr, idx, valid_partitions(src, right, b)),
                 None => time_join(&a, b, attr),
             }
         }
@@ -582,14 +675,32 @@ fn eval_scan(name: &str, access: &AccessPath, src: &dyn IndexSource) -> Result<R
         .ok_or_else(|| HrdmError::UnknownRelation(name.to_string()))?;
     match (access, src.indexes(name)) {
         (AccessPath::SeqScan, _) | (_, None) => Ok(r.clone()),
-        (AccessPath::LifespanIndex { window }, Some(idx)) => {
-            Ok(r.subset_at_positions(&idx.lifespan().overlapping(window)))
+        (AccessPath::LifespanIndex { window, .. }, Some(idx)) => {
+            // Partition-pruned when the source keeps a (current) partition
+            // map: skip partitions whose summary misses the window, take
+            // fully-covered partitions whole, probe the rest through
+            // their own small indexes.
+            match valid_partitions(src, name, r) {
+                Some(parts) => Ok(r.subset_at_positions(&parts.prune_positions(window))),
+                None => Ok(r.subset_at_positions(&idx.lifespan().overlapping(window))),
+            }
         }
         (AccessPath::KeyIndex { key, .. }, Some(idx)) => match idx.key() {
             Some(key_idx) => Ok(r.subset_at_positions(key_idx.lookup(key))),
             None => Ok(r.clone()),
         },
     }
+}
+
+/// `src`'s partition map for `name`, but only when its positions are
+/// current against `r` — a stale map (out-of-band mutation) degrades to
+/// the relation-wide index, never to wrong positions.
+fn valid_partitions<'s>(
+    src: &'s dyn IndexSource,
+    name: &str,
+    r: &Relation,
+) -> Option<&'s PartitionMap> {
+    src.partitions(name).filter(|p| p.tuple_count() == r.len())
 }
 
 /// Index nested-loop NATURAL-JOIN: per left tuple, probe the right key
@@ -635,13 +746,16 @@ fn indexed_natural_join(
 }
 
 /// Index nested-loop TIME-JOIN: per left tuple, probe the right lifespan
-/// index with `t1.l ∩ image(t1(A))`. Exact per-pair semantics come from
-/// [`time_join_pair`].
+/// index with `t1.l ∩ image(t1(A))`. On a partitioned right side the
+/// probe prunes at partition granularity first (run-time partition
+/// pruning — each probe window is per-tuple). Exact per-pair semantics
+/// come from [`time_join_pair`].
 fn indexed_time_join(
     left: &Relation,
     right: &Relation,
     attr: &Attribute,
     idx: &RelationIndexes,
+    parts: Option<&PartitionMap>,
 ) -> Result<Relation> {
     let dom = left.scheme().dom(attr)?;
     if !dom.is_time_valued() {
@@ -658,7 +772,11 @@ fn indexed_time_join(
             continue;
         }
         let probe = t1.lifespan().intersect(&image);
-        for pos in idx.lifespan().overlapping(&probe) {
+        let candidates = match parts {
+            Some(parts) => parts.prune_positions(&probe),
+            None => idx.lifespan().overlapping(&probe),
+        };
+        for pos in candidates {
             if let Some(t2) = right.tuple_at(pos) {
                 if let Some(j) = time_join_pair(t1, t2, &image) {
                     out.push(j);

@@ -359,6 +359,95 @@ fn without_indexes_everything_is_seq_scan() {
     );
 }
 
+/// A literal TIME-SLICE bound propagates through the per-tuple unaries
+/// and the set operators down to every base scan — each one becomes a
+/// lifespan-index scan — and planned results stay exactly the plain
+/// evaluator's.
+#[test]
+fn timeslice_bound_propagates_to_scans_under_selects_and_set_ops() {
+    for q in [
+        "TIMESLICE [0..30] (SELECT-WHEN (SALARY >= 26000) (emp))",
+        "TIMESLICE [0..30] (PROJECT [NAME, SALARY] (emp))",
+        "TIMESLICE [0..30] (emp UNION emp)",
+        "TIMESLICE [0..30] ((SELECT-WHEN (SALARY >= 1) (emp)) MINUS emp)",
+        "TIMESLICE [0..30] (SELECT-IF (SALARY >= 1, FORALL, [5..9]) (emp))",
+    ] {
+        let (_, text) = planned(q);
+        assert!(
+            text.contains("IndexScan(lifespan"),
+            "bound did not reach the scan for {q}:\n{text}"
+        );
+        assert!(
+            !text.contains("[SeqScan]"),
+            "a scan escaped the bound for {q}:\n{text}"
+        );
+        assert_same_results(q);
+    }
+    // Nested slices narrow the bound to the intersection even when the
+    // optimizer cannot fuse them (an opaque operator in between).
+    let q = "TIMESLICE [0..20] (PROJECT [NAME] (TIMESLICE [10..40] (emp)))";
+    let (_, text) = planned(q);
+    assert!(
+        text.contains("IndexScan(lifespan, [10..20])"),
+        "nested bounds must intersect:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+/// The bound is cut at products and joins: their outputs combine both
+/// sides, so pruning either side by the outer window would be unsound.
+#[test]
+fn timeslice_bound_is_cut_at_products() {
+    let q = "TIMESLICE [0..10] (emp PRODUCT evt)";
+    let (_, text) = planned(q);
+    assert!(
+        !text.contains("IndexScan(lifespan"),
+        "bound leaked through a product:\n{text}"
+    );
+    assert_same_results(q);
+}
+
+/// Against a partitioned source (a real `Database`), a bounded scan's
+/// EXPLAIN carries `partitions: k/N pruned`, with counts from the
+/// source's partition map — and the pruned evaluation stays exact.
+#[test]
+fn partitioned_source_explains_pruning_counts() {
+    let mut db = hrdm_storage::Database::new();
+    db.set_partition_policy(hrdm_storage::PartitionPolicy::SpanLog2(4)); // span 16
+    let scheme = Scheme::builder()
+        .key_attr("K", ValueKind::Int, Lifespan::interval(0, 1000))
+        .attr("V", HistoricalDomain::int(), Lifespan::interval(0, 1000))
+        .build()
+        .unwrap();
+    db.create_relation("r", scheme.clone()).unwrap();
+    for k in 0..16i64 {
+        let lo = k * 16;
+        let life = Lifespan::interval(lo, lo + 10);
+        let t = Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(k)))
+            .finish(&scheme)
+            .unwrap();
+        db.insert("r", t).unwrap();
+    }
+    let e = parse_expr("TIMESLICE [0..40] (r)").unwrap();
+    let (optimized, _) = optimize(&e);
+    let p = plan(&optimized, &db);
+    let text = explain_plan(&p);
+    assert!(
+        text.contains("partitions: 13/16 pruned"),
+        "wrong or missing pruning counts:\n{text}"
+    );
+    assert_eq!(
+        eval_plan(&p, &db).unwrap(),
+        eval_expr(&e, &db).unwrap(),
+        "pruned scan diverged"
+    );
+    // An unpartitioned in-memory source renders no pruning suffix.
+    let (_, text) = planned("TIMESLICE [10..20] (emp)");
+    assert!(!text.contains("partitions:"), "{text}");
+}
+
 #[test]
 fn explain_with_access_shows_rewrites_and_paths() {
     let e = parse_expr("TIMESLICE [0..10] (TIMESLICE [5..20] (emp))").unwrap();

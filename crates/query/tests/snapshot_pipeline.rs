@@ -100,3 +100,51 @@ fn planner_uses_snapshot_indexes() {
         "snapshot plan lost the key probe:\n{text}"
     );
 }
+
+/// A snapshot taken before a repartition keeps planning `IndexScan`
+/// against its **frozen** partition map: the pruning counts in EXPLAIN
+/// reflect the old cut, positions stay valid, and results equal the live
+/// engine's for the shared prefix.
+#[test]
+fn old_snapshots_plan_index_scans_against_their_frozen_partition_map() {
+    use hrdm_storage::PartitionPolicy;
+    let db = ConcurrentDatabase::new();
+    db.set_partition_policy(PartitionPolicy::SpanLog2(8)); // span 256
+    db.create_relation("r", scheme()).unwrap();
+    for k in 0..200 {
+        db.insert("r", tup(k)).unwrap();
+    }
+    let old = db.snapshot();
+    let old_parts = old.partitions("r").unwrap().partition_count();
+
+    // The writer splits the hot partitions: span 256 → 16.
+    db.set_partition_policy(PartitionPolicy::SpanLog2(4));
+    for k in 200..260 {
+        db.insert("r", tup(k)).unwrap();
+    }
+
+    // The old snapshot still plans an IndexScan, with pruning counts from
+    // its frozen (coarse) map — not the live (fine) one.
+    let e = parse_expr("TIMESLICE [100..180] (r)").unwrap();
+    let text = explain_with_access(&e, &*old);
+    assert!(
+        text.contains("IndexScan(lifespan") && text.contains("partitions:"),
+        "frozen snapshot lost its pruned index scan:\n{text}"
+    );
+    assert!(
+        text.contains(&format!("/{old_parts} pruned")),
+        "pruning totals must come from the frozen map ({old_parts} partitions):\n{text}"
+    );
+    let live_parts = db.snapshot().partitions("r").unwrap().partition_count();
+    assert!(
+        live_parts > old_parts,
+        "the split must have grown the live partition count"
+    );
+
+    // And evaluation on the frozen map returns exactly the old prefix.
+    let parsed = parse_query("TIMESLICE [0..1000] (r)").unwrap();
+    match evaluate_planned(&parsed, &*old).unwrap() {
+        QueryResult::Relation(r) => assert_eq!(r.len(), 200),
+        other => panic!("unexpected result {other:?}"),
+    }
+}

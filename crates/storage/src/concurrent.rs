@@ -332,6 +332,17 @@ impl ConcurrentDatabase {
         Ok(())
     }
 
+    /// Repartitions every relation under `policy` (e.g. halving the span
+    /// to split hot partitions) and republishes. Readers holding earlier
+    /// snapshots keep their frozen partition maps — repartitioning is
+    /// copy-on-write, like every other write (see
+    /// [`Database::set_partition_policy`]).
+    pub fn set_partition_policy(&self, policy: crate::partition::PartitionPolicy) {
+        let mut db = self.inner.lock().expect("database lock");
+        db.set_partition_policy(policy);
+        self.publish(&db);
+    }
+
     /// Exports the current state into `dir` (see [`Database::save`]).
     pub fn save(&self, dir: &Path) -> Result<(), DbError> {
         self.inner.lock().expect("database lock").save(dir)

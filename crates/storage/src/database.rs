@@ -30,6 +30,7 @@ use crate::catalog::Catalog;
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::heap::HeapFile;
 use crate::page::crc32;
+use crate::partition::{PartitionMap, PartitionPolicy};
 use crate::snapshot::DbSnapshot;
 use crate::wal::{Wal, WalRecord};
 use hrdm_core::{Attribute, HistoricalDomain, HrdmError, Relation, Scheme, Tuple};
@@ -41,7 +42,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"HRDM";
-const VERSION: u32 = 2;
+/// Catalog header version. v3 added the partition section: the boundary
+/// policy plus, per relation, the per-partition manifest (id, tuple count,
+/// min/max lifespan summary) that [`read_checkpoint`] uses to reassemble
+/// relations from their per-partition heap files.
+const VERSION: u32 = 3;
 const CATALOG_FILE: &str = "catalog.hrdm";
 
 /// Errors from database persistence.
@@ -130,6 +135,7 @@ enum BatchUndo {
         catalog: Arc<Catalog>,
         relations: BTreeMap<String, Relation>,
         indexes: BTreeMap<String, Arc<RelationIndexes>>,
+        partitions: BTreeMap<String, Arc<PartitionMap>>,
         ops_applied: u64,
     },
 }
@@ -174,6 +180,19 @@ pub struct Database {
     /// Monotone count of applied mutations — the version stamped onto
     /// snapshots, so readers can order the states they observe.
     ops_applied: u64,
+    /// Chronon-range partition map per relation (`hrdm-storage`'s
+    /// [`partition`](crate::partition) module): pure physical metadata
+    /// over the flat tuple vectors, maintained incrementally alongside
+    /// `indexes` and `Arc`-shared into snapshots, so readers keep a
+    /// frozen map across repartitions. Checkpoints persist one heap file
+    /// per partition and rewrite only the dirty ones.
+    partitions: BTreeMap<String, Arc<PartitionMap>>,
+    /// The boundary policy new partition maps are built under. Persisted
+    /// in the catalog (header v3) at checkpoint; **not** WAL-logged —
+    /// partitioning is physical, so a policy change between checkpoints
+    /// reverts to the persisted policy on crash recovery (same data,
+    /// different cut).
+    partition_policy: PartitionPolicy,
 }
 
 impl Database {
@@ -234,6 +253,10 @@ impl Database {
             name.to_string(),
             Arc::new(RelationIndexes::build(&relation)),
         );
+        self.partitions.insert(
+            name.to_string(),
+            Arc::new(PartitionMap::build(&relation, self.partition_policy)),
+        );
         self.relations.insert(name.to_string(), relation);
     }
 
@@ -264,6 +287,10 @@ impl Database {
         self.indexes.insert(
             name.to_string(),
             Arc::new(RelationIndexes::build(&relation)),
+        );
+        self.partitions.insert(
+            name.to_string(),
+            Arc::new(PartitionMap::build(&relation, self.partition_policy)),
         );
         self.relations.insert(name.to_string(), relation);
     }
@@ -388,6 +415,7 @@ impl Database {
                 catalog: Arc::clone(&self.catalog),
                 relations: self.relations.clone(),
                 indexes: self.indexes.clone(),
+                partitions: self.partitions.clone(),
                 ops_applied: self.ops_applied,
             }
         }
@@ -407,6 +435,12 @@ impl Database {
                     if rel.len() > old_len {
                         rel.truncate(old_len);
                         let rebuilt = RelationIndexes::build(rel);
+                        let policy = self.partition_policy;
+                        // Rebuild marks every partition dirty —
+                        // conservative (the next checkpoint rewrites
+                        // more), never incorrect.
+                        self.partitions
+                            .insert(name.clone(), Arc::new(PartitionMap::build(rel, policy)));
                         self.indexes.insert(name, Arc::new(rebuilt));
                     }
                 }
@@ -416,11 +450,13 @@ impl Database {
                 catalog,
                 relations,
                 indexes,
+                partitions,
                 ops_applied,
             } => {
                 self.catalog = catalog;
                 self.relations = relations;
                 self.indexes = indexes;
+                self.partitions = partitions;
                 self.ops_applied = ops_applied;
             }
         }
@@ -552,6 +588,9 @@ impl Database {
             // mutate our private copy; unshared → in-place.
             Arc::make_mut(idx).insert(rel.len(), &tuple);
         }
+        if let Some(parts) = self.partitions.get_mut(name) {
+            Arc::make_mut(parts).insert(rel.len(), &tuple);
+        }
         rel.push_unchecked(tuple);
     }
 
@@ -629,6 +668,10 @@ impl Database {
         // clipping, but rebuild for clarity — evolution is rare.
         self.indexes
             .insert(name.to_string(), Arc::new(RelationIndexes::build(&rebuilt)));
+        self.partitions.insert(
+            name.to_string(),
+            Arc::new(PartitionMap::build(&rebuilt, self.partition_policy)),
+        );
         self.relations.insert(name.to_string(), rebuilt);
     }
 
@@ -651,12 +694,54 @@ impl Database {
         Ok(self.indexes[name].as_ref())
     }
 
-    /// (Re)builds indexes for every relation.
+    /// (Re)builds indexes — and the partition maps — for every relation.
     pub fn build_indexes(&mut self) {
         let names: Vec<String> = self.relations.keys().cloned().collect();
         for name in names {
             let built = RelationIndexes::build(&self.relations[&name]);
-            self.indexes.insert(name, Arc::new(built));
+            let parts = PartitionMap::build(&self.relations[&name], self.partition_policy);
+            self.indexes.insert(name.clone(), Arc::new(built));
+            self.partitions.insert(name, Arc::new(parts));
+        }
+    }
+
+    /// The chronon-range partition map of `name`, if built. `None` means
+    /// an unknown relation — callers (the query planner) fall back to the
+    /// relation-wide indexes.
+    pub fn partitions(&self, name: &str) -> Option<&PartitionMap> {
+        self.partitions.get(name).map(Arc::as_ref)
+    }
+
+    /// The boundary policy new partition maps are built under.
+    pub fn partition_policy(&self) -> PartitionPolicy {
+        self.partition_policy
+    }
+
+    /// Repartitions every relation under `policy` (e.g. halving the span
+    /// to split hot partitions).
+    ///
+    /// Purely physical: contents, indexes, and query results are
+    /// untouched; snapshots taken earlier keep their frozen maps. The
+    /// policy is persisted by the next [`Database::checkpoint`] (it is
+    /// not WAL-logged — a crash before that checkpoint recovers under the
+    /// previously persisted policy, which re-derives an equivalent map).
+    pub fn set_partition_policy(&mut self, policy: PartitionPolicy) {
+        if policy == self.partition_policy {
+            return;
+        }
+        self.partition_policy = policy;
+        let names: Vec<String> = self.relations.keys().cloned().collect();
+        for name in names {
+            let parts = PartitionMap::build(&self.relations[&name], policy);
+            self.partitions.insert(name, Arc::new(parts));
+        }
+    }
+
+    /// Marks every relation's partitions clean — the on-disk epoch now
+    /// carries exactly their membership.
+    fn mark_partitions_clean(&mut self) {
+        for parts in self.partitions.values_mut() {
+            Arc::make_mut(parts).mark_clean();
         }
     }
 
@@ -672,6 +757,7 @@ impl Database {
             Arc::clone(&self.catalog),
             self.relations.clone(),
             self.indexes.clone(),
+            self.partitions.clone(),
             self.epoch(),
             self.ops_applied,
         )
@@ -714,6 +800,9 @@ impl Database {
         // replayed inserts then maintain them incrementally (O(1) key
         // probes instead of a linear scan per replayed record).
         db.build_indexes();
+        // The freshly built partition maps mirror the checkpoint's heap
+        // files exactly; only the WAL tail replayed below dirties them.
+        db.mark_partitions_clean();
         let wal_file = wal_path(dir, epoch);
         if wal_file.exists() {
             let (records, torn_at) =
@@ -727,7 +816,7 @@ impl Database {
         } else {
             Wal::create_empty(&wal_file).map_err(|e| io_with_path(&wal_file, e))?;
         }
-        cleanup_stray_files(dir, epoch, &db);
+        cleanup_stray_files(dir, epoch);
         let wal = Wal::open(&wal_file).map_err(|e| io_with_path(&wal_file, e))?;
         db.attachment = Some(Attachment {
             dir: dir.to_path_buf(),
@@ -816,6 +905,12 @@ impl Database {
     /// into place — the atomic commit point. A kill at any instant leaves
     /// a loadable database that has lost no acknowledged write. Clears a
     /// poisoned WAL (disk is resynchronized with memory).
+    ///
+    /// Heap files are per partition, and only **dirty** partitions (those
+    /// whose membership changed since the previous checkpoint) are
+    /// rewritten; clean partitions are carried into the new epoch by hard
+    /// link — a checkpoint after a burst of inserts into one chronon
+    /// range costs one partition rewrite, not a full-database rewrite.
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
         let (dir, old_epoch) = match &self.attachment {
             Some(att) => (att.dir.clone(), att.epoch),
@@ -826,7 +921,7 @@ impl Database {
             }
         };
         let new_epoch = old_epoch + 1;
-        self.write_state(&dir, new_epoch)?;
+        self.write_state(&dir, new_epoch, Some(old_epoch))?;
         // Commit happened (catalog renamed): switch the live attachment.
         // From here on, recovery reads epoch e+1 — if the new WAL cannot
         // be opened, appending to the *old* one would lose writes, so the
@@ -846,7 +941,9 @@ impl Database {
             wal,
             poisoned: false,
         });
-        cleanup_stray_files(&dir, new_epoch, self);
+        // The new epoch carries every partition's current membership.
+        self.mark_partitions_clean();
+        cleanup_stray_files(&dir, new_epoch);
         Ok(())
     }
 
@@ -866,32 +963,83 @@ impl Database {
             }
         }
         std::fs::create_dir_all(dir)?;
-        self.write_state(dir, 0)?;
-        cleanup_stray_files(dir, 0, self);
+        self.write_state(dir, 0, None)?;
+        cleanup_stray_files(dir, 0);
         Ok(())
     }
 
-    /// Writes the complete current state under `epoch`: heap files, an
-    /// empty WAL, then the catalog via tmp + fsync + rename (the commit
-    /// point — files of a new epoch are invisible until it lands).
-    fn write_state(&self, dir: &Path, epoch: u64) -> Result<(), DbError> {
+    /// Writes the complete current state under `epoch`: one heap file per
+    /// partition, an empty WAL, then the catalog (with the partition
+    /// manifest) via tmp + fsync + rename — the commit point; files of a
+    /// new epoch are invisible until it lands.
+    ///
+    /// With `link_from = Some(old_epoch)` (the checkpoint path), clean
+    /// partitions are hard-linked from the old epoch's files instead of
+    /// rewritten; heap files are immutable once committed, so sharing the
+    /// inode across epochs is safe. A failed link silently degrades to a
+    /// fresh write.
+    fn write_state(&self, dir: &Path, epoch: u64, link_from: Option<u64>) -> Result<(), DbError> {
         for (name, rel) in &self.relations {
-            let final_path = heap_path(dir, name, epoch);
-            let tmp_path = tmp_sibling(&final_path);
-            let mut heap = HeapFile::create(&tmp_path)?;
-            for tuple in rel.iter() {
-                let mut e = Encoder::new();
-                e.put_tuple(tuple);
-                heap.insert(&e.finish())?;
+            // Relations normally carry a live partition map; build one on
+            // the fly for out-of-band states (defensive, not a hot path).
+            let fallback;
+            let parts = match self.partitions.get(name) {
+                Some(p) => p.as_ref(),
+                None => {
+                    fallback = PartitionMap::build(rel, self.partition_policy);
+                    &fallback
+                }
+            };
+            for (id, part) in parts.iter() {
+                let final_path = partition_heap_path(dir, name, epoch, id);
+                if let Some(old_epoch) = link_from {
+                    if !part.is_dirty()
+                        && link_partition_file(
+                            &partition_heap_path(dir, name, old_epoch, id),
+                            &final_path,
+                        )
+                    {
+                        continue;
+                    }
+                }
+                let tmp_path = tmp_sibling(&final_path);
+                let mut heap = HeapFile::create(&tmp_path)?;
+                for tuple in rel.scan_positions(&part.positions().collect::<Vec<_>>()) {
+                    let mut e = Encoder::new();
+                    e.put_tuple(tuple);
+                    heap.insert(&e.finish())?;
+                }
+                heap.sync()?;
+                std::fs::rename(&tmp_path, &final_path)?;
             }
-            heap.sync()?;
-            std::fs::rename(&tmp_path, &final_path)?;
         }
         Wal::create_empty(&wal_path(dir, epoch))?;
 
-        // Catalog file: MAGIC | VERSION | EPOCH | payload-len | payload | crc.
+        // Catalog file: MAGIC | VERSION | EPOCH | payload-len | payload | crc,
+        // where the v3 payload is catalog ‖ partition policy ‖ manifest.
         let mut enc = Encoder::new();
         self.catalog.encode(&mut enc);
+        self.partition_policy.encode(&mut enc);
+        enc.put_u64(self.relations.len() as u64);
+        for (name, rel) in &self.relations {
+            let fallback;
+            let parts = match self.partitions.get(name) {
+                Some(p) => p.as_ref(),
+                None => {
+                    fallback = PartitionMap::build(rel, self.partition_policy);
+                    &fallback
+                }
+            };
+            enc.put_str(name);
+            enc.put_u64(parts.partition_count() as u64);
+            for (id, part) in parts.iter() {
+                let (min_lo, max_hi) = part.summary_bounds();
+                enc.put_i64(id);
+                enc.put_u64(part.len() as u64);
+                enc.put_i64(min_lo);
+                enc.put_i64(max_hi);
+            }
+        }
         let payload = enc.finish();
         let mut file = Vec::with_capacity(payload.len() + 24);
         file.extend_from_slice(MAGIC);
@@ -933,9 +1081,10 @@ impl Database {
                 )))
             }
         };
-        // Indexes are derived data: rebuild rather than persist (before
-        // replay, so replayed inserts maintain them incrementally) — a
-        // load always starts with valid access paths for every relation.
+        // Indexes and partition maps are derived data: rebuild rather
+        // than persist (before replay, so replayed inserts maintain them
+        // incrementally) — a load always starts with valid access paths
+        // for every relation.
         db.build_indexes();
         let wal_file = wal_path(dir, epoch);
         if wal_file.exists() {
@@ -989,7 +1138,28 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
             catalog_path.display()
         )));
     }
-    let catalog = Catalog::decode(&mut Decoder::new(payload))?;
+    let mut dec = Decoder::new(payload);
+    let catalog = Catalog::decode(&mut dec)?;
+    let policy = PartitionPolicy::decode(&mut dec)?;
+
+    // Partition manifest: relation → [(id, tuple count, summary bounds)].
+    let n_rels = dec.get_u64()? as usize;
+    let mut manifest: BTreeMap<String, Vec<(i64, u64)>> = BTreeMap::new();
+    for _ in 0..n_rels {
+        let name = dec.get_str()?.to_string();
+        let n_parts = dec.get_u64()? as usize;
+        let mut parts = Vec::with_capacity(n_parts.min(4096));
+        for _ in 0..n_parts {
+            let id = dec.get_i64()?;
+            let count = dec.get_u64()?;
+            // Summary bounds: persisted metadata, re-derived from the
+            // tuples on load (they exist so external tools can prune
+            // without reading heap files).
+            let (_min_lo, _max_hi) = (dec.get_i64()?, dec.get_i64()?);
+            parts.push((id, count));
+        }
+        manifest.insert(name, parts);
+    }
 
     let mut relations = BTreeMap::new();
     let names: Vec<String> = catalog.relations().map(str::to_string).collect();
@@ -998,16 +1168,30 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
             .scheme(&name)
             .expect("catalog lists its own relations")
             .clone();
-        let path = heap_path(dir, &name, epoch);
+        let Some(parts) = manifest.get(&name) else {
+            return Err(DbError::BadFile(format!(
+                "{}: relation `{name}` missing from the partition manifest",
+                catalog_path.display()
+            )));
+        };
         let mut tuples = Vec::new();
-        if path.exists() {
+        for &(id, count) in parts {
+            let path = partition_heap_path(dir, &name, epoch, id);
             let heap = HeapFile::open(&path).map_err(|e| io_with_path(&path, e))?;
+            let mut in_partition = 0u64;
             for (_, rec) in heap.scan() {
                 // Clip to the (possibly evolved) scheme: values outside a
                 // shrunk ALS become invisible, not invalid.
                 let tuple = Decoder::new(rec).get_tuple()?.clipped_to_scheme(&scheme);
                 tuple.validate(&scheme).map_err(DbError::Model)?;
                 tuples.push(tuple);
+                in_partition += 1;
+            }
+            if in_partition != count {
+                return Err(DbError::BadFile(format!(
+                    "{}: partition p{id} holds {in_partition} tuple(s), manifest says {count}",
+                    path.display()
+                )));
             }
         }
         relations.insert(name, Relation::from_parts_unchecked(scheme, tuples));
@@ -1018,6 +1202,8 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
         indexes: BTreeMap::new(),
         attachment: None,
         ops_applied: 0,
+        partitions: BTreeMap::new(),
+        partition_policy: policy,
     };
     Ok(Some((db, epoch)))
 }
@@ -1058,16 +1244,16 @@ fn same_dir(a: &Path, b: &Path) -> bool {
 /// Removes *database* files from other epochs and leftover `.tmp`
 /// siblings — debris of aborted checkpoints (before their commit point)
 /// or of superseded epochs (after it). Only names matching the database's
-/// own patterns (`wal.<epoch>.log`, `<name>.<epoch>.heap`, their `.tmp`
-/// siblings, `catalog.hrdm.tmp`) are ever touched: a user file like
-/// `build.log` sitting in the directory is not ours to delete. Best
-/// effort: failures leave garbage, never break the database.
-fn cleanup_stray_files(dir: &Path, epoch: u64, db: &Database) {
-    let current: Vec<PathBuf> = db
-        .relation_names()
-        .map(|name| heap_path(dir, name, epoch))
-        .chain([wal_path(dir, epoch), dir.join(CATALOG_FILE)])
-        .collect();
+/// own patterns (`wal.<epoch>.log`, `<name>.<epoch>.heap`,
+/// `<name>.<epoch>.p<id>.heap`, their `.tmp` siblings,
+/// `catalog.hrdm.tmp`) are ever touched: a user file like `build.log`
+/// sitting in the directory is not ours to delete. Best effort: failures
+/// leave garbage, never break the database.
+///
+/// The keep test is by epoch, not by an explicit file list: every file of
+/// the current epoch stays (the catalog manifest, not memory, is the
+/// authority on which of them the next open will read).
+fn cleanup_stray_files(dir: &Path, epoch: u64) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -1076,42 +1262,99 @@ fn cleanup_stray_files(dir: &Path, epoch: u64, db: &Database) {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
-        if is_database_file(name) && !current.iter().any(|c| c == &path) {
+        let is_tmp = name.ends_with(".tmp");
+        let base = name.strip_suffix(".tmp").unwrap_or(name);
+        let sweep = match classify_database_file(base) {
+            Some(DbFileKind::Catalog) => is_tmp,
+            Some(DbFileKind::Epochal(e)) => is_tmp || e != epoch,
+            None => false,
+        };
+        if sweep {
             let _ = std::fs::remove_file(&path);
         }
     }
 }
 
-/// Does `name` match one of the file patterns this module itself writes?
-fn is_database_file(name: &str) -> bool {
-    let base = name.strip_suffix(".tmp").unwrap_or(name);
+/// A file name this module itself writes, minus any `.tmp` suffix.
+enum DbFileKind {
+    /// The catalog commit point (`catalog.hrdm`).
+    Catalog,
+    /// A per-epoch file (WAL or heap) carrying this epoch stamp.
+    Epochal(u64),
+}
+
+/// Classifies `base` against the database's own file patterns; `None` for
+/// anything foreign (never ours to delete).
+fn classify_database_file(base: &str) -> Option<DbFileKind> {
     if base == CATALOG_FILE {
-        // `catalog.hrdm` itself is always in the keep-list; only its
-        // `.tmp` sibling is sweepable debris.
-        return true;
+        return Some(DbFileKind::Catalog);
     }
-    let epoch_of = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let epoch_of = |s: &str| -> Option<u64> {
+        (!s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+            .then(|| s.parse().ok())
+            .flatten()
+    };
     if let Some(rest) = base
         .strip_prefix("wal.")
         .and_then(|r| r.strip_suffix(".log"))
     {
-        return epoch_of(rest);
+        return epoch_of(rest).map(DbFileKind::Epochal);
     }
     if let Some(rest) = base.strip_suffix(".heap") {
-        // `<escaped-name>.<epoch>` — the escaped name never contains `.`.
-        return rest.rsplit_once('.').is_some_and(|(_, e)| epoch_of(e));
+        // `<escaped-name>.<epoch>.p<id>` (current layout) or
+        // `<escaped-name>.<epoch>` (pre-partition layout, still swept as
+        // debris) — the escaped name never contains `.`.
+        let (head, tail) = rest.rsplit_once('.')?;
+        if let Some(id) = tail.strip_prefix('p') {
+            if id.parse::<i64>().is_ok() {
+                let (_, e) = head.rsplit_once('.')?;
+                return epoch_of(e).map(DbFileKind::Epochal);
+            }
+        }
+        return epoch_of(tail).map(DbFileKind::Epochal);
     }
-    false
+    None
 }
 
-/// The heap file of `relation` under checkpoint `epoch`.
+/// Hard-links a clean partition's heap file from the previous epoch into
+/// the new one (falling back to a durable byte copy on filesystems
+/// without hard links). Returns `false` when neither works — the caller
+/// writes fresh.
+///
+/// A hard link shares the already-fsync'd inode, so it needs no data
+/// sync of its own (the later directory fsync covers the new name). The
+/// copy fallback must be as durable as the fresh-write path: copy to a
+/// tmp sibling, fsync, rename — otherwise the checkpoint could commit a
+/// catalog referencing bytes still sitting in the page cache.
+fn link_partition_file(old: &Path, new: &Path) -> bool {
+    if !old.exists() {
+        return false;
+    }
+    // A leftover from an aborted earlier checkpoint would make the link
+    // fail with AlreadyExists; it is pre-commit debris, safe to replace.
+    let _ = std::fs::remove_file(new);
+    if std::fs::hard_link(old, new).is_ok() {
+        return true;
+    }
+    let tmp = tmp_sibling(new);
+    let copied = std::fs::copy(old, &tmp).is_ok()
+        && std::fs::File::open(&tmp).is_ok_and(|f| f.sync_all().is_ok())
+        && std::fs::rename(&tmp, new).is_ok();
+    if !copied {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    copied
+}
+
+/// The heap file of `relation`'s partition `part` under checkpoint
+/// `epoch`: `<escaped-name>.<epoch>.p<id>.heap`.
 ///
 /// Relation names are caller-controlled, so they are escaped **injectively**
 /// into a tame file name: alphanumerics pass through, `_` doubles to `__`,
 /// and any other character becomes `_<hex>_`. Distinct relation names can
 /// therefore never collide on one heap file (`"emp dept"` → `emp_20_dept`,
 /// `"emp_dept"` → `emp__dept`).
-fn heap_path(dir: &Path, relation: &str, epoch: u64) -> PathBuf {
+fn partition_heap_path(dir: &Path, relation: &str, epoch: u64, part: i64) -> PathBuf {
     let mut safe = String::with_capacity(relation.len());
     for c in relation.chars() {
         if c.is_ascii_alphanumeric() {
@@ -1123,7 +1366,7 @@ fn heap_path(dir: &Path, relation: &str, epoch: u64) -> PathBuf {
             let _ = write!(safe, "_{:x}_", c as u32);
         }
     }
-    dir.join(format!("{safe}.{epoch}.heap"))
+    dir.join(format!("{safe}.{epoch}.p{part}.heap"))
 }
 
 #[cfg(test)]
@@ -1321,12 +1564,12 @@ mod tests {
     #[test]
     fn similar_relation_names_do_not_collide_on_disk() {
         assert_ne!(
-            heap_path(Path::new("/d"), "emp dept", 0),
-            heap_path(Path::new("/d"), "emp_dept", 0)
+            partition_heap_path(Path::new("/d"), "emp dept", 0, 0),
+            partition_heap_path(Path::new("/d"), "emp_dept", 0, 0)
         );
         assert_ne!(
-            heap_path(Path::new("/d"), "a_b", 0),
-            heap_path(Path::new("/d"), "a__b", 0)
+            partition_heap_path(Path::new("/d"), "a_b", 0, 0),
+            partition_heap_path(Path::new("/d"), "a__b", 0, 0)
         );
 
         let dir = tmp("collide");

@@ -13,6 +13,11 @@
 //!   attribute-lifespan edits of the paper's Fig. 6 (drop an attribute at
 //!   `t2`, re-add it at `t3`) are first-class catalog operations with an
 //!   audit log;
+//! * [`partition`] — **lifespan-based horizontal partitioning**: each
+//!   relation's tuple store is cut into chronon-range partitions with
+//!   per-partition heap files, min/max lifespan summaries, and
+//!   per-partition access methods, so time-bounded queries and
+//!   checkpoints touch only the partitions they need;
 //! * [`wal`] — a checksummed write-ahead log with torn-tail recovery;
 //! * [`database`] — a named collection of historical relations built on
 //!   all of the above, with two persistence modes: detached
@@ -34,6 +39,7 @@ pub mod concurrent;
 pub mod database;
 pub mod heap;
 pub mod page;
+pub mod partition;
 pub mod snapshot;
 pub mod wal;
 
@@ -43,6 +49,7 @@ pub use concurrent::{CommitStats, ConcurrentDatabase};
 pub use database::{Database, DbError};
 pub use heap::HeapFile;
 pub use page::{Page, SlotId, PAGE_SIZE};
+pub use partition::{Partition, PartitionMap, PartitionPolicy};
 pub use snapshot::DbSnapshot;
 pub use wal::{Wal, WalRecord};
 

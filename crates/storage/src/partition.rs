@@ -1,0 +1,563 @@
+//! Lifespan-based horizontal partitioning of a relation's tuple store.
+//!
+//! HRDM's defining idea is that every tuple carries a lifespan, so the
+//! physical layout can exploit time: the chronon axis is cut into
+//! fixed-width ranges (the [`PartitionPolicy`]), every tuple is assigned to
+//! the partition holding its **birth chronon** (the first chronon of its
+//! lifespan), and each partition keeps
+//!
+//! * the member tuples' **positions** into the relation's flat tuple
+//!   vector (the in-memory layout is untouched — partitioning is pure
+//!   physical metadata, so every existing operator and index keeps
+//!   working),
+//! * a **min/max lifespan summary** covering every member tuple's
+//!   lifespan whole (persisted in the catalog, header v3), and
+//! * its own [`RelationIndexes`] over the member tuples, so a pruned
+//!   query probes a handful of small indexes instead of one big one.
+//!
+//! ## Pruning
+//!
+//! For a query window `W` (a TIME-SLICE lifespan, or a TIME-JOIN probe
+//! span), a partition can be skipped whenever its summary `[min_lo,
+//! max_hi]` is disjoint from `W`: every member tuple's lifespan is a
+//! subset of the summary interval, so a member overlapping `W` would make
+//! the summary overlap `W` too. Conversely, when `W` *contains* the whole
+//! summary interval, every member overlaps `W` (each member has at least
+//! one chronon, and all its chronons are inside `W`), so the partition's
+//! position list is taken wholesale without probing — the archival/current
+//! split that makes wide historical slices cheap.
+//!
+//! Like every access method in this workspace, pruning only ever produces
+//! *candidate positions*: operators re-apply their exact semantics on the
+//! candidates, so a partitioned relation is observationally identical to
+//! an unpartitioned one (the workspace `differential` suite drives random
+//! workloads against both and asserts byte-equal results).
+//!
+//! ## Durability
+//!
+//! Partitioning is a **physical property**: the WAL format does not know
+//! about it, and replaying a log re-derives the same partition map from
+//! the tuples and the (catalog-persisted) policy. Checkpoints write one
+//! heap file per partition (`<rel>.<epoch>.p<id>.heap`) and only rewrite
+//! partitions whose membership changed since the last checkpoint
+//! ([`Partition::is_dirty`]); clean partitions are carried into the new
+//! epoch by hard link.
+
+use hrdm_core::{Relation, Scheme, Tuple};
+use hrdm_index::RelationIndexes;
+use hrdm_time::{Chronon, Interval, Lifespan};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Default span exponent: partitions of `2^10 = 1024` chronons.
+pub const DEFAULT_SPAN_LOG2: u32 = 10;
+
+/// How a relation's chronon axis is cut into partitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PartitionPolicy {
+    /// Fixed power-of-two chronon spans: partition `k` nominally covers
+    /// `[k·2^s, (k+1)·2^s)`. The exponent is clamped to `[0, 62]`.
+    ///
+    /// Power-of-two boundaries make the tuple → partition mapping one
+    /// arithmetic shift (exact for negative chronons too), and make
+    /// *splitting* a hot partition a local operation: halving the span
+    /// splits every partition exactly in two.
+    SpanLog2(u32),
+    /// A single partition covering all of `T` (span = ∞) — the
+    /// unpartitioned reference engine the differential oracle compares
+    /// against.
+    Unpartitioned,
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> PartitionPolicy {
+        PartitionPolicy::SpanLog2(DEFAULT_SPAN_LOG2)
+    }
+}
+
+impl std::fmt::Display for PartitionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionPolicy::SpanLog2(s) => write!(f, "span=2^{s}"),
+            PartitionPolicy::Unpartitioned => f.write_str("span=∞"),
+        }
+    }
+}
+
+impl PartitionPolicy {
+    /// The partition id of a tuple born at `birth`.
+    ///
+    /// Arithmetic right shift floors toward −∞, so negative chronons get
+    /// their own partitions instead of aliasing onto partition 0.
+    pub fn partition_id(&self, birth: Chronon) -> i64 {
+        match self {
+            PartitionPolicy::SpanLog2(s) => birth.tick() >> (*s).min(62),
+            PartitionPolicy::Unpartitioned => 0,
+        }
+    }
+
+    /// Serializes the policy (one byte tag + exponent).
+    pub(crate) fn encode(&self, e: &mut crate::codec::Encoder) {
+        match self {
+            PartitionPolicy::SpanLog2(s) => {
+                e.put_u8(0);
+                e.put_u64(u64::from(*s));
+            }
+            PartitionPolicy::Unpartitioned => e.put_u8(1),
+        }
+    }
+
+    /// Deserializes a policy.
+    pub(crate) fn decode(
+        d: &mut crate::codec::Decoder<'_>,
+    ) -> Result<PartitionPolicy, crate::codec::CodecError> {
+        match d.get_u8()? {
+            0 => Ok(PartitionPolicy::SpanLog2((d.get_u64()? as u32).min(62))),
+            1 => Ok(PartitionPolicy::Unpartitioned),
+            tag => Err(crate::codec::CodecError::BadTag("PartitionPolicy", tag)),
+        }
+    }
+}
+
+/// One chronon-range partition: member positions, lifespan summary, its own
+/// access methods, and the dirty flag the incremental checkpoint reads.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Member positions into the relation's tuple vector, in insertion
+    /// order (ascending — positions are append-only).
+    positions: Vec<u32>,
+    /// Smallest first-chronon over member lifespans (`i64::MAX` when no
+    /// member has a non-empty lifespan).
+    min_lo: i64,
+    /// Largest last-chronon over member lifespans (`i64::MIN` likewise).
+    max_hi: i64,
+    /// Access methods over the member tuples; positions returned by these
+    /// indexes are **local** (indices into [`Partition::positions`]).
+    indexes: Arc<RelationIndexes>,
+    /// Has membership changed since the last checkpoint wrote (or linked)
+    /// this partition's heap file?
+    dirty: bool,
+}
+
+impl Partition {
+    fn new(scheme: &Scheme) -> Partition {
+        Partition {
+            positions: Vec::new(),
+            min_lo: i64::MAX,
+            max_hi: i64::MIN,
+            indexes: Arc::new(RelationIndexes::build(&Relation::new(scheme.clone()))),
+            dirty: true,
+        }
+    }
+
+    fn add(&mut self, pos: usize, tuple: &Tuple) {
+        let local = self.positions.len();
+        self.positions
+            .push(u32::try_from(pos).expect("relation fits in u32 positions"));
+        if let (Some(first), Some(last)) = (tuple.lifespan().first(), tuple.lifespan().last()) {
+            self.min_lo = self.min_lo.min(first.tick());
+            self.max_hi = self.max_hi.max(last.tick());
+        }
+        Arc::make_mut(&mut self.indexes).insert(local, tuple);
+        self.dirty = true;
+    }
+
+    /// Member positions into the relation's tuple vector, ascending.
+    pub fn positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.positions.iter().map(|&p| p as usize)
+    }
+
+    /// Number of member tuples.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Is the partition empty?
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The min/max lifespan summary interval, `None` when no member has a
+    /// non-empty lifespan.
+    pub fn summary(&self) -> Option<Interval> {
+        if self.min_lo <= self.max_hi {
+            Interval::new(Chronon::new(self.min_lo), Chronon::new(self.max_hi))
+        } else {
+            None
+        }
+    }
+
+    /// Raw summary bounds `(min_lo, max_hi)` as persisted in the catalog
+    /// manifest (`(i64::MAX, i64::MIN)` is the empty sentinel).
+    pub fn summary_bounds(&self) -> (i64, i64) {
+        (self.min_lo, self.max_hi)
+    }
+
+    /// The partition's own access methods (positions are local — map them
+    /// through [`Partition::positions`]).
+    pub fn indexes(&self) -> &RelationIndexes {
+        &self.indexes
+    }
+
+    /// Has membership changed since the last checkpoint?
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+}
+
+/// The partition map of one relation: partition id → [`Partition`],
+/// derived metadata over the relation's flat tuple vector.
+///
+/// `Database` holds one per relation behind an `Arc`, so snapshots share
+/// it for free and writers copy-on-write — a reader holding a
+/// pre-repartition snapshot keeps planning against its frozen map.
+#[derive(Clone, Debug)]
+pub struct PartitionMap {
+    policy: PartitionPolicy,
+    scheme: Scheme,
+    parts: BTreeMap<i64, Partition>,
+    tuple_count: usize,
+}
+
+impl PartitionMap {
+    /// Builds the map over `r` under `policy`. Every partition starts
+    /// dirty (nothing is known to be on disk).
+    pub fn build(r: &Relation, policy: PartitionPolicy) -> PartitionMap {
+        let mut map = PartitionMap {
+            policy,
+            scheme: r.scheme().clone(),
+            parts: BTreeMap::new(),
+            tuple_count: 0,
+        };
+        for (pos, t) in r.iter().enumerate() {
+            map.insert(pos, t);
+        }
+        map
+    }
+
+    /// Registers the tuple just appended to the relation at position `pos`
+    /// (which must equal [`PartitionMap::tuple_count`] — append-only, like
+    /// the indexes it contains).
+    pub fn insert(&mut self, pos: usize, tuple: &Tuple) {
+        assert_eq!(
+            pos, self.tuple_count,
+            "PartitionMap::insert positions are append-only"
+        );
+        let birth = tuple.lifespan().first().unwrap_or(Chronon::new(0));
+        let id = self.policy.partition_id(birth);
+        self.parts
+            .entry(id)
+            .or_insert_with(|| Partition::new(&self.scheme))
+            .add(pos, tuple);
+        self.tuple_count += 1;
+    }
+
+    /// The boundary policy the map was built under.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of member tuples across all partitions.
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// The partition with id `id`, if populated.
+    pub fn partition(&self, id: i64) -> Option<&Partition> {
+        self.parts.get(&id)
+    }
+
+    /// Iterates `(id, partition)` in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &Partition)> + '_ {
+        self.parts.iter().map(|(&id, p)| (id, p))
+    }
+
+    /// Ids of partitions whose summary overlaps `window` — the partitions
+    /// a lifespan-bounded scan must touch.
+    pub fn overlapping_ids(&self, window: &Lifespan) -> Vec<i64> {
+        let Some(probe) = SummaryProbe::new(window) else {
+            return Vec::new();
+        };
+        self.parts
+            .iter()
+            .filter(|(_, p)| probe.overlaps(p, window))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// `(scanned, total)` partition counts for `window` — what EXPLAIN
+    /// renders as `partitions: pruned/total pruned`. Allocation-free:
+    /// this runs on every plan of a lifespan-bounded scan.
+    pub fn pruning_counts(&self, window: &Lifespan) -> (usize, usize) {
+        let Some(probe) = SummaryProbe::new(window) else {
+            return (0, self.parts.len());
+        };
+        let scanned = self
+            .parts
+            .values()
+            .filter(|p| probe.overlaps(p, window))
+            .count();
+        (scanned, self.parts.len())
+    }
+
+    /// Global positions of candidate tuples whose lifespan overlaps
+    /// `window`, sorted ascending and deduplicated — the pruning access
+    /// path.
+    ///
+    /// Partitions whose summary is disjoint from `window` are skipped
+    /// whole; partitions whose summary is *contained* in `window` are
+    /// taken whole without probing; the rest are served from their own
+    /// lifespan index.
+    pub fn prune_positions(&self, window: &Lifespan) -> Vec<usize> {
+        let Some(probe) = SummaryProbe::new(window) else {
+            return Vec::new();
+        };
+        let mut out: Vec<usize> = Vec::new();
+        let mut sorted = true;
+        for p in self.parts.values() {
+            if !probe.hull_overlaps(p) {
+                continue;
+            }
+            let Some(summary) = p.summary() else {
+                continue;
+            };
+            let chunk_start = out.len();
+            if window.contains_interval(&summary) {
+                // Every member tuple lives inside the summary, and the
+                // whole summary is inside the window: all members overlap.
+                out.extend(p.positions());
+            } else if window.intersects_interval(&summary) {
+                let positions = &p.positions;
+                out.extend(
+                    p.indexes
+                        .lifespan()
+                        .overlapping(window)
+                        .into_iter()
+                        .map(|local| positions[local] as usize),
+                );
+            }
+            // Positions are ascending within one partition's chunk;
+            // across partitions they interleave only when insertions
+            // jumped between chronon ranges — detect and sort once.
+            if sorted && chunk_start > 0 && out.len() > chunk_start {
+                sorted = out[chunk_start] > out[chunk_start - 1];
+            }
+        }
+        if !sorted {
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+
+    /// Ids of partitions whose membership changed since the last
+    /// checkpoint.
+    pub fn dirty_ids(&self) -> Vec<i64> {
+        self.parts
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Marks every partition clean — called after a checkpoint has written
+    /// (or linked) every partition's heap file under the new epoch.
+    pub(crate) fn mark_clean(&mut self) {
+        for p in self.parts.values_mut() {
+            p.dirty = false;
+        }
+    }
+}
+
+/// The shared summary-overlap predicate of the pruning queries: a
+/// raw-bound hull prefilter (two integer compares per partition — the
+/// empty-summary sentinel `(MAX, MIN)` fails it too), with the exact
+/// run-level test only for fragmented windows, where the hull
+/// over-approximates. `None` for the empty window, which overlaps
+/// nothing.
+struct SummaryProbe {
+    hull_lo: i64,
+    hull_hi: i64,
+    /// Fragmented window: the hull prefilter alone would over-match.
+    exact: bool,
+}
+
+impl SummaryProbe {
+    fn new(window: &Lifespan) -> Option<SummaryProbe> {
+        let hull = window.hull()?;
+        Some(SummaryProbe {
+            hull_lo: hull.lo().tick(),
+            hull_hi: hull.hi().tick(),
+            exact: !window.is_contiguous(),
+        })
+    }
+
+    /// Does the window's *hull* overlap the partition summary?
+    fn hull_overlaps(&self, p: &Partition) -> bool {
+        p.min_lo <= self.hull_hi && p.max_hi >= self.hull_lo
+    }
+
+    /// Does the window itself overlap the partition summary?
+    fn overlaps(&self, p: &Partition, window: &Lifespan) -> bool {
+        self.hull_overlaps(p)
+            && (!self.exact
+                || p.summary()
+                    .is_some_and(|iv| window.intersects_interval(&iv)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrdm_core::{HistoricalDomain, TemporalValue, Value, ValueKind};
+
+    fn scheme() -> Scheme {
+        // The ALS reaches below zero so negative-chronon tuples are valid.
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, Lifespan::interval(-1000, 1_000_000))
+            .attr(
+                "V",
+                HistoricalDomain::int(),
+                Lifespan::interval(-1000, 1_000_000),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn tup(k: i64, spans: &[(i64, i64)]) -> Tuple {
+        let life = Lifespan::of(spans);
+        Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(k)))
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    fn rel(tuples: Vec<Tuple>) -> Relation {
+        Relation::with_tuples(scheme(), tuples).unwrap()
+    }
+
+    #[test]
+    fn policy_assigns_by_birth_chronon() {
+        let p = PartitionPolicy::SpanLog2(4); // span 16
+        assert_eq!(p.partition_id(Chronon::new(0)), 0);
+        assert_eq!(p.partition_id(Chronon::new(15)), 0);
+        assert_eq!(p.partition_id(Chronon::new(16)), 1);
+        assert_eq!(p.partition_id(Chronon::new(-1)), -1, "floors toward −∞");
+        assert_eq!(p.partition_id(Chronon::new(-16)), -1);
+        assert_eq!(p.partition_id(Chronon::new(-17)), -2);
+        assert_eq!(
+            PartitionPolicy::Unpartitioned.partition_id(Chronon::new(12345)),
+            0
+        );
+    }
+
+    #[test]
+    fn build_assigns_and_summarizes() {
+        let r = rel(vec![
+            tup(1, &[(0, 5)]),
+            tup(2, &[(3, 40)]),    // born in partition 0, reaches into 2
+            tup(3, &[(20, 25)]),   // partition 1
+            tup(4, &[(100, 110)]), // partition 6
+        ]);
+        let m = PartitionMap::build(&r, PartitionPolicy::SpanLog2(4));
+        assert_eq!(m.partition_count(), 3);
+        assert_eq!(m.tuple_count(), 4);
+        let p0 = m.partition(0).unwrap();
+        assert_eq!(p0.positions().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(p0.summary_bounds(), (0, 40), "summary covers overhang");
+        assert_eq!(m.partition(1).unwrap().positions().collect::<Vec<_>>(), [2]);
+        assert_eq!(m.partition(6).unwrap().positions().collect::<Vec<_>>(), [3]);
+    }
+
+    /// Pruned candidates equal a linear overlap scan for every window —
+    /// including windows that only reach a partition through a tuple's
+    /// overhang past its nominal chronon range.
+    #[test]
+    fn prune_positions_matches_linear_scan() {
+        let tuples = vec![
+            tup(1, &[(0, 5)]),
+            tup(2, &[(3, 40)]),
+            tup(3, &[(20, 25)]),
+            tup(4, &[(100, 110)]),
+            tup(5, &[(64, 70), (200, 210)]), // fragmented lifespan
+            tup(6, &[(-30, -20)]),           // negative chronons
+        ];
+        let r = rel(tuples.clone());
+        for policy in [
+            PartitionPolicy::SpanLog2(4),
+            PartitionPolicy::SpanLog2(6),
+            PartitionPolicy::Unpartitioned,
+        ] {
+            let m = PartitionMap::build(&r, policy);
+            for lo in (-40..220).step_by(7) {
+                for len in [0i64, 3, 17, 90, 300] {
+                    let w = Lifespan::interval(lo, lo + len);
+                    let expect: Vec<usize> = tuples
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.lifespan().intersects(&w))
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(
+                        m.prune_positions(&w),
+                        expect,
+                        "{policy} window [{lo},{}]",
+                        lo + len
+                    );
+                }
+            }
+            assert!(m.prune_positions(&Lifespan::empty()).is_empty());
+        }
+    }
+
+    /// Incremental insert equals a from-scratch build: same partitions,
+    /// same summaries, same pruning answers.
+    #[test]
+    fn incremental_insert_matches_rebuild() {
+        let mut m = PartitionMap::build(&Relation::new(scheme()), PartitionPolicy::SpanLog2(5));
+        let mut tuples = Vec::new();
+        for k in 0..150i64 {
+            let lo = (k * 37) % 400;
+            let t = tup(k, &[(lo, lo + (k % 50))]);
+            m.insert(tuples.len(), &t);
+            tuples.push(t);
+        }
+        let built = PartitionMap::build(&rel(tuples), PartitionPolicy::SpanLog2(5));
+        assert_eq!(m.partition_count(), built.partition_count());
+        for (id, p) in built.iter() {
+            let q = m.partition(id).expect("same partitions");
+            assert_eq!(p.positions().collect::<Vec<_>>(), {
+                q.positions().collect::<Vec<_>>()
+            });
+            assert_eq!(p.summary_bounds(), q.summary_bounds());
+        }
+        for lo in [0, 100, 250, 399] {
+            let w = Lifespan::interval(lo, lo + 60);
+            assert_eq!(m.prune_positions(&w), built.prune_positions(&w));
+        }
+    }
+
+    #[test]
+    fn dirty_tracking_follows_inserts() {
+        let r = rel(vec![tup(1, &[(0, 5)]), tup(2, &[(100, 105)])]);
+        let mut m = PartitionMap::build(&r, PartitionPolicy::SpanLog2(4));
+        assert_eq!(m.dirty_ids(), vec![0, 6], "everything dirty after build");
+        m.mark_clean();
+        assert!(m.dirty_ids().is_empty());
+        m.insert(2, &tup(3, &[(101, 120)]));
+        assert_eq!(m.dirty_ids(), vec![6], "only the touched partition");
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn out_of_order_insert_panics() {
+        let mut m = PartitionMap::build(&Relation::new(scheme()), PartitionPolicy::default());
+        m.insert(3, &tup(1, &[(0, 5)]));
+    }
+}

@@ -10,6 +10,7 @@
 //! with zero locks.
 
 use crate::catalog::Catalog;
+use crate::partition::PartitionMap;
 use hrdm_core::Relation;
 use hrdm_index::RelationIndexes;
 use std::collections::BTreeMap;
@@ -26,6 +27,7 @@ pub struct DbSnapshot {
     catalog: Arc<Catalog>,
     relations: BTreeMap<String, Relation>,
     indexes: BTreeMap<String, Arc<RelationIndexes>>,
+    partitions: BTreeMap<String, Arc<PartitionMap>>,
     epoch: Option<u64>,
     version: u64,
 }
@@ -35,6 +37,7 @@ impl DbSnapshot {
         catalog: Arc<Catalog>,
         relations: BTreeMap<String, Relation>,
         indexes: BTreeMap<String, Arc<RelationIndexes>>,
+        partitions: BTreeMap<String, Arc<PartitionMap>>,
         epoch: Option<u64>,
         version: u64,
     ) -> DbSnapshot {
@@ -42,6 +45,7 @@ impl DbSnapshot {
             catalog,
             relations,
             indexes,
+            partitions,
             epoch,
             version,
         }
@@ -58,6 +62,14 @@ impl DbSnapshot {
     /// published together.
     pub fn indexes(&self, name: &str) -> Option<&RelationIndexes> {
         self.indexes.get(name).map(Arc::as_ref)
+    }
+
+    /// The chronon-range partition map of `name`, frozen with the
+    /// snapshot — a later repartition of the live database builds new
+    /// maps and leaves this one untouched, so positions it yields stay
+    /// valid against [`DbSnapshot::relation`] of the same snapshot.
+    pub fn partitions(&self, name: &str) -> Option<&PartitionMap> {
+        self.partitions.get(name).map(Arc::as_ref)
     }
 
     /// The catalog (schemes + evolution log) as of the snapshot.

@@ -221,6 +221,89 @@ proptest! {
     }
 }
 
+/// Racing readers hold pre-repartition snapshots while the writer splits
+/// a hot partition (halving the span): every reader observation must stay
+/// prefix-consistent, and a frozen snapshot's partition map must keep
+/// answering pruning queries with positions valid against that snapshot's
+/// own tuple vector — repartitioning is copy-on-write, never in-place.
+#[test]
+fn readers_keep_frozen_partition_maps_across_a_repartition() {
+    use hrdm_storage::PartitionPolicy;
+    const N: i64 = 400;
+    let db = Arc::new(ConcurrentDatabase::new());
+    db.set_partition_policy(PartitionPolicy::SpanLog2(8)); // span 256: hot
+    db.create_relation("r", scheme()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_len = 0usize;
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = db.snapshot();
+                    let keys = observed_keys(&snap);
+                    let len = keys.len();
+                    assert_eq!(
+                        keys,
+                        (0..len as i64).collect::<BTreeSet<i64>>(),
+                        "snapshot is not a contiguous prefix"
+                    );
+                    assert!(len >= last_len, "observed state went backwards");
+                    last_len = len;
+
+                    // The snapshot's frozen partition map: its position
+                    // count matches the snapshot's relation exactly, and
+                    // its pruned candidates agree with a linear scan of
+                    // the same snapshot — whatever the live policy is by
+                    // now.
+                    let r = snap.relation("r").unwrap();
+                    let parts = snap.partitions("r").unwrap();
+                    assert_eq!(parts.tuple_count(), r.len(), "stale map published");
+                    let w = Lifespan::interval(100, 400);
+                    let expect: Vec<usize> = r
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.lifespan().intersects(&w))
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(parts.prune_positions(&w), expect, "frozen map diverged");
+                    checks += 1;
+                }
+                checks
+            })
+        })
+        .collect();
+
+    for k in 0..N {
+        db.insert("r", tup(k)).unwrap();
+        if k == N / 2 {
+            // Split the hot partitions: span 256 → 32 while readers race.
+            db.set_partition_policy(PartitionPolicy::SpanLog2(5));
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let checks: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(checks > 0, "readers never observed anything");
+
+    // A snapshot taken before a *further* repartition keeps its map while
+    // the live database's map changes shape under it.
+    let before = db.snapshot();
+    let shape_before = before.partitions("r").unwrap().partition_count();
+    db.set_partition_policy(PartitionPolicy::SpanLog2(2));
+    assert_eq!(
+        before.partitions("r").unwrap().partition_count(),
+        shape_before,
+        "repartition mutated a published snapshot's map"
+    );
+    assert!(
+        db.snapshot().partitions("r").unwrap().partition_count() > shape_before,
+        "splitting the span must grow the live partition count"
+    );
+}
+
 /// Recovery after concurrent group-committed writers equals the in-memory
 /// state at shutdown: the batched WAL frames replay to exactly the set of
 /// acknowledged writes (the crash-safety invariant of PR 2, preserved by

@@ -219,6 +219,186 @@ fn writes_continue_after_torn_tail_recovery() {
 }
 
 // ---------------------------------------------------------------------------
+// Partition-aware crash injection: checkpoints now write one heap file per
+// chronon-range partition and rewrite only the dirty ones, so the
+// interesting kills are mid-checkpoint with a *partial* set of new-epoch
+// partition files on disk, torn per-partition files, and partition maps
+// that changed between epochs.
+// ---------------------------------------------------------------------------
+
+/// A kill mid-checkpoint after only *some* dirty partitions were rewritten
+/// (one of them torn mid-write): the catalog still names the old epoch, so
+/// recovery must serve the old epoch untouched and sweep the debris.
+#[test]
+fn kill_mid_checkpoint_with_partially_rewritten_partitions() {
+    let dir = tmp("partial-partitions");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(hrdm_storage::PartitionPolicy::SpanLog2(4)); // span 16
+        db.create_relation("emp", scheme()).unwrap();
+        // Three partitions: births at 0, 20, 40.
+        db.insert("emp", tup(1, 0, 10)).unwrap();
+        db.insert("emp", tup(2, 20, 30)).unwrap();
+        db.insert("emp", tup(3, 40, 50)).unwrap();
+        db.checkpoint().unwrap();
+        db.insert("emp", tup(4, 1, 9)).unwrap(); // dirties partition 0 only
+    }
+    // Fabricate the kill: epoch-2 files for *some* partitions exist — one
+    // complete-looking, one torn mid-write — and the catalog still says
+    // epoch 1.
+    std::fs::copy(dir.join("emp.1.p1.heap"), dir.join("emp.2.p1.heap")).unwrap();
+    std::fs::write(dir.join("emp.2.p0.heap"), b"torn partition heap").unwrap();
+    std::fs::write(dir.join("emp.2.p0.heap.tmp"), b"half").unwrap();
+
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.epoch(), Some(1));
+    assert_eq!(back.relation("emp").unwrap().len(), 4, "WAL tail replayed");
+    // Pre-commit debris of the aborted checkpoint was swept.
+    assert!(!dir.join("emp.2.p0.heap").exists());
+    assert!(!dir.join("emp.2.p1.heap").exists());
+    assert!(!dir.join("emp.2.p0.heap.tmp").exists());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A torn *committed* partition heap file is real corruption (everything
+/// under the catalog's epoch was fsync'd before the commit rename), so
+/// open must fail loudly, naming the offending file — never half-load.
+#[test]
+fn torn_committed_partition_heap_fails_loudly() {
+    let dir = tmp("torn-committed-partition");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(hrdm_storage::PartitionPolicy::SpanLog2(4));
+        db.create_relation("emp", scheme()).unwrap();
+        db.insert("emp", tup(1, 0, 10)).unwrap();
+        db.insert("emp", tup(2, 20, 30)).unwrap();
+        db.checkpoint().unwrap();
+    }
+    let victim = dir.join("emp.1.p1.heap");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    let err = match Database::open(&dir) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("torn committed partition file must not load"),
+    };
+    assert!(
+        err.contains("emp.1.p1.heap"),
+        "error must name the torn partition file: {err}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A partition heap whose tuple count diverges from the catalog manifest
+/// is detected (a swapped or truncated-at-a-page-boundary file would
+/// otherwise load silently).
+#[test]
+fn partition_manifest_count_mismatch_detected() {
+    let dir = tmp("manifest-mismatch");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(hrdm_storage::PartitionPolicy::SpanLog2(4));
+        db.create_relation("emp", scheme()).unwrap();
+        db.insert("emp", tup(1, 0, 10)).unwrap();
+        db.insert("emp", tup(2, 0, 12)).unwrap(); // same partition as 1
+        db.insert("emp", tup(3, 40, 50)).unwrap();
+        db.checkpoint().unwrap();
+    }
+    // Swap partition 2's file in place of partition 0's: both are intact
+    // heap files, but the tuple counts disagree with the manifest.
+    std::fs::copy(dir.join("emp.1.p2.heap"), dir.join("emp.1.p0.heap")).unwrap();
+    let err = match Database::open(&dir) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("manifest mismatch must not load"),
+    };
+    assert!(
+        err.contains("manifest") || err.contains("key"),
+        "count/content mismatch must be detected: {err}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The partition map changes between epochs (repartition, then
+/// checkpoint): recovery always follows the *persisted* policy of the
+/// epoch it lands on — including a kill after the repartition but before
+/// the checkpoint that would have persisted it.
+#[test]
+fn recovery_across_partition_map_change_between_epochs() {
+    use hrdm_storage::PartitionPolicy;
+    let dir = tmp("repartition-epochs");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(PartitionPolicy::SpanLog2(6)); // span 64
+        db.create_relation("emp", scheme()).unwrap();
+        for k in 0..12 {
+            db.insert("emp", tup(k, k * 5, k * 5 + 8)).unwrap();
+        }
+        db.checkpoint().unwrap(); // epoch 1 persists span 64
+        db.set_partition_policy(PartitionPolicy::SpanLog2(3)); // span 8: splits hot partitions
+        db.insert("emp", tup(50, 3, 9)).unwrap();
+        db.checkpoint().unwrap(); // epoch 2 persists span 8
+        db.insert("emp", tup(51, 60, 70)).unwrap();
+        db.set_partition_policy(PartitionPolicy::SpanLog2(5)); // never checkpointed
+                                                               // Kill.
+    }
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.epoch(), Some(2));
+    assert_eq!(back.relation("emp").unwrap().len(), 14);
+    // The never-checkpointed policy died with the process; epoch 2's
+    // persisted policy governs recovery.
+    assert_eq!(back.partition_policy(), PartitionPolicy::SpanLog2(3));
+    let parts = back.partitions("emp").unwrap();
+    assert_eq!(parts.tuple_count(), 14);
+    // And the rebuilt map answers pruning queries over the merged state.
+    let hits = parts.prune_positions(&Lifespan::interval(0, 10));
+    let expect: Vec<usize> = back
+        .relation("emp")
+        .unwrap()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.lifespan().intersects(&Lifespan::interval(0, 10)))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits, expect);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// `checkpoint()` rewrites only dirty partitions: clean ones are carried
+/// into the new epoch as hard links to the old epoch's files (same
+/// inode), dirty ones get fresh files.
+#[cfg(unix)]
+#[test]
+fn checkpoint_links_clean_partitions_and_rewrites_dirty_ones() {
+    use std::os::unix::fs::MetadataExt;
+    let dir = tmp("dirty-only");
+    let mut db = Database::open(&dir).unwrap();
+    db.set_partition_policy(hrdm_storage::PartitionPolicy::SpanLog2(4));
+    db.create_relation("emp", scheme()).unwrap();
+    db.insert("emp", tup(1, 0, 10)).unwrap(); // partition 0
+    db.insert("emp", tup(2, 20, 30)).unwrap(); // partition 1
+    db.insert("emp", tup(3, 40, 50)).unwrap(); // partition 2
+    db.checkpoint().unwrap();
+    let ino = |p: std::path::PathBuf| std::fs::metadata(p).unwrap().ino();
+    let old: Vec<u64> = (0..3)
+        .map(|k| ino(dir.join(format!("emp.1.p{k}.heap"))))
+        .collect();
+
+    db.insert("emp", tup(4, 21, 29)).unwrap(); // dirties partition 1 only
+    db.checkpoint().unwrap();
+    let new: Vec<u64> = (0..3)
+        .map(|k| ino(dir.join(format!("emp.2.p{k}.heap"))))
+        .collect();
+    assert_eq!(new[0], old[0], "clean partition 0 hard-linked");
+    assert_eq!(new[2], old[2], "clean partition 2 hard-linked");
+    assert_ne!(new[1], old[1], "dirty partition 1 rewritten");
+
+    // The linked epoch still opens to the full state.
+    drop(db);
+    let back = Database::open(&dir).unwrap();
+    assert_eq!(back.relation("emp").unwrap().len(), 4);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+// ---------------------------------------------------------------------------
 // Property: for a random op sequence with a kill at a random point (torn
 // tail included), open() recovers a state equal to some prefix of the
 // acknowledged history — and never errors.

@@ -183,6 +183,31 @@ impl Lifespan {
         false
     }
 
+    /// Does the lifespan share at least one chronon with the closed
+    /// interval `iv`? Binary search over the runs — the allocation-free
+    /// sibling of [`Lifespan::intersects`] for single-interval probes
+    /// (partition summaries are probed once per partition per query).
+    pub fn intersects_interval(&self, iv: &Interval) -> bool {
+        // The first run ending at or after iv.lo is the only candidate
+        // that can start early enough and still reach iv.
+        let i = self.runs.partition_point(|r| r.hi() < iv.lo());
+        match self.runs.get(i) {
+            Some(r) => r.lo() <= iv.hi(),
+            None => false,
+        }
+    }
+
+    /// Subset test for a closed interval: `iv ⊆ self` without allocating.
+    /// Because the runs are maximal, `iv` is contained iff one single run
+    /// contains it whole.
+    pub fn contains_interval(&self, iv: &Interval) -> bool {
+        let i = self.runs.partition_point(|r| r.hi() < iv.hi());
+        match self.runs.get(i) {
+            Some(r) => r.lo() <= iv.lo() && iv.hi() <= r.hi(),
+            None => false,
+        }
+    }
+
     /// Set union `L1 ∪ L2` (paper §2, operation 1).
     pub fn union(&self, other: &Lifespan) -> Lifespan {
         if self.is_empty() {
@@ -608,5 +633,31 @@ mod tests {
     fn display_format() {
         let ls = Lifespan::of(&[(1, 3), (5, 5)]);
         assert_eq!(ls.to_string(), "{[1,3], [5]}");
+    }
+
+    /// The allocation-free interval probes agree with the lifespan-level
+    /// operations across every small window.
+    #[test]
+    fn interval_probes_match_lifespan_operations() {
+        let ls = Lifespan::of(&[(0, 4), (10, 15), (20, 20)]);
+        for lo in -2..24 {
+            for hi in lo..25 {
+                let iv = Interval::of(lo, hi);
+                let as_ls = Lifespan::interval(lo, hi);
+                assert_eq!(
+                    ls.intersects_interval(&iv),
+                    ls.intersects(&as_ls),
+                    "intersects [{lo},{hi}]"
+                );
+                assert_eq!(
+                    ls.contains_interval(&iv),
+                    ls.contains_lifespan(&as_ls),
+                    "contains [{lo},{hi}]"
+                );
+            }
+        }
+        let empty = Lifespan::empty();
+        assert!(!empty.intersects_interval(&Interval::of(0, 10)));
+        assert!(!empty.contains_interval(&Interval::of(0, 0)));
     }
 }
