@@ -1,0 +1,179 @@
+//! E16 — the network layer: multi-client query throughput, mixed
+//! read/write latency over the wire, and group-commit batch formation
+//! under network load.
+//!
+//! Three experiments against an in-process `hrdmd` on a loopback socket:
+//!
+//! * **Query throughput** — N closed-loop wire clients (N ∈ {1, 8})
+//!   cycling point lookups and selective timeslices against a detached
+//!   10k-tuple server. Each query rides the full stack: frame encode →
+//!   TCP → per-request snapshot → planned pipeline → streamed chunks →
+//!   frame decode.
+//! * **Write latency** — 8 closed-loop clients inserting disjoint keys
+//!   through an **attached** (WAL-durable) server: per-op p50/p99, plus
+//!   the group-commit mean batch size the concurrent clients formed. The
+//!   batch size is the point: independent TCP clients amortize fsyncs
+//!   exactly like in-process writer threads.
+//! * **Mixed workload** — 4 readers + 4 writers on one attached server;
+//!   read and write p50/p99 under interference.
+//!
+//! Set `HRDM_BENCH_FAST=1` for the CI smoke mode.
+
+use hrdm_bench::net_fixture::{
+    percentile, query_throughput, spawn_attached_server, spawn_query_server, tup, write_latencies,
+};
+use hrdm_net::Client;
+use hrdm_query::QueryResult;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast() -> bool {
+    std::env::var_os("HRDM_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn measure_window() -> Duration {
+    if fast() {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(1500)
+    }
+}
+
+fn preload() -> i64 {
+    if fast() {
+        1_000
+    } else {
+        10_000
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("hrdm-bench-net-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("benchmarking group `net` (cores: {cores})");
+
+    // --- Query throughput ---------------------------------------------------
+    let server = spawn_query_server(preload());
+    let q1 = query_throughput(server.addr(), 1, measure_window());
+    let q8 = query_throughput(server.addr(), 8, measure_window());
+    server.shutdown();
+    let scaling = if q1 > 0.0 { q8 / q1 } else { 0.0 };
+    println!("net/query_throughput_1c                          throughput: {q1:>12.0} queries/sec");
+    println!("net/query_throughput_8c                          throughput: {q8:>12.0} queries/sec");
+    println!(
+        "net/query_scaling_8c_over_1c                     factor: {scaling:>10.2}x (cores: {cores})"
+    );
+
+    // --- Durable write latency over the wire --------------------------------
+    let dir = bench_dir("writes");
+    let server = spawn_attached_server(&dir, preload());
+    let before = server.stats();
+    let lat = write_latencies(server.addr(), 8, measure_window(), 100_000_000);
+    let after = server.stats();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    let batches = after.commit_batches - before.commit_batches;
+    let ops = after.commit_ops - before.commit_ops;
+    let mean_batch = if batches == 0 {
+        0.0
+    } else {
+        ops as f64 / batches as f64
+    };
+    println!(
+        "net/write_p50_8c_attached                        time: {:>12} ns/write",
+        percentile(&lat, 0.50)
+    );
+    println!(
+        "net/write_p99_8c_attached                        time: {:>12} ns/write",
+        percentile(&lat, 0.99)
+    );
+    println!(
+        "net/group_commit_mean_batch_8c                   factor: {mean_batch:>10.2} ops/fsync"
+    );
+
+    // --- Mixed read/write workload ------------------------------------------
+    let dir = bench_dir("mixed");
+    let server = spawn_attached_server(&dir, preload());
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut lat = Vec::new();
+                let mut i = c as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = format!("SELECT-WHEN (K = {}) (r)", i % 997);
+                    let started = Instant::now();
+                    match client.query(&q).unwrap() {
+                        QueryResult::Relation(r) => {
+                            std::hint::black_box(r.len());
+                        }
+                        other => panic!("expected relation, got {other:?}"),
+                    }
+                    lat.push(started.elapsed().as_nanos() as u64);
+                    i += 1;
+                }
+                lat
+            })
+        })
+        .collect();
+    let writers: Vec<_> = (0..4)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut lat = Vec::new();
+                let mut k = 50_000_000i64 + (c as i64) * 10_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    k += 1;
+                    let t = tup(k);
+                    let started = Instant::now();
+                    client.insert("r", t).unwrap();
+                    lat.push(started.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    std::thread::sleep(measure_window());
+    stop.store(true, Ordering::Relaxed);
+    let mut read_lat: Vec<u64> = Vec::new();
+    for h in readers {
+        read_lat.extend(h.join().unwrap());
+    }
+    let mut write_lat: Vec<u64> = Vec::new();
+    for h in writers {
+        write_lat.extend(h.join().unwrap());
+    }
+    read_lat.sort_unstable();
+    write_lat.sort_unstable();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "net/mixed_read_p50_4r4w                          time: {:>12} ns/query",
+        percentile(&read_lat, 0.50)
+    );
+    println!(
+        "net/mixed_read_p99_4r4w                          time: {:>12} ns/query",
+        percentile(&read_lat, 0.99)
+    );
+    println!(
+        "net/mixed_write_p50_4r4w                         time: {:>12} ns/write",
+        percentile(&write_lat, 0.50)
+    );
+    println!(
+        "net/mixed_write_p99_4r4w                         time: {:>12} ns/write",
+        percentile(&write_lat, 0.99)
+    );
+}

@@ -34,7 +34,9 @@
 //! `--write-baseline` (ideally from a CI run's artifact) when the runner
 //! class or expected performance changes.
 
-use hrdm_bench::gate::{compare, measure_median_ns, parse_baseline, to_json, BenchResult};
+use hrdm_bench::gate::{
+    baseline_json, compare, measure_median_ns, parse_baseline, to_json, BenchResult,
+};
 use hrdm_core::prelude::*;
 use hrdm_query::{evaluate, evaluate_planned, parse_query, Query};
 use hrdm_storage::{ConcurrentDatabase, Database, WalRecord};
@@ -68,6 +70,21 @@ const GATED: &[&str] = &[
     "snapshot_take_10k",
     "timeslice_pruned_100k",
     "checkpoint_dirty_partitions",
+    // Loopback TCP against a *detached* server: CPU/network-bound (no
+    // fsync in the loop), so stable enough to gate on one runner class.
+    "net_query_throughput_8c",
+    "net_write_p99_8c",
+];
+
+/// Per-bench tolerance overrides written into the baseline. Tail-latency
+/// benches under scheduler pressure (a p99 across 8 threads on a small
+/// runner) legitimately swing several-fold run to run; a wide gate still
+/// catches order-of-magnitude regressions (e.g. accidentally serializing
+/// commits) without flaking, while the stable CPU-bound medians keep the
+/// tight default.
+const TOLERANCE_OVERRIDES: &[(&str, f64)] = &[
+    ("net_query_throughput_8c", 1.0), // fail above 2× baseline
+    ("net_write_p99_8c", 3.0),        // fail above 4× baseline
 ];
 
 fn scheme() -> Scheme {
@@ -257,6 +274,47 @@ fn run_tracked() -> Vec<BenchResult> {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // The network layer, over a detached server on a loopback socket so
+    // the numbers are CPU/network-bound (gateable), not fsync-bound:
+    // aggregate 8-client query throughput (stored as cluster-wide ns per
+    // query, so `throughput_per_sec` is the aggregate rate) and the p99
+    // per-op latency of 8 concurrent wire writers whose inserts form
+    // group-commit batches.
+    {
+        use hrdm_bench::net_fixture::{
+            percentile, query_throughput, spawn_query_server, write_latencies,
+        };
+        let window = if fast() {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_millis(1000)
+        };
+        let median3 = |mut xs: [f64; 3]| {
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs[1]
+        };
+
+        let server = spawn_query_server(MEM_SIZE);
+        let per_query_ns = median3([(); 3].map(|()| {
+            let qps = query_throughput(server.addr(), 8, window);
+            if qps > 0.0 {
+                1e9 / qps
+            } else {
+                f64::MAX
+            }
+        }));
+        track("net_query_throughput_8c", per_query_ns);
+
+        let mut sample = 0i64;
+        let p99_ns = median3([(); 3].map(|()| {
+            sample += 1;
+            let lat = write_latencies(server.addr(), 8, window, sample * 100_000_000);
+            percentile(&lat, 0.99) as f64
+        }));
+        track("net_write_p99_8c", p99_ns);
+        server.shutdown();
+    }
+
     out
 }
 
@@ -310,7 +368,8 @@ fn main() {
             .filter(|r| GATED.contains(&r.name.as_str()))
             .cloned()
             .collect();
-        std::fs::write(&baseline_path, to_json(&gated)).expect("write baseline");
+        std::fs::write(&baseline_path, baseline_json(&gated, TOLERANCE_OVERRIDES))
+            .expect("write baseline");
         eprintln!(
             "bench-json: baseline refreshed at {} ({} gated bench(es))",
             baseline_path.display(),
@@ -350,11 +409,12 @@ fn main() {
     }
     for r in &outcome.regressions {
         eprintln!(
-            "bench-json: REGRESSION `{}`: {:.1} ns vs baseline {:.1} ns ({:.2}x)",
+            "bench-json: REGRESSION `{}`: {:.1} ns vs baseline {:.1} ns ({:.2}x, tolerance +{:.0}%)",
             r.name,
             r.current_ns,
             r.baseline_ns,
-            r.ratio()
+            r.ratio(),
+            r.tolerance * 100.0
         );
     }
     if !outcome.pass() {

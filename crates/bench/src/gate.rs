@@ -43,6 +43,32 @@ impl BenchResult {
     }
 }
 
+/// One committed baseline entry: the reference median, plus an optional
+/// per-bench tolerance override. Wall-clock-tail benches (network p99s)
+/// carry a wider tolerance than CPU-bound medians — one global knob would
+/// either flake on tails or miss real regressions on the stable benches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineEntry {
+    /// The bench this entry gates.
+    pub name: String,
+    /// Its committed median.
+    pub median_ns: f64,
+    /// Per-bench tolerance override (fractional, e.g. `3.0` = fail above
+    /// 4× baseline); `None` uses the gate-wide default.
+    pub tolerance: Option<f64>,
+}
+
+impl BaselineEntry {
+    /// An entry using the gate-wide default tolerance.
+    pub fn new(name: impl Into<String>, median_ns: f64) -> BaselineEntry {
+        BaselineEntry {
+            name: name.into(),
+            median_ns,
+            tolerance: None,
+        }
+    }
+}
+
 /// One bench that got slower than the baseline allows.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
@@ -52,6 +78,8 @@ pub struct Regression {
     pub baseline_ns: f64,
     /// Its measured median.
     pub current_ns: f64,
+    /// The tolerance this bench was gated with.
+    pub tolerance: f64,
 }
 
 impl Regression {
@@ -80,22 +108,29 @@ impl GateOutcome {
     }
 }
 
-/// Compares measured results against `(name, median_ns)` baseline entries.
-/// A bench regresses when `current > baseline * (1 + tolerance)`. Benches
+/// Compares measured results against the committed baseline. A bench
+/// regresses when `current > baseline * (1 + tolerance)`, where the
+/// tolerance is the entry's own override or `default_tolerance`. Benches
 /// present only in the current run (newly added) are ignored; benches
 /// present only in the baseline are reported as `missing`.
-pub fn compare(current: &[BenchResult], baseline: &[(String, f64)], tolerance: f64) -> GateOutcome {
+pub fn compare(
+    current: &[BenchResult],
+    baseline: &[BaselineEntry],
+    default_tolerance: f64,
+) -> GateOutcome {
     let mut outcome = GateOutcome::default();
-    for (name, baseline_ns) in baseline {
-        match current.iter().find(|r| &r.name == name) {
-            None => outcome.missing.push(name.clone()),
+    for entry in baseline {
+        match current.iter().find(|r| r.name == entry.name) {
+            None => outcome.missing.push(entry.name.clone()),
             Some(r) => {
                 outcome.compared += 1;
-                if r.median_ns > baseline_ns * (1.0 + tolerance) {
+                let tolerance = entry.tolerance.unwrap_or(default_tolerance);
+                if r.median_ns > entry.median_ns * (1.0 + tolerance) {
                     outcome.regressions.push(Regression {
-                        name: name.clone(),
-                        baseline_ns: *baseline_ns,
+                        name: entry.name.clone(),
+                        baseline_ns: entry.median_ns,
                         current_ns: r.median_ns,
+                        tolerance,
                     });
                 }
             }
@@ -120,12 +155,56 @@ pub fn to_json(results: &[BenchResult]) -> String {
     out
 }
 
-/// Parses `(name, median_ns)` pairs back out of the artifact/baseline
-/// JSON. Deliberately a scanner, not a JSON parser: it accepts exactly the
-/// flat shape [`to_json`] writes (and hand-edits of it), pairing each
-/// `"name"` with the next `"median_ns"`.
-pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
-    let mut entries = Vec::new();
+/// Renders the committed baseline: like [`to_json`] but with a
+/// `"tolerance"` field on the entries whose name appears in `overrides`.
+pub fn baseline_json(results: &[BenchResult], overrides: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let tol = overrides
+            .iter()
+            .find(|(name, _)| *name == r.name)
+            .map(|(_, t)| format!(", \"tolerance\": {t:.2}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \"throughput_per_sec\": {:.1}{tol} }}{sep}\n",
+            r.name,
+            r.median_ns,
+            r.throughput_per_sec()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses baseline entries back out of the artifact/baseline JSON.
+/// Deliberately a scanner, not a JSON parser: it accepts exactly the flat
+/// shape [`to_json`]/[`baseline_json`] write (and hand-edits of them),
+/// pairing each `"name"` with the next `"median_ns"` and an optional
+/// `"tolerance"` appearing before the following entry.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineEntry>, String> {
+    fn number_after(rest: &str, key: &str, name: &str) -> Result<(f64, usize), String> {
+        let at = rest
+            .find(key)
+            .ok_or_else(|| format!("no {key} after name \"{name}\""))?;
+        let after_key = &rest[at + key.len()..];
+        let colon = after_key
+            .find(':')
+            .ok_or_else(|| format!("no colon after {key} of \"{name}\""))?;
+        let num_start = at + key.len() + colon + 1;
+        let num = rest[num_start..].trim_start();
+        let trimmed = rest[num_start..].len() - num.len();
+        let end = num
+            .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+            .unwrap_or(num.len());
+        let value: f64 = num[..end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad {key} for \"{name}\": {e}"))?;
+        Ok((value, num_start + trimmed + end))
+    }
+
+    let mut entries: Vec<BaselineEntry> = Vec::new();
     let mut rest = json;
     while let Some(at) = rest.find("\"name\"") {
         rest = &rest[at + "\"name\"".len()..];
@@ -139,23 +218,25 @@ pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
         let name = rest_after_open[..close].to_string();
         rest = &rest_after_open[close + 1..];
 
-        let med_at = rest
-            .find("\"median_ns\"")
-            .ok_or_else(|| format!("no median_ns after name \"{name}\""))?;
-        rest = &rest[med_at + "\"median_ns\"".len()..];
-        let colon = rest
-            .find(':')
-            .ok_or_else(|| format!("no colon after median_ns of \"{name}\""))?;
-        rest = rest[colon + 1..].trim_start();
-        let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
-            .unwrap_or(rest.len());
-        let median_ns: f64 = rest[..end]
-            .trim()
-            .parse()
-            .map_err(|e| format!("bad median_ns for \"{name}\": {e}"))?;
-        rest = &rest[end..];
-        entries.push((name, median_ns));
+        let (median_ns, consumed) = number_after(rest, "\"median_ns\"", &name)?;
+        rest = &rest[consumed..];
+
+        // An optional tolerance belongs to this entry only if it appears
+        // before the next entry's "name".
+        let entry_end = rest.find("\"name\"").unwrap_or(rest.len());
+        let tolerance = match rest[..entry_end].find("\"tolerance\"") {
+            Some(_) => {
+                let (t, consumed) = number_after(rest, "\"tolerance\"", &name)?;
+                rest = &rest[consumed..];
+                Some(t)
+            }
+            None => None,
+        };
+        entries.push(BaselineEntry {
+            name,
+            median_ns,
+            tolerance,
+        });
     }
     if entries.is_empty() {
         return Err("no benches found in baseline JSON".to_string());
@@ -210,13 +291,36 @@ mod tests {
         let parsed = parse_baseline(&json).unwrap();
         assert_eq!(
             parsed,
-            vec![("a".to_string(), 100.0), ("b".to_string(), 2000.0)]
+            vec![
+                BaselineEntry::new("a", 100.0),
+                BaselineEntry::new("b", 2000.0)
+            ]
+        );
+    }
+
+    /// `baseline_json` carries per-bench tolerance overrides through a
+    /// parse round trip; entries without an override stay `None`.
+    #[test]
+    fn tolerance_overrides_round_trip() {
+        let json = baseline_json(&results(), &[("b", 3.0)]);
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed[0], BaselineEntry::new("a", 100.0));
+        assert_eq!(
+            parsed[1],
+            BaselineEntry {
+                name: "b".into(),
+                median_ns: 2000.0,
+                tolerance: Some(3.0),
+            }
         );
     }
 
     #[test]
     fn within_tolerance_passes() {
-        let baseline = vec![("a".to_string(), 90.0), ("b".to_string(), 1_900.0)];
+        let baseline = vec![
+            BaselineEntry::new("a", 90.0),
+            BaselineEntry::new("b", 1_900.0),
+        ];
         // 100 vs 90 is +11%, 2000 vs 1900 is +5.3% — both under 25%.
         let outcome = compare(&results(), &baseline, 0.25);
         assert!(outcome.pass(), "{outcome:?}");
@@ -226,7 +330,10 @@ mod tests {
     /// The acceptance property: an injected 2× slowdown must fail the gate.
     #[test]
     fn two_x_slowdown_fails() {
-        let baseline = vec![("a".to_string(), 100.0), ("b".to_string(), 2_000.0)];
+        let baseline = vec![
+            BaselineEntry::new("a", 100.0),
+            BaselineEntry::new("b", 2_000.0),
+        ];
         let slowed: Vec<BenchResult> = results()
             .into_iter()
             .map(|mut r| {
@@ -240,10 +347,50 @@ mod tests {
         assert!((outcome.regressions[0].ratio() - 2.0).abs() < 1e-9);
     }
 
+    /// A per-bench tolerance override widens that bench's gate without
+    /// loosening the others: under a 3.0 override, a 2× slowdown passes a
+    /// tail bench while the same slowdown still fails a default bench —
+    /// and a slowdown past the override still fails.
+    #[test]
+    fn tolerance_override_gates_per_bench() {
+        let baseline = vec![
+            BaselineEntry::new("a", 100.0),
+            BaselineEntry {
+                name: "b".into(),
+                median_ns: 2_000.0,
+                tolerance: Some(3.0),
+            },
+        ];
+        let slowed: Vec<BenchResult> = results()
+            .into_iter()
+            .map(|mut r| {
+                r.median_ns *= 2.0;
+                r
+            })
+            .collect();
+        let outcome = compare(&slowed, &baseline, 0.25);
+        assert_eq!(outcome.regressions.len(), 1, "{outcome:?}");
+        assert_eq!(outcome.regressions[0].name, "a");
+
+        let way_slower: Vec<BenchResult> = results()
+            .into_iter()
+            .map(|mut r| {
+                r.median_ns *= 5.0;
+                r
+            })
+            .collect();
+        let outcome = compare(&way_slower, &baseline, 0.25);
+        assert_eq!(outcome.regressions.len(), 2, "5x must fail even the tail");
+        assert_eq!(outcome.regressions[1].tolerance, 3.0);
+    }
+
     /// A run that no longer produces a tracked bench must not pass green.
     #[test]
     fn missing_bench_fails() {
-        let baseline = vec![("a".to_string(), 100.0), ("gone".to_string(), 10.0)];
+        let baseline = vec![
+            BaselineEntry::new("a", 100.0),
+            BaselineEntry::new("gone", 10.0),
+        ];
         let outcome = compare(&results(), &baseline, 0.25);
         assert!(!outcome.pass());
         assert_eq!(outcome.missing, vec!["gone".to_string()]);
@@ -253,7 +400,7 @@ mod tests {
     /// refreshed in the same PR that adds them).
     #[test]
     fn extra_current_bench_is_ignored() {
-        let baseline = vec![("a".to_string(), 100.0)];
+        let baseline = vec![BaselineEntry::new("a", 100.0)];
         let outcome = compare(&results(), &baseline, 0.25);
         assert!(outcome.pass());
         assert_eq!(outcome.compared, 1);

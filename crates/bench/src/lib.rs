@@ -9,6 +9,7 @@
 
 pub mod gate;
 pub mod gen;
+pub mod net_fixture;
 pub mod partition_fixture;
 
 pub use gen::{

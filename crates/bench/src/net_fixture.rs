@@ -1,0 +1,165 @@
+//! The shared workload fixture of the network benches: one scheme, one
+//! tuple generator, server spawners, and closed-loop client drivers —
+//! used by both the standalone bench (`benches/net.rs`) and the gated
+//! `bench-json` entries (`net_query_throughput_8c`, `net_write_p99_8c`),
+//! so the two can never silently measure different workloads.
+//!
+//! The gated entries run against a **detached** (in-memory) server: that
+//! keeps them CPU/network-bound — loopback TCP on one runner class is
+//! stable enough to gate — while the fsync-bound attached variants are
+//! reported by `benches/net.rs` for trend reading only, consistent with
+//! the workspace's bench-gate policy.
+
+use hrdm_core::prelude::*;
+use hrdm_net::{Client, ServerConfig, ServerHandle};
+use hrdm_query::QueryResult;
+use hrdm_storage::{ConcurrentDatabase, Database};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The fixture's relation scheme (`K: Int` key, `V: Int`).
+pub fn scheme() -> Scheme {
+    let era = Lifespan::interval(0, 1_000_000);
+    Scheme::builder()
+        .key_attr("K", ValueKind::Int, era.clone())
+        .attr("V", HistoricalDomain::int(), era)
+        .build()
+        .unwrap()
+}
+
+/// A 50-chronon tuple with key `k`, born at `k mod 900_000`.
+pub fn tup(k: i64) -> Tuple {
+    let lo = k % 900_000;
+    let life = Lifespan::interval(lo, lo + 50);
+    Tuple::builder(life.clone())
+        .constant("K", k)
+        .value("V", TemporalValue::constant(&life, Value::Int(k)))
+        .finish(&scheme())
+        .unwrap()
+}
+
+/// A detached (in-memory) server over relation `r` with keys `0..preload`,
+/// bound to an ephemeral loopback port.
+pub fn spawn_query_server(preload: i64) -> ServerHandle {
+    let mut db = Database::new();
+    db.create_relation("r", scheme()).unwrap();
+    for k in 0..preload {
+        db.insert("r", tup(k)).unwrap();
+    }
+    spawn_over(ConcurrentDatabase::from_database(db))
+}
+
+/// An attached (WAL-durable) server over `dir` with relation `r` and keys
+/// `0..preload` — the fsync-bound variant for trend benches.
+pub fn spawn_attached_server(dir: &Path, preload: i64) -> ServerHandle {
+    let db = ConcurrentDatabase::open(dir).unwrap();
+    db.create_relation("r", scheme()).unwrap();
+    for k in 0..preload {
+        db.insert("r", tup(k)).unwrap();
+    }
+    spawn_over(db)
+}
+
+fn spawn_over(db: ConcurrentDatabase) -> ServerHandle {
+    hrdm_net::Server::bind("127.0.0.1:0", Arc::new(db), ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+/// Aggregate queries/sec over `clients` closed-loop connections for
+/// `window`: each client cycles point lookups and selective timeslices —
+/// the planned pipeline (key probes, lifespan-index scans) over the wire.
+pub fn query_throughput(addr: SocketAddr, clients: usize, window: Duration) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut n = 0u64;
+                let mut i = c as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = match i % 2 {
+                        0 => format!("SELECT-WHEN (K = {}) (r)", i % 997),
+                        _ => format!(
+                            "TIMESLICE [{0}..{1}] (r)",
+                            (i * 37) % 800,
+                            (i * 37) % 800 + 40
+                        ),
+                    };
+                    match client.query(&q).unwrap() {
+                        QueryResult::Relation(r) => {
+                            std::hint::black_box(r.len());
+                        }
+                        other => panic!("expected relation, got {other:?}"),
+                    }
+                    n += 1;
+                    i += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+}
+
+/// Per-op wall latencies (ns, sorted ascending) of `clients` closed-loop
+/// writers inserting disjoint keys over the wire for `window`. Key ranges
+/// start at `base_key` (give each run a fresh base — keys are never
+/// reused) with 10M reserved per client. The writes funnel into the
+/// server's group-commit queue, so concurrent clients form batches; read
+/// the server's commit stats before/after for the amortization.
+pub fn write_latencies(
+    addr: SocketAddr,
+    clients: usize,
+    window: Duration,
+    base_key: i64,
+) -> Vec<u64> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut lat = Vec::new();
+                let mut k = base_key + (c as i64) * 10_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    k += 1;
+                    let t = tup(k);
+                    let started = Instant::now();
+                    client.insert("r", t).unwrap();
+                    lat.push(started.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let mut lat: Vec<u64> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().unwrap());
+    }
+    lat.sort_unstable();
+    lat
+}
+
+/// The `p`-quantile of already-sorted nanosecond latencies.
+pub fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx]
+}

@@ -1,0 +1,129 @@
+//! `hrdmd` — the HRDM network server daemon.
+//!
+//! ```sh
+//! cargo run -p hrdm-net --bin hrdmd -- --listen 127.0.0.1:7171 /path/to/db-dir
+//! ```
+//!
+//! Serves the wire protocol of `hrdm-net` over TCP: concurrent clients'
+//! queries run against snapshot-isolated state, their writes form
+//! group-commit batches, and (with a database directory) every
+//! acknowledged write is WAL-durable. Without a directory the server runs
+//! detached (in-memory).
+
+use hrdm_net::{Server, ServerConfig};
+use hrdm_storage::ConcurrentDatabase;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+hrdmd — the HRDM network server
+
+USAGE:
+    hrdmd [OPTIONS] [DB_DIR]
+
+ARGS:
+    <DB_DIR>    Database directory to attach durably (WAL + checkpoints).
+                Omitted: serve a detached, in-memory database.
+
+OPTIONS:
+    --listen <ADDR>         Address to bind [default: 127.0.0.1:7171]
+    --max-conns <N>         Session slots; further connections are refused
+                            with a structured error [default: 64]
+    --max-rows <N>          Per-request result row cap [default: 1000000]
+    --max-bytes <N>         Per-request result byte cap [default: 268435456]
+    --chunk-rows <N>        Tuples per streamed chunk (also the cancel
+                            granularity) [default: 256]
+    --read-timeout-secs <N> Idle-session kill timer; 0 disables [default: 30]
+    -h, --help              Print this help
+
+The row/byte caps and the connection limit are the server's DoS posture:
+no single request can hold a session thread on an unbounded result, and
+no client fleet can exhaust threads past --max-conns.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:7171".to_string();
+    let mut config = ServerConfig::default();
+    let mut dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value\n\n{USAGE}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--listen" => listen = value("--listen"),
+            "--max-conns" => config.max_connections = parse(&value("--max-conns"), "--max-conns"),
+            "--max-rows" => config.max_result_rows = parse(&value("--max-rows"), "--max-rows"),
+            "--max-bytes" => config.max_result_bytes = parse(&value("--max-bytes"), "--max-bytes"),
+            "--chunk-rows" => config.chunk_rows = parse(&value("--chunk-rows"), "--chunk-rows"),
+            "--read-timeout-secs" => {
+                let secs: u64 = parse(&value("--read-timeout-secs"), "--read-timeout-secs");
+                config.read_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(Duration::from_secs(secs))
+                };
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => dir = Some(other.to_string()),
+        }
+    }
+
+    let db = match &dir {
+        Some(dir) => match ConcurrentDatabase::open(std::path::Path::new(dir)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("failed to open database at {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => ConcurrentDatabase::new(),
+    };
+    let db = Arc::new(db);
+    {
+        let snap = db.snapshot();
+        let names: Vec<&str> = snap.relation_names().collect();
+        eprintln!(
+            "hrdmd: serving {} relation(s) ({}) — {}",
+            names.len(),
+            names.join(", "),
+            match &dir {
+                Some(d) => format!("attached to {d}"),
+                None => "detached (in-memory)".to_string(),
+            }
+        );
+    }
+
+    let server = match Server::bind(listen.as_str(), db, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!("hrdmd: listening on {addr}"),
+        Err(_) => eprintln!("hrdmd: listening on {listen}"),
+    }
+    server.run();
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {flag}: {s}\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}

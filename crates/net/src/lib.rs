@@ -1,0 +1,39 @@
+//! # hrdm-net — the HRDM wire protocol, server, and client
+//!
+//! PRs 1–4 built indexes, WAL durability, snapshot-isolated group-commit
+//! concurrency, and partition pruning — all in-process. This crate is the
+//! network front end that makes them servable: a length-prefixed,
+//! versioned binary protocol over plain `std::net` TCP (no external
+//! dependencies), a thread-per-connection server (`hrdmd`) running every
+//! read against a per-request [`hrdm_storage::DbSnapshot`] and funnelling
+//! every write into the group-commit queue, and a synchronous [`Client`]
+//! that shares the frame codec with the server by construction.
+//!
+//! ```text
+//!   client A ──┐                        ┌─ snapshot() ── Query pipeline
+//!   client B ──┼── TCP frames ── hrdmd ─┤
+//!   client C ──┘                        └─ write() ──── group commit ─ WAL
+//! ```
+//!
+//! * [`frame`] — the wire format: frames, errors, the shared codec.
+//! * [`server`] — [`Server`]/[`ServerHandle`], session management, limits.
+//! * [`client`] — [`Client`]/[`Canceller`].
+//!
+//! The `hrdmq` shell (this crate's second binary) speaks the same
+//! protocol via `\connect <addr>`, and the whole query pipeline —
+//! optimizer rewrites, index scans, partition pruning, `EXPLAIN` — works
+//! identically over the wire because the server answers from the exact
+//! same snapshots an in-process reader would use.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{Canceller, Client, NetError};
+pub use frame::{
+    assemble_relation, decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError,
+    ServerStats, WireError, WriteOp, MAX_FRAME_BYTES, PROTO_VERSION, WIRE_VERSION,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,777 @@
+//! `hrdmd` — the HRDM network server: a thread-per-connection TCP
+//! front end over one shared [`ConcurrentDatabase`].
+//!
+//! ## Execution model
+//!
+//! * Every connection gets a **session**: a reader thread that decodes
+//!   frames off the socket (and routes `Cancel` out of band) and a worker
+//!   thread that serves requests in order, writing responses back.
+//! * **Reads** (`Query`, `Prepare`, `Stats`) run against a per-request
+//!   [`DbSnapshot`](hrdm_storage::DbSnapshot) — the same snapshot-isolated,
+//!   zero-lock pipeline in-process readers use, so `EXPLAIN`, index scans,
+//!   and partition pruning all work unchanged over the wire.
+//! * **Writes** (`Execute`) funnel into the group-commit queue of the
+//!   shared database; concurrent clients' operations form batches exactly
+//!   like concurrent in-process writers (one fsync per batch).
+//!
+//! ## Limits (the server's DoS posture)
+//!
+//! * [`ServerConfig::max_connections`] session slots; a connection beyond
+//!   that is answered with an `Unavailable` error frame and closed.
+//! * [`ServerConfig::max_result_rows`] / [`ServerConfig::max_result_bytes`]
+//!   cap each result stream; exceeding either turns the stream into a
+//!   `Limit` error instead of unbounded output.
+//! * [`ServerConfig::read_timeout`] kills **idle** sessions (no request in
+//!   flight, nothing arriving); a session mid-request is never timed out
+//!   by its own silence.
+//! * Frame length declarations above [`crate::frame::MAX_FRAME_BYTES`] are
+//!   rejected before any allocation.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] stops accepting, closes every session's read
+//! half (idle readers wake immediately), then waits for in-flight requests
+//! to finish — a write mid-group-commit is drained, never torn.
+
+use crate::frame::{
+    write_frame, Frame, FrameError, ServerStats, WireError, WriteOp, PROTO_VERSION,
+};
+use hrdm_query::{explain_query_text, run_query_on_snapshot_timed, PipelineError, QueryResult};
+use hrdm_storage::ConcurrentDatabase;
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for one server instance. `Default` is sized for tests and
+/// small deployments; `hrdmd` exposes each knob as a flag.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum simultaneous sessions; further connections are refused
+    /// with an `Unavailable` error frame.
+    pub max_connections: usize,
+    /// Maximum rows one result stream may carry.
+    pub max_result_rows: u64,
+    /// Maximum encoded bytes one result stream may carry.
+    pub max_result_bytes: u64,
+    /// Tuples per streamed `RowChunk` frame (also the cancellation
+    /// granularity: the cancel flag is checked between chunks).
+    pub chunk_rows: usize,
+    /// How long an **idle** session may sit before being closed. `None`
+    /// disables the idle kill.
+    pub read_timeout: Option<Duration>,
+    /// Server name reported in `HelloAck`.
+    pub server_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            max_result_rows: 1_000_000,
+            max_result_bytes: 256 * 1024 * 1024,
+            chunk_rows: 256,
+            read_timeout: Some(Duration::from_secs(30)),
+            server_name: format!("hrdmd/{}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// Monotone counters shared by every session (all relaxed — they are
+/// observability, not synchronization).
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    requests: AtomicU64,
+    cancelled: AtomicU64,
+    plan_ns: AtomicU64,
+    exec_ns: AtomicU64,
+}
+
+struct Shared {
+    db: Arc<ConcurrentDatabase>,
+    config: ServerConfig,
+    counters: Counters,
+    shutdown: AtomicBool,
+    /// Read-half handles of live sessions, for shutdown to wake idle
+    /// readers. Keyed by session id.
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+    next_session: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let snap = self.db.snapshot();
+        let commit = self.db.stats();
+        ServerStats {
+            connections_accepted: self.counters.accepted.load(Ordering::Relaxed),
+            connections_active: self.counters.active.load(Ordering::Relaxed),
+            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
+            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            plan_ns: self.counters.plan_ns.load(Ordering::Relaxed),
+            exec_ns: self.counters.exec_ns.load(Ordering::Relaxed),
+            commit_batches: commit.batches,
+            commit_ops: commit.ops,
+            commit_max_batch: commit.max_batch as u64,
+            commit_last_batch: commit.last_batch as u64,
+            snapshot_version: snap.version(),
+            relations: snap
+                .relation_names()
+                .map(|name| {
+                    let count = snap.relation(name).map(|r| r.len() as u64).unwrap_or(0);
+                    (name.to_string(), count)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::spawn`] starts the accept
+/// loop on a background thread and returns the handle used to observe and
+/// stop it.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) over
+    /// `db` with `config`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: Arc<ConcurrentDatabase>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                db,
+                config,
+                counters: Counters::default(),
+                shutdown: AtomicBool::new(false),
+                sessions: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(1),
+            }),
+        })
+    }
+
+    /// The bound address (the real port, when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let accept_shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let join = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(ServerHandle {
+            addr,
+            shared,
+            join: Some(join),
+        })
+    }
+
+    /// Runs the accept loop on the calling thread (the `hrdmd` binary's
+    /// mode). Returns only when the shutdown flag is raised by another
+    /// holder of the shared state — which a plain binary run never does,
+    /// so in practice: runs forever.
+    pub fn run(self) {
+        let shared = Arc::clone(&self.shared);
+        accept_loop(&self.listener, &shared);
+    }
+}
+
+/// A running server: its address, counters, and the shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server-side view of the counters (the same numbers a `Stats`
+    /// request returns, without a connection).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Sessions currently holding a slot.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.counters.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, wake idle sessions, and wait
+    /// (up to ~10 s) for in-flight requests — including writes queued for
+    /// group commit — to drain.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the acceptor so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        // Close every session's read half: idle readers wake with EOF and
+        // exit; a worker mid-request keeps its write half and finishes.
+        {
+            let sessions = self.shared.sessions.lock().expect("sessions lock");
+            for stream in sessions.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.shared.counters.active.load(Ordering::Relaxed) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        // Claim a slot; over the limit, answer with a structured refusal
+        // instead of silently dropping the connection.
+        let prev = shared.counters.active.fetch_add(1, Ordering::SeqCst);
+        if prev >= shared.config.max_connections as u64 {
+            shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+            let mut stream = stream;
+            let _ = write_frame(
+                &mut stream,
+                0,
+                &Frame::Error {
+                    error: WireError::Unavailable(format!(
+                        "connection limit ({}) reached",
+                        shared.config.max_connections
+                    )),
+                },
+            );
+            continue;
+        }
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            session(&shared, stream, session_id);
+            // The slot is freed however the session ended — clean close,
+            // protocol violation, or the client dying mid-frame.
+            shared
+                .sessions
+                .lock()
+                .expect("sessions lock")
+                .remove(&session_id);
+            shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// What the reader thread hands the worker.
+enum SessionEvent {
+    Request(u64, Frame),
+    /// The peer violated the protocol; the worker reports and closes.
+    Bad(String),
+}
+
+fn session(shared: &Arc<Shared>, stream: TcpStream, session_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    shared.sessions.lock().expect("sessions lock").insert(
+        session_id,
+        match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+    );
+    let _ = reader_stream.set_read_timeout(shared.config.read_timeout);
+
+    // Requests the reader has handed over but the worker has not finished.
+    // The idle-timeout kill only fires when this is zero — a session busy
+    // streaming a big result must not be killed for not *sending* bytes.
+    let outstanding = Arc::new(AtomicI64::new(0));
+    // Request ids cancelled out of band; checked between result chunks.
+    let cancelled: Arc<Mutex<BTreeSet<u64>>> = Arc::new(Mutex::new(BTreeSet::new()));
+
+    let (tx, rx) = mpsc::sync_channel::<SessionEvent>(16);
+    let reader_shared = Arc::clone(shared);
+    let reader_outstanding = Arc::clone(&outstanding);
+    let reader_cancelled = Arc::clone(&cancelled);
+    let reader = std::thread::spawn(move || {
+        reader_loop(
+            reader_stream,
+            &reader_shared,
+            &tx,
+            &reader_outstanding,
+            &reader_cancelled,
+        );
+    });
+
+    let mut stream = stream;
+    worker_loop(shared, &mut stream, &rx, &outstanding, &cancelled);
+    // Close the socket: the peer sees EOF instead of a silent stall, and
+    // the reader (possibly parked in its read timeout) wakes immediately.
+    let _ = stream.shutdown(Shutdown::Both);
+    // Dropping the receiver unblocks the reader's next send; joining keeps
+    // the thread from outliving the session's bookkeeping.
+    drop(rx);
+    let _ = reader.join();
+}
+
+/// Stale-cancel bound: cancels that raced past their request's
+/// completion are re-recorded; keep only the most recent few so a
+/// long-lived session cannot grow the set without bound.
+const MAX_STALE_CANCELS: usize = 64;
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    tx: &mpsc::SyncSender<SessionEvent>,
+    outstanding: &AtomicI64,
+    cancelled: &Mutex<BTreeSet<u64>>,
+) {
+    loop {
+        match read_frame_idle_aware(&mut stream) {
+            Ok(None) => {
+                // Timed out with zero bytes consumed — safe to retry.
+                if outstanding.load(Ordering::SeqCst) > 0 {
+                    // Busy serving — silence from the client is expected.
+                    continue;
+                }
+                return; // idle kill
+            }
+            Ok(Some((req, Frame::Cancel))) => {
+                shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                let mut set = cancelled.lock().expect("cancel set lock");
+                set.insert(req);
+                while set.len() > MAX_STALE_CANCELS {
+                    set.pop_first();
+                }
+            }
+            Ok(Some((req, frame))) => {
+                shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                outstanding.fetch_add(1, Ordering::SeqCst);
+                if tx.send(SessionEvent::Request(req, frame)).is_err() {
+                    return; // worker gone
+                }
+            }
+            // EOF, a dead peer, or a *mid-frame* stall longer than the
+            // read timeout: fatal either way — after partial frame bytes
+            // there is no way to resynchronize the stream.
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Protocol(msg)) => {
+                // Framing is unrecoverable mid-stream; report and close.
+                let _ = tx.send(SessionEvent::Bad(msg));
+                return;
+            }
+        }
+    }
+}
+
+/// Reads one frame, distinguishing an **idle** timeout from a mid-frame
+/// one: the first byte is read with a plain `read`, so a timeout there
+/// (`Ok(None)`) is guaranteed to have consumed nothing and the caller may
+/// safely retry. Once any byte of a frame has arrived, the remainder is
+/// read with `read_exact`, where a timeout is a fatal `Io` error — a
+/// partially consumed frame cannot be resynchronized.
+fn read_frame_idle_aware(stream: &mut TcpStream) -> Result<Option<(u64, Frame)>, FrameError> {
+    use std::io::Read;
+    let mut len_buf = [0u8; 4];
+    loop {
+        match stream.read(&mut len_buf[..1]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::from(
+                    io::ErrorKind::UnexpectedEof,
+                )))
+            }
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    stream.read_exact(&mut len_buf[1..])?;
+    crate::frame::read_frame_after_len(stream, u32::from_be_bytes(len_buf)).map(Some)
+}
+
+fn worker_loop(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    rx: &mpsc::Receiver<SessionEvent>,
+    outstanding: &AtomicI64,
+    cancelled: &Mutex<BTreeSet<u64>>,
+) {
+    let mut hello_done = false;
+    while let Ok(event) = rx.recv() {
+        let (req, frame) = match event {
+            SessionEvent::Request(req, frame) => (req, frame),
+            SessionEvent::Bad(msg) => {
+                let _ = send(
+                    shared,
+                    stream,
+                    0,
+                    &Frame::Error {
+                        error: WireError::Protocol(msg),
+                    },
+                );
+                return;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = send(
+                shared,
+                stream,
+                req,
+                &Frame::Error {
+                    error: WireError::Unavailable("server shutting down".into()),
+                },
+            );
+            return;
+        }
+        let ok = if !hello_done {
+            match handshake(shared, stream, req, &frame) {
+                Some(()) => {
+                    hello_done = true;
+                    true
+                }
+                None => false,
+            }
+        } else {
+            serve(shared, stream, req, frame, cancelled)
+        };
+        cancelled.lock().expect("cancel set lock").remove(&req);
+        outstanding.fetch_sub(1, Ordering::SeqCst);
+        if !ok {
+            return;
+        }
+    }
+}
+
+/// Serves the mandatory first frame. `Some(())` when the session may
+/// continue; `None` closes it (version mismatch, non-Hello opener, or a
+/// dead socket).
+fn handshake(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, frame: &Frame) -> Option<()> {
+    match frame {
+        Frame::Hello { version, .. } if *version == PROTO_VERSION => {
+            send(
+                shared,
+                stream,
+                req,
+                &Frame::HelloAck {
+                    version: PROTO_VERSION,
+                    server: shared.config.server_name.clone(),
+                },
+            )
+            .ok()?;
+            Some(())
+        }
+        Frame::Hello { version, .. } => {
+            let _ = send(shared, stream, req, &Frame::Error {
+                error: WireError::Protocol(format!(
+                    "protocol version mismatch: client speaks {version}, server speaks {PROTO_VERSION}"
+                )),
+            });
+            None
+        }
+        other => {
+            let _ = send(
+                shared,
+                stream,
+                req,
+                &Frame::Error {
+                    error: WireError::Protocol(format!(
+                        "expected Hello as the first frame, got kind {:#x}",
+                        other.kind()
+                    )),
+                },
+            );
+            None
+        }
+    }
+}
+
+/// Serves one request. `false` ends the session (socket write failed).
+fn serve(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    req: u64,
+    frame: Frame,
+    cancelled: &Mutex<BTreeSet<u64>>,
+) -> bool {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    match frame {
+        Frame::Query { text } => serve_query(shared, stream, req, &text, cancelled),
+        Frame::Prepare { text } => serve_prepare(shared, stream, req, &text),
+        Frame::Execute { op } => serve_execute(shared, stream, req, op),
+        Frame::Checkpoint => {
+            let response = match shared.db.checkpoint() {
+                Ok(()) => Frame::Ack { rows: 0 },
+                Err(e) => Frame::Error {
+                    error: WireError::from(&e),
+                },
+            };
+            send(shared, stream, req, &response).is_ok()
+        }
+        Frame::Stats => {
+            let stats = shared.stats();
+            send(shared, stream, req, &Frame::StatsResult { stats }).is_ok()
+        }
+        other => send(
+            shared,
+            stream,
+            req,
+            &Frame::Error {
+                error: WireError::Protocol(format!(
+                    "frame kind {:#x} is not a client request",
+                    other.kind()
+                )),
+            },
+        )
+        .is_ok(),
+    }
+}
+
+fn serve_query(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    req: u64,
+    text: &str,
+    cancelled: &Mutex<BTreeSet<u64>>,
+) -> bool {
+    if is_cancelled(cancelled, req) {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        return send(
+            shared,
+            stream,
+            req,
+            &Frame::Error {
+                error: WireError::Cancelled,
+            },
+        )
+        .is_ok();
+    }
+    let snap = shared.db.snapshot();
+    match run_query_on_snapshot_timed(text, &*snap) {
+        Ok((result, timing)) => {
+            shared
+                .counters
+                .plan_ns
+                .fetch_add(timing.plan_ns, Ordering::Relaxed);
+            shared
+                .counters
+                .exec_ns
+                .fetch_add(timing.exec_ns, Ordering::Relaxed);
+            match result {
+                QueryResult::Relation(r) => stream_relation(shared, stream, req, &r, cancelled),
+                QueryResult::Lifespan(lifespan) => {
+                    send(shared, stream, req, &Frame::LifespanResult { lifespan }).is_ok()
+                }
+                QueryResult::Function(value) => {
+                    send(shared, stream, req, &Frame::FunctionResult { value }).is_ok()
+                }
+            }
+        }
+        Err(e) => send(
+            shared,
+            stream,
+            req,
+            &Frame::Error {
+                error: pipeline_error(&e),
+            },
+        )
+        .is_ok(),
+    }
+}
+
+/// Streams a relation result as header + chunks + done, enforcing the
+/// row/byte caps and the cancel flag at chunk granularity.
+fn stream_relation(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    req: u64,
+    r: &hrdm_core::Relation,
+    cancelled: &Mutex<BTreeSet<u64>>,
+) -> bool {
+    let rows = r.len() as u64;
+    if rows > shared.config.max_result_rows {
+        return send(
+            shared,
+            stream,
+            req,
+            &Frame::Error {
+                error: WireError::Limit(format!(
+                    "result has {rows} rows; the server caps results at {} rows",
+                    shared.config.max_result_rows
+                )),
+            },
+        )
+        .is_ok();
+    }
+    if send(
+        shared,
+        stream,
+        req,
+        &Frame::RelationHeader {
+            scheme: r.scheme().clone(),
+            rows,
+        },
+    )
+    .is_err()
+    {
+        return false;
+    }
+    let tuples: Vec<hrdm_core::Tuple> = r.iter().cloned().collect(); // Arc-backed: O(rows) pointer bumps
+    let mut sent_bytes: u64 = 0;
+    for chunk in tuples.chunks(shared.config.chunk_rows.max(1)) {
+        if is_cancelled(cancelled, req) {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            return send(
+                shared,
+                stream,
+                req,
+                &Frame::Error {
+                    error: WireError::Cancelled,
+                },
+            )
+            .is_ok();
+        }
+        let frame = Frame::RowChunk {
+            tuples: chunk.to_vec(),
+        };
+        let bytes = crate::frame::encode_frame(req, &frame);
+        sent_bytes += bytes.len() as u64;
+        if sent_bytes > shared.config.max_result_bytes {
+            return send(
+                shared,
+                stream,
+                req,
+                &Frame::Error {
+                    error: WireError::Limit(format!(
+                        "result stream exceeds the {}-byte cap",
+                        shared.config.max_result_bytes
+                    )),
+                },
+            )
+            .is_ok();
+        }
+        use std::io::Write;
+        shared.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        if stream.write_all(&bytes).is_err() {
+            return false;
+        }
+    }
+    send(shared, stream, req, &Frame::Done { rows }).is_ok()
+}
+
+fn serve_prepare(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, text: &str) -> bool {
+    let snap = shared.db.snapshot();
+    let response = match explain_query_text(text, &*snap) {
+        Ok(Some(text)) => Frame::PlanText { text },
+        Ok(None) => Frame::Error {
+            error: WireError::Unsupported(
+                "only relation-sorted queries have a relational plan".into(),
+            ),
+        },
+        Err(e) => Frame::Error {
+            error: pipeline_error(&e),
+        },
+    };
+    send(shared, stream, req, &response).is_ok()
+}
+
+fn serve_execute(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, op: WriteOp) -> bool {
+    let response = match op {
+        WriteOp::CreateRelation { name, scheme } => {
+            match shared.db.create_relation(&name, scheme) {
+                Ok(()) => Frame::Ack { rows: 0 },
+                Err(e) => Frame::Error {
+                    error: WireError::from(&e),
+                },
+            }
+        }
+        WriteOp::Insert { relation, tuple } => match shared.db.insert(&relation, tuple) {
+            Ok(()) => Frame::Ack { rows: 1 },
+            Err(e) => Frame::Error {
+                error: WireError::from(&e),
+            },
+        },
+        WriteOp::Materialize { name, query } => serve_materialize(shared, &name, &query),
+    };
+    send(shared, stream, req, &response).is_ok()
+}
+
+/// The wire form of the shell's `name := query`: evaluate against the
+/// current snapshot, then create-or-replace through one atomic
+/// group-commit group ([`ConcurrentDatabase::materialize`] — racing
+/// materializations both succeed, and readers never see the
+/// created-but-empty intermediate state).
+fn serve_materialize(shared: &Arc<Shared>, name: &str, query: &str) -> Frame {
+    let snap = shared.db.snapshot();
+    let r = match hrdm_query::run_query_on_snapshot(query, &*snap) {
+        Ok(QueryResult::Relation(r)) => r,
+        Ok(_) => {
+            return Frame::Error {
+                error: WireError::Unsupported(
+                    "only relation-sorted queries can be materialized".into(),
+                ),
+            }
+        }
+        Err(e) => {
+            return Frame::Error {
+                error: pipeline_error(&e),
+            }
+        }
+    };
+    let rows = r.len() as u64;
+    match shared.db.materialize(name, r) {
+        Ok(()) => Frame::Ack { rows },
+        Err(e) => Frame::Error {
+            error: WireError::from(&e),
+        },
+    }
+}
+
+fn pipeline_error(e: &PipelineError) -> WireError {
+    match e {
+        PipelineError::Parse(p) => WireError::Parse(p.to_string()),
+        PipelineError::Eval(m) => WireError::from(m),
+    }
+}
+
+fn is_cancelled(cancelled: &Mutex<BTreeSet<u64>>, req: u64) -> bool {
+    cancelled.lock().expect("cancel set lock").contains(&req)
+}
+
+fn send(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, frame: &Frame) -> io::Result<()> {
+    shared.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+    write_frame(stream, req, frame)
+}

@@ -1,0 +1,346 @@
+//! Property tests for the wire protocol: every frame type round-trips
+//! exactly (encode ≡ decode), and malformed bytes — truncations,
+//! oversized length declarations, garbage — are rejected with a protocol
+//! error, never a panic.
+
+use hrdm_core::prelude::*;
+use hrdm_net::{
+    decode_frame, encode_frame, read_frame, Frame, FrameError, ServerStats, WireError, WriteOp,
+    MAX_FRAME_BYTES, PROTO_VERSION, WIRE_VERSION,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Model-object strategies (valid by construction, so decoding's model
+// validation accepts them and equality is exact).
+// ---------------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(|f| Value::float(f).expect("finite")),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+        (-100_000i64..100_000).prop_map(Value::time),
+    ]
+}
+
+fn lifespan_strategy() -> impl Strategy<Value = Lifespan> {
+    prop::collection::vec((-300i64..300, 0i64..30), 0..5).prop_map(|pairs| {
+        Lifespan::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(lo, len)| Interval::of(lo, lo + len)),
+        )
+    })
+}
+
+fn temporal_strategy() -> impl Strategy<Value = TemporalValue> {
+    prop::collection::vec(((0i64..150), 0i64..8, value_strategy()), 0..5).prop_map(|raw| {
+        let mut segs = Vec::new();
+        let mut cursor = 0i64;
+        let mut sorted = raw;
+        sorted.sort_by_key(|(lo, _, _)| *lo);
+        for (lo, len, v) in sorted {
+            let lo = lo.max(cursor);
+            let hi = lo + len;
+            segs.push((Interval::of(lo, hi), v));
+            cursor = hi + 2;
+        }
+        TemporalValue::from_segments(segs).expect("disjoint by construction")
+    })
+}
+
+/// A valid scheme: one constant key attribute spanning the era plus 0–2
+/// value attributes whose lifespans sit inside it (the key-lifespan
+/// covenant holds by construction).
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    (
+        0i64..50,
+        50i64..400,
+        prop::collection::vec((0usize..4, 0i64..40, 1i64..50), 0..3),
+    )
+        .prop_map(|(lo, len, attrs)| {
+            let era = Lifespan::interval(lo, lo + len);
+            let mut b = Scheme::builder().key_attr("K", ValueKind::Int, era.clone());
+            for (i, (kind, off, alen)) in attrs.into_iter().enumerate() {
+                let kind = match kind {
+                    0 => HistoricalDomain::int(),
+                    1 => HistoricalDomain::new(ValueKind::Str),
+                    2 => HistoricalDomain::new(ValueKind::Bool),
+                    _ => HistoricalDomain::new(ValueKind::Float),
+                };
+                let a_lo = lo + off.min(len);
+                let a_hi = (a_lo + alen).min(lo + len);
+                b = b.attr(
+                    format!("A{i}"),
+                    kind,
+                    Lifespan::interval(a_lo, a_hi.max(a_lo)),
+                );
+            }
+            b.build().expect("valid by construction")
+        })
+}
+
+/// An arbitrary well-formed tuple (decode does not re-validate a lone
+/// tuple against a scheme, so any lifespan + temporal-value map works).
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    (
+        lifespan_strategy(),
+        prop::collection::vec(("[A-Z]{1,4}", temporal_strategy()), 0..4),
+    )
+        .prop_map(|(life, vals)| {
+            let mut map = std::collections::BTreeMap::new();
+            for (name, tv) in vals {
+                map.insert(Attribute::new(name), tv);
+            }
+            Tuple::from_parts(life, map)
+        })
+}
+
+fn write_op_strategy() -> impl Strategy<Value = WriteOp> {
+    prop_oneof![
+        ("[a-z]{1,8}", scheme_strategy())
+            .prop_map(|(name, scheme)| WriteOp::CreateRelation { name, scheme }),
+        ("[a-z]{1,8}", tuple_strategy())
+            .prop_map(|(relation, tuple)| WriteOp::Insert { relation, tuple }),
+        ("[a-z]{1,8}", "[a-zA-Z0-9 ()=]{0,30}")
+            .prop_map(|(name, query)| { WriteOp::Materialize { name, query } }),
+    ]
+}
+
+fn wire_error_strategy() -> impl Strategy<Value = WireError> {
+    prop_oneof![
+        "[ -~]{0,40}".prop_map(WireError::Protocol),
+        "[ -~]{0,40}".prop_map(WireError::Parse),
+        ("[A-Za-z]{1,20}", "[ -~]{0,40}")
+            .prop_map(|(variant, message)| WireError::Model { variant, message }),
+        ("[A-Za-z]{1,20}", "[ -~]{0,40}")
+            .prop_map(|(variant, message)| WireError::Db { variant, message }),
+        Just(WireError::Cancelled),
+        "[ -~]{0,40}".prop_map(WireError::Limit),
+        "[ -~]{0,40}".prop_map(WireError::Unavailable),
+        "[ -~]{0,40}".prop_map(WireError::Unsupported),
+    ]
+}
+
+fn stats_strategy() -> impl Strategy<Value = ServerStats> {
+    (
+        prop::collection::vec(any::<u64>(), 13),
+        prop::collection::vec(("[a-z]{1,8}", any::<u64>()), 0..4),
+    )
+        .prop_map(|(n, relations)| ServerStats {
+            connections_accepted: n[0],
+            connections_active: n[1],
+            frames_in: n[2],
+            frames_out: n[3],
+            requests: n[4],
+            cancelled: n[5],
+            plan_ns: n[6],
+            exec_ns: n[7],
+            commit_batches: n[8],
+            commit_ops: n[9],
+            commit_max_batch: n[10],
+            commit_last_batch: n[11],
+            snapshot_version: n[12],
+            relations,
+        })
+}
+
+/// Every frame type, with payloads drawn from the model strategies. The
+/// exhaustiveness match in `all_kinds_covered` pins this list to the
+/// `Frame` enum — adding a variant without a strategy fails that test.
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        ("[ -~]{0,16}").prop_map(|client| Frame::Hello {
+            version: PROTO_VERSION,
+            client
+        }),
+        "[ -~]{0,40}".prop_map(|text| Frame::Query { text }),
+        write_op_strategy().prop_map(|op| Frame::Execute { op }),
+        "[ -~]{0,40}".prop_map(|text| Frame::Prepare { text }),
+        Just(Frame::Checkpoint),
+        Just(Frame::Stats),
+        Just(Frame::Cancel),
+        ("[ -~]{0,16}").prop_map(|server| Frame::HelloAck {
+            version: PROTO_VERSION,
+            server
+        }),
+        (scheme_strategy(), any::<u64>())
+            .prop_map(|(scheme, rows)| Frame::RelationHeader { scheme, rows }),
+        prop::collection::vec(tuple_strategy(), 0..4).prop_map(|tuples| Frame::RowChunk { tuples }),
+        any::<u64>().prop_map(|rows| Frame::Done { rows }),
+        lifespan_strategy().prop_map(|lifespan| Frame::LifespanResult { lifespan }),
+        temporal_strategy().prop_map(|value| Frame::FunctionResult { value }),
+        "[ -~]{0,60}".prop_map(|text| Frame::PlanText { text }),
+        any::<u64>().prop_map(|rows| Frame::Ack { rows }),
+        stats_strategy().prop_map(|stats| Frame::StatsResult { stats }),
+        wire_error_strategy().prop_map(|error| Frame::Error { error }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// encode ≡ decode for every frame type and request id.
+    #[test]
+    fn every_frame_round_trips(req in any::<u64>(), frame in frame_strategy()) {
+        let bytes = encode_frame(req, &frame);
+        let (got_req, got) = decode_frame(&bytes[4..]).expect("round trip decodes");
+        prop_assert_eq!(got_req, req);
+        prop_assert_eq!(got, frame);
+    }
+
+    /// The stream reader agrees with the in-memory decoder, including on
+    /// back-to-back frames.
+    #[test]
+    fn streamed_frames_round_trip(frames in prop::collection::vec(frame_strategy(), 1..4)) {
+        let mut bytes = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(i as u64, f));
+        }
+        let mut cursor = std::io::Cursor::new(bytes);
+        for (i, f) in frames.iter().enumerate() {
+            let (req, got) = read_frame(&mut cursor).expect("stream decodes");
+            prop_assert_eq!(req, i as u64);
+            prop_assert_eq!(&got, f);
+        }
+    }
+
+    /// Every truncation of a valid frame is an error — never a panic, and
+    /// never a bogus success.
+    #[test]
+    fn truncations_are_errors(frame in frame_strategy()) {
+        let bytes = encode_frame(7, &frame);
+        for cut in 0..bytes.len() {
+            let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+            prop_assert!(
+                read_frame(&mut cursor).is_err(),
+                "cut at {} of {} decoded successfully", cut, bytes.len()
+            );
+        }
+    }
+
+    /// Random garbage after a plausible length prefix is rejected with a
+    /// protocol error (or an io error when the declared length outruns
+    /// the bytes), never a panic.
+    #[test]
+    fn garbage_bodies_are_rejected(body in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = (body.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            // A random body that happens to decode must at least carry a
+            // valid version byte and kind tag.
+            Ok(_) => {
+                prop_assert!(body.len() >= 10);
+                prop_assert_eq!(body[0], WIRE_VERSION);
+            }
+            Err(FrameError::Io(_)) | Err(FrameError::Protocol(_)) => {}
+        }
+    }
+
+    /// Flipping the version byte of any valid frame is a protocol error.
+    #[test]
+    fn version_flips_are_rejected(frame in frame_strategy(), flip in 1u8..255) {
+        let mut bytes = encode_frame(1, &frame);
+        bytes[4] = bytes[4].wrapping_add(flip);
+        prop_assert!(matches!(
+            decode_frame(&bytes[4..]),
+            Err(FrameError::Protocol(_))
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases
+// ---------------------------------------------------------------------------
+
+/// The strategy list above covers every `Frame` variant: generate a pile
+/// of frames and check all 17 kind tags eventually show up.
+#[test]
+fn all_kinds_covered_by_the_strategy() {
+    // The match is the real assertion: adding a `Frame` variant without
+    // extending the strategy fails to compile here.
+    fn kind_index(f: &Frame) -> usize {
+        match f {
+            Frame::Hello { .. } => 0,
+            Frame::Query { .. } => 1,
+            Frame::Execute { .. } => 2,
+            Frame::Prepare { .. } => 3,
+            Frame::Checkpoint => 4,
+            Frame::Stats => 5,
+            Frame::Cancel => 6,
+            Frame::HelloAck { .. } => 7,
+            Frame::RelationHeader { .. } => 8,
+            Frame::RowChunk { .. } => 9,
+            Frame::Done { .. } => 10,
+            Frame::LifespanResult { .. } => 11,
+            Frame::FunctionResult { .. } => 12,
+            Frame::PlanText { .. } => 13,
+            Frame::Ack { .. } => 14,
+            Frame::StatsResult { .. } => 15,
+            Frame::Error { .. } => 16,
+        }
+    }
+    let strategy = frame_strategy();
+    let mut rng = proptest::test_runner::TestRng::from_name("all_kinds_covered");
+    let mut seen = [false; 17];
+    for _ in 0..2000 {
+        let f = Strategy::generate(&strategy, &mut rng);
+        seen[kind_index(&f)] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "strategy never produced kinds {:?}",
+        seen.iter()
+            .enumerate()
+            .filter(|(_, s)| !**s)
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>()
+    );
+}
+
+/// A declared length beyond the cap is refused before any allocation.
+#[test]
+fn oversized_length_declaration_is_a_protocol_error() {
+    let mut bytes = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+    bytes.extend_from_slice(&[0u8; 32]);
+    let mut cursor = std::io::Cursor::new(bytes);
+    match read_frame(&mut cursor) {
+        Err(FrameError::Protocol(m)) => assert!(m.contains("cap"), "{m}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+}
+
+/// A declared length too short to hold the fixed header is refused.
+#[test]
+fn undersized_length_declaration_is_a_protocol_error() {
+    let mut bytes = 4u32.to_be_bytes().to_vec();
+    bytes.extend_from_slice(&[WIRE_VERSION, 0x06, 0, 0]);
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(FrameError::Protocol(_))
+    ));
+}
+
+/// Unknown kind tags and trailing payload bytes are protocol errors.
+#[test]
+fn unknown_kind_and_trailing_bytes_are_protocol_errors() {
+    let mut bytes = encode_frame(1, &Frame::Stats);
+    bytes[5] = 0x7f; // no such kind
+    assert!(matches!(
+        decode_frame(&bytes[4..]),
+        Err(FrameError::Protocol(m)) if m.contains("kind")
+    ));
+
+    let mut bytes = encode_frame(1, &Frame::Stats).split_off(4);
+    bytes.push(0xee); // trailing garbage inside the declared length
+    assert!(matches!(
+        decode_frame(&bytes),
+        Err(FrameError::Protocol(m)) if m.contains("trailing")
+    ));
+}

@@ -195,3 +195,187 @@ fn repl_explains_plans() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Remote mode: the same shell as a network client of an in-process hrdmd.
+// ---------------------------------------------------------------------------
+
+/// Spawns an in-process server over a freshly built database and drives a
+/// *detached* REPL against it through `\connect`.
+fn run_repl_against_server(input_after_connect: &str) -> String {
+    use hrdm_net::{Server, ServerConfig};
+    use hrdm_storage::ConcurrentDatabase;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!(
+        "hrdmq-remote-{}-{}",
+        std::process::id(),
+        input_after_connect.len()
+    ));
+    build_db(&dir);
+    let db = Arc::new(ConcurrentDatabase::open(&dir).unwrap());
+    let server = Server::bind("127.0.0.1:0", db, ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = server.addr();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hrdmq"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("hrdmq spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(format!("\\connect {addr}\n{input_after_connect}").as_bytes())
+        .expect("write to repl");
+    let out = child.wait_with_output().expect("repl exits");
+    assert!(out.status.success(), "hrdmq exited with {:?}", out.status);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+/// `\connect` turns the shell into a network client: queries, `\d`, and
+/// materialization all travel the wire and answer like local mode.
+#[test]
+fn repl_remote_mode_answers_queries_and_materializes() {
+    let out = run_repl_against_server(
+        "\\d\nWHEN (SELECT-WHEN (SALARY = 30000) (emp))\n\
+         rich := SELECT-WHEN (SALARY = 30000) (emp)\n\\d\n\\q\n",
+    );
+    assert!(out.contains("connected to"), "missing connect ack in {out}");
+    assert!(
+        out.contains("emp: 1 tuple(s)"),
+        "missing remote \\d in {out}"
+    );
+    assert!(
+        out.contains("{[10,30]}"),
+        "missing lifespan answer in {out}"
+    );
+    assert!(
+        out.contains("rich := 1 tuple(s)"),
+        "missing remote materialization in {out}"
+    );
+    assert!(
+        out.contains("rich: 1 tuple(s)"),
+        "materialized relation missing from remote \\d in {out}"
+    );
+}
+
+/// Remote `\stats` reports the server-side counters: connections, frames,
+/// planning vs execution time, and the group-commit amortization — the
+/// fields the satellite task promises over the wire.
+#[test]
+fn repl_remote_stats_reports_server_counters() {
+    let out = run_repl_against_server("WHEN (emp)\n\\stats\n\\q\n");
+    assert!(
+        out.contains("server 127.0.0.1:"),
+        "missing server line in {out}"
+    );
+    assert!(
+        out.contains("connections: ") && out.contains("accepted"),
+        "missing connection counters in {out}"
+    );
+    assert!(out.contains("frames: "), "missing frame counters in {out}");
+    assert!(
+        out.contains("planning") && out.contains("execution"),
+        "missing planning/execution split in {out}"
+    );
+    assert!(
+        out.contains("group commit:"),
+        "missing commit stats in {out}"
+    );
+    assert!(
+        out.contains("snapshot: version"),
+        "missing version in {out}"
+    );
+}
+
+/// Remote `\explain` renders the server's plan — including index scans —
+/// and errors keep their structure ("parse error", "error:"), so the
+/// remote shell feels exactly like the local one.
+#[test]
+fn repl_remote_explain_and_errors() {
+    let out = run_repl_against_server(
+        "\\explain SELECT-WHEN (NAME = \"John\") (emp)\nNOT A QUERY ((\nWHEN (ghost)\n\
+         \\disconnect\nWHEN (emp)\n\\q\n",
+    );
+    assert!(out.contains("== access paths =="), "missing plan in {out}");
+    assert!(out.contains("IndexScan(key"), "missing index scan in {out}");
+    assert!(out.contains("parse error"), "missing parse error in {out}");
+    assert!(
+        out.contains("unknown relation `ghost`"),
+        "missing remote eval error in {out}"
+    );
+    // \disconnect falls back to the (empty) local database.
+    assert!(
+        out.contains("disconnected from"),
+        "missing disconnect in {out}"
+    );
+    assert!(
+        out.contains("unknown relation `emp`"),
+        "local fallback answered remotely in {out}"
+    );
+}
+
+/// An interactive shell that sits idle past the server's read timeout is
+/// disconnected server-side (the idle kill); the next command must
+/// transparently reconnect instead of failing every command forever.
+#[test]
+fn repl_remote_mode_survives_the_server_idle_timeout() {
+    use hrdm_net::{Server, ServerConfig};
+    use hrdm_storage::ConcurrentDatabase;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("hrdmq-idle-{}", std::process::id()));
+    build_db(&dir);
+    let db = Arc::new(ConcurrentDatabase::open(&dir).unwrap());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        db,
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = server.addr();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hrdmq"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("hrdmq spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        stdin
+            .write_all(format!("\\connect {addr}\n").as_bytes())
+            .unwrap();
+        stdin.flush().unwrap();
+        // Idle past the server's read timeout: the session is killed.
+        std::thread::sleep(Duration::from_millis(600));
+        stdin.write_all(b"WHEN (emp)\n\\q\n").unwrap();
+    }
+    let out = child.wait_with_output().expect("repl exits");
+    assert!(out.status.success());
+    let out = String::from_utf8(out.stdout).unwrap();
+    assert!(out.contains("connected to"), "missing connect in {out}");
+    assert!(
+        out.contains("(connection lost; reconnected to"),
+        "missing transparent reconnect in {out}"
+    );
+    assert!(
+        out.contains("{[0,30]}"),
+        "query after reconnect failed in {out}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -45,6 +45,7 @@ pub mod explain;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
+pub mod pipeline;
 pub mod plan;
 
 pub use ast::{Expr, LifespanExpr, Query};
@@ -53,6 +54,10 @@ pub use explain::{explain, explain_optimized};
 pub use lexer::{lex, LexError, Token};
 pub use optimizer::{optimize, Rewrite};
 pub use parser::{parse_expr, parse_query, ParseError};
+pub use pipeline::{
+    explain_query_text, run_query_on_snapshot, run_query_on_snapshot_timed, PipelineError,
+    PipelineTiming,
+};
 pub use plan::{
     eval_plan, evaluate_planned, explain_plan, explain_with_access, plan, AccessPath, IndexSource,
     IndexedRelations, Plan,

@@ -1,0 +1,226 @@
+//! The textual query pipeline as one call: parse → optimize → plan →
+//! evaluate against a snapshot (or any other [`IndexSource`]).
+//!
+//! Every front end that accepts *query text* — the `hrdmq` shell, the
+//! `hrdmd` network server, the examples — runs the identical pipeline:
+//! parse the text, rewrite-optimize relation-sorted expressions, select
+//! access paths against the source's indexes, evaluate. This module is
+//! that glue, written once, so the front ends cannot drift apart in how
+//! they treat a query.
+
+use crate::eval::QueryResult;
+use crate::parser::{parse_query, ParseError};
+use crate::plan::IndexSource;
+use hrdm_core::HrdmError;
+use std::fmt;
+use std::time::Instant;
+
+/// Everything that can go wrong running query *text* end to end: the text
+/// may not parse, or the (planned) evaluation may fail.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PipelineError {
+    /// The text is not a well-formed query.
+    Parse(ParseError),
+    /// The query is well-formed but evaluation failed (unknown relation,
+    /// incomparable values, …).
+    Eval(HrdmError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Eval(e) => write!(f, "error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<HrdmError> for PipelineError {
+    fn from(e: HrdmError) -> Self {
+        PipelineError::Eval(e)
+    }
+}
+
+/// Where a query's wall time went: the *planning* half (parse + rewrite
+/// optimization + access-path selection) versus the *execution* half
+/// (operator evaluation). Servers surface these per-request so a slow
+/// query can be attributed to the right phase.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct PipelineTiming {
+    /// Nanoseconds spent parsing, optimizing, and planning.
+    pub plan_ns: u64,
+    /// Nanoseconds spent evaluating the planned operators.
+    pub exec_ns: u64,
+}
+
+/// Runs query text end to end against `src`: parse → optimize → plan →
+/// evaluate. Relation-sorted queries go through the rewrite optimizer and
+/// the index-aware access-path planner (index scans, partition pruning);
+/// lifespan- and aggregate-sorted queries evaluate directly.
+///
+/// This is the single entry point shared by the `hrdmq` shell and the
+/// `hrdmd` server — both answer exactly what this function returns.
+pub fn run_query_on_snapshot(
+    text: &str,
+    src: &dyn IndexSource,
+) -> Result<QueryResult, PipelineError> {
+    run_query_on_snapshot_timed(text, src).map(|(result, _)| result)
+}
+
+/// [`run_query_on_snapshot`], also reporting where the time went.
+///
+/// The planning half covers parse + rewrite optimization + access-path
+/// selection (everything before the first tuple is touched); the
+/// execution half is the planned evaluation itself. Non-relation sorts
+/// (lifespan, aggregate) have no physical plan — for those, planning is
+/// the parse and execution is the direct evaluation.
+pub fn run_query_on_snapshot_timed(
+    text: &str,
+    src: &dyn IndexSource,
+) -> Result<(QueryResult, PipelineTiming), PipelineError> {
+    let plan_started = Instant::now();
+    match parse_query(text)? {
+        crate::ast::Query::Relation(e) => {
+            let (optimized, _trace) = crate::optimizer::optimize(&e);
+            let p = crate::plan::plan(&optimized, src);
+            let plan_ns = plan_started.elapsed().as_nanos() as u64;
+            let exec_started = Instant::now();
+            let r = crate::plan::eval_plan(&p, src)?;
+            Ok((
+                QueryResult::Relation(r),
+                PipelineTiming {
+                    plan_ns,
+                    exec_ns: exec_started.elapsed().as_nanos() as u64,
+                },
+            ))
+        }
+        other => {
+            let plan_ns = plan_started.elapsed().as_nanos() as u64;
+            let exec_started = Instant::now();
+            let result = crate::eval::evaluate(&other, src)?;
+            Ok((
+                result,
+                PipelineTiming {
+                    plan_ns,
+                    exec_ns: exec_started.elapsed().as_nanos() as u64,
+                },
+            ))
+        }
+    }
+}
+
+/// Parses and EXPLAINs query text against `src`: the optimizer's rewrite
+/// trace plus the physical plan with access paths. Only relation-sorted
+/// queries have a relational plan; other sorts return `Ok(None)`.
+pub fn explain_query_text(
+    text: &str,
+    src: &dyn IndexSource,
+) -> Result<Option<String>, PipelineError> {
+    match parse_query(text)? {
+        crate::ast::Query::Relation(e) => Ok(Some(crate::plan::explain_with_access(&e, src))),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{evaluate_planned, IndexedRelations};
+    use hrdm_core::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn source() -> IndexedRelations {
+        let era = Lifespan::interval(0, 19);
+        let scheme = Scheme::builder()
+            .key_attr("NAME", ValueKind::Str, era.clone())
+            .attr("SALARY", HistoricalDomain::int(), era.clone())
+            .build()
+            .unwrap();
+        let john = Tuple::builder(era.clone())
+            .constant("NAME", "John")
+            .value(
+                "SALARY",
+                TemporalValue::of(&[(0, 9, Value::Int(25_000)), (10, 19, Value::Int(30_000))]),
+            )
+            .finish(&scheme)
+            .unwrap();
+        let mut map = BTreeMap::new();
+        map.insert(
+            "emp".to_string(),
+            Relation::with_tuples(scheme, vec![john]).unwrap(),
+        );
+        IndexedRelations::new(map)
+    }
+
+    #[test]
+    fn runs_relation_and_lifespan_sorts() {
+        let src = source();
+        match run_query_on_snapshot("SELECT-WHEN (SALARY = 30000) (emp)", &src).unwrap() {
+            QueryResult::Relation(r) => assert_eq!(r.len(), 1),
+            other => panic!("expected relation, got {other:?}"),
+        }
+        match run_query_on_snapshot("WHEN (SELECT-WHEN (SALARY = 30000) (emp))", &src).unwrap() {
+            QueryResult::Lifespan(l) => assert_eq!(l, Lifespan::interval(10, 19)),
+            other => panic!("expected lifespan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_and_eval_errors_are_distinguished() {
+        let src = source();
+        assert!(matches!(
+            run_query_on_snapshot("NOT A QUERY ((", &src),
+            Err(PipelineError::Parse(_))
+        ));
+        assert!(matches!(
+            run_query_on_snapshot("WHEN (ghost)", &src),
+            Err(PipelineError::Eval(HrdmError::UnknownRelation(_)))
+        ));
+    }
+
+    #[test]
+    fn timing_is_reported_for_both_phases() {
+        let src = source();
+        let (_, timing) =
+            run_query_on_snapshot_timed("SELECT-WHEN (SALARY = 30000) (emp)", &src).unwrap();
+        // Both phases ran; wall clocks are positive on any real machine.
+        assert!(timing.plan_ns > 0);
+        assert!(timing.exec_ns > 0);
+    }
+
+    #[test]
+    fn explain_text_reports_access_paths() {
+        let src = source();
+        let out = explain_query_text("SELECT-WHEN (NAME = \"John\") (emp)", &src)
+            .unwrap()
+            .expect("relation-sorted");
+        assert!(out.contains("== access paths =="), "{out}");
+        assert!(out.contains("IndexScan(key"), "{out}");
+        // Non-relation sorts have no relational plan.
+        assert_eq!(explain_query_text("WHEN (emp)", &src).unwrap(), None);
+    }
+
+    #[test]
+    fn pipeline_matches_evaluate_planned() {
+        let src = source();
+        let text = "TIMESLICE [0..9] (emp)";
+        let via_helper = match run_query_on_snapshot(text, &src).unwrap() {
+            QueryResult::Relation(r) => r,
+            other => panic!("expected relation, got {other:?}"),
+        };
+        let q = parse_query(text).unwrap();
+        let direct = match evaluate_planned(&q, &src).unwrap() {
+            QueryResult::Relation(r) => r,
+            other => panic!("expected relation, got {other:?}"),
+        };
+        assert_eq!(via_helper, direct);
+    }
+}

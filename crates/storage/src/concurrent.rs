@@ -41,15 +41,18 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-/// One queued write: the operation plus the ticket its submitter waits on.
+/// One queued write: the operation *group* (one or more ops committed in
+/// the same batch, with no snapshot published between them) plus the
+/// ticket its submitter waits on.
 struct Pending {
-    op: WalRecord,
+    ops: Vec<WalRecord>,
     ticket: Arc<Ticket>,
 }
 
-/// A one-shot completion slot a waiting writer parks on.
+/// A one-shot completion slot a waiting writer parks on. Carries one
+/// result per op of the submitter's group.
 struct Ticket {
-    done: Mutex<Option<Result<(), DbError>>>,
+    done: Mutex<Option<Vec<Result<(), DbError>>>>,
     cv: Condvar,
 }
 
@@ -61,24 +64,24 @@ impl Ticket {
         }
     }
 
-    fn fulfill(&self, result: Result<(), DbError>) {
+    fn fulfill(&self, results: Vec<Result<(), DbError>>) {
         let mut slot = self.done.lock().expect("ticket lock");
-        *slot = Some(result);
+        *slot = Some(results);
         self.cv.notify_all();
     }
 
-    /// Takes the result if it is already there.
-    fn try_take(&self) -> Option<Result<(), DbError>> {
+    /// Takes the results if they are already there.
+    fn try_take(&self) -> Option<Vec<Result<(), DbError>>> {
         self.done.lock().expect("ticket lock").take()
     }
 
-    /// Waits up to `timeout` for the result. `None` on timeout — the
+    /// Waits up to `timeout` for the results. `None` on timeout — the
     /// caller re-checks for leadership (covers the rare race where a
     /// stepping-down leader missed an op enqueued after its last drain).
-    fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Result<(), DbError>> {
+    fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Vec<Result<(), DbError>>> {
         let mut slot = self.done.lock().expect("ticket lock");
-        if let Some(result) = slot.take() {
-            return Some(result);
+        if let Some(results) = slot.take() {
+            return Some(results);
         }
         let (mut slot, _timed_out) = self
             .cv
@@ -181,15 +184,31 @@ impl ConcurrentDatabase {
     /// a stepping-down leader missed an op enqueued after its final
     /// drain; the timed-out follower simply re-contends for leadership.
     pub fn write(&self, op: WalRecord) -> Result<(), DbError> {
+        self.write_group(vec![op])
+            .into_iter()
+            .next()
+            .expect("one result per op")
+    }
+
+    /// Group-commit write of several ops as one **atomic group**: the ops
+    /// land in the same commit batch in order, with no snapshot published
+    /// between them — readers either see none of the group or all of its
+    /// acknowledged ops. Returns one result per op (an op can fail
+    /// validation individually, e.g. a key conflict, without taking the
+    /// rest of the group down).
+    pub fn write_group(&self, ops: Vec<WalRecord>) -> Vec<Result<(), DbError>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
         let ticket = Arc::new(Ticket::new());
         self.queue.lock().expect("queue lock").push_back(Pending {
-            op,
+            ops,
             ticket: Arc::clone(&ticket),
         });
         loop {
-            // A previous leader may already have carried our op through.
-            if let Some(result) = ticket.try_take() {
-                return result;
+            // A previous leader may already have carried our ops through.
+            if let Some(results) = ticket.try_take() {
+                return results;
             }
             match self.inner.try_lock() {
                 Ok(mut db) => {
@@ -208,10 +227,11 @@ impl ConcurrentDatabase {
                     }
                 }
                 Err(std::sync::TryLockError::WouldBlock) => {
-                    // Follower: our op is queued; the leader will commit it.
-                    if let Some(result) = ticket.wait_timeout(std::time::Duration::from_micros(500))
+                    // Follower: our ops are queued; the leader commits them.
+                    if let Some(results) =
+                        ticket.wait_timeout(std::time::Duration::from_micros(500))
                     {
-                        return result;
+                        return results;
                     }
                 }
                 Err(std::sync::TryLockError::Poisoned(e)) => {
@@ -221,11 +241,14 @@ impl ConcurrentDatabase {
         }
     }
 
-    /// Commits one drained batch and wakes its submitters.
+    /// Commits one drained batch (every queued group, flattened, one
+    /// fsync) and wakes its submitters with their per-op results.
     fn commit_and_fulfill(&self, db: &mut Database, batch: Vec<Pending>) {
-        let (ops, tickets): (Vec<WalRecord>, Vec<Arc<Ticket>>) =
-            batch.into_iter().map(|p| (p.op, p.ticket)).unzip();
-        let results = db.commit_batch(ops);
+        let group_sizes: Vec<usize> = batch.iter().map(|p| p.ops.len()).collect();
+        let (ops, tickets): (Vec<Vec<WalRecord>>, Vec<Arc<Ticket>>) =
+            batch.into_iter().map(|p| (p.ops, p.ticket)).unzip();
+        let flat: Vec<WalRecord> = ops.into_iter().flatten().collect();
+        let mut results = db.commit_batch(flat);
         // Publish before acknowledging: a writer must be able to read its
         // own write the instant its ack arrives. After an fsync failure
         // nothing was acknowledged (commit_batch rolled memory back), so
@@ -238,8 +261,10 @@ impl ConcurrentDatabase {
             self.stats.max_batch.fetch_max(acked, Ordering::Relaxed);
             self.stats.last_batch.store(acked, Ordering::Relaxed);
         }
-        for (ticket, result) in tickets.into_iter().zip(results) {
-            ticket.fulfill(result);
+        // Hand each group its own slice of the flattened results.
+        for (ticket, size) in tickets.into_iter().zip(group_sizes) {
+            let rest = results.split_off(size);
+            ticket.fulfill(std::mem::replace(&mut results, rest));
         }
     }
 
@@ -271,6 +296,35 @@ impl ConcurrentDatabase {
             relation: name.to_string(),
             contents: relation,
         })
+    }
+
+    /// Create-or-replace in one atomic group: stores `relation` under
+    /// `name`, creating the relation if it does not exist. Because both
+    /// ops commit in the same batch with a single snapshot publish,
+    /// readers never observe the created-but-empty intermediate state,
+    /// and two racing materializations of a new name both succeed (one
+    /// create wins, both puts apply in commit order — last writer's
+    /// contents stick).
+    pub fn materialize(&self, name: &str, relation: Relation) -> Result<(), DbError> {
+        let scheme = relation.scheme().clone();
+        let results = self.write_group(vec![
+            WalRecord::CreateRelation {
+                name: name.to_string(),
+                scheme,
+            },
+            WalRecord::PutRelation {
+                relation: name.to_string(),
+                contents: relation,
+            },
+        ]);
+        let [create, put]: [Result<(), DbError>; 2] =
+            results.try_into().expect("two results for two ops");
+        match create {
+            // Already existed (possibly created by a racing
+            // materialization an instant ago): replace is the semantics.
+            Err(DbError::Model(hrdm_core::HrdmError::DuplicateRelation(_))) | Ok(()) => put,
+            Err(other) => Err(other),
+        }
     }
 
     /// Adds an attribute (schema evolution, group-committed).
@@ -488,6 +542,65 @@ mod tests {
             .count();
         assert_eq!(wins, 1, "exactly one of 8 same-key inserts may win");
         assert_eq!(db.snapshot().relation("r").unwrap().len(), 1);
+    }
+
+    /// `write_group` returns per-op results and publishes once: a group
+    /// containing a failing op still carries its valid ops through.
+    #[test]
+    fn write_group_is_atomic_with_per_op_results() {
+        let db = ConcurrentDatabase::new();
+        db.create_relation("r", scheme()).unwrap();
+        db.insert("r", tup(1)).unwrap();
+        let results = db.write_group(vec![
+            WalRecord::Insert {
+                relation: "r".to_string(),
+                tuple: tup(1), // key conflict — this op fails alone
+            },
+            WalRecord::Insert {
+                relation: "r".to_string(),
+                tuple: tup(2),
+            },
+        ]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert_eq!(db.snapshot().relation("r").unwrap().len(), 2);
+    }
+
+    /// Racing create-or-replace materializations of a *new* name must
+    /// both succeed (create-or-replace semantics), and no reader may
+    /// observe the created-but-empty intermediate relation.
+    #[test]
+    fn racing_materializations_both_succeed_and_hide_the_empty_state() {
+        let db = Arc::new(ConcurrentDatabase::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if let Some(r) = db.snapshot().relation("m") {
+                        assert_eq!(r.len(), 1, "observed the empty intermediate state");
+                    }
+                }
+            })
+        };
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let r = Relation::with_tuples(scheme(), vec![tup(7)]).unwrap();
+                    db.materialize("m", r)
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join()
+                .unwrap()
+                .expect("every racing materialize succeeds");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(db.snapshot().relation("m").unwrap().len(), 1);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! ```
 
 use hrdm::prelude::*;
-use hrdm::query::{evaluate, explain_optimized, optimize, parse_expr, parse_query, QueryResult};
+use hrdm::query::{
+    explain_optimized, optimize, parse_expr, run_query_on_snapshot, IndexedRelations, QueryResult,
+};
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -67,20 +69,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bob is enrolled in DB over [31,40] although DB isn't taught then.
 
     // ---- The query language ----------------------------------------------
-    let mut source: BTreeMap<String, Relation> = BTreeMap::new();
-    source.insert("enrollments".into(), enrollments);
-    source.insert("courses".into(), courses);
+    // The same parse → optimize → plan → evaluate pipeline the `hrdmq`
+    // shell and the `hrdmd` server run, against an indexed source.
+    let mut relations: BTreeMap<String, Relation> = BTreeMap::new();
+    relations.insert("enrollments".into(), enrollments);
+    relations.insert("courses".into(), courses);
+    let source = IndexedRelations::new(relations);
 
     // When was anyone taking the DB course?
-    let q = parse_query("WHEN (SELECT-WHEN (COURSE = \"DB\") (enrollments))")?;
-    if let QueryResult::Lifespan(l) = evaluate(&q, &source)? {
+    if let QueryResult::Lifespan(l) = run_query_on_snapshot(
+        "WHEN (SELECT-WHEN (COURSE = \"DB\") (enrollments))",
+        &source,
+    )? {
         println!("someone took DB during {l}");
     }
 
     // TIME-JOIN: pair each enrollment with the courses alive at its
     // grading chronons.
-    let q = parse_query("enrollments TIMEJOIN@GRADED courses")?;
-    if let QueryResult::Relation(r) = evaluate(&q, &source)? {
+    if let QueryResult::Relation(r) =
+        run_query_on_snapshot("enrollments TIMEJOIN@GRADED courses", &source)?
+    {
         println!("TIMEJOIN@GRADED produced {} tuples:", r.len());
         for t in r.iter() {
             println!("  lifespan {}", t.lifespan());

@@ -17,6 +17,7 @@
 //! | [`storage`] (`hrdm-storage`) | physical level | binary codec, slotted pages, heap files, evolving-schema catalog, database persistence |
 //! | [`index`] (`hrdm-index`) | physical level | access methods: lifespan interval index, constant-key index |
 //! | [`query`] (`hrdm-query`) | — | a textual algebra language, evaluator, rewrite-rule optimizer, and index-aware access-path planner |
+//! | [`net`] (`hrdm-net`) | — | the wire protocol, the `hrdmd` TCP server, the sync `Client`, and the `hrdmq` shell |
 //! | [`baseline`] (`hrdm-baseline`) | comparators | classical snapshot model, tuple-timestamped model, cube model |
 //!
 //! Start with [`prelude`], the `examples/` directory, and `DESIGN.md`.
@@ -27,6 +28,7 @@ pub use hrdm_baseline as baseline;
 pub use hrdm_core as core;
 pub use hrdm_index as index;
 pub use hrdm_interp as interp;
+pub use hrdm_net as net;
 pub use hrdm_query as query;
 pub use hrdm_storage as storage;
 pub use hrdm_time as time;
