@@ -35,7 +35,7 @@
 //! class or expected performance changes.
 
 use hrdm_bench::gate::{
-    baseline_json, compare, measure_median_ns, parse_baseline, to_json, BenchResult,
+    baseline_json, compare, measure_median_ns, parse_baseline, to_json_with_metrics, BenchResult,
 };
 use hrdm_core::prelude::*;
 use hrdm_query::{evaluate, evaluate_planned, parse_query, Query};
@@ -318,6 +318,54 @@ fn run_tracked() -> Vec<BenchResult> {
     out
 }
 
+/// Samples engine internals from the [`hrdm_obs`] global registry
+/// *after* the tracked benches ran — the artifact's schema-2 `"metrics"`
+/// object. Trend data only (batch sizes, prune ratios, WAL latencies);
+/// the regression gate never reads it.
+fn registry_metrics() -> Vec<(String, f64)> {
+    let g = hrdm_obs::global();
+    let mut out = Vec::new();
+    for name in [
+        "hrdm_query_partitions_probed_total",
+        "hrdm_query_partitions_pruned_total",
+        "hrdm_query_index_scans_total",
+        "hrdm_query_seq_scans_total",
+        "hrdm_snapshot_publish_total",
+        "hrdm_checkpoint_dirty_partitions_total",
+        "hrdm_checkpoint_linked_partitions_total",
+    ] {
+        if let Some(v) = g.counter_value(name) {
+            out.push((name.to_string(), v as f64));
+        }
+    }
+    // Of the partitions the benches' bounded scans considered, what
+    // fraction was pruned without being touched?
+    if let (Some(probed), Some(pruned)) = (
+        g.counter_value("hrdm_query_partitions_probed_total"),
+        g.counter_value("hrdm_query_partitions_pruned_total"),
+    ) {
+        if probed + pruned > 0 {
+            out.push((
+                "hrdm_query_prune_ratio".to_string(),
+                pruned as f64 / (probed + pruned) as f64,
+            ));
+        }
+    }
+    for name in [
+        "hrdm_commit_batch_size",
+        "hrdm_wal_append_ns",
+        "hrdm_wal_fsync_ns",
+        "hrdm_checkpoint_ns",
+    ] {
+        if let Some(snap) = g.histogram_snapshot(name) {
+            out.push((format!("{name}_count"), snap.count() as f64));
+            out.push((format!("{name}_p50"), snap.p50().unwrap_or(0) as f64));
+            out.push((format!("{name}_p99"), snap.p99().unwrap_or(0) as f64));
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = PathBuf::from("BENCH_3.json");
@@ -351,9 +399,14 @@ fn main() {
         }
     }
 
-    let json = to_json(&results);
+    let metrics = registry_metrics();
+    let json = to_json_with_metrics(&results, &metrics);
     std::fs::write(&out_path, &json).expect("write artifact");
-    eprintln!("bench-json: wrote {}", out_path.display());
+    eprintln!(
+        "bench-json: wrote {} ({} registry metric(s))",
+        out_path.display(),
+        metrics.len()
+    );
 
     if write_baseline {
         if let Some(parent) = baseline_path.parent() {

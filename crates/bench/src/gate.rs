@@ -9,17 +9,28 @@
 //! including the "a 2× slowdown must fail" property.
 //!
 //! No serde: the workspace is offline, so the (tiny, flat) JSON format is
-//! written and read by hand. Schema:
+//! written and read by hand. Schema 2 adds a `"metrics"` object of
+//! engine internals sampled from the [`hrdm_obs`] global registry after
+//! the benches ran (group-commit batch sizes, partition prune ratios,
+//! WAL latencies) — artifact-only trend data, never gated:
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "benches": [
 //!     { "name": "timeslice_indexed_10k", "median_ns": 1234.5,
 //!       "throughput_per_sec": 810372.6 }
-//!   ]
+//!   ],
+//!   "metrics": {
+//!     "hrdm_commit_batch_size_p50": 8,
+//!     "hrdm_query_prune_ratio": 0.9688
+//!   }
 //! }
 //! ```
+//!
+//! The metrics keys deliberately avoid the `"name"` key so
+//! [`parse_baseline`]'s scanner (paired `"name"`/`"median_ns"` keys)
+//! stays oblivious to the section.
 
 use std::time::{Duration, Instant};
 
@@ -139,9 +150,16 @@ pub fn compare(
     outcome
 }
 
-/// Renders results as the artifact/baseline JSON (see the module docs).
+/// Renders results as the artifact JSON (see the module docs).
 pub fn to_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": [\n");
+    to_json_with_metrics(results, &[])
+}
+
+/// [`to_json`] plus the schema-2 `"metrics"` object: named samples of
+/// engine internals (registry counters, histogram percentiles) riding
+/// along in the artifact for trend tracking. Never parsed by the gate.
+pub fn to_json_with_metrics(results: &[BenchResult], metrics: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
@@ -151,14 +169,25 @@ pub fn to_json(results: &[BenchResult]) -> String {
             r.throughput_per_sec()
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"metrics\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        // Integers render bare so counters stay exact in the artifact.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            out.push_str(&format!("    \"{name}\": {}{sep}\n", *value as i64));
+        } else {
+            out.push_str(&format!("    \"{name}\": {value:.4}{sep}\n"));
+        }
+    }
+    out.push_str("  }\n}\n");
     out
 }
 
 /// Renders the committed baseline: like [`to_json`] but with a
-/// `"tolerance"` field on the entries whose name appears in `overrides`.
+/// `"tolerance"` field on the entries whose name appears in `overrides`,
+/// and no metrics section (the baseline gates medians, nothing else).
 pub fn baseline_json(results: &[BenchResult], overrides: &[(&str, f64)]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": [\n");
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         let tol = overrides
@@ -288,6 +317,31 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let json = to_json(&results());
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                BaselineEntry::new("a", 100.0),
+                BaselineEntry::new("b", 2000.0)
+            ]
+        );
+    }
+
+    /// The schema-2 metrics section renders, and — because its keys are
+    /// not `"name"` — the baseline scanner still sees only the benches.
+    #[test]
+    fn metrics_section_renders_and_stays_invisible_to_the_scanner() {
+        let metrics = vec![
+            ("hrdm_commit_batch_size_p50".to_string(), 8.0),
+            ("hrdm_query_prune_ratio".to_string(), 0.96875),
+        ];
+        let json = to_json_with_metrics(&results(), &metrics);
+        assert!(json.contains("\"schema\": 2"), "{json}");
+        assert!(json.contains("\"hrdm_commit_batch_size_p50\": 8"), "{json}");
+        assert!(
+            json.contains("\"hrdm_query_prune_ratio\": 0.9688"),
+            "{json}"
+        );
         let parsed = parse_baseline(&json).unwrap();
         assert_eq!(
             parsed,

@@ -34,6 +34,10 @@ OPTIONS:
     --chunk-rows <N>        Tuples per streamed chunk (also the cancel
                             granularity) [default: 256]
     --read-timeout-secs <N> Idle-session kill timer; 0 disables [default: 30]
+    --slow-ms <N>           Slow-query-log threshold in milliseconds; requests
+                            at/over it are retained (bounded ring, newest 32)
+                            and surfaced by \\metrics; 0 records every
+                            request [default: 25]
     -h, --help              Print this help
 
 The row/byte caps and the connection limit are the server's DoS posture:
@@ -73,6 +77,10 @@ fn main() {
                 } else {
                     Some(Duration::from_secs(secs))
                 };
+            }
+            "--slow-ms" => {
+                config.slow_query_threshold =
+                    Duration::from_millis(parse(&value("--slow-ms"), "--slow-ms"));
             }
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}\n\n{USAGE}");

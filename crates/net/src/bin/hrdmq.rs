@@ -22,6 +22,11 @@
 //! * `\d` — list relations (schemes locally; names + counts remotely),
 //! * `\log` — show the schema-evolution log (local only),
 //! * `\explain <query>` — show the optimized plan and rewrite trace,
+//! * `EXPLAIN ANALYZE <query>` — run the query and show the plan
+//!   annotated with measured per-operator times and row counts,
+//! * `\metrics` — dump the metrics registry in Prometheus text
+//!   exposition format (the server's, with its slow-query log, when
+//!   connected; the process-wide engine registry locally),
 //! * `\open <dir>` — attach to a local database directory (disconnects),
 //! * `\connect <addr>` — talk to an `hrdmd` server (e.g. `127.0.0.1:7171`),
 //! * `\disconnect` — back to the local database,
@@ -31,7 +36,10 @@
 //! * `\q` — quit.
 
 use hrdm_net::{Client, NetError};
-use hrdm_query::{explain_query_text, run_query_on_snapshot, PipelineError, QueryResult};
+use hrdm_query::{
+    explain_analyze_query_text, explain_query_text, run_query_on_snapshot, strip_explain_analyze,
+    PipelineError, QueryResult,
+};
 use hrdm_storage::ConcurrentDatabase;
 use std::io::{self, BufRead, Write};
 
@@ -130,6 +138,10 @@ fn dispatch(shell: &mut Shell, line: &str) -> bool {
         stats(shell);
         return true;
     }
+    if line == "\\metrics" {
+        metrics(shell);
+        return true;
+    }
     if line == "\\checkpoint" {
         checkpoint(shell);
         return true;
@@ -171,6 +183,13 @@ fn dispatch(shell: &mut Shell, line: &str) -> bool {
     }
     if let Some(rest) = line.strip_prefix("\\explain ") {
         explain(shell, rest);
+        return true;
+    }
+    // `EXPLAIN ANALYZE <query>` runs the query and prints the plan
+    // annotated with measured times; remotely the server strips the
+    // prefix itself, so the full line travels as a Prepare.
+    if strip_explain_analyze(line).is_some() {
+        explain_analyze(shell, line);
         return true;
     }
 
@@ -286,6 +305,42 @@ fn checkpoint(shell: &mut Shell) {
             ),
             Err(e) => println!("checkpoint error: {e}"),
         },
+    }
+}
+
+fn metrics(shell: &mut Shell) {
+    match &shell.remote {
+        Some(_) => match remote_call(shell, |c| c.metrics()) {
+            Some(Ok(text)) => print!("{text}"),
+            Some(Err(e)) => println!("error: {e}"),
+            None => {}
+        },
+        // Locally there is no server instance: the process-wide
+        // registry (WAL, checkpoint, group commit, query operators) is
+        // the whole story.
+        None => print!("{}", hrdm_obs::global().render_prometheus()),
+    }
+}
+
+fn explain_analyze(shell: &mut Shell, line: &str) {
+    match &shell.remote {
+        Some(_) => match remote_call(shell, |c| c.explain(line)) {
+            Some(Ok(text)) => print!("{text}"),
+            Some(Err(NetError::Remote(hrdm_net::WireError::Unsupported(_)))) => {
+                println!("(only relation-sorted queries have a relational plan)")
+            }
+            Some(Err(e)) => println!("{e}"),
+            None => {}
+        },
+        None => {
+            let query = strip_explain_analyze(line).expect("dispatch matched the prefix");
+            match explain_analyze_query_text(query, &*shell.local.snapshot()) {
+                Ok(Some(text)) => print!("{text}"),
+                Ok(None) => println!("(only relation-sorted queries have a relational plan)"),
+                Err(PipelineError::Parse(e)) => println!("parse error: {e}"),
+                Err(PipelineError::Eval(e)) => println!("error: {e}"),
+            }
+        }
     }
 }
 

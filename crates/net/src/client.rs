@@ -244,6 +244,18 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics registry as a Prometheus text
+    /// exposition document (server families, engine-wide families, and
+    /// the slow-query log as `# slowlog:` comment lines).
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        let req = self.send(&Frame::Metrics)?;
+        match self.recv(req)? {
+            Frame::MetricsResult { text } => Ok(text),
+            Frame::Error { error } => Err(NetError::Remote(error)),
+            other => Err(unexpected("MetricsResult", &other)),
+        }
+    }
+
     fn send(&mut self, frame: &Frame) -> Result<u64, NetError> {
         let req = self.next_req;
         self.next_req += 1;

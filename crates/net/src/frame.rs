@@ -231,6 +231,17 @@ pub struct ServerStats {
     pub commit_last_batch: u64,
     /// Version of the snapshot the stats were read against.
     pub snapshot_version: u64,
+    /// Request-payload bytes read from clients.
+    pub bytes_in: u64,
+    /// Response bytes written to clients.
+    pub bytes_out: u64,
+    /// Median end-to-end request latency (ns, log2-bucket estimate; 0
+    /// until a request has been served).
+    pub request_p50_ns: u64,
+    /// 95th-percentile end-to-end request latency (ns, estimate).
+    pub request_p95_ns: u64,
+    /// 99th-percentile end-to-end request latency (ns, estimate).
+    pub request_p99_ns: u64,
     /// `(name, tuple count)` for every relation in that snapshot.
     pub relations: Vec<(String, u64)>,
 }
@@ -243,6 +254,7 @@ impl fmt::Display for ServerStats {
             self.connections_accepted, self.connections_active
         )?;
         writeln!(f, "frames: {} in, {} out", self.frames_in, self.frames_out)?;
+        writeln!(f, "bytes: {} in, {} out", self.bytes_in, self.bytes_out)?;
         writeln!(
             f,
             "requests: {} served, {} cancelled; planning {:.3} ms, execution {:.3} ms",
@@ -250,6 +262,13 @@ impl fmt::Display for ServerStats {
             self.cancelled,
             self.plan_ns as f64 / 1e6,
             self.exec_ns as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            self.request_p50_ns as f64 / 1e6,
+            self.request_p95_ns as f64 / 1e6,
+            self.request_p99_ns as f64 / 1e6
         )?;
         let mean = if self.commit_batches == 0 {
             0.0
@@ -269,8 +288,8 @@ impl fmt::Display for ServerStats {
     }
 }
 
-/// One protocol message. Kinds `0x01–0x07` travel client → server,
-/// `0x81–0x8a` travel server → client; the codec itself is direction
+/// One protocol message. Kinds `0x01–0x08` travel client → server,
+/// `0x81–0x8b` travel server → client; the codec itself is direction
 /// agnostic (the client and server share it by construction).
 #[derive(Clone, PartialEq, Debug)]
 pub enum Frame {
@@ -308,6 +327,10 @@ pub enum Frame {
     /// cancel that raced past its request's completion stays recorded
     /// (bounded) and would spuriously cancel a reused id.
     Cancel,
+    /// Request the server's metrics registry in Prometheus text
+    /// exposition format (counters, gauges, histograms, and the
+    /// slow-query log as comment lines).
+    Metrics,
 
     // -- server → client --------------------------------------------------
     /// Accepts the hello: the server's protocol version + identification.
@@ -362,6 +385,12 @@ pub enum Frame {
         /// The counters.
         stats: ServerStats,
     },
+    /// The Prometheus text exposition answering a [`Frame::Metrics`].
+    MetricsResult {
+        /// The rendered registry (server's own families plus the
+        /// process-wide engine families), with slow-query-log comments.
+        text: String,
+    },
     /// A structured error terminating the request.
     Error {
         /// What went wrong.
@@ -380,6 +409,7 @@ impl Frame {
             Frame::Checkpoint => 0x05,
             Frame::Stats => 0x06,
             Frame::Cancel => 0x07,
+            Frame::Metrics => 0x08,
             Frame::HelloAck { .. } => 0x81,
             Frame::RelationHeader { .. } => 0x82,
             Frame::RowChunk { .. } => 0x83,
@@ -390,6 +420,7 @@ impl Frame {
             Frame::Ack { .. } => 0x88,
             Frame::StatsResult { .. } => 0x89,
             Frame::Error { .. } => 0x8a,
+            Frame::MetricsResult { .. } => 0x8b,
         }
     }
 }
@@ -536,6 +567,11 @@ fn put_stats(e: &mut Encoder, s: &ServerStats) {
     e.put_u64(s.commit_max_batch);
     e.put_u64(s.commit_last_batch);
     e.put_u64(s.snapshot_version);
+    e.put_u64(s.bytes_in);
+    e.put_u64(s.bytes_out);
+    e.put_u64(s.request_p50_ns);
+    e.put_u64(s.request_p95_ns);
+    e.put_u64(s.request_p99_ns);
     e.put_u64(s.relations.len() as u64);
     for (name, count) in &s.relations {
         e.put_str(name);
@@ -558,6 +594,11 @@ fn get_stats(d: &mut Decoder<'_>) -> Result<ServerStats, FrameError> {
         commit_max_batch: d.get_u64()?,
         commit_last_batch: d.get_u64()?,
         snapshot_version: d.get_u64()?,
+        bytes_in: d.get_u64()?,
+        bytes_out: d.get_u64()?,
+        request_p50_ns: d.get_u64()?,
+        request_p95_ns: d.get_u64()?,
+        request_p99_ns: d.get_u64()?,
         relations: Vec::new(),
     };
     let n = d.get_u64()? as usize;
@@ -581,11 +622,14 @@ pub fn encode_frame(request_id: u64, frame: &Frame) -> Vec<u8> {
             e.put_u64(u64::from(*version));
             e.put_str(client);
         }
-        Frame::Query { text } | Frame::Prepare { text } | Frame::PlanText { text } => {
+        Frame::Query { text }
+        | Frame::Prepare { text }
+        | Frame::PlanText { text }
+        | Frame::MetricsResult { text } => {
             e.put_str(text);
         }
         Frame::Execute { op } => put_write_op(&mut e, op),
-        Frame::Checkpoint | Frame::Stats | Frame::Cancel => {}
+        Frame::Checkpoint | Frame::Stats | Frame::Cancel | Frame::Metrics => {}
         Frame::HelloAck { version, server } => {
             e.put_u64(u64::from(*version));
             e.put_str(server);
@@ -653,6 +697,7 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
         0x05 => Frame::Checkpoint,
         0x06 => Frame::Stats,
         0x07 => Frame::Cancel,
+        0x08 => Frame::Metrics,
         0x81 => Frame::HelloAck {
             version: decode_version(&mut d)?,
             server: d.get_str()?.to_string(),
@@ -685,6 +730,9 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
         },
         0x8a => Frame::Error {
             error: get_wire_error(&mut d)?,
+        },
+        0x8b => Frame::MetricsResult {
+            text: d.get_str()?.to_string(),
         },
         tag => return Err(FrameError::Protocol(format!("unknown frame kind {tag:#x}"))),
     };

@@ -36,7 +36,11 @@
 use crate::frame::{
     write_frame, Frame, FrameError, ServerStats, WireError, WriteOp, PROTO_VERSION,
 };
-use hrdm_query::{explain_query_text, run_query_on_snapshot_timed, PipelineError, QueryResult};
+use hrdm_obs::{Counter, Gauge, Histogram, Registry, SlowEntry, SlowLog};
+use hrdm_query::{
+    explain_analyze_query_text, explain_query_text, run_query_on_snapshot_timed,
+    strip_explain_analyze, PipelineError, QueryResult,
+};
 use hrdm_storage::ConcurrentDatabase;
 use std::collections::{BTreeSet, HashMap};
 use std::io;
@@ -45,7 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for one server instance. `Default` is sized for tests and
 /// small deployments; `hrdmd` exposes each knob as a flag.
@@ -66,6 +70,9 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Server name reported in `HelloAck`.
     pub server_name: String,
+    /// Requests at or above this wall time are recorded in the
+    /// slow-query log served by the `Metrics` frame (`\metrics`).
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -77,22 +84,130 @@ impl Default for ServerConfig {
             chunk_rows: 256,
             read_timeout: Some(Duration::from_secs(30)),
             server_name: format!("hrdmd/{}", env!("CARGO_PKG_VERSION")),
+            slow_query_threshold: Duration::from_millis(25),
         }
     }
 }
 
-/// Monotone counters shared by every session (all relaxed — they are
-/// observability, not synchronization).
-#[derive(Default)]
+/// Per-instance observability shared by every session: the cells
+/// `\stats` reports, per-kind request-latency histograms, byte
+/// counters, and the slow-query log. Every cell lives in the server's
+/// own [`Registry`] — the *same* handles back both `ServerStats` and
+/// the Prometheus exposition, so the two can never disagree. (The
+/// registry is per-instance, not [`hrdm_obs::global`], because tests
+/// run many servers per process and each must count only its own
+/// traffic.)
 struct Counters {
-    accepted: AtomicU64,
-    active: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    requests: AtomicU64,
-    cancelled: AtomicU64,
-    plan_ns: AtomicU64,
-    exec_ns: AtomicU64,
+    registry: Registry,
+    accepted: Arc<Counter>,
+    active: Arc<Gauge>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    requests: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    plan_ns: Arc<Counter>,
+    exec_ns: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    request_ns: Arc<Histogram>,
+    request_ns_query: Arc<Histogram>,
+    request_ns_prepare: Arc<Histogram>,
+    request_ns_execute: Arc<Histogram>,
+    request_ns_checkpoint: Arc<Histogram>,
+    request_ns_stats: Arc<Histogram>,
+    request_ns_metrics: Arc<Histogram>,
+    slowlog: SlowLog,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        let registry = Registry::new();
+        let accepted = registry.counter(
+            "hrdm_net_connections_accepted_total",
+            "Connections accepted since server start",
+        );
+        let active = registry.gauge(
+            "hrdm_net_connections_active",
+            "Sessions currently holding a connection slot",
+        );
+        let frames_in = registry.counter(
+            "hrdm_net_frames_in_total",
+            "Frames decoded off client sockets",
+        );
+        let frames_out = registry.counter(
+            "hrdm_net_frames_out_total",
+            "Frames written to client sockets",
+        );
+        let requests = registry.counter(
+            "hrdm_net_requests_total",
+            "Requests served (post-handshake frames)",
+        );
+        let cancelled = registry.counter(
+            "hrdm_net_requests_cancelled_total",
+            "Requests answered with a Cancelled error",
+        );
+        let plan_ns = registry.counter(
+            "hrdm_net_plan_ns_total",
+            "Cumulative query planning time, nanoseconds",
+        );
+        let exec_ns = registry.counter(
+            "hrdm_net_exec_ns_total",
+            "Cumulative query execution time, nanoseconds",
+        );
+        let bytes_in = registry.counter(
+            "hrdm_net_bytes_in_total",
+            "Request bytes read off client sockets",
+        );
+        let bytes_out = registry.counter(
+            "hrdm_net_bytes_out_total",
+            "Response bytes written to client sockets",
+        );
+        let hist = |kind: &str| {
+            registry.histogram(
+                &format!("hrdm_net_request_ns_{kind}"),
+                &format!("End-to-end latency of {kind} requests, nanoseconds"),
+            )
+        };
+        let request_ns = registry.histogram(
+            "hrdm_net_request_ns",
+            "End-to-end request latency, nanoseconds (all kinds)",
+        );
+        Counters {
+            accepted,
+            active,
+            frames_in,
+            frames_out,
+            requests,
+            cancelled,
+            plan_ns,
+            exec_ns,
+            bytes_in,
+            bytes_out,
+            request_ns,
+            request_ns_query: hist("query"),
+            request_ns_prepare: hist("prepare"),
+            request_ns_execute: hist("execute"),
+            request_ns_checkpoint: hist("checkpoint"),
+            request_ns_stats: hist("stats"),
+            request_ns_metrics: hist("metrics"),
+            slowlog: SlowLog::default(),
+            registry,
+        }
+    }
+
+    /// The latency histogram and slow-log kind for a client request
+    /// frame (`None` for frames that are not valid requests).
+    fn request_kind(&self, frame: &Frame) -> Option<(&'static str, Arc<Histogram>)> {
+        match frame {
+            Frame::Query { .. } => Some(("query", Arc::clone(&self.request_ns_query))),
+            Frame::Prepare { .. } => Some(("prepare", Arc::clone(&self.request_ns_prepare))),
+            Frame::Execute { .. } => Some(("execute", Arc::clone(&self.request_ns_execute))),
+            Frame::Checkpoint => Some(("checkpoint", Arc::clone(&self.request_ns_checkpoint))),
+            Frame::Stats => Some(("stats", Arc::clone(&self.request_ns_stats))),
+            Frame::Metrics => Some(("metrics", Arc::clone(&self.request_ns_metrics))),
+            _ => None,
+        }
+    }
 }
 
 struct Shared {
@@ -110,20 +225,26 @@ impl Shared {
     fn stats(&self) -> ServerStats {
         let snap = self.db.snapshot();
         let commit = self.db.stats();
+        let request_ns = self.counters.request_ns.snapshot();
         ServerStats {
-            connections_accepted: self.counters.accepted.load(Ordering::Relaxed),
-            connections_active: self.counters.active.load(Ordering::Relaxed),
-            frames_in: self.counters.frames_in.load(Ordering::Relaxed),
-            frames_out: self.counters.frames_out.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
-            plan_ns: self.counters.plan_ns.load(Ordering::Relaxed),
-            exec_ns: self.counters.exec_ns.load(Ordering::Relaxed),
+            connections_accepted: self.counters.accepted.get(),
+            connections_active: self.counters.active.get().max(0) as u64,
+            frames_in: self.counters.frames_in.get(),
+            frames_out: self.counters.frames_out.get(),
+            requests: self.counters.requests.get(),
+            cancelled: self.counters.cancelled.get(),
+            plan_ns: self.counters.plan_ns.get(),
+            exec_ns: self.counters.exec_ns.get(),
             commit_batches: commit.batches,
             commit_ops: commit.ops,
             commit_max_batch: commit.max_batch as u64,
             commit_last_batch: commit.last_batch as u64,
             snapshot_version: snap.version(),
+            bytes_in: self.counters.bytes_in.get(),
+            bytes_out: self.counters.bytes_out.get(),
+            request_p50_ns: request_ns.p50().unwrap_or(0),
+            request_p95_ns: request_ns.p95().unwrap_or(0),
+            request_p99_ns: request_ns.p99().unwrap_or(0),
             relations: snap
                 .relation_names()
                 .map(|name| {
@@ -132,6 +253,18 @@ impl Shared {
                 })
                 .collect(),
         }
+    }
+
+    /// The full Prometheus exposition the `Metrics` frame serves: this
+    /// server's own families, then the process-wide engine families
+    /// (WAL, checkpoint, group commit, query operators — disjoint name
+    /// prefixes, so concatenation is a valid document), then the
+    /// slow-query log as `# slowlog:` comment lines.
+    fn metrics_text(&self) -> String {
+        let mut out = self.counters.registry.render_prometheus();
+        out.push_str(&hrdm_obs::global().render_prometheus());
+        out.push_str(&self.counters.slowlog.render_comments());
+        out
     }
 }
 
@@ -157,7 +290,7 @@ impl Server {
             shared: Arc::new(Shared {
                 db,
                 config,
-                counters: Counters::default(),
+                counters: Counters::new(),
                 shutdown: AtomicBool::new(false),
                 sessions: Mutex::new(HashMap::new()),
                 next_session: AtomicU64::new(1),
@@ -213,9 +346,16 @@ impl ServerHandle {
         self.shared.stats()
     }
 
+    /// The Prometheus text exposition a `Metrics` request returns,
+    /// without a connection: this server's families, the process-wide
+    /// engine families, and the slow-query log.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
     /// Sessions currently holding a slot.
     pub fn active_connections(&self) -> u64 {
-        self.shared.counters.active.load(Ordering::Relaxed)
+        self.shared.counters.active.get().max(0) as u64
     }
 
     /// Graceful shutdown: stop accepting, wake idle sessions, and wait
@@ -236,10 +376,8 @@ impl ServerHandle {
                 let _ = stream.shutdown(Shutdown::Read);
             }
         }
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while self.shared.counters.active.load(Ordering::Relaxed) > 0
-            && std::time::Instant::now() < deadline
-        {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.counters.active.get() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
     }
@@ -254,12 +392,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             Ok(s) => s,
             Err(_) => continue,
         };
-        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.accepted.inc();
         // Claim a slot; over the limit, answer with a structured refusal
         // instead of silently dropping the connection.
-        let prev = shared.counters.active.fetch_add(1, Ordering::SeqCst);
-        if prev >= shared.config.max_connections as u64 {
-            shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+        let prev = shared.counters.active.fetch_add(1);
+        if prev >= shared.config.max_connections as i64 {
+            shared.counters.active.dec();
             let mut stream = stream;
             let _ = write_frame(
                 &mut stream,
@@ -284,7 +422,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 .lock()
                 .expect("sessions lock")
                 .remove(&session_id);
-            shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+            shared.counters.active.dec();
         });
     }
 }
@@ -365,16 +503,18 @@ fn reader_loop(
                 }
                 return; // idle kill
             }
-            Ok(Some((req, Frame::Cancel))) => {
-                shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+            Ok(Some((req, Frame::Cancel, bytes))) => {
+                shared.counters.frames_in.inc();
+                shared.counters.bytes_in.add(bytes);
                 let mut set = cancelled.lock().expect("cancel set lock");
                 set.insert(req);
                 while set.len() > MAX_STALE_CANCELS {
                     set.pop_first();
                 }
             }
-            Ok(Some((req, frame))) => {
-                shared.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+            Ok(Some((req, frame, bytes))) => {
+                shared.counters.frames_in.inc();
+                shared.counters.bytes_in.add(bytes);
                 outstanding.fetch_add(1, Ordering::SeqCst);
                 if tx.send(SessionEvent::Request(req, frame)).is_err() {
                     return; // worker gone
@@ -398,8 +538,10 @@ fn reader_loop(
 /// (`Ok(None)`) is guaranteed to have consumed nothing and the caller may
 /// safely retry. Once any byte of a frame has arrived, the remainder is
 /// read with `read_exact`, where a timeout is a fatal `Io` error — a
-/// partially consumed frame cannot be resynchronized.
-fn read_frame_idle_aware(stream: &mut TcpStream) -> Result<Option<(u64, Frame)>, FrameError> {
+/// partially consumed frame cannot be resynchronized. The third tuple
+/// element is the frame's total wire size (length prefix included), for
+/// the `bytes_in` counter.
+fn read_frame_idle_aware(stream: &mut TcpStream) -> Result<Option<(u64, Frame, u64)>, FrameError> {
     use std::io::Read;
     let mut len_buf = [0u8; 4];
     loop {
@@ -420,7 +562,9 @@ fn read_frame_idle_aware(stream: &mut TcpStream) -> Result<Option<(u64, Frame)>,
         }
     }
     stream.read_exact(&mut len_buf[1..])?;
-    crate::frame::read_frame_after_len(stream, u32::from_be_bytes(len_buf)).map(Some)
+    let len = u32::from_be_bytes(len_buf);
+    crate::frame::read_frame_after_len(stream, len)
+        .map(|(req, frame)| Some((req, frame, 4 + u64::from(len))))
 }
 
 fn worker_loop(
@@ -527,8 +671,17 @@ fn serve(
     frame: Frame,
     cancelled: &Mutex<BTreeSet<u64>>,
 ) -> bool {
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-    match frame {
+    shared.counters.requests.inc();
+    let kind = shared.counters.request_kind(&frame);
+    // Capture what the slow-query log would need before the frame is
+    // consumed by dispatch.
+    let slow_text = match &frame {
+        Frame::Query { text } | Frame::Prepare { text } => Some(text.clone()),
+        Frame::Execute { op } => Some(describe_op(op)),
+        _ => None,
+    };
+    let started = Instant::now();
+    let ok = match frame {
         Frame::Query { text } => serve_query(shared, stream, req, &text, cancelled),
         Frame::Prepare { text } => serve_prepare(shared, stream, req, &text),
         Frame::Execute { op } => serve_execute(shared, stream, req, op),
@@ -545,6 +698,10 @@ fn serve(
             let stats = shared.stats();
             send(shared, stream, req, &Frame::StatsResult { stats }).is_ok()
         }
+        Frame::Metrics => {
+            let text = shared.metrics_text();
+            send(shared, stream, req, &Frame::MetricsResult { text }).is_ok()
+        }
         other => send(
             shared,
             stream,
@@ -557,6 +714,39 @@ fn serve(
             },
         )
         .is_ok(),
+    };
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    shared.counters.request_ns.record(elapsed_ns);
+    if let Some((kind, histogram)) = kind {
+        histogram.record(elapsed_ns);
+        let threshold = shared.config.slow_query_threshold.as_nanos() as u64;
+        if elapsed_ns >= threshold {
+            // The plan is re-derived from a fresh snapshot — cheap
+            // relative to a request that just cleared the threshold,
+            // and only queries have one.
+            let plan = slow_text
+                .as_deref()
+                .filter(|_| kind == "query")
+                .and_then(|text| {
+                    explain_query_text(text, &*shared.db.snapshot()).unwrap_or_default()
+                });
+            shared.counters.slowlog.record(SlowEntry {
+                kind,
+                text: slow_text.unwrap_or_default(),
+                total_ns: elapsed_ns,
+                plan,
+            });
+        }
+    }
+    ok
+}
+
+/// A one-line description of a write op for the slow-query log.
+fn describe_op(op: &WriteOp) -> String {
+    match op {
+        WriteOp::CreateRelation { name, .. } => format!("create relation {name}"),
+        WriteOp::Insert { relation, .. } => format!("insert into {relation}"),
+        WriteOp::Materialize { name, query } => format!("{name} := {query}"),
     }
 }
 
@@ -568,7 +758,7 @@ fn serve_query(
     cancelled: &Mutex<BTreeSet<u64>>,
 ) -> bool {
     if is_cancelled(cancelled, req) {
-        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        shared.counters.cancelled.inc();
         return send(
             shared,
             stream,
@@ -582,14 +772,8 @@ fn serve_query(
     let snap = shared.db.snapshot();
     match run_query_on_snapshot_timed(text, &*snap) {
         Ok((result, timing)) => {
-            shared
-                .counters
-                .plan_ns
-                .fetch_add(timing.plan_ns, Ordering::Relaxed);
-            shared
-                .counters
-                .exec_ns
-                .fetch_add(timing.exec_ns, Ordering::Relaxed);
+            shared.counters.plan_ns.add(timing.plan_ns);
+            shared.counters.exec_ns.add(timing.exec_ns);
             match result {
                 QueryResult::Relation(r) => stream_relation(shared, stream, req, &r, cancelled),
                 QueryResult::Lifespan(lifespan) => {
@@ -653,7 +837,7 @@ fn stream_relation(
     let mut sent_bytes: u64 = 0;
     for chunk in tuples.chunks(shared.config.chunk_rows.max(1)) {
         if is_cancelled(cancelled, req) {
-            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.counters.cancelled.inc();
             return send(
                 shared,
                 stream,
@@ -684,7 +868,8 @@ fn stream_relation(
             .is_ok();
         }
         use std::io::Write;
-        shared.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+        shared.counters.frames_out.inc();
+        shared.counters.bytes_out.add(bytes.len() as u64);
         if stream.write_all(&bytes).is_err() {
             return false;
         }
@@ -694,7 +879,14 @@ fn stream_relation(
 
 fn serve_prepare(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, text: &str) -> bool {
     let snap = shared.db.snapshot();
-    let response = match explain_query_text(text, &*snap) {
+    // `EXPLAIN ANALYZE <query>` rides the Prepare/PlanText plumbing:
+    // same request frame, same response kind, but the plan comes back
+    // annotated with measured per-operator times and row counts.
+    let outcome = match strip_explain_analyze(text) {
+        Some(query) => explain_analyze_query_text(query, &*snap),
+        None => explain_query_text(text, &*snap),
+    };
+    let response = match outcome {
         Ok(Some(text)) => Frame::PlanText { text },
         Ok(None) => Frame::Error {
             error: WireError::Unsupported(
@@ -772,6 +964,9 @@ fn is_cancelled(cancelled: &Mutex<BTreeSet<u64>>, req: u64) -> bool {
 }
 
 fn send(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, frame: &Frame) -> io::Result<()> {
-    shared.counters.frames_out.fetch_add(1, Ordering::Relaxed);
-    write_frame(stream, req, frame)
+    use std::io::Write;
+    let bytes = crate::frame::encode_frame(req, frame);
+    shared.counters.frames_out.inc();
+    shared.counters.bytes_out.add(bytes.len() as u64);
+    stream.write_all(&bytes)
 }

@@ -126,7 +126,7 @@ fn wire_error_strategy() -> impl Strategy<Value = WireError> {
 
 fn stats_strategy() -> impl Strategy<Value = ServerStats> {
     (
-        prop::collection::vec(any::<u64>(), 13),
+        prop::collection::vec(any::<u64>(), 18),
         prop::collection::vec(("[a-z]{1,8}", any::<u64>()), 0..4),
     )
         .prop_map(|(n, relations)| ServerStats {
@@ -143,6 +143,11 @@ fn stats_strategy() -> impl Strategy<Value = ServerStats> {
             commit_max_batch: n[10],
             commit_last_batch: n[11],
             snapshot_version: n[12],
+            bytes_in: n[13],
+            bytes_out: n[14],
+            request_p50_ns: n[15],
+            request_p95_ns: n[16],
+            request_p99_ns: n[17],
             relations,
         })
 }
@@ -162,6 +167,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         Just(Frame::Checkpoint),
         Just(Frame::Stats),
         Just(Frame::Cancel),
+        Just(Frame::Metrics),
         ("[ -~]{0,16}").prop_map(|server| Frame::HelloAck {
             version: PROTO_VERSION,
             server
@@ -175,6 +181,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         "[ -~]{0,60}".prop_map(|text| Frame::PlanText { text }),
         any::<u64>().prop_map(|rows| Frame::Ack { rows }),
         stats_strategy().prop_map(|stats| Frame::StatsResult { stats }),
+        "[ -~]{0,60}".prop_map(|text| Frame::MetricsResult { text }),
         wire_error_strategy().prop_map(|error| Frame::Error { error }),
     ]
 }
@@ -259,7 +266,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 /// The strategy list above covers every `Frame` variant: generate a pile
-/// of frames and check all 17 kind tags eventually show up.
+/// of frames and check all 19 kind tags eventually show up.
 #[test]
 fn all_kinds_covered_by_the_strategy() {
     // The match is the real assertion: adding a `Frame` variant without
@@ -273,21 +280,23 @@ fn all_kinds_covered_by_the_strategy() {
             Frame::Checkpoint => 4,
             Frame::Stats => 5,
             Frame::Cancel => 6,
-            Frame::HelloAck { .. } => 7,
-            Frame::RelationHeader { .. } => 8,
-            Frame::RowChunk { .. } => 9,
-            Frame::Done { .. } => 10,
-            Frame::LifespanResult { .. } => 11,
-            Frame::FunctionResult { .. } => 12,
-            Frame::PlanText { .. } => 13,
-            Frame::Ack { .. } => 14,
-            Frame::StatsResult { .. } => 15,
-            Frame::Error { .. } => 16,
+            Frame::Metrics => 7,
+            Frame::HelloAck { .. } => 8,
+            Frame::RelationHeader { .. } => 9,
+            Frame::RowChunk { .. } => 10,
+            Frame::Done { .. } => 11,
+            Frame::LifespanResult { .. } => 12,
+            Frame::FunctionResult { .. } => 13,
+            Frame::PlanText { .. } => 14,
+            Frame::Ack { .. } => 15,
+            Frame::StatsResult { .. } => 16,
+            Frame::MetricsResult { .. } => 17,
+            Frame::Error { .. } => 18,
         }
     }
     let strategy = frame_strategy();
     let mut rng = proptest::test_runner::TestRng::from_name("all_kinds_covered");
-    let mut seen = [false; 17];
+    let mut seen = [false; 19];
     for _ in 0..2000 {
         let f = Strategy::generate(&strategy, &mut rng);
         seen[kind_index(&f)] = true;

@@ -1,0 +1,73 @@
+//! # hrdm-obs — observability for the HRDM engine
+//!
+//! The instrumentation layer every other crate reports through, built
+//! std-only like the rest of the workspace:
+//!
+//! * [`metrics`] — lock-cheap primitives: [`Counter`], [`Gauge`], and
+//!   log2-bucketed [`Histogram`]s with p50/p95/p99 extraction. All of
+//!   them are a handful of relaxed atomic operations on the hot path.
+//! * [`registry`] — a named [`Registry`] of metric families rendered in
+//!   Prometheus text exposition format, plus the process-wide
+//!   [`registry::global`] registry the storage and query layers record
+//!   into.
+//! * [`span`] — a per-query tracing facility: [`Span::enter`] records
+//!   wall time (and row counts) into a trace tree, collected with
+//!   [`span::with_trace`]. When no trace is active a span costs one
+//!   thread-local read.
+//! * [`slowlog`] — a bounded FIFO ring buffer of the worst recent
+//!   requests with their plans, mirroring the Cancel-id bound of the
+//!   wire protocol (default 32 entries, oldest evicted first).
+//!
+//! ## The kill switch
+//!
+//! Setting `HRDM_OBS_OFF=1` in the environment disables every *purely
+//! observational* recording site (the WAL/checkpoint/query/net
+//! recordings into the global registry, and span collection). It does
+//! **not** disable the [`Counter`]/[`Gauge`] cells that back
+//! `CommitStats`/`ServerStats` — those feed `\stats` and are part of
+//! the engine's functional surface. The switch exists so the bench
+//! suite can price the observational overhead (<5% is the budget, CI
+//! enforced); [`set_enabled`] flips the same switch programmatically
+//! for in-process A/B runs.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod slowlog;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Registry};
+pub use slowlog::{SlowEntry, SlowLog, SLOWLOG_CAPACITY};
+pub use span::{with_trace, Span, SpanGuard, TraceNode};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = uninitialized, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether observational recording is on. Initialized lazily from the
+/// `HRDM_OBS_OFF` environment variable (any non-empty value other than
+/// `0` disables), overridable with [`set_enabled`]. One relaxed atomic
+/// load on the hot path once initialized.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let off = std::env::var("HRDM_OBS_OFF").is_ok_and(|v| !v.is_empty() && v != "0");
+            let state = if off { 2 } else { 1 };
+            // Racing initializers compute the same answer; last store wins.
+            ENABLED.store(state, Ordering::Relaxed);
+            !off
+        }
+    }
+}
+
+/// Programmatically enables or disables observational recording,
+/// overriding `HRDM_OBS_OFF`. Used by the bench suite to compare
+/// instrumented and uninstrumented runs inside one process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}

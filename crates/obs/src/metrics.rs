@@ -1,0 +1,308 @@
+//! Lock-cheap metric primitives: counters, gauges, and log2-bucketed
+//! histograms.
+//!
+//! Every primitive is a thin wrapper over atomics with `Relaxed`
+//! ordering — recording is wait-free and never takes a lock, so the
+//! write path of the engine can record from the group-commit leader,
+//! the WAL append, or a query operator without serializing on the
+//! metrics layer. Reads (snapshots, percentiles) tolerate being
+//! slightly torn against concurrent writers; they are monitoring
+//! reads, not transactional ones.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count (a Prometheus `counter`).
+///
+/// Also usable as a plain atomic cell ([`Counter::store`],
+/// [`Counter::fetch_max`]) so per-instance stats structs like
+/// `CommitStats` can delegate to it as their one source of truth.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the count.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the cell (for last-value cells, not true counters).
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the cell to `v` if it is larger (for high-water marks).
+    pub fn fetch_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// A value that can go up and down (a Prometheus `gauge`), e.g. active
+/// connections.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds `n` (which may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` and returns the **previous** value, so the gauge can
+    /// double as an admission counter (e.g. claim a connection slot and
+    /// learn atomically whether the limit was already reached).
+    pub fn fetch_add(&self, n: i64) -> i64 {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` (for `i ≥ 1`) counts values
+/// in `[2^(i-1), 2^i - 1]`; bucket 0 counts zeros. `u64::MAX` lands in
+/// bucket 64.
+pub(crate) const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` observations (latencies in
+/// nanoseconds, batch sizes, …).
+///
+/// Recording is one relaxed `fetch_add` into the value's power-of-two
+/// bucket plus count/sum updates — no locks, no allocation. Quantile
+/// estimates come from bucket upper bounds, so an estimate `e` of a
+/// true quantile `q ≥ 1` satisfies `q ≤ e < 2q` (a factor-of-two
+/// bracket, exact for zero). The proptest suite pins this bound
+/// against a sorted-vector oracle.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the buckets for rendering and quantile
+    /// extraction. Torn reads against concurrent writers are possible
+    /// and harmless (the snapshot is a monitoring view).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s buckets, for quantiles and
+/// rendering.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Per-bucket counts, index `i` covering `[2^(i-1), 2^i - 1]`
+    /// (bucket 0 covers exactly zero).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The upper bound of bucket `i` — the largest value it can hold.
+    pub fn upper_bound(i: usize) -> u64 {
+        bucket_upper_bound(i)
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`0 < q ≤ 1`): the
+    /// upper bound of the bucket holding the ⌈q·count⌉-th smallest
+    /// observation. `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// The median estimate (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_bracket_their_values() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_upper_bound(i), "{v} in bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "{v} above bucket {}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_factor_two_estimates() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let p50 = s.p50().unwrap();
+        assert!((500..1000).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99().unwrap();
+        assert!((990..1980).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(Histogram::new().snapshot().p50(), None);
+    }
+
+    #[test]
+    fn counter_and_gauge_cells() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.fetch_max(3);
+        assert_eq!(c.get(), 5);
+        c.fetch_max(9);
+        assert_eq!(c.get(), 9);
+        c.store(2);
+        assert_eq!(c.get(), 2);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+}

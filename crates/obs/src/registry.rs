@@ -1,0 +1,232 @@
+//! A named registry of metric families and its Prometheus text
+//! exposition renderer.
+//!
+//! Registration takes a `Mutex` once per family; the returned
+//! [`Arc`]ed handles are then recorded into lock-free. The process-wide
+//! [`global`] registry is where the storage and query layers register
+//! their families (they have no per-instance home); per-instance
+//! components (the network server) keep their own [`Registry`] and
+//! concatenate it with the global one when rendering.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metric families, rendered in Prometheus text
+/// exposition format. Families are registered once (get-or-create by
+/// name) and recorded into through the returned handles without any
+/// further locking.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or registers the counter family `name`. Panics if `name`
+    /// is already registered as a different metric type (a programming
+    /// error: one name, one type).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &fam.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Gets or registers the gauge family `name`. Panics on a type
+    /// mismatch with an existing registration.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &fam.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Gets or registers the histogram family `name`. Panics on a type
+    /// mismatch with an existing registration.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::new())),
+        });
+        match &fam.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Registers an *existing* counter cell under `name`, so a
+    /// component whose counters double as functional state (e.g. the
+    /// server's `ServerStats` cells) can expose them without keeping
+    /// two copies. Returns the handle passed in.
+    pub fn register_counter(&self, name: &str, help: &str, cell: Arc<Counter>) -> Arc<Counter> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        families.insert(
+            name.to_string(),
+            Family {
+                help: help.to_string(),
+                metric: Metric::Counter(Arc::clone(&cell)),
+            },
+        );
+        cell
+    }
+
+    /// Registers an existing gauge cell under `name` (see
+    /// [`Registry::register_counter`]).
+    pub fn register_gauge(&self, name: &str, help: &str, cell: Arc<Gauge>) -> Arc<Gauge> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        families.insert(
+            name.to_string(),
+            Family {
+                help: help.to_string(),
+                metric: Metric::Gauge(Arc::clone(&cell)),
+            },
+        );
+        cell
+    }
+
+    /// The named histogram's snapshot, if registered.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let families = self.families.lock().expect("registry poisoned");
+        match families.get(name) {
+            Some(Family {
+                metric: Metric::Histogram(h),
+                ..
+            }) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// The named counter's current value, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let families = self.families.lock().expect("registry poisoned");
+        match families.get(name) {
+            Some(Family {
+                metric: Metric::Counter(c),
+                ..
+            }) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Renders every family in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, then the samples — plain values
+    /// for counters and gauges, cumulative `_bucket{le="…"}` lines
+    /// plus `_sum`/`_count` for histograms. Families render in name
+    /// order, so output is deterministic for a given state.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            match &fam.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let snap = h.snapshot();
+                    let buckets = snap.buckets();
+                    let last_nonempty = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in buckets.iter().enumerate().take(last_nonempty + 1) {
+                        cumulative += c;
+                        let le = HistogramSnapshot::upper_bound(i);
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", snap.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry. Layers without a per-instance home
+/// (WAL, checkpoint, group commit, query operators) register their
+/// families here; `\metrics` renders it alongside any per-instance
+/// registries.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("x_total"), Some(3));
+    }
+
+    #[test]
+    fn renders_all_three_types() {
+        let r = Registry::new();
+        r.counter("c_total", "events").add(5);
+        r.gauge("g", "level").set(-2);
+        let h = r.histogram("h_ns", "latencies");
+        h.record(0);
+        h.record(3);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP c_total events"), "{text}");
+        assert!(text.contains("# TYPE c_total counter\nc_total 5"), "{text}");
+        assert!(text.contains("# TYPE g gauge\ng -2"), "{text}");
+        assert!(text.contains("# TYPE h_ns histogram"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"3\"} 2"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"127\"} 3"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("h_ns_sum 103"), "{text}");
+        assert!(text.contains("h_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "as counter");
+        r.gauge("m", "as gauge");
+    }
+}

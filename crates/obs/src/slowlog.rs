@@ -1,0 +1,163 @@
+//! A bounded log of the worst recent requests, with their plans.
+//!
+//! ## The eviction rule
+//!
+//! The log is a FIFO ring bounded at [`SLOWLOG_CAPACITY`] entries
+//! (32 by default): when a 33rd entry arrives, the **oldest** entry is
+//! evicted, exactly like the wire protocol's stale-Cancel bound
+//! (`MAX_STALE_CANCELS`, 64, FIFO). The bound is on *entries*, not
+//! bytes — query text and plan text are stored verbatim — so a burst
+//! of slow requests can rotate the whole log; the evicted count is
+//! kept so `\metrics` can report how much history was dropped. Entries
+//! are whatever the recording component deems slow (the server records
+//! every request at or above its threshold); "worst" therefore means
+//! the most recent qualifying requests, not a global top-K.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default bound on retained entries (FIFO-evicted beyond this).
+pub const SLOWLOG_CAPACITY: usize = 32;
+
+/// One retained request: what ran, how long it took, and its plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// The request kind (e.g. `query`, `execute`).
+    pub kind: &'static str,
+    /// The request text (query text, or a short op description).
+    pub text: String,
+    /// End-to-end wall time, in nanoseconds.
+    pub total_ns: u64,
+    /// The physical plan, when the request had one.
+    pub plan: Option<String>,
+}
+
+struct Inner {
+    entries: VecDeque<SlowEntry>,
+    evicted: u64,
+}
+
+/// The bounded slow-request log. `record` takes one short mutex — it
+/// runs at most once per request, never inside an operator hot loop.
+pub struct SlowLog {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for SlowLog {
+    fn default() -> SlowLog {
+        SlowLog::new(SLOWLOG_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    /// A log retaining at most `cap` entries (oldest evicted first).
+    pub fn new(cap: usize) -> SlowLog {
+        SlowLog {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// Appends an entry, FIFO-evicting the oldest when full.
+    pub fn record(&self, entry: SlowEntry) {
+        let mut inner = self.inner.lock().expect("slowlog poisoned");
+        if inner.entries.len() >= self.cap {
+            inner.entries.pop_front();
+            inner.evicted += 1;
+        }
+        inner.entries.push_back(entry);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.inner
+            .lock()
+            .expect("slowlog poisoned")
+            .entries
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many entries have been FIFO-evicted since creation.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().expect("slowlog poisoned").evicted
+    }
+
+    /// Renders the log as Prometheus-comment lines (`# slowlog: …`),
+    /// one per entry, slowest first, safe to append to an exposition
+    /// document (comments other than HELP/TYPE are ignored by
+    /// scrapers). Newlines inside texts and plans are flattened so
+    /// each entry stays one line.
+    pub fn render_comments(&self) -> String {
+        let inner = self.inner.lock().expect("slowlog poisoned");
+        let mut sorted: Vec<&SlowEntry> = inner.entries.iter().collect();
+        sorted.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        let mut out = format!(
+            "# slowlog: {} entr{} retained (cap {}), {} evicted\n",
+            inner.entries.len(),
+            if inner.entries.len() == 1 { "y" } else { "ies" },
+            self.cap,
+            inner.evicted
+        );
+        for e in sorted {
+            let text = e.text.replace('\n', " ");
+            let plan = e
+                .plan
+                .as_deref()
+                .map(|p| p.trim_end().replace('\n', " | "))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "# slowlog: {} ns kind={} text={text:?} plan={plan:?}\n",
+                e.total_ns, e.kind
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> SlowEntry {
+        SlowEntry {
+            kind: "query",
+            text: format!("q{n}"),
+            total_ns: n,
+            plan: None,
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let log = SlowLog::new(3);
+        for n in 1..=5 {
+            log.record(entry(n));
+        }
+        let kept: Vec<u64> = log.entries().iter().map(|e| e.total_ns).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        assert_eq!(log.evicted(), 2);
+    }
+
+    #[test]
+    fn comments_render_slowest_first() {
+        let log = SlowLog::new(8);
+        log.record(entry(10));
+        log.record(entry(500));
+        log.record(entry(20));
+        let text = log.render_comments();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("3 entries retained (cap 8), 0 evicted"));
+        assert!(lines[1].contains("500 ns"), "{text}");
+        assert!(lines[2].contains("20 ns"), "{text}");
+        assert!(lines[3].contains("10 ns"), "{text}");
+        for line in &lines {
+            assert!(line.starts_with('#'), "{line}");
+        }
+    }
+}

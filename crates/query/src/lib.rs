@@ -55,10 +55,11 @@ pub use lexer::{lex, LexError, Token};
 pub use optimizer::{optimize, Rewrite};
 pub use parser::{parse_expr, parse_query, ParseError};
 pub use pipeline::{
-    explain_query_text, run_query_on_snapshot, run_query_on_snapshot_timed, PipelineError,
-    PipelineTiming,
+    explain_analyze_query_text, explain_query_text, run_query_on_snapshot,
+    run_query_on_snapshot_timed, strip_explain_analyze, PipelineError, PipelineTiming,
+    EXPLAIN_ANALYZE_PREFIX,
 };
 pub use plan::{
-    eval_plan, evaluate_planned, explain_plan, explain_with_access, plan, AccessPath, IndexSource,
-    IndexedRelations, Plan,
+    eval_plan, evaluate_planned, explain_plan, explain_plan_analyzed, explain_with_access, plan,
+    AccessPath, IndexSource, IndexedRelations, Plan,
 };

@@ -130,6 +130,60 @@ pub fn explain_query_text(
     }
 }
 
+/// The query-text prefix selecting the analyzed-explain mode.
+pub const EXPLAIN_ANALYZE_PREFIX: &str = "EXPLAIN ANALYZE";
+
+/// Strips a leading `EXPLAIN ANALYZE` from `text`, returning the query
+/// proper — the front ends' dispatch test for the analyzed mode.
+pub fn strip_explain_analyze(text: &str) -> Option<&str> {
+    let trimmed = text.trim_start();
+    let rest = trimmed.strip_prefix(EXPLAIN_ANALYZE_PREFIX)?;
+    // Require a separator so a relation named e.g. `EXPLAIN ANALYZER`
+    // cannot be mistaken for the mode keyword.
+    if rest.starts_with(char::is_whitespace) || rest.starts_with('(') {
+        Some(rest.trim_start())
+    } else {
+        None
+    }
+}
+
+/// `EXPLAIN ANALYZE`: runs the query for real and renders the physical
+/// plan annotated with measured per-operator wall times, output row
+/// counts, and (on bounded scans) partition-pruning counts, followed by
+/// planning/execution totals. Only relation-sorted queries have a
+/// relational plan; other sorts return `Ok(None)`.
+///
+/// The trace comes from [`hrdm_obs::with_trace`] around the planned
+/// evaluation; with observability disabled (`HRDM_OBS_OFF`) the plan
+/// still renders, without actual-time annotations.
+pub fn explain_analyze_query_text(
+    text: &str,
+    src: &dyn IndexSource,
+) -> Result<Option<String>, PipelineError> {
+    let plan_started = Instant::now();
+    let e = match parse_query(text)? {
+        crate::ast::Query::Relation(e) => e,
+        _ => return Ok(None),
+    };
+    let (optimized, _trace) = crate::optimizer::optimize(&e);
+    let p = crate::plan::plan(&optimized, src);
+    let plan_ns = plan_started.elapsed().as_nanos() as u64;
+
+    let exec_started = Instant::now();
+    let (result, spans) = hrdm_obs::with_trace(|| crate::plan::eval_plan(&p, src));
+    let rows = result?.len();
+    let exec_ns = exec_started.elapsed().as_nanos() as u64;
+
+    let mut out = String::from("== explain analyze ==\n");
+    out.push_str(&crate::plan::explain_plan_analyzed(&p, spans.first()));
+    out.push_str(&format!(
+        "planning: {}\nexecution: {}\nrows: {rows}\n",
+        crate::plan::fmt_ns(plan_ns),
+        crate::plan::fmt_ns(exec_ns),
+    ));
+    Ok(Some(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +260,40 @@ mod tests {
         assert!(out.contains("IndexScan(key"), "{out}");
         // Non-relation sorts have no relational plan.
         assert_eq!(explain_query_text("WHEN (emp)", &src).unwrap(), None);
+    }
+
+    #[test]
+    fn strip_explain_analyze_requires_a_separator() {
+        assert_eq!(
+            strip_explain_analyze("EXPLAIN ANALYZE TIMESLICE [0..9] (emp)"),
+            Some("TIMESLICE [0..9] (emp)")
+        );
+        assert_eq!(
+            strip_explain_analyze("  EXPLAIN ANALYZE(emp)"),
+            Some("(emp)")
+        );
+        assert_eq!(strip_explain_analyze("EXPLAIN ANALYZER"), None);
+        assert_eq!(strip_explain_analyze("TIMESLICE [0..9] (emp)"), None);
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_operator() {
+        let src = source();
+        let out = explain_analyze_query_text("TIMESLICE [0..9] (emp)", &src)
+            .unwrap()
+            .expect("relation-sorted");
+        assert!(out.contains("== explain analyze =="), "{out}");
+        // Both the slice and the scan under it carry actual-run stats.
+        assert_eq!(out.matches("(actual time=").count(), 2, "{out}");
+        assert!(out.contains("rows=1)"), "{out}");
+        assert!(out.contains("planning: "), "{out}");
+        assert!(out.contains("execution: "), "{out}");
+        assert!(out.contains("rows: 1"), "{out}");
+        // Non-relation sorts have no relational plan to analyze.
+        assert_eq!(
+            explain_analyze_query_text("WHEN (emp)", &src).unwrap(),
+            None
+        );
     }
 
     #[test]

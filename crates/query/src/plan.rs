@@ -590,7 +590,103 @@ fn natural_probe_side<'e>(left: &Expr, right: &'e Expr, src: &dyn IndexSource) -
 
 /// Evaluates a plan. Behaviour is exactly [`crate::eval::eval_expr`] on the
 /// corresponding expression; indexes only prune candidates.
+///
+/// Every node evaluates inside an [`hrdm_obs::Span`], so running a plan
+/// under [`hrdm_obs::with_trace`] yields a trace tree mirroring the plan
+/// shape (one node per operator, inclusive wall time, output rows) —
+/// that is what `EXPLAIN ANALYZE` renders. Outside a trace the span is
+/// one thread-local read per *operator* (not per tuple).
 pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
+    let span = hrdm_obs::Span::enter(span_name(p));
+    let r = eval_plan_inner(p, src)?;
+    span.record_rows(r.len() as u64);
+    Ok(r)
+}
+
+/// The span label for a plan node (labels identify the operator kind;
+/// the trace tree's *shape* is what ties a span back to its node).
+fn span_name(p: &Plan) -> &'static str {
+    match p {
+        Plan::Scan { .. } => "scan",
+        Plan::Unary { op, .. } => match op {
+            UnaryOp::Project(_) => "project",
+            UnaryOp::SelectIf { .. } => "select-if",
+            UnaryOp::SelectWhen(_) => "select-when",
+            UnaryOp::TimeSlice(_) => "timeslice",
+            UnaryOp::TimeSliceDynamic(_) => "timeslice-dynamic",
+        },
+        Plan::Binary { op, .. } => match op {
+            BinaryOp::Union => "union",
+            BinaryOp::Intersection => "intersection",
+            BinaryOp::Difference => "difference",
+            BinaryOp::UnionO => "union-o",
+            BinaryOp::IntersectionO => "intersection-o",
+            BinaryOp::DifferenceO => "difference-o",
+            BinaryOp::Product => "product",
+            BinaryOp::NaturalJoin => "natural-join",
+        },
+        Plan::IndexedNaturalJoin { .. } => "natural-join-indexed",
+        Plan::IndexedTimeJoin { .. } => "time-join-indexed",
+        Plan::ThetaJoin { .. } => "theta-join",
+        Plan::TimeJoin { .. } => "time-join",
+    }
+}
+
+/// The engine-wide access-path counters, registered once in the global
+/// observability registry.
+struct ScanObs {
+    seq_scans: std::sync::Arc<hrdm_obs::Counter>,
+    index_scans: std::sync::Arc<hrdm_obs::Counter>,
+    partitions_probed: std::sync::Arc<hrdm_obs::Counter>,
+    partitions_pruned: std::sync::Arc<hrdm_obs::Counter>,
+}
+
+fn scan_obs() -> &'static ScanObs {
+    static OBS: std::sync::OnceLock<ScanObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = hrdm_obs::global();
+        ScanObs {
+            seq_scans: r.counter(
+                "hrdm_query_seq_scans_total",
+                "Base-relation scans served by reading every tuple",
+            ),
+            index_scans: r.counter(
+                "hrdm_query_index_scans_total",
+                "Base-relation scans served through a key or lifespan index",
+            ),
+            partitions_probed: r.counter(
+                "hrdm_query_partitions_probed_total",
+                "Partitions whose summary overlapped a bounded scan's window",
+            ),
+            partitions_pruned: r.counter(
+                "hrdm_query_partitions_pruned_total",
+                "Partitions skipped by bounded scans without being touched",
+            ),
+        }
+    })
+}
+
+/// Feeds one scan's access path into the global counters (observational
+/// only — gated by the `HRDM_OBS_OFF` kill switch).
+fn record_scan_access(access: &AccessPath) {
+    if !hrdm_obs::enabled() {
+        return;
+    }
+    let obs = scan_obs();
+    match access {
+        AccessPath::SeqScan => obs.seq_scans.inc(),
+        AccessPath::LifespanIndex { pruning, .. } => {
+            obs.index_scans.inc();
+            if let Some(p) = pruning {
+                obs.partitions_probed.add(p.scanned as u64);
+                obs.partitions_pruned.add(p.pruned() as u64);
+            }
+        }
+        AccessPath::KeyIndex { .. } => obs.index_scans.inc(),
+    }
+}
+
+fn eval_plan_inner(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
     match p {
         Plan::Scan { relation, access } => eval_scan(relation, access, src),
         Plan::Unary { op, input } => {
@@ -670,6 +766,7 @@ pub fn eval_plan(p: &Plan, src: &dyn IndexSource) -> Result<Relation> {
 }
 
 fn eval_scan(name: &str, access: &AccessPath, src: &dyn IndexSource) -> Result<Relation> {
+    record_scan_access(access);
     let r = src
         .relation(name)
         .ok_or_else(|| HrdmError::UnknownRelation(name.to_string()))?;
@@ -820,18 +917,56 @@ pub fn explain_with_access(e: &Expr, src: &dyn IndexSource) -> String {
 /// access path on every scan.
 pub fn explain_plan(p: &Plan) -> String {
     let mut out = String::new();
-    walk(p, 0, &mut out);
+    walk(p, None, 0, &mut out);
     out
 }
 
-fn walk(p: &Plan, depth: usize, out: &mut String) {
+/// Renders a plan annotated with a trace tree from an actual run (as
+/// produced by [`eval_plan`] under [`hrdm_obs::with_trace`]): every
+/// operator line gains `(actual time=…, rows=…)`, and bounded scans
+/// keep their plan-time `partitions: k/N pruned` counts. The trace
+/// mirrors the plan shape by construction; if it doesn't (observability
+/// disabled), the un-annotated plan renders instead.
+pub fn explain_plan_analyzed(p: &Plan, trace: Option<&hrdm_obs::TraceNode>) -> String {
+    let mut out = String::new();
+    walk(p, trace, 0, &mut out);
+    out
+}
+
+/// Renders nanoseconds at a human scale (`870ns`, `12.4µs`, `3.10ms`).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    }
+}
+
+fn annotation(trace: Option<&hrdm_obs::TraceNode>) -> String {
+    match trace {
+        Some(t) => {
+            let rows = t
+                .rows
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "?".to_string());
+            format!(" (actual time={}, rows={rows})", fmt_ns(t.wall_ns))
+        }
+        None => String::new(),
+    }
+}
+
+fn walk(p: &Plan, trace: Option<&hrdm_obs::TraceNode>, depth: usize, out: &mut String) {
     use std::fmt::Write;
     for _ in 0..depth {
         out.push_str("  ");
     }
+    let annot = annotation(trace);
+    let child = |i: usize| trace.and_then(|t| t.children.get(i));
     match p {
         Plan::Scan { relation, access } => {
-            let _ = writeln!(out, "Scan {relation} [{access}]");
+            let _ = writeln!(out, "Scan {relation} [{access}]{annot}");
         }
         Plan::Unary { op, input } => {
             let label = match op {
@@ -848,25 +983,25 @@ fn walk(p: &Plan, depth: usize, out: &mut String) {
                 UnaryOp::TimeSlice(l) => format!("TimeSlice {l}"),
                 UnaryOp::TimeSliceDynamic(attr) => format!("TimeSlice @{attr}"),
             };
-            let _ = writeln!(out, "{label}");
-            walk(input, depth + 1, out);
+            let _ = writeln!(out, "{label}{annot}");
+            walk(input, child(0), depth + 1, out);
         }
         Plan::Binary { op, left, right } => {
-            let _ = writeln!(out, "{op:?}");
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
+            let _ = writeln!(out, "{op:?}{annot}");
+            walk(left, child(0), depth + 1, out);
+            walk(right, child(1), depth + 1, out);
         }
         Plan::IndexedNaturalJoin { left, right } => {
-            let _ = writeln!(out, "NaturalJoin (index nested loop)");
-            walk(left, depth + 1, out);
+            let _ = writeln!(out, "NaturalJoin (index nested loop){annot}");
+            walk(left, child(0), depth + 1, out);
             for _ in 0..depth + 1 {
                 out.push_str("  ");
             }
             let _ = writeln!(out, "Probe {right} [IndexScan(key, from left tuple)]");
         }
         Plan::IndexedTimeJoin { left, right, attr } => {
-            let _ = writeln!(out, "TimeJoin @{attr} (index nested loop)");
-            walk(left, depth + 1, out);
+            let _ = writeln!(out, "TimeJoin @{attr} (index nested loop){annot}");
+            walk(left, child(0), depth + 1, out);
             for _ in 0..depth + 1 {
                 out.push_str("  ");
             }
@@ -882,14 +1017,14 @@ fn walk(p: &Plan, depth: usize, out: &mut String) {
             op,
             b,
         } => {
-            let _ = writeln!(out, "ThetaJoin {a} {op} {b}");
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
+            let _ = writeln!(out, "ThetaJoin {a} {op} {b}{annot}");
+            walk(left, child(0), depth + 1, out);
+            walk(right, child(1), depth + 1, out);
         }
         Plan::TimeJoin { left, right, attr } => {
-            let _ = writeln!(out, "TimeJoin @{attr}");
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
+            let _ = writeln!(out, "TimeJoin @{attr}{annot}");
+            walk(left, child(0), depth + 1, out);
+            walk(right, child(1), depth + 1, out);
         }
     }
 }

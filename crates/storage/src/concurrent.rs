@@ -38,7 +38,6 @@ use hrdm_core::{Attribute, HistoricalDomain, Relation, Scheme, Tuple};
 use hrdm_time::Chronon;
 use std::collections::VecDeque;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// One queued write: the operation *group* (one or more ops committed in
@@ -120,12 +119,21 @@ impl CommitStats {
     }
 }
 
+/// The per-instance commit cells, delegated to `hrdm-obs` primitives —
+/// the same atomics back `\stats` (exact per-database values; the tests
+/// assert exact op counts) and any registry these cells are exposed
+/// through, so there is exactly one source of truth. Engine-wide
+/// aggregates (the batch-size histogram) go to the global registry in
+/// [`ConcurrentDatabase::commit_and_fulfill`] instead, because several
+/// databases can live in one process.
 #[derive(Default)]
 struct StatsCells {
-    batches: AtomicU64,
-    ops: AtomicU64,
-    max_batch: AtomicUsize,
-    last_batch: AtomicUsize,
+    batches: hrdm_obs::Counter,
+    ops: hrdm_obs::Counter,
+    /// High-water mark, maintained with `fetch_max`.
+    max_batch: hrdm_obs::Counter,
+    /// Last-value cell, overwritten per batch.
+    last_batch: hrdm_obs::Counter,
 }
 
 /// A [`Database`] shared across threads: lock-free snapshot readers, a
@@ -256,10 +264,15 @@ impl ConcurrentDatabase {
         let acked = results.iter().filter(|r| r.is_ok()).count();
         if acked > 0 {
             self.publish(db);
-            self.stats.batches.fetch_add(1, Ordering::Relaxed);
-            self.stats.ops.fetch_add(acked as u64, Ordering::Relaxed);
-            self.stats.max_batch.fetch_max(acked, Ordering::Relaxed);
-            self.stats.last_batch.store(acked, Ordering::Relaxed);
+            self.stats.batches.inc();
+            self.stats.ops.add(acked as u64);
+            self.stats.max_batch.fetch_max(acked as u64);
+            self.stats.last_batch.store(acked as u64);
+            if hrdm_obs::enabled() {
+                crate::obs::storage_obs()
+                    .commit_batch_size
+                    .record(acked as u64);
+            }
         }
         // Hand each group its own slice of the flattened results.
         for (ticket, size) in tickets.into_iter().zip(group_sizes) {
@@ -272,6 +285,9 @@ impl ConcurrentDatabase {
     fn publish(&self, db: &Database) {
         let next = Arc::new(db.snapshot());
         *self.published.write().expect("published lock") = next;
+        if hrdm_obs::enabled() {
+            crate::obs::storage_obs().snapshot_publish.inc();
+        }
     }
 
     /// Creates a relation (group-committed).
@@ -405,10 +421,10 @@ impl ConcurrentDatabase {
     /// Group-commit counters (batches, ops, batch sizes).
     pub fn stats(&self) -> CommitStats {
         CommitStats {
-            batches: self.stats.batches.load(Ordering::Relaxed),
-            ops: self.stats.ops.load(Ordering::Relaxed),
-            max_batch: self.stats.max_batch.load(Ordering::Relaxed),
-            last_batch: self.stats.last_batch.load(Ordering::Relaxed),
+            batches: self.stats.batches.get(),
+            ops: self.stats.ops.get(),
+            max_batch: self.stats.max_batch.get() as usize,
+            last_batch: self.stats.last_batch.get() as usize,
         }
     }
 

@@ -912,6 +912,7 @@ impl Database {
     /// link — a checkpoint after a burst of inserts into one chronon
     /// range costs one partition rewrite, not a full-database rewrite.
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        let started = hrdm_obs::enabled().then(std::time::Instant::now);
         let (dir, old_epoch) = match &self.attachment {
             Some(att) => (att.dir.clone(), att.epoch),
             None => {
@@ -944,6 +945,11 @@ impl Database {
         // The new epoch carries every partition's current membership.
         self.mark_partitions_clean();
         cleanup_stray_files(&dir, new_epoch);
+        if let Some(started) = started {
+            crate::obs::storage_obs()
+                .checkpoint_ns
+                .record_duration(started.elapsed());
+        }
         Ok(())
     }
 
@@ -979,6 +985,8 @@ impl Database {
     /// inode across epochs is safe. A failed link silently degrades to a
     /// fresh write.
     fn write_state(&self, dir: &Path, epoch: u64, link_from: Option<u64>) -> Result<(), DbError> {
+        let mut linked = 0u64;
+        let mut rewritten = 0u64;
         for (name, rel) in &self.relations {
             // Relations normally carry a live partition map; build one on
             // the fly for out-of-band states (defensive, not a hot path).
@@ -999,9 +1007,11 @@ impl Database {
                             &final_path,
                         )
                     {
+                        linked += 1;
                         continue;
                     }
                 }
+                rewritten += 1;
                 let tmp_path = tmp_sibling(&final_path);
                 let mut heap = HeapFile::create(&tmp_path)?;
                 for tuple in rel.scan_positions(&part.positions().collect::<Vec<_>>()) {
@@ -1058,6 +1068,13 @@ impl Database {
         std::fs::rename(&tmp_path, &final_path)?;
         // Make the renames themselves durable before reporting success.
         fsync_dir(dir);
+        // Only checkpoints (link_from set) report partition-rewrite work;
+        // a detached save always rewrites everything by construction.
+        if link_from.is_some() && hrdm_obs::enabled() {
+            let obs = crate::obs::storage_obs();
+            obs.checkpoint_dirty_partitions.add(rewritten);
+            obs.checkpoint_linked_partitions.add(linked);
+        }
         Ok(())
     }
 

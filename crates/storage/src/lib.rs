@@ -38,6 +38,7 @@ pub mod codec;
 pub mod concurrent;
 pub mod database;
 pub mod heap;
+mod obs;
 pub mod page;
 pub mod partition;
 pub mod snapshot;

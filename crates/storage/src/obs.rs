@@ -1,0 +1,67 @@
+//! The storage layer's engine-wide metric families, registered once in
+//! the global observability registry.
+//!
+//! These families are process-wide (the WAL and checkpoint code paths
+//! have no per-instance home to hang a registry on); instrumentation
+//! sites gate on [`hrdm_obs::enabled`], so `HRDM_OBS_OFF=1` reduces
+//! each site to one relaxed load. Per-instance commit counters live on
+//! [`crate::ConcurrentDatabase`] instead — exact per-database `\stats`
+//! values, backed by the same `hrdm-obs` primitives.
+
+use hrdm_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct StorageObs {
+    /// Durations of WAL batch-frame writes (buffer build + `write`).
+    pub wal_append_ns: Arc<Histogram>,
+    /// Durations of WAL `sync_data` calls.
+    pub wal_fsync_ns: Arc<Histogram>,
+    /// Acknowledged ops per group-commit batch.
+    pub commit_batch_size: Arc<Histogram>,
+    /// End-to-end checkpoint durations (count = checkpoints taken).
+    pub checkpoint_ns: Arc<Histogram>,
+    /// Dirty partitions rewritten by checkpoints.
+    pub checkpoint_dirty_partitions: Arc<Counter>,
+    /// Partitions carried into a new checkpoint epoch as clean hard
+    /// links (not rewritten).
+    pub checkpoint_linked_partitions: Arc<Counter>,
+    /// Snapshots published by concurrent databases.
+    pub snapshot_publish: Arc<Counter>,
+}
+
+pub(crate) fn storage_obs() -> &'static StorageObs {
+    static OBS: OnceLock<StorageObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = hrdm_obs::global();
+        StorageObs {
+            wal_append_ns: r.histogram(
+                "hrdm_wal_append_ns",
+                "Wall time of WAL batch-frame writes (frame build + write), nanoseconds",
+            ),
+            wal_fsync_ns: r.histogram(
+                "hrdm_wal_fsync_ns",
+                "Wall time of WAL fsync (sync_data) calls, nanoseconds",
+            ),
+            commit_batch_size: r.histogram(
+                "hrdm_commit_batch_size",
+                "Acknowledged operations per group-commit batch",
+            ),
+            checkpoint_ns: r.histogram(
+                "hrdm_checkpoint_ns",
+                "Wall time of whole checkpoints, nanoseconds (count = checkpoints)",
+            ),
+            checkpoint_dirty_partitions: r.counter(
+                "hrdm_checkpoint_dirty_partitions_total",
+                "Dirty partitions rewritten by checkpoints",
+            ),
+            checkpoint_linked_partitions: r.counter(
+                "hrdm_checkpoint_linked_partitions_total",
+                "Clean partitions carried across checkpoints as hard links",
+            ),
+            snapshot_publish: r.counter(
+                "hrdm_snapshot_publish_total",
+                "Snapshots published by concurrent databases",
+            ),
+        }
+    })
+}

@@ -255,6 +255,8 @@ impl Wal {
         if payloads.is_empty() {
             return Ok(());
         }
+        let observing = hrdm_obs::enabled();
+        let append_started = observing.then(std::time::Instant::now);
         let total: usize = payloads.iter().map(|p| p.len() + 8).sum();
         let mut frame = Vec::with_capacity(total);
         for payload in payloads {
@@ -263,7 +265,15 @@ impl Wal {
             frame.extend_from_slice(&crc32(payload).to_le_bytes());
         }
         self.file.write_all(&frame)?;
-        self.file.sync_data()
+        let fsync_started = observing.then(std::time::Instant::now);
+        let result = self.file.sync_data();
+        if let (Some(appended), Some(fsynced)) = (append_started, fsync_started) {
+            let obs = crate::obs::storage_obs();
+            obs.wal_append_ns
+                .record_duration(fsynced.duration_since(appended));
+            obs.wal_fsync_ns.record_duration(fsynced.elapsed());
+        }
+        result
     }
 
     /// Frames (`len | payload | crc`), writes, and fsyncs one payload.
