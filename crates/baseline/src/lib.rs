@@ -18,6 +18,7 @@
 //!   baseline (information-preserving, so the models answer the same
 //!   queries and only their *costs* differ).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convert;

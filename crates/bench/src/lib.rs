@@ -5,6 +5,7 @@
 //! change rate, lifespan fragmentation, and overlap. Every generator is
 //! seeded, so benches and EXPERIMENTS.md numbers are reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;

@@ -12,6 +12,8 @@
 //! `name/param time: <t> ns/iter`. Set `HRDM_BENCH_FAST=1` to shrink
 //! warm-up and measurement windows (CI smoke mode).
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// The benchmark driver, mirroring `criterion::Criterion`.

@@ -12,6 +12,8 @@
 //! test gets a deterministic RNG seeded from its own name, so failures
 //! reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

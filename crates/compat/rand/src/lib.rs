@@ -6,6 +6,7 @@
 //! deterministic splitmix64 — statistically fine for seeded workload
 //! generation, not cryptographic.
 
+#![forbid(unsafe_code)]
 /// Seedable construction, mirroring `rand::SeedableRng`.
 pub trait SeedableRng: Sized {
     /// Creates an RNG from a 64-bit seed.

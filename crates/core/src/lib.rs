@@ -46,6 +46,7 @@
 //! assert_eq!(answer, Lifespan::interval(20, 30));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algebra;

@@ -176,6 +176,7 @@ impl Relation {
         for existing in self.tuples.iter() {
             let existing_key = existing
                 .key_values(&self.scheme)
+                // lint: no-panic-ok(every stored tuple passed the same key_values check on insert)
                 .expect("stored tuples have key values");
             if existing_key == key {
                 return Err(HrdmError::KeyViolation {

@@ -167,6 +167,7 @@ impl Scheme {
     pub fn check_key_lifespan_covenant(&self) -> Result<()> {
         let whole = self.lifespan();
         for k in &self.key {
+            // lint: no-panic-ok(Scheme construction rejects key names not in the attribute list)
             let def = self.attr(k).expect("key attributes are in the scheme");
             if def.lifespan != whole {
                 return Err(HrdmError::KeyLifespanCovenant(k.clone()));
@@ -211,6 +212,7 @@ impl Scheme {
             .map(|d| {
                 let theirs = other
                     .attr(&d.name)
+                    // lint: no-panic-ok(guarded by the union_compatible debug_assert and checked by every public caller)
                     .expect("union-compatible schemes share attributes");
                 AttributeDef {
                     name: d.name.clone(),

@@ -89,6 +89,7 @@ impl TemporalValue {
                 .iter()
                 .map(|(lo, hi, v)| (Interval::of(*lo, *hi), v.clone())),
         )
+        // lint: no-panic-ok(documented contract of this literal-building convenience constructor)
         .expect("TemporalValue::of requires non-conflicting segments")
     }
 

@@ -47,6 +47,7 @@ impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> Ordering {
         self.0
             .partial_cmp(&other.0)
+            // lint: no-panic-ok(OrderedF64::new rejects NaN, and NaN is the only incomparable float)
             .expect("NaN excluded at construction")
     }
 }
@@ -130,9 +131,11 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
             (Value::Float(a), Value::Float(b)) => Ok(a.cmp(b)),
             (Value::Int(a), Value::Float(b)) => Ok(OrderedF64::new(*a as f64)
+                // lint: no-panic-ok(an i64-to-f64 cast cannot produce NaN)
                 .expect("i64 to f64 is never NaN")
                 .cmp(b)),
             (Value::Float(a), Value::Int(b)) => {
+                // lint: no-panic-ok(an i64-to-f64 cast cannot produce NaN)
                 Ok(a.cmp(&OrderedF64::new(*b as f64).expect("i64 to f64 is never NaN")))
             }
             (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),

@@ -24,6 +24,7 @@
 //! `hrdm-storage::Database` maintains and `hrdm-query`'s access-path
 //! planner consumes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod interval_index;

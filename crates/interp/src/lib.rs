@@ -22,6 +22,7 @@
 //!   extracting the succinct change-point representation from a model-level
 //!   function and rebuilding it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compress;

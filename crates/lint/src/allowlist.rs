@@ -1,0 +1,86 @@
+//! The checked-in allowlist: `lint.allow` at the workspace root.
+//!
+//! Each non-comment line is `<rule> <path-prefix>`, exempting every file
+//! whose workspace-relative path starts with the prefix from that rule.
+//! This is for *structural* exemptions that would otherwise need a
+//! waiver on every line — e.g. the bench harness's stop-flag atomics —
+//! while inline waivers remain the tool for individual sites.
+
+use std::path::Path;
+
+/// One allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule this entry exempts.
+    pub rule: String,
+    /// Workspace-relative path prefix (forward slashes).
+    pub prefix: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Loads `lint.allow` from `root`; a missing file is an empty list.
+    pub fn load(root: &Path) -> Result<Allowlist, String> {
+        let path = root.join("lint.allow");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Allowlist::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Allowlist::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses allowlist text; errors name the offending line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(prefix), None) => entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    prefix: prefix.to_string(),
+                }),
+                _ => return Err(format!("line {}: expected `<rule> <path-prefix>`", idx + 1)),
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Is `rule` allowlisted for the workspace-relative `path`?
+    pub fn covers(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && path.starts_with(e.prefix.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_and_comments() {
+        let a = Allowlist::parse(
+            "# bench stop flags are plain bools\natomic-ordering crates/bench/src\n",
+        )
+        .unwrap();
+        assert!(a.covers("atomic-ordering", "crates/bench/src/lib.rs"));
+        assert!(!a.covers("atomic-ordering", "crates/net/src/server.rs"));
+        assert!(!a.covers("no-panic", "crates/bench/src/lib.rs"));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let err = Allowlist::parse("atomic-ordering\n").unwrap_err();
+        assert!(err.contains("line 1"));
+    }
+}

@@ -1,0 +1,466 @@
+//! A region-aware masking lexer for Rust source.
+//!
+//! Rules must never fire on text inside string literals, comments, or
+//! `#[cfg(test)]` items. Rather than parse Rust properly (no `syn` — the
+//! workspace is std-only), the lexer produces a **masked** copy of each
+//! file: byte-for-byte the same length as the input (so offsets and line
+//! numbers carry over), with the *contents* of string literals and the
+//! entirety of comments blanked to spaces. Quote characters of ordinary
+//! string literals are kept so patterns like `.expect("` stay visible.
+//!
+//! On top of the mask it computes:
+//!
+//! * `#[cfg(test)]` **regions** — the byte extent of every item annotated
+//!   with the attribute (a `mod tests { … }` block, a test fn, a `use`),
+//!   so rules can skip test-only code inside library files;
+//! * **function spans** — every `fn name(…) { … }` with its body extent,
+//!   for rules that reason per function (lock order, bounded-alloc);
+//! * **line starts** — to map byte offsets back to 1-based line numbers.
+
+/// One `fn` item: its name and the byte range of its `{ … }` body
+/// (exclusive of the braces themselves).
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name as written (unqualified).
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub header_start: usize,
+    /// Byte offset just inside the opening `{` of the body.
+    pub body_start: usize,
+    /// Byte offset of the closing `}` of the body.
+    pub body_end: usize,
+}
+
+/// A lexed file: the masked text plus the structural facts rules need.
+pub struct Lexed {
+    /// Same length as the input; string contents and comments blanked.
+    pub masked: String,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Every `fn` with a body, in source order.
+    pub functions: Vec<FnSpan>,
+    /// Byte offset of the start of each line (line 1 first).
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// Lexes `source` into a masked view.
+    pub fn new(source: &str) -> Lexed {
+        let masked = mask(source);
+        let test_regions = find_test_regions(&masked);
+        let functions = find_functions(&masked);
+        let mut line_starts = vec![0usize];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Lexed {
+            masked,
+            test_regions,
+            functions,
+            line_starts,
+        }
+    }
+
+    /// The 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The innermost function whose body contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| offset >= f.body_start && offset < f.body_end)
+            .min_by_key(|f| f.body_end - f.body_start)
+    }
+}
+
+/// Blanks comments (entirely) and string-literal contents (keeping the
+/// surrounding quotes). Raw strings are blanked including their quotes —
+/// their hash fences make them useless as pattern anchors anyway.
+/// Newlines are always preserved so line numbers survive the mask.
+fn mask(source: &str) -> String {
+    mask_with(source, false)
+}
+
+/// Like the default mask, but comments survive. The waiver parser uses
+/// this view:
+/// waivers live in comments, but a *string literal* spelling out the
+/// waiver marker (test fixtures, the parser's own constant) must not
+/// parse as one.
+pub fn mask_keeping_comments(source: &str) -> String {
+    mask_with(source, true)
+}
+
+fn mask_with(source: &str, keep_comments: bool) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: keep or blank to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(if keep_comments { bytes[i] } else { b' ' });
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting tracked.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.min(bytes.len());
+                for &bb in &bytes[start..end] {
+                    out.push(if keep_comments {
+                        bb
+                    } else if bb == b'\n' {
+                        b'\n'
+                    } else {
+                        b' '
+                    });
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) && !prev_is_ident_char(bytes, i, &out) => {
+                // Raw string r"…" / r#"…"# / br#"…"# — blank it all.
+                let mut j = i;
+                if bytes[j] == b'b' {
+                    j += 1;
+                }
+                j += 1; // past 'r'
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // past opening quote
+                loop {
+                    match bytes.get(j) {
+                        None => break,
+                        Some(&b'"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                for &bb in &bytes[i..j.min(bytes.len())] {
+                    out.push(if bb == b'\n' { b'\n' } else { b' ' });
+                }
+                i = j;
+            }
+            b'"' => {
+                // Ordinary (or byte) string: keep quotes, blank contents.
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal is 'x', '\…';
+                // a lifetime is '<ident> with no closing quote.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: blank to the closing quote.
+                    out.push(b' ');
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    // One-char literal like 'a' (including quote chars).
+                    out.push(b' ');
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 3;
+                } else {
+                    // Lifetime: keep and move on.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    // The mask only ever substitutes ASCII for ASCII, so the result is
+    // valid UTF-8 whenever the input was.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `r"`, `r#`, `br"`, `br#` at `i`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Is the previous output byte part of an identifier (so `for r in …` or
+/// `attr.to_string()` never parses as a raw-string start)?
+fn prev_is_ident_char(_bytes: &[u8], i: usize, out: &[u8]) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let p = out[out.len() - 1];
+    p.is_ascii_alphanumeric() || p == b'_'
+}
+
+/// Finds `#[cfg(test)]` items and returns their byte extents. The extent
+/// runs from the attribute through the end of the annotated item: the
+/// matching `}` of its first block, or the terminating `;` for block-less
+/// items (`use`, `mod tests;`).
+fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(test)]";
+    let bytes = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = masked[search..].find(ATTR) {
+        let start = search + rel;
+        let mut i = start + ATTR.len();
+        // Skip whitespace and any further attributes between the cfg and
+        // the item itself.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'#') && bytes.get(i + 1) == Some(&b'[') {
+                while i < bytes.len() && bytes[i] != b']' {
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        // Scan to the item's first `{` or a `;`, whichever comes first.
+        let mut end = masked.len();
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b';' => {
+                    end = j + 1;
+                    break;
+                }
+                b'{' => {
+                    end = matching_brace(bytes, j)
+                        .map(|e| e + 1)
+                        .unwrap_or(bytes.len());
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        regions.push((start, end));
+        search = end.max(start + ATTR.len());
+    }
+    regions
+}
+
+/// The offset of the `}` matching the `{` at `open`.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds every `fn name(…) … { … }` in the masked text.
+fn find_functions(masked: &str) -> Vec<FnSpan> {
+    let bytes = masked.as_bytes();
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while let Some(rel) = masked[i..].find("fn ") {
+        let at = i + rel;
+        // Word boundary: `fn` must not be the tail of an identifier.
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+            i = at + 3;
+            continue;
+        }
+        let mut j = at + 3;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j == name_start {
+            i = at + 3;
+            continue;
+        }
+        let name = masked[name_start..j].to_string();
+        // Find the body `{` at angle/paren depth 0, or give up at `;`
+        // (trait method declarations have no body).
+        let mut depth = 0i32;
+        let mut body = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    body = Some(j);
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = matching_brace(bytes, open) {
+                fns.push(FnSpan {
+                    name,
+                    header_start: at,
+                    body_start: open + 1,
+                    body_end: close,
+                });
+                i = open + 1;
+                continue;
+            }
+        }
+        i = j.max(at + 3);
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unwrap() inside\"; // .unwrap() comment\nx.unwrap();\n";
+        let lexed = Lexed::new(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        // Only the real call survives the mask.
+        assert_eq!(lexed.masked.matches(".unwrap()").count(), 1);
+        // Quotes are kept, contents are not.
+        assert!(lexed.masked.contains('"'));
+        assert!(!lexed.masked.contains("inside"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = '\\n'; fn f<'a>(x: &'a str) {}";
+        let lexed = Lexed::new(src);
+        assert!(!lexed.masked.contains("panic!"));
+        assert!(lexed.masked.contains("<'a>"));
+        assert_eq!(lexed.masked.len(), src.len());
+    }
+
+    #[test]
+    fn ident_ending_in_r_before_string_is_not_raw() {
+        let src = "let attr = var.expect(\"x\"); another(\"y\");";
+        let lexed = Lexed::new(src);
+        assert!(lexed.masked.contains(".expect(\""));
+        assert!(lexed.masked.contains("another(\""));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_module() {
+        let src = "fn lib_code() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let lexed = Lexed::new(src);
+        assert_eq!(lexed.test_regions.len(), 1);
+        let lib_at = src.find("x.unwrap").unwrap();
+        let test_at = src.find("y.unwrap").unwrap();
+        assert!(!lexed.in_test_region(lib_at));
+        assert!(lexed.in_test_region(test_at));
+    }
+
+    #[test]
+    fn functions_are_spanned_and_lines_resolve() {
+        let src = "fn one() {\n    body();\n}\n\nfn two(a: u8) -> u8 {\n    a\n}\n";
+        let lexed = Lexed::new(src);
+        let names: Vec<&str> = lexed.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two"]);
+        let body_at = src.find("body()").unwrap();
+        assert_eq!(lexed.enclosing_fn(body_at).unwrap().name, "one");
+        assert_eq!(lexed.line_of(body_at), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_unwind() {
+        let src = "/* outer /* inner */ still comment */ fn real() { }";
+        let lexed = Lexed::new(src);
+        assert_eq!(lexed.functions.len(), 1);
+        assert!(!lexed.masked.contains("outer"));
+    }
+}

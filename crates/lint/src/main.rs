@@ -1,0 +1,101 @@
+//! The `hrdm-lint` binary: scans the workspace and exits non-zero on any
+//! unwaived violation.
+//!
+//! ```text
+//! cargo run -p hrdm-lint                # lint the workspace
+//! cargo run -p hrdm-lint -- --list-rules
+//! cargo run -p hrdm-lint -- --rule no-panic
+//! cargo run -p hrdm-lint -- --root /path/to/tree --verbose
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hrdm_lint::{rules, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut only: Option<String> = None;
+    let mut list = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--rule" => only = args.next(),
+            "--list-rules" => list = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                print!(
+                    "hrdm-lint: static analysis for the HRDM workspace\n\n\
+                     usage: hrdm-lint [--root DIR] [--rule NAME] [--list-rules] [--verbose]\n\n\
+                     Waive a finding inline with `// lint: <rule>-ok(<reason>)` on the\n\
+                     offending line or the line above; structural exemptions go in\n\
+                     `lint.allow` (`<rule> <path-prefix>` per line) at the root.\n"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hrdm-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if list {
+        for rule in rules::all() {
+            println!("{:<20} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let config = LintConfig::for_root(&root);
+
+    if let Some(name) = &only {
+        if !rules::all().iter().any(|r| r.name() == name) {
+            eprintln!("hrdm-lint: no rule named `{name}` (see --list-rules)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = match hrdm_lint::run(&config, only.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hrdm-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        for (file, line) in &v.anchors {
+            if (file.as_str(), *line) != (v.file.as_str(), v.line) {
+                println!("    evidence: {file}:{line}");
+            }
+        }
+    }
+    if verbose {
+        for v in &report.waived {
+            println!("waived: {}:{}: [{}]", v.file, v.line, v.rule);
+        }
+        for (rule, files) in &report.rule_stats {
+            println!("stat: {rule} examined {files} file(s)");
+        }
+    }
+    if report.clean() {
+        println!(
+            "hrdm-lint: clean ({} waived finding(s))",
+            report.waived.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "hrdm-lint: {} violation(s), {} waived",
+            report.violations.len(),
+            report.waived.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,68 @@
+//! `atomic-ordering`: `Ordering::Relaxed` is only legal in the metrics
+//! crate (`crates/obs`), where counters are documented as unsynchronized
+//! by design. Anywhere else, a Relaxed load or store on a value readers
+//! act on is a real bug — publication in this engine goes through the
+//! snapshot `RwLock`, not through atomics — so every engine-side use must
+//! either be upgraded or carry a waiver explaining why the value never
+//! gates data visibility.
+
+use std::collections::BTreeMap;
+
+use super::Rule;
+use crate::workspace::{FileClass, SourceFile};
+use crate::{LintConfig, Violation};
+
+/// See module docs.
+pub struct AtomicOrdering;
+
+impl Rule for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Ordering::Relaxed only in crates/obs (metrics) or under a waiver"
+    }
+
+    fn check(
+        &self,
+        config: &LintConfig,
+        files: &[SourceFile],
+        stats: &mut BTreeMap<&'static str, usize>,
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in files {
+            // Integration tests and benches spin their own harness
+            // atomics (stop flags, per-thread counters); like
+            // `#[cfg(test)]` regions, they cannot gate engine data
+            // visibility and are out of scope.
+            if !matches!(file.class, FileClass::Lib | FileClass::Bin) {
+                continue;
+            }
+            if config.obs_crates.contains(&file.crate_name) {
+                continue;
+            }
+            *stats.entry(self.name()).or_insert(0) += 1;
+            let masked = &file.lexed.masked;
+            let mut from = 0usize;
+            while let Some(rel) = masked[from..].find("Ordering::Relaxed") {
+                let at = from + rel;
+                from = at + "Ordering::Relaxed".len();
+                if file.lexed.in_test_region(at) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: self.name(),
+                    file: file.rel.clone(),
+                    line: file.lexed.line_of(at),
+                    message: "Ordering::Relaxed outside crates/obs: if this value gates \
+                              data visibility it needs Acquire/Release; if it is a pure \
+                              statistic, waive with the reason"
+                        .into(),
+                    anchors: Vec::new(),
+                });
+            }
+        }
+        out
+    }
+}

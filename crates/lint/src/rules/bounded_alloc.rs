@@ -1,0 +1,194 @@
+//! `bounded-alloc`: in the decode modules (wire frames, on-disk pages,
+//! WAL replay, catalog load), `Vec::with_capacity(n)` / `vec![_; n]`
+//! where `n` derives from a wire- or disk-read length is a pre-allocation
+//! DoS: a corrupt or malicious 8-byte length field buys a multi-gigabyte
+//! allocation before any validation runs. Every such allocation must be
+//! visibly capped.
+//!
+//! The rule fires on `with_capacity(` and `vec![` inside functions whose
+//! names mark them as decode-side (`decode*`, `read_*`, `get_*`,
+//! `load*`, `open*`, `replay*`, `from_*`, `parse*`, `scan*`) within the
+//! configured decode files, unless the size argument is visibly safe:
+//!
+//! * it contains `.min(` (an explicit cap at the allocation site), or
+//! * it is built only from integer literals and `SCREAMING_CASE`
+//!   constants (compile-time bounded), or
+//! * a nearby earlier line in the same function mentions the size
+//!   identifier together with a cap check (`MAX`, `CAP`, or `.min(`).
+
+use std::collections::BTreeMap;
+
+use super::Rule;
+use crate::workspace::SourceFile;
+use crate::{LintConfig, Violation};
+
+/// See module docs.
+pub struct BoundedAlloc;
+
+const DECODE_FN_PREFIXES: &[&str] = &[
+    "decode", "read_", "get_", "load", "open", "replay", "from_", "parse", "scan",
+];
+
+impl Rule for BoundedAlloc {
+    fn name(&self) -> &'static str {
+        "bounded-alloc"
+    }
+
+    fn describe(&self) -> &'static str {
+        "decode-side with_capacity/vec! must cap wire- or disk-derived sizes"
+    }
+
+    fn check(
+        &self,
+        config: &LintConfig,
+        files: &[SourceFile],
+        stats: &mut BTreeMap<&'static str, usize>,
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in files {
+            if !config.decode_files.contains(&file.rel) {
+                continue;
+            }
+            *stats.entry(self.name()).or_insert(0) += 1;
+            let masked = &file.lexed.masked;
+            for (pat, arg_from_open) in [("with_capacity(", true), ("vec![", false)] {
+                let mut from = 0usize;
+                while let Some(rel) = masked[from..].find(pat) {
+                    let at = from + rel;
+                    from = at + pat.len();
+                    if file.lexed.in_test_region(at) {
+                        continue;
+                    }
+                    let Some(func) = file.lexed.enclosing_fn(at) else {
+                        continue;
+                    };
+                    if !is_decode_fn(&func.name) {
+                        continue;
+                    }
+                    let Some(size_expr) =
+                        extract_size_arg(masked, at + pat.len() - 1, arg_from_open)
+                    else {
+                        continue;
+                    };
+                    if size_is_safe(&size_expr)
+                        || capped_earlier(masked, func.body_start, at, &size_expr)
+                    {
+                        continue;
+                    }
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: file.lexed.line_of(at),
+                        message: format!(
+                            "uncapped allocation of `{}` in decode path `{}`: cap it \
+                             (e.g. `.min(LIMIT)`) before trusting a wire/disk length",
+                            size_expr.trim(),
+                            func.name
+                        ),
+                        anchors: Vec::new(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_decode_fn(name: &str) -> bool {
+    DECODE_FN_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// The size expression: for `with_capacity(` the whole argument list; for
+/// `vec![` the part after the `;` (element-count form only — `vec![a, b]`
+/// literals yield no size and are skipped).
+fn extract_size_arg(masked: &str, open: usize, paren: bool) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let (open_ch, close_ch) = if paren { (b'(', b')') } else { (b'[', b']') };
+    debug_assert_eq!(bytes[open], open_ch);
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut semi = None;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == open_ch || b == b'(' || b == b'[' {
+            depth += 1;
+        } else if b == close_ch || b == b')' || b == b']' {
+            depth -= 1;
+            if depth == 0 {
+                let inner = &masked[open + 1..i];
+                return if paren {
+                    Some(inner.to_string())
+                } else {
+                    semi.map(|s: usize| masked[s + 1..i].to_string())
+                };
+            }
+        } else if b == b';' && depth == 1 && !paren {
+            semi = Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Safe on its face: contains a `.min(` cap, or consists only of integer
+/// literals, `SCREAMING_CASE` constants, and arithmetic.
+fn size_is_safe(expr: &str) -> bool {
+    if expr.contains(".min(") {
+        return true;
+    }
+    let mut rest = expr;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(|c: char| c.is_whitespace() || "+-*/%()_".contains(c));
+        if rest.is_empty() {
+            break;
+        }
+        let token_len = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(rest.len());
+        let token = &rest[..token_len];
+        let numeric = token.chars().next().is_some_and(|c| c.is_ascii_digit());
+        let screaming = token
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_' || c == ':')
+            && token.chars().any(|c| c.is_ascii_uppercase());
+        if !(numeric || screaming) {
+            return false;
+        }
+        rest = &rest[token_len..];
+    }
+    true
+}
+
+/// Did an earlier line of the same function visibly bound the size
+/// identifier (mentioning it alongside `MAX`, `CAP`, or `.min(`)?
+fn capped_earlier(masked: &str, body_start: usize, at: usize, expr: &str) -> bool {
+    // The identifier we track: the leading ident of the size expression.
+    let ident: String = expr
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        return false;
+    }
+    let before = &masked[body_start..at];
+    before.lines().any(|line| {
+        line.contains(ident.as_str())
+            && (line.contains("MAX") || line.contains("CAP") || line.contains(".min("))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_const_sizes_are_safe() {
+        assert!(size_is_safe("16"));
+        assert!(size_is_safe("PAGE_SIZE"));
+        assert!(size_is_safe("payload_len.min(4096)"));
+        assert!(size_is_safe("2 * MAX_FRAME_BYTES"));
+        assert!(!size_is_safe("n_rows"));
+        assert!(!size_is_safe("len as usize"));
+    }
+}

@@ -1,0 +1,158 @@
+//! `no-panic`: panicking constructs are banned in non-test library code
+//! of the engine-path crates (`storage`, `net`, `query`, `core`). A
+//! panic inside the storage or wire layer takes down a server thread —
+//! possibly while holding the group-commit queue — so fallible paths
+//! must return `DbError`/`FrameError`/`HrdmError` instead.
+//!
+//! Patterns: `.unwrap()`, `.expect("…")`, `.expect_err("…")`, `panic!(`,
+//! `todo!(`, `unreachable!(`, `unimplemented!(`. Only the string-literal
+//! `expect` forms are matched so the query parser's own
+//! `self.expect(&Token::…)` method never false-positives.
+//!
+//! Built-in exemption: **lock poisoning**. `.expect(…)` directly chained
+//! onto a zero-argument `lock()` / `read()` / `write()`, or onto a
+//! condvar `wait(…)` / `wait_timeout(…)`, is the workspace's sanctioned
+//! idiom for propagating poisoning — a poisoned lock means another
+//! thread already panicked mid-update, and continuing would publish torn
+//! state. (`try_lock()` is *not* exempt: `WouldBlock` is an ordinary
+//! runtime condition, not evidence of a crash.)
+
+use std::collections::BTreeMap;
+
+use super::Rule;
+use crate::workspace::{FileClass, SourceFile};
+use crate::{LintConfig, Violation};
+
+/// See module docs.
+pub struct NoPanic;
+
+const PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(\"",
+    ".expect_err(\"",
+    "panic!(",
+    "todo!(",
+    "unreachable!(",
+    "unimplemented!(",
+];
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo! in engine-path library code"
+    }
+
+    fn check(
+        &self,
+        config: &LintConfig,
+        files: &[SourceFile],
+        stats: &mut BTreeMap<&'static str, usize>,
+    ) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in files {
+            if file.class != FileClass::Lib {
+                continue;
+            }
+            if !config.panic_crates.contains(&file.crate_name) {
+                continue;
+            }
+            *stats.entry(self.name()).or_insert(0) += 1;
+            let masked = &file.lexed.masked;
+            for pat in PATTERNS {
+                let mut from = 0usize;
+                while let Some(rel) = masked[from..].find(pat) {
+                    let at = from + rel;
+                    from = at + pat.len();
+                    if file.lexed.in_test_region(at) {
+                        continue;
+                    }
+                    // `panic!`-family macros: require a non-ident char
+                    // before, so `core::panic!` still matches but a
+                    // hypothetical `dont_panic!(` does not.
+                    if !pat.starts_with('.') && at > 0 {
+                        let prev = masked.as_bytes()[at - 1];
+                        if prev.is_ascii_alphanumeric() || prev == b'_' {
+                            continue;
+                        }
+                    }
+                    if pat.starts_with(".expect") && is_poisoning_expect(masked, at) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: file.lexed.line_of(at),
+                        message: format!(
+                            "`{}` in {} library code: return the crate's error type \
+                             instead, or waive with the invariant that makes this \
+                             unreachable",
+                            pat.trim_end_matches('"'),
+                            file.crate_name
+                        ),
+                        anchors: Vec::new(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Is the `.expect(` at `at` chained directly onto a lock/condvar call
+/// whose `Err` is `PoisonError`?
+fn is_poisoning_expect(masked: &str, at: usize) -> bool {
+    // Walk backwards over whitespace to the preceding token.
+    let bytes = masked.as_bytes();
+    let mut i = at;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let before = &masked[..i];
+    if before.ends_with("lock()") || before.ends_with("read()") || before.ends_with("write()") {
+        // Zero-arg call: a std lock acquisition, not e.g. `file.read(buf)`.
+        return true;
+    }
+    // Condvar waits take arguments; match the method name at the head of
+    // the closing call: `…wait(guard)` / `…wait_timeout(guard, dur)`.
+    if before.ends_with(')') {
+        if let Some(open) = matching_open_paren(bytes, i - 1) {
+            let head = &masked[..open];
+            for m in [
+                ".wait",
+                ".wait_timeout",
+                ".wait_while",
+                ".wait_timeout_while",
+            ] {
+                if head.ends_with(m) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The `(` matching the `)` at `close`, scanning backwards.
+fn matching_open_paren(bytes: &[u8], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = close;
+    loop {
+        match bytes[i] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+}

@@ -1,0 +1,138 @@
+//! Inline waivers: `// lint: <rule>-ok(<reason>)`.
+//!
+//! A waiver is written as a line comment in the **original** source (the
+//! masking lexer blanks comments, so waivers are parsed from the raw
+//! text). It suppresses violations of `<rule>` on the waiver's own line
+//! and on the line directly below it — so both trailing-comment and
+//! line-above styles work:
+//!
+//! ```text
+//! let id = ctr.fetch_add(1, Ordering::Relaxed); // lint: atomic-ordering-ok(uniqueness only)
+//!
+//! // lint: no-panic-ok(invariant: validated two lines up)
+//! let v = map.get(&k).expect("pre-validated");
+//! ```
+//!
+//! A reason is mandatory: `-ok()` with an empty reason is itself reported
+//! as a violation of the `waiver-syntax` pseudo-rule, so waivers cannot
+//! silently rot into unexplained exemptions.
+
+/// One parsed waiver.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The rule being waived, e.g. `atomic-ordering`.
+    pub rule: String,
+    /// The justification inside the parentheses.
+    pub reason: String,
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+}
+
+/// Waivers found in a malformed state (missing reason, unclosed paren).
+#[derive(Clone, Debug)]
+pub struct BadWaiver {
+    /// 1-based line of the malformed waiver.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// All waivers in one file, indexed for line lookup.
+#[derive(Default)]
+pub struct Waivers {
+    entries: Vec<Waiver>,
+    /// Malformed waivers, surfaced as violations by the engine.
+    pub bad: Vec<BadWaiver>,
+}
+
+impl Waivers {
+    /// Parses every waiver marker in `source`. Callers pass the
+    /// strings-masked view of a file (comments kept, string-literal
+    /// contents blanked) so markers spelled inside string literals —
+    /// fixtures, this parser's own constant — never parse as waivers.
+    pub fn parse(source: &str) -> Waivers {
+        const MARKER: &str = "// lint:";
+        let mut w = Waivers::default();
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line = idx + 1;
+            let Some(pos) = raw_line.find(MARKER) else {
+                continue;
+            };
+            let rest = raw_line[pos + MARKER.len()..].trim_start();
+            let Some(ok_at) = rest.find("-ok(") else {
+                w.bad.push(BadWaiver {
+                    line,
+                    message: "waiver must be `// lint: <rule>-ok(<reason>)`".into(),
+                });
+                continue;
+            };
+            let rule = rest[..ok_at].trim().to_string();
+            let after = &rest[ok_at + 4..];
+            let Some(close) = after.rfind(')') else {
+                w.bad.push(BadWaiver {
+                    line,
+                    message: "waiver reason is missing its closing `)`".into(),
+                });
+                continue;
+            };
+            let reason = after[..close].trim().to_string();
+            if rule.is_empty() || reason.is_empty() {
+                w.bad.push(BadWaiver {
+                    line,
+                    message: "waiver needs both a rule name and a non-empty reason".into(),
+                });
+                continue;
+            }
+            w.entries.push(Waiver { rule, reason, line });
+        }
+        w
+    }
+
+    /// Is `rule` waived for a violation on `line`? Matches a waiver on
+    /// the same line (trailing comment) or on the line above.
+    pub fn covers(&self, rule: &str, line: usize) -> Option<&Waiver> {
+        self.entries
+            .iter()
+            .find(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+    }
+
+    /// All parsed waivers (for reporting counts).
+    pub fn all(&self) -> &[Waiver] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_and_line_above_styles_both_cover() {
+        let src = "\
+a.fetch_add(1, Ordering::Relaxed); // lint: atomic-ordering-ok(stat only)
+// lint: no-panic-ok(checked above)
+x.unwrap();
+";
+        let w = Waivers::parse(src);
+        assert!(w.bad.is_empty());
+        assert!(w.covers("atomic-ordering", 1).is_some());
+        assert!(w.covers("no-panic", 3).is_some());
+        assert!(w.covers("no-panic", 1).is_none());
+        assert!(w.covers("atomic-ordering", 3).is_none());
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let src = "x.unwrap(); // lint: no-panic-ok()\n";
+        let w = Waivers::parse(src);
+        assert!(w.covers("no-panic", 1).is_none());
+        assert_eq!(w.bad.len(), 1);
+    }
+
+    #[test]
+    fn missing_ok_suffix_is_malformed() {
+        let src = "// lint: no-panic fine here\n";
+        let w = Waivers::parse(src);
+        assert_eq!(w.bad.len(), 1);
+    }
+}

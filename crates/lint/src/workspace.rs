@@ -1,0 +1,159 @@
+//! Workspace discovery: find every `.rs` file under `crates/` and `src/`,
+//! classify it, and lex it once for all rules.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::Lexed;
+use crate::waiver::Waivers;
+
+/// How a file participates in the build — rules scope themselves by class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code under a crate's `src/` (excluding `src/bin/`).
+    Lib,
+    /// Binary targets under `src/bin/`.
+    Bin,
+    /// Integration tests, benches, and examples.
+    Test,
+    /// The vendored compat crates (`crates/compat/**`) — API stand-ins
+    /// for crates.io originals, exempt from engine-invariant rules.
+    Compat,
+}
+
+/// One source file, lexed and ready for rules.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with forward slashes (stable rule keys).
+    pub rel: String,
+    /// Build-role classification.
+    pub class: FileClass,
+    /// Name of the owning crate directory (e.g. `storage`, `net`), or
+    /// `hrdm` for the root facade's own `src/`.
+    pub crate_name: String,
+    /// Original text (waivers, context snippets).
+    pub source: String,
+    /// Masked view + structure.
+    pub lexed: Lexed,
+    /// Inline waivers parsed from the original text.
+    pub waivers: Waivers,
+}
+
+/// Loads every Rust source file in the workspace rooted at `root`.
+pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = dirs.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(format!("{}: {e}", dir.display())),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                // Never descend into build output.
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                dirs.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(load_file(root, &path)?);
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+/// Loads and classifies a single file.
+pub fn load_file(root: &Path, path: &Path) -> Result<SourceFile, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rel_path = path.strip_prefix(root).unwrap_or(path);
+    let rel = rel_path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let class = classify(&rel);
+    let crate_name = crate_of(&rel);
+    let lexed = Lexed::new(&source);
+    // Waivers are parsed from a strings-masked view: the marker must be
+    // found in comments but never inside string literals (fixtures, the
+    // parser's own constant).
+    let waivers = Waivers::parse(&crate::lexer::mask_keeping_comments(&source));
+    Ok(SourceFile {
+        path: path.to_path_buf(),
+        rel,
+        class,
+        crate_name,
+        source,
+        lexed,
+        waivers,
+    })
+}
+
+fn classify(rel: &str) -> FileClass {
+    if rel.starts_with("crates/compat/") {
+        return FileClass::Compat;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    // `crates/<name>/<role>/...` or root `src/...`.
+    let role = if parts.first() == Some(&"crates") {
+        parts.get(2).copied()
+    } else {
+        parts.first().copied()
+    };
+    match role {
+        Some("tests") | Some("benches") | Some("examples") => FileClass::Test,
+        Some("src") => {
+            let in_bin = if parts.first() == Some(&"crates") {
+                parts.get(3) == Some(&"bin")
+            } else {
+                parts.get(1) == Some(&"bin")
+            };
+            if in_bin {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            }
+        }
+        _ => FileClass::Test,
+    }
+}
+
+fn crate_of(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") {
+        if parts.get(1) == Some(&"compat") {
+            format!("compat/{}", parts.get(2).copied().unwrap_or(""))
+        } else {
+            parts.get(1).copied().unwrap_or("").to_string()
+        }
+    } else {
+        "hrdm".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layout() {
+        assert_eq!(classify("crates/storage/src/wal.rs"), FileClass::Lib);
+        assert_eq!(classify("crates/net/src/bin/hrdmq.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/net/tests/protocol.rs"), FileClass::Test);
+        assert_eq!(classify("crates/bench/benches/scan.rs"), FileClass::Test);
+        assert_eq!(classify("crates/compat/rand/src/lib.rs"), FileClass::Compat);
+        assert_eq!(classify("src/lib.rs"), FileClass::Lib);
+    }
+
+    #[test]
+    fn crate_names_resolve() {
+        assert_eq!(crate_of("crates/storage/src/wal.rs"), "storage");
+        assert_eq!(crate_of("crates/compat/rand/src/lib.rs"), "compat/rand");
+        assert_eq!(crate_of("src/lib.rs"), "hrdm");
+    }
+}

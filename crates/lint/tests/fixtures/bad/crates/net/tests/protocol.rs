@@ -1,0 +1,15 @@
+//! Fixture: a stale strategy-coverage pin — `Frame::Drop` is missing
+//! from `kind_index` and the `[false; N]` arity is one short.
+
+fn kind_index(f: &Frame) -> usize {
+    match f {
+        Frame::Hello { .. } => 0,
+        Frame::Query { .. } => 1,
+    }
+}
+
+fn coverage() {
+    let mut seen = [false; 2];
+    seen[0] = true;
+    let _ = seen;
+}

@@ -1,0 +1,21 @@
+//! Fixture: two functions acquiring the same pair of locks in opposite
+//! orders — a classic inversion deadlock.
+
+use std::sync::Mutex;
+
+pub struct Core {
+    queue: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl Core {
+    pub fn drain(&self) {
+        let _q = self.queue.lock();
+        let _i = self.inner.lock();
+    }
+
+    pub fn publish(&self) {
+        let _i = self.inner.lock();
+        let _q = self.queue.lock();
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: panicking constructs in library code. The lock-poisoning
+//! expect and the test-module unwrap must NOT be flagged.
+
+use std::sync::Mutex;
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn fail() {
+    panic!("boom");
+}
+
+pub fn guard(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned lock")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        let _ = v.unwrap();
+    }
+}

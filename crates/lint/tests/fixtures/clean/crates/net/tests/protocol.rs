@@ -1,0 +1,14 @@
+//! Fixture: the strategy-coverage pin agrees with the enum.
+
+fn kind_index(f: &Frame) -> usize {
+    match f {
+        Frame::Hello { .. } => 0,
+        Frame::Query { .. } => 1,
+    }
+}
+
+fn coverage() {
+    let mut seen = [false; 2];
+    seen[0] = true;
+    let _ = seen;
+}

@@ -1,0 +1,22 @@
+//! Fixture: a lock-order inversion that is waived on one of its
+//! acquisition sites — waiving any anchor waives the whole cycle.
+
+use std::sync::Mutex;
+
+pub struct Core {
+    queue: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl Core {
+    pub fn drain(&self) {
+        let _q = self.queue.lock();
+        let _i = self.inner.lock();
+    }
+
+    pub fn publish(&self) {
+        let _i = self.inner.lock();
+        // lint: lock-order-ok(publish only runs single-threaded during startup, before drain exists)
+        let _q = self.queue.lock();
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: only sanctioned panic forms — the lock-poisoning idiom and
+//! test-module unwraps.
+
+use std::sync::Mutex;
+
+pub fn guard(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned lock")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        let _ = v.unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a Relaxed atomic carrying a proper inline waiver.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(&self) {
+        // lint: atomic-ordering-ok(pure statistic, read only by the metrics endpoint)
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -678,7 +678,11 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
         )));
     }
     let kind = body[1];
-    let request_id = u64::from_be_bytes(body[2..10].try_into().expect("8 bytes"));
+    let request_id = u64::from_be_bytes(
+        body[2..10]
+            .try_into()
+            .map_err(|_| FrameError::Protocol("frame body header truncated".into()))?,
+    );
     let mut d = Decoder::new(&body[BODY_HEADER..]);
     let frame = match kind {
         0x01 => Frame::Hello {

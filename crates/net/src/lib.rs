@@ -25,6 +25,7 @@
 //! identically over the wire because the server answers from the exact
 //! same snapshots an in-process reader would use.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -413,6 +413,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         let shared = Arc::clone(shared);
         std::thread::spawn(move || {
+            // lint: atomic-ordering-ok(session ids only need uniqueness; no data is published through this counter)
             let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed);
             session(&shared, stream, session_id);
             // The slot is freed however the session ended — clean close,

@@ -30,6 +30,7 @@
 //! enforced); [`set_enabled`] flips the same switch programmatically
 //! for in-process A/B runs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

@@ -214,6 +214,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                         continue;
                     }
+                    // lint: no-panic-ok(the matches! guard on this branch admits only the idents consumed above)
                     unreachable!("guarded by matches! above");
                 } else if bytes
                     .get(i + 1)

@@ -37,6 +37,7 @@
 //! (select/TIME-SLICE commutation, distribution over set operators, …) as
 //! rewrite rules, and [`explain()`] renders plans and rewrite traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

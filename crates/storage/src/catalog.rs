@@ -163,6 +163,7 @@ impl Catalog {
     ) -> Result<()> {
         self.edit_als(relation, attribute, |als| match at.pred() {
             Some(end) => {
+                // lint: no-panic-ok(Interval::new only errs when lo > hi, impossible with lo = Chronon::MIN)
                 als.clamp(hrdm_time::Interval::new(Chronon::MIN, end).expect("MIN <= end"))
             }
             None => Lifespan::empty(),

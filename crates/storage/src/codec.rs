@@ -314,7 +314,10 @@ impl<'a> Decoder<'a> {
             0 => Ok(Value::Int(self.get_i64()?)),
             1 => {
                 let raw = self.take(8)?;
-                let bits = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+                let bits = u64::from_le_bytes(
+                    raw.try_into()
+                        .map_err(|_| CodecError::Invariant("float width"))?,
+                );
                 Value::float(f64::from_bits(bits)).map_err(|_| CodecError::Invariant("NaN float"))
             }
             2 => Ok(Value::str(self.get_str()?)),

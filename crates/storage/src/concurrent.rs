@@ -195,7 +195,11 @@ impl ConcurrentDatabase {
         self.write_group(vec![op])
             .into_iter()
             .next()
-            .expect("one result per op")
+            .unwrap_or_else(|| {
+                Err(DbError::Mode(
+                    "internal: write_group returned no result for a one-op group".into(),
+                ))
+            })
     }
 
     /// Group-commit write of several ops as one **atomic group**: the ops
@@ -243,6 +247,7 @@ impl ConcurrentDatabase {
                     }
                 }
                 Err(std::sync::TryLockError::Poisoned(e)) => {
+                    // lint: no-panic-ok(a poisoned database lock means a writer crashed mid-commit; propagating the crash beats publishing torn state)
                     panic!("database lock poisoned: {e}")
                 }
             }
@@ -333,8 +338,15 @@ impl ConcurrentDatabase {
                 contents: relation,
             },
         ]);
-        let [create, put]: [Result<(), DbError>; 2] =
-            results.try_into().expect("two results for two ops");
+        let mut results = results.into_iter();
+        let (create, put) = match (results.next(), results.next()) {
+            (Some(create), Some(put)) => (create, put),
+            _ => {
+                return Err(DbError::Mode(
+                    "internal: write_group returned fewer results than ops".into(),
+                ))
+            }
+        };
         match create {
             // Already existed (possibly created by a racing
             // materialization an instant ago): replace is the semantics.

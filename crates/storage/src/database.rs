@@ -247,6 +247,7 @@ impl Database {
     fn apply_create_unchecked(&mut self, name: &str, scheme: Scheme) {
         Arc::make_mut(&mut self.catalog)
             .create_relation(name, scheme.clone())
+            // lint: no-panic-ok(stage() validated the name is fresh against this exact state; divergence is a logic bug where crashing beats corrupting)
             .expect("pre-validated: relation name is fresh");
         let relation = Relation::new(scheme);
         self.indexes.insert(
@@ -308,9 +309,11 @@ impl Database {
 
     /// Commits one operation — a one-element [`Database::commit_batch`].
     fn commit_one(&mut self, record: WalRecord) -> Result<(), DbError> {
-        self.commit_batch(vec![record])
-            .pop()
-            .expect("commit_batch returns one result per op")
+        self.commit_batch(vec![record]).pop().unwrap_or_else(|| {
+            Err(DbError::Mode(
+                "internal: commit_batch returned no result for a one-op batch".into(),
+            ))
+        })
     }
 
     /// Validates, applies, and durably logs a **batch** of mutations with a
@@ -336,10 +339,9 @@ impl Database {
             return Vec::new();
         }
         if self.check_writable().is_err() {
-            return ops
-                .iter()
-                .map(|_| Err(self.check_writable().expect_err("writability rechecked")))
-                .collect();
+            // Re-derive the refusal per op: `check_writable` is pure in
+            // `&self`, so every call yields the same poisoned-WAL error.
+            return ops.iter().map(|_| self.check_writable()).collect();
         }
         let undo = self.attachment.as_ref().map(|_| self.undo_point(&ops));
         let mut results: Vec<Result<(), DbError>> = Vec::with_capacity(ops.len());
@@ -367,7 +369,9 @@ impl Database {
                     if let Ok(offset) = pre_append_offset {
                         let _ = att.wal.rollback_to(offset);
                     }
-                    self.rollback(undo.expect("attached batches record an undo point"));
+                    if let Some(undo) = undo {
+                        self.rollback(undo);
+                    }
                     // Nothing in the batch is durable, so nothing in it is
                     // acknowledged — even in-batch no-ops, whose "already
                     // present" justification may have been rolled back.
@@ -582,6 +586,7 @@ impl Database {
     }
 
     fn apply_insert_unchecked(&mut self, name: &str, tuple: Tuple) {
+        // lint: no-panic-ok(stage() validated the relation exists in this exact state; divergence is a logic bug where crashing beats corrupting)
         let rel = self.relations.get_mut(name).expect("pre-validated");
         if let Some(idx) = self.indexes.get_mut(name) {
             // Copy-on-write: shared with a snapshot → clone once, then
@@ -1132,15 +1137,16 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
             catalog_path.display()
         )));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let truncated = || DbError::BadFile(format!("{}: truncated header", catalog_path.display()));
+    let version = le_u32_at(&bytes, 4).ok_or_else(truncated)?;
     if version != VERSION {
         return Err(DbError::BadFile(format!(
             "{}: unsupported version {version}",
             catalog_path.display()
         )));
     }
-    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    let epoch = le_u64_at(&bytes, 8).ok_or_else(truncated)?;
+    let len = le_u64_at(&bytes, 16).ok_or_else(truncated)? as usize;
     if bytes.len() < 24 + len + 4 {
         return Err(DbError::BadFile(format!(
             "{}: truncated catalog",
@@ -1148,7 +1154,7 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
         )));
     }
     let payload = &bytes[24..24 + len];
-    let stored_crc = u32::from_le_bytes(bytes[24 + len..24 + len + 4].try_into().expect("4 bytes"));
+    let stored_crc = le_u32_at(&bytes, 24 + len).ok_or_else(truncated)?;
     if crc32(payload) != stored_crc {
         return Err(DbError::BadFile(format!(
             "{}: catalog checksum mismatch",
@@ -1181,10 +1187,12 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
     let mut relations = BTreeMap::new();
     let names: Vec<String> = catalog.relations().map(str::to_string).collect();
     for name in names {
-        let scheme = catalog
-            .scheme(&name)
-            .expect("catalog lists its own relations")
-            .clone();
+        let Some(scheme) = catalog.scheme(&name).cloned() else {
+            return Err(DbError::BadFile(format!(
+                "{}: catalog is inconsistent about relation `{name}`",
+                catalog_path.display()
+            )));
+        };
         let Some(parts) = manifest.get(&name) else {
             return Err(DbError::BadFile(format!(
                 "{}: relation `{name}` missing from the partition manifest",
@@ -1236,11 +1244,29 @@ fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("wal.{epoch}.log"))
 }
 
-/// A sibling temp path for atomic writes (`<file>.tmp`).
+/// A sibling temp path for atomic writes (`<file>.tmp`). Every caller
+/// passes a real file path; a bare root degrades to a generic name.
 fn tmp_sibling(path: &Path) -> PathBuf {
-    let mut name = path.file_name().expect("file path").to_os_string();
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("hrdm"));
     name.push(".tmp");
     path.with_file_name(name)
+}
+
+/// `u32::from_le_bytes` over `bytes[at..at + 4]`; `None` when short.
+fn le_u32_at(bytes: &[u8], at: usize) -> Option<u32> {
+    let b = bytes.get(at..at + 4)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// `u64::from_le_bytes` over `bytes[at..at + 8]`; `None` when short.
+fn le_u64_at(bytes: &[u8], at: usize) -> Option<u64> {
+    let b = bytes.get(at..at + 8)?;
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(b);
+    Some(u64::from_le_bytes(arr))
 }
 
 /// Best-effort directory fsync, making renames durable (a no-op on

@@ -50,7 +50,7 @@ impl HeapFile {
                 "heap file length is not a multiple of the page size",
             ));
         }
-        let mut pages = Vec::with_capacity(len / PAGE_SIZE);
+        let mut pages = Vec::with_capacity((len / PAGE_SIZE).min(4096));
         let mut buf = [0u8; PAGE_SIZE];
         file.seek(SeekFrom::Start(0))?;
         for i in 0..len / PAGE_SIZE {
@@ -89,9 +89,14 @@ impl HeapFile {
             }
         }
         let mut page = Page::new();
-        let slot = page
-            .insert(record)
-            .expect("fresh page must accept a fitting record");
+        let Some(slot) = page.insert(record) else {
+            // Unreachable past the size guard above, but refusing is
+            // strictly better than unwinding mid-append.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "record does not fit an empty page",
+            ));
+        };
         self.pages.push(page);
         Ok(RecordId {
             page: (self.pages.len() - 1) as u32,

@@ -31,6 +31,7 @@
 //!   plus a leader/follower **group-commit** writer that batches
 //!   concurrent mutations into single fsync'd WAL frames.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

@@ -32,10 +32,7 @@ impl Page {
     /// A fresh, empty page.
     pub fn new() -> Page {
         let mut p = Page {
-            data: vec![0u8; PAGE_SIZE]
-                .into_boxed_slice()
-                .try_into()
-                .expect("sized"),
+            data: Box::new([0u8; PAGE_SIZE]),
         };
         p.set_free_ptr(PAGE_SIZE as u16);
         p

@@ -153,6 +153,7 @@ impl Partition {
     fn add(&mut self, pos: usize, tuple: &Tuple) {
         let local = self.positions.len();
         self.positions
+            // lint: no-panic-ok(record ids are u32 on disk, so an in-memory relation can never reach u32::MAX rows)
             .push(u32::try_from(pos).expect("relation fits in u32 positions"));
         if let (Some(first), Some(last)) = (tuple.lifespan().first(), tuple.lifespan().last()) {
             self.min_lo = self.min_lo.min(first.tick());

@@ -291,14 +291,19 @@ impl Wal {
         let mut records = Vec::new();
         let mut pos = 0usize;
         while pos + 8 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let Some(len) = le_u32(&bytes, pos) else {
+                return Ok((records, Some(pos as u64))); // torn tail
+            };
+            let len = len as usize;
             let start = pos + 4;
             let end = start + len;
             if end + 4 > bytes.len() {
                 return Ok((records, Some(pos as u64))); // torn tail
             }
             let payload = &bytes[start..end];
-            let stored = u32::from_le_bytes(bytes[end..end + 4].try_into().expect("4 bytes"));
+            let Some(stored) = le_u32(&bytes, end) else {
+                return Ok((records, Some(pos as u64))); // torn tail
+            };
             if crc32(payload) != stored {
                 return Ok((records, Some(pos as u64))); // corrupted record
             }
@@ -330,6 +335,13 @@ impl Wal {
         file.set_len(0)?;
         file.sync_all()
     }
+}
+
+/// `u32::from_le_bytes` over `bytes[at..at + 4]`; `None` when the log is
+/// shorter (treated by replay as a torn tail).
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let b = bytes.get(at..at + 4)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@
 //! `Vec<Interval>` in canonical (disjoint, maximal, ordered) form, so equality
 //! is structural and the binary set operations are linear merges.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod allen;

@@ -22,6 +22,7 @@
 //!
 //! Start with [`prelude`], the `examples/` directory, and `DESIGN.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hrdm_baseline as baseline;
