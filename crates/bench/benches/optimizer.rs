@@ -1,3 +1,7 @@
+// The legacy materializing evaluator stays the reference oracle for the
+// streaming executor, so this file uses it deliberately.
+#![allow(deprecated)]
+
 //! E10 — the §5 algebraic identities as an optimizer, measured.
 //!
 //! The canonical win: `τ_L(σ-WHEN(p)(π_X(r)))` rewritten so the slice runs

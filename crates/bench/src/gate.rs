@@ -2,7 +2,7 @@
 //! artifact, and compare against a committed baseline.
 //!
 //! The `bench-json` binary drives this module in CI: it runs the tracked
-//! benches, writes `BENCH_3.json`, and **fails** when any tracked bench's
+//! benches, writes `BENCH_8.json`, and **fails** when any tracked bench's
 //! median regresses more than the tolerance (default 25%, override with
 //! `HRDM_BENCH_TOLERANCE`) against `bench/baseline.json`. The comparison
 //! logic lives here, in library code, so the gate itself is unit-tested —

@@ -99,6 +99,9 @@ impl LintConfig {
                 "crates/storage/src/database.rs".into(),
                 "crates/storage/src/heap.rs".into(),
                 "crates/storage/src/page.rs".into(),
+                // Streaming executor: batch buffers sized from caller-
+                // supplied options must be capped before allocation.
+                "crates/query/src/exec.rs".into(),
             ],
             frame_file: "crates/net/src/frame.rs".into(),
             coverage_file: "crates/net/tests/protocol.rs".into(),

@@ -338,7 +338,7 @@ fn explain_analyze(shell: &mut Shell, line: &str) {
                 Ok(Some(text)) => print!("{text}"),
                 Ok(None) => println!("(only relation-sorted queries have a relational plan)"),
                 Err(PipelineError::Parse(e)) => println!("parse error: {e}"),
-                Err(PipelineError::Eval(e)) => println!("error: {e}"),
+                Err(e) => println!("{e}"),
             }
         }
     }
@@ -358,7 +358,7 @@ fn explain(shell: &mut Shell, text: &str) {
             Ok(Some(plan)) => println!("{plan}"),
             Ok(None) => println!("(only relation-sorted queries have a relational plan)"),
             Err(PipelineError::Parse(e)) => println!("parse error: {e}"),
-            Err(PipelineError::Eval(e)) => println!("error: {e}"),
+            Err(e) => println!("{e}"),
         },
     }
 }

@@ -242,6 +242,10 @@ pub struct ServerStats {
     pub request_p95_ns: u64,
     /// 99th-percentile end-to-end request latency (ns, estimate).
     pub request_p99_ns: u64,
+    /// Result rows streamed to clients by the pull-based executor.
+    pub rows_streamed: u64,
+    /// Result batches streamed to clients by the pull-based executor.
+    pub batches_streamed: u64,
     /// `(name, tuple count)` for every relation in that snapshot.
     pub relations: Vec<(String, u64)>,
 }
@@ -283,6 +287,11 @@ impl fmt::Display for ServerStats {
             mean,
             self.commit_max_batch,
             self.commit_last_batch
+        )?;
+        writeln!(
+            f,
+            "streamed: {} row(s) in {} batch(es)",
+            self.rows_streamed, self.batches_streamed
         )?;
         write!(f, "snapshot: version {}", self.snapshot_version)
     }
@@ -340,12 +349,15 @@ pub enum Frame {
         /// Free-form server name (diagnostics only).
         server: String,
     },
-    /// Starts a relation-sorted result stream: the scheme and the total
-    /// row count, followed by [`Frame::RowChunk`]s and a [`Frame::Done`].
+    /// Starts a relation-sorted result stream: the scheme, followed by
+    /// [`Frame::RowChunk`]s and a [`Frame::Done`].
     RelationHeader {
         /// The result's scheme.
         scheme: Scheme,
-        /// Total rows that will be streamed.
+        /// Total rows that will be streamed, when known up front. Since
+        /// the server streams chunks from a live executor, this is `0`
+        /// (unknown) — the authoritative count arrives in
+        /// [`Frame::Done`]. Receivers must treat it as a hint only.
         rows: u64,
     },
     /// One chunk of result tuples.
@@ -355,8 +367,8 @@ pub enum Frame {
     },
     /// Ends a result stream.
     Done {
-        /// Rows actually streamed (equals the header's count unless the
-        /// stream was cut by an error frame instead).
+        /// Rows actually streamed — the authoritative result size (the
+        /// header's count is only a hint).
         rows: u64,
     },
     /// A lifespan-sorted result.
@@ -572,6 +584,8 @@ fn put_stats(e: &mut Encoder, s: &ServerStats) {
     e.put_u64(s.request_p50_ns);
     e.put_u64(s.request_p95_ns);
     e.put_u64(s.request_p99_ns);
+    e.put_u64(s.rows_streamed);
+    e.put_u64(s.batches_streamed);
     e.put_u64(s.relations.len() as u64);
     for (name, count) in &s.relations {
         e.put_str(name);
@@ -599,6 +613,8 @@ fn get_stats(d: &mut Decoder<'_>) -> Result<ServerStats, FrameError> {
         request_p50_ns: d.get_u64()?,
         request_p95_ns: d.get_u64()?,
         request_p99_ns: d.get_u64()?,
+        rows_streamed: d.get_u64()?,
+        batches_streamed: d.get_u64()?,
         relations: Vec::new(),
     };
     let n = d.get_u64()? as usize;

@@ -38,8 +38,9 @@ use crate::frame::{
 };
 use hrdm_obs::{Counter, Gauge, Histogram, Registry, SlowEntry, SlowLog};
 use hrdm_query::{
-    explain_analyze_query_text, explain_query_text, run_query_on_snapshot_timed,
-    strip_explain_analyze, PipelineError, QueryResult,
+    explain_analyze_query_text, explain_query_text, stream_query_on_snapshot,
+    strip_explain_analyze, ExecError, ExecOptions, PipelineError, QueryResult, QueryStream,
+    StreamedQuery,
 };
 use hrdm_storage::ConcurrentDatabase;
 use std::collections::{BTreeSet, HashMap};
@@ -109,6 +110,8 @@ struct Counters {
     exec_ns: Arc<Counter>,
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
+    rows_streamed: Arc<Counter>,
+    batches_streamed: Arc<Counter>,
     request_ns: Arc<Histogram>,
     request_ns_query: Arc<Histogram>,
     request_ns_prepare: Arc<Histogram>,
@@ -162,6 +165,14 @@ impl Counters {
             "hrdm_net_bytes_out_total",
             "Response bytes written to client sockets",
         );
+        let rows_streamed = registry.counter(
+            "hrdm_net_rows_streamed_total",
+            "Result rows streamed to clients from live executors",
+        );
+        let batches_streamed = registry.counter(
+            "hrdm_net_batches_streamed_total",
+            "Result batches streamed to clients from live executors",
+        );
         let hist = |kind: &str| {
             registry.histogram(
                 &format!("hrdm_net_request_ns_{kind}"),
@@ -183,6 +194,8 @@ impl Counters {
             exec_ns,
             bytes_in,
             bytes_out,
+            rows_streamed,
+            batches_streamed,
             request_ns,
             request_ns_query: hist("query"),
             request_ns_prepare: hist("prepare"),
@@ -245,6 +258,8 @@ impl Shared {
             request_p50_ns: request_ns.p50().unwrap_or(0),
             request_p95_ns: request_ns.p95().unwrap_or(0),
             request_p99_ns: request_ns.p99().unwrap_or(0),
+            rows_streamed: self.counters.rows_streamed.get(),
+            batches_streamed: self.counters.batches_streamed.get(),
             relations: snap
                 .relation_names()
                 .map(|name| {
@@ -573,7 +588,7 @@ fn worker_loop(
     stream: &mut TcpStream,
     rx: &mpsc::Receiver<SessionEvent>,
     outstanding: &AtomicI64,
-    cancelled: &Mutex<BTreeSet<u64>>,
+    cancelled: &Arc<Mutex<BTreeSet<u64>>>,
 ) {
     let mut hello_done = false;
     while let Ok(event) = rx.recv() {
@@ -670,7 +685,7 @@ fn serve(
     stream: &mut TcpStream,
     req: u64,
     frame: Frame,
-    cancelled: &Mutex<BTreeSet<u64>>,
+    cancelled: &Arc<Mutex<BTreeSet<u64>>>,
 ) -> bool {
     shared.counters.requests.inc();
     let kind = shared.counters.request_kind(&frame);
@@ -756,7 +771,7 @@ fn serve_query(
     stream: &mut TcpStream,
     req: u64,
     text: &str,
-    cancelled: &Mutex<BTreeSet<u64>>,
+    cancelled: &Arc<Mutex<BTreeSet<u64>>>,
 ) -> bool {
     if is_cancelled(cancelled, req) {
         shared.counters.cancelled.inc();
@@ -771,111 +786,141 @@ fn serve_query(
         .is_ok();
     }
     let snap = shared.db.snapshot();
-    match run_query_on_snapshot_timed(text, &*snap) {
-        Ok((result, timing)) => {
+    // The executor pulls this probe between batches, so a Cancel frame
+    // routed out of band by the reader thread aborts the scan itself —
+    // within one batch boundary — not just the chunk loop.
+    let probe_set = Arc::clone(cancelled);
+    let opts = ExecOptions {
+        batch_rows: shared.config.chunk_rows.max(1),
+        max_rows: Some(shared.config.max_result_rows),
+        cancel: Some(Arc::new(move || {
+            probe_set
+                .lock()
+                .map(|set| set.contains(&req))
+                .unwrap_or(false)
+        })),
+        ..ExecOptions::default()
+    };
+    let ok = match stream_query_on_snapshot(text, &*snap, &opts) {
+        Ok(StreamedQuery::Rows(rows)) => {
+            shared.counters.plan_ns.add(rows.plan_ns());
+            let exec_started = Instant::now();
+            let ok = stream_live(shared, stream, req, rows);
+            shared
+                .counters
+                .exec_ns
+                .add(exec_started.elapsed().as_nanos() as u64);
+            ok
+        }
+        Ok(StreamedQuery::Lifespan { value, timing }) => {
             shared.counters.plan_ns.add(timing.plan_ns);
             shared.counters.exec_ns.add(timing.exec_ns);
-            match result {
-                QueryResult::Relation(r) => stream_relation(shared, stream, req, &r, cancelled),
-                QueryResult::Lifespan(lifespan) => {
-                    send(shared, stream, req, &Frame::LifespanResult { lifespan }).is_ok()
-                }
-                QueryResult::Function(value) => {
-                    send(shared, stream, req, &Frame::FunctionResult { value }).is_ok()
-                }
-            }
+            send(
+                shared,
+                stream,
+                req,
+                &Frame::LifespanResult { lifespan: value },
+            )
+            .is_ok()
         }
-        Err(e) => send(
-            shared,
-            stream,
-            req,
-            &Frame::Error {
-                error: pipeline_error(&e),
-            },
-        )
-        .is_ok(),
-    }
+        Ok(StreamedQuery::Function { value, timing }) => {
+            shared.counters.plan_ns.add(timing.plan_ns);
+            shared.counters.exec_ns.add(timing.exec_ns);
+            send(shared, stream, req, &Frame::FunctionResult { value }).is_ok()
+        }
+        Err(e) => {
+            if matches!(e, PipelineError::Cancelled) {
+                shared.counters.cancelled.inc();
+            }
+            send(
+                shared,
+                stream,
+                req,
+                &Frame::Error {
+                    error: pipeline_error(&e),
+                },
+            )
+            .is_ok()
+        }
+    };
+    ok
 }
 
-/// Streams a relation result as header + chunks + done, enforcing the
-/// row/byte caps and the cancel flag at chunk granularity.
-fn stream_relation(
+/// Streams a live executor's batches as header + chunks + done. Each
+/// `RowChunk` is encoded from a batch as the executor produces it, so the
+/// first chunk reaches the client before the scan has finished, and a
+/// Cancel (or the row cap) cuts the stream mid-scan. The byte cap is
+/// enforced here, on actual encoded frame sizes.
+fn stream_live(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
     req: u64,
-    r: &hrdm_core::Relation,
-    cancelled: &Mutex<BTreeSet<u64>>,
+    mut rows: QueryStream<'_>,
 ) -> bool {
-    let rows = r.len() as u64;
-    if rows > shared.config.max_result_rows {
-        return send(
-            shared,
-            stream,
-            req,
-            &Frame::Error {
-                error: WireError::Limit(format!(
-                    "result has {rows} rows; the server caps results at {} rows",
-                    shared.config.max_result_rows
-                )),
-            },
-        )
-        .is_ok();
-    }
     if send(
         shared,
         stream,
         req,
         &Frame::RelationHeader {
-            scheme: r.scheme().clone(),
-            rows,
+            scheme: rows.scheme().clone(),
+            rows: 0, // unknown until the stream drains; Done is authoritative
         },
     )
     .is_err()
     {
         return false;
     }
-    let tuples: Vec<hrdm_core::Tuple> = r.iter().cloned().collect(); // Arc-backed: O(rows) pointer bumps
+    let mut sent_rows: u64 = 0;
     let mut sent_bytes: u64 = 0;
-    for chunk in tuples.chunks(shared.config.chunk_rows.max(1)) {
-        if is_cancelled(cancelled, req) {
-            shared.counters.cancelled.inc();
-            return send(
-                shared,
-                stream,
-                req,
-                &Frame::Error {
-                    error: WireError::Cancelled,
-                },
-            )
-            .is_ok();
-        }
-        let frame = Frame::RowChunk {
-            tuples: chunk.to_vec(),
-        };
-        let bytes = crate::frame::encode_frame(req, &frame);
-        sent_bytes += bytes.len() as u64;
-        if sent_bytes > shared.config.max_result_bytes {
-            return send(
-                shared,
-                stream,
-                req,
-                &Frame::Error {
-                    error: WireError::Limit(format!(
-                        "result stream exceeds the {}-byte cap",
-                        shared.config.max_result_bytes
+    loop {
+        match rows.next_batch() {
+            Ok(Some(batch)) => {
+                let n = batch.len() as u64;
+                let frame = Frame::RowChunk {
+                    tuples: batch.into_rows(),
+                };
+                let bytes = crate::frame::encode_frame(req, &frame);
+                sent_bytes += bytes.len() as u64;
+                if sent_bytes > shared.config.max_result_bytes {
+                    return send(
+                        shared,
+                        stream,
+                        req,
+                        &Frame::Error {
+                            error: WireError::Limit(format!(
+                                "result stream exceeds the {}-byte cap",
+                                shared.config.max_result_bytes
+                            )),
+                        },
+                    )
+                    .is_ok();
+                }
+                use std::io::Write;
+                shared.counters.frames_out.inc();
+                shared.counters.bytes_out.add(bytes.len() as u64);
+                if stream.write_all(&bytes).is_err() {
+                    return false;
+                }
+                sent_rows += n;
+                shared.counters.rows_streamed.add(n);
+                shared.counters.batches_streamed.inc();
+            }
+            Ok(None) => return send(shared, stream, req, &Frame::Done { rows: sent_rows }).is_ok(),
+            Err(e) => {
+                let error = match e {
+                    ExecError::Cancelled => {
+                        shared.counters.cancelled.inc();
+                        WireError::Cancelled
+                    }
+                    ExecError::RowLimit(n) => WireError::Limit(format!(
+                        "result exceeds the cap of {n} rows; the stream was cut off"
                     )),
-                },
-            )
-            .is_ok();
-        }
-        use std::io::Write;
-        shared.counters.frames_out.inc();
-        shared.counters.bytes_out.add(bytes.len() as u64);
-        if stream.write_all(&bytes).is_err() {
-            return false;
+                    ExecError::Eval(h) => WireError::from(&h),
+                };
+                return send(shared, stream, req, &Frame::Error { error }).is_ok();
+            }
         }
     }
-    send(shared, stream, req, &Frame::Done { rows }).is_ok()
 }
 
 fn serve_prepare(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, text: &str) -> bool {
@@ -957,6 +1002,8 @@ fn pipeline_error(e: &PipelineError) -> WireError {
     match e {
         PipelineError::Parse(p) => WireError::Parse(p.to_string()),
         PipelineError::Eval(m) => WireError::from(m),
+        PipelineError::Cancelled => WireError::Cancelled,
+        PipelineError::Limit(m) => WireError::Limit(m.clone()),
     }
 }
 

@@ -126,7 +126,7 @@ fn wire_error_strategy() -> impl Strategy<Value = WireError> {
 
 fn stats_strategy() -> impl Strategy<Value = ServerStats> {
     (
-        prop::collection::vec(any::<u64>(), 18),
+        prop::collection::vec(any::<u64>(), 20),
         prop::collection::vec(("[a-z]{1,8}", any::<u64>()), 0..4),
     )
         .prop_map(|(n, relations)| ServerStats {
@@ -148,6 +148,8 @@ fn stats_strategy() -> impl Strategy<Value = ServerStats> {
             request_p50_ns: n[15],
             request_p95_ns: n[16],
             request_p99_ns: n[17],
+            rows_streamed: n[18],
+            batches_streamed: n[19],
             relations,
         })
 }

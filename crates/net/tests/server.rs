@@ -516,3 +516,104 @@ fn racing_remote_materializations_both_succeed() {
     assert_eq!(db.snapshot().relation("m").unwrap().len(), 5);
     server.shutdown();
 }
+
+/// The cancel-latency acceptance scenario: on a 100 000-row scan, a
+/// `Cancel` that lands while the stream is live aborts it mid-scan — the
+/// client receives a partial row count and a structured `Cancelled`, not
+/// the full result. Driven over raw frames so the test controls exactly
+/// when the cancel is sent (after the stream has demonstrably started)
+/// instead of racing a sleep against the server.
+#[test]
+fn cancel_aborts_a_100k_scan_mid_stream() {
+    let (server, db) = spawn_server(ServerConfig {
+        chunk_rows: 64,
+        ..ServerConfig::default()
+    });
+    db.create_relation("r", scheme()).unwrap();
+    let tuples: Vec<Tuple> = (0..100_000i64).map(tup).collect();
+    // Keys 0..100_000 are distinct by construction; the unchecked
+    // constructor skips the O(n²) key-constraint validation, which would
+    // dominate the test at this scale.
+    db.put_relation("r", Relation::from_parts_unchecked(scheme(), tuples))
+        .unwrap();
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_nodelay(true).ok();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    write_frame(
+        &mut raw,
+        1,
+        &Frame::Hello {
+            version: PROTO_VERSION,
+            client: "cancel-acceptance".into(),
+        },
+    )
+    .unwrap();
+    match read_frame(&mut raw).unwrap() {
+        (1, Frame::HelloAck { .. }) => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    write_frame(&mut raw, 2, &Frame::Query { text: "r".into() }).unwrap();
+    // The live executor streams before it knows the total: header first.
+    match read_frame(&mut raw).unwrap() {
+        (2, Frame::RelationHeader { rows, .. }) => {
+            assert_eq!(rows, 0, "streaming headers must not pre-announce totals");
+        }
+        other => panic!("expected RelationHeader, got {other:?}"),
+    }
+    // One chunk proves the scan is running; then cancel immediately, with
+    // ~99.9% of the scan still ahead of the server.
+    let mut received = 0usize;
+    match read_frame(&mut raw).unwrap() {
+        (2, Frame::RowChunk { tuples }) => received += tuples.len(),
+        other => panic!("expected RowChunk, got {other:?}"),
+    }
+    write_frame(&mut raw, 2, &Frame::Cancel).unwrap();
+
+    // Drain: buffered chunks may still arrive, then the executor's probe
+    // fires at a batch boundary and the stream ends in `Cancelled`.
+    loop {
+        match read_frame(&mut raw).unwrap() {
+            (2, Frame::RowChunk { tuples }) => received += tuples.len(),
+            (
+                2,
+                Frame::Error {
+                    error: WireError::Cancelled,
+                },
+            ) => break,
+            (2, Frame::Done { .. }) => panic!("scan ran to completion despite the cancel"),
+            other => panic!("expected RowChunk/Cancelled, got {other:?}"),
+        }
+    }
+    assert!(
+        received > 0 && received < 100_000,
+        "expected a partial stream, got {received} of 100000 rows"
+    );
+
+    // The session survives for the next request on the same socket.
+    write_frame(
+        &mut raw,
+        3,
+        &Frame::Query {
+            text: "WHEN (r)".into(),
+        },
+    )
+    .unwrap();
+    match read_frame(&mut raw).unwrap() {
+        (3, Frame::LifespanResult { lifespan }) => assert!(!lifespan.is_empty()),
+        other => panic!("expected LifespanResult, got {other:?}"),
+    }
+
+    // The server accounted the abort and the partial stream.
+    let mut observer = Client::connect(server.addr()).unwrap();
+    let stats = observer.stats().unwrap();
+    assert_eq!(stats.cancelled, 1);
+    assert!(
+        stats.rows_streamed as usize >= received && (stats.rows_streamed as usize) < 100_000,
+        "rows_streamed = {}",
+        stats.rows_streamed
+    );
+    assert!(stats.batches_streamed > 0);
+    server.shutdown();
+}

@@ -54,7 +54,15 @@ pub enum QueryResult {
     Function(hrdm_core::TemporalValue),
 }
 
-/// Evaluates a top-level query.
+/// Evaluates a top-level query by materializing every intermediate
+/// relation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the streaming executor API instead: `stream_query_on_snapshot` \
+            (or `run_query_on_snapshot` to collect) runs the same algebra \
+            through bounded batches with per-batch caps and cancellation"
+)]
+#[allow(deprecated)]
 pub fn evaluate(q: &Query, src: &dyn RelationSource) -> Result<QueryResult> {
     match q {
         Query::Relation(e) => Ok(QueryResult::Relation(eval_expr(e, src)?)),
@@ -68,7 +76,16 @@ pub fn evaluate(q: &Query, src: &dyn RelationSource) -> Result<QueryResult> {
     }
 }
 
-/// Evaluates a relation-sorted expression.
+/// Evaluates a relation-sorted expression, materializing every
+/// intermediate relation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the streaming executor API instead: plan the expression and \
+            drive `crate::exec::build_executor`'s tree (or call \
+            `stream_query_on_snapshot`) for bounded-memory, cancellable \
+            evaluation"
+)]
+#[allow(deprecated)]
 pub fn eval_expr(e: &Expr, src: &dyn RelationSource) -> Result<Relation> {
     match e {
         Expr::Relation(name) => src
@@ -116,7 +133,10 @@ pub fn eval_expr(e: &Expr, src: &dyn RelationSource) -> Result<Relation> {
     }
 }
 
-/// Evaluates a lifespan-sorted expression.
+/// Evaluates a lifespan-sorted expression. Lifespans are scalar-sized, so
+/// this is not deprecated — the streaming executor itself uses it to
+/// resolve lifespan parameters at `open`.
+#[allow(deprecated)] // WHEN embeds a relation expression.
 pub fn eval_lifespan(l: &LifespanExpr, src: &dyn RelationSource) -> Result<Lifespan> {
     match l {
         LifespanExpr::Literal(ls) => Ok(ls.clone()),
@@ -130,6 +150,7 @@ pub fn eval_lifespan(l: &LifespanExpr, src: &dyn RelationSource) -> Result<Lifes
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the materialized entry points stay covered until removal
 mod tests {
     use super::*;
     use crate::parser::{parse_expr, parse_query};

@@ -1,0 +1,1639 @@
+//! The streaming executor: pull-based, batch-at-a-time query evaluation.
+//!
+//! [`crate::plan()`] turns an optimized expression into a [`Plan`];
+//! this module turns that plan into a tree of [`QueryExecutor`]s — one
+//! executor per physical operator — that is driven Volcano-style:
+//! `open()` prepares the operator (and returns its output [`Scheme`]),
+//! `next_batch()` yields bounded [`RowBatch`]es of `Arc`-backed tuples,
+//! `close()` releases resources. Row caps and cancellation are enforced
+//! *per batch* at the stream root ([`QueryStream`]), so a runaway scan is
+//! cut off within one batch boundary instead of after full
+//! materialization.
+//!
+//! ## Operator classes
+//!
+//! * **Streaming** — scans and the per-tuple unaries (σWHEN, σIF, π, τ,
+//!   τ@A) never hold more than one batch: each input tuple maps to at
+//!   most one output tuple independently of every other tuple.
+//! * **Blocking** — joins, products, and the six set operators consume
+//!   their children fully at `open()` (checking cancellation between
+//!   input batches), compute their result with the *exact same* algebra
+//!   functions the materializing evaluator uses, then stream it out in
+//!   batches. Planned ≡ unplanned ≡ streamed equivalence is asserted by
+//!   the workspace's differential suites.
+//! * **`Gather`** — a parallel leaf: a `SeqScan` (plus any
+//!   stack of per-tuple unaries directly above it) over a relation of at
+//!   least [`ExecOptions::parallel_min_rows`] rows is fused into one
+//!   executor that splits the scan into *morsels* (the relation's
+//!   partition-map position sets when one exists, fixed-size position
+//!   ranges otherwise), claims them from a shared atomic cursor across
+//!   `workers` threads, and funnels result batches through one bounded
+//!   channel. Batch order is nondeterministic; relations are sets, so
+//!   results are unaffected.
+//!
+//! Every executor keeps per-operator [`ExecStats`] (rows, batches,
+//! inclusive wall time); `EXPLAIN ANALYZE` renders the executor tree with
+//! those numbers.
+
+use crate::eval::eval_lifespan;
+use crate::plan::{
+    indexed_natural_join, indexed_time_join, node_label, probe_line, record_scan_access,
+    unary_label, valid_partitions, AccessPath, BinaryOp, IndexSource, Plan, UnaryOp,
+};
+use hrdm_core::algebra::{
+    cartesian_product, difference, difference_o, intersection, intersection_o, natural_join,
+    theta_join, time_join, union, union_o, Comparator, Predicate, Quantifier,
+};
+use hrdm_core::{Attribute, HrdmError, Relation, Scheme, Tuple};
+use hrdm_index::RelationIndexes;
+use hrdm_time::Lifespan;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The default number of rows per [`RowBatch`].
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// The hard ceiling on one batch's row capacity — allocation sizes derived
+/// from caller-supplied batch settings are capped here before any buffer is
+/// reserved.
+pub const MAX_BATCH_ROWS: usize = 65_536;
+
+/// Rows per morsel when a parallel scan has no partition map to use as its
+/// work units.
+const MORSEL_ROWS: usize = 4096;
+
+/// A cancellation probe: checked once per batch (and once per morsel by
+/// parallel scan workers). Returning `true` aborts the stream with
+/// [`ExecError::Cancelled`] before the next batch is produced.
+pub type CancelProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// A bounded batch of `Arc`-backed tuples — the unit of flow between
+/// executors and out of a [`QueryStream`].
+#[derive(Clone, Debug, Default)]
+pub struct RowBatch {
+    rows: Vec<Tuple>,
+}
+
+impl RowBatch {
+    /// Wraps a row vector as a batch.
+    pub fn new(rows: Vec<Tuple>) -> RowBatch {
+        RowBatch { rows }
+    }
+
+    /// The batch's tuples.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Consumes the batch into its row vector.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Everything that can abort a stream mid-flight.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExecError {
+    /// An operator failed (unknown relation, type error, …) — exactly the
+    /// errors the materializing evaluator reports.
+    Eval(HrdmError),
+    /// The stream's [`CancelProbe`] fired; the stream stopped within one
+    /// batch boundary.
+    Cancelled,
+    /// More than [`ExecOptions::max_rows`] rows were streamed.
+    RowLimit(u64),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Eval(e) => write!(f, "{e}"),
+            ExecError::Cancelled => f.write_str("query cancelled"),
+            ExecError::RowLimit(n) => write!(f, "result exceeds the cap of {n} rows"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<HrdmError> for ExecError {
+    fn from(e: HrdmError) -> Self {
+        ExecError::Eval(e)
+    }
+}
+
+/// Knobs for one streaming execution.
+#[derive(Clone)]
+pub struct ExecOptions {
+    /// Target rows per batch (clamped to `1..=`[`MAX_BATCH_ROWS`]).
+    pub batch_rows: usize,
+    /// Abort with [`ExecError::RowLimit`] once more than this many rows
+    /// have been streamed from the root.
+    pub max_rows: Option<u64>,
+    /// Worker threads available to parallel (`Gather`)
+    /// scans. `<= 1` disables parallelism.
+    pub workers: usize,
+    /// Minimum base-relation rows before a `SeqScan` leaf is worth
+    /// parallelizing (thread spawn + channel overhead dominate below it).
+    pub parallel_min_rows: usize,
+    /// Cancellation probe, checked per batch.
+    pub cancel: Option<CancelProbe>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            batch_rows: DEFAULT_BATCH_ROWS,
+            max_rows: None,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            parallel_min_rows: 32_768,
+            cancel: None,
+        }
+    }
+}
+
+impl fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("batch_rows", &self.batch_rows)
+            .field("max_rows", &self.max_rows)
+            .field("workers", &self.workers)
+            .field("parallel_min_rows", &self.parallel_min_rows)
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
+impl ExecOptions {
+    fn batch_rows_clamped(&self) -> usize {
+        self.batch_rows.clamp(1, MAX_BATCH_ROWS)
+    }
+}
+
+/// Per-operator runtime statistics: output rows, output batches, and
+/// inclusive wall time (an operator's clock runs while its children work
+/// for it, mirroring the span semantics of the materializing evaluator).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ExecStats {
+    /// Rows this operator emitted.
+    pub rows: u64,
+    /// Batches this operator emitted.
+    pub batches: u64,
+    /// Inclusive wall nanoseconds across `open` and every `next_batch`.
+    pub wall_ns: u64,
+}
+
+/// One physical operator of a streaming plan, driven pull-style.
+///
+/// Lifecycle: exactly one successful [`open`](QueryExecutor::open) (which
+/// returns the operator's output scheme), then [`QueryExecutor::next_batch`]
+/// (QueryExecutor::next_batch) until it yields `Ok(None)` or an error,
+/// then [`close`](QueryExecutor::close). `close` is idempotent and must
+/// also be safe to call on a never-opened or mid-stream executor (that is
+/// how cancellation tears a tree down). After `close`, accumulated
+/// [`ExecStats`] remain readable — `EXPLAIN ANALYZE` renders them.
+pub trait QueryExecutor {
+    /// Prepares the operator (resolving relations, evaluating lifespan
+    /// bounds, typechecking predicates, spawning scan workers) and
+    /// returns its output scheme. Blocking operators do their whole
+    /// computation here.
+    fn open(&mut self) -> Result<Scheme, ExecError>;
+
+    /// The next bounded batch, or `Ok(None)` once the stream is drained.
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError>;
+
+    /// Releases cursors, buffers, and worker threads. Idempotent.
+    fn close(&mut self);
+
+    /// Statistics accumulated so far (valid during and after the run).
+    fn stats(&self) -> ExecStats;
+
+    /// Renders this operator (and its inputs, indented) one line per
+    /// node, optionally annotated with measured stats.
+    fn render(&self, depth: usize, annotate: bool, out: &mut String);
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn annotation(stats: &ExecStats, annotate: bool) -> String {
+    if annotate {
+        format!(
+            " (actual time={}, batches={}, rows={})",
+            crate::plan::fmt_ns(stats.wall_ns),
+            stats.batches,
+            stats.rows
+        )
+    } else {
+        String::new()
+    }
+}
+
+fn cancelled(probe: &Option<CancelProbe>) -> bool {
+    probe.as_ref().is_some_and(|c| c())
+}
+
+// ---------------------------------------------------------------------------
+// Per-tuple operator kernels
+// ---------------------------------------------------------------------------
+
+/// A compiled per-tuple unary: parameters (lifespan bounds, predicate
+/// typechecks, domain checks) are resolved once at `open`, so applying it
+/// to a tuple is pure and `Send` — the same kernel runs inline in a
+/// [`FilterExec`] or fused into [`GatherExec`] scan workers.
+enum TupleOp {
+    TimeSlice(Lifespan),
+    TimeSliceDynamic(Attribute),
+    SelectWhen(Predicate),
+    SelectIf {
+        predicate: Predicate,
+        quantifier: Quantifier,
+        bound: Option<Lifespan>,
+    },
+    Project(Vec<Attribute>),
+}
+
+/// Compiles `op` against its input scheme: evaluates lifespan parameters
+/// through `src`, typechecks predicates, and derives the output scheme.
+/// The checks run in the same order as the materializing evaluator so
+/// error behaviour matches.
+fn compile_op(
+    op: &UnaryOp,
+    in_scheme: &Scheme,
+    src: &dyn IndexSource,
+) -> Result<(TupleOp, Scheme), HrdmError> {
+    match op {
+        UnaryOp::Project(attrs) => {
+            let scheme = in_scheme.project(attrs)?;
+            Ok((TupleOp::Project(attrs.clone()), scheme))
+        }
+        UnaryOp::SelectWhen(predicate) => {
+            predicate.typecheck(in_scheme)?;
+            Ok((TupleOp::SelectWhen(predicate.clone()), in_scheme.clone()))
+        }
+        UnaryOp::SelectIf {
+            predicate,
+            quantifier,
+            lifespan,
+        } => {
+            let bound = match lifespan {
+                Some(l) => Some(eval_lifespan(l, src)?),
+                None => None,
+            };
+            predicate.typecheck(in_scheme)?;
+            Ok((
+                TupleOp::SelectIf {
+                    predicate: predicate.clone(),
+                    quantifier: *quantifier,
+                    bound,
+                },
+                in_scheme.clone(),
+            ))
+        }
+        UnaryOp::TimeSlice(lifespan) => {
+            let window = eval_lifespan(lifespan, src)?;
+            Ok((TupleOp::TimeSlice(window), in_scheme.clone()))
+        }
+        UnaryOp::TimeSliceDynamic(attr) => {
+            let dom = in_scheme.dom(attr)?;
+            if !dom.is_time_valued() {
+                return Err(HrdmError::NotTimeValued(attr.clone()));
+            }
+            Ok((TupleOp::TimeSliceDynamic(attr.clone()), in_scheme.clone()))
+        }
+    }
+}
+
+/// Applies one compiled unary to one tuple. The bodies replicate the
+/// per-tuple loops of `hrdm_core::algebra::{timeslice, select, project}`
+/// exactly — the streaming differential oracle holds the two accountable.
+fn apply_op(op: &TupleOp, t: &Tuple) -> Result<Option<Tuple>, HrdmError> {
+    match op {
+        TupleOp::TimeSlice(window) => {
+            let sliced = t.restrict(window);
+            Ok(sliced.bears_information().then_some(sliced))
+        }
+        TupleOp::TimeSliceDynamic(attr) => {
+            let image = match t.value(attr) {
+                Some(tv) => tv.image_lifespan()?,
+                None => Lifespan::empty(),
+            };
+            let sliced = t.restrict(&image);
+            Ok(sliced.bears_information().then_some(sliced))
+        }
+        TupleOp::SelectWhen(predicate) => {
+            let truth = predicate.when_true(t)?;
+            Ok((!truth.is_empty()).then(|| t.restrict(&truth)))
+        }
+        TupleOp::SelectIf {
+            predicate,
+            quantifier,
+            bound,
+        } => {
+            let domain = match bound {
+                Some(l) => l.intersect(t.lifespan()),
+                None => t.lifespan().clone(),
+            };
+            let truth = predicate.when_true(t)?;
+            let selected = match quantifier {
+                Quantifier::Exists => domain.intersects(&truth),
+                Quantifier::Forall => truth.contains_lifespan(&domain),
+            };
+            Ok(selected.then(|| t.clone()))
+        }
+        TupleOp::Project(attrs) => Ok(Some(t.project(attrs))),
+    }
+}
+
+/// Runs a tuple through a fused chain of compiled unaries (in application
+/// order — innermost first). `None` means some stage dropped the tuple.
+fn apply_chain(ops: &[TupleOp], t: &Tuple) -> Result<Option<Tuple>, HrdmError> {
+    let mut cur = t.clone();
+    for op in ops {
+        match apply_op(op, &cur)? {
+            Some(next) => cur = next,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(cur))
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+/// A serial base-relation scan honouring its planned [`AccessPath`], with
+/// the same degradation rules as the materializing evaluator: a missing or
+/// stale index at `open` time falls back to reading everything, never to
+/// an error.
+struct ScanExec<'a> {
+    name: String,
+    access: AccessPath,
+    label: String,
+    src: &'a dyn IndexSource,
+    batch_rows: usize,
+    state: Option<ScanState>,
+    stats: ExecStats,
+}
+
+struct ScanState {
+    relation: Relation,
+    /// `None` = every position (SeqScan / degraded index scan).
+    positions: Option<Vec<usize>>,
+    cursor: usize,
+}
+
+impl<'a> ScanExec<'a> {
+    fn build(
+        name: &str,
+        access: &AccessPath,
+        label: String,
+        src: &'a dyn IndexSource,
+        opts: &ExecOptions,
+    ) -> ScanExec<'a> {
+        ScanExec {
+            name: name.to_string(),
+            access: access.clone(),
+            label,
+            src,
+            batch_rows: opts.batch_rows_clamped(),
+            state: None,
+            stats: ExecStats::default(),
+        }
+    }
+}
+
+/// Candidate positions for `access` over `r`, mirroring
+/// `plan::eval_scan`'s index/partition selection exactly.
+fn scan_positions(
+    access: &AccessPath,
+    src: &dyn IndexSource,
+    name: &str,
+    r: &Relation,
+) -> Option<Vec<usize>> {
+    match (access, src.indexes(name)) {
+        (AccessPath::SeqScan, _) | (_, None) => None,
+        (AccessPath::LifespanIndex { window, .. }, Some(idx)) => {
+            match valid_partitions(src, name, r) {
+                Some(parts) => Some(parts.prune_positions(window)),
+                None => Some(idx.lifespan().overlapping(window)),
+            }
+        }
+        (AccessPath::KeyIndex { key, .. }, Some(idx)) => {
+            idx.key().map(|key_idx| key_idx.lookup(key).to_vec())
+        }
+    }
+}
+
+/// Copies the next up-to-`batch_rows` tuples of `state` into a fresh
+/// batch buffer (capacity capped at [`MAX_BATCH_ROWS`] — batch settings
+/// are caller input, not trusted sizes).
+fn scan_next_batch(state: &mut ScanState, batch_rows: usize) -> Option<RowBatch> {
+    let total = match &state.positions {
+        Some(p) => p.len(),
+        None => state.relation.len(),
+    };
+    if state.cursor >= total {
+        return None;
+    }
+    let end = (state.cursor + batch_rows).min(total);
+    let mut rows = Vec::with_capacity(batch_rows.min(MAX_BATCH_ROWS));
+    match &state.positions {
+        Some(positions) => {
+            for pos in &positions[state.cursor..end] {
+                if let Some(t) = state.relation.tuple_at(*pos) {
+                    rows.push(t.clone());
+                }
+            }
+        }
+        None => {
+            if let Some(slice) = state.relation.tuples().get(state.cursor..end) {
+                rows.extend_from_slice(slice);
+            }
+        }
+    }
+    state.cursor = end;
+    Some(RowBatch::new(rows))
+}
+
+impl QueryExecutor for ScanExec<'_> {
+    fn open(&mut self) -> Result<Scheme, ExecError> {
+        let started = Instant::now();
+        record_scan_access(&self.access);
+        let r = self
+            .src
+            .relation(&self.name)
+            .ok_or_else(|| HrdmError::UnknownRelation(self.name.clone()))?;
+        let positions = scan_positions(&self.access, self.src, &self.name, r);
+        let scheme = r.scheme().clone();
+        self.state = Some(ScanState {
+            relation: r.clone(),
+            positions,
+            cursor: 0,
+        });
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        Ok(scheme)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let started = Instant::now();
+        let out = match &mut self.state {
+            Some(state) => scan_next_batch(state, self.batch_rows),
+            None => None,
+        };
+        if let Some(b) = &out {
+            self.stats.rows += b.len() as u64;
+            self.stats.batches += 1;
+        }
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.state = None;
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn render(&self, depth: usize, annotate: bool, out: &mut String) {
+        indent(out, depth);
+        out.push_str(&self.label);
+        out.push_str(&annotation(&self.stats, annotate));
+        out.push('\n');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming unaries
+// ---------------------------------------------------------------------------
+
+/// A per-tuple unary operator applied batch-by-batch over its child.
+struct FilterExec<'a> {
+    op: UnaryOp,
+    label: String,
+    src: &'a dyn IndexSource,
+    child: Box<dyn QueryExecutor + 'a>,
+    compiled: Option<TupleOp>,
+    stats: ExecStats,
+}
+
+impl QueryExecutor for FilterExec<'_> {
+    fn open(&mut self) -> Result<Scheme, ExecError> {
+        let started = Instant::now();
+        let in_scheme = self.child.open()?;
+        let result = compile_op(&self.op, &in_scheme, self.src);
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        let (compiled, out_scheme) = result?;
+        self.compiled = Some(compiled);
+        Ok(out_scheme)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let started = Instant::now();
+        let result = loop {
+            let Some(op) = &self.compiled else {
+                break Ok(None); // never opened (or already closed)
+            };
+            match self.child.next_batch() {
+                Ok(Some(batch)) => {
+                    let mut rows = Vec::new();
+                    for t in batch.rows() {
+                        match apply_op(op, t) {
+                            Ok(Some(t2)) => rows.push(t2),
+                            Ok(None) => {}
+                            Err(e) => return Err(ExecError::Eval(e)),
+                        }
+                    }
+                    if !rows.is_empty() {
+                        self.stats.rows += rows.len() as u64;
+                        self.stats.batches += 1;
+                        break Ok(Some(RowBatch::new(rows)));
+                    }
+                    // A fully-filtered batch yields nothing: keep pulling.
+                }
+                Ok(None) => break Ok(None),
+                Err(e) => break Err(e),
+            }
+        };
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn close(&mut self) {
+        self.compiled = None;
+        self.child.close();
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn render(&self, depth: usize, annotate: bool, out: &mut String) {
+        indent(out, depth);
+        out.push_str(&self.label);
+        out.push_str(&annotation(&self.stats, annotate));
+        out.push('\n');
+        self.child.render(depth + 1, annotate, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking operators
+// ---------------------------------------------------------------------------
+
+/// Which blocking computation a [`BlockingExec`] runs at `open`.
+enum BlockingKind {
+    Binary(BinaryOp),
+    Theta {
+        a: Attribute,
+        op: Comparator,
+        b: Attribute,
+    },
+    TimeJoin {
+        attr: Attribute,
+    },
+    IndexedNaturalJoin {
+        right: String,
+    },
+    IndexedTimeJoin {
+        right: String,
+        attr: Attribute,
+    },
+}
+
+/// Joins, products, and set operators: children are drained fully at
+/// `open` (cancellation is checked between input batches), the result is
+/// computed by the same algebra functions the materializing evaluator
+/// calls, then streamed out in batches.
+struct BlockingExec<'a> {
+    kind: BlockingKind,
+    label: String,
+    probe: Option<String>,
+    src: &'a dyn IndexSource,
+    children: Vec<Box<dyn QueryExecutor + 'a>>,
+    cancel: Option<CancelProbe>,
+    batch_rows: usize,
+    out: Option<ScanState>,
+    stats: ExecStats,
+}
+
+/// Drains `child` into a materialized relation (set semantics, like every
+/// intermediate of the materializing evaluator), checking `cancel`
+/// between batches.
+fn drain_child(
+    child: &mut dyn QueryExecutor,
+    cancel: &Option<CancelProbe>,
+) -> Result<Relation, ExecError> {
+    let scheme = child.open()?;
+    let mut rows: Vec<Tuple> = Vec::new();
+    loop {
+        if cancelled(cancel) {
+            child.close();
+            return Err(ExecError::Cancelled);
+        }
+        match child.next_batch()? {
+            Some(batch) => rows.extend(batch.into_rows()),
+            None => break,
+        }
+    }
+    child.close();
+    Ok(Relation::from_parts_unchecked(scheme, rows))
+}
+
+impl BlockingExec<'_> {
+    fn compute(&mut self) -> Result<Relation, ExecError> {
+        let mut inputs = Vec::new();
+        for child in &mut self.children {
+            inputs.push(drain_child(child.as_mut(), &self.cancel)?);
+        }
+        let result = match (&self.kind, inputs.as_slice()) {
+            (BlockingKind::Binary(op), [a, b]) => match op {
+                BinaryOp::Union => union(a, b),
+                BinaryOp::Intersection => intersection(a, b),
+                BinaryOp::Difference => difference(a, b),
+                BinaryOp::UnionO => union_o(a, b),
+                BinaryOp::IntersectionO => intersection_o(a, b),
+                BinaryOp::DifferenceO => difference_o(a, b),
+                BinaryOp::Product => cartesian_product(a, b),
+                BinaryOp::NaturalJoin => natural_join(a, b),
+            },
+            (BlockingKind::Theta { a, op, b }, [l, r]) => theta_join(l, r, a, *op, b),
+            (BlockingKind::TimeJoin { attr }, [l, r]) => time_join(l, r, attr),
+            (BlockingKind::IndexedNaturalJoin { right }, [a]) => {
+                let b = self
+                    .src
+                    .relation(right)
+                    .ok_or_else(|| HrdmError::UnknownRelation(right.clone()))?;
+                match self.src.indexes(right).and_then(RelationIndexes::key) {
+                    Some(key_idx) => indexed_natural_join(a, b, key_idx),
+                    None => natural_join(a, b), // index dropped since planning
+                }
+            }
+            (BlockingKind::IndexedTimeJoin { right, attr }, [a]) => {
+                let b = self
+                    .src
+                    .relation(right)
+                    .ok_or_else(|| HrdmError::UnknownRelation(right.clone()))?;
+                match self.src.indexes(right) {
+                    Some(idx) => {
+                        indexed_time_join(a, b, attr, idx, valid_partitions(self.src, right, b))
+                    }
+                    None => time_join(a, b, attr),
+                }
+            }
+            // Arity is fixed at build time; a mismatch cannot be reached
+            // through `build_executor`.
+            _ => Err(HrdmError::UnknownRelation(self.label.clone())),
+        }?;
+        Ok(result)
+    }
+}
+
+impl QueryExecutor for BlockingExec<'_> {
+    fn open(&mut self) -> Result<Scheme, ExecError> {
+        let started = Instant::now();
+        let result = self.compute();
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        let r = result?;
+        let scheme = r.scheme().clone();
+        self.out = Some(ScanState {
+            relation: r,
+            positions: None,
+            cursor: 0,
+        });
+        Ok(scheme)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let started = Instant::now();
+        let out = match &mut self.out {
+            Some(state) => scan_next_batch(state, self.batch_rows),
+            None => None,
+        };
+        if let Some(b) = &out {
+            self.stats.rows += b.len() as u64;
+            self.stats.batches += 1;
+        }
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.out = None;
+        for child in &mut self.children {
+            child.close();
+        }
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn render(&self, depth: usize, annotate: bool, out: &mut String) {
+        indent(out, depth);
+        out.push_str(&self.label);
+        out.push_str(&annotation(&self.stats, annotate));
+        out.push('\n');
+        for child in &self.children {
+            child.render(depth + 1, annotate, out);
+        }
+        if let Some(probe) = &self.probe {
+            indent(out, depth + 1);
+            out.push_str(probe);
+            out.push('\n');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather: morsel-parallel leaf scans
+// ---------------------------------------------------------------------------
+
+/// One unit of parallel scan work: either a contiguous position range or
+/// an explicit position set (one partition of the relation's map).
+enum Morsel {
+    Range(usize, usize),
+    Positions(Vec<usize>),
+}
+
+/// A morsel-parallel leaf: a full-relation `SeqScan` fused with the
+/// per-tuple unaries stacked directly above it, executed by `workers`
+/// threads that claim morsels from a shared cursor and push result
+/// batches through one bounded channel.
+///
+/// Morsels are the relation's partition position sets when a current
+/// partition map exists (partitions are independent position sets with
+/// min/max summaries — exactly the work-unit shape morsel scheduling
+/// wants), or fixed-size position ranges otherwise. Workers observe a
+/// stop flag and the stream's [`CancelProbe`] at morsel and batch
+/// granularity, so `close` (and cancellation) tears the pool down without
+/// waiting for the scan to finish.
+struct GatherExec<'a> {
+    scan_name: String,
+    access: AccessPath,
+    chain: Vec<UnaryOp>,
+    /// Labels for rendering: fused unaries outermost-first, scan last.
+    fused_labels: Vec<String>,
+    src: &'a dyn IndexSource,
+    workers: usize,
+    batch_rows: usize,
+    cancel: Option<CancelProbe>,
+    running: Option<GatherRuntime>,
+    spawned: usize,
+    morsel_count: usize,
+    stats: ExecStats,
+}
+
+struct GatherRuntime {
+    rx: Receiver<Result<Vec<Tuple>, HrdmError>>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// The shared, immutable context of one parallel scan.
+struct GatherJob {
+    tuples: Arc<Vec<Tuple>>,
+    morsels: Vec<Morsel>,
+    next_morsel: AtomicUsize,
+    ops: Vec<TupleOp>,
+    batch_rows: usize,
+    stop: Arc<AtomicBool>,
+    cancel: Option<CancelProbe>,
+}
+
+impl GatherJob {
+    fn interrupted(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || cancelled(&self.cancel)
+    }
+}
+
+/// One scan worker: claim morsels, run tuples through the fused kernel,
+/// ship full batches. Exits on stop/cancel, on a kernel error (shipped to
+/// the consumer), or when the consumer hangs up (send fails).
+fn gather_worker(job: &GatherJob, tx: &SyncSender<Result<Vec<Tuple>, HrdmError>>) {
+    let mut batch: Vec<Tuple> = Vec::new();
+    loop {
+        if job.interrupted() {
+            return;
+        }
+        let m = job.next_morsel.fetch_add(1, Ordering::SeqCst);
+        let Some(morsel) = job.morsels.get(m) else {
+            break;
+        };
+        let positions: &mut dyn Iterator<Item = usize> = match morsel {
+            Morsel::Range(lo, hi) => &mut (*lo..*hi),
+            Morsel::Positions(p) => &mut p.iter().copied(),
+        };
+        for pos in positions {
+            let Some(t) = job.tuples.get(pos) else {
+                continue;
+            };
+            match apply_chain(&job.ops, t) {
+                Ok(Some(t2)) => {
+                    batch.push(t2);
+                    if batch.len() >= job.batch_rows
+                        && (job.interrupted() || tx.send(Ok(std::mem::take(&mut batch))).is_err())
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    }
+    if !batch.is_empty() && !job.interrupted() {
+        let _ = tx.send(Ok(batch));
+    }
+}
+
+/// Splits the scan into morsels: partition position sets when a current
+/// partition map exists, fixed-size ranges otherwise.
+fn plan_morsels(src: &dyn IndexSource, name: &str, r: &Relation) -> Vec<Morsel> {
+    if let Some(parts) = valid_partitions(src, name, r) {
+        if parts.partition_count() > 1 {
+            return parts
+                .iter()
+                .filter(|(_, p)| !p.is_empty())
+                .map(|(_, p)| Morsel::Positions(p.positions().collect()))
+                .collect();
+        }
+    }
+    let mut morsels = Vec::new();
+    let mut lo = 0usize;
+    while lo < r.len() {
+        let hi = (lo + MORSEL_ROWS).min(r.len());
+        morsels.push(Morsel::Range(lo, hi));
+        lo = hi;
+    }
+    morsels
+}
+
+impl GatherExec<'_> {
+    fn shutdown(&mut self) {
+        if let Some(rt) = self.running.take() {
+            rt.stop.store(true, Ordering::SeqCst);
+            // Dropping the receiver makes every blocked `send` fail, so
+            // workers exit promptly even with a full channel.
+            drop(rt.rx);
+            for h in rt.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl QueryExecutor for GatherExec<'_> {
+    fn open(&mut self) -> Result<Scheme, ExecError> {
+        let started = Instant::now();
+        record_scan_access(&self.access);
+        let result = (|| -> Result<(Scheme, GatherRuntime, usize, usize), ExecError> {
+            let r = self
+                .src
+                .relation(&self.scan_name)
+                .ok_or_else(|| HrdmError::UnknownRelation(self.scan_name.clone()))?;
+            // Compile the fused unaries bottom-up against the scan scheme.
+            let mut scheme = r.scheme().clone();
+            let mut ops = Vec::new();
+            for op in self.chain.iter().rev() {
+                let (compiled, out_scheme) = compile_op(op, &scheme, self.src)?;
+                ops.push(compiled);
+                scheme = out_scheme;
+            }
+            let morsels = plan_morsels(self.src, &self.scan_name, r);
+            let workers = self.workers.min(morsels.len()).max(1);
+            let stop = Arc::new(AtomicBool::new(false));
+            let job = Arc::new(GatherJob {
+                tuples: r.tuples_shared(),
+                morsels,
+                next_morsel: AtomicUsize::new(0),
+                ops,
+                batch_rows: self.batch_rows,
+                stop: Arc::clone(&stop),
+                cancel: self.cancel.clone(),
+            });
+            let morsel_count = job.morsels.len();
+            let (tx, rx) = std::sync::mpsc::sync_channel(workers * 2);
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let job = Arc::clone(&job);
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || gather_worker(&job, &tx)));
+            }
+            drop(tx); // consumers detect end-of-stream via RecvError
+            Ok((
+                scheme,
+                GatherRuntime { rx, stop, handles },
+                workers,
+                morsel_count,
+            ))
+        })();
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        let (scheme, runtime, workers, morsel_count) = result?;
+        self.running = Some(runtime);
+        self.spawned = workers;
+        self.morsel_count = morsel_count;
+        Ok(scheme)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let started = Instant::now();
+        let received = match &self.running {
+            Some(rt) => rt.rx.recv().ok(),
+            None => None,
+        };
+        let result = match received {
+            Some(Ok(rows)) => {
+                self.stats.rows += rows.len() as u64;
+                self.stats.batches += 1;
+                Ok(Some(RowBatch::new(rows)))
+            }
+            Some(Err(e)) => {
+                self.shutdown();
+                Err(ExecError::Eval(e))
+            }
+            // Every worker finished and dropped its sender: drained.
+            None => {
+                self.shutdown();
+                Ok(None)
+            }
+        };
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn close(&mut self) {
+        self.shutdown();
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn render(&self, depth: usize, annotate: bool, out: &mut String) {
+        indent(out, depth);
+        out.push_str(&format!(
+            "Gather(workers: {}, morsels: {})",
+            self.spawned.max(1),
+            self.morsel_count
+        ));
+        out.push_str(&annotation(&self.stats, annotate));
+        out.push('\n');
+        for (i, label) in self.fused_labels.iter().enumerate() {
+            indent(out, depth + 1 + i);
+            out.push_str(label);
+            out.push('\n');
+        }
+    }
+}
+
+impl Drop for GatherExec<'_> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-materialized results
+// ---------------------------------------------------------------------------
+
+/// Streams an already-materialized relation (the defensive path for
+/// results produced outside the executor tree).
+struct PreMaterialized {
+    label: String,
+    batch_rows: usize,
+    relation: Option<Relation>,
+    state: Option<ScanState>,
+    stats: ExecStats,
+}
+
+impl QueryExecutor for PreMaterialized {
+    fn open(&mut self) -> Result<Scheme, ExecError> {
+        let Some(r) = self.relation.take() else {
+            return Err(ExecError::Eval(HrdmError::UnknownRelation(
+                self.label.clone(),
+            )));
+        };
+        let scheme = r.scheme().clone();
+        self.state = Some(ScanState {
+            relation: r,
+            positions: None,
+            cursor: 0,
+        });
+        Ok(scheme)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        let started = Instant::now();
+        let out = match &mut self.state {
+            Some(state) => scan_next_batch(state, self.batch_rows),
+            None => None,
+        };
+        if let Some(b) = &out {
+            self.stats.rows += b.len() as u64;
+            self.stats.batches += 1;
+        }
+        self.stats.wall_ns += started.elapsed().as_nanos() as u64;
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.state = None;
+    }
+
+    fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn render(&self, depth: usize, annotate: bool, out: &mut String) {
+        indent(out, depth);
+        out.push_str(&self.label);
+        out.push_str(&annotation(&self.stats, annotate));
+        out.push('\n');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor-tree construction
+// ---------------------------------------------------------------------------
+
+/// The stack of unary operators above `p`'s leftmost descendant chain:
+/// ops outermost-first, plus the chain's bottom node.
+fn unary_chain(p: &Plan) -> (Vec<&UnaryOp>, &Plan) {
+    let mut ops = Vec::new();
+    let mut cur = p;
+    while let Plan::Unary { op, input } = cur {
+        ops.push(op);
+        cur = input;
+    }
+    (ops, cur)
+}
+
+/// `Some(workers)` when [`build_executor`] would root a [`GatherExec`] at
+/// `p`: the node heads a (possibly empty) chain of per-tuple unaries over
+/// a full `SeqScan` of a relation big enough to amortize thread spawns.
+/// EXPLAIN uses the same predicate, so the printed plan always matches
+/// what execution does.
+fn gather_at(p: &Plan, src: &dyn IndexSource, opts: &ExecOptions) -> Option<usize> {
+    if opts.workers < 2 {
+        return None;
+    }
+    let (_, bottom) = unary_chain(p);
+    let Plan::Scan {
+        relation,
+        access: AccessPath::SeqScan,
+    } = bottom
+    else {
+        return None;
+    };
+    let r = src.relation(relation)?;
+    (r.len() >= opts.parallel_min_rows).then_some(opts.workers)
+}
+
+/// Builds the executor tree for a physical plan. Construction is
+/// infallible — relation resolution, typechecks, and lifespan-parameter
+/// evaluation all happen at `open`, in the same bottom-up order as the
+/// materializing evaluator, so error behaviour matches.
+pub fn build_executor<'a>(
+    p: &Plan,
+    src: &'a dyn IndexSource,
+    opts: &ExecOptions,
+) -> Box<dyn QueryExecutor + 'a> {
+    if gather_at(p, src, opts).is_some() {
+        let (ops, bottom) = unary_chain(p);
+        let (name, access) = match bottom {
+            Plan::Scan { relation, access } => (relation.as_str(), access),
+            // unreachable in practice: gather_at only fires on scans.
+            _ => ("", &AccessPath::SeqScan),
+        };
+        let mut fused_labels: Vec<String> = ops.iter().map(|op| unary_label(op)).collect();
+        fused_labels.push(node_label(bottom));
+        return Box::new(GatherExec {
+            scan_name: name.to_string(),
+            access: access.clone(),
+            chain: ops.into_iter().cloned().collect(),
+            fused_labels,
+            src,
+            workers: opts.workers,
+            batch_rows: opts.batch_rows_clamped(),
+            cancel: opts.cancel.clone(),
+            running: None,
+            spawned: 0,
+            morsel_count: 0,
+            stats: ExecStats::default(),
+        });
+    }
+    match p {
+        Plan::Scan { relation, access } => {
+            Box::new(ScanExec::build(relation, access, node_label(p), src, opts))
+        }
+        Plan::Unary { op, input } => Box::new(FilterExec {
+            op: op.clone(),
+            label: node_label(p),
+            src,
+            child: build_executor(input, src, opts),
+            compiled: None,
+            stats: ExecStats::default(),
+        }),
+        Plan::Binary { op, left, right } => blocking(
+            BlockingKind::Binary(*op),
+            p,
+            vec![
+                build_executor(left, src, opts),
+                build_executor(right, src, opts),
+            ],
+            src,
+            opts,
+        ),
+        Plan::ThetaJoin {
+            left,
+            right,
+            a,
+            op,
+            b,
+        } => blocking(
+            BlockingKind::Theta {
+                a: a.clone(),
+                op: *op,
+                b: b.clone(),
+            },
+            p,
+            vec![
+                build_executor(left, src, opts),
+                build_executor(right, src, opts),
+            ],
+            src,
+            opts,
+        ),
+        Plan::TimeJoin { left, right, attr } => blocking(
+            BlockingKind::TimeJoin { attr: attr.clone() },
+            p,
+            vec![
+                build_executor(left, src, opts),
+                build_executor(right, src, opts),
+            ],
+            src,
+            opts,
+        ),
+        Plan::IndexedNaturalJoin { left, right } => blocking(
+            BlockingKind::IndexedNaturalJoin {
+                right: right.clone(),
+            },
+            p,
+            vec![build_executor(left, src, opts)],
+            src,
+            opts,
+        ),
+        Plan::IndexedTimeJoin { left, right, attr } => blocking(
+            BlockingKind::IndexedTimeJoin {
+                right: right.clone(),
+                attr: attr.clone(),
+            },
+            p,
+            vec![build_executor(left, src, opts)],
+            src,
+            opts,
+        ),
+    }
+}
+
+fn blocking<'a>(
+    kind: BlockingKind,
+    p: &Plan,
+    children: Vec<Box<dyn QueryExecutor + 'a>>,
+    src: &'a dyn IndexSource,
+    opts: &ExecOptions,
+) -> Box<dyn QueryExecutor + 'a> {
+    Box::new(BlockingExec {
+        kind,
+        label: node_label(p),
+        probe: probe_line(p),
+        src,
+        children,
+        cancel: opts.cancel.clone(),
+        batch_rows: opts.batch_rows_clamped(),
+        out: None,
+        stats: ExecStats::default(),
+    })
+}
+
+/// Renders the streaming plan for `p` without running it: the same
+/// indented tree as the materializing EXPLAIN, except that chains a
+/// `Gather` would absorb render under a `Gather(workers: k)` node.
+pub fn explain_stream_plan(p: &Plan, src: &dyn IndexSource, opts: &ExecOptions) -> String {
+    let mut out = String::new();
+    render_plan_node(p, src, opts, 0, &mut out);
+    out
+}
+
+fn render_plan_node(
+    p: &Plan,
+    src: &dyn IndexSource,
+    opts: &ExecOptions,
+    depth: usize,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    if let Some(workers) = gather_at(p, src, opts) {
+        indent(out, depth);
+        let _ = writeln!(out, "Gather(workers: {workers})");
+        let (ops, bottom) = unary_chain(p);
+        let mut d = depth + 1;
+        for op in ops {
+            indent(out, d);
+            let _ = writeln!(out, "{}", unary_label(op));
+            d += 1;
+        }
+        indent(out, d);
+        let _ = writeln!(out, "{}", node_label(bottom));
+        return;
+    }
+    indent(out, depth);
+    let _ = writeln!(out, "{}", node_label(p));
+    match p {
+        Plan::Scan { .. } => {}
+        Plan::Unary { input, .. } => render_plan_node(input, src, opts, depth + 1, out),
+        Plan::Binary { left, right, .. }
+        | Plan::ThetaJoin { left, right, .. }
+        | Plan::TimeJoin { left, right, .. } => {
+            render_plan_node(left, src, opts, depth + 1, out);
+            render_plan_node(right, src, opts, depth + 1, out);
+        }
+        Plan::IndexedNaturalJoin { left, .. } | Plan::IndexedTimeJoin { left, .. } => {
+            render_plan_node(left, src, opts, depth + 1, out);
+        }
+    }
+    if let Some(probe) = probe_line(p) {
+        indent(out, depth + 1);
+        let _ = writeln!(out, "{probe}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The stream root
+// ---------------------------------------------------------------------------
+
+/// A live, pull-driven query result: the opened executor tree plus
+/// per-batch enforcement of the row cap and cancellation.
+///
+/// Obtain one from [`crate::stream_query_on_snapshot`]; iterate it (it is
+/// an [`Iterator`] of `Result<RowBatch, ExecError>`), or call
+/// [`collect_relation`](QueryStream::collect_relation) to materialize the
+/// whole result with set semantics.
+pub struct QueryStream<'a> {
+    root: Box<dyn QueryExecutor + 'a>,
+    scheme: Scheme,
+    max_rows: Option<u64>,
+    cancel: Option<CancelProbe>,
+    plan_ns: u64,
+    rows: u64,
+    batches: u64,
+    done: bool,
+}
+
+impl<'a> QueryStream<'a> {
+    /// Opens `root` and wraps it with the stream-level caps of `opts`.
+    pub fn new(
+        mut root: Box<dyn QueryExecutor + 'a>,
+        opts: &ExecOptions,
+    ) -> Result<QueryStream<'a>, ExecError> {
+        let scheme = match root.open() {
+            Ok(s) => s,
+            Err(e) => {
+                root.close();
+                return Err(e);
+            }
+        };
+        Ok(QueryStream {
+            root,
+            scheme,
+            max_rows: opts.max_rows,
+            cancel: opts.cancel.clone(),
+            plan_ns: 0,
+            rows: 0,
+            batches: 0,
+            done: false,
+        })
+    }
+
+    /// Streams an already-materialized relation (used for results computed
+    /// outside the executor tree).
+    pub fn from_relation(r: Relation, opts: &ExecOptions) -> Result<QueryStream<'a>, ExecError> {
+        QueryStream::new(
+            Box::new(PreMaterialized {
+                label: "Materialized".to_string(),
+                batch_rows: opts.batch_rows_clamped(),
+                relation: Some(r),
+                state: None,
+                stats: ExecStats::default(),
+            }),
+            opts,
+        )
+    }
+
+    pub(crate) fn set_plan_ns(&mut self, ns: u64) {
+        self.plan_ns = ns;
+    }
+
+    /// Nanoseconds the pipeline spent parsing, optimizing, and planning
+    /// before this stream was opened.
+    pub fn plan_ns(&self) -> u64 {
+        self.plan_ns
+    }
+
+    /// The result scheme (known as soon as the stream exists).
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Rows handed out so far.
+    pub fn rows_streamed(&self) -> u64 {
+        self.rows
+    }
+
+    /// Batches handed out so far.
+    pub fn batches_streamed(&self) -> u64 {
+        self.batches
+    }
+
+    /// The next batch. Checks the cancellation probe first and the row cap
+    /// after counting the batch, so both abort within one batch boundary.
+    /// Any terminal outcome (drain, cancel, cap, error) closes the tree;
+    /// afterwards the stream is fused.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>, ExecError> {
+        if self.done {
+            return Ok(None);
+        }
+        if cancelled(&self.cancel) {
+            self.done = true;
+            self.root.close();
+            return Err(ExecError::Cancelled);
+        }
+        match self.root.next_batch() {
+            Ok(Some(batch)) => {
+                self.rows += batch.len() as u64;
+                self.batches += 1;
+                if let Some(max) = self.max_rows {
+                    if self.rows > max {
+                        self.done = true;
+                        self.root.close();
+                        return Err(ExecError::RowLimit(max));
+                    }
+                }
+                Ok(Some(batch))
+            }
+            Ok(None) => {
+                self.done = true;
+                self.root.close();
+                Ok(None)
+            }
+            Err(e) => {
+                self.done = true;
+                self.root.close();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains the stream into a materialized relation with set semantics
+    /// (duplicates collapse), which is exactly what the materializing
+    /// evaluator's operators produce.
+    pub fn collect_relation(mut self) -> Result<Relation, ExecError> {
+        let mut rows: Vec<Tuple> = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            rows.extend(batch.into_rows());
+        }
+        Ok(Relation::from_parts_unchecked(self.scheme.clone(), rows))
+    }
+
+    /// Renders the executor tree, optionally annotated with the measured
+    /// per-operator stats of this run (`EXPLAIN ANALYZE`'s body).
+    pub fn render_plan(&self, annotate: bool) -> String {
+        let mut out = String::new();
+        self.root.render(0, annotate, &mut out);
+        out
+    }
+}
+
+impl Iterator for QueryStream<'_> {
+    type Item = Result<RowBatch, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_batch() {
+            Ok(Some(b)) => Some(Ok(b)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl Drop for QueryStream<'_> {
+    fn drop(&mut self) {
+        self.root.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::plan::{plan, IndexedRelations};
+    use hrdm_core::prelude::*;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::AtomicUsize;
+
+    fn scheme() -> Scheme {
+        let era = Lifespan::interval(0, 4096);
+        Scheme::builder()
+            .key_attr("K", ValueKind::Int, era.clone())
+            .attr("V", HistoricalDomain::int(), era)
+            .build()
+            .unwrap()
+    }
+
+    fn tup(k: i64, lo: i64, len: i64, v: i64) -> Tuple {
+        let life = Lifespan::interval(lo, lo + len);
+        Tuple::builder(life.clone())
+            .constant("K", k)
+            .value("V", TemporalValue::constant(&life, Value::Int(v)))
+            .finish(&scheme())
+            .unwrap()
+    }
+
+    fn source(n: i64) -> IndexedRelations {
+        let tuples: Vec<Tuple> = (0..n).map(|k| tup(k, k % 64, 40, k * 10)).collect();
+        let mut map = BTreeMap::new();
+        map.insert(
+            "r".to_string(),
+            Relation::with_tuples(scheme(), tuples).unwrap(),
+        );
+        IndexedRelations::new(map)
+    }
+
+    fn collect(text: &str, src: &IndexedRelations, opts: &ExecOptions) -> Relation {
+        let q = parse_query(text).unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("expected relation query, got {other:?}"),
+        };
+        let (optimized, _) = crate::optimizer::optimize(&e);
+        let p = plan(&optimized, src);
+        QueryStream::new(build_executor(&p, src, opts), opts)
+            .unwrap()
+            .collect_relation()
+            .unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_materialized_eval() {
+        let src = source(500);
+        let opts = ExecOptions {
+            batch_rows: 64,
+            ..ExecOptions::default()
+        };
+        for text in [
+            "r",
+            "TIMESLICE [10..20] (r)",
+            "SELECT-WHEN (V >= 100) (r)",
+            "PROJECT [V] (TIMESLICE [0..31] (r))",
+            "TIMESLICE [5..9] (r) UNION TIMESLICE [9..12] (r)",
+        ] {
+            let q = parse_query(text).unwrap();
+            #[allow(deprecated)]
+            let reference = match crate::eval::evaluate(&q, &src).unwrap() {
+                crate::eval::QueryResult::Relation(r) => r,
+                other => panic!("expected relation, got {other:?}"),
+            };
+            let streamed = collect(text, &src, &opts);
+            assert_eq!(streamed, reference, "{text}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_and_spawns_workers() {
+        let src = source(5000);
+        let parallel = ExecOptions {
+            batch_rows: 128,
+            workers: 4,
+            parallel_min_rows: 1,
+            ..ExecOptions::default()
+        };
+        let serial = ExecOptions {
+            workers: 1,
+            ..ExecOptions::default()
+        };
+        let text = "SELECT-WHEN (V >= 0) (r)";
+        let a = collect(text, &src, &parallel);
+        let b = collect(text, &src, &serial);
+        assert_eq!(a, b);
+
+        // The plan renders a Gather node exactly when it parallelizes.
+        let q = parse_query(text).unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let (optimized, _) = crate::optimizer::optimize(&e);
+        let p = plan(&optimized, &src);
+        let plan_text = explain_stream_plan(&p, &src, &parallel);
+        assert!(plan_text.contains("Gather(workers: 4)"), "{plan_text}");
+        assert!(plan_text.contains("Scan r [SeqScan]"), "{plan_text}");
+        let serial_text = explain_stream_plan(&p, &src, &serial);
+        assert!(!serial_text.contains("Gather"), "{serial_text}");
+    }
+
+    #[test]
+    fn cancel_aborts_within_one_batch() {
+        let src = source(5000);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&fired);
+        let opts = ExecOptions {
+            batch_rows: 32,
+            workers: 1,
+            cancel: Some(Arc::new(move || probe.fetch_add(1, Ordering::SeqCst) >= 2)),
+            ..ExecOptions::default()
+        };
+        let q = parse_query("r").unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let p = plan(&e, &src);
+        let mut s = QueryStream::new(build_executor(&p, &src, &opts), &opts).unwrap();
+        let mut rows = 0u64;
+        let err = loop {
+            match s.next_batch() {
+                Ok(Some(b)) => rows += b.len() as u64,
+                Ok(None) => panic!("expected cancellation, stream drained ({rows} rows)"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ExecError::Cancelled);
+        assert!(rows < 5000, "cancel landed after {rows} rows");
+    }
+
+    #[test]
+    fn row_cap_aborts_mid_stream() {
+        let src = source(5000);
+        let opts = ExecOptions {
+            batch_rows: 32,
+            workers: 1,
+            max_rows: Some(100),
+            ..ExecOptions::default()
+        };
+        let q = parse_query("r").unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let p = plan(&e, &src);
+        let mut s = QueryStream::new(build_executor(&p, &src, &opts), &opts).unwrap();
+        let err = loop {
+            match s.next_batch() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected a row-cap abort"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ExecError::RowLimit(100));
+    }
+
+    #[test]
+    fn open_reports_unknown_relations() {
+        let src = source(1);
+        let opts = ExecOptions::default();
+        let q = parse_query("ghost").unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let p = plan(&e, &src);
+        match QueryStream::new(build_executor(&p, &src, &opts), &opts) {
+            Err(ExecError::Eval(HrdmError::UnknownRelation(name))) => assert_eq!(name, "ghost"),
+            Err(other) => panic!("expected UnknownRelation, got {other:?}"),
+            Ok(_) => panic!("expected UnknownRelation, stream opened"),
+        };
+    }
+}

@@ -4,7 +4,7 @@
 //! *runnable as text*:
 //!
 //! ```
-//! use hrdm_query::{parse_query, evaluate, QueryResult};
+//! use hrdm_query::{run_query_on_snapshot, IndexedRelations, QueryResult};
 //! use hrdm_core::prelude::*;
 //! use std::collections::BTreeMap;
 //!
@@ -24,10 +24,11 @@
 //! db.insert("emp".to_string(), Relation::with_tuples(scheme, vec![john]).unwrap());
 //!
 //! // The paper's §4.3 example, as text. WHEN extracts the lifespan sort.
-//! let q = parse_query(
-//!     "WHEN (SELECT-WHEN (NAME = \"John\" AND SALARY = 30000) (emp))",
-//! ).unwrap();
-//! match evaluate(&q, &db).unwrap() {
+//! // `run_query_on_snapshot` parses, optimizes, plans, and drains the
+//! // streaming executor ([`exec`]) into a materialized answer.
+//! let src = IndexedRelations::new(db);
+//! let q = "WHEN (SELECT-WHEN (NAME = \"John\" AND SALARY = 30000) (emp))";
+//! match run_query_on_snapshot(q, &src).unwrap() {
 //!     QueryResult::Lifespan(l) => assert_eq!(l, Lifespan::interval(10, 19)),
 //!     _ => unreachable!(),
 //! }
@@ -42,6 +43,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod exec;
 pub mod explain;
 pub mod lexer;
 pub mod optimizer;
@@ -50,15 +52,20 @@ pub mod pipeline;
 pub mod plan;
 
 pub use ast::{Expr, LifespanExpr, Query};
+#[allow(deprecated)]
 pub use eval::{eval_expr, eval_lifespan, evaluate, QueryResult, RelationSource};
+pub use exec::{
+    build_executor, explain_stream_plan, CancelProbe, ExecError, ExecOptions, ExecStats,
+    QueryExecutor, QueryStream, RowBatch, DEFAULT_BATCH_ROWS,
+};
 pub use explain::{explain, explain_optimized};
 pub use lexer::{lex, LexError, Token};
 pub use optimizer::{optimize, Rewrite};
 pub use parser::{parse_expr, parse_query, ParseError};
 pub use pipeline::{
     explain_analyze_query_text, explain_query_text, run_query_on_snapshot,
-    run_query_on_snapshot_timed, strip_explain_analyze, PipelineError, PipelineTiming,
-    EXPLAIN_ANALYZE_PREFIX,
+    run_query_on_snapshot_timed, stream_query_on_snapshot, strip_explain_analyze, PipelineError,
+    PipelineTiming, StreamedQuery, EXPLAIN_ANALYZE_PREFIX,
 };
 pub use plan::{
     eval_plan, evaluate_planned, explain_plan, explain_plan_analyzed, explain_with_access, plan,

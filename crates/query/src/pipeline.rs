@@ -9,14 +9,17 @@
 //! they treat a query.
 
 use crate::eval::QueryResult;
+use crate::exec::{build_executor, ExecError, ExecOptions, QueryStream};
 use crate::parser::{parse_query, ParseError};
 use crate::plan::IndexSource;
 use hrdm_core::HrdmError;
+use hrdm_time::Lifespan;
 use std::fmt;
 use std::time::Instant;
 
 /// Everything that can go wrong running query *text* end to end: the text
-/// may not parse, or the (planned) evaluation may fail.
+/// may not parse, the (planned) evaluation may fail, or the stream may be
+/// cut off by cancellation or a resource cap.
 #[derive(Clone, PartialEq, Debug)]
 pub enum PipelineError {
     /// The text is not a well-formed query.
@@ -24,6 +27,10 @@ pub enum PipelineError {
     /// The query is well-formed but evaluation failed (unknown relation,
     /// incomparable values, …).
     Eval(HrdmError),
+    /// The stream's cancellation probe fired mid-query.
+    Cancelled,
+    /// A streaming resource cap (e.g. the row limit) was exceeded.
+    Limit(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -31,6 +38,8 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Parse(e) => write!(f, "parse error: {e}"),
             PipelineError::Eval(e) => write!(f, "error: {e}"),
+            PipelineError::Cancelled => f.write_str("query cancelled"),
+            PipelineError::Limit(m) => write!(f, "limit exceeded: {m}"),
         }
     }
 }
@@ -46,6 +55,18 @@ impl From<ParseError> for PipelineError {
 impl From<HrdmError> for PipelineError {
     fn from(e: HrdmError) -> Self {
         PipelineError::Eval(e)
+    }
+}
+
+impl From<ExecError> for PipelineError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::Eval(h) => PipelineError::Eval(h),
+            ExecError::Cancelled => PipelineError::Cancelled,
+            ExecError::RowLimit(n) => {
+                PipelineError::Limit(format!("result exceeds the cap of {n} rows"))
+            }
+        }
     }
 }
 
@@ -86,14 +107,11 @@ pub fn run_query_on_snapshot_timed(
     text: &str,
     src: &dyn IndexSource,
 ) -> Result<(QueryResult, PipelineTiming), PipelineError> {
-    let plan_started = Instant::now();
-    match parse_query(text)? {
-        crate::ast::Query::Relation(e) => {
-            let (optimized, _trace) = crate::optimizer::optimize(&e);
-            let p = crate::plan::plan(&optimized, src);
-            let plan_ns = plan_started.elapsed().as_nanos() as u64;
+    match stream_query_on_snapshot(text, src, &ExecOptions::default())? {
+        StreamedQuery::Rows(stream) => {
+            let plan_ns = stream.plan_ns();
             let exec_started = Instant::now();
-            let r = crate::plan::eval_plan(&p, src)?;
+            let r = stream.collect_relation()?;
             Ok((
                 QueryResult::Relation(r),
                 PipelineTiming {
@@ -102,17 +120,78 @@ pub fn run_query_on_snapshot_timed(
                 },
             ))
         }
+        StreamedQuery::Lifespan { value, timing } => Ok((QueryResult::Lifespan(value), timing)),
+        StreamedQuery::Function { value, timing } => Ok((QueryResult::Function(value), timing)),
+    }
+}
+
+/// A streamed query outcome: relation-sorted queries come back as a live
+/// [`QueryStream`] (no materialization has happened yet); lifespan- and
+/// aggregate-sorted results are scalar-sized and arrive complete.
+pub enum StreamedQuery<'a> {
+    /// A relation-sorted result, pulled batch by batch.
+    Rows(QueryStream<'a>),
+    /// A lifespan-sorted result (already complete).
+    Lifespan {
+        /// The lifespan value.
+        value: Lifespan,
+        /// Where the wall time went.
+        timing: PipelineTiming,
+    },
+    /// An aggregate-sorted, time-varying result (already complete).
+    Function {
+        /// The time-varying value.
+        value: hrdm_core::TemporalValue,
+        /// Where the wall time went.
+        timing: PipelineTiming,
+    },
+}
+
+/// The streaming front door: parse → optimize → plan → *open* an executor
+/// tree, without materializing relation results. The returned
+/// [`QueryStream`] enforces `opts`' row cap and cancellation probe per
+/// batch, so front ends (the server's `RowChunk` loop, the shell) observe
+/// Cancel within one batch boundary instead of after full evaluation.
+///
+/// [`run_query_on_snapshot`] is the collect-to-`Relation` wrapper over
+/// this for callers that want the
+/// materialized answer.
+pub fn stream_query_on_snapshot<'a>(
+    text: &str,
+    src: &'a dyn IndexSource,
+    opts: &ExecOptions,
+) -> Result<StreamedQuery<'a>, PipelineError> {
+    let plan_started = Instant::now();
+    match parse_query(text)? {
+        crate::ast::Query::Relation(e) => {
+            let (optimized, _trace) = crate::optimizer::optimize(&e);
+            let p = crate::plan::plan(&optimized, src);
+            let root = build_executor(&p, src, opts);
+            let plan_ns = plan_started.elapsed().as_nanos() as u64;
+            let mut stream = QueryStream::new(root, opts)?;
+            stream.set_plan_ns(plan_ns);
+            Ok(StreamedQuery::Rows(stream))
+        }
         other => {
             let plan_ns = plan_started.elapsed().as_nanos() as u64;
             let exec_started = Instant::now();
+            #[allow(deprecated)]
             let result = crate::eval::evaluate(&other, src)?;
-            Ok((
-                result,
-                PipelineTiming {
-                    plan_ns,
-                    exec_ns: exec_started.elapsed().as_nanos() as u64,
-                },
-            ))
+            let timing = PipelineTiming {
+                plan_ns,
+                exec_ns: exec_started.elapsed().as_nanos() as u64,
+            };
+            match result {
+                QueryResult::Lifespan(value) => Ok(StreamedQuery::Lifespan { value, timing }),
+                QueryResult::Function(value) => Ok(StreamedQuery::Function { value, timing }),
+                // Unreachable (the parser sorts relation queries above),
+                // but stream it rather than fail if it ever happens.
+                QueryResult::Relation(r) => {
+                    let mut stream = QueryStream::from_relation(r, opts)?;
+                    stream.set_plan_ns(plan_ns);
+                    Ok(StreamedQuery::Rows(stream))
+                }
+            }
         }
     }
 }
@@ -147,35 +226,35 @@ pub fn strip_explain_analyze(text: &str) -> Option<&str> {
     }
 }
 
-/// `EXPLAIN ANALYZE`: runs the query for real and renders the physical
-/// plan annotated with measured per-operator wall times, output row
-/// counts, and (on bounded scans) partition-pruning counts, followed by
-/// planning/execution totals. Only relation-sorted queries have a
-/// relational plan; other sorts return `Ok(None)`.
+/// `EXPLAIN ANALYZE`: runs the query for real through the streaming
+/// executor and renders the executor tree annotated with measured
+/// per-operator wall times, output row/batch counts, and (on bounded
+/// scans) partition-pruning counts, followed by planning/execution
+/// totals. Only relation-sorted queries have a relational plan; other
+/// sorts return `Ok(None)`.
 ///
-/// The trace comes from [`hrdm_obs::with_trace`] around the planned
-/// evaluation; with observability disabled (`HRDM_OBS_OFF`) the plan
-/// still renders, without actual-time annotations.
+/// The per-operator numbers are the executors' own [`crate::exec::ExecStats`];
+/// with observability disabled (`HRDM_OBS_OFF`) the plan still renders,
+/// without actual-time annotations.
 pub fn explain_analyze_query_text(
     text: &str,
     src: &dyn IndexSource,
 ) -> Result<Option<String>, PipelineError> {
-    let plan_started = Instant::now();
-    let e = match parse_query(text)? {
-        crate::ast::Query::Relation(e) => e,
+    let opts = ExecOptions::default();
+    let mut stream = match stream_query_on_snapshot(text, src, &opts)? {
+        StreamedQuery::Rows(stream) => stream,
         _ => return Ok(None),
     };
-    let (optimized, _trace) = crate::optimizer::optimize(&e);
-    let p = crate::plan::plan(&optimized, src);
-    let plan_ns = plan_started.elapsed().as_nanos() as u64;
-
+    let plan_ns = stream.plan_ns();
     let exec_started = Instant::now();
-    let (result, spans) = hrdm_obs::with_trace(|| crate::plan::eval_plan(&p, src));
-    let rows = result?.len();
+    let mut rows: u64 = 0;
+    while let Some(batch) = stream.next_batch()? {
+        rows += batch.len() as u64;
+    }
     let exec_ns = exec_started.elapsed().as_nanos() as u64;
 
     let mut out = String::from("== explain analyze ==\n");
-    out.push_str(&crate::plan::explain_plan_analyzed(&p, spans.first()));
+    out.push_str(&stream.render_plan(hrdm_obs::enabled()));
     out.push_str(&format!(
         "planning: {}\nexecution: {}\nrows: {rows}\n",
         crate::plan::fmt_ns(plan_ns),

@@ -668,7 +668,7 @@ fn scan_obs() -> &'static ScanObs {
 
 /// Feeds one scan's access path into the global counters (observational
 /// only — gated by the `HRDM_OBS_OFF` kill switch).
-fn record_scan_access(access: &AccessPath) {
+pub(crate) fn record_scan_access(access: &AccessPath) {
     if !hrdm_obs::enabled() {
         return;
     }
@@ -792,7 +792,7 @@ fn eval_scan(name: &str, access: &AccessPath, src: &dyn IndexSource) -> Result<R
 /// `src`'s partition map for `name`, but only when its positions are
 /// current against `r` — a stale map (out-of-band mutation) degrades to
 /// the relation-wide index, never to wrong positions.
-fn valid_partitions<'s>(
+pub(crate) fn valid_partitions<'s>(
     src: &'s dyn IndexSource,
     name: &str,
     r: &Relation,
@@ -804,7 +804,7 @@ fn valid_partitions<'s>(
 /// index where possible; fall back to scanning the right side for left
 /// tuples without a constant probe key. Exact per-pair semantics come from
 /// [`natural_join_pair`].
-fn indexed_natural_join(
+pub(crate) fn indexed_natural_join(
     left: &Relation,
     right: &Relation,
     key_idx: &hrdm_index::KeyIndex,
@@ -847,7 +847,7 @@ fn indexed_natural_join(
 /// probe prunes at partition granularity first (run-time partition
 /// pruning — each probe window is per-tuple). Exact per-pair semantics
 /// come from [`time_join_pair`].
-fn indexed_time_join(
+pub(crate) fn indexed_time_join(
     left: &Relation,
     right: &Relation,
     attr: &Attribute,
@@ -898,7 +898,10 @@ pub fn evaluate_planned(
             let p = plan(&optimized, src);
             Ok(crate::eval::QueryResult::Relation(eval_plan(&p, src)?))
         }
-        other => crate::eval::evaluate(other, src),
+        other => {
+            #[allow(deprecated)] // non-relation sorts have no physical plan
+            crate::eval::evaluate(other, src)
+        }
     }
 }
 
@@ -909,7 +912,11 @@ pub fn explain_with_access(e: &Expr, src: &dyn IndexSource) -> String {
     let p = plan(&optimized, src);
     let mut out = crate::explain::explain_optimized(e, &optimized, &trace);
     out.push_str("== access paths ==\n");
-    out.push_str(&explain_plan(&p));
+    out.push_str(&crate::exec::explain_stream_plan(
+        &p,
+        src,
+        &crate::exec::ExecOptions::default(),
+    ));
     out
 }
 
@@ -957,6 +964,54 @@ fn annotation(trace: Option<&hrdm_obs::TraceNode>) -> String {
     }
 }
 
+/// The one-line EXPLAIN label of a single plan node (no indentation, no
+/// annotation). Shared between the plan renderer ([`explain_plan`]) and the
+/// streaming-executor renderer ([`crate::exec`]), so EXPLAIN output stays
+/// byte-identical whichever tree produced it.
+pub(crate) fn node_label(p: &Plan) -> String {
+    match p {
+        Plan::Scan { relation, access } => format!("Scan {relation} [{access}]"),
+        Plan::Unary { op, .. } => unary_label(op),
+        Plan::Binary { op, .. } => format!("{op:?}"),
+        Plan::IndexedNaturalJoin { .. } => "NaturalJoin (index nested loop)".to_string(),
+        Plan::IndexedTimeJoin { attr, .. } => format!("TimeJoin @{attr} (index nested loop)"),
+        Plan::ThetaJoin { a, op, b, .. } => format!("ThetaJoin {a} {op} {b}"),
+        Plan::TimeJoin { attr, .. } => format!("TimeJoin @{attr}"),
+    }
+}
+
+/// The EXPLAIN label of a unary operator.
+pub(crate) fn unary_label(op: &UnaryOp) -> String {
+    match op {
+        UnaryOp::Project(attrs) => {
+            let names: Vec<&str> = attrs.iter().map(|a| a.name()).collect();
+            format!("Project [{}]", names.join(", "))
+        }
+        UnaryOp::SelectIf {
+            predicate,
+            quantifier,
+            ..
+        } => format!("Select-If {predicate} ({quantifier})"),
+        UnaryOp::SelectWhen(predicate) => format!("Select-When {predicate}"),
+        UnaryOp::TimeSlice(l) => format!("TimeSlice {l}"),
+        UnaryOp::TimeSliceDynamic(attr) => format!("TimeSlice @{attr}"),
+    }
+}
+
+/// The synthetic probe pseudo-child line of the index nested-loop joins
+/// (they have no plan child for the probe side).
+pub(crate) fn probe_line(p: &Plan) -> Option<String> {
+    match p {
+        Plan::IndexedNaturalJoin { right, .. } => {
+            Some(format!("Probe {right} [IndexScan(key, from left tuple)]"))
+        }
+        Plan::IndexedTimeJoin { right, attr, .. } => Some(format!(
+            "Probe {right} [IndexScan(lifespan, t.l ∩ image(t({attr})))]"
+        )),
+        _ => None,
+    }
+}
+
 fn walk(p: &Plan, trace: Option<&hrdm_obs::TraceNode>, depth: usize, out: &mut String) {
     use std::fmt::Write;
     for _ in 0..depth {
@@ -964,67 +1019,24 @@ fn walk(p: &Plan, trace: Option<&hrdm_obs::TraceNode>, depth: usize, out: &mut S
     }
     let annot = annotation(trace);
     let child = |i: usize| trace.and_then(|t| t.children.get(i));
+    let _ = writeln!(out, "{}{annot}", node_label(p));
     match p {
-        Plan::Scan { relation, access } => {
-            let _ = writeln!(out, "Scan {relation} [{access}]{annot}");
-        }
-        Plan::Unary { op, input } => {
-            let label = match op {
-                UnaryOp::Project(attrs) => {
-                    let names: Vec<&str> = attrs.iter().map(|a| a.name()).collect();
-                    format!("Project [{}]", names.join(", "))
-                }
-                UnaryOp::SelectIf {
-                    predicate,
-                    quantifier,
-                    ..
-                } => format!("Select-If {predicate} ({quantifier})"),
-                UnaryOp::SelectWhen(predicate) => format!("Select-When {predicate}"),
-                UnaryOp::TimeSlice(l) => format!("TimeSlice {l}"),
-                UnaryOp::TimeSliceDynamic(attr) => format!("TimeSlice @{attr}"),
-            };
-            let _ = writeln!(out, "{label}{annot}");
-            walk(input, child(0), depth + 1, out);
-        }
-        Plan::Binary { op, left, right } => {
-            let _ = writeln!(out, "{op:?}{annot}");
+        Plan::Scan { .. } => {}
+        Plan::Unary { input, .. } => walk(input, child(0), depth + 1, out),
+        Plan::Binary { left, right, .. }
+        | Plan::ThetaJoin { left, right, .. }
+        | Plan::TimeJoin { left, right, .. } => {
             walk(left, child(0), depth + 1, out);
             walk(right, child(1), depth + 1, out);
         }
-        Plan::IndexedNaturalJoin { left, right } => {
-            let _ = writeln!(out, "NaturalJoin (index nested loop){annot}");
+        Plan::IndexedNaturalJoin { left, .. } | Plan::IndexedTimeJoin { left, .. } => {
             walk(left, child(0), depth + 1, out);
-            for _ in 0..depth + 1 {
-                out.push_str("  ");
-            }
-            let _ = writeln!(out, "Probe {right} [IndexScan(key, from left tuple)]");
         }
-        Plan::IndexedTimeJoin { left, right, attr } => {
-            let _ = writeln!(out, "TimeJoin @{attr} (index nested loop){annot}");
-            walk(left, child(0), depth + 1, out);
-            for _ in 0..depth + 1 {
-                out.push_str("  ");
-            }
-            let _ = writeln!(
-                out,
-                "Probe {right} [IndexScan(lifespan, t.l ∩ image(t({attr})))]"
-            );
+    }
+    if let Some(probe) = probe_line(p) {
+        for _ in 0..depth + 1 {
+            out.push_str("  ");
         }
-        Plan::ThetaJoin {
-            left,
-            right,
-            a,
-            op,
-            b,
-        } => {
-            let _ = writeln!(out, "ThetaJoin {a} {op} {b}{annot}");
-            walk(left, child(0), depth + 1, out);
-            walk(right, child(1), depth + 1, out);
-        }
-        Plan::TimeJoin { left, right, attr } => {
-            let _ = writeln!(out, "TimeJoin @{attr}{annot}");
-            walk(left, child(0), depth + 1, out);
-            walk(right, child(1), depth + 1, out);
-        }
+        let _ = writeln!(out, "{probe}");
     }
 }

@@ -1,3 +1,7 @@
+// The legacy materializing evaluator stays the reference oracle for the
+// streaming executor, so this file uses it deliberately.
+#![allow(deprecated)]
+
 //! Access-path selection: indexable queries get an `IndexScan`, everything
 //! else a `SeqScan` — and either way the results are identical to the plain
 //! evaluator's.

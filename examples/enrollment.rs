@@ -1,3 +1,7 @@
+// The legacy materializing evaluator stays the reference oracle for the
+// streaming executor, so this file uses it deliberately.
+#![allow(deprecated)]
+
 //! Enrollment: temporal referential integrity and the query language.
 //!
 //! The paper's §1 integrity example: "a student can only take a course at

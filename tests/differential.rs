@@ -1,3 +1,7 @@
+// The legacy materializing evaluator stays the reference oracle for the
+// streaming executor, so this file uses it deliberately.
+#![allow(deprecated)]
+
 //! Differential oracle: the **partitioned** engine must be observationally
 //! identical to an **unpartitioned** reference (`partition span = ∞`).
 //!

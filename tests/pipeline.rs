@@ -1,3 +1,7 @@
+// The legacy materializing evaluator stays the reference oracle for the
+// streaming executor, so this file uses it deliberately.
+#![allow(deprecated)]
+
 //! End-to-end pipeline tests across all crates: generate → persist →
 //! reload → query (optimized) → compare against the baseline models.
 

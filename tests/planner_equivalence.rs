@@ -1,3 +1,7 @@
+// The legacy materializing evaluator stays the reference oracle for the
+// streaming executor, so this file uses it deliberately.
+#![allow(deprecated)]
+
 //! The access-path planner is semantics-preserving: random expression
 //! trees over random relations evaluate identically through the plain
 //! evaluator (sequential scans everywhere) and through
