@@ -39,7 +39,11 @@ pub const WIRE_VERSION: u8 = 1;
 /// Version of the application protocol (message set + semantics),
 /// negotiated in `Hello`/`HelloAck`. A server refuses clients whose hello
 /// carries a different protocol version.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2: `Stats` gained `rows_streamed`/`batches_streamed` ahead of the
+/// relations list, and `RelationHeader.rows` stopped being authoritative
+/// for streamed results (`Done` carries the row count).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Hard ceiling on one frame's body (version byte through payload).
 /// Declaring a larger `len` is a protocol error — a garbage or hostile

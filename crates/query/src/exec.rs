@@ -527,11 +527,16 @@ impl QueryExecutor for ScanExec<'_> {
 // ---------------------------------------------------------------------------
 
 /// A per-tuple unary operator applied batch-by-batch over its child.
+/// Checks the stream's [`CancelProbe`] whenever a child batch is fully
+/// filtered away, so a highly-selective predicate over a large serial
+/// scan still cancels within one input-batch boundary even though it
+/// produces no output batches for the stream root to gate on.
 struct FilterExec<'a> {
     op: UnaryOp,
     label: String,
     src: &'a dyn IndexSource,
     child: Box<dyn QueryExecutor + 'a>,
+    cancel: Option<CancelProbe>,
     compiled: Option<TupleOp>,
     stats: ExecStats,
 }
@@ -568,7 +573,12 @@ impl QueryExecutor for FilterExec<'_> {
                         self.stats.batches += 1;
                         break Ok(Some(RowBatch::new(rows)));
                     }
-                    // A fully-filtered batch yields nothing: keep pulling.
+                    // A fully-filtered batch yields nothing: check for
+                    // cancellation before pulling the next one, since no
+                    // output reaches the stream root's per-batch gate.
+                    if cancelled(&self.cancel) {
+                        break Err(ExecError::Cancelled);
+                    }
                 }
                 Ok(None) => break Ok(None),
                 Err(e) => break Err(e),
@@ -974,10 +984,18 @@ impl QueryExecutor for GatherExec<'_> {
                 self.shutdown();
                 Err(ExecError::Eval(e))
             }
-            // Every worker finished and dropped its sender: drained.
+            // Every worker finished and dropped its sender. Workers also
+            // bail out without sending when the cancel probe fires, so a
+            // disconnect with the probe raised is an aborted scan, not a
+            // drained one — reporting it as end-of-stream would let a
+            // truncated result masquerade as a complete `Done`.
             None => {
                 self.shutdown();
-                Ok(None)
+                if cancelled(&self.cancel) {
+                    Err(ExecError::Cancelled)
+                } else {
+                    Ok(None)
+                }
             }
         };
         self.stats.wall_ns += started.elapsed().as_nanos() as u64;
@@ -1154,6 +1172,7 @@ pub fn build_executor<'a>(
             label: node_label(p),
             src,
             child: build_executor(input, src, opts),
+            cancel: opts.cancel.clone(),
             compiled: None,
             stats: ExecStats::default(),
         }),
@@ -1592,6 +1611,77 @@ mod tests {
         };
         assert_eq!(err, ExecError::Cancelled);
         assert!(rows < 5000, "cancel landed after {rows} rows");
+    }
+
+    /// A gather disconnect caused by cancellation must surface as
+    /// `Cancelled`, not as a clean drain: workers that bail on the probe
+    /// drop their senders exactly like drained ones, and reporting that
+    /// as end-of-stream would pass a truncated result off as complete.
+    /// Drives the executor directly (not through `QueryStream`) so the
+    /// stream root's own probe check cannot mask the gather-level path.
+    #[test]
+    fn cancelled_gather_disconnect_is_not_a_drain() {
+        let src = source(5000);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&flag);
+        let opts = ExecOptions {
+            batch_rows: 128,
+            workers: 4,
+            parallel_min_rows: 1,
+            cancel: Some(Arc::new(move || probe.load(Ordering::SeqCst) != 0)),
+            ..ExecOptions::default()
+        };
+        let q = parse_query("r").unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let p = plan(&e, &src);
+        let mut root = build_executor(&p, &src, &opts);
+        root.open().unwrap();
+        // Raise the probe while workers are mid-scan; in-flight batches
+        // may still arrive, then every worker exits without sending.
+        flag.store(1, Ordering::SeqCst);
+        let err = loop {
+            match root.next_batch() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("cancelled gather reported a clean drain"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ExecError::Cancelled);
+        root.close();
+    }
+
+    /// A selective filter that discards every row produces no output
+    /// batches for the stream root to gate on, so the filter itself must
+    /// honor the probe between child batches on serial plans.
+    #[test]
+    fn cancel_aborts_fully_filtered_serial_scan() {
+        let src = source(5000);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let probe = Arc::clone(&fired);
+        let opts = ExecOptions {
+            batch_rows: 32,
+            workers: 1,
+            cancel: Some(Arc::new(move || probe.fetch_add(1, Ordering::SeqCst) >= 2)),
+            ..ExecOptions::default()
+        };
+        // V = k*10 >= 0 for every row: the predicate matches nothing.
+        let q = parse_query("SELECT-WHEN (V < 0) (r)").unwrap();
+        let e = match q {
+            crate::ast::Query::Relation(e) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        let p = plan(&e, &src);
+        let mut s = QueryStream::new(build_executor(&p, &src, &opts), &opts).unwrap();
+        match s.next_batch() {
+            Err(ExecError::Cancelled) => {}
+            other => panic!("expected Cancelled before the scan drained, got {other:?}"),
+        }
+        // Cancelled after two probe checks, far short of draining all
+        // 5000/32 child batches.
+        assert!(fired.load(Ordering::SeqCst) < 10);
     }
 
     #[test]
