@@ -76,6 +76,10 @@ const GATED: &[&str] = &[
     "exec_stream_timeslice_100k",
     "parallel_scan_8c",
     "checkpoint_dirty_partitions",
+    // Buffer-pool read path: CPU-bound (hits) and OS-page-cache-bound
+    // (misses) — no fsync in either loop.
+    "pool_hit_timeslice_100k",
+    "pool_miss_cold_partition",
     // Loopback TCP against a *detached* server: CPU/network-bound (no
     // fsync in the loop), so stable enough to gate on one runner class.
     "net_query_throughput_8c",
@@ -293,6 +297,58 @@ fn run_tracked() -> Vec<BenchResult> {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // The out-of-core read path: a windowed materialization over a
+    // checkpointed 100k-tuple partitioned relation, through the buffer
+    // pool. `pool_hit` runs against a pool large enough that the second
+    // and later materializations are all frame hits (pure CPU: pruning +
+    // B+tree probe + decode). `pool_miss` runs the same window through a
+    // 2-frame pool, so every iteration re-faults its pages — reads come
+    // from the OS page cache (no fsync), so both are gateable on one
+    // runner class.
+    {
+        use hrdm_bench::partition_fixture::{scheme as part_scheme, tup as part_tup, SPAN_LOG2};
+        use hrdm_query::paged_snapshot_for_query;
+        use hrdm_storage::{BufferPool, PagedDatabase, PartitionPolicy};
+        let dir = bench_dir("paged");
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(PartitionPolicy::SpanLog2(SPAN_LOG2));
+        db.create_relation("r", part_scheme()).unwrap();
+        for chunk in 0..10i64 {
+            let batch: Vec<WalRecord> = (chunk * 10_000..(chunk + 1) * 10_000)
+                .map(|k| WalRecord::Insert {
+                    relation: "r".to_string(),
+                    tuple: part_tup(k),
+                })
+                .collect();
+            for r in db.commit_batch(batch) {
+                r.unwrap();
+            }
+        }
+        db.checkpoint().unwrap();
+        drop(db);
+
+        let lo = 32i64 << SPAN_LOG2;
+        let q = format!("TIMESLICE [{lo}..{}] (r)", lo + 50);
+        let warm = PagedDatabase::open_with_pool(&dir, BufferPool::new(4096)).unwrap();
+        std::hint::black_box(paged_snapshot_for_query(&q, &warm).unwrap()); // fault once
+        track(
+            "pool_hit_timeslice_100k",
+            measure_median_ns(SAMPLES, sample_time(), || {
+                std::hint::black_box(paged_snapshot_for_query(&q, &warm).unwrap());
+            }),
+        );
+        let cold = PagedDatabase::open_with_pool(&dir, BufferPool::new(2)).unwrap();
+        track(
+            "pool_miss_cold_partition",
+            measure_median_ns(SAMPLES, sample_time(), || {
+                std::hint::black_box(paged_snapshot_for_query(&q, &cold).unwrap());
+            }),
+        );
+        drop(warm);
+        drop(cold);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     // Durable single write (fsync per op) vs an 8-op group-commit batch
     // (one fsync), reported per op.
     {
@@ -389,6 +445,10 @@ fn registry_metrics() -> Vec<(String, f64)> {
         "hrdm_snapshot_publish_total",
         "hrdm_checkpoint_dirty_partitions_total",
         "hrdm_checkpoint_linked_partitions_total",
+        "hrdm_pool_hits_total",
+        "hrdm_pool_misses_total",
+        "hrdm_pool_evictions_total",
+        "hrdm_pool_writebacks_total",
     ] {
         if let Some(v) = g.counter_value(name) {
             out.push((name.to_string(), v as f64));

@@ -99,6 +99,11 @@ impl LintConfig {
                 "crates/storage/src/database.rs".into(),
                 "crates/storage/src/heap.rs".into(),
                 "crates/storage/src/page.rs".into(),
+                // Out-of-core layer: page faults and B+tree node reads
+                // size buffers from on-disk bytes.
+                "crates/storage/src/pool.rs".into(),
+                "crates/storage/src/btree.rs".into(),
+                "crates/storage/src/paged.rs".into(),
                 // Streaming executor: batch buffers sized from caller-
                 // supplied options must be capped before allocation.
                 "crates/query/src/exec.rs".into(),

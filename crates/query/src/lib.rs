@@ -63,11 +63,12 @@ pub use lexer::{lex, LexError, Token};
 pub use optimizer::{optimize, Rewrite};
 pub use parser::{parse_expr, parse_query, ParseError};
 pub use pipeline::{
-    explain_analyze_query_text, explain_query_text, run_query_on_snapshot,
-    run_query_on_snapshot_timed, stream_query_on_snapshot, strip_explain_analyze, PipelineError,
+    explain_analyze_query_text, explain_query_text, paged_snapshot_for_query, run_query_on_paged,
+    run_query_on_snapshot, run_query_on_snapshot_timed, stream_query_on_paged,
+    stream_query_on_snapshot, strip_explain_analyze, PagedQueryError, PipelineError,
     PipelineTiming, StreamedQuery, EXPLAIN_ANALYZE_PREFIX,
 };
 pub use plan::{
-    eval_plan, evaluate_planned, explain_plan, explain_plan_analyzed, explain_with_access, plan,
-    AccessPath, IndexSource, IndexedRelations, Plan,
+    eval_plan, evaluate_planned, explain_plan, explain_plan_analyzed, explain_with_access,
+    materialization_window, plan, AccessPath, IndexSource, IndexedRelations, Plan,
 };

@@ -13,6 +13,7 @@ use crate::exec::{build_executor, ExecError, ExecOptions, QueryStream};
 use crate::parser::{parse_query, ParseError};
 use crate::plan::IndexSource;
 use hrdm_core::HrdmError;
+use hrdm_storage::{DbError, PagedDatabase};
 use hrdm_time::Lifespan;
 use std::fmt;
 use std::time::Instant;
@@ -194,6 +195,94 @@ pub fn stream_query_on_snapshot<'a>(
             }
         }
     }
+}
+
+/// Everything that can go wrong running query text against an
+/// out-of-core [`PagedDatabase`]: the ordinary pipeline failures, plus
+/// the storage layer failing to materialize the window (I/O error, bad
+/// checksum, …) — a failure class the in-memory pipeline cannot have.
+#[derive(Debug)]
+pub enum PagedQueryError {
+    /// The query itself failed (parse, eval, cancel, cap).
+    Pipeline(PipelineError),
+    /// Reading the window from disk failed.
+    Storage(DbError),
+}
+
+impl fmt::Display for PagedQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagedQueryError::Pipeline(e) => e.fmt(f),
+            PagedQueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PagedQueryError {}
+
+impl From<PipelineError> for PagedQueryError {
+    fn from(e: PipelineError) -> Self {
+        PagedQueryError::Pipeline(e)
+    }
+}
+
+impl From<DbError> for PagedQueryError {
+    fn from(e: DbError) -> Self {
+        PagedQueryError::Storage(e)
+    }
+}
+
+impl From<ParseError> for PagedQueryError {
+    fn from(e: ParseError) -> Self {
+        PagedQueryError::Pipeline(PipelineError::Parse(e))
+    }
+}
+
+/// The minimal snapshot a paged source must materialize to answer
+/// `text`, plus the window it was clipped to (`None` = everything).
+///
+/// The window is [`crate::plan::materialization_window`] of the
+/// *optimized* relational expression — the same shape the planner will
+/// bound — so a query under a literal `TIMESLICE` faults in only the
+/// partitions its window can touch. Non-relation sorts (lifespan,
+/// aggregate) and unbounded queries materialize the full database.
+pub fn paged_snapshot_for_query(
+    text: &str,
+    db: &PagedDatabase,
+) -> Result<(hrdm_storage::DbSnapshot, Option<Lifespan>), PagedQueryError> {
+    let window = match parse_query(text)? {
+        crate::ast::Query::Relation(e) => {
+            let (optimized, _trace) = crate::optimizer::optimize(&e);
+            crate::plan::materialization_window(&optimized)
+        }
+        _ => None,
+    };
+    let snap = db.window_snapshot(window.as_ref())?;
+    Ok((snap, window))
+}
+
+/// Runs query text end to end against an out-of-core database: compute
+/// the query's materialization window, fault in that window through the
+/// buffer pool (pruned partitions stay on disk), then run the ordinary
+/// snapshot pipeline over the result.
+pub fn run_query_on_paged(text: &str, db: &PagedDatabase) -> Result<QueryResult, PagedQueryError> {
+    let (snap, _window) = paged_snapshot_for_query(text, db)?;
+    run_query_on_snapshot(text, &snap).map_err(PagedQueryError::from)
+}
+
+/// The streaming counterpart of [`run_query_on_paged`]: materializes the
+/// query's window, opens the stream over it, and hands the live
+/// [`StreamedQuery`] to `f`. Scoped as a callback because the stream
+/// borrows the window snapshot, which lives on this frame.
+pub fn stream_query_on_paged<T>(
+    text: &str,
+    db: &PagedDatabase,
+    opts: &ExecOptions,
+    f: impl FnOnce(StreamedQuery<'_>) -> Result<T, PipelineError>,
+) -> Result<T, PagedQueryError> {
+    let (snap, _window) = paged_snapshot_for_query(text, db)?;
+    let streamed = stream_query_on_snapshot(text, &snap, opts)?;
+    f(streamed).map_err(PagedQueryError::from)
 }
 
 /// Parses and EXPLAINs query text against `src`: the optimizer's rewrite

@@ -311,6 +311,109 @@ pub fn plan(expr: &Expr, src: &dyn IndexSource) -> Plan {
     plan_bounded(expr, src, None)
 }
 
+/// The widest lifespan window `W` such that evaluating `expr` over a
+/// source holding **only tuples whose lifespan intersects `W`** gives the
+/// same answer as over the full source — or `None` when no such window
+/// short of all-of-`T` exists.
+///
+/// This is the out-of-core analogue of the planner's per-leaf bound
+/// propagation (`plan_bounded`):
+/// the bound-propagation rules are mirrored exactly (introduced at a
+/// literal `τ_L`, narrowed by nesting, flowing through the unaries and
+/// set operators, cut at products and joins), and `W` is the **union of
+/// the bounds reaching every base-relation leaf**. A tuple disjoint from
+/// `W` is disjoint from its leaf's bound, so the literal time-slices
+/// above that leaf clip its whole contribution — the same argument that
+/// makes the bounded access path sound, and differentially tested the
+/// same way. One leaf reached with no bound (an unsliced scan, or a
+/// relation referenced from a computed lifespan like `Ω(e)`) forces
+/// `None`: some tuple of it could matter at any chronon.
+///
+/// `hrdm_storage::PagedDatabase::window_snapshot` takes `W` to
+/// materialize the minimal snapshot; partitions disjoint from `W` stay
+/// cold on disk.
+pub fn materialization_window(expr: &Expr) -> Option<Lifespan> {
+    let mut acc = Some(Lifespan::empty());
+    collect_window(expr, None, &mut acc);
+    acc
+}
+
+/// Folds the bound reaching each relation leaf of `expr` into `acc`
+/// (`None` = give up: some leaf is unbounded).
+fn collect_window(expr: &Expr, bound: Option<&Lifespan>, acc: &mut Option<Lifespan>) {
+    if acc.is_none() {
+        return;
+    }
+    match expr {
+        Expr::Relation(_) => match bound {
+            Some(b) => {
+                if let Some(w) = acc {
+                    *w = w.union(b);
+                }
+            }
+            None => *acc = None,
+        },
+        Expr::TimeSlice {
+            input,
+            lifespan: LifespanExpr::Literal(window),
+        } => {
+            let narrowed = match bound {
+                Some(b) => window.intersect(b),
+                None => window.clone(),
+            };
+            collect_window(input, Some(&narrowed), acc);
+        }
+        // A computed slice window may itself mention relations (Ω(e));
+        // those are read *unsliced* at run time, so they unbound W.
+        Expr::TimeSlice { input, lifespan } => {
+            lifespan_expr_relations(lifespan, acc);
+            collect_window(input, bound, acc);
+        }
+        Expr::SelectIf {
+            input, lifespan, ..
+        } => {
+            if let Some(l) = lifespan {
+                lifespan_expr_relations(l, acc);
+            }
+            collect_window(input, bound, acc);
+        }
+        Expr::SelectWhen { input, .. }
+        | Expr::Project { input, .. }
+        | Expr::TimeSliceDynamic { input, .. } => collect_window(input, bound, acc),
+        Expr::Union(a, b)
+        | Expr::Intersection(a, b)
+        | Expr::Difference(a, b)
+        | Expr::UnionO(a, b)
+        | Expr::IntersectionO(a, b)
+        | Expr::DifferenceO(a, b) => {
+            collect_window(a, bound, acc);
+            collect_window(b, bound, acc);
+        }
+        Expr::Product(a, b) | Expr::NaturalJoin(a, b) => {
+            collect_window(a, None, acc);
+            collect_window(b, None, acc);
+        }
+        Expr::TimeJoin { left, right, .. } | Expr::ThetaJoin { left, right, .. } => {
+            collect_window(left, None, acc);
+            collect_window(right, None, acc);
+        }
+    }
+}
+
+/// Relations referenced from a lifespan expression (`Ω(e)` and friends)
+/// are evaluated over the full source, never through a bounding `τ` —
+/// any such reference makes the window unusable.
+fn lifespan_expr_relations(l: &LifespanExpr, acc: &mut Option<Lifespan>) {
+    match l {
+        LifespanExpr::Literal(_) => {}
+        LifespanExpr::When(e) => collect_window(e, None, acc),
+        LifespanExpr::Union(a, b) | LifespanExpr::Intersect(a, b) | LifespanExpr::Minus(a, b) => {
+            lifespan_expr_relations(a, acc);
+            lifespan_expr_relations(b, acc);
+        }
+    }
+}
+
 /// Plans `expr` under an optional **lifespan bound**: a window `B` such
 /// that base tuples whose lifespan is disjoint from `B` cannot affect the
 /// result of the *bounded* expression (there is a literal TIME-SLICE above

@@ -26,6 +26,7 @@
 //! the old epoch's files + intact WAL, or the new epoch's files + empty
 //! WAL — both loadable, neither losing an acknowledged write.
 
+use crate::btree::LifespanBTree;
 use crate::catalog::Catalog;
 use crate::codec::{CodecError, Decoder, Encoder};
 use crate::heap::HeapFile;
@@ -1003,6 +1004,7 @@ impl Database {
                     &fallback
                 }
             };
+            let mut any_dirty = false;
             for (id, part) in parts.iter() {
                 let final_path = partition_heap_path(dir, name, epoch, id);
                 if let Some(old_epoch) = link_from {
@@ -1016,6 +1018,7 @@ impl Database {
                         continue;
                     }
                 }
+                any_dirty = true;
                 rewritten += 1;
                 let tmp_path = tmp_sibling(&final_path);
                 let mut heap = HeapFile::create(&tmp_path)?;
@@ -1026,6 +1029,34 @@ impl Database {
                 }
                 heap.sync()?;
                 std::fs::rename(&tmp_path, &final_path)?;
+            }
+            // The relation's on-disk B+tree over (birth, position): one
+            // file per relation per epoch, linked across epochs whenever
+            // no partition changed (same membership ⇒ same entries).
+            let btx_final = btree_path(dir, name, epoch);
+            let carried = !any_dirty
+                && link_from.is_some_and(|old| {
+                    link_partition_file(&btree_path(dir, name, old), &btx_final)
+                });
+            if !carried {
+                let mut entries: Vec<(i64, u32)> = Vec::new();
+                for (pos, tuple) in rel.iter().enumerate() {
+                    // Same birth rule as `PartitionMap::insert`: empty
+                    // lifespans are treated as born at chronon 0.
+                    let birth = tuple.lifespan().first().unwrap_or(Chronon::new(0)).tick();
+                    entries.push((
+                        birth,
+                        // lint: no-panic-ok(record ids are u32 on disk, so an in-memory relation can never reach u32::MAX rows)
+                        u32::try_from(pos).expect("relation fits in u32 positions"),
+                    ));
+                }
+                let tmp_path = tmp_sibling(&btx_final);
+                LifespanBTree::build(
+                    &tmp_path,
+                    Arc::clone(crate::pool::BufferPool::global()),
+                    &mut entries,
+                )?;
+                std::fs::rename(&tmp_path, &btx_final)?;
             }
         }
         Wal::create_empty(&wal_path(dir, epoch))?;
@@ -1119,10 +1150,21 @@ impl Database {
     }
 }
 
-/// Reads the checkpointed state (catalog + heap files) of `dir` and its
-/// epoch, or `None` when no catalog exists yet. Verifies checksums and
-/// re-validates every tuple against its (possibly evolved) scheme.
-fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
+/// The decoded commit point of a checkpoint: catalog, policy, epoch, and
+/// the partition manifest — everything the paged read path needs without
+/// touching a single heap page.
+pub(crate) struct CheckpointManifest {
+    pub catalog: Catalog,
+    pub policy: PartitionPolicy,
+    pub epoch: u64,
+    /// Relation → `[(partition id, tuple count, min_lo, max_hi)]`.
+    pub relations: BTreeMap<String, Vec<(i64, u64, i64, i64)>>,
+}
+
+/// Reads and validates `catalog.hrdm` alone (header, CRC, manifest) —
+/// `None` when no catalog exists yet. Shared by the eager loader
+/// ([`Database::load`]) and the out-of-core one ([`crate::PagedDatabase`]).
+pub(crate) fn read_catalog_manifest(dir: &Path) -> Result<Option<CheckpointManifest>, DbError> {
     // Every failure names the offending file: `BadFile` without a path
     // makes CI log triage on the recovery suite needlessly painful.
     let catalog_path = dir.join(CATALOG_FILE);
@@ -1166,8 +1208,10 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
     let policy = PartitionPolicy::decode(&mut dec)?;
 
     // Partition manifest: relation → [(id, tuple count, summary bounds)].
+    // The summaries answer pruning for cold partitions without reading
+    // heap files.
     let n_rels = dec.get_u64()? as usize;
-    let mut manifest: BTreeMap<String, Vec<(i64, u64)>> = BTreeMap::new();
+    let mut manifest: BTreeMap<String, Vec<(i64, u64, i64, i64)>> = BTreeMap::new();
     for _ in 0..n_rels {
         let name = dec.get_str()?.to_string();
         let n_parts = dec.get_u64()? as usize;
@@ -1175,14 +1219,33 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
         for _ in 0..n_parts {
             let id = dec.get_i64()?;
             let count = dec.get_u64()?;
-            // Summary bounds: persisted metadata, re-derived from the
-            // tuples on load (they exist so external tools can prune
-            // without reading heap files).
-            let (_min_lo, _max_hi) = (dec.get_i64()?, dec.get_i64()?);
-            parts.push((id, count));
+            let (min_lo, max_hi) = (dec.get_i64()?, dec.get_i64()?);
+            parts.push((id, count, min_lo, max_hi));
         }
         manifest.insert(name, parts);
     }
+    Ok(Some(CheckpointManifest {
+        catalog,
+        policy,
+        epoch,
+        relations: manifest,
+    }))
+}
+
+/// Reads the checkpointed state (catalog + heap files) of `dir` and its
+/// epoch, or `None` when no catalog exists yet. Verifies checksums and
+/// re-validates every tuple against its (possibly evolved) scheme.
+fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
+    let Some(manifest) = read_catalog_manifest(dir)? else {
+        return Ok(None);
+    };
+    let catalog_path = dir.join(CATALOG_FILE);
+    let CheckpointManifest {
+        catalog,
+        policy,
+        epoch,
+        relations: manifest,
+    } = manifest;
 
     let mut relations = BTreeMap::new();
     let names: Vec<String> = catalog.relations().map(str::to_string).collect();
@@ -1200,14 +1263,15 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
             )));
         };
         let mut tuples = Vec::new();
-        for &(id, count) in parts {
+        for &(id, count, _, _) in parts {
             let path = partition_heap_path(dir, &name, epoch, id);
             let heap = HeapFile::open(&path).map_err(|e| io_with_path(&path, e))?;
             let mut in_partition = 0u64;
-            for (_, rec) in heap.scan() {
+            for item in heap.scan() {
+                let (_, rec) = item.map_err(|e| io_with_path(&path, e))?;
                 // Clip to the (possibly evolved) scheme: values outside a
                 // shrunk ALS become invisible, not invalid.
-                let tuple = Decoder::new(rec).get_tuple()?.clipped_to_scheme(&scheme);
+                let tuple = Decoder::new(&rec).get_tuple()?.clipped_to_scheme(&scheme);
                 tuple.validate(&scheme).map_err(DbError::Model)?;
                 tuples.push(tuple);
                 in_partition += 1;
@@ -1235,12 +1299,12 @@ fn read_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
 
 /// Wraps an I/O error with the path it concerns, so `Database::open` /
 /// `Database::load` failures are triageable from the message alone.
-fn io_with_path(path: &Path, e: io::Error) -> DbError {
+pub(crate) fn io_with_path(path: &Path, e: io::Error) -> DbError {
     DbError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
 }
 
 /// The WAL of checkpoint epoch `epoch`.
-fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("wal.{epoch}.log"))
 }
 
@@ -1288,8 +1352,8 @@ fn same_dir(a: &Path, b: &Path) -> bool {
 /// siblings — debris of aborted checkpoints (before their commit point)
 /// or of superseded epochs (after it). Only names matching the database's
 /// own patterns (`wal.<epoch>.log`, `<name>.<epoch>.heap`,
-/// `<name>.<epoch>.p<id>.heap`, their `.tmp` siblings,
-/// `catalog.hrdm.tmp`) are ever touched: a user file like `build.log`
+/// `<name>.<epoch>.p<id>.heap`, `<name>.<epoch>.btx`, their `.tmp`
+/// siblings, `catalog.hrdm.tmp`) are ever touched: a user file like `build.log`
 /// sitting in the directory is not ours to delete. Best effort: failures
 /// leave garbage, never break the database.
 ///
@@ -1356,6 +1420,11 @@ fn classify_database_file(base: &str) -> Option<DbFileKind> {
         }
         return epoch_of(tail).map(DbFileKind::Epochal);
     }
+    if let Some(rest) = base.strip_suffix(".btx") {
+        // `<escaped-name>.<epoch>` — the relation's on-disk B+tree.
+        let (_, e) = rest.rsplit_once('.')?;
+        return epoch_of(e).map(DbFileKind::Epochal);
+    }
     None
 }
 
@@ -1389,15 +1458,12 @@ fn link_partition_file(old: &Path, new: &Path) -> bool {
     copied
 }
 
-/// The heap file of `relation`'s partition `part` under checkpoint
-/// `epoch`: `<escaped-name>.<epoch>.p<id>.heap`.
-///
-/// Relation names are caller-controlled, so they are escaped **injectively**
-/// into a tame file name: alphanumerics pass through, `_` doubles to `__`,
-/// and any other character becomes `_<hex>_`. Distinct relation names can
-/// therefore never collide on one heap file (`"emp dept"` → `emp_20_dept`,
+/// Escapes a caller-controlled relation name **injectively** into a tame
+/// file name: alphanumerics pass through, `_` doubles to `__`, and any
+/// other character becomes `_<hex>_`. Distinct relation names can
+/// therefore never collide on one file (`"emp dept"` → `emp_20_dept`,
 /// `"emp_dept"` → `emp__dept`).
-fn partition_heap_path(dir: &Path, relation: &str, epoch: u64, part: i64) -> PathBuf {
+fn escape_relation_name(relation: &str) -> String {
     let mut safe = String::with_capacity(relation.len());
     for c in relation.chars() {
         if c.is_ascii_alphanumeric() {
@@ -1409,7 +1475,22 @@ fn partition_heap_path(dir: &Path, relation: &str, epoch: u64, part: i64) -> Pat
             let _ = write!(safe, "_{:x}_", c as u32);
         }
     }
-    dir.join(format!("{safe}.{epoch}.p{part}.heap"))
+    safe
+}
+
+/// The heap file of `relation`'s partition `part` under checkpoint
+/// `epoch`: `<escaped-name>.<epoch>.p<id>.heap`.
+pub(crate) fn partition_heap_path(dir: &Path, relation: &str, epoch: u64, part: i64) -> PathBuf {
+    dir.join(format!(
+        "{}.{epoch}.p{part}.heap",
+        escape_relation_name(relation)
+    ))
+}
+
+/// The on-disk B+tree of `relation` under checkpoint `epoch`:
+/// `<escaped-name>.<epoch>.btx`.
+pub(crate) fn btree_path(dir: &Path, relation: &str, epoch: u64) -> PathBuf {
+    dir.join(format!("{}.{epoch}.btx", escape_relation_name(relation)))
 }
 
 #[cfg(test)]

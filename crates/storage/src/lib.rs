@@ -8,7 +8,16 @@
 //!   object: values, lifespans, temporal functions, schemes, tuples,
 //!   relations;
 //! * [`page`] — fixed-size slotted pages with checksums;
-//! * [`heap`] — heap files of encoded tuples over slotted pages;
+//! * [`pool`] — a page-granular **buffer pool** (pin counts, clock
+//!   eviction, dirty-page write-back) that every on-disk page is read
+//!   and written through, capping resident memory at a configurable
+//!   budget (`HRDM_POOL_PAGES` / `HRDM_POOL_BYTES`, default 256 MiB);
+//! * [`heap`] — heap files of encoded tuples over slotted pages, faulted
+//!   through the pool on demand;
+//! * [`btree`] — a bulk-loaded on-disk B+tree keyed by
+//!   (birth-chronon, position), the lifespan index for cold partitions;
+//! * [`paged`] — [`PagedDatabase`]: an out-of-core read path that
+//!   materializes only the partitions a time window touches;
 //! * [`catalog`] — the system catalog, including **schema evolution**: the
 //!   attribute-lifespan edits of the paper's Fig. 6 (drop an attribute at
 //!   `t2`, re-add it at `t3`) are first-class catalog operations with an
@@ -34,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod btree;
 pub mod catalog;
 pub mod codec;
 pub mod concurrent;
@@ -41,17 +51,22 @@ pub mod database;
 pub mod heap;
 mod obs;
 pub mod page;
+pub mod paged;
 pub mod partition;
+pub mod pool;
 pub mod snapshot;
 pub mod wal;
 
+pub use btree::LifespanBTree;
 pub use catalog::{Catalog, EvolutionEvent};
 pub use codec::{CodecError, Decoder, Encoder};
 pub use concurrent::{CommitStats, ConcurrentDatabase};
 pub use database::{Database, DbError};
-pub use heap::HeapFile;
-pub use page::{Page, SlotId, PAGE_SIZE};
+pub use heap::{HeapFile, RecordId};
+pub use page::{Page, SlotId, MAX_RECORD, PAGE_SIZE};
+pub use paged::PagedDatabase;
 pub use partition::{Partition, PartitionMap, PartitionPolicy};
+pub use pool::{BufferPool, PageGuard, PoolFileId, PoolStats};
 pub use snapshot::DbSnapshot;
 pub use wal::{Wal, WalRecord};
 

@@ -27,6 +27,14 @@ pub(crate) struct StorageObs {
     pub checkpoint_linked_partitions: Arc<Counter>,
     /// Snapshots published by concurrent databases.
     pub snapshot_publish: Arc<Counter>,
+    /// Buffer-pool page requests served from a resident frame.
+    pub pool_hits: Arc<Counter>,
+    /// Buffer-pool page requests that faulted the page in from disk.
+    pub pool_misses: Arc<Counter>,
+    /// Frames evicted by the pool's clock sweep.
+    pub pool_evictions: Arc<Counter>,
+    /// Dirty pages written back to disk (eviction or flush).
+    pub pool_writebacks: Arc<Counter>,
 }
 
 pub(crate) fn storage_obs() -> &'static StorageObs {
@@ -61,6 +69,22 @@ pub(crate) fn storage_obs() -> &'static StorageObs {
             snapshot_publish: r.counter(
                 "hrdm_snapshot_publish_total",
                 "Snapshots published by concurrent databases",
+            ),
+            pool_hits: r.counter(
+                "hrdm_pool_hits_total",
+                "Buffer-pool page requests served from a resident frame",
+            ),
+            pool_misses: r.counter(
+                "hrdm_pool_misses_total",
+                "Buffer-pool page requests faulted in from disk",
+            ),
+            pool_evictions: r.counter(
+                "hrdm_pool_evictions_total",
+                "Frames evicted by the buffer pool's clock sweep",
+            ),
+            pool_writebacks: r.counter(
+                "hrdm_pool_writebacks_total",
+                "Dirty pages written back to disk by the buffer pool",
             ),
         }
     })

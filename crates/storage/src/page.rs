@@ -10,8 +10,18 @@ use std::fmt;
 /// Page size in bytes.
 pub const PAGE_SIZE: usize = 8192;
 
-const HEADER: usize = 8; // slot_count: u16, free_ptr: u16, checksum: u32
-const SLOT: usize = 4; // offset: u16, len: u16
+/// Page header bytes: slot_count: u16, free_ptr: u16, checksum: u32.
+pub const PAGE_HEADER: usize = 8;
+/// Slot directory entry bytes: offset: u16, len: u16.
+pub const PAGE_SLOT: usize = 4;
+/// Largest record an empty page can hold: everything past the header
+/// minus the one slot-directory entry the record needs. This is *the*
+/// capacity constant — heap-level oversize guards must use it rather
+/// than re-deriving an approximation.
+pub const MAX_RECORD: usize = PAGE_SIZE - PAGE_HEADER - PAGE_SLOT;
+
+const HEADER: usize = PAGE_HEADER;
+const SLOT: usize = PAGE_SLOT;
 
 /// Index of a record within a page.
 pub type SlotId = u16;
@@ -152,6 +162,14 @@ impl Page {
         &self.data
     }
 
+    /// Mutable raw page bytes, for callers that impose their own layout on
+    /// a page (the on-disk B+tree nodes). Bytes `[4..8)` remain reserved
+    /// for the [`Page::seal`] checksum; raw-layout users must leave them
+    /// zero and let the buffer pool seal/verify on write-back/fault.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
     /// Reconstructs a page from raw bytes.
     pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Page {
         Page {
@@ -283,5 +301,70 @@ mod tests {
     fn crc32_known_vector() {
         // CRC-32("123456789") = 0xCBF43926 (IEEE reference value).
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_exactly_at_capacity_fits() {
+        let mut p = Page::new();
+        let rec = vec![0xabu8; MAX_RECORD];
+        let slot = p.insert(&rec).expect("MAX_RECORD must fit an empty page");
+        assert_eq!(p.get(slot), Some(&rec[..]));
+        assert_eq!(p.free_space(), 0);
+        // One byte more than capacity must be refused.
+        let mut q = Page::new();
+        assert!(q.insert(&vec![0u8; MAX_RECORD + 1]).is_none());
+    }
+
+    #[test]
+    fn slot_directory_growth_collides_with_free_pointer() {
+        // Tiny records: the slot directory (front) and cells (back) must
+        // meet without overlapping. 1-byte record costs 1 + SLOT bytes.
+        let mut p = Page::new();
+        let mut n = 0usize;
+        while p.insert(&[n as u8]).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, (PAGE_SIZE - HEADER) / (1 + SLOT));
+        // Directory end never crosses the free pointer.
+        let dir_end = HEADER + p.len() * SLOT;
+        assert!(dir_end <= p.free_ptr() as usize);
+        // Every record still reads back intact.
+        for id in 0..n {
+            assert_eq!(p.get(id as SlotId), Some(&[id as u8][..]));
+        }
+    }
+
+    #[test]
+    fn tombstones_survive_seal_and_reconstruct() {
+        let mut p = Page::new();
+        let a = p.insert(b"keep").unwrap();
+        let b = p.insert(b"kill").unwrap();
+        let c = p.insert(b"keep2").unwrap();
+        assert!(p.delete(b));
+        p.seal();
+        let q = Page::from_bytes(*p.bytes());
+        assert!(q.verify());
+        assert_eq!(q.len(), 3); // slots, live + tombstoned
+        assert_eq!(q.get(a), Some(&b"keep"[..]));
+        assert_eq!(q.get(b), None);
+        assert_eq!(q.get(c), Some(&b"keep2"[..]));
+        assert_eq!(q.iter().count(), 2);
+    }
+
+    #[test]
+    fn verify_fails_after_post_seal_mutation() {
+        let mut p = Page::new();
+        p.insert(b"stable").unwrap();
+        p.seal();
+        assert!(p.verify());
+        // Mutating through the normal API after seal invalidates the CRC.
+        p.insert(b"sneaky").unwrap();
+        assert!(!p.verify());
+        // Tombstoning after seal invalidates it too.
+        let mut q = Page::new();
+        let s = q.insert(b"doomed").unwrap();
+        q.seal();
+        q.delete(s);
+        assert!(!q.verify());
     }
 }

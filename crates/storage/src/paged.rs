@@ -1,0 +1,392 @@
+//! The out-of-core read path: a database whose relations stay on disk
+//! until a query window asks for them.
+//!
+//! [`Database::load`](crate::Database::load) is eager — it reassembles
+//! every relation in memory before the first query, so capacity is
+//! capped at RAM. [`PagedDatabase::open`] reads **only the catalog**
+//! (header + partition manifest, a few KiB) and leaves every heap page
+//! and B+tree node on disk. A query then calls
+//! [`PagedDatabase::window_snapshot`] with the lifespan window it needs:
+//!
+//! 1. the persisted per-partition summaries prune partitions whose
+//!    chronon range cannot intersect the window — those are never
+//!    *opened*, let alone read (the per-file fault counters of the
+//!    buffer pool prove it);
+//! 2. each surviving partition's member positions come from the
+//!    relation's on-disk B+tree ([`crate::LifespanBTree`]), and its
+//!    tuples stream in through the buffer pool, which caps resident
+//!    memory at the pool budget regardless of relation size;
+//! 3. the materialized tuples become an ordinary [`DbSnapshot`], so the
+//!    whole existing query stack — planner, pruning, streaming executor,
+//!    EXPLAIN ANALYZE — runs over it unchanged.
+//!
+//! A windowed snapshot contains *only* tuples whose lifespan intersects
+//! the window. That is exactly the set a lifespan-bounded query can
+//! observe (`hrdm-query`'s `materialization_window` computes a sound
+//! window from a query text, or `None` to materialize everything), but
+//! callers passing hand-made windows must respect the contract.
+//!
+//! Writes stay with the attached [`Database`](crate::Database) /
+//! `ConcurrentDatabase`; a paged view does tolerate a WAL *tail* of
+//! plain inserts and relation creations (held resident — the tail is
+//! bounded by checkpoint cadence), and refuses anything heavier with a
+//! `Mode` error naming the fix: checkpoint first.
+
+use crate::btree::LifespanBTree;
+use crate::catalog::Catalog;
+use crate::codec::Decoder;
+use crate::database::{
+    btree_path, io_with_path, partition_heap_path, read_catalog_manifest, wal_path, DbError,
+};
+use crate::heap::HeapFile;
+use crate::partition::{PartitionMap, PartitionPolicy};
+use crate::pool::BufferPool;
+use crate::snapshot::DbSnapshot;
+use crate::wal::{Wal, WalRecord};
+use hrdm_core::{Relation, Scheme, Tuple};
+use hrdm_index::RelationIndexes;
+use hrdm_time::Lifespan;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One relation of a paged database: cold partition metadata plus the
+/// resident WAL tail. Heap files open lazily, on first fault.
+struct PagedRelation {
+    scheme: Scheme,
+    /// Cold partition map over the checkpoint manifest: pruning answers
+    /// come from persisted summaries, member positions from the B+tree.
+    map: PartitionMap,
+    /// Tuples inserted after the checkpoint (the WAL tail), at global
+    /// positions `checkpoint_count..`.
+    tail: Vec<Tuple>,
+    /// Tuples in the checkpoint image (= sum of manifest counts).
+    checkpoint_count: usize,
+    /// Partition heaps opened so far; absence here (plus a zero fault
+    /// count) is the witness that a pruned partition was never touched.
+    heaps: Mutex<BTreeMap<i64, Arc<HeapFile>>>,
+}
+
+impl std::fmt::Debug for PagedDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedDatabase")
+            .field("dir", &self.dir)
+            .field("epoch", &self.epoch)
+            .field("relations", &self.rels.len())
+            .finish()
+    }
+}
+
+/// A database opened out-of-core; see the [module docs](self).
+pub struct PagedDatabase {
+    dir: PathBuf,
+    pool: Arc<BufferPool>,
+    catalog: Arc<Catalog>,
+    policy: PartitionPolicy,
+    epoch: u64,
+    rels: BTreeMap<String, PagedRelation>,
+}
+
+impl PagedDatabase {
+    /// Opens the database at `dir` against the process-global buffer
+    /// pool. Reads the catalog and WAL tail only — no heap pages.
+    pub fn open(dir: &Path) -> Result<PagedDatabase, DbError> {
+        Self::open_with_pool(dir, Arc::clone(BufferPool::global()))
+    }
+
+    /// [`PagedDatabase::open`] with an explicit pool (tests use tiny
+    /// pools to force eviction).
+    pub fn open_with_pool(dir: &Path, pool: Arc<BufferPool>) -> Result<PagedDatabase, DbError> {
+        let Some(manifest) = read_catalog_manifest(dir)? else {
+            return Err(DbError::Mode(format!(
+                "no checkpoint at {}: a paged open needs a catalog — checkpoint the database first",
+                dir.display()
+            )));
+        };
+        let mut catalog = manifest.catalog;
+        let policy = manifest.policy;
+        let epoch = manifest.epoch;
+
+        let mut rels: BTreeMap<String, PagedRelation> = BTreeMap::new();
+        let names: Vec<String> = catalog.relations().map(str::to_string).collect();
+        for name in names {
+            let Some(scheme) = catalog.scheme(&name).cloned() else {
+                return Err(DbError::BadFile(format!(
+                    "{}: catalog is inconsistent about relation `{name}`",
+                    dir.display()
+                )));
+            };
+            let Some(rows) = manifest.relations.get(&name) else {
+                return Err(DbError::BadFile(format!(
+                    "{}: relation `{name}` missing from the partition manifest",
+                    dir.display()
+                )));
+            };
+            let btx = btree_path(dir, &name, epoch);
+            let btree = Arc::new(
+                LifespanBTree::open(&btx, Arc::clone(&pool)).map_err(|e| io_with_path(&btx, e))?,
+            );
+            let map = PartitionMap::from_manifest(policy, scheme.clone(), rows, &btree);
+            let checkpoint_count = map.tuple_count();
+            rels.insert(
+                name,
+                PagedRelation {
+                    scheme,
+                    map,
+                    tail: Vec::new(),
+                    checkpoint_count,
+                    heaps: Mutex::new(BTreeMap::new()),
+                },
+            );
+        }
+
+        // The WAL tail: inserts and creations stay resident; anything
+        // heavier (schema evolution, wholesale replacement) would force
+        // this view to re-derive relations — the eager loader's job.
+        let wal_file = wal_path(dir, epoch);
+        if wal_file.exists() {
+            let (records, _torn) = Wal::replay(&wal_file)?;
+            for record in records {
+                match record {
+                    WalRecord::CreateRelation { name, scheme } => {
+                        catalog.create_relation(&name, scheme.clone())?;
+                        let map =
+                            PartitionMap::from_manifest(policy, scheme.clone(), &[], &no_btree());
+                        rels.insert(
+                            name,
+                            PagedRelation {
+                                scheme,
+                                map,
+                                tail: Vec::new(),
+                                checkpoint_count: 0,
+                                heaps: Mutex::new(BTreeMap::new()),
+                            },
+                        );
+                    }
+                    WalRecord::Insert { relation, tuple } => {
+                        let Some(pr) = rels.get_mut(&relation) else {
+                            return Err(DbError::BadFile(format!(
+                                "{}: insert into unknown relation `{relation}`",
+                                wal_file.display()
+                            )));
+                        };
+                        tuple.validate(&pr.scheme).map_err(DbError::Model)?;
+                        pr.tail.push(tuple);
+                    }
+                    other => {
+                        return Err(DbError::Mode(format!(
+                            "{}: WAL tail holds {} — checkpoint the database before opening it paged",
+                            wal_file.display(),
+                            record_kind(&other)
+                        )));
+                    }
+                }
+            }
+        }
+
+        Ok(PagedDatabase {
+            dir: dir.to_path_buf(),
+            pool,
+            catalog: Arc::new(catalog),
+            policy,
+            epoch,
+            rels,
+        })
+    }
+
+    /// The buffer pool this database reads through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The checkpoint epoch the view is reading.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The catalog (checkpoint + tail creations).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The registered relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// The scheme of `name`.
+    pub fn scheme(&self, name: &str) -> Option<&Scheme> {
+        self.rels.get(name).map(|r| &r.scheme)
+    }
+
+    /// Total tuples of `name` (checkpoint image + WAL tail), known
+    /// without touching a heap page.
+    pub fn tuple_count(&self, name: &str) -> Option<usize> {
+        self.rels
+            .get(name)
+            .map(|r| r.checkpoint_count + r.tail.len())
+    }
+
+    /// The cold partition map of `name` — pruning metadata only.
+    pub fn partition_map(&self, name: &str) -> Option<&PartitionMap> {
+        self.rels.get(name).map(|r| &r.map)
+    }
+
+    /// Ids of `name`'s partitions whose heap file has been opened (and
+    /// thus possibly read) so far — the complement is provably cold.
+    pub fn opened_partitions(&self, name: &str) -> Vec<i64> {
+        self.rels.get(name).map_or_else(Vec::new, |r| {
+            r.heaps
+                .lock()
+                .expect("paged heap cache lock")
+                .keys()
+                .copied()
+                .collect()
+        })
+    }
+
+    /// Materializes the whole database as a [`DbSnapshot`] — every
+    /// partition of every relation. Equivalent to
+    /// [`Database::load`](crate::Database::load) + snapshot, but reading
+    /// through the pool's bounded memory.
+    pub fn snapshot(&self) -> Result<DbSnapshot, DbError> {
+        self.window_snapshot(None)
+    }
+
+    /// Materializes a [`DbSnapshot`] holding exactly the tuples whose
+    /// lifespan intersects `window` (all tuples when `None`).
+    ///
+    /// Partitions whose summary cannot intersect the window are pruned
+    /// from catalog metadata alone — their heap files are never opened.
+    /// The snapshot is sound for any query whose observable tuples all
+    /// intersect `window` (see `hrdm-query`'s `materialization_window`).
+    pub fn window_snapshot(&self, window: Option<&Lifespan>) -> Result<DbSnapshot, DbError> {
+        let mut relations = BTreeMap::new();
+        let mut indexes = BTreeMap::new();
+        let mut partitions = BTreeMap::new();
+        for (name, pr) in &self.rels {
+            let rel = self.materialize(name, pr, window)?;
+            indexes.insert(name.clone(), Arc::new(RelationIndexes::build(&rel)));
+            partitions.insert(
+                name.clone(),
+                Arc::new(PartitionMap::build(&rel, self.policy)),
+            );
+            relations.insert(name.clone(), rel);
+        }
+        let version = self.rels.values().map(|r| r.tail.len() as u64).sum();
+        Ok(DbSnapshot::new(
+            Arc::clone(&self.catalog),
+            relations,
+            indexes,
+            partitions,
+            Some(self.epoch),
+            version,
+        ))
+    }
+
+    /// Reads one relation's window-intersecting tuples, ascending by
+    /// global position.
+    fn materialize(
+        &self,
+        name: &str,
+        pr: &PagedRelation,
+        window: Option<&Lifespan>,
+    ) -> Result<Relation, DbError> {
+        let mut picked: Vec<(usize, Tuple)> = Vec::new();
+        let ids: Vec<i64> = match window {
+            Some(w) => pr.map.overlapping_ids(w),
+            None => pr.map.iter().map(|(id, _)| id).collect(),
+        };
+        for id in ids {
+            let Some(part) = pr.map.partition(id) else {
+                continue;
+            };
+            // Member positions, ascending — the order the checkpoint
+            // wrote this partition's heap records in, so the zip below
+            // pairs every record with its global position.
+            let positions = part.try_positions()?;
+            let heap = self.heap(name, pr, id)?;
+            let mut at = 0usize;
+            for item in heap.scan() {
+                let (_, rec) = item.map_err(|e| io_with_path(heap.path(), e))?;
+                let Some(&pos) = positions.get(at) else {
+                    return Err(DbError::BadFile(format!(
+                        "{}: partition p{id} holds more records than the B+tree knows ({})",
+                        heap.path().display(),
+                        positions.len()
+                    )));
+                };
+                at += 1;
+                // Clip to the (possibly evolved) scheme: values outside a
+                // shrunk ALS become invisible, not invalid.
+                let tuple = Decoder::new(&rec)
+                    .get_tuple()?
+                    .clipped_to_scheme(&pr.scheme);
+                if window.is_none_or(|w| tuple.lifespan().intersects(w)) {
+                    tuple.validate(&pr.scheme).map_err(DbError::Model)?;
+                    picked.push((pos, tuple));
+                }
+            }
+            if at != positions.len() {
+                return Err(DbError::BadFile(format!(
+                    "{}: partition p{id} holds {at} record(s), the B+tree says {}",
+                    heap.path().display(),
+                    positions.len()
+                )));
+            }
+        }
+        for (i, tuple) in pr.tail.iter().enumerate() {
+            if window.is_none_or(|w| tuple.lifespan().intersects(w)) {
+                picked.push((pr.checkpoint_count + i, tuple.clone()));
+            }
+        }
+        // Partitions interleave in position space; restore global
+        // insertion order so results match the eager loader byte for
+        // byte.
+        picked.sort_by_key(|&(pos, _)| pos);
+        let tuples: Vec<Tuple> = picked.into_iter().map(|(_, t)| t).collect();
+        Ok(Relation::from_parts_unchecked(pr.scheme.clone(), tuples))
+    }
+
+    /// The heap of partition `id`, opened on first use.
+    fn heap(&self, name: &str, pr: &PagedRelation, id: i64) -> Result<Arc<HeapFile>, DbError> {
+        let mut heaps = pr.heaps.lock().expect("paged heap cache lock");
+        if let Some(h) = heaps.get(&id) {
+            return Ok(Arc::clone(h));
+        }
+        let path = partition_heap_path(&self.dir, name, self.epoch, id);
+        let heap = Arc::new(
+            HeapFile::open_in(&path, Arc::clone(&self.pool)).map_err(|e| io_with_path(&path, e))?,
+        );
+        heaps.insert(id, Arc::clone(&heap));
+        Ok(heap)
+    }
+}
+
+/// An empty B+tree for tail-created relations (no checkpoint image yet):
+/// every member fetch over it is trivially empty.
+fn no_btree() -> Arc<LifespanBTree> {
+    // A relation created after the checkpoint has no on-disk tree; an
+    // empty cold map never consults one, so a dangling Arc would do —
+    // but building a real empty tree in a scratch file keeps the type
+    // honest without special cases.
+    static EMPTY: std::sync::OnceLock<Arc<LifespanBTree>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| {
+        let path = std::env::temp_dir().join(format!("hrdm-empty-{}.btx", std::process::id()));
+        let pool = BufferPool::new(1);
+        let tree = LifespanBTree::build(&path, pool, &mut Vec::new())
+            .expect("building an empty scratch B+tree in $TMPDIR"); // lint: no-panic-ok(one-shot process setup; an unwritable $TMPDIR leaves nothing to degrade to)
+        Arc::new(tree)
+    }))
+}
+
+fn record_kind(record: &WalRecord) -> &'static str {
+    match record {
+        WalRecord::CreateRelation { .. } => "a relation creation",
+        WalRecord::Insert { .. } => "an insert",
+        WalRecord::AddAttribute { .. } => "schema evolution (add attribute)",
+        WalRecord::DropAttribute { .. } => "schema evolution (drop attribute)",
+        WalRecord::ReAddAttribute { .. } => "schema evolution (re-add attribute)",
+        WalRecord::PutRelation { .. } => "a wholesale relation replacement",
+    }
+}

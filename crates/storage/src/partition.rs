@@ -43,10 +43,12 @@
 //! ([`Partition::is_dirty`]); clean partitions are carried into the new
 //! epoch by hard link.
 
+use crate::btree::LifespanBTree;
 use hrdm_core::{Relation, Scheme, Tuple};
 use hrdm_index::RelationIndexes;
 use hrdm_time::{Chronon, Interval, Lifespan};
 use std::collections::BTreeMap;
+use std::io;
 use std::sync::Arc;
 
 /// Default span exponent: partitions of `2^10 = 1024` chronons.
@@ -96,6 +98,22 @@ impl PartitionPolicy {
         }
     }
 
+    /// The inclusive birth-chronon range `[lo, hi]` that partition `id`
+    /// nominally covers — the inverse of [`PartitionPolicy::partition_id`].
+    /// Saturates at the `i64` extremes for implausible manifest ids.
+    pub fn birth_range(&self, id: i64) -> (i64, i64) {
+        match self {
+            PartitionPolicy::SpanLog2(s) => {
+                let s = (*s).min(62);
+                let span = 1i128 << s;
+                let lo = (i128::from(id) * span).clamp(i128::from(i64::MIN), i128::from(i64::MAX));
+                let hi = (lo + span - 1).clamp(i128::from(i64::MIN), i128::from(i64::MAX));
+                (lo as i64, hi as i64)
+            }
+            PartitionPolicy::Unpartitioned => (i64::MIN, i64::MAX),
+        }
+    }
+
     /// Serializes the policy (one byte tag + exponent).
     pub(crate) fn encode(&self, e: &mut crate::codec::Encoder) {
         match self {
@@ -119,21 +137,42 @@ impl PartitionPolicy {
     }
 }
 
+/// Where a partition's members live.
+#[derive(Clone, Debug)]
+enum Members {
+    /// In-memory members: positions plus per-partition access methods —
+    /// what [`PartitionMap::build`] / [`PartitionMap::insert`] produce.
+    Resident {
+        /// Member positions into the relation's tuple vector, in
+        /// insertion order (ascending — positions are append-only).
+        positions: Vec<u32>,
+        /// Access methods over the member tuples; positions returned by
+        /// these indexes are **local** (indices into `positions`).
+        indexes: Arc<RelationIndexes>,
+    },
+    /// Disk-resident members, served on demand from the relation's
+    /// on-disk B+tree: the members are exactly the entries whose birth
+    /// chronon falls in `[birth_lo, birth_hi]` — what
+    /// [`PartitionMap::from_manifest`] produces for cold partitions.
+    Cold {
+        btree: Arc<LifespanBTree>,
+        birth_lo: i64,
+        birth_hi: i64,
+    },
+}
+
 /// One chronon-range partition: member positions, lifespan summary, its own
 /// access methods, and the dirty flag the incremental checkpoint reads.
 #[derive(Clone, Debug)]
 pub struct Partition {
-    /// Member positions into the relation's tuple vector, in insertion
-    /// order (ascending — positions are append-only).
-    positions: Vec<u32>,
+    members: Members,
+    /// Member count (known without touching disk even for cold members).
+    count: usize,
     /// Smallest first-chronon over member lifespans (`i64::MAX` when no
     /// member has a non-empty lifespan).
     min_lo: i64,
     /// Largest last-chronon over member lifespans (`i64::MIN` likewise).
     max_hi: i64,
-    /// Access methods over the member tuples; positions returned by these
-    /// indexes are **local** (indices into [`Partition::positions`]).
-    indexes: Arc<RelationIndexes>,
     /// Has membership changed since the last checkpoint wrote (or linked)
     /// this partition's heap file?
     dirty: bool,
@@ -142,40 +181,91 @@ pub struct Partition {
 impl Partition {
     fn new(scheme: &Scheme) -> Partition {
         Partition {
-            positions: Vec::new(),
+            members: Members::Resident {
+                positions: Vec::new(),
+                indexes: Arc::new(RelationIndexes::build(&Relation::new(scheme.clone()))),
+            },
+            count: 0,
             min_lo: i64::MAX,
             max_hi: i64::MIN,
-            indexes: Arc::new(RelationIndexes::build(&Relation::new(scheme.clone()))),
             dirty: true,
         }
     }
 
     fn add(&mut self, pos: usize, tuple: &Tuple) {
-        let local = self.positions.len();
-        self.positions
+        let Members::Resident { positions, indexes } = &mut self.members else {
+            // Cold partitions are read-only checkpoint views; the paged
+            // read path never routes inserts here.
+            debug_assert!(false, "insert into a cold partition");
+            return;
+        };
+        let local = positions.len();
+        positions
             // lint: no-panic-ok(record ids are u32 on disk, so an in-memory relation can never reach u32::MAX rows)
             .push(u32::try_from(pos).expect("relation fits in u32 positions"));
         if let (Some(first), Some(last)) = (tuple.lifespan().first(), tuple.lifespan().last()) {
             self.min_lo = self.min_lo.min(first.tick());
             self.max_hi = self.max_hi.max(last.tick());
         }
-        Arc::make_mut(&mut self.indexes).insert(local, tuple);
+        Arc::make_mut(indexes).insert(local, tuple);
+        self.count += 1;
         self.dirty = true;
     }
 
+    /// Resident member positions, ascending (empty slice when cold).
+    fn resident_positions(&self) -> &[u32] {
+        match &self.members {
+            Members::Resident { positions, .. } => positions,
+            Members::Cold { .. } => &[],
+        }
+    }
+
     /// Member positions into the relation's tuple vector, ascending.
+    ///
+    /// Cold partitions yield nothing here — their members live on disk;
+    /// use [`Partition::try_positions`], which can fault.
     pub fn positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.positions.iter().map(|&p| p as usize)
+        self.resident_positions().iter().map(|&p| p as usize)
+    }
+
+    /// Member positions, ascending, faulting the on-disk B+tree in for
+    /// cold partitions.
+    pub fn try_positions(&self) -> io::Result<Vec<usize>> {
+        match &self.members {
+            Members::Resident { positions, .. } => {
+                Ok(positions.iter().map(|&p| p as usize).collect())
+            }
+            Members::Cold {
+                btree,
+                birth_lo,
+                birth_hi,
+            } => {
+                // The tree yields (birth, position) order; members are a
+                // position *set*, so re-sort ascending by position.
+                let mut v: Vec<usize> = btree
+                    .range_positions(*birth_lo, *birth_hi)?
+                    .into_iter()
+                    .map(|p| p as usize)
+                    .collect();
+                v.sort_unstable();
+                Ok(v)
+            }
+        }
+    }
+
+    /// Are the members disk-resident (checkpoint manifest + B+tree)?
+    pub fn is_cold(&self) -> bool {
+        matches!(self.members, Members::Cold { .. })
     }
 
     /// Number of member tuples.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.count
     }
 
     /// Is the partition empty?
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.count == 0
     }
 
     /// The min/max lifespan summary interval, `None` when no member has a
@@ -195,9 +285,13 @@ impl Partition {
     }
 
     /// The partition's own access methods (positions are local — map them
-    /// through [`Partition::positions`]).
-    pub fn indexes(&self) -> &RelationIndexes {
-        &self.indexes
+    /// through [`Partition::positions`]). `None` for cold partitions,
+    /// whose only access method is the on-disk B+tree.
+    pub fn indexes(&self) -> Option<&RelationIndexes> {
+        match &self.members {
+            Members::Resident { indexes, .. } => Some(indexes),
+            Members::Cold { .. } => None,
+        }
     }
 
     /// Has membership changed since the last checkpoint?
@@ -232,6 +326,46 @@ impl PartitionMap {
         };
         for (pos, t) in r.iter().enumerate() {
             map.insert(pos, t);
+        }
+        map
+    }
+
+    /// Rebuilds a **cold** map from a checkpoint manifest: per-partition
+    /// `(id, count, min_lo, max_hi)` rows plus the relation's on-disk
+    /// B+tree. No member positions are resident — pruning answers come
+    /// from the persisted summaries, and member fetches fault the tree
+    /// in through the buffer pool ([`Partition::try_positions`]). All
+    /// partitions start clean (they mirror what is on disk).
+    pub fn from_manifest(
+        policy: PartitionPolicy,
+        scheme: Scheme,
+        manifest: &[(i64, u64, i64, i64)],
+        btree: &Arc<LifespanBTree>,
+    ) -> PartitionMap {
+        let mut map = PartitionMap {
+            policy,
+            scheme,
+            parts: BTreeMap::new(),
+            tuple_count: 0,
+        };
+        for &(id, count, min_lo, max_hi) in manifest {
+            let (birth_lo, birth_hi) = policy.birth_range(id);
+            let count = count as usize;
+            map.parts.insert(
+                id,
+                Partition {
+                    members: Members::Cold {
+                        btree: Arc::clone(btree),
+                        birth_lo,
+                        birth_hi,
+                    },
+                    count,
+                    min_lo,
+                    max_hi,
+                    dirty: false,
+                },
+            );
+            map.tuple_count += count;
         }
         map
     }
@@ -308,15 +442,29 @@ impl PartitionMap {
 
     /// Global positions of candidate tuples whose lifespan overlaps
     /// `window`, sorted ascending and deduplicated — the pruning access
-    /// path.
+    /// path. Infallible variant of
+    /// [`PartitionMap::try_prune_positions`] for the resident maps the
+    /// in-memory engine builds (a cold partition that fails to fault
+    /// degrades to no candidates here — the paged read path uses the
+    /// fallible form).
+    pub fn prune_positions(&self, window: &Lifespan) -> Vec<usize> {
+        self.try_prune_positions(window).unwrap_or_default()
+    }
+
+    /// Global positions of candidate tuples whose lifespan overlaps
+    /// `window`, sorted ascending and deduplicated.
     ///
     /// Partitions whose summary is disjoint from `window` are skipped
-    /// whole; partitions whose summary is *contained* in `window` are
-    /// taken whole without probing; the rest are served from their own
-    /// lifespan index.
-    pub fn prune_positions(&self, window: &Lifespan) -> Vec<usize> {
+    /// whole — for cold partitions this is the payoff: a non-intersecting
+    /// partition is pruned from its catalog summary alone, without
+    /// faulting a single page. Resident partitions whose summary is
+    /// *contained* in `window` are taken whole without probing; the rest
+    /// are served from their own lifespan index. Overlapping *cold*
+    /// partitions are taken whole from the on-disk B+tree (a sound
+    /// candidate superset: operators re-apply exact semantics).
+    pub fn try_prune_positions(&self, window: &Lifespan) -> io::Result<Vec<usize>> {
         let Some(probe) = SummaryProbe::new(window) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let mut out: Vec<usize> = Vec::new();
         let mut sorted = true;
@@ -328,19 +476,28 @@ impl PartitionMap {
                 continue;
             };
             let chunk_start = out.len();
-            if window.contains_interval(&summary) {
-                // Every member tuple lives inside the summary, and the
-                // whole summary is inside the window: all members overlap.
-                out.extend(p.positions());
-            } else if window.intersects_interval(&summary) {
-                let positions = &p.positions;
-                out.extend(
-                    p.indexes
-                        .lifespan()
-                        .overlapping(window)
-                        .into_iter()
-                        .map(|local| positions[local] as usize),
-                );
+            match &p.members {
+                Members::Resident { positions, indexes } => {
+                    if window.contains_interval(&summary) {
+                        // Every member tuple lives inside the summary, and
+                        // the whole summary is inside the window: all
+                        // members overlap.
+                        out.extend(p.positions());
+                    } else if window.intersects_interval(&summary) {
+                        out.extend(
+                            indexes
+                                .lifespan()
+                                .overlapping(window)
+                                .into_iter()
+                                .map(|local| positions[local] as usize),
+                        );
+                    }
+                }
+                Members::Cold { .. } => {
+                    if window.intersects_interval(&summary) {
+                        out.extend(p.try_positions()?);
+                    }
+                }
             }
             // Positions are ascending within one partition's chunk;
             // across partitions they interleave only when insertions
@@ -353,7 +510,7 @@ impl PartitionMap {
             out.sort_unstable();
             out.dedup();
         }
-        out
+        Ok(out)
     }
 
     /// Ids of partitions whose membership changed since the last

@@ -1,0 +1,351 @@
+//! Out-of-core acceptance tests: a [`PagedDatabase`] must materialize
+//! byte-identical relations to the eager loader while reading through a
+//! bounded buffer pool, and a windowed open must *provably* never touch
+//! partitions whose summaries exclude the window.
+
+use hrdm_core::prelude::*;
+use hrdm_storage::{
+    BufferPool, Database, DbError, PagedDatabase, PartitionPolicy, WalRecord, PAGE_SIZE,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "hrdm-paged-{}-{name}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+const T_MAX: i64 = 1 << 20;
+
+fn scheme() -> Scheme {
+    Scheme::builder()
+        .key_attr("K", ValueKind::Int, Lifespan::interval(0, T_MAX))
+        .attr("V", HistoricalDomain::int(), Lifespan::interval(0, T_MAX))
+        .build()
+        .unwrap()
+}
+
+fn tup(k: i64, lo: i64, hi: i64) -> Tuple {
+    let life = Lifespan::interval(lo, hi);
+    Tuple::builder(life.clone())
+        .constant("K", k)
+        .value("V", TemporalValue::constant(&life, Value::Int(k * 10)))
+        .finish(&scheme())
+        .unwrap()
+}
+
+/// A checkpointed database with `n` tuples spread over many 4096-chronon
+/// partitions: tuple `k` lives in `[k·37 mod T, +25]`.
+fn seed_db(dir: &std::path::Path, n: i64) {
+    let mut db = Database::open(dir).unwrap();
+    db.set_partition_policy(PartitionPolicy::SpanLog2(12));
+    db.create_relation("emp", scheme()).unwrap();
+    let ops: Vec<WalRecord> = (0..n)
+        .map(|k| {
+            let lo = (k * 37) % (T_MAX - 30);
+            WalRecord::Insert {
+                relation: "emp".into(),
+                tuple: tup(k, lo, lo + 25),
+            }
+        })
+        .collect();
+    for r in db.commit_batch(ops) {
+        r.unwrap();
+    }
+    db.checkpoint().unwrap();
+}
+
+#[test]
+fn full_snapshot_matches_eager_load() {
+    let dir = tmp("full");
+    seed_db(&dir, 300);
+    let eager = Database::load(&dir).unwrap();
+    let paged = PagedDatabase::open(&dir).unwrap();
+    let snap = paged.snapshot().unwrap();
+    assert_eq!(
+        snap.relation("emp").unwrap(),
+        eager.relation("emp").unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn windowed_snapshot_matches_filtered_eager_load() {
+    let dir = tmp("windowed");
+    seed_db(&dir, 300);
+    let eager = Database::load(&dir).unwrap();
+    let paged = PagedDatabase::open(&dir).unwrap();
+    for (lo, hi) in [(0, 100), (5_000, 9_000), (T_MAX - 200, T_MAX), (7, 7)] {
+        let w = Lifespan::interval(lo, hi);
+        let snap = paged.window_snapshot(Some(&w)).unwrap();
+        let want: Vec<Tuple> = eager
+            .relation("emp")
+            .unwrap()
+            .iter()
+            .filter(|t| t.lifespan().intersects(&w))
+            .cloned()
+            .collect();
+        let got: Vec<Tuple> = snap.relation("emp").unwrap().iter().cloned().collect();
+        assert_eq!(got, want, "window [{lo}, {hi}]");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole witness: a narrow window opens only the partitions its
+/// chronons can live in; every other partition's heap stays cold — not
+/// merely unread, never even *opened* — and the pool faults stay bounded
+/// by the opened partitions' sizes.
+#[test]
+fn narrow_window_leaves_cold_partitions_untouched() {
+    let dir = tmp("cold");
+    seed_db(&dir, 2_000);
+    let pool = BufferPool::new(8);
+    let paged = PagedDatabase::open_with_pool(&dir, Arc::clone(&pool)).unwrap();
+    let total_parts = paged.partition_map("emp").unwrap().iter().count();
+    assert!(total_parts > 10, "need many partitions, got {total_parts}");
+
+    let w = Lifespan::interval(0, 4_000); // ≈ one 4096-chronon partition
+    let before = pool.stats();
+    let snap = paged.window_snapshot(Some(&w)).unwrap();
+    let after = pool.stats();
+
+    assert!(!snap.relation("emp").unwrap().is_empty());
+    let opened = paged.opened_partitions("emp");
+    assert!(
+        opened.len() <= 2,
+        "a 4000-chronon window must open ≤ 2 span-4096 partitions, opened {opened:?}"
+    );
+    // Faults are bounded by opened heaps + the B+tree — far below the
+    // whole relation (2000 tuples ≫ 8-frame pool; a full scan would
+    // fault hundreds of pages through this pool).
+    let faulted = after.misses - before.misses;
+    assert!(
+        faulted <= 16,
+        "narrow window faulted {faulted} pages; cold partitions were read"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_tail_inserts_are_visible() {
+    let dir = tmp("tail");
+    seed_db(&dir, 100);
+    {
+        let mut db = Database::open(&dir).unwrap();
+        for k in 100..140 {
+            let lo = (k * 37) % (T_MAX - 30);
+            db.insert("emp", tup(k, lo, lo + 25)).unwrap();
+        }
+        // No checkpoint: the last 40 tuples live only in the WAL tail.
+    }
+    let eager = Database::load(&dir).unwrap();
+    let paged = PagedDatabase::open(&dir).unwrap();
+    assert_eq!(paged.tuple_count("emp"), Some(140));
+    let snap = paged.snapshot().unwrap();
+    assert_eq!(
+        snap.relation("emp").unwrap(),
+        eager.relation("emp").unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tail_created_relation_is_visible() {
+    let dir = tmp("tail-create");
+    seed_db(&dir, 50);
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.create_relation("dept", scheme()).unwrap();
+        db.insert("dept", tup(1, 10, 40)).unwrap();
+    }
+    let paged = PagedDatabase::open(&dir).unwrap();
+    assert_eq!(paged.tuple_count("dept"), Some(1));
+    let snap = paged.snapshot().unwrap();
+    assert_eq!(snap.relation("dept").unwrap().len(), 1);
+    // Windowing applies to the tail too.
+    let w = Lifespan::interval(500, 600);
+    let snap = paged.window_snapshot(Some(&w)).unwrap();
+    assert!(snap.relation("dept").unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_without_checkpoint_is_a_mode_error() {
+    let dir = tmp("no-checkpoint");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.create_relation("emp", scheme()).unwrap();
+        db.insert("emp", tup(1, 0, 10)).unwrap();
+        // Dropped without checkpoint: WAL only, no catalog.
+    }
+    match PagedDatabase::open(&dir) {
+        Err(DbError::Mode(msg)) => assert!(msg.contains("checkpoint"), "{msg}"),
+        other => panic!("expected Mode error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn heavy_wal_tail_is_a_mode_error() {
+    let dir = tmp("heavy-tail");
+    seed_db(&dir, 20);
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.put_relation("emp", {
+            let mut r = Relation::new(scheme());
+            r.insert(tup(1, 0, 10)).unwrap();
+            r
+        })
+        .unwrap();
+        // Dropped without checkpoint: the tail holds a PutRelation.
+    }
+    match PagedDatabase::open(&dir) {
+        Err(DbError::Mode(msg)) => assert!(msg.contains("checkpoint"), "{msg}"),
+        other => panic!("expected Mode error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Correctness is pool-size independent: a pool far smaller than the
+/// data (forcing eviction mid-materialization) yields the same bytes.
+#[test]
+fn tiny_pool_forces_eviction_without_corruption() {
+    let dir = tmp("tiny-pool");
+    seed_db(&dir, 1_500);
+    let eager = Database::load(&dir).unwrap();
+    let pool = BufferPool::new(2);
+    let paged = PagedDatabase::open_with_pool(&dir, Arc::clone(&pool)).unwrap();
+    let snap = paged.snapshot().unwrap();
+    assert_eq!(
+        snap.relation("emp").unwrap(),
+        eager.relation("emp").unwrap()
+    );
+    assert!(
+        pool.stats().evictions > 0,
+        "a 2-frame pool must evict while materializing 1500 tuples"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scaled-down acceptance run (the 10M-tuple version is `#[ignore]`d
+/// below): 200k tuples under a pool capped well below the relation's
+/// footprint, windowed open, zero cold faults.
+#[test]
+fn acceptance_200k_windowed_under_small_pool() {
+    let dir = tmp("acc-200k");
+    let n: i64 = 200_000;
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(PartitionPolicy::SpanLog2(12));
+        db.create_relation("emp", scheme()).unwrap();
+        // Batches keep the WAL fsync count (and test runtime) sane.
+        for chunk in 0..(n / 10_000) {
+            let ops: Vec<WalRecord> = (chunk * 10_000..(chunk + 1) * 10_000)
+                .map(|k| {
+                    let lo = (k * 37) % (T_MAX - 30);
+                    WalRecord::Insert {
+                        relation: "emp".into(),
+                        tuple: tup(k, lo, lo + 25),
+                    }
+                })
+                .collect();
+            for r in db.commit_batch(ops) {
+                r.unwrap();
+            }
+        }
+        db.checkpoint().unwrap();
+    }
+
+    let pool = BufferPool::new(64); // 512 KiB of 8 KiB frames
+    let paged = PagedDatabase::open_with_pool(&dir, Arc::clone(&pool)).unwrap();
+    assert_eq!(paged.tuple_count("emp"), Some(n as usize));
+
+    let w = Lifespan::interval(8_192, 12_000); // within one partition
+    let before = pool.stats();
+    let snap = paged.window_snapshot(Some(&w)).unwrap();
+    let after = pool.stats();
+
+    let rel = snap.relation("emp").unwrap();
+    assert!(!rel.is_empty());
+    for t in rel.iter() {
+        assert!(t.lifespan().intersects(&w));
+    }
+    let opened = paged.opened_partitions("emp");
+    let total = paged.partition_map("emp").unwrap().iter().count();
+    assert!(
+        opened.len() * 8 < total,
+        "opened {} of {total} partitions for a one-partition window",
+        opened.len()
+    );
+    // Fault budget: the opened partitions' heap pages + B+tree pages.
+    // 200k tuples ≈ 780+ heap pages total; a window over 1/256th of the
+    // chronon domain must fault a small fraction of that.
+    let faulted = (after.misses - before.misses) as usize;
+    let total_heap_pages = n as usize / 10; // ~80 B/record ⇒ ~100/page
+    assert!(
+        faulted * 8 < total_heap_pages,
+        "windowed open faulted {faulted} pages of ~{total_heap_pages}"
+    );
+    assert!(
+        after.resident <= 64,
+        "resident {} frames exceeds the 64-frame cap",
+        after.resident
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full-scale acceptance criterion: a 10M-tuple relation queryable
+/// with partition pruning under a 256 MiB pool cap. Run explicitly:
+/// `cargo test -p hrdm-storage --test paged --release -- --ignored`.
+#[test]
+#[ignore = "multi-GiB, minutes-long; run explicitly in release mode"]
+fn acceptance_10m_windowed_under_256mib_pool() {
+    let dir = tmp("acc-10m");
+    let n: i64 = 10_000_000;
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.set_partition_policy(PartitionPolicy::SpanLog2(12));
+        db.create_relation("emp", scheme()).unwrap();
+        for chunk in 0..(n / 50_000) {
+            let ops: Vec<WalRecord> = (chunk * 50_000..(chunk + 1) * 50_000)
+                .map(|k| {
+                    let lo = (k * 37) % (T_MAX - 30);
+                    WalRecord::Insert {
+                        relation: "emp".into(),
+                        tuple: tup(k, lo, lo + 25),
+                    }
+                })
+                .collect();
+            for r in db.commit_batch(ops) {
+                r.unwrap();
+            }
+        }
+        db.checkpoint().unwrap();
+    }
+
+    let cap = (256 << 20) / PAGE_SIZE; // the default 256 MiB budget
+    let pool = BufferPool::new(cap);
+    let paged = PagedDatabase::open_with_pool(&dir, Arc::clone(&pool)).unwrap();
+    let w = Lifespan::interval(8_192, 12_287);
+    let snap = paged.window_snapshot(Some(&w)).unwrap();
+    let rel = snap.relation("emp").unwrap();
+    assert!(!rel.is_empty());
+    for t in rel.iter() {
+        assert!(t.lifespan().intersects(&w));
+    }
+    let after = pool.stats();
+    assert!(after.resident <= cap);
+    let opened = paged.opened_partitions("emp");
+    let total = paged.partition_map("emp").unwrap().iter().count();
+    assert!(opened.len() * 16 < total);
+    std::fs::remove_dir_all(&dir).ok();
+}
