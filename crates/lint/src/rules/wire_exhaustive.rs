@@ -1,6 +1,8 @@
 //! `wire-exhaustiveness`: the wire protocol must stay fully wired. A new
 //! `Frame` variant has to land in four places at once — the `kind()` tag
-//! map, the `encode_frame` match, the `decode_frame` tag match, and the
+//! map, the `encode_frame` match (or its `encode_frame_traced` primary
+//! since the trace-context revision), the `decode_frame` tag match
+//! (likewise `decode_frame_traced`), and the
 //! proptest strategy-coverage pin in the protocol test — or a 20th frame
 //! kind ships half-wired: encodable but not decodable, or invisible to
 //! the roundtrip fuzzer. The compiler catches some of these (exhaustive
@@ -61,13 +63,22 @@ impl Rule for WireExhaustive {
         let kind_variants: BTreeSet<&str> = kind_pairs.iter().map(|(v, _)| v.as_str()).collect();
         let kind_tags: BTreeSet<u8> = kind_pairs.iter().map(|&(_, t)| t).collect();
 
-        // encode_frame / decode_frame coverage.
-        let encode_variants = fn_body(frame, "encode_frame")
-            .map(frame_variant_mentions)
-            .unwrap_or_default();
-        let decode_tags = fn_body(frame, "decode_frame")
-            .map(tag_match_arms)
-            .unwrap_or_default();
+        // encode_frame / decode_frame coverage. Since the trace-context
+        // protocol revision the match arms live in the `_traced`
+        // variants and the untraced names are thin wrappers that forward
+        // to them — scan both spellings and take the union.
+        let mut encode_variants = BTreeSet::new();
+        for name in ["encode_frame", "encode_frame_traced"] {
+            if let Some(body) = fn_body(frame, name) {
+                encode_variants.extend(frame_variant_mentions(body));
+            }
+        }
+        let mut decode_tags = BTreeSet::new();
+        for name in ["decode_frame", "decode_frame_traced"] {
+            if let Some(body) = fn_body(frame, name) {
+                decode_tags.extend(tag_match_arms(body));
+            }
+        }
 
         for v in &variants {
             if !kind_variants.contains(v.as_str()) {

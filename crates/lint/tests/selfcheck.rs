@@ -26,7 +26,7 @@ fn workspace_is_lint_clean() {
     // configured decode file, and the broad rules saw a plausible share
     // of the workspace's library files.
     assert_eq!(report.rule_stats["wire-exhaustiveness"], 2);
-    assert_eq!(report.rule_stats["bounded-alloc"], 11);
+    assert_eq!(report.rule_stats["bounded-alloc"], 12);
     assert!(
         report.rule_stats["no-panic"] >= 20,
         "{:?}",

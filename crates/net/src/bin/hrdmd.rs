@@ -38,6 +38,11 @@ OPTIONS:
                             at/over it are retained (bounded ring, newest 32)
                             and surfaced by \\metrics; 0 records every
                             request [default: 25]
+    --http-metrics <ADDR>   Also bind a plain-HTTP scrape endpoint here:
+                            GET /metrics serves the Prometheus exposition,
+                            GET /healthz serves 200 (ok) or 503 (draining).
+                            Off unless given; use port 0 for an ephemeral
+                            port (printed at startup)
     -h, --help              Print this help
 
 The row/byte caps and the connection limit are the server's DoS posture:
@@ -82,6 +87,7 @@ fn main() {
                 config.slow_query_threshold =
                     Duration::from_millis(parse(&value("--slow-ms"), "--slow-ms"));
             }
+            "--http-metrics" => config.http_metrics = Some(value("--http-metrics")),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}\n\n{USAGE}");
                 std::process::exit(2);
@@ -122,11 +128,22 @@ fn main() {
             std::process::exit(1);
         }
     };
-    match server.local_addr() {
-        Ok(addr) => eprintln!("hrdmd: listening on {addr}"),
-        Err(_) => eprintln!("hrdmd: listening on {listen}"),
+    // Spawn (rather than run on this thread) so the bound HTTP metrics
+    // address — possibly an ephemeral port — can be reported too.
+    let handle = match server.spawn() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("hrdmd: listening on {}", handle.addr());
+    if let Some(http) = handle.http_addr() {
+        eprintln!("hrdmd: http-metrics on {http}");
     }
-    server.run();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {

@@ -27,6 +27,13 @@
 //! * `\metrics` — dump the metrics registry in Prometheus text
 //!   exposition format (the server's, with its slow-query log, when
 //!   connected; the process-wide engine registry locally),
+//! * `\events [n]` — dump the flight recorder (the server's over the
+//!   `Events` frame when connected; the in-process recorder locally),
+//!   newest `n` events in sequence order (default 32, 0 = all),
+//! * `\top` — one-shot live view: rolling 60s QPS and p50/p99, active
+//!   sessions, commit batch sizes, pool hit ratio, and the top
+//!   relations by rows streamed (server-side; a reduced local view
+//!   shows what the in-process engine recorded),
 //! * `\open <dir>` — attach to a local database directory (disconnects),
 //! * `\connect <addr>` — talk to an `hrdmd` server (e.g. `127.0.0.1:7171`),
 //! * `\disconnect` — back to the local database,
@@ -140,6 +147,24 @@ fn dispatch(shell: &mut Shell, line: &str) -> bool {
     }
     if line == "\\metrics" {
         metrics(shell);
+        return true;
+    }
+    if line == "\\top" {
+        top(shell);
+        return true;
+    }
+    if line == "\\events" || line.starts_with("\\events ") {
+        let limit = match line.strip_prefix("\\events").unwrap_or("").trim() {
+            "" => 32,
+            n => match n.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    println!("usage: \\events [n]   (0 = everything retained)");
+                    return true;
+                }
+            },
+        };
+        events(shell, limit);
         return true;
     }
     if line == "\\checkpoint" {
@@ -319,6 +344,99 @@ fn metrics(shell: &mut Shell) {
         // registry (WAL, checkpoint, group commit, query operators) is
         // the whole story.
         None => print!("{}", hrdm_obs::global().render_prometheus()),
+    }
+}
+
+/// Renders a nanosecond figure the way an operator reads latencies.
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "-".to_string()
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn top(shell: &mut Shell) {
+    match &shell.remote {
+        Some(_) => match remote_call(shell, |c| c.stats()) {
+            Some(Ok(s)) => {
+                println!(
+                    "uptime {}s — rolling 60s: {:.3} qps, p50 {}, p99 {}",
+                    s.uptime_secs,
+                    s.qps_milli_60s as f64 / 1e3,
+                    fmt_ns(s.p50_60s_ns),
+                    fmt_ns(s.p99_60s_ns),
+                );
+                println!(
+                    "sessions: {} active ({} accepted); commit batch: last {}, max {}",
+                    s.connections_active,
+                    s.connections_accepted,
+                    s.commit_last_batch,
+                    s.commit_max_batch,
+                );
+                match s.pool_hit_permille_60s {
+                    u64::MAX => println!("pool: no traffic in the window"),
+                    p => println!("pool: {:.1}% hit rate (60s)", p as f64 / 10.0),
+                }
+                if s.top_streamed.is_empty() {
+                    println!("top relations: (none streamed yet)");
+                } else {
+                    println!("top relations by rows streamed:");
+                    for (name, rows) in &s.top_streamed {
+                        println!("  {name}: {rows}");
+                    }
+                }
+            }
+            Some(Err(e)) => println!("error: {e}"),
+            None => {}
+        },
+        // No server: no request windows exist, but the in-process engine
+        // still feeds the pool windows and the scan leaderboard.
+        None => {
+            match hrdm_obs::window::pool_windows().hit_ratio() {
+                Some(r) => println!("pool: {:.1}% hit rate (60s)", r * 100.0),
+                None => println!("pool: no traffic in the window"),
+            }
+            let top = hrdm_obs::window::top_relations().top(8);
+            if top.is_empty() {
+                println!("top relations: (none streamed yet)");
+            } else {
+                println!("top relations by rows streamed:");
+                for (name, rows) in &top {
+                    println!("  {name}: {rows}");
+                }
+            }
+            println!("(connect to a server for QPS, latency, and session figures)");
+        }
+    }
+}
+
+fn events(shell: &mut Shell, limit: u64) {
+    let rendered: Vec<String> = match &shell.remote {
+        Some(_) => match remote_call(shell, |c| c.events(limit)) {
+            Some(Ok(events)) => events.iter().map(hrdm_net::WireEvent::render).collect(),
+            Some(Err(e)) => {
+                println!("error: {e}");
+                return;
+            }
+            None => return,
+        },
+        None => hrdm_obs::recorder()
+            .snapshot(limit.min(u64::from(u32::MAX)) as usize)
+            .iter()
+            .map(|e| hrdm_net::WireEvent::from_record(e).render())
+            .collect(),
+    };
+    if rendered.is_empty() {
+        println!("(flight recorder is empty)");
+        return;
+    }
+    for line in rendered {
+        println!("{line}");
     }
 }
 

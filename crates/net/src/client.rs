@@ -9,10 +9,11 @@
 //! request from another thread.
 
 use crate::frame::{
-    assemble_relation, read_frame, write_frame, Frame, FrameError, ServerStats, WireError, WriteOp,
-    PROTO_VERSION,
+    assemble_relation, read_frame_traced, write_frame, write_frame_traced, Frame, FrameError,
+    ServerStats, WireError, WireEvent, WriteOp, PROTO_VERSION,
 };
 use hrdm_core::{Relation, Scheme, Tuple};
+use hrdm_obs::TraceContext;
 use hrdm_query::QueryResult;
 use std::fmt;
 use std::io;
@@ -69,6 +70,11 @@ pub struct Client {
     write_lock: Arc<Mutex<()>>,
     server: String,
     next_req: u64,
+    /// The client name, used as the origin when minting trace ids.
+    origin: String,
+    /// The trace id stamped on the most recent request (0 before the
+    /// first one, or when observability is disabled).
+    last_trace: u128,
 }
 
 impl Client {
@@ -88,6 +94,8 @@ impl Client {
             write_lock: Arc::new(Mutex::new(())),
             server: String::new(),
             next_req: 1,
+            origin: name.to_string(),
+            last_trace: 0,
         };
         let req = client.send(&Frame::Hello {
             version: PROTO_VERSION,
@@ -112,6 +120,16 @@ impl Client {
     /// [`Canceller`] on another thread needs to abort it.
     pub fn next_request_id(&self) -> u64 {
         self.next_req
+    }
+
+    /// The trace id this client stamped on its most recent request
+    /// (0 before the first request, or under `HRDM_OBS_OFF`). The
+    /// server installs the same id while serving, so it reappears in
+    /// `EXPLAIN ANALYZE` output, slowlog lines, flight-recorder events,
+    /// and error frames — this accessor is how a caller joins those
+    /// surfaces back to its own request.
+    pub fn last_trace_id(&self) -> u128 {
+        self.last_trace
     }
 
     /// A cancel handle sharing this connection's socket. Its
@@ -256,11 +274,26 @@ impl Client {
         }
     }
 
+    /// Fetches the newest `limit` flight-recorder events from the
+    /// server (0 = everything the ring holds), oldest first.
+    pub fn events(&mut self, limit: u64) -> Result<Vec<WireEvent>, NetError> {
+        let req = self.send(&Frame::Events { limit })?;
+        match self.recv(req)? {
+            Frame::EventsResult { events } => Ok(events),
+            Frame::Error { error } => Err(NetError::Remote(error)),
+            other => Err(unexpected("EventsResult", &other)),
+        }
+    }
+
+    /// Mints a fresh trace id for the request, remembers it as
+    /// [`Client::last_trace_id`], and stamps it into the frame header.
     fn send(&mut self, frame: &Frame) -> Result<u64, NetError> {
         let req = self.next_req;
         self.next_req += 1;
+        let trace = TraceContext::mint(&self.origin);
+        self.last_trace = trace.id;
         let _guard = self.write_lock.lock().expect("write lock");
-        write_frame(&mut self.stream, req, frame)?;
+        write_frame_traced(&mut self.stream, req, trace.id, frame)?;
         Ok(req)
     }
 
@@ -268,9 +301,17 @@ impl Client {
     /// request id is a protocol violation — this client runs one request
     /// at a time, so nothing else may be on the wire — except request id
     /// 0, which the server uses for **connection-scoped** errors (e.g. a
-    /// connection-limit refusal sent before any request was read).
+    /// connection-limit refusal sent before any request was read). The
+    /// response's trace id must echo the one this client minted (or be
+    /// 0, from surfaces with no trace in scope).
     fn recv(&mut self, req: u64) -> Result<Frame, NetError> {
-        let (got_req, frame) = read_frame(&mut self.stream)?;
+        let (got_req, got_trace, frame) = read_frame_traced(&mut self.stream)?;
+        if got_trace != 0 && got_trace != self.last_trace {
+            return Err(NetError::Protocol(format!(
+                "response trace {got_trace:032x} does not echo request trace {:032x}",
+                self.last_trace
+            )));
+        }
         if let (0, Frame::Error { error }) = (got_req, &frame) {
             return Err(NetError::Remote(error.clone()));
         }

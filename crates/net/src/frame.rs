@@ -3,10 +3,10 @@
 //! ## Frame layout
 //!
 //! ```text
-//! ┌──────────────┬─────────┬──────────┬───────────────┬─────────────┐
-//! │ len: u32 BE  │ ver: u8 │ kind: u8 │ req id: u64 BE│ payload …   │
-//! └──────────────┴─────────┴──────────┴───────────────┴─────────────┘
-//!        4             1         1            8          len − 10
+//! ┌──────────────┬─────────┬──────────┬───────────────┬────────────────┬───────────┐
+//! │ len: u32 BE  │ ver: u8 │ kind: u8 │ req id: u64 BE│ trace: u128 BE │ payload … │
+//! └──────────────┴─────────┴──────────┴───────────────┴────────────────┴───────────┘
+//!        4             1         1            8               16          len − 26
 //! ```
 //!
 //! `len` counts everything after itself (version byte through payload).
@@ -25,6 +25,12 @@
 //! The request id ties responses (and streamed result chunks) to the
 //! request that caused them; a `Cancel` frame's request id names the
 //! request to abort.
+//!
+//! The trace id ([`hrdm_obs::trace`]) is minted by the request's
+//! originator and echoed on every response frame, so `EXPLAIN ANALYZE`
+//! output, slowlog lines, error frames, and flight-recorder events all
+//! report the id the client already holds. Zero means "no trace" (the
+//! observability kill switch mints zero ids).
 
 use hrdm_core::{HrdmError, Relation, Scheme, TemporalValue, Tuple};
 use hrdm_storage::{CodecError, DbError, Decoder, Encoder};
@@ -34,7 +40,11 @@ use std::io::{self, Read, Write};
 
 /// Version of the frame *format* (header + payload encodings). Bumped only
 /// when the layout above changes incompatibly.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: the body header gained the 16-byte trace id between the request
+/// id and the payload. A v1 peer's first frame fails the version check
+/// immediately, so mixed-version pairs refuse each other at `Hello`.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Version of the application protocol (message set + semantics),
 /// negotiated in `Hello`/`HelloAck`. A server refuses clients whose hello
@@ -43,15 +53,26 @@ pub const WIRE_VERSION: u8 = 1;
 /// v2: `Stats` gained `rows_streamed`/`batches_streamed` ahead of the
 /// relations list, and `RelationHeader.rows` stopped being authoritative
 /// for streamed results (`Done` carries the row count).
-pub const PROTO_VERSION: u32 = 2;
+///
+/// v3: every frame header carries a client-minted trace id (wire format
+/// v2); `Stats` gained the rolling 60s fields (`qps_milli_60s`,
+/// `p50_60s_ns`, `p99_60s_ns`, `pool_hit_permille_60s`, `uptime_secs`)
+/// and the `top_streamed` relation list; new `Events`/`EventsResult`
+/// frames dump the server's flight recorder.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Hard ceiling on one frame's body (version byte through payload).
 /// Declaring a larger `len` is a protocol error — a garbage or hostile
 /// header cannot make the peer allocate unbounded memory.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Bytes of header before the payload: version, kind, request id.
-const BODY_HEADER: usize = 1 + 1 + 8;
+/// Bytes of header before the payload: version, kind, request id,
+/// trace id.
+const BODY_HEADER: usize = 1 + 1 + 8 + 16;
+
+/// Ceiling on events decoded from one `EventsResult` frame (the
+/// server's ring holds [`hrdm_obs::event::RING_CAPACITY`] ≤ this).
+const MAX_WIRE_EVENTS: usize = 4096;
 
 /// A structured error carried over the wire. The model/storage error
 /// *variant* survives the network boundary (clients can match on it), the
@@ -250,6 +271,20 @@ pub struct ServerStats {
     pub rows_streamed: u64,
     /// Result batches streamed to clients by the pull-based executor.
     pub batches_streamed: u64,
+    /// Rolling 60s request rate, in milli-requests per second (windowed
+    /// metrics; 0 when observability is disabled).
+    pub qps_milli_60s: u64,
+    /// Rolling 60s median request latency (ns, log2-bucket estimate).
+    pub p50_60s_ns: u64,
+    /// Rolling 60s 99th-percentile request latency (ns, estimate).
+    pub p99_60s_ns: u64,
+    /// Rolling 60s buffer-pool hit ratio in permille (‰); `u64::MAX`
+    /// when the window saw no pool traffic.
+    pub pool_hit_permille_60s: u64,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Top relations by rows streamed out of scans, descending.
+    pub top_streamed: Vec<(String, u64)>,
     /// `(name, tuple count)` for every relation in that snapshot.
     pub relations: Vec<(String, u64)>,
 }
@@ -297,12 +332,67 @@ impl fmt::Display for ServerStats {
             "streamed: {} row(s) in {} batch(es)",
             self.rows_streamed, self.batches_streamed
         )?;
+        writeln!(
+            f,
+            "rolling 60s: {:.3} req/s, p50 {:.3} ms, p99 {:.3} ms, pool hit {}",
+            self.qps_milli_60s as f64 / 1e3,
+            self.p50_60s_ns as f64 / 1e6,
+            self.p99_60s_ns as f64 / 1e6,
+            if self.pool_hit_permille_60s == u64::MAX {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", self.pool_hit_permille_60s as f64 / 10.0)
+            }
+        )?;
+        writeln!(f, "uptime: {} s", self.uptime_secs)?;
         write!(f, "snapshot: version {}", self.snapshot_version)
     }
 }
 
-/// One protocol message. Kinds `0x01–0x08` travel client → server,
-/// `0x81–0x8b` travel server → client; the codec itself is direction
+/// One flight-recorder event as carried by an `EventsResult` frame
+/// (the wire form of [`hrdm_obs::event::EventRecord`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireEvent {
+    /// Monotonic recorder sequence number (1-based).
+    pub seq: u64,
+    /// Coarse wall-clock stamp, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// The trace id current when the event was recorded (0 = none).
+    pub trace: u128,
+    /// The event kind's stable text name (e.g. `commit`, `slow-query`).
+    pub kind: String,
+    /// Free-form context.
+    pub detail: String,
+}
+
+impl WireEvent {
+    /// The wire form of a recorder event.
+    pub fn from_record(e: &hrdm_obs::EventRecord) -> WireEvent {
+        WireEvent {
+            seq: e.seq,
+            unix_ms: e.unix_ms,
+            trace: e.trace,
+            kind: e.kind.as_str().to_string(),
+            detail: e.detail.clone(),
+        }
+    }
+
+    /// One-line text rendering (what `\events` prints).
+    pub fn render(&self) -> String {
+        let trace = if self.trace == 0 {
+            "-".to_string()
+        } else {
+            hrdm_obs::trace::render(self.trace)
+        };
+        format!(
+            "#{:<6} t={} trace={} {} {}",
+            self.seq, self.unix_ms, trace, self.kind, self.detail
+        )
+    }
+}
+
+/// One protocol message. Kinds `0x01–0x09` travel client → server,
+/// `0x81–0x8c` travel server → client; the codec itself is direction
 /// agnostic (the client and server share it by construction).
 #[derive(Clone, PartialEq, Debug)]
 pub enum Frame {
@@ -344,6 +434,12 @@ pub enum Frame {
     /// exposition format (counters, gauges, histograms, and the
     /// slow-query log as comment lines).
     Metrics,
+    /// Request the newest flight-recorder events (`limit` = 0 for
+    /// everything the ring holds).
+    Events {
+        /// Maximum events to return (newest kept; 0 = all held).
+        limit: u64,
+    },
 
     // -- server → client --------------------------------------------------
     /// Accepts the hello: the server's protocol version + identification.
@@ -412,6 +508,11 @@ pub enum Frame {
         /// What went wrong.
         error: WireError,
     },
+    /// The flight-recorder dump answering a [`Frame::Events`] request.
+    EventsResult {
+        /// The events, oldest first, in recorder sequence order.
+        events: Vec<WireEvent>,
+    },
 }
 
 impl Frame {
@@ -426,6 +527,7 @@ impl Frame {
             Frame::Stats => 0x06,
             Frame::Cancel => 0x07,
             Frame::Metrics => 0x08,
+            Frame::Events { .. } => 0x09,
             Frame::HelloAck { .. } => 0x81,
             Frame::RelationHeader { .. } => 0x82,
             Frame::RowChunk { .. } => 0x83,
@@ -437,6 +539,7 @@ impl Frame {
             Frame::StatsResult { .. } => 0x89,
             Frame::Error { .. } => 0x8a,
             Frame::MetricsResult { .. } => 0x8b,
+            Frame::EventsResult { .. } => 0x8c,
         }
     }
 }
@@ -590,6 +693,16 @@ fn put_stats(e: &mut Encoder, s: &ServerStats) {
     e.put_u64(s.request_p99_ns);
     e.put_u64(s.rows_streamed);
     e.put_u64(s.batches_streamed);
+    e.put_u64(s.qps_milli_60s);
+    e.put_u64(s.p50_60s_ns);
+    e.put_u64(s.p99_60s_ns);
+    e.put_u64(s.pool_hit_permille_60s);
+    e.put_u64(s.uptime_secs);
+    e.put_u64(s.top_streamed.len() as u64);
+    for (name, rows) in &s.top_streamed {
+        e.put_str(name);
+        e.put_u64(*rows);
+    }
     e.put_u64(s.relations.len() as u64);
     for (name, count) in &s.relations {
         e.put_str(name);
@@ -619,8 +732,20 @@ fn get_stats(d: &mut Decoder<'_>) -> Result<ServerStats, FrameError> {
         request_p99_ns: d.get_u64()?,
         rows_streamed: d.get_u64()?,
         batches_streamed: d.get_u64()?,
+        qps_milli_60s: d.get_u64()?,
+        p50_60s_ns: d.get_u64()?,
+        p99_60s_ns: d.get_u64()?,
+        pool_hit_permille_60s: d.get_u64()?,
+        uptime_secs: d.get_u64()?,
+        top_streamed: Vec::new(),
         relations: Vec::new(),
     };
+    let top = d.get_u64()? as usize;
+    for _ in 0..top.min(1 << 20) {
+        let name = d.get_str()?.to_string();
+        let rows = d.get_u64()?;
+        s.top_streamed.push((name, rows));
+    }
     let n = d.get_u64()? as usize;
     for _ in 0..n.min(1 << 20) {
         let name = d.get_str()?.to_string();
@@ -630,12 +755,60 @@ fn get_stats(d: &mut Decoder<'_>) -> Result<ServerStats, FrameError> {
     Ok(s)
 }
 
+fn put_u128(e: &mut Encoder, v: u128) {
+    e.put_u64((v >> 64) as u64);
+    e.put_u64(v as u64);
+}
+
+fn get_u128(d: &mut Decoder<'_>) -> Result<u128, FrameError> {
+    let hi = d.get_u64()?;
+    let lo = d.get_u64()?;
+    Ok((u128::from(hi) << 64) | u128::from(lo))
+}
+
+fn put_events(e: &mut Encoder, events: &[WireEvent]) {
+    e.put_u64(events.len() as u64);
+    for ev in events {
+        e.put_u64(ev.seq);
+        e.put_u64(ev.unix_ms);
+        put_u128(e, ev.trace);
+        e.put_str(&ev.kind);
+        e.put_str(&ev.detail);
+    }
+}
+
+fn get_events(d: &mut Decoder<'_>) -> Result<Vec<WireEvent>, FrameError> {
+    let n = d.get_u64()? as usize;
+    if n > MAX_WIRE_EVENTS {
+        return Err(FrameError::Protocol(format!(
+            "EventsResult declares {n} events, cap is {MAX_WIRE_EVENTS}"
+        )));
+    }
+    let mut events = Vec::with_capacity(n.min(MAX_WIRE_EVENTS));
+    for _ in 0..n {
+        events.push(WireEvent {
+            seq: d.get_u64()?,
+            unix_ms: d.get_u64()?,
+            trace: get_u128(d)?,
+            kind: d.get_str()?.to_string(),
+            detail: d.get_str()?.to_string(),
+        });
+    }
+    Ok(events)
+}
+
+/// Encodes one frame with a zero (absent) trace id — the form most
+/// tests and trace-less tools use. See [`encode_frame_traced`].
+pub fn encode_frame(request_id: u64, frame: &Frame) -> Vec<u8> {
+    encode_frame_traced(request_id, 0, frame)
+}
+
 /// Encodes one frame, header included, into a single buffer. Note that
 /// one `write_all` call does **not** make the write atomic against other
 /// threads on the same socket (it may split into several `write`s when
 /// the send buffer fills) — writers sharing a socket must serialize
 /// frame writes themselves, as [`crate::Client`] and its cancellers do.
-pub fn encode_frame(request_id: u64, frame: &Frame) -> Vec<u8> {
+pub fn encode_frame_traced(request_id: u64, trace: u128, frame: &Frame) -> Vec<u8> {
     let mut e = Encoder::new();
     match frame {
         Frame::Hello { version, client } => {
@@ -650,6 +823,8 @@ pub fn encode_frame(request_id: u64, frame: &Frame) -> Vec<u8> {
         }
         Frame::Execute { op } => put_write_op(&mut e, op),
         Frame::Checkpoint | Frame::Stats | Frame::Cancel | Frame::Metrics => {}
+        Frame::Events { limit } => e.put_u64(*limit),
+        Frame::EventsResult { events } => put_events(&mut e, events),
         Frame::HelloAck { version, server } => {
             e.put_u64(u64::from(*version));
             e.put_str(server);
@@ -677,14 +852,22 @@ pub fn encode_frame(request_id: u64, frame: &Frame) -> Vec<u8> {
     out.push(WIRE_VERSION);
     out.push(frame.kind());
     out.extend_from_slice(&request_id.to_be_bytes());
+    out.extend_from_slice(&trace.to_be_bytes());
     out.extend_from_slice(&payload);
     out
 }
 
-/// Decodes one frame *body* (the `len` prefix already consumed): version
-/// byte, kind tag, request id, payload. Trailing bytes are a protocol
-/// error — a frame must account for exactly its declared length.
+/// Decodes one frame body, discarding its trace id — the form most
+/// tests use. See [`decode_frame_traced`].
 pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
+    decode_frame_traced(body).map(|(req, _, frame)| (req, frame))
+}
+
+/// Decodes one frame *body* (the `len` prefix already consumed): version
+/// byte, kind tag, request id, trace id, payload. Trailing bytes are a
+/// protocol error — a frame must account for exactly its declared
+/// length.
+pub fn decode_frame_traced(body: &[u8]) -> Result<(u64, u128, Frame), FrameError> {
     if body.len() < BODY_HEADER {
         return Err(FrameError::Protocol(format!(
             "frame body too short: {} byte(s), need at least {BODY_HEADER}",
@@ -700,6 +883,11 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
     let kind = body[1];
     let request_id = u64::from_be_bytes(
         body[2..10]
+            .try_into()
+            .map_err(|_| FrameError::Protocol("frame body header truncated".into()))?,
+    );
+    let trace = u128::from_be_bytes(
+        body[10..26]
             .try_into()
             .map_err(|_| FrameError::Protocol("frame body header truncated".into()))?,
     );
@@ -722,6 +910,9 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
         0x06 => Frame::Stats,
         0x07 => Frame::Cancel,
         0x08 => Frame::Metrics,
+        0x09 => Frame::Events {
+            limit: d.get_u64()?,
+        },
         0x81 => Frame::HelloAck {
             version: decode_version(&mut d)?,
             server: d.get_str()?.to_string(),
@@ -758,6 +949,9 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
         0x8b => Frame::MetricsResult {
             text: d.get_str()?.to_string(),
         },
+        0x8c => Frame::EventsResult {
+            events: get_events(&mut d)?,
+        },
         tag => return Err(FrameError::Protocol(format!("unknown frame kind {tag:#x}"))),
     };
     if !d.is_done() {
@@ -766,7 +960,7 @@ pub fn decode_frame(body: &[u8]) -> Result<(u64, Frame), FrameError> {
             d.remaining()
         )));
     }
-    Ok((request_id, frame))
+    Ok((request_id, trace, frame))
 }
 
 fn decode_version(d: &mut Decoder<'_>) -> Result<u32, FrameError> {
@@ -774,15 +968,32 @@ fn decode_version(d: &mut Decoder<'_>) -> Result<u32, FrameError> {
     u32::try_from(v).map_err(|_| FrameError::Protocol(format!("protocol version {v} out of range")))
 }
 
-/// Writes one frame to `w` with a single `write_all`.
+/// Writes one frame to `w` with a single `write_all`, with a zero
+/// trace id. See [`write_frame_traced`].
 pub fn write_frame(w: &mut impl Write, request_id: u64, frame: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(request_id, frame))
+    write_frame_traced(w, request_id, 0, frame)
+}
+
+/// Writes one frame carrying `trace` to `w` with a single `write_all`.
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    request_id: u64,
+    trace: u128,
+    frame: &Frame,
+) -> io::Result<()> {
+    w.write_all(&encode_frame_traced(request_id, trace, frame))
+}
+
+/// Reads one frame from `r`, discarding its trace id. See
+/// [`read_frame_traced`].
+pub fn read_frame(r: &mut impl Read) -> Result<(u64, Frame), FrameError> {
+    read_frame_traced(r).map(|(req, _, frame)| (req, frame))
 }
 
 /// Reads one frame from `r`: the length prefix, then exactly that many
 /// body bytes, decoded. A declared length above `MAX_FRAME_BYTES` (or
 /// below the fixed header) is rejected *before* any allocation.
-pub fn read_frame(r: &mut impl Read) -> Result<(u64, Frame), FrameError> {
+pub fn read_frame_traced(r: &mut impl Read) -> Result<(u64, u128, Frame), FrameError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     read_frame_after_len(r, u32::from_be_bytes(len_buf))
@@ -792,7 +1003,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u64, Frame), FrameError> {
 /// already consumed — for readers that take the prefix themselves (e.g.
 /// the server's idle-aware read, which must distinguish "timed out with
 /// zero bytes consumed" from "timed out mid-frame").
-pub fn read_frame_after_len(r: &mut impl Read, len: u32) -> Result<(u64, Frame), FrameError> {
+pub fn read_frame_after_len(r: &mut impl Read, len: u32) -> Result<(u64, u128, Frame), FrameError> {
     if len > MAX_FRAME_BYTES {
         return Err(FrameError::Protocol(format!(
             "declared frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -805,7 +1016,7 @@ pub fn read_frame_after_len(r: &mut impl Read, len: u32) -> Result<(u64, Frame),
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
-    decode_frame(&body)
+    decode_frame_traced(&body)
 }
 
 /// Reassembles a streamed relation result: header scheme + chunked

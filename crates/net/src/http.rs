@@ -1,0 +1,232 @@
+//! The scrape plane: a minimal std-only HTTP/1.1 responder serving
+//! `GET /metrics` (Prometheus text exposition) and `GET /healthz`.
+//!
+//! `hrdmd --http-metrics <addr>` binds this listener next to the frame
+//! protocol. It is deliberately not a web server: one thread, one
+//! connection at a time, `Connection: close` on every response — a
+//! scrape every few seconds is its entire duty cycle. The accept loop
+//! runs the listener non-blocking and polls the server's stop flag, so
+//! shutdown never waits on an accept.
+//!
+//! ## DoS posture
+//!
+//! The request head (request line + headers) is read into a buffer
+//! bounded at [`MAX_HEAD_BYTES`] *before* parsing; a head that exceeds
+//! the cap is answered with `431` and the connection dropped. Bodies
+//! are never read — `GET` is the only method served.
+//!
+//! ## Health semantics
+//!
+//! `/healthz` answers `200 ok` while the server accepts work and
+//! `503 draining` the moment a graceful drain begins
+//! ([`crate::ServerHandle::begin_drain`] or shutdown), so a load
+//! balancer stops routing to a replica *before* its sessions finish.
+
+use crate::server::Shared;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on one request head (request line + headers), in bytes.
+pub(crate) const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// How often the accept loop polls the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection socket timeout: a scraper that stalls longer than
+/// this mid-request is dropped.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Binds `addr` and serves the scrape plane on a background thread
+/// until [`Shared::http_stopped`] turns true. Returns the bound
+/// address (the real port when bound to port 0) and the join handle.
+pub(crate) fn spawn(addr: &str, shared: Arc<Shared>) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let join = std::thread::spawn(move || accept_loop(&listener, &shared));
+    Ok((local, join))
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.http_stopped() {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = serve_connection(&mut stream, shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    // The accepted stream inherits the listener's non-blocking mode on
+    // some platforms; this responder wants plain blocking reads with a
+    // timeout backstop.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = match read_request_head(stream)? {
+        Some(head) => head,
+        None => {
+            respond(
+                stream,
+                431,
+                "Request Header Fields Too Large",
+                "text/plain; charset=utf-8",
+                "request head exceeds the cap\n",
+            )?;
+            // Unread request bytes would turn the close into a reset
+            // (discarding the response in flight); swallow a bounded
+            // amount so the peer actually sees the 431.
+            return drain(stream);
+        }
+    };
+    let (method, path) = match parse_request_line(&head) {
+        Some(pair) => pair,
+        None => {
+            return respond(
+                stream,
+                400,
+                "Bad Request",
+                "text/plain; charset=utf-8",
+                "malformed request line\n",
+            )
+        }
+    };
+    if method != "GET" {
+        return respond(
+            stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served\n",
+        );
+    }
+    match path {
+        "/metrics" => respond(
+            stream,
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &shared.metrics_text(),
+        ),
+        "/healthz" => {
+            if shared.draining() {
+                respond(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "draining\n",
+                )
+            } else {
+                respond(stream, 200, "OK", "text/plain; charset=utf-8", "ok\n")
+            }
+        }
+        _ => respond(
+            stream,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics or /healthz\n",
+        ),
+    }
+}
+
+/// Discards whatever else the peer sent, bounded by the socket timeout
+/// and [`MAX_HEAD_BYTES`]-sized steps up to a fixed total — enough for
+/// any realistic oversized head, never unbounded.
+fn drain(stream: &mut TcpStream) -> io::Result<()> {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    let mut remaining = 64 * MAX_HEAD_BYTES;
+    while remaining > 0 {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(n) => remaining = remaining.saturating_sub(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Reads the request head (through the blank line) into a buffer
+/// bounded at [`MAX_HEAD_BYTES`]. `Ok(None)` means the peer exceeded
+/// the cap without terminating the head.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Ok(Some(head)), // EOF: serve what arrived
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Enforce the cap before the buffer grows past it.
+        if head.len() + n > MAX_HEAD_BYTES {
+            return Ok(None);
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            return Ok(Some(head));
+        }
+    }
+}
+
+/// Extracts `(method, path)` from the request line, dropping any query
+/// string. `None` on a malformed line.
+fn parse_request_line(head: &[u8]) -> Option<(&str, &str)> {
+    let text = std::str::from_utf8(head).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_and_reject() {
+        assert_eq!(
+            parse_request_line(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line(b"GET /healthz?verbose=1 HTTP/1.0\r\n\r\n"),
+            Some(("GET", "/healthz"))
+        );
+        assert_eq!(parse_request_line(b"GET /metrics\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"GET /x SMTP/1.0\r\n\r\n"), None);
+        assert_eq!(parse_request_line(&[0xff, 0xfe, b'\r', b'\n']), None);
+    }
+}

@@ -18,6 +18,14 @@
 //! * [`frame`] — the wire format: frames, errors, the shared codec.
 //! * [`server`] — [`Server`]/[`ServerHandle`], session management, limits.
 //! * [`client`] — [`Client`]/[`Canceller`].
+//! * `http` — the scrape plane: `GET /metrics` and `GET /healthz` over a
+//!   minimal std-only HTTP/1.1 responder (`hrdmd --http-metrics`).
+//!
+//! Every request frame carries a 128-bit trace id minted by the client
+//! ([`hrdm_obs::TraceContext`]); the server installs it as the serving
+//! thread's ambient trace and echoes it on every response, so `EXPLAIN
+//! ANALYZE` output, the slow-query log, flight-recorder events, and
+//! `Error` frames all report the id the client already holds.
 //!
 //! The `hrdmq` shell (this crate's second binary) speaks the same
 //! protocol via `\connect <addr>`, and the whole query pipeline —
@@ -30,11 +38,13 @@
 
 pub mod client;
 pub mod frame;
+mod http;
 pub mod server;
 
 pub use client::{Canceller, Client, NetError};
 pub use frame::{
-    assemble_relation, decode_frame, encode_frame, read_frame, write_frame, Frame, FrameError,
-    ServerStats, WireError, WriteOp, MAX_FRAME_BYTES, PROTO_VERSION, WIRE_VERSION,
+    assemble_relation, decode_frame, decode_frame_traced, encode_frame, encode_frame_traced,
+    read_frame, read_frame_traced, write_frame, write_frame_traced, Frame, FrameError, ServerStats,
+    WireError, WireEvent, WriteOp, MAX_FRAME_BYTES, PROTO_VERSION, WIRE_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

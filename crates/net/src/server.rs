@@ -34,9 +34,12 @@
 //! to finish — a write mid-group-commit is drained, never torn.
 
 use crate::frame::{
-    write_frame, Frame, FrameError, ServerStats, WireError, WriteOp, PROTO_VERSION,
+    write_frame, Frame, FrameError, ServerStats, WireError, WireEvent, WriteOp, PROTO_VERSION,
 };
-use hrdm_obs::{Counter, Gauge, Histogram, Registry, SlowEntry, SlowLog};
+use hrdm_obs::{
+    recorder, Counter, EventKind, Gauge, Histogram, LatencyWindow, RateWindow, Registry, SlowEntry,
+    SlowLog,
+};
 use hrdm_query::{
     explain_analyze_query_text, explain_query_text, stream_query_on_snapshot,
     strip_explain_analyze, ExecError, ExecOptions, PipelineError, QueryResult, QueryStream,
@@ -74,6 +77,10 @@ pub struct ServerConfig {
     /// Requests at or above this wall time are recorded in the
     /// slow-query log served by the `Metrics` frame (`\metrics`).
     pub slow_query_threshold: Duration,
+    /// When set, an HTTP/1.1 listener is bound here serving
+    /// `GET /metrics` (Prometheus exposition) and `GET /healthz`
+    /// (`hrdmd --http-metrics <addr>`). `None` disables the plane.
+    pub http_metrics: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +93,7 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             server_name: format!("hrdmd/{}", env!("CARGO_PKG_VERSION")),
             slow_query_threshold: Duration::from_millis(25),
+            http_metrics: None,
         }
     }
 }
@@ -120,6 +128,13 @@ struct Counters {
     request_ns_stats: Arc<Histogram>,
     request_ns_metrics: Arc<Histogram>,
     slowlog: SlowLog,
+    /// Rolling 60s request count — the live QPS behind `\top` and the
+    /// `hrdm_net_qps` gauge.
+    requests_window: RateWindow,
+    /// Rolling 60s request-latency window — the rolling p50/p99.
+    request_ns_window: LatencyWindow,
+    /// Rolling 60s streamed-row count.
+    rows_window: RateWindow,
 }
 
 impl Counters {
@@ -204,6 +219,9 @@ impl Counters {
             request_ns_stats: hist("stats"),
             request_ns_metrics: hist("metrics"),
             slowlog: SlowLog::default(),
+            requests_window: RateWindow::new(),
+            request_ns_window: LatencyWindow::new(),
+            rows_window: RateWindow::new(),
             registry,
         }
     }
@@ -223,15 +241,19 @@ impl Counters {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     db: Arc<ConcurrentDatabase>,
     config: ServerConfig,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Stops the HTTP metrics listener (raised *after* the drain, so
+    /// `/healthz` can report 503 while sessions finish).
+    http_stop: AtomicBool,
     /// Read-half handles of live sessions, for shutdown to wake idle
     /// readers. Keyed by session id.
     sessions: Mutex<HashMap<u64, TcpStream>>,
     next_session: AtomicU64,
+    started: Instant,
 }
 
 impl Shared {
@@ -260,6 +282,15 @@ impl Shared {
             request_p99_ns: request_ns.p99().unwrap_or(0),
             rows_streamed: self.counters.rows_streamed.get(),
             batches_streamed: self.counters.batches_streamed.get(),
+            qps_milli_60s: (self.counters.requests_window.per_second() * 1e3) as u64,
+            p50_60s_ns: self.counters.request_ns_window.merged().p50().unwrap_or(0),
+            p99_60s_ns: self.counters.request_ns_window.merged().p99().unwrap_or(0),
+            pool_hit_permille_60s: hrdm_obs::window::pool_windows()
+                .hit_ratio()
+                .map(|r| (r * 1e3) as u64)
+                .unwrap_or(u64::MAX),
+            uptime_secs: self.started.elapsed().as_secs(),
+            top_streamed: hrdm_obs::window::top_relations().top(8),
             relations: snap
                 .relation_names()
                 .map(|name| {
@@ -270,16 +301,83 @@ impl Shared {
         }
     }
 
-    /// The full Prometheus exposition the `Metrics` frame serves: this
-    /// server's own families, then the process-wide engine families
-    /// (WAL, checkpoint, group commit, query operators — disjoint name
-    /// prefixes, so concatenation is a valid document), then the
+    /// The full Prometheus exposition the `Metrics` frame (and the
+    /// HTTP `/metrics` endpoint) serves: this server's own families,
+    /// then the process-wide engine families (WAL, checkpoint, group
+    /// commit, query operators — disjoint name prefixes, so
+    /// concatenation is a valid document), then build info, the
+    /// rolling-window gauges, the flight-recorder summary, and the
     /// slow-query log as `# slowlog:` comment lines.
-    fn metrics_text(&self) -> String {
+    pub(crate) fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = self.counters.registry.render_prometheus();
         out.push_str(&hrdm_obs::global().render_prometheus());
+        out.push_str(&hrdm_obs::registry::render_build_info(
+            env!("CARGO_PKG_VERSION"),
+            option_env!("HRDM_GIT_HASH").unwrap_or("unknown"),
+            self.started.elapsed().as_secs(),
+        ));
+        let gauge = |out: &mut String, name: &str, help: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            &mut out,
+            "hrdm_net_qps",
+            "Requests per second over the trailing 60s.",
+            format!("{:.3}", self.counters.requests_window.per_second()),
+        );
+        gauge(
+            &mut out,
+            "hrdm_net_request_p50_60s_ns",
+            "Rolling 60s request latency p50, nanoseconds.",
+            self.counters
+                .request_ns_window
+                .merged()
+                .p50()
+                .unwrap_or(0)
+                .to_string(),
+        );
+        gauge(
+            &mut out,
+            "hrdm_net_request_p99_60s_ns",
+            "Rolling 60s request latency p99, nanoseconds.",
+            self.counters
+                .request_ns_window
+                .merged()
+                .p99()
+                .unwrap_or(0)
+                .to_string(),
+        );
+        gauge(
+            &mut out,
+            "hrdm_net_rows_streamed_60s",
+            "Result rows streamed over the trailing 60s.",
+            self.counters.rows_window.total().to_string(),
+        );
+        if let Some(ratio) = hrdm_obs::window::pool_windows().hit_ratio() {
+            gauge(
+                &mut out,
+                "hrdm_pool_hit_ratio_60s",
+                "Rolling 60s buffer-pool hit ratio in [0, 1].",
+                format!("{ratio:.4}"),
+            );
+        }
+        out.push_str(&recorder().render_summary());
         out.push_str(&self.counters.slowlog.render_comments());
         out
+    }
+
+    /// Whether the server is draining (shutdown requested): `/healthz`
+    /// flips to 503 the moment this is true.
+    pub(crate) fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Whether the HTTP listener should exit (raised after the drain).
+    pub(crate) fn http_stopped(&self) -> bool {
+        self.http_stop.load(Ordering::SeqCst)
     }
 }
 
@@ -307,8 +405,10 @@ impl Server {
                 config,
                 counters: Counters::new(),
                 shutdown: AtomicBool::new(false),
+                http_stop: AtomicBool::new(false),
                 sessions: Mutex::new(HashMap::new()),
                 next_session: AtomicU64::new(1),
+                started: Instant::now(),
             }),
         })
     }
@@ -318,17 +418,27 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Starts the accept loop on a background thread.
+    /// Starts the accept loop on a background thread (plus the HTTP
+    /// metrics listener, when [`ServerConfig::http_metrics`] is set).
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let shared = Arc::clone(&self.shared);
         let accept_shared = Arc::clone(&self.shared);
         let listener = self.listener;
+        let (http_addr, http_join) = match &shared.config.http_metrics {
+            Some(http) => {
+                let (a, j) = crate::http::spawn(http, Arc::clone(&shared))?;
+                (Some(a), Some(j))
+            }
+            None => (None, None),
+        };
         let join = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
         Ok(ServerHandle {
             addr,
+            http_addr,
             shared,
             join: Some(join),
+            http_join,
         })
     }
 
@@ -336,23 +446,41 @@ impl Server {
     /// mode). Returns only when the shutdown flag is raised by another
     /// holder of the shared state — which a plain binary run never does,
     /// so in practice: runs forever.
-    pub fn run(self) {
+    pub fn run(self) -> io::Result<()> {
         let shared = Arc::clone(&self.shared);
+        if let Some(addr) = &shared.config.http_metrics {
+            crate::http::spawn(addr, Arc::clone(&shared))?;
+        }
         accept_loop(&self.listener, &shared);
+        Ok(())
     }
 }
 
 /// A running server: its address, counters, and the shutdown switch.
 pub struct ServerHandle {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     join: Option<JoinHandle<()>>,
+    http_join: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP metrics address, when the plane is enabled.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// Raises the drain flag without waiting: new requests are refused
+    /// and `/healthz` flips to 503, but sessions and the HTTP listener
+    /// stay up. [`ServerHandle::shutdown`] still completes the stop.
+    pub fn begin_drain(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// The server-side view of the counters (the same numbers a `Stats`
@@ -394,6 +522,11 @@ impl ServerHandle {
         let deadline = Instant::now() + Duration::from_secs(10);
         while self.shared.counters.active.get() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
+        }
+        // Only now stop the HTTP plane, so `/healthz` reported the drain.
+        self.shared.http_stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.http_join.take() {
+            let _ = join.join();
         }
     }
 }
@@ -443,9 +576,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// What the reader thread hands the worker.
+/// What the reader thread hands the worker: request id, the trace id
+/// the client stamped in the frame header, and the frame.
 enum SessionEvent {
-    Request(u64, Frame),
+    /// Boxed: a `Frame` is large (inline payload buffers) and `Bad` is
+    /// tiny; boxing keeps the channel slots small.
+    Request(u64, u128, Box<Frame>),
     /// The peer violated the protocol; the worker reports and closes.
     Bad(String),
 }
@@ -486,8 +622,10 @@ fn session(shared: &Arc<Shared>, stream: TcpStream, session_id: u64) {
         );
     });
 
+    recorder().record(EventKind::SessionOpen, format!("session={session_id}"));
     let mut stream = stream;
     worker_loop(shared, &mut stream, &rx, &outstanding, &cancelled);
+    recorder().record(EventKind::SessionClose, format!("session={session_id}"));
     // Close the socket: the peer sees EOF instead of a silent stall, and
     // the reader (possibly parked in its read timeout) wakes immediately.
     let _ = stream.shutdown(Shutdown::Both);
@@ -519,20 +657,24 @@ fn reader_loop(
                 }
                 return; // idle kill
             }
-            Ok(Some((req, Frame::Cancel, bytes))) => {
+            Ok(Some((req, trace, Frame::Cancel, bytes))) => {
                 shared.counters.frames_in.inc();
                 shared.counters.bytes_in.add(bytes);
+                recorder().record_traced(trace, EventKind::Cancel, format!("req={req}"));
                 let mut set = cancelled.lock().expect("cancel set lock");
                 set.insert(req);
                 while set.len() > MAX_STALE_CANCELS {
                     set.pop_first();
                 }
             }
-            Ok(Some((req, frame, bytes))) => {
+            Ok(Some((req, trace, frame, bytes))) => {
                 shared.counters.frames_in.inc();
                 shared.counters.bytes_in.add(bytes);
                 outstanding.fetch_add(1, Ordering::SeqCst);
-                if tx.send(SessionEvent::Request(req, frame)).is_err() {
+                if tx
+                    .send(SessionEvent::Request(req, trace, Box::new(frame)))
+                    .is_err()
+                {
                     return; // worker gone
                 }
             }
@@ -554,10 +696,12 @@ fn reader_loop(
 /// (`Ok(None)`) is guaranteed to have consumed nothing and the caller may
 /// safely retry. Once any byte of a frame has arrived, the remainder is
 /// read with `read_exact`, where a timeout is a fatal `Io` error — a
-/// partially consumed frame cannot be resynchronized. The third tuple
+/// partially consumed frame cannot be resynchronized. The last tuple
 /// element is the frame's total wire size (length prefix included), for
 /// the `bytes_in` counter.
-fn read_frame_idle_aware(stream: &mut TcpStream) -> Result<Option<(u64, Frame, u64)>, FrameError> {
+fn read_frame_idle_aware(
+    stream: &mut TcpStream,
+) -> Result<Option<(u64, u128, Frame, u64)>, FrameError> {
     use std::io::Read;
     let mut len_buf = [0u8; 4];
     loop {
@@ -580,7 +724,7 @@ fn read_frame_idle_aware(stream: &mut TcpStream) -> Result<Option<(u64, Frame, u
     stream.read_exact(&mut len_buf[1..])?;
     let len = u32::from_be_bytes(len_buf);
     crate::frame::read_frame_after_len(stream, len)
-        .map(|(req, frame)| Some((req, frame, 4 + u64::from(len))))
+        .map(|(req, trace, frame)| Some((req, trace, frame, 4 + u64::from(len))))
 }
 
 fn worker_loop(
@@ -592,8 +736,8 @@ fn worker_loop(
 ) {
     let mut hello_done = false;
     while let Ok(event) = rx.recv() {
-        let (req, frame) = match event {
-            SessionEvent::Request(req, frame) => (req, frame),
+        let (req, trace, frame) = match event {
+            SessionEvent::Request(req, trace, frame) => (req, trace, *frame),
             SessionEvent::Bad(msg) => {
                 let _ = send(
                     shared,
@@ -606,6 +750,10 @@ fn worker_loop(
                 return;
             }
         };
+        // Install the client's trace id as the thread's ambient trace:
+        // every response echoes it, and every span, event, and slowlog
+        // entry recorded while serving this request is stamped with it.
+        let _scope = hrdm_obs::trace::set_current(trace);
         if shared.shutdown.load(Ordering::SeqCst) {
             let _ = send(
                 shared,
@@ -718,6 +866,14 @@ fn serve(
             let text = shared.metrics_text();
             send(shared, stream, req, &Frame::MetricsResult { text }).is_ok()
         }
+        Frame::Events { limit } => {
+            let events = recorder()
+                .snapshot(limit.min(u64::from(u32::MAX)) as usize)
+                .iter()
+                .map(WireEvent::from_record)
+                .collect();
+            send(shared, stream, req, &Frame::EventsResult { events }).is_ok()
+        }
         other => send(
             shared,
             stream,
@@ -733,6 +889,8 @@ fn serve(
     };
     let elapsed_ns = started.elapsed().as_nanos() as u64;
     shared.counters.request_ns.record(elapsed_ns);
+    shared.counters.requests_window.add(1);
+    shared.counters.request_ns_window.record(elapsed_ns);
     if let Some((kind, histogram)) = kind {
         histogram.record(elapsed_ns);
         let threshold = shared.config.slow_query_threshold.as_nanos() as u64;
@@ -746,11 +904,18 @@ fn serve(
                 .and_then(|text| {
                     explain_query_text(text, &*shared.db.snapshot()).unwrap_or_default()
                 });
+            let text = slow_text.unwrap_or_default();
+            recorder().record(
+                EventKind::SlowQuery,
+                format!("kind={kind} ns={elapsed_ns} text={text}"),
+            );
+            recorder().anomaly(format!("slowlog admission: {kind} {elapsed_ns} ns"));
             shared.counters.slowlog.record(SlowEntry {
                 kind,
-                text: slow_text.unwrap_or_default(),
+                text,
                 total_ns: elapsed_ns,
                 plan,
+                trace: hrdm_obs::trace::current().unwrap_or(0),
             });
         }
     }
@@ -879,7 +1044,11 @@ fn stream_live(
                 let frame = Frame::RowChunk {
                     tuples: batch.into_rows(),
                 };
-                let bytes = crate::frame::encode_frame(req, &frame);
+                let bytes = crate::frame::encode_frame_traced(
+                    req,
+                    hrdm_obs::trace::current().unwrap_or(0),
+                    &frame,
+                );
                 sent_bytes += bytes.len() as u64;
                 if sent_bytes > shared.config.max_result_bytes {
                     return send(
@@ -903,6 +1072,7 @@ fn stream_live(
                 }
                 sent_rows += n;
                 shared.counters.rows_streamed.add(n);
+                shared.counters.rows_window.add(n);
                 shared.counters.batches_streamed.inc();
             }
             Ok(None) => return send(shared, stream, req, &Frame::Done { rows: sent_rows }).is_ok(),
@@ -1011,9 +1181,19 @@ fn is_cancelled(cancelled: &Mutex<BTreeSet<u64>>, req: u64) -> bool {
     cancelled.lock().expect("cancel set lock").contains(&req)
 }
 
+/// Encodes and writes one response frame, echoing the thread's ambient
+/// trace id (installed by the worker loop from the request header) so
+/// the client can match responses to the trace it minted. Error frames
+/// double as anomaly triggers: the flight recorder freezes the trailing
+/// event window for each one.
 fn send(shared: &Arc<Shared>, stream: &mut TcpStream, req: u64, frame: &Frame) -> io::Result<()> {
     use std::io::Write;
-    let bytes = crate::frame::encode_frame(req, frame);
+    let trace = hrdm_obs::trace::current().unwrap_or(0);
+    if let Frame::Error { error } = frame {
+        recorder().record_traced(trace, EventKind::Error, format!("req={req} {error}"));
+        recorder().anomaly(format!("error frame: {error}"));
+    }
+    let bytes = crate::frame::encode_frame_traced(req, trace, frame);
     shared.counters.frames_out.inc();
     shared.counters.bytes_out.add(bytes.len() as u64);
     stream.write_all(&bytes)

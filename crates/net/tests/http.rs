@@ -1,0 +1,206 @@
+//! The HTTP telemetry plane: `hrdmd --http-metrics` serves `GET
+//! /metrics` (the same Prometheus exposition the `Metrics` frame
+//! carries) and `GET /healthz` (200 while serving, 503 while draining)
+//! over a minimal std-only HTTP/1.1 responder.
+//!
+//! Covered here: the in-process scrape against a [`ServerHandle`], the
+//! drain transition, the responder's method/path/oversize rejections,
+//! and — end to end — the real `hrdmd` binary with both listeners on
+//! ephemeral ports.
+
+use hrdm_core::prelude::*;
+use hrdm_net::{Server, ServerConfig, ServerHandle};
+use hrdm_storage::ConcurrentDatabase;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn http_server() -> ServerHandle {
+    let db = Arc::new(ConcurrentDatabase::new());
+    let era = Lifespan::interval(0, 100);
+    let scheme = Scheme::builder()
+        .key_attr("K", ValueKind::Int, era.clone())
+        .build()
+        .unwrap();
+    db.create_relation("r", scheme.clone()).unwrap();
+    let config = ServerConfig {
+        http_metrics: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", db, config)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+/// Sends one raw request and returns `(status line, body)`. The
+/// responder always answers `Connection: close`, so reading to EOF is
+/// the framing.
+fn fetch(addr: SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    fetch(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: hrdm\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+#[test]
+fn metrics_and_healthz_are_scrapeable() {
+    let server = http_server();
+    let http = server.http_addr().expect("http listener configured");
+
+    let (status, body) = get(http, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, body) = get(http, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    // The exposition carries the windowed gauges, build info, uptime,
+    // and the flight-recorder summary — the same families a Prometheus
+    // scrape needs to be parseable.
+    assert!(body.contains("# TYPE hrdm_net_qps gauge"), "{body}");
+    assert!(body.contains("# TYPE hrdm_build_info gauge"), "{body}");
+    assert!(body.contains("hrdm_uptime_seconds"), "{body}");
+    assert!(body.contains("hrdm_events_recorded_total"), "{body}");
+    assert!(body.contains("hrdm_net_request_p99_60s_ns"), "{body}");
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let _name = parts.next().expect("metric name");
+        let value = parts.next().expect("metric value");
+        assert!(value.parse::<f64>().is_ok(), "bad sample line {line:?}");
+    }
+
+    // Query strings are ignored for routing.
+    let (status, _) = get(http, "/healthz?verbose=1");
+    assert!(status.contains("200"), "{status}");
+
+    server.shutdown();
+}
+
+#[test]
+fn responder_rejects_what_it_must() {
+    let server = http_server();
+    let http = server.http_addr().expect("http listener configured");
+
+    let (status, _) = get(http, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    let (status, _) = fetch(
+        http,
+        "POST /metrics HTTP/1.1\r\nHost: hrdm\r\nConnection: close\r\n\r\n",
+    );
+    assert!(status.contains("405"), "{status}");
+
+    // A request head that never terminates within the 8 KiB cap is
+    // answered 431, not buffered without bound.
+    let mut stream = TcpStream::connect(http).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let huge = format!(
+        "GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n",
+        "a".repeat(16 * 1024)
+    );
+    stream.write_all(huge.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 431"), "{raw}");
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_draining_during_shutdown() {
+    let server = http_server();
+    let http = server.http_addr().expect("http listener configured");
+
+    let (status, _) = get(http, "/healthz");
+    assert!(status.contains("200"), "{status}");
+
+    // Begin the drain without tearing the HTTP listener down: load
+    // balancers watching /healthz see 503 while sessions finish.
+    server.begin_drain();
+    let (status, body) = get(http, "/healthz");
+    assert!(status.contains("503"), "{status}");
+    assert_eq!(body, "draining\n");
+
+    // /metrics stays scrapeable during the drain.
+    let (status, _) = get(http, "/metrics");
+    assert!(status.contains("200"), "{status}");
+
+    server.shutdown();
+}
+
+#[test]
+fn real_hrdmd_serves_the_scrape_plane() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_hrdmd"))
+        .args(["--listen", "127.0.0.1:0", "--http-metrics", "127.0.0.1:0"])
+        .stderr(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // The daemon reports both bound addresses on stderr at startup.
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = BufReader::new(stderr).lines();
+    let mut tcp: Option<SocketAddr> = None;
+    let mut http: Option<SocketAddr> = None;
+    while tcp.is_none() || http.is_none() {
+        let line = lines
+            .next()
+            .expect("hrdmd exited before reporting its addresses")
+            .unwrap();
+        if let Some(addr) = line.strip_prefix("hrdmd: listening on ") {
+            tcp = Some(addr.trim().parse().unwrap());
+        } else if let Some(addr) = line.strip_prefix("hrdmd: http-metrics on ") {
+            http = Some(addr.trim().parse().unwrap());
+        }
+    }
+    let (tcp, http) = (tcp.unwrap(), http.unwrap());
+
+    let result = std::panic::catch_unwind(|| {
+        let (status, body) = get(http, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        // Drive requests over the wire protocol, then confirm the
+        // scrape sees them: the two planes share one set of counters.
+        let mut client = hrdm_net::Client::connect(tcp).unwrap();
+        let era = Lifespan::interval(0, 100);
+        let scheme = Scheme::builder()
+            .key_attr("K", ValueKind::Int, era.clone())
+            .build()
+            .unwrap();
+        client.create_relation("r", scheme).unwrap();
+        client.query("r").unwrap();
+        let (status, body) = get(http, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("hrdm_net_requests_total"), "{body}");
+        assert!(body.contains("# TYPE hrdm_build_info gauge"), "{body}");
+    });
+
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}

@@ -1,0 +1,127 @@
+//! The `HRDM_OBS_OFF` kill switch, exercised end to end: with
+//! observability disabled every telemetry surface must no-op cleanly —
+//! no trace ids minted or propagated, no flight-recorder retention, no
+//! window accumulation — while the *functional* surfaces (queries,
+//! `EXPLAIN ANALYZE`, the metrics exposition itself) keep working.
+//!
+//! These tests live in their own integration binary because the switch
+//! is process-global: every test here runs disabled, so none can race a
+//! test that expects telemetry on (those live in `obs.rs`/`trace.rs`,
+//! separate processes under `cargo test`).
+
+use hrdm_core::prelude::*;
+use hrdm_net::{Client, Server, ServerConfig, ServerHandle};
+use hrdm_storage::ConcurrentDatabase;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn disabled_server() -> ServerHandle {
+    hrdm_obs::set_enabled(false);
+    let db = Arc::new(ConcurrentDatabase::new());
+    let era = Lifespan::interval(0, 1000);
+    let scheme = Scheme::builder()
+        .key_attr("K", ValueKind::Int, era.clone())
+        .build()
+        .unwrap();
+    db.create_relation("r", scheme.clone()).unwrap();
+    for k in 0..4i64 {
+        let t = Tuple::builder(era.clone())
+            .constant("K", k)
+            .finish(&scheme)
+            .unwrap();
+        db.insert("r", t).unwrap();
+    }
+    let config = ServerConfig {
+        slow_query_threshold: Duration::ZERO,
+        http_metrics: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", db, config)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn recorder_is_inert_when_disabled() {
+    hrdm_obs::set_enabled(false);
+    let r = hrdm_obs::FlightRecorder::new(8);
+    r.record(hrdm_obs::EventKind::CommitApplied, "nope");
+    r.record_traced(7, hrdm_obs::EventKind::Error, "nope");
+    r.anomaly("nope");
+    assert_eq!(r.totals(), (0, 0, 0));
+    assert!(r.snapshot(0).is_empty());
+    assert!(r.anomalies().is_empty());
+}
+
+#[test]
+fn windows_are_inert_when_disabled() {
+    hrdm_obs::set_enabled(false);
+    let rate = hrdm_obs::window::RateWindow::new();
+    rate.add(5);
+    assert_eq!(rate.total(), 0);
+
+    let latency = hrdm_obs::window::LatencyWindow::new();
+    latency.record(1_000);
+    assert_eq!(latency.merged().p50(), None);
+
+    let top = hrdm_obs::window::TopRelations::new(4);
+    top.record("r", 100);
+    assert!(top.top(4).is_empty());
+}
+
+#[test]
+fn traces_are_inert_when_disabled() {
+    hrdm_obs::set_enabled(false);
+    assert_eq!(hrdm_obs::TraceContext::mint("anyone").id, 0);
+    let _scope = hrdm_obs::trace::set_current(42);
+    assert_eq!(hrdm_obs::trace::current(), None);
+}
+
+#[test]
+fn wire_surfaces_degrade_cleanly_when_disabled() {
+    let server = disabled_server();
+    let mut client = Client::connect_as(server.addr(), "killswitch").unwrap();
+
+    // Requests work; no trace id is minted or echoed.
+    client.query("r").unwrap();
+    assert_eq!(client.last_trace_id(), 0);
+
+    // EXPLAIN ANALYZE still executes and reports its plan and row
+    // counts — only the telemetry annotations go quiet: no trace line.
+    let text = client.explain("EXPLAIN ANALYZE r").unwrap();
+    assert!(text.contains("== explain analyze =="), "{text}");
+    assert!(text.contains("rows: 4"), "{text}");
+    assert!(!text.contains("trace: "), "{text}");
+
+    // The flight recorder retained nothing: not the session open, not
+    // the zero-threshold slowlog admissions.
+    let events = client.events(0).unwrap();
+    assert!(events.is_empty(), "{events:#?}");
+
+    // The exposition itself still renders (scrapes must not break when
+    // the switch flips) — the windowed gauges just read zero.
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.contains("hrdm_net_qps 0.000"), "{metrics}");
+    assert!(
+        metrics.contains("hrdm_net_request_p99_60s_ns 0"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("hrdm_events_recorded_total 0"),
+        "{metrics}"
+    );
+
+    // The HTTP plane serves too, from the same (quiet) registry.
+    let http = server.http_addr().expect("http listener configured");
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(http).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+
+    server.shutdown();
+}

@@ -106,7 +106,7 @@ fn assert_valid_exposition(text: &str) {
         assert!(parts.next().is_none(), "trailing tokens in {line:?}");
         assert!(
             name.chars()
-                .all(|c| c.is_ascii_alphanumeric() || "_{}=\"+.".contains(c)),
+                .all(|c| c.is_ascii_alphanumeric() || "_{}=\"+.,-".contains(c)),
             "bad metric name in {line:?}"
         );
         assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");

@@ -5,8 +5,9 @@
 
 use hrdm_core::prelude::*;
 use hrdm_net::{
-    decode_frame, encode_frame, read_frame, Frame, FrameError, ServerStats, WireError, WriteOp,
-    MAX_FRAME_BYTES, PROTO_VERSION, WIRE_VERSION,
+    decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, read_frame, Frame,
+    FrameError, ServerStats, WireError, WireEvent, WriteOp, MAX_FRAME_BYTES, PROTO_VERSION,
+    WIRE_VERSION,
 };
 use proptest::prelude::*;
 
@@ -126,10 +127,11 @@ fn wire_error_strategy() -> impl Strategy<Value = WireError> {
 
 fn stats_strategy() -> impl Strategy<Value = ServerStats> {
     (
-        prop::collection::vec(any::<u64>(), 20),
+        prop::collection::vec(any::<u64>(), 26),
+        prop::collection::vec(("[a-z]{1,8}", any::<u64>()), 0..4),
         prop::collection::vec(("[a-z]{1,8}", any::<u64>()), 0..4),
     )
-        .prop_map(|(n, relations)| ServerStats {
+        .prop_map(|(n, relations, top_streamed)| ServerStats {
             connections_accepted: n[0],
             connections_active: n[1],
             frames_in: n[2],
@@ -150,7 +152,36 @@ fn stats_strategy() -> impl Strategy<Value = ServerStats> {
             request_p99_ns: n[17],
             rows_streamed: n[18],
             batches_streamed: n[19],
+            qps_milli_60s: n[20],
+            p50_60s_ns: n[21],
+            p99_60s_ns: n[22],
+            pool_hit_permille_60s: n[23],
+            uptime_secs: n[24],
+            top_streamed,
             relations,
+        })
+}
+
+/// `u128` has no `Arbitrary` impl in this proptest; build one from two
+/// u64 halves.
+fn u128_strategy() -> impl Strategy<Value = u128> {
+    (any::<u64>(), any::<u64>()).prop_map(|(hi, lo)| (u128::from(hi) << 64) | u128::from(lo))
+}
+
+fn wire_event_strategy() -> impl Strategy<Value = WireEvent> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        u128_strategy(),
+        "[a-z-]{1,16}",
+        "[ -~]{0,40}",
+    )
+        .prop_map(|(seq, unix_ms, trace, kind, detail)| WireEvent {
+            seq,
+            unix_ms,
+            trace,
+            kind,
+            detail,
         })
 }
 
@@ -185,6 +216,9 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         stats_strategy().prop_map(|stats| Frame::StatsResult { stats }),
         "[ -~]{0,60}".prop_map(|text| Frame::MetricsResult { text }),
         wire_error_strategy().prop_map(|error| Frame::Error { error }),
+        any::<u64>().prop_map(|limit| Frame::Events { limit }),
+        prop::collection::vec(wire_event_strategy(), 0..4)
+            .prop_map(|events| Frame::EventsResult { events }),
     ]
 }
 
@@ -200,6 +234,26 @@ proptest! {
         let (got_req, got) = decode_frame(&bytes[4..]).expect("round trip decodes");
         prop_assert_eq!(got_req, req);
         prop_assert_eq!(got, frame);
+    }
+
+    /// The trace id in the frame header round-trips for every frame
+    /// type, and the untraced decoder reads the same frame (ignoring
+    /// the trace) — the wrappers and the traced path cannot drift.
+    #[test]
+    fn trace_ids_round_trip(
+        req in any::<u64>(),
+        trace in u128_strategy(),
+        frame in frame_strategy(),
+    ) {
+        let bytes = encode_frame_traced(req, trace, &frame);
+        let (got_req, got_trace, got) =
+            decode_frame_traced(&bytes[4..]).expect("traced round trip decodes");
+        prop_assert_eq!(got_req, req);
+        prop_assert_eq!(got_trace, trace);
+        prop_assert_eq!(&got, &frame);
+        let (untraced_req, untraced) = decode_frame(&bytes[4..]).expect("untraced decodes");
+        prop_assert_eq!(untraced_req, req);
+        prop_assert_eq!(untraced, frame);
     }
 
     /// The stream reader agrees with the in-memory decoder, including on
@@ -244,7 +298,7 @@ proptest! {
             // A random body that happens to decode must at least carry a
             // valid version byte and kind tag.
             Ok(_) => {
-                prop_assert!(body.len() >= 10);
+                prop_assert!(body.len() >= 26);
                 prop_assert_eq!(body[0], WIRE_VERSION);
             }
             Err(FrameError::Io(_)) | Err(FrameError::Protocol(_)) => {}
@@ -268,7 +322,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 /// The strategy list above covers every `Frame` variant: generate a pile
-/// of frames and check all 19 kind tags eventually show up.
+/// of frames and check all 21 kind tags eventually show up.
 #[test]
 fn all_kinds_covered_by_the_strategy() {
     // The match is the real assertion: adding a `Frame` variant without
@@ -294,11 +348,13 @@ fn all_kinds_covered_by_the_strategy() {
             Frame::StatsResult { .. } => 16,
             Frame::MetricsResult { .. } => 17,
             Frame::Error { .. } => 18,
+            Frame::Events { .. } => 19,
+            Frame::EventsResult { .. } => 20,
         }
     }
     let strategy = frame_strategy();
     let mut rng = proptest::test_runner::TestRng::from_name("all_kinds_covered");
-    let mut seen = [false; 19];
+    let mut seen = [false; 21];
     for _ in 0..2000 {
         let f = Strategy::generate(&strategy, &mut rng);
         seen[kind_index(&f)] = true;

@@ -17,6 +17,18 @@
 //! * [`slowlog`] — a bounded FIFO ring buffer of the worst recent
 //!   requests with their plans, mirroring the Cancel-id bound of the
 //!   wire protocol (default 32 entries, oldest evicted first).
+//! * [`trace`] — request-scoped trace ids: a [`TraceContext`] minted
+//!   by the originator, carried in the wire frame header, installed as
+//!   a thread-local ambient id while the request is served, and read
+//!   back by every reporting surface.
+//! * [`event`] — the flight recorder: a bounded ring of structured
+//!   engine events (commits, checkpoints, pool activity, sessions,
+//!   errors, slow queries) with anomaly-triggered trailing-window
+//!   snapshots.
+//! * [`window`] — rolling per-second ring buckets over the hot
+//!   counters and histograms: 60s rates (`hrdm_net_qps`), rolling
+//!   latency percentiles, pool hit ratio, and the top-relations
+//!   leaderboard behind `\top`.
 //!
 //! ## The kill switch
 //!
@@ -33,15 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod metrics;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
+pub mod trace;
+pub mod window;
 
+pub use event::{recorder, EventKind, EventRecord, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{global, Registry};
 pub use slowlog::{SlowEntry, SlowLog, SLOWLOG_CAPACITY};
 pub use span::{with_trace, Span, SpanGuard, TraceNode};
+pub use trace::TraceContext;
+pub use window::{LatencyWindow, RateWindow, TopRelations};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -124,7 +124,7 @@ impl Default for Histogram {
 }
 
 /// The bucket index for a value: 0 for 0, else `64 - leading_zeros`.
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
@@ -193,6 +193,12 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Builds a snapshot from raw per-bucket counts (the windowed
+    /// metrics layer merges per-second buckets into one of these).
+    pub(crate) fn from_buckets(buckets: Vec<u64>) -> HistogramSnapshot {
+        HistogramSnapshot { buckets }
+    }
+
     /// Total observations in the snapshot.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()

@@ -140,12 +140,13 @@ impl Registry {
     /// `# HELP` / `# TYPE` headers, then the samples — plain values
     /// for counters and gauges, cumulative `_bucket{le="…"}` lines
     /// plus `_sum`/`_count` for histograms. Families render in name
-    /// order, so output is deterministic for a given state.
+    /// order, so output is deterministic for a given state. HELP text
+    /// is escaped per the exposition format ([`escape_help`]).
     pub fn render_prometheus(&self) -> String {
         let families = self.families.lock().expect("registry poisoned");
         let mut out = String::new();
         for (name, fam) in families.iter() {
-            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
             match &fam.metric {
                 Metric::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {name} counter");
@@ -183,6 +184,56 @@ impl Registry {
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+/// Escapes HELP text per the Prometheus text exposition format:
+/// backslash and newline become `\\` and `\n`. (Double quotes are
+/// legal in HELP text and stay raw.)
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `hrdm_build_info` (constant-1 gauge with `version` and
+/// `git_hash` labels) and `hrdm_uptime_seconds` families, so scrapes
+/// can detect restarts and version skew across replicas. Label values
+/// are escaped with [`escape_label_value`].
+pub fn render_build_info(version: &str, git_hash: &str, uptime_secs: u64) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP hrdm_build_info Build metadata (constant 1; labels carry the data).\n");
+    out.push_str("# TYPE hrdm_build_info gauge\n");
+    let _ = writeln!(
+        out,
+        "hrdm_build_info{{version=\"{}\",git_hash=\"{}\"}} 1",
+        escape_label_value(version),
+        escape_label_value(git_hash)
+    );
+    out.push_str("# HELP hrdm_uptime_seconds Seconds since this process started serving.\n");
+    out.push_str("# TYPE hrdm_uptime_seconds gauge\n");
+    let _ = writeln!(out, "hrdm_uptime_seconds {uptime_secs}");
+    out
 }
 
 #[cfg(test)]
@@ -228,5 +279,37 @@ mod tests {
         let r = Registry::new();
         r.counter("m", "as counter");
         r.gauge("m", "as gauge");
+    }
+
+    #[test]
+    fn help_text_is_escaped_in_the_exposition() {
+        let r = Registry::new();
+        r.counter("esc_total", "line one\nback\\slash").add(1);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains(r"# HELP esc_total line one\nback\\slash"),
+            "{text}"
+        );
+        // The exposition must stay one line per sample/comment.
+        assert!(text.lines().all(|l| !l.is_empty()), "{text}");
+    }
+
+    #[test]
+    fn escape_helpers_cover_the_format() {
+        assert_eq!(escape_help(r"a\b"), r"a\\b");
+        assert_eq!(escape_help("a\nb"), r"a\nb");
+        assert_eq!(escape_help(r#"quote " stays"#), r#"quote " stays"#);
+        assert_eq!(escape_label_value("v\"1\"\n\\"), r#"v\"1\"\n\\"#);
+    }
+
+    #[test]
+    fn build_info_renders_escaped_labels() {
+        let text = render_build_info("0.1.0", "dead\"beef", 42);
+        assert!(
+            text.contains(r#"hrdm_build_info{version="0.1.0",git_hash="dead\"beef"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains("hrdm_uptime_seconds 42"), "{text}");
+        assert!(text.contains("# TYPE hrdm_build_info gauge"), "{text}");
     }
 }

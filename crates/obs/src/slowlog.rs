@@ -30,6 +30,9 @@ pub struct SlowEntry {
     pub total_ns: u64,
     /// The physical plan, when the request had one.
     pub plan: Option<String>,
+    /// The trace id of the request that was admitted (0 = none), so a
+    /// slowlog line can be joined back to the client that holds it.
+    pub trace: u128,
 }
 
 struct Inner {
@@ -111,8 +114,13 @@ impl SlowLog {
                 .as_deref()
                 .map(|p| p.trim_end().replace('\n', " | "))
                 .unwrap_or_else(|| "-".to_string());
+            let trace = if e.trace == 0 {
+                "-".to_string()
+            } else {
+                crate::trace::render(e.trace)
+            };
             out.push_str(&format!(
-                "# slowlog: {} ns kind={} text={text:?} plan={plan:?}\n",
+                "# slowlog: {} ns kind={} trace={trace} text={text:?} plan={plan:?}\n",
                 e.total_ns, e.kind
             ));
         }
@@ -130,6 +138,7 @@ mod tests {
             text: format!("q{n}"),
             total_ns: n,
             plan: None,
+            trace: 0,
         }
     }
 
@@ -142,6 +151,23 @@ mod tests {
         let kept: Vec<u64> = log.entries().iter().map(|e| e.total_ns).collect();
         assert_eq!(kept, vec![3, 4, 5]);
         assert_eq!(log.evicted(), 2);
+    }
+
+    #[test]
+    fn comments_carry_the_trace_id() {
+        crate::set_enabled(true);
+        let log = SlowLog::new(4);
+        log.record(SlowEntry {
+            trace: 0xabcd,
+            ..entry(9)
+        });
+        let text = log.render_comments();
+        assert!(
+            text.contains(&format!("trace={}", crate::trace::render(0xabcd))),
+            "{text}"
+        );
+        log.record(entry(1));
+        assert!(log.render_comments().contains("trace=-"));
     }
 
     #[test]

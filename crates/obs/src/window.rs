@@ -1,0 +1,369 @@
+//! Windowed metrics: rolling per-second ring buckets over hot counters
+//! and histograms.
+//!
+//! A [`Counter`](crate::Counter) answers "how many ever"; operators
+//! want "how many *lately*". Each window keeps [`SLOTS`] per-second
+//! buckets in a ring indexed by `unix_second % SLOTS`, each slot
+//! stamped with the second it currently represents. Recording claims
+//! the slot for the current second (zeroing it when it still holds an
+//! older lap of the ring) and accumulates with relaxed atomics — no
+//! locks, no background threads. Reads sum the slots stamped within
+//! the trailing [`WINDOW_SECS`], yielding rolling rates
+//! (`hrdm_net_qps`), rolling latency percentiles (the 60s p99), and
+//! ratios (pool hit-rate).
+//!
+//! The slot-claim CAS has a benign race: an increment landing between
+//! another thread's claim and its zeroing store can be lost. Windows
+//! are monitoring views, not accounting — a lost tick per second-edge
+//! is noise, and the totals counters remain exact.
+//!
+//! All recording gates on [`crate::enabled`]; a disabled window stays
+//! empty and renders zero rates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::metrics::{bucket_of, BUCKETS};
+use crate::HistogramSnapshot;
+
+/// The rolling window length, in seconds.
+pub const WINDOW_SECS: u64 = 60;
+/// Ring slots; must exceed [`WINDOW_SECS`] so a reader never sums a
+/// slot being reclaimed for the second it is about to represent.
+pub const SLOTS: usize = 64;
+
+fn now_sec() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+struct RateSlot {
+    stamp: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A rolling event-count window (QPS, rows/s, hits/s).
+pub struct RateWindow {
+    slots: Vec<RateSlot>,
+}
+
+impl Default for RateWindow {
+    fn default() -> RateWindow {
+        RateWindow::new()
+    }
+}
+
+impl RateWindow {
+    /// An empty window.
+    pub fn new() -> RateWindow {
+        RateWindow {
+            slots: (0..SLOTS)
+                .map(|_| RateSlot {
+                    stamp: AtomicU64::new(u64::MAX),
+                    sum: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds `n` events at the current second. No-op when disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.add_at(now_sec(), n);
+        }
+    }
+
+    /// Adds `n` events at an explicit second (test hook; does not gate
+    /// on the kill switch).
+    pub fn add_at(&self, sec: u64, n: u64) {
+        let slot = &self.slots[(sec % SLOTS as u64) as usize];
+        let st = slot.stamp.load(Ordering::Relaxed);
+        if st != sec
+            && slot
+                .stamp
+                .compare_exchange(st, sec, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            slot.sum.store(0, Ordering::Relaxed);
+        }
+        slot.sum.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total events recorded in the trailing window.
+    pub fn total(&self) -> u64 {
+        self.total_at(now_sec())
+    }
+
+    /// Total at an explicit second (test hook).
+    pub fn total_at(&self, sec: u64) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let st = s.stamp.load(Ordering::Relaxed);
+                if st <= sec && sec - st < WINDOW_SECS {
+                    s.sum.load(Ordering::Relaxed)
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// The rolling per-second rate (total / [`WINDOW_SECS`]).
+    pub fn per_second(&self) -> f64 {
+        self.per_second_at(now_sec())
+    }
+
+    /// The rate at an explicit second (test hook).
+    pub fn per_second_at(&self, sec: u64) -> f64 {
+        self.total_at(sec) as f64 / WINDOW_SECS as f64
+    }
+}
+
+struct LatencySlot {
+    stamp: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+/// A rolling log2-bucketed histogram window (rolling percentiles).
+pub struct LatencyWindow {
+    slots: Vec<LatencySlot>,
+}
+
+impl Default for LatencyWindow {
+    fn default() -> LatencyWindow {
+        LatencyWindow::new()
+    }
+}
+
+impl LatencyWindow {
+    /// An empty window.
+    pub fn new() -> LatencyWindow {
+        LatencyWindow {
+            slots: (0..SLOTS)
+                .map(|_| LatencySlot {
+                    stamp: AtomicU64::new(u64::MAX),
+                    buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Records one observation at the current second. No-op when
+    /// disabled.
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.record_at(now_sec(), v);
+        }
+    }
+
+    /// Records at an explicit second (test hook; does not gate on the
+    /// kill switch).
+    pub fn record_at(&self, sec: u64, v: u64) {
+        let slot = &self.slots[(sec % SLOTS as u64) as usize];
+        let st = slot.stamp.load(Ordering::Relaxed);
+        if st != sec
+            && slot
+                .stamp
+                .compare_exchange(st, sec, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            for b in &slot.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The trailing window merged into one snapshot for quantiles.
+    pub fn merged(&self) -> HistogramSnapshot {
+        self.merged_at(now_sec())
+    }
+
+    /// The merge at an explicit second (test hook).
+    pub fn merged_at(&self, sec: u64) -> HistogramSnapshot {
+        let mut merged = vec![0u64; BUCKETS];
+        for slot in &self.slots {
+            let st = slot.stamp.load(Ordering::Relaxed);
+            if st <= sec && sec - st < WINDOW_SECS {
+                for (m, b) in merged.iter_mut().zip(&slot.buckets) {
+                    *m += b.load(Ordering::Relaxed);
+                }
+            }
+        }
+        HistogramSnapshot::from_buckets(merged)
+    }
+}
+
+/// Rolling buffer-pool windows, fed by the storage layer's fault path.
+pub struct PoolWindows {
+    /// Page faults served from the pool.
+    pub hits: RateWindow,
+    /// Page faults that went to disk.
+    pub misses: RateWindow,
+}
+
+impl PoolWindows {
+    /// The rolling hit ratio in [0, 1], or `None` with no traffic.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let sec = now_sec();
+        let hits = self.hits.total_at(sec);
+        let misses = self.misses.total_at(sec);
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+}
+
+/// The process-wide pool windows (storage records, servers render).
+pub fn pool_windows() -> &'static PoolWindows {
+    static GLOBAL: OnceLock<PoolWindows> = OnceLock::new();
+    GLOBAL.get_or_init(|| PoolWindows {
+        hits: RateWindow::new(),
+        misses: RateWindow::new(),
+    })
+}
+
+/// Bound on tracked relations in [`TopRelations`].
+pub const TOP_RELATIONS_CAP: usize = 64;
+
+/// A bounded leaderboard of relations by rows streamed out of scans.
+/// When full, a new relation displaces the current minimum only if it
+/// streamed more rows — the board converges on the heavy hitters.
+pub struct TopRelations {
+    cap: usize,
+    inner: Mutex<std::collections::BTreeMap<String, u64>>,
+}
+
+impl Default for TopRelations {
+    fn default() -> TopRelations {
+        TopRelations::new(TOP_RELATIONS_CAP)
+    }
+}
+
+impl TopRelations {
+    /// A board tracking at most `cap` relations.
+    pub fn new(cap: usize) -> TopRelations {
+        TopRelations {
+            cap: cap.max(1),
+            inner: Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// Credits `rows` streamed rows to `relation`. No-op when disabled
+    /// or when `rows` is zero.
+    pub fn record(&self, relation: &str, rows: u64) {
+        if rows == 0 || !crate::enabled() {
+            return;
+        }
+        let mut map = self.inner.lock().expect("top-relations poisoned");
+        if let Some(v) = map.get_mut(relation) {
+            *v += rows;
+            return;
+        }
+        if map.len() >= self.cap {
+            let min = map
+                .iter()
+                .min_by_key(|(_, &v)| v)
+                .map(|(k, &v)| (k.clone(), v));
+            match min {
+                Some((_, v)) if v >= rows => return,
+                Some((k, _)) => {
+                    map.remove(&k);
+                }
+                None => {}
+            }
+        }
+        map.insert(relation.to_string(), rows);
+    }
+
+    /// The top `n` relations by rows streamed, descending.
+    pub fn top(&self, n: usize) -> Vec<(String, u64)> {
+        let map = self.inner.lock().expect("top-relations poisoned");
+        let mut all: Vec<(String, u64)> = map.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+}
+
+/// The process-wide streamed-rows leaderboard (scans record, `\top`
+/// renders).
+pub fn top_relations() -> &'static TopRelations {
+    static GLOBAL: OnceLock<TopRelations> = OnceLock::new();
+    GLOBAL.get_or_init(TopRelations::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_window_sums_only_the_trailing_minute() {
+        let w = RateWindow::new();
+        let base = 10_000u64;
+        w.add_at(base, 5);
+        w.add_at(base + 30, 7);
+        assert_eq!(w.total_at(base + 30), 12);
+        // The first burst ages out of the window.
+        assert_eq!(w.total_at(base + 65), 7);
+        // The ring lap reclaims the slot for the new second.
+        w.add_at(base + SLOTS as u64, 3);
+        assert_eq!(w.total_at(base + SLOTS as u64), 10);
+        assert!((w.per_second_at(base + SLOTS as u64) - 10.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_window_merges_percentiles() {
+        let w = LatencyWindow::new();
+        let base = 20_000u64;
+        for _ in 0..97 {
+            w.record_at(base, 100);
+        }
+        for _ in 0..3 {
+            w.record_at(base + 1, 1_000_000);
+        }
+        let snap = w.merged_at(base + 1);
+        assert_eq!(snap.count(), 100);
+        assert!(snap.p50().unwrap() < 1_000);
+        assert!(snap.p99().unwrap() >= 1_000_000 / 2);
+        // Everything ages out.
+        assert_eq!(w.merged_at(base + 200).count(), 0);
+    }
+
+    #[test]
+    fn pool_hit_ratio_reflects_traffic() {
+        let w = PoolWindows {
+            hits: RateWindow::new(),
+            misses: RateWindow::new(),
+        };
+        assert_eq!(w.hit_ratio(), None);
+        w.hits.add_at(now_sec(), 3);
+        w.misses.add_at(now_sec(), 1);
+        let ratio = w.hit_ratio().unwrap();
+        assert!((ratio - 0.75).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn top_relations_keeps_heavy_hitters() {
+        crate::set_enabled(true);
+        let t = TopRelations::new(2);
+        t.record("a", 10);
+        t.record("b", 5);
+        t.record("c", 1); // below the minimum: not admitted
+        assert_eq!(t.top(8).len(), 2);
+        t.record("c", 50); // displaces b
+        let top = t.top(8);
+        assert_eq!(top[0], ("c".to_string(), 50));
+        assert_eq!(top[1], ("a".to_string(), 10));
+        t.record("a", 5); // existing keys accumulate
+        assert_eq!(t.top(1)[0], ("c".to_string(), 50));
+        assert_eq!(t.top(8)[1], ("a".to_string(), 15));
+    }
+}

@@ -391,6 +391,8 @@ struct ScanExec<'a> {
     batch_rows: usize,
     state: Option<ScanState>,
     stats: ExecStats,
+    /// Rows-streamed leaderboard credit fires once, at first close.
+    reported: bool,
 }
 
 struct ScanState {
@@ -416,6 +418,7 @@ impl<'a> ScanExec<'a> {
             batch_rows: opts.batch_rows_clamped(),
             state: None,
             stats: ExecStats::default(),
+            reported: false,
         }
     }
 }
@@ -508,6 +511,10 @@ impl QueryExecutor for ScanExec<'_> {
 
     fn close(&mut self) {
         self.state = None;
+        if !self.reported {
+            self.reported = true;
+            hrdm_obs::window::top_relations().record(&self.name, self.stats.rows);
+        }
     }
 
     fn stats(&self) -> ExecStats {
@@ -811,6 +818,8 @@ struct GatherExec<'a> {
     spawned: usize,
     morsel_count: usize,
     stats: ExecStats,
+    /// Rows-streamed leaderboard credit fires once, at first close.
+    reported: bool,
 }
 
 struct GatherRuntime {
@@ -1004,6 +1013,10 @@ impl QueryExecutor for GatherExec<'_> {
 
     fn close(&mut self) {
         self.shutdown();
+        if !self.reported {
+            self.reported = true;
+            hrdm_obs::window::top_relations().record(&self.scan_name, self.stats.rows);
+        }
     }
 
     fn stats(&self) -> ExecStats {
@@ -1161,6 +1174,7 @@ pub fn build_executor<'a>(
             spawned: 0,
             morsel_count: 0,
             stats: ExecStats::default(),
+            reported: false,
         });
     }
     match p {

@@ -343,6 +343,12 @@ pub fn explain_analyze_query_text(
     let exec_ns = exec_started.elapsed().as_nanos() as u64;
 
     let mut out = String::from("== explain analyze ==\n");
+    // When a trace id is ambient (a server worker installed the id the
+    // client minted), print it so the remote caller can join this plan
+    // to its own request, the slowlog, and the flight recorder.
+    if let Some(trace) = hrdm_obs::trace::current() {
+        out.push_str(&format!("trace: {}\n", hrdm_obs::trace::render(trace)));
+    }
     out.push_str(&stream.render_plan(hrdm_obs::enabled()));
     out.push_str(&format!(
         "planning: {}\nexecution: {}\nrows: {rows}\n",

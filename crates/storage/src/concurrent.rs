@@ -277,6 +277,10 @@ impl ConcurrentDatabase {
                 crate::obs::storage_obs()
                     .commit_batch_size
                     .record(acked as u64);
+                hrdm_obs::recorder().record(
+                    hrdm_obs::EventKind::CommitApplied,
+                    format!("batch of {} op(s) in {} group(s)", acked, group_sizes.len()),
+                );
             }
         }
         // Hand each group its own slice of the flattened results.
@@ -409,7 +413,19 @@ impl ConcurrentDatabase {
     /// unaffected — their state is in memory, not in the rotated files.
     pub fn checkpoint(&self) -> Result<(), DbError> {
         let mut db = self.inner.lock().expect("database lock");
-        db.checkpoint()?;
+        if hrdm_obs::enabled() {
+            hrdm_obs::recorder().record(hrdm_obs::EventKind::CheckpointBegin, String::new());
+        }
+        let started = std::time::Instant::now();
+        let outcome = db.checkpoint();
+        if hrdm_obs::enabled() {
+            let detail = match &outcome {
+                Ok(()) => format!("took {:?}", started.elapsed()),
+                Err(e) => format!("failed after {:?}: {e}", started.elapsed()),
+            };
+            hrdm_obs::recorder().record(hrdm_obs::EventKind::CheckpointEnd, detail);
+        }
+        outcome?;
         self.publish(&db);
         Ok(())
     }

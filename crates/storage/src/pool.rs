@@ -266,6 +266,7 @@ impl BufferPool {
             self.counters.hits.fetch_add(1, Ordering::SeqCst);
             if hrdm_obs::enabled() {
                 storage_obs().pool_hits.add(1);
+                hrdm_obs::window::pool_windows().hits.add(1);
             }
             return Ok(PageGuard { frame });
         }
@@ -304,6 +305,7 @@ impl BufferPool {
         self.counters.misses.fetch_add(1, Ordering::SeqCst);
         if hrdm_obs::enabled() {
             storage_obs().pool_misses.add(1);
+            hrdm_obs::window::pool_windows().misses.add(1);
         }
         Ok(PageGuard { frame })
     }
@@ -356,6 +358,10 @@ impl BufferPool {
             self.counters.writebacks.fetch_add(wrote, Ordering::SeqCst);
             if hrdm_obs::enabled() {
                 storage_obs().pool_writebacks.add(wrote);
+                hrdm_obs::recorder().record(
+                    hrdm_obs::EventKind::PoolWriteback,
+                    format!("flush wrote {wrote} page(s)"),
+                );
             }
         }
         Ok(())
@@ -419,6 +425,12 @@ impl BufferPool {
             self.counters.evictions.fetch_add(evicted, Ordering::SeqCst);
             if hrdm_obs::enabled() {
                 storage_obs().pool_evictions.add(evicted);
+                // One event per eviction sweep, not per page — see the
+                // flight recorder's cost model.
+                hrdm_obs::recorder().record(
+                    hrdm_obs::EventKind::PoolEviction,
+                    format!("evicted {evicted} page(s), {writebacks} written back"),
+                );
             }
         }
         if writebacks > 0 {
